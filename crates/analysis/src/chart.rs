@@ -1,0 +1,146 @@
+//! Terminal charts: horizontal bars and sparklines for the generator
+//! binaries' series output (the closest a text harness gets to the
+//! paper's figures).
+
+use core::fmt;
+
+/// Unicode eighth-block characters for sub-cell bar resolution.
+const BLOCKS: [char; 9] = [' ', '▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+
+/// Sparkline glyphs (one cell per value).
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A labeled horizontal bar chart scaled to its maximum value.
+///
+/// ```
+/// let mut c = wdm_analysis::BarChart::new("loads", 20);
+/// c.bar("a", 1.0);
+/// c.bar("b", 2.0);
+/// let s = c.to_string();
+/// assert!(s.contains('█'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    rows: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// New chart; `width` is the maximum bar length in cells.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        BarChart { title: title.into(), width: width.max(1), rows: Vec::new() }
+    }
+
+    /// Append a labeled value (negative values are clamped to zero).
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.rows.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff no bars were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self.rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        for (label, value) in &self.rows {
+            let cells = if max == 0.0 { 0.0 } else { value / max * self.width as f64 };
+            let full = cells.floor() as usize;
+            let partial = ((cells - full as f64) * 8.0).round() as usize;
+            let mut bar: String = "█".repeat(full);
+            if partial > 0 && full < self.width {
+                bar.push(BLOCKS[partial]);
+            }
+            writeln!(f, "{label:<label_w$}  {bar:<w$}  {value:.4}", w = self.width + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a sequence as a one-line sparkline (empty input → empty
+/// string). Values are scaled min..max to the 8 glyph levels.
+///
+/// ```
+/// assert_eq!(wdm_analysis::sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            let level = if span == 0.0 {
+                0
+            } else {
+                (((v - min) / span) * 7.0).round() as usize
+            };
+            SPARKS[level.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("full", 10.0).bar("half", 5.0).bar("zero", 0.0);
+        let lines: Vec<String> = c.to_string().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 4);
+        let count = |s: &str| s.chars().filter(|&ch| ch == '█').count();
+        assert_eq!(count(&lines[1]), 10);
+        assert_eq!(count(&lines[2]), 5);
+        assert_eq!(count(&lines[3]), 0);
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let mut c = BarChart::new("t", 5);
+        c.bar("n", -3.0);
+        assert!(c.to_string().lines().nth(1).unwrap().contains("0.0000"));
+    }
+
+    #[test]
+    fn all_zero_chart_renders() {
+        let mut c = BarChart::new("t", 5);
+        c.bar("a", 0.0).bar("b", 0.0);
+        assert_eq!(c.to_string().lines().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▁");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_is_monotone_for_monotone_input() {
+        let vals: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let s: Vec<char> = sparkline(&vals).chars().collect();
+        let level = |c: char| SPARKS.iter().position(|&x| x == c).unwrap();
+        for w in s.windows(2) {
+            assert!(level(w[0]) <= level(w[1]));
+        }
+    }
+}

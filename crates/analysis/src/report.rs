@@ -1,0 +1,139 @@
+//! Experiment reports: named tables rendered to stdout and CSV files.
+
+use crate::TextTable;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A named collection of result tables produced by one generator binary.
+///
+/// `print()` writes everything to stdout (the paper-shaped view);
+/// `write_csv_dir()` drops one CSV per table for EXPERIMENTS.md and
+/// downstream plotting.
+#[derive(Debug, Default)]
+pub struct Report {
+    sections: Vec<(String, String, TextTable)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Add a table under a section id (used as the CSV filename stem) and
+    /// human title.
+    pub fn add(&mut self, id: impl Into<String>, title: impl Into<String>, table: TextTable) {
+        self.sections.push((id.into(), title.into(), table));
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// `true` iff the report has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Render every section to a string (what `print` shows).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, title, table) in &self.sections {
+            out.push_str(&format!("== {title} [{id}] ==\n{table}\n"));
+        }
+        out
+    }
+
+    /// Print all sections to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Render the whole report as a Markdown document (pipe tables),
+    /// suitable for appending to experiment logs.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        for (id, title, table) in &self.sections {
+            out.push_str(&format!("## {title}\n\n<!-- id: {id} -->\n\n"));
+            let csv = table.to_csv();
+            let mut lines = csv.lines();
+            if let Some(header) = lines.next() {
+                let cells: Vec<&str> = header.split(',').collect();
+                out.push_str(&format!("| {} |\n", cells.join(" | ")));
+                out.push_str(&format!("|{}\n", "---|".repeat(cells.len())));
+                for line in lines {
+                    out.push_str(&format!("| {} |\n", line.split(',').collect::<Vec<_>>().join(" | ")));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write one `<id>.csv` per table into `dir` (created if missing).
+    /// Returns the paths written.
+    pub fn write_csv_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (id, _, table) in &self.sections {
+            let path = dir.join(format!("{id}.csv"));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(table.to_csv().as_bytes())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        let mut t = TextTable::new(["a"]);
+        t.row(["1"]);
+        r.add("t1", "First table", t);
+        let mut t = TextTable::new(["b"]);
+        t.row(["2"]);
+        r.add("t2", "Second table", t);
+        r
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let s = sample().render();
+        assert!(s.contains("== First table [t1] =="));
+        assert!(s.contains("== Second table [t2] =="));
+    }
+
+    #[test]
+    fn csv_files_written() {
+        let dir = std::env::temp_dir().join(format!("wdm-report-{}", std::process::id()));
+        let paths = sample().write_csv_dir(&dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let content = std::fs::read_to_string(p).unwrap();
+            assert!(content.lines().count() >= 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn len_tracks_sections() {
+        assert_eq!(sample().len(), 2);
+        assert!(Report::new().is_empty());
+    }
+
+    #[test]
+    fn markdown_has_pipe_tables() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## First table"));
+        assert!(md.contains("| a |"));
+        assert!(md.contains("|---|"));
+        assert!(md.contains("| 1 |"));
+        assert!(md.contains("<!-- id: t2 -->"));
+    }
+}

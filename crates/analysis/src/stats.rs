@@ -1,0 +1,148 @@
+//! Descriptive statistics for experiment outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n−1` denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of middle pair for even sizes).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Coefficient of variation (`std_dev / mean`; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion (95% by default via
+/// `z = 1.96`) — the right interval for blocking probabilities, which sit
+/// near 0 where the normal approximation fails.
+///
+/// Returns `(low, high)`; `(0, 0)..(1, 1)` bounds always hold.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+        let s = Summary::of(&[1.0, 3.0]).unwrap();
+        assert!(s.cv() > 0.0);
+    }
+
+    #[test]
+    fn wilson_contains_the_point_estimate() {
+        let (lo, hi) = wilson_interval(15, 100, 1.96);
+        assert!(lo < 0.15 && 0.15 < hi);
+        assert!(lo > 0.08 && hi < 0.25);
+    }
+
+    #[test]
+    fn wilson_edges() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, _) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = wilson_interval(50, 50, 1.96);
+        assert_eq!(hi, 1.0);
+        // Zero successes still leaves an upper bound well below 1.
+        let (_, hi0) = wilson_interval(0, 1000, 1.96);
+        assert!(hi0 < 0.01);
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let (lo1, hi1) = wilson_interval(10, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(100, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Benchmarks for the bignum substrate: the capacity formulas lean on
+//! big multiplication, power, and division, so regressions here slow
+//! every sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bignum::BigUint;
+
+fn value_of_limbs(limbs: usize, salt: u64) -> BigUint {
+    BigUint::from_limbs(
+        (0..limbs as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + salt)).collect(),
+    )
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bignum/mul");
+    for limbs in [4usize, 16, 64, 256] {
+        let a = value_of_limbs(limbs, 1);
+        let b = value_of_limbs(limbs, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(&a) * black_box(&b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bignum/pow");
+    for exp in [64u64, 512, 4096] {
+        let base = BigUint::from(123_456_789u64);
+        g.bench_with_input(BenchmarkId::from_parameter(exp), &exp, |bench, &e| {
+            bench.iter(|| black_box(&base).pow(e));
+        });
+    }
+    g.finish();
+}
+
+fn bench_divrem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bignum/divrem");
+    for limbs in [8usize, 64, 256] {
+        let a = value_of_limbs(limbs, 3);
+        let b = value_of_limbs(limbs / 2, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| black_box(&a).divrem(black_box(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decimal(c: &mut Criterion) {
+    let x = BigUint::from(7u64).pow(5000);
+    c.bench_function("bignum/to_decimal_5000_digits", |b| {
+        b.iter(|| black_box(&x).to_decimal_string());
+    });
+}
+
+criterion_group!(benches, bench_mul, bench_pow, bench_divrem, bench_decimal);
+criterion_main!(benches);

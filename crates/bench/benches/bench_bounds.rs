@@ -1,0 +1,39 @@
+//! **§3.4 benchmark**: evaluation cost of the nonblocking bounds and the
+//! recursive cost model across large parameter ranges (used by the
+//! asymptotics sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wdm_core::MulticastModel;
+use wdm_multistage::{bounds, cost};
+
+fn bench_theorem_minimization(c: &mut Criterion) {
+    c.bench_function("bounds/theorem1_n1024_r1024", |b| {
+        b.iter(|| bounds::theorem1_min_m(black_box(1024), black_box(1024)))
+    });
+    c.bench_function("bounds/theorem2_n1024_r1024_k16", |b| {
+        b.iter(|| bounds::theorem2_min_m(black_box(1024), black_box(1024), black_box(16)))
+    });
+}
+
+fn bench_bound_sweep(c: &mut Criterion) {
+    c.bench_function("bounds/sweep_1024_geometries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in (2u32..=64).step_by(2) {
+                for r in (2u32..=64).step_by(2) {
+                    acc += bounds::theorem1_min_m(n, r).m as u64;
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_recursive_cost(c: &mut Criterion) {
+    c.bench_function("cost/recursive_depth3_N2^20", |b| {
+        b.iter(|| cost::recursive_crosspoints(black_box(1 << 20), 4, MulticastModel::Msw, 3))
+    });
+}
+
+criterion_group!(benches, bench_theorem_minimization, bench_bound_sweep, bench_recursive_cost);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Table 1 benchmark**: time to evaluate the exact capacity formulas
+//! (Lemmas 1–3) as `N` and `k` grow — the cost of regenerating Table 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::{capacity, MulticastModel, NetworkConfig};
+
+fn bench_full_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity/full");
+    for (n, k) in [(8u32, 2u32), (16, 4), (64, 8), (128, 8)] {
+        let net = NetworkConfig::new(n, k);
+        for model in MulticastModel::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(model.to_string(), format!("N{n}k{k}")),
+                &net,
+                |b, &net| b.iter(|| capacity::full_assignments(black_box(net), model)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_any_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity/any");
+    let net = NetworkConfig::new(32, 4);
+    for model in MulticastModel::ALL {
+        g.bench_function(model.to_string(), |b| {
+            b.iter(|| capacity::any_assignments(black_box(net), model))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stirling_heavy_msdw(c: &mut Criterion) {
+    // The MSDW capacity is the expensive one (Stirling convolutions).
+    c.bench_function("capacity/msdw_N128_k8", |b| {
+        let net = NetworkConfig::new(128, 8);
+        b.iter(|| capacity::full_assignments(black_box(net), MulticastModel::Msdw));
+    });
+}
+
+criterion_group!(benches, bench_full_capacity, bench_any_capacity, bench_stirling_heavy_msdw);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **Lemmas 1–3 benchmark**: brute-force enumeration cost — the practical
+//! ceiling on how large a network the exhaustive verification can cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::{enumerate, MulticastModel, NetworkConfig};
+
+fn bench_count_any(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerate/count_any");
+    g.sample_size(10);
+    for (n, k) in [(2u32, 2u32), (3, 2), (2, 3)] {
+        let net = NetworkConfig::new(n, k);
+        for model in MulticastModel::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(model.to_string(), format!("N{n}k{k}")),
+                &net,
+                |b, &net| b.iter(|| enumerate::count_any(net, model)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_valid_map_iteration(c: &mut Criterion) {
+    let net = NetworkConfig::new(2, 2);
+    c.bench_function("enumerate/materialize_all_maw_2x2x2", |b| {
+        b.iter(|| {
+            enumerate::valid_maps(net, MulticastModel::Maw, true)
+                .map(|m| m.to_assignment(MulticastModel::Maw).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_count_any, bench_valid_map_iteration);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! **Figs. 4–7 benchmark**: construction time, routing time, and signal
+//! propagation time of the crossbar fabrics at several sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_fabric::WdmCrossbar;
+use wdm_workload::AssignmentGen;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/build");
+    for (n, k) in [(4u32, 2u32), (8, 2), (16, 4)] {
+        let net = NetworkConfig::new(n, k);
+        for model in MulticastModel::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(model.to_string(), format!("N{n}k{k}")),
+                &net,
+                |b, &net| b.iter(|| WdmCrossbar::build(black_box(net), model)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric/route_full_assignment");
+    for (n, k) in [(4u32, 2u32), (8, 2), (16, 4)] {
+        let net = NetworkConfig::new(n, k);
+        for model in MulticastModel::ALL {
+            let mut xbar = WdmCrossbar::build(net, model);
+            let asg = AssignmentGen::new(net, model, 7).full_assignment();
+            g.bench_with_input(
+                BenchmarkId::new(model.to_string(), format!("N{n}k{k}")),
+                &asg,
+                |b, asg| {
+                    b.iter(|| xbar.route(black_box(asg)).expect("crossbar is nonblocking"))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let xbar = WdmCrossbar::build(NetworkConfig::new(16, 4), MulticastModel::Maw);
+    c.bench_function("fabric/census_N16k4_maw", |b| b.iter(|| black_box(&xbar).census()));
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    // One connect+disconnect cycle: the session touches only the delta's
+    // gates; batch routing reprograms the whole fabric.
+    use wdm_core::MulticastConnection;
+    use wdm_fabric::CrossbarSession;
+    let net = NetworkConfig::new(16, 4);
+    let model = MulticastModel::Maw;
+    // A random background may be full; free one slot deterministically by
+    // removing its first connection and re-adding a unicast slice of it.
+    let mut background = AssignmentGen::new(net, model, 9).any_assignment();
+    let victim = background.connections().next().unwrap().source();
+    let removed = background.remove(victim).unwrap();
+    let free_src = removed.source();
+    let free_dst = removed.destinations()[0];
+    let extra = MulticastConnection::unicast(free_src, free_dst);
+
+    let mut session = CrossbarSession::new(net, model);
+    for conn in background.connections() {
+        session.connect(conn.clone()).unwrap();
+    }
+    c.bench_function("fabric/incremental_connect_cycle_N16k4", |b| {
+        b.iter(|| {
+            session.connect(extra.clone()).unwrap();
+            session.disconnect(free_src).unwrap();
+        })
+    });
+
+    let mut xbar = WdmCrossbar::build(net, model);
+    let mut with_extra = background.clone();
+    with_extra.add(extra).unwrap();
+    c.bench_function("fabric/batch_reroute_cycle_N16k4", |b| {
+        b.iter(|| {
+            xbar.route(black_box(&with_extra)).unwrap();
+            xbar.route(black_box(&background)).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_route, bench_census, bench_incremental_vs_batch);
+criterion_main!(benches);

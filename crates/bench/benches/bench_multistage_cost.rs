@@ -1,0 +1,68 @@
+//! **Table 2 benchmark**: evaluation cost of the crossbar and multistage
+//! cost models over the Table 2 sweep, including the parallel-sweep path
+//! used by the `table2` generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wdm_analysis::parallel_map;
+use wdm_core::MulticastModel;
+use wdm_multistage::{cost, Construction, ThreeStageParams};
+
+fn bench_single_point(c: &mut Criterion) {
+    let p = ThreeStageParams::square(4096, 8);
+    c.bench_function("cost/three_stage_single_point", |b| {
+        b.iter(|| {
+            cost::three_stage_cost(black_box(p), Construction::MswDominant, MulticastModel::Maw)
+        })
+    });
+}
+
+fn bench_table2_sweep_serial(c: &mut Criterion) {
+    let points: Vec<(u32, u32)> = [16u32, 64, 256, 1024, 4096]
+        .iter()
+        .flat_map(|&n| [2u32, 4, 8].iter().map(move |&k| (n, k)))
+        .collect();
+    c.bench_function("cost/table2_sweep_serial", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|&(n, k)| {
+                    let p = ThreeStageParams::square(n, k);
+                    MulticastModel::ALL
+                        .iter()
+                        .map(|&m| {
+                            cost::three_stage_cost(p, Construction::MswDominant, m).crosspoints
+                        })
+                        .sum::<u64>()
+                })
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_table2_sweep_parallel(c: &mut Criterion) {
+    let points: Vec<(u32, u32)> = [16u32, 64, 256, 1024, 4096]
+        .iter()
+        .flat_map(|&n| [2u32, 4, 8].iter().map(move |&k| (n, k)))
+        .collect();
+    c.bench_function("cost/table2_sweep_parallel", |b| {
+        b.iter(|| {
+            parallel_map(points.clone(), |(n, k)| {
+                let p = ThreeStageParams::square(n, k);
+                MulticastModel::ALL
+                    .iter()
+                    .map(|&m| cost::three_stage_cost(p, Construction::MswDominant, m).crosspoints)
+                    .sum::<u64>()
+            })
+            .into_iter()
+            .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_point,
+    bench_table2_sweep_serial,
+    bench_table2_sweep_parallel
+);
+criterion_main!(benches);

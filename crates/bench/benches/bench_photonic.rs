@@ -1,0 +1,53 @@
+//! Photonic-composition benchmarks: netlist construction and light
+//! propagation for the Fig. 8 three-stage realization — the cost of the
+//! hardware-level verification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::MulticastModel;
+use wdm_multistage::{
+    bounds, Construction, PhotonicThreeStage, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_workload::AssignmentGen;
+
+fn sized(n: u32, r: u32, k: u32) -> ThreeStageParams {
+    ThreeStageParams::new(n, bounds::theorem1_min_m(n, r).m, r, k)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("photonic/build");
+    g.sample_size(10);
+    for (n, r, k) in [(2u32, 2u32, 2u32), (3, 3, 2), (4, 4, 2)] {
+        let p = sized(n, r, k);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}r{r}k{k}")), &p, |b, &p| {
+            b.iter(|| PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw))
+        });
+    }
+    g.finish();
+}
+
+fn bench_realize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("photonic/realize");
+    g.sample_size(10);
+    for (n, r, k) in [(2u32, 2u32, 2u32), (3, 3, 2), (4, 4, 2)] {
+        let p = sized(n, r, k);
+        let mut logical =
+            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let mut gen = AssignmentGen::new(p.network(), MulticastModel::Msw, 3);
+        for _ in 0..(n * r) {
+            if let Some(req) = gen.next_request(logical.assignment(), 3) {
+                let _ = logical.connect(req);
+            }
+        }
+        let mut photonic =
+            PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}r{r}k{k}")),
+            &(),
+            |b, _| b.iter(|| photonic.realize(&logical).expect("light follows the route")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_realize);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **Theorems 1–2 benchmark**: three-stage connect/disconnect throughput
+//! under both constructions at their nonblocking bounds — the cost of the
+//! paper's routing strategy (availability scan + ≤x-cover search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::MulticastModel;
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_workload::{RequestTrace, TraceEvent};
+
+fn churn_trace(p: ThreeStageParams, model: MulticastModel, steps: usize) -> RequestTrace {
+    RequestTrace::churn(p.network(), model, steps, 35, 99)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multistage/churn_200_steps");
+    for (n, r, k) in [(4u32, 4u32, 2u32), (8, 8, 2), (8, 8, 4)] {
+        for construction in [Construction::MswDominant, Construction::MawDominant] {
+            let m = match construction {
+                Construction::MswDominant => bounds::theorem1_min_m(n, r).m,
+                Construction::MawDominant => bounds::theorem2_min_m(n, r, k).m,
+            };
+            let p = ThreeStageParams::new(n, m, r, k);
+            let model = MulticastModel::Msw;
+            let trace = churn_trace(p, model, 200);
+            g.bench_with_input(
+                BenchmarkId::new(construction.to_string(), format!("n{n}r{r}k{k}")),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let mut net = ThreeStageNetwork::new(p, construction, model);
+                        trace
+                            .replay(|event| match event {
+                                TraceEvent::Connect(conn) => {
+                                    net.connect(conn.clone()).map(|_| ()).map_err(|e| e.to_string())
+                                }
+                                TraceEvent::Disconnect(src) => {
+                                    net.disconnect(*src).map(|_| ()).map_err(|e| e.to_string())
+                                }
+                            })
+                            .expect("nonblocking at the bound")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_single_connect(c: &mut Criterion) {
+    // Cost of one multicast connect on an otherwise loaded network.
+    let (n, r, k) = (8u32, 8u32, 2u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let model = MulticastModel::Msw;
+    let trace = churn_trace(p, model, 150);
+    let mut loaded = ThreeStageNetwork::new(p, Construction::MswDominant, model);
+    trace
+        .replay(|event| match event {
+            TraceEvent::Connect(conn) => {
+                loaded.connect(conn.clone()).map(|_| ()).map_err(|e| e.to_string())
+            }
+            TraceEvent::Disconnect(src) => {
+                loaded.disconnect(*src).map(|_| ()).map_err(|e| e.to_string())
+            }
+        })
+        .unwrap();
+    // Free one slot deterministically (the churn may have saturated the
+    // sources) and re-route that connection repeatedly.
+    let victim = loaded
+        .assignment()
+        .connections()
+        .next()
+        .expect("churn leaves at least one live connection")
+        .clone();
+    let src = victim.source();
+    loaded.disconnect(src).unwrap();
+    c.bench_function("multistage/single_connect_loaded_n8r8k2", |b| {
+        b.iter(|| {
+            loaded.connect(victim.clone()).expect("nonblocking at the bound");
+            loaded.disconnect(src).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_churn, bench_single_connect);
+criterion_main!(benches);

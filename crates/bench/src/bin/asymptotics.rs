@@ -1,0 +1,85 @@
+//! Regenerates the **§3.4 asymptotics**: growth of the middle-stage count
+//! `m` (exact Theorem 1 optimum vs the `3(n−1)·log r/log log r` closed
+//! form) and of the multistage crosspoint total
+//! `O(k·N^{3/2}·log N/log log N)` against the crossbar's `k·N²`,
+//! for `N` up to `2^20`.
+
+use wdm_analysis::{parallel_map, Report, TextTable};
+use wdm_bench::experiments_dir;
+use wdm_core::MulticastModel;
+use wdm_multistage::{bounds, cost};
+
+fn main() {
+    let mut report = Report::new();
+
+    // ---- m growth with r (n = r = √N) ----
+    let sides: Vec<u32> = (2..=10).map(|e| 1u32 << e).collect(); // 4..1024
+    let rows = parallel_map(sides.clone(), |side| {
+        let exact = bounds::theorem1_min_m(side, side);
+        let closed = bounds::section34_m(side, side);
+        let x34 = bounds::section34_x(side);
+        (side, exact, closed, x34)
+    });
+    let mut t = TextTable::new([
+        "n=r", "N", "m exact (Thm 1)", "optimal x", "m closed form (§3.4)", "x = 2logr/loglogr",
+        "m/n",
+    ]);
+    for (side, exact, closed, x34) in rows {
+        t.row([
+            side.to_string(),
+            (side as u64 * side as u64).to_string(),
+            exact.m.to_string(),
+            exact.x.to_string(),
+            format!("{closed:.1}"),
+            format!("{x34:.2}"),
+            format!("{:.2}", exact.m as f64 / side as f64),
+        ]);
+    }
+    report.add("asymptotics_m", "§3.4 — middle-stage count growth", t);
+
+    // ---- Crosspoint growth: crossbar vs 3-stage vs 5-stage ----
+    let ns: Vec<u64> = vec![256, 1024, 4096, 16384, 65536, 1 << 20];
+    let k = 4u64;
+    let rows = parallel_map(ns, |n| {
+        let cb = cost::crossbar_cost(n, k, MulticastModel::Msw).crosspoints;
+        let s3 = cost::recursive_crosspoints(n, k, MulticastModel::Msw, 1);
+        let s5 = cost::recursive_crosspoints(n, k, MulticastModel::Msw, 2);
+        (n, cb, s3, s5)
+    });
+    let mut t = TextTable::new([
+        "N", "crossbar kN^2", "3-stage", "5-stage", "3-stage/CB", "normalized 3-stage (/kN^1.5·logN/loglogN)",
+    ]);
+    for (n, cb, s3, s5) in rows {
+        let nf = n as f64;
+        let norm = s3 as f64 / (k as f64 * nf.powf(1.5) * nf.ln() / nf.ln().ln());
+        t.row([
+            n.to_string(),
+            cb.to_string(),
+            s3.to_string(),
+            s5.to_string(),
+            format!("{:.4}", s3 as f64 / cb as f64),
+            format!("{norm:.3}"),
+        ]);
+    }
+    report.add("asymptotics_crosspoints", "§3.4 — crosspoint growth (MSW, k=4)", t);
+
+    report.print();
+
+    // Figure-like view: the flatness of the normalized 3-stage cost IS
+    // the §3.4 claim.
+    let norms: Vec<f64> = vec![256u64, 1024, 4096, 16384, 65536, 1 << 20]
+        .into_iter()
+        .map(|n| {
+            let s3 = cost::recursive_crosspoints(n, k, MulticastModel::Msw, 1);
+            let nf = n as f64;
+            s3 as f64 / (k as f64 * nf.powf(1.5) * nf.ln() / nf.ln().ln())
+        })
+        .collect();
+    println!(
+        "normalized 3-stage crosspoints over N = 2^8..2^20: {}  (flat ⇒ Θ(kN^1.5·logN/loglogN))\n",
+        wdm_analysis::sparkline(&norms)
+    );
+
+    let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
+    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+}

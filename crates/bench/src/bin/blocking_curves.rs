@@ -1,0 +1,96 @@
+//! Blocking-probability curves — the teletraffic view of Theorems 1–2.
+//!
+//! The paper's bounds are worst-case; this experiment shows the *average*
+//! case: Poisson/exponential dynamic traffic offered to three-stage
+//! networks with the middle-stage count swept from starved to the
+//! Theorem 1 bound. Blocking probability (with 95% Wilson intervals)
+//! falls with `m` and is pinned to zero at the bound, and the crossover
+//! load where a given `m` starts blocking shifts right as `m` grows.
+
+use wdm_analysis::{parallel_map, wilson_interval, Report, TextTable};
+use wdm_bench::experiments_dir;
+use wdm_core::MulticastModel;
+use wdm_multistage::{bounds, Construction, RouteError, ThreeStageNetwork, ThreeStageParams};
+use wdm_workload::{DynamicTraffic, TraceEvent};
+
+struct Point {
+    m: u32,
+    load: f64,
+    attempts: u64,
+    blocked: u64,
+}
+
+fn run_point(n: u32, r: u32, k: u32, m: u32, load: f64, seed: u64) -> Point {
+    let p = ThreeStageParams::new(n, m, r, k);
+    let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+    let mut traffic =
+        DynamicTraffic::new(p.network(), MulticastModel::Msw, load, 1.0, 3, seed);
+    let (mut attempts, mut blocked) = (0u64, 0u64);
+    for timed in traffic.generate(400.0) {
+        match timed.event {
+            TraceEvent::Connect(conn) => {
+                attempts += 1;
+                match net.connect(conn) {
+                    Ok(_) => {}
+                    Err(RouteError::Blocked { .. }) => blocked += 1,
+                    Err(e) => panic!("illegal trace event: {e}"),
+                }
+            }
+            TraceEvent::Disconnect(src) => {
+                // A blocked connection has nothing to release.
+                let _ = net.disconnect(src);
+            }
+        }
+    }
+    Point { m, load, attempts, blocked }
+}
+
+fn main() {
+    let mut report = Report::new();
+    let (n, r, k) = (4u32, 4u32, 2u32);
+    let bound = bounds::theorem1_min_m(n, r);
+
+    let ms = [2u32, 3, 4, 6, bound.m];
+    let loads = [1.0f64, 2.0, 4.0, 8.0, 16.0];
+    let grid: Vec<(u32, f64)> =
+        ms.iter().flat_map(|&m| loads.iter().map(move |&l| (m, l))).collect();
+    let points = parallel_map(grid, |(m, load)| run_point(n, r, k, m, load, 0xB10C));
+
+    let mut t = TextTable::new([
+        "m", "offered load (Erl)", "attempts", "blocked", "P(block)", "95% CI",
+    ]);
+    for Point { m, load, attempts, blocked } in points {
+        let p = blocked as f64 / attempts.max(1) as f64;
+        let (lo, hi) = wilson_interval(blocked, attempts, 1.96);
+        t.row([
+            m.to_string(),
+            format!("{load:.1}"),
+            attempts.to_string(),
+            blocked.to_string(),
+            format!("{p:.4}"),
+            format!("[{lo:.4}, {hi:.4}]"),
+        ]);
+    }
+    report.add(
+        "blocking_curves",
+        format!("Blocking probability vs load (n=r={n}, k={k}; Thm 1 bound m={})", bound.m),
+        t,
+    );
+
+    report.print();
+
+    // A figure-like view: blocking probability per m at the heaviest load.
+    let heavy = *loads.last().unwrap();
+    let mut chart = wdm_analysis::BarChart::new(
+        format!("P(block) at offered load {heavy:.0} Erl (bars scaled to max)"),
+        40,
+    );
+    for &m in &ms {
+        let p = run_point(n, r, k, m, heavy, 0xB10C);
+        chart.bar(format!("m={m:>2}"), p.blocked as f64 / p.attempts.max(1) as f64);
+    }
+    println!("{chart}");
+
+    let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
+    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+}

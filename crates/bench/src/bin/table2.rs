@@ -1,0 +1,116 @@
+//! Regenerates **Table 2** of the paper: crosspoints and converters of the
+//! crossbar (CB) versus the MSW-dominant multistage (MS) design, for each
+//! multicast model, across a sweep of network sizes — including the
+//! crossover point where the multistage construction starts winning.
+
+use wdm_analysis::{parallel_map, Report, TextTable};
+use wdm_bench::experiments_dir;
+use wdm_core::MulticastModel;
+use wdm_multistage::{bounds, cost, Construction, ThreeStageParams};
+
+fn main() {
+    let mut report = Report::new();
+
+    // ---- Table 2 proper (asymptotic, paper layout) ----
+    let mut symbolic = TextTable::new(["design", "crosspoints", "converters"]);
+    symbolic.row(["MSW/CB", "kN^2", "0"]);
+    symbolic.row(["MSW/MS", "O(kN^1.5 · logN/loglogN)", "0"]);
+    symbolic.row(["MSDW/CB", "k^2·N^2", "kN"]);
+    symbolic.row(["MSDW/MS", "O(k^2·N^1.5 · logN/loglogN)", "O(kN · logN/loglogN)"]);
+    symbolic.row(["MAW/CB", "k^2·N^2", "kN"]);
+    symbolic.row(["MAW/MS", "O(k^2·N^1.5 · logN/loglogN)", "kN"]);
+    report.add("table2_symbolic", "Table 2 — symbolic (paper layout)", symbolic);
+
+    // ---- Evaluated: square decompositions over perfect-square N ----
+    let sizes: Vec<u32> = vec![16, 64, 256, 1024, 4096, 16384];
+    let ks = [2u32, 4, 8];
+    let rows = parallel_map(
+        sizes.iter().flat_map(|&n| ks.iter().map(move |&k| (n, k))).collect::<Vec<_>>(),
+        |(n, k)| {
+            let p = ThreeStageParams::square(n, k);
+            let per_model: Vec<(u64, u64, u64, u64)> = MulticastModel::ALL
+                .iter()
+                .map(|&model| {
+                    let cb = cost::crossbar_cost(n as u64, k as u64, model);
+                    let ms = cost::three_stage_cost(p, Construction::MswDominant, model);
+                    (cb.crosspoints, ms.crosspoints, cb.converters, ms.converters)
+                })
+                .collect();
+            (n, k, p.m, per_model)
+        },
+    );
+    let mut eval = TextTable::new([
+        "N", "k", "m", "model", "CB crosspoints", "MS crosspoints", "MS/CB", "CB conv",
+        "MS conv",
+    ]);
+    for (n, k, m, per_model) in rows {
+        for (i, model) in MulticastModel::ALL.iter().enumerate() {
+            let (cb_x, ms_x, cb_c, ms_c) = per_model[i];
+            eval.row([
+                n.to_string(),
+                k.to_string(),
+                m.to_string(),
+                model.to_string(),
+                cb_x.to_string(),
+                ms_x.to_string(),
+                format!("{:.3}", ms_x as f64 / cb_x as f64),
+                cb_c.to_string(),
+                ms_c.to_string(),
+            ]);
+        }
+    }
+    report.add("table2_evaluated", "Table 2 — evaluated (MSW-dominant, n=r=√N)", eval);
+
+    // ---- Crossover: smallest square N where MS beats CB per model ----
+    let mut crossover = TextTable::new(["model", "k", "crossover N (MS < CB)"]);
+    for model in MulticastModel::ALL {
+        for k in ks {
+            let n_star = (2u32..=9)
+                .map(|e| (2u32.pow(e)) * (2u32.pow(e))) // N = 4^e
+                .find(|&n| {
+                    let p = ThreeStageParams::square(n, k);
+                    let ms = cost::three_stage_cost(p, Construction::MswDominant, model);
+                    ms.crosspoints < cost::crossbar_cost(n as u64, k as u64, model).crosspoints
+                });
+            crossover.row([
+                model.to_string(),
+                k.to_string(),
+                n_star.map_or("beyond sweep".into(), |n| n.to_string()),
+            ]);
+        }
+    }
+    report.add("table2_crossover", "Multistage/crossbar crossover sizes", crossover);
+
+    // ---- MSW- vs MAW-dominant comparison (§3.4 conclusion) ----
+    let mut dom = TextTable::new([
+        "N", "k", "model", "MSW-dom crosspoints", "MAW-dom crosspoints", "MSW-dom m (Thm1)",
+        "MAW-dom m (Thm2)",
+    ]);
+    for &n in &[64u32, 1024] {
+        for &k in &[2u32, 8] {
+            let side = (n as f64).sqrt() as u32;
+            let m1 = bounds::theorem1_min_m(side, side).m;
+            let m2 = bounds::theorem2_min_m(side, side, k).m;
+            for model in MulticastModel::ALL {
+                let p1 = ThreeStageParams::new(side, m1, side, k);
+                let p2 = ThreeStageParams::new(side, m2, side, k);
+                let c1 = cost::three_stage_cost(p1, Construction::MswDominant, model);
+                let c2 = cost::three_stage_cost(p2, Construction::MawDominant, model);
+                dom.row([
+                    n.to_string(),
+                    k.to_string(),
+                    model.to_string(),
+                    c1.crosspoints.to_string(),
+                    c2.crosspoints.to_string(),
+                    m1.to_string(),
+                    m2.to_string(),
+                ]);
+            }
+        }
+    }
+    report.add("table2_constructions", "MSW-dominant vs MAW-dominant cost", dom);
+
+    report.print();
+    let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
+    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+}

@@ -1,0 +1,291 @@
+//! Signed arbitrary-precision integer (sign–magnitude over [`BigUint`]).
+//!
+//! The capacity formulas themselves are nonnegative, but intermediate
+//! quantities in the multistage cost optimization (e.g. differences of
+//! bounds when locating crossover points) are signed.
+
+use crate::BigUint;
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// The value zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// ```
+/// use wdm_bignum::{BigInt, BigUint};
+/// let a = BigInt::from(5i64) - BigInt::from(9i64);
+/// assert_eq!(a.to_string(), "-4");
+/// assert_eq!((&a * &a).to_string(), "16");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// Construct from a sign and magnitude (sign is corrected for zero).
+    pub fn from_sign_magnitude(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Convert to a [`BigUint`] if nonnegative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Negative => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_magnitude(Sign::Positive, mag)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Less => {
+                BigInt::from_sign_magnitude(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                BigInt::from_sign_magnitude(Sign::Positive, BigUint::from(v as u64))
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_sign_magnitude(Sign::Positive, BigUint::from(v))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_magnitude(a, &self.mag + &rhs.mag),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => {
+                        BigInt::from_sign_magnitude(self.sign, &self.mag - &rhs.mag)
+                    }
+                    Ordering::Less => BigInt::from_sign_magnitude(rhs.sign, &rhs.mag - &self.mag),
+                }
+            }
+        }
+    }
+}
+
+impl Add<BigInt> for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Sub<BigInt> for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::from_sign_magnitude(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl Mul<BigInt> for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Negative => other.mag.cmp(&self.mag),
+                _ => self.mag.cmp(&other.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(self.sign != Sign::Negative, "", &self.mag.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_correction_for_zero_magnitude() {
+        let z = BigInt::from_sign_magnitude(Sign::Negative, BigUint::zero());
+        assert!(z.is_zero());
+        assert_eq!(z.sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn mixed_sign_addition() {
+        let a = BigInt::from(10i64);
+        let b = BigInt::from(-3i64);
+        assert_eq!(&a + &b, BigInt::from(7i64));
+        assert_eq!(&b + &a, BigInt::from(7i64));
+        assert_eq!(&a + &BigInt::from(-10i64), BigInt::zero());
+        assert_eq!(&b + &BigInt::from(-4i64), BigInt::from(-7i64));
+    }
+
+    #[test]
+    fn subtraction_crossing_zero() {
+        let a = BigInt::from(5i64) - BigInt::from(9i64);
+        assert_eq!(a, BigInt::from(-4i64));
+        assert!(a.is_negative());
+        assert_eq!(a.to_biguint(), None);
+    }
+
+    #[test]
+    fn multiplication_signs() {
+        assert_eq!(BigInt::from(-3i64) * BigInt::from(-4i64), BigInt::from(12i64));
+        assert_eq!(BigInt::from(-3i64) * BigInt::from(4i64), BigInt::from(-12i64));
+        assert!((BigInt::from(-3i64) * BigInt::zero()).is_zero());
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        let mut v = vec![
+            BigInt::from(3i64),
+            BigInt::from(-7i64),
+            BigInt::zero(),
+            BigInt::from(-2i64),
+            BigInt::from(11i64),
+        ];
+        v.sort();
+        let rendered: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        assert_eq!(rendered, ["-7", "-2", "0", "3", "11"]);
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(BigInt::from(-42i64).to_string(), "-42");
+    }
+}

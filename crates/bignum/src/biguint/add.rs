@@ -1,0 +1,174 @@
+//! Addition.
+
+use super::BigUint;
+use core::ops::{Add, AddAssign};
+
+/// Add `b` into `a` in place; `a` and `b` are little-endian limb slices.
+pub(crate) fn add_assign_limbs(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut carry = false;
+    for (i, &bl) in b.iter().enumerate() {
+        let (s1, c1) = a[i].overflowing_add(bl);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        a[i] = s2;
+        carry = c1 || c2;
+    }
+    // Propagate the carry through the rest of `a`.
+    let mut i = b.len();
+    while carry && i < a.len() {
+        let (s, c) = a[i].overflowing_add(1);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+    if carry {
+        a.push(1);
+    }
+}
+
+impl BigUint {
+    /// `self += rhs` where `rhs` is a primitive limb.
+    pub fn add_u64(&mut self, rhs: u64) {
+        add_assign_limbs(&mut self.limbs, &[rhs]);
+        self.normalize();
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        add_assign_limbs(&mut self.limbs, &rhs.limbs);
+        debug_assert!(self.is_normalized());
+    }
+}
+
+impl AddAssign<BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: BigUint) {
+        *self += &rhs;
+    }
+}
+
+impl AddAssign<u64> for BigUint {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add_u64(rhs);
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        // Clone the longer operand so the in-place add never reallocates
+        // more than once.
+        if self.limbs.len() >= rhs.limbs.len() {
+            let mut out = self.clone();
+            out += rhs;
+            out
+        } else {
+            let mut out = rhs.clone();
+            out += self;
+            out
+        }
+    }
+}
+
+impl Add<BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self += &rhs;
+        self
+    }
+}
+
+impl Add<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: &BigUint) -> BigUint {
+        self += rhs;
+        self
+    }
+}
+
+impl Add<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, mut rhs: BigUint) -> BigUint {
+        rhs += self;
+        rhs
+    }
+}
+
+impl Add<u64> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: u64) -> BigUint {
+        self.add_u64(rhs);
+        self
+    }
+}
+
+impl Add<u64> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: u64) -> BigUint {
+        let mut out = self.clone();
+        out.add_u64(rhs);
+        out
+    }
+}
+
+impl core::iter::Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> BigUint {
+        let mut acc = BigUint::zero();
+        for x in iter {
+            acc += &x;
+        }
+        acc
+    }
+}
+
+impl<'a> core::iter::Sum<&'a BigUint> for BigUint {
+    fn sum<I: Iterator<Item = &'a BigUint>>(iter: I) -> BigUint {
+        let mut acc = BigUint::zero();
+        for x in iter {
+            acc += x;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_chain_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = &a + 1u64;
+        assert_eq!(b.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = BigUint::from(123u64);
+        assert_eq!(&a + &BigUint::zero(), a);
+        assert_eq!(&BigUint::zero() + &a, a);
+    }
+
+    #[test]
+    fn long_carry_propagation() {
+        // 2^192 - 1 plus one carries through three limbs.
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX, u64::MAX]);
+        let b = &a + 1u64;
+        assert_eq!(b.limbs(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1u64..=100).map(BigUint::from).sum();
+        assert_eq!(total, BigUint::from(5050u64));
+    }
+
+    #[test]
+    fn add_assign_limbs_grows_short_lhs() {
+        let mut a = vec![5];
+        add_assign_limbs(&mut a, &[1, 2, 3]);
+        assert_eq!(a, vec![6, 2, 3]);
+    }
+}

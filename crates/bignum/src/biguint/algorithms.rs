@@ -1,0 +1,169 @@
+//! Higher-level integer algorithms: gcd/lcm, integer square root, and
+//! byte-level serialization.
+
+use super::BigUint;
+
+impl BigUint {
+    /// Greatest common divisor (binary GCD — Stein's algorithm, which
+    /// avoids the expensive long division of the Euclidean form).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let shift_a = a.trailing_zeros().expect("a is nonzero");
+        let shift_b = b.trailing_zeros().expect("b is nonzero");
+        let common = shift_a.min(shift_b);
+        a >>= shift_a;
+        b >>= shift_b;
+        // Invariant: both odd.
+        while a != b {
+            if a < b {
+                core::mem::swap(&mut a, &mut b);
+            }
+            a -= &b;
+            if a.is_zero() {
+                break;
+            }
+            a >>= a.trailing_zeros().expect("difference of distinct odds is nonzero");
+        }
+        (if a.is_zero() { b } else { a }) << common
+    }
+
+    /// Least common multiple (`0` if either operand is zero).
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        (self / &g) * other
+    }
+
+    /// Integer square root: the largest `s` with `s² ≤ self` (Newton's
+    /// method with an exact final check).
+    pub fn isqrt(&self) -> BigUint {
+        if self < &BigUint::from(2u64) {
+            return self.clone();
+        }
+        // Initial guess: 2^(ceil(bits/2)) ≥ √self.
+        let mut x = BigUint::one() << self.bit_len().div_ceil(2);
+        loop {
+            // x_{n+1} = (x + self/x) / 2
+            let next = (&x + &(self / &x)) >> 1;
+            if next >= x {
+                break;
+            }
+            x = next;
+        }
+        debug_assert!(&x * &x <= *self);
+        debug_assert!(&(&x + 1u64) * &(&x + 1u64) > *self);
+        x
+    }
+
+    /// `true` iff the value is a perfect square.
+    pub fn is_perfect_square(&self) -> bool {
+        let s = self.isqrt();
+        &s * &s == *self
+    }
+
+    /// Serialize as big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                // Top limb: strip leading zero bytes.
+                let be = limb.to_be_bytes();
+                let skip = (limb.leading_zeros() / 8) as usize;
+                buf.put_slice(&be[skip.min(7)..]);
+            } else {
+                buf.put_u64(limb);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parse big-endian bytes (inverse of [`to_bytes_be`](Self::to_bytes_be);
+    /// leading zero bytes are accepted and ignored).
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_small_cases() {
+        let g = BigUint::from(48u64).gcd(&BigUint::from(36u64));
+        assert_eq!(g, BigUint::from(12u64));
+        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u64)), BigUint::from(5u64));
+        assert_eq!(BigUint::from(5u64).gcd(&BigUint::zero()), BigUint::from(5u64));
+        assert!(BigUint::from(17u64).gcd(&BigUint::from(13u64)).is_one());
+    }
+
+    #[test]
+    fn gcd_large_common_factor() {
+        let f = BigUint::from(10u64).pow(40);
+        let a = &f * 21u64;
+        let b = &f * 35u64;
+        assert_eq!(a.gcd(&b), f * 7u64);
+    }
+
+    #[test]
+    fn lcm_relation() {
+        // gcd·lcm = a·b.
+        for (a, b) in [(12u64, 18u64), (7, 13), (100, 250), (1, 999)] {
+            let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+            assert_eq!(ba.gcd(&bb) * ba.lcm(&bb), &ba * &bb, "{a},{b}");
+        }
+        assert!(BigUint::zero().lcm(&BigUint::from(5u64)).is_zero());
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        for v in 0u64..200 {
+            let s = BigUint::from(v).isqrt().to_u64().unwrap();
+            assert!(s * s <= v && (s + 1) * (s + 1) > v, "isqrt({v}) = {s}");
+        }
+        // A huge perfect square.
+        let root = BigUint::from(3u64).pow(100);
+        let sq = root.square();
+        assert_eq!(sq.isqrt(), root);
+        assert!(sq.is_perfect_square());
+        assert!(!(sq + 1u64).is_perfect_square());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for v in [0u128, 1, 255, 256, u64::MAX as u128, u128::MAX] {
+            let x = BigUint::from(v);
+            let bytes = x.to_bytes_be();
+            assert_eq!(BigUint::from_bytes_be(&bytes), x, "{v}");
+        }
+        // Multi-limb roundtrip.
+        let x = BigUint::from(7u64).pow(500);
+        assert_eq!(BigUint::from_bytes_be(&x.to_bytes_be()), x);
+    }
+
+    #[test]
+    fn bytes_are_minimal_big_endian() {
+        assert_eq!(&BigUint::from(0x1234u64).to_bytes_be()[..], &[0x12, 0x34]);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+        // Leading zeros accepted on parse.
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0x12, 0x34]), BigUint::from(0x1234u64));
+    }
+}

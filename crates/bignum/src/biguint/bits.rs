@@ -1,0 +1,125 @@
+//! Bitwise queries and operations.
+
+use super::BigUint;
+use core::ops::{BitAnd, BitOr, BitXor};
+
+impl BigUint {
+    /// Value of bit `i` (LSB is bit 0).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            Some(&l) => (l >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Set bit `i` to `value`.
+    pub fn set_bit(&mut self, i: u64, value: bool) {
+        let limb = (i / 64) as usize;
+        let mask = 1u64 << (i % 64);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= mask;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !mask;
+            self.normalize();
+        }
+    }
+
+    /// Number of one-bits (population count).
+    pub fn count_ones(&self) -> u64 {
+        self.limbs.iter().map(|l| l.count_ones() as u64).sum()
+    }
+
+    /// Number of trailing zero bits, or `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        self.limbs.iter().position(|&l| l != 0).map(|i| {
+            i as u64 * 64 + self.limbs[i].trailing_zeros() as u64
+        })
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+}
+
+macro_rules! bit_op {
+    ($trait:ident, $method:ident, $op:tt, $len:ident) => {
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                let n = self.limbs.len().$len(rhs.limbs.len());
+                let limbs = (0..n)
+                    .map(|i| {
+                        self.limbs.get(i).copied().unwrap_or(0)
+                            $op rhs.limbs.get(i).copied().unwrap_or(0)
+                    })
+                    .collect();
+                BigUint::from_limbs(limbs)
+            }
+        }
+
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+bit_op!(BitAnd, bitand, &, min);
+bit_op!(BitOr, bitor, |, max);
+bit_op!(BitXor, bitxor, ^, max);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut x = BigUint::zero();
+        x.set_bit(130, true);
+        assert!(x.bit(130));
+        assert!(!x.bit(129));
+        assert_eq!(x, BigUint::one() << 130u64);
+        x.set_bit(130, false);
+        assert!(x.is_zero());
+        assert!(x.is_normalized());
+    }
+
+    #[test]
+    fn count_ones_and_trailing_zeros() {
+        let x = (BigUint::one() << 100u64) | (BigUint::one() << 3u64);
+        assert_eq!(x.count_ones(), 2);
+        assert_eq!(x.trailing_zeros(), Some(3));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::from(7u64).is_even());
+        assert!(BigUint::from(8u64).is_even());
+    }
+
+    #[test]
+    fn and_or_xor_against_primitives() {
+        let a = BigUint::from(0b1100u64);
+        let b = BigUint::from(0b1010u64);
+        assert_eq!(&a & &b, BigUint::from(0b1000u64));
+        assert_eq!(&a | &b, BigUint::from(0b1110u64));
+        assert_eq!(&a ^ &b, BigUint::from(0b0110u64));
+    }
+
+    #[test]
+    fn xor_self_is_zero_normalized() {
+        let a = BigUint::from_limbs(vec![3, 4, 5]);
+        let z = &a ^ &a;
+        assert!(z.is_zero());
+        assert!(z.is_normalized());
+    }
+}

@@ -1,0 +1,78 @@
+//! Ordering.
+
+use super::BigUint;
+use core::cmp::Ordering;
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Normal form guarantees longer == larger.
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for BigUint {
+    fn eq(&self, other: &u64) -> bool {
+        match (self.limbs.len(), *other) {
+            (0, 0) => true,
+            (1, v) => self.limbs[0] == v,
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd<u64> for BigUint {
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        Some(match self.limbs.len() {
+            0 => 0u64.cmp(other),
+            1 => self.limbs[0].cmp(other),
+            _ => Ordering::Greater,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_length_then_lexicographic() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::from_limbs(vec![0, 1]);
+        assert!(small < big);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn equal_lengths_compare_msb_first() {
+        let a = BigUint::from_limbs(vec![5, 7]);
+        let b = BigUint::from_limbs(vec![9, 6]);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn compare_with_primitive() {
+        let a = BigUint::from(42u64);
+        assert_eq!(a, 42u64);
+        assert!(a > 41u64);
+        assert!(a < 43u64);
+        assert!(BigUint::from_limbs(vec![0, 1]) > u64::MAX);
+        assert_eq!(BigUint::zero(), 0u64);
+    }
+}

@@ -1,0 +1,201 @@
+//! Conversions between `BigUint`, primitives, and decimal strings.
+
+use super::BigUint;
+use core::fmt;
+use core::str::FromStr;
+
+/// Error parsing a decimal string into a [`BigUint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid decimal digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from_limbs(vec![v as u64])
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl BigUint {
+    /// Convert to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Convert to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Approximate value as `f64` (`f64::INFINITY` on overflow).
+    ///
+    /// Used only for reporting ratios and asymptotic plots, never for the
+    /// exact capacity results.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 1.8446744073709552e19 + l as f64;
+            if v.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        v
+    }
+
+    /// Base-10 logarithm as `f64` (`-inf` for zero), accurate enough for
+    /// plots even when the value itself overflows `f64`.
+    pub fn log10(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log10(),
+            n => {
+                // Take the top two limbs for the mantissa.
+                let hi = self.limbs[n - 1] as f64;
+                let lo = self.limbs[n - 2] as f64;
+                let mant = hi * 1.8446744073709552e19 + lo;
+                mant.log10() + 64.0 * (n - 2) as f64 * std::f64::consts::LOG10_2
+            }
+        }
+    }
+
+    /// Number of decimal digits (1 for zero).
+    pub fn digit_count(&self) -> usize {
+        if self.is_zero() {
+            return 1;
+        }
+        self.to_decimal_string().len()
+    }
+
+    /// Render as a decimal string (same as `Display`).
+    pub fn to_decimal_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel 9 digits at a time with a u64 divisor.
+        const CHUNK: u64 = 1_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divrem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        s
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix('+').unwrap_or(s);
+        // Allow `_` separators as Rust literals do.
+        let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
+        if digits.is_empty() {
+            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut out = BigUint::zero();
+        for &c in &digits {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            out = out.mul_u64(10);
+            out.add_u64(d as u64);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        assert_eq!(BigUint::from(0u64).to_u64(), Some(0));
+        assert_eq!(BigUint::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(BigUint::from(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!((BigUint::from(u128::MAX) + 1u64).to_u128(), None);
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let x: BigUint = s.parse().unwrap();
+        assert_eq!(x.to_decimal_string(), s);
+    }
+
+    #[test]
+    fn parse_with_separators_and_plus() {
+        let x: BigUint = "+1_000_000".parse().unwrap();
+        assert_eq!(x, BigUint::from(1_000_000u64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a3".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn to_f64_and_log10() {
+        let x = BigUint::from(1_000_000u64);
+        assert!((x.to_f64() - 1e6).abs() < 1e-3);
+        assert!((x.log10() - 6.0).abs() < 1e-9);
+        // 2^10000 overflows f64 but log10 still works.
+        let huge = BigUint::from(2u64).pow(10_000);
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+        let expect = 10_000.0 * std::f64::consts::LOG10_2;
+        assert!((huge.log10() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn digit_count() {
+        assert_eq!(BigUint::zero().digit_count(), 1);
+        assert_eq!(BigUint::from(999u64).digit_count(), 3);
+        assert_eq!(BigUint::from(1000u64).digit_count(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Division and remainder — Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+
+use super::BigUint;
+use core::ops::{Div, DivAssign, Rem, RemAssign};
+
+impl BigUint {
+    /// Quotient and remainder dividing by a primitive limb.
+    ///
+    /// Panics if `rhs == 0`.
+    pub fn divrem_u64(&self, rhs: u64) -> (BigUint, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            quot[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        (BigUint::from_limbs(quot), rem as u64)
+    }
+
+    /// Quotient and remainder: `(self / rhs, self % rhs)`.
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divrem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(rhs.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        divrem_knuth(self, rhs)
+    }
+
+    /// `true` iff `self` is divisible by `rhs`.
+    pub fn is_multiple_of(&self, rhs: &BigUint) -> bool {
+        self.divrem(rhs).1.is_zero()
+    }
+}
+
+/// Algorithm D. Requires `rhs.limbs.len() >= 2` and `self >= rhs`.
+fn divrem_knuth(lhs: &BigUint, rhs: &BigUint) -> (BigUint, BigUint) {
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = rhs.limbs.last().unwrap().leading_zeros() as u64;
+    let u = lhs << shift; // dividend
+    let v = rhs << shift; // divisor
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // Working copy of the dividend with one extra high limb.
+    let mut un = u.limbs.clone();
+    un.push(0);
+    let vn = &v.limbs;
+    let v_hi = vn[n - 1];
+    let v_lo = vn[n - 2];
+
+    let mut q = vec![0u64; m + 1];
+
+    // D2–D7: main loop, producing one quotient limb per iteration.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend limbs.
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / v_hi as u128;
+        let mut rhat = top % v_hi as u128;
+        // Refine: q̂ can be at most 2 too large.
+        while qhat >> 64 != 0
+            || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v_hi as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract `q̂ · v` from the current window.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[j + i] as i128 - (p as u64) as i128 + borrow;
+            un[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = un[j + n] as i128 - carry as i128 + borrow;
+        un[j + n] = t as u64;
+
+        // D5–D6: if we subtracted too much (q̂ was one too big), add back.
+        if t < 0 {
+            qhat -= 1;
+            let mut carry = false;
+            for i in 0..n {
+                let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(carry as u64);
+                un[j + i] = s2;
+                carry = c1 || c2;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    let rem = BigUint::from_limbs(un) >> shift;
+    (BigUint::from_limbs(q), rem)
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).0
+    }
+}
+
+impl Div<BigUint> for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: BigUint) -> BigUint {
+        self.divrem(&rhs).0
+    }
+}
+
+impl Div<u64> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: u64) -> BigUint {
+        self.divrem_u64(rhs).0
+    }
+}
+
+impl Div<u64> for BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: u64) -> BigUint {
+        self.divrem_u64(rhs).0
+    }
+}
+
+impl DivAssign<&BigUint> for BigUint {
+    fn div_assign(&mut self, rhs: &BigUint) {
+        *self = self.divrem(rhs).0;
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).1
+    }
+}
+
+impl Rem<BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: BigUint) -> BigUint {
+        self.divrem(&rhs).1
+    }
+}
+
+impl Rem<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).1
+    }
+}
+
+impl Rem<u64> for &BigUint {
+    type Output = u64;
+    fn rem(self, rhs: u64) -> u64 {
+        self.divrem_u64(rhs).1
+    }
+}
+
+impl RemAssign<&BigUint> for BigUint {
+    fn rem_assign(&mut self, rhs: &BigUint) {
+        *self = self.divrem(rhs).1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divrem_u64_matches_u128() {
+        let x = BigUint::from(0x1234_5678_9abc_def0_1122_3344_5566_7788u128);
+        let (q, r) = x.divrem_u64(0xdead_beefu64);
+        let xv = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        assert_eq!(q, BigUint::from(xv / 0xdead_beefu128));
+        assert_eq!(r as u128, xv % 0xdead_beefu128);
+    }
+
+    #[test]
+    fn divrem_small_over_large() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from_limbs(vec![0, 1]);
+        let (q, r) = a.divrem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn knuth_reconstruction() {
+        // (q·b + r) must reconstruct a, with r < b.
+        let a = BigUint::from_limbs(vec![
+            0x0123_4567_89ab_cdef,
+            0xfedc_ba98_7654_3210,
+            0xdead_beef_cafe_babe,
+            0x0bad_f00d_0dd0_5bad,
+        ]);
+        let b = BigUint::from_limbs(vec![0x1111_2222_3333_4444, 0x9999_8888_7777_6666]);
+        let (q, r) = a.divrem(&b);
+        assert!(r < b);
+        assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn division_by_one_and_self() {
+        let a = BigUint::from_limbs(vec![7, 8, 9]);
+        assert_eq!(&a / &BigUint::one(), a);
+        let (q, r) = a.divrem(&a);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::from(1u64).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn is_multiple_of() {
+        let hundred = BigUint::from(100u64);
+        assert!(hundred.is_multiple_of(&BigUint::from(25u64)));
+        assert!(!hundred.is_multiple_of(&BigUint::from(3u64)));
+    }
+
+    #[test]
+    fn qhat_correction_case() {
+        // A case engineered to exercise the add-back path: dividend with
+        // top limbs just below the divisor's.
+        let b = BigUint::from_limbs(vec![0, 0x8000_0000_0000_0000]);
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX - 1, 0x7fff_ffff_ffff_ffff]);
+        let (q, r) = a.divrem(&b);
+        assert!(r < b);
+        assert_eq!(&q * &b + &r, a);
+    }
+}

@@ -1,0 +1,52 @@
+//! Formatting.
+
+use super::BigUint;
+use core::fmt;
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal_string())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_and_padding() {
+        assert_eq!(format!("{}", BigUint::zero()), "0");
+        assert_eq!(format!("{:>5}", BigUint::from(42u64)), "   42");
+    }
+
+    #[test]
+    fn debug_wraps_value() {
+        assert_eq!(format!("{:?}", BigUint::from(7u64)), "BigUint(7)");
+    }
+
+    #[test]
+    fn lower_hex_multi_limb() {
+        let x = BigUint::from_limbs(vec![0xabcu64, 0x1]);
+        assert_eq!(format!("{x:x}"), "10000000000000abc");
+        assert_eq!(format!("{:#x}", BigUint::zero()), "0x0");
+    }
+}

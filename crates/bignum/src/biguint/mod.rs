@@ -1,0 +1,88 @@
+//! Unsigned arbitrary-precision integer.
+
+mod add;
+mod algorithms;
+mod bits;
+mod cmp;
+mod convert;
+mod div;
+mod fmt;
+mod mul;
+mod pow;
+mod shift;
+mod sub;
+
+pub use convert::ParseBigUintError;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs;
+/// zero is the empty limb vector.
+///
+/// ```
+/// use wdm_bignum::BigUint;
+/// let a = BigUint::from(10u64).pow(30);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string().len(), 61); // 10^60 has 61 digits
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs; `limbs.last() != Some(&0)`.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrow the little-endian limb slice (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => (self.limbs.len() as u64 - 1) * 64 + (64 - hi.leading_zeros() as u64),
+        }
+    }
+
+    /// Restore the no-trailing-zero-limbs normal form after an operation.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Internal invariant check used by debug assertions and tests.
+    #[doc(hidden)]
+    pub fn is_normalized(&self) -> bool {
+        self.limbs.last() != Some(&0)
+    }
+}

@@ -1,0 +1,212 @@
+//! Multiplication: schoolbook for small operands, Karatsuba above a
+//! threshold.
+
+use super::BigUint;
+use core::ops::{Mul, MulAssign};
+
+/// Operand size (in limbs) above which Karatsuba beats schoolbook.
+/// The classic crossover for 64-bit limbs is a few dozen limbs; 32 is a
+/// conservative choice validated by `bench_bignum`.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product of two limb slices into a fresh vector.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &al) in a.iter().enumerate() {
+        if al == 0 {
+            continue;
+        }
+        let mut carry: u128 = 0;
+        for (j, &bl) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + (al as u128) * (bl as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut idx = i + b.len();
+        while carry != 0 {
+            let t = out[idx] as u128 + carry;
+            out[idx] = t as u64;
+            carry = t >> 64;
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba product: splits at `half = max(len)/2` limbs and recurses.
+///
+/// `a*b = hi(a)hi(b)·B² + [ (hi(a)+lo(a))(hi(b)+lo(b)) − hihi − lolo ]·B + lo(a)lo(b)`
+/// where `B = 2^(64·half)`.
+fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    let half = a.len().max(b.len()) / 2;
+    let (a_lo, a_hi) = split(a, half);
+    let (b_lo, b_hi) = split(b, half);
+
+    let lolo = BigUint::from_limbs(mul_karatsuba(a_lo, b_lo));
+    let hihi = BigUint::from_limbs(mul_karatsuba(a_hi, b_hi));
+    let a_sum = BigUint::from_limbs(a_lo.to_vec()) + BigUint::from_limbs(a_hi.to_vec());
+    let b_sum = BigUint::from_limbs(b_lo.to_vec()) + BigUint::from_limbs(b_hi.to_vec());
+    let mut mid = BigUint::from_limbs(mul_karatsuba(&a_sum.limbs, &b_sum.limbs));
+    mid -= &lolo;
+    mid -= &hihi;
+
+    // Assemble: lolo + mid << (64·half) + hihi << (128·half).
+    let mut out = lolo;
+    out += &(mid << (64 * half as u64));
+    out += &(hihi << (128 * half as u64));
+    out.limbs
+}
+
+fn split(x: &[u64], at: usize) -> (&[u64], &[u64]) {
+    if x.len() <= at {
+        (x, &[])
+    } else {
+        x.split_at(at)
+    }
+}
+
+impl BigUint {
+    /// `self * rhs` where `rhs` is a primitive limb.
+    pub fn mul_u64(&self, rhs: u64) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u128 = 0;
+        for &l in &self.limbs {
+            let t = (l as u128) * (rhs as u128) + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// The square `self²` (dispatches to the same kernels as `*`).
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Mul<BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        &self * rhs
+    }
+}
+
+impl Mul<BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self * &rhs
+    }
+}
+
+impl Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        self.mul_u64(rhs)
+    }
+}
+
+impl Mul<u64> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        self.mul_u64(rhs)
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign<BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: BigUint) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl MulAssign<u64> for BigUint {
+    fn mul_assign(&mut self, rhs: u64) {
+        *self = self.mul_u64(rhs);
+    }
+}
+
+impl core::iter::Product for BigUint {
+    fn product<I: Iterator<Item = BigUint>>(iter: I) -> BigUint {
+        let mut acc = BigUint::one();
+        for x in iter {
+            acc *= &x;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schoolbook_matches_u128() {
+        let a = 0xdead_beef_cafe_babe_u64;
+        let b = 0x1234_5678_9abc_def0_u64;
+        let prod = BigUint::from(a) * BigUint::from(b);
+        let expect = (a as u128) * (b as u128);
+        assert_eq!(prod, BigUint::from(expect));
+    }
+
+    #[test]
+    fn mul_by_zero() {
+        let a = BigUint::from(12345u64);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert!(a.mul_u64(0).is_zero());
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Build operands big enough to take the Karatsuba path.
+        let limbs_a: Vec<u64> = (0..100).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
+        let limbs_b: Vec<u64> = (0..87).map(|i| 0xC2B2_AE3D_27D4_EB4Fu64.wrapping_mul(i + 7)).collect();
+        let a = BigUint::from_limbs(limbs_a.clone());
+        let b = BigUint::from_limbs(limbs_b.clone());
+        let fast = &a * &b;
+        let slow = BigUint::from_limbs(mul_schoolbook(&limbs_a, &limbs_b));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn square_of_power_of_two() {
+        let a = BigUint::one() << 100u64;
+        assert_eq!(a.square(), BigUint::one() << 200u64);
+    }
+
+    #[test]
+    fn product_iterator_factorial() {
+        let f10: BigUint = (1u64..=10).map(BigUint::from).product();
+        assert_eq!(f10, BigUint::from(3_628_800u64));
+    }
+}

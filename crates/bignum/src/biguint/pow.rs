@@ -1,0 +1,80 @@
+//! Exponentiation.
+
+use super::BigUint;
+
+impl BigUint {
+    /// `self^exp` by binary exponentiation.
+    ///
+    /// `0^0` is defined as `1`, following the combinatorial convention the
+    /// capacity formulas rely on (an empty product).
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut result = BigUint::one();
+        if exp == 0 {
+            return result;
+        }
+        let mut base = self.clone();
+        while exp > 1 {
+            if exp & 1 == 1 {
+                result *= &base;
+            }
+            base = base.square();
+            exp >>= 1;
+        }
+        result * base
+    }
+
+    /// `self^exp mod m` (used by randomized self-tests; Montgomery-free).
+    ///
+    /// Panics if `m` is zero.
+    pub fn pow_mod(&self, mut exp: u64, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be nonzero");
+        let mut result = BigUint::one() % m;
+        let mut base = self % m;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = &(&result * &base) % m;
+            }
+            base = &base.square() % m;
+            exp >>= 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_exponent_is_one() {
+        assert!(BigUint::from(99u64).pow(0).is_one());
+        assert!(BigUint::zero().pow(0).is_one());
+    }
+
+    #[test]
+    fn zero_base() {
+        assert!(BigUint::zero().pow(5).is_zero());
+    }
+
+    #[test]
+    fn matches_u128_pow() {
+        let b = BigUint::from(3u64);
+        assert_eq!(b.pow(40), BigUint::from(3u128.pow(40)));
+    }
+
+    #[test]
+    fn large_power_digit_count() {
+        // 2^1000 has 302 decimal digits.
+        let p = BigUint::from(2u64).pow(1000);
+        assert_eq!(p.to_string().len(), 302);
+        assert_eq!(p.bit_len(), 1001);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // 2^(p-1) ≡ 1 mod p for prime p = 1_000_000_007.
+        let p = BigUint::from(1_000_000_007u64);
+        let r = BigUint::from(2u64).pow_mod(1_000_000_006, &p);
+        assert!(r.is_one());
+    }
+}

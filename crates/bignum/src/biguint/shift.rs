@@ -1,0 +1,125 @@
+//! Bit shifts.
+
+use super::BigUint;
+use core::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl ShlAssign<u64> for BigUint {
+    fn shl_assign(&mut self, bits: u64) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = (bits % 64) as u32;
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in &mut self.limbs {
+                let new_carry = *l >> (64 - bit_shift);
+                *l = (*l << bit_shift) | carry;
+                carry = new_carry;
+            }
+            if carry != 0 {
+                self.limbs.push(carry);
+            }
+        }
+        if limb_shift != 0 {
+            let mut shifted = vec![0u64; limb_shift];
+            shifted.append(&mut self.limbs);
+            self.limbs = shifted;
+        }
+        debug_assert!(self.is_normalized());
+    }
+}
+
+impl ShrAssign<u64> for BigUint {
+    fn shr_assign(&mut self, bits: u64) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            self.limbs.clear();
+            return;
+        }
+        self.limbs.drain(..limb_shift);
+        let bit_shift = (bits % 64) as u32;
+        if bit_shift != 0 {
+            let mut carry = 0u64;
+            for l in self.limbs.iter_mut().rev() {
+                let new_carry = *l << (64 - bit_shift);
+                *l = (*l >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        self.normalize();
+    }
+}
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+    fn shl(mut self, bits: u64) -> BigUint {
+        self <<= bits;
+        self
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        let mut out = self.clone();
+        out <<= bits;
+        out
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+    fn shr(mut self, bits: u64) -> BigUint {
+        self >>= bits;
+        self
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        let mut out = self.clone();
+        out >>= bits;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_within_limb() {
+        assert_eq!(BigUint::from(1u64) << 3u64, BigUint::from(8u64));
+    }
+
+    #[test]
+    fn shl_across_limbs() {
+        let x = BigUint::from(1u64) << 64u64;
+        assert_eq!(x.limbs(), &[0, 1]);
+        let y = BigUint::from(0x8000_0000_0000_0000u64) << 1u64;
+        assert_eq!(y.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn shr_roundtrip() {
+        let x = BigUint::from(0xdead_beefu64) << 200u64;
+        assert_eq!(x >> 200u64, BigUint::from(0xdead_beefu64));
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let x = BigUint::from(5u64);
+        assert!((x >> 100u64).is_zero());
+    }
+
+    #[test]
+    fn shift_zero_value() {
+        assert!((BigUint::zero() << 17u64).is_zero());
+        assert!((BigUint::zero() >> 17u64).is_zero());
+    }
+}

@@ -1,0 +1,151 @@
+//! Subtraction (panics on underflow; checked variant available).
+
+use super::BigUint;
+use core::ops::{Sub, SubAssign};
+
+/// Subtract `b` from `a` in place. Returns `false` (leaving `a` in an
+/// unspecified but valid state) if `b > a`.
+pub(crate) fn sub_assign_limbs(a: &mut [u64], b: &[u64]) -> bool {
+    if b.len() > a.len() {
+        return false;
+    }
+    let mut borrow = false;
+    for (i, &bl) in b.iter().enumerate() {
+        let (d1, b1) = a[i].overflowing_sub(bl);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        a[i] = d2;
+        borrow = b1 || b2;
+    }
+    let mut i = b.len();
+    while borrow && i < a.len() {
+        let (d, bo) = a[i].overflowing_sub(1);
+        a[i] = d;
+        borrow = bo;
+        i += 1;
+    }
+    !borrow
+}
+
+impl BigUint {
+    /// `self - rhs`, or `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if rhs > self {
+            return None;
+        }
+        let mut out = self.clone();
+        let ok = sub_assign_limbs(&mut out.limbs, &rhs.limbs);
+        debug_assert!(ok);
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self - rhs` saturating at zero.
+    pub fn saturating_sub(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).unwrap_or_default()
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        let ok = sub_assign_limbs(&mut self.limbs, &rhs.limbs);
+        assert!(ok, "BigUint subtraction underflow");
+        self.normalize();
+    }
+}
+
+impl SubAssign<BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: BigUint) {
+        *self -= &rhs;
+    }
+}
+
+impl SubAssign<u64> for BigUint {
+    fn sub_assign(&mut self, rhs: u64) {
+        let ok = sub_assign_limbs(&mut self.limbs, &[rhs]);
+        assert!(ok, "BigUint subtraction underflow");
+        self.normalize();
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl Sub<BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: BigUint) -> BigUint {
+        self -= &rhs;
+        self
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: &BigUint) -> BigUint {
+        self -= rhs;
+        self
+    }
+}
+
+impl Sub<u64> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: u64) -> BigUint {
+        self -= rhs;
+        self
+    }
+}
+
+impl Sub<u64> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: u64) -> BigUint {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrow_chain() {
+        let a = BigUint::from_limbs(vec![0, 0, 1]); // 2^128
+        let b = &a - 1u64;
+        assert_eq!(b.limbs(), &[u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from(5u64);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u64)));
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from(5u64);
+        assert!(a.saturating_sub(&b).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = BigUint::from(1u64) - BigUint::from(2u64);
+    }
+
+    #[test]
+    fn sub_to_zero_normalizes() {
+        let a = BigUint::from(7u64);
+        let z = &a - &a;
+        assert!(z.is_zero());
+        assert!(z.is_normalized());
+    }
+}

@@ -1,0 +1,508 @@
+//! `wdmcast` — command-line explorer for nonblocking WDM multicast
+//! switching networks (Yang, Wang, Qiao).
+//!
+//! ```text
+//! wdmcast capacity  -N 8 -k 2              # Lemmas 1–3 capacities
+//! wdmcast cost      -N 64 -k 4             # crossbar vs multistage cost
+//! wdmcast build     -N 4 -k 2 --model maw  # construct a crossbar, census + power
+//! wdmcast bounds    --n 8 --r 8 -k 2       # Theorems 1–2 middle-stage bounds
+//! wdmcast route     -N 6 -k 2 --model msw --steps 200 --seed 7
+//! wdmcast multistage --n 4 --r 4 -k 2 --construction msw --steps 400
+//! wdmcast fig10                            # the paper's blocking scenario
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use wdm_analysis::TextTable;
+use wdm_core::{capacity, MulticastModel, NetworkConfig};
+use wdm_fabric::{PowerParams, WdmCrossbar};
+use wdm_multistage::{
+    bounds, cost, scenarios, Construction, RouteError, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_workload::AssignmentGen;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "capacity" => cmd_capacity(&opts),
+        "cost" => cmd_cost(&opts),
+        "build" => cmd_build(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "route" => cmd_route(&opts),
+        "multistage" => cmd_multistage(&opts),
+        "photonic" => cmd_photonic(&opts),
+        "fivestage" => cmd_fivestage(&opts),
+        "witness" => cmd_witness(&opts),
+        "scenario" => cmd_scenario(&opts),
+        "trace" => cmd_trace(&opts),
+        "dot" => cmd_dot(&opts),
+        "fig10" => cmd_fig10(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+wdmcast — nonblocking WDM multicast switching networks
+
+USAGE: wdmcast <command> [options]
+
+COMMANDS:
+  capacity    -N <ports> -k <wavelengths>          exact multicast capacities (Lemmas 1-3)
+  cost        -N <ports> -k <wavelengths>          crossbar vs multistage cost (Table 2)
+  build       -N <ports> -k <λ> --model <m>        construct a crossbar; census + power budget
+  bounds      --n <n> --r <r> -k <λ>               Theorems 1-2 middle-stage bounds
+  route       -N <ports> -k <λ> --model <m> [--steps S] [--seed X]
+                                                   churn a crossbar fabric with random traffic
+  multistage  --n <n> --r <r> -k <λ> [--m M] [--construction msw|maw]
+              [--model m] [--steps S] [--seed X]   churn a three-stage network; report blocking
+  photonic    --n <n> --r <r> -k <λ> [--m M]       build Fig. 8 as a netlist, route, trace light
+  fivestage   -N <ports> -k <λ> [--steps S]        build a recursive 5-stage network and churn it
+  witness     --n <n> --r <r> -k <λ> --m <M>       search for a blocking sequence below the bound
+  scenario    -N <ports> -k <λ> --name <s>         offer an application mix (video-conference|
+                                                   video-on-demand|e-commerce) to a crossbar
+  trace       --record <file> -N <ports> -k <λ> [--steps S]  record a churn trace to JSON
+              --replay <file> --n <n> --r <r>      replay a recorded trace on a 3-stage network
+  dot         -N <ports> -k <λ> --model <m> [--out file.dot]  export a crossbar netlist as Graphviz
+  fig10                                            replay the paper's Fig. 10 scenario
+
+OPTIONS:
+  --model msw|msdw|maw   multicast model (default msw)
+  --steps N              churn steps (default 200)
+  --seed N               RNG seed (default 42)";
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let key = flag.trim_start_matches('-').to_string();
+            if key.is_empty() || !flag.starts_with('-') {
+                return Err(format!("unexpected argument {flag:?}"));
+            }
+            let value =
+                it.next().ok_or_else(|| format!("flag {flag} needs a value"))?.to_string();
+            map.insert(key, value);
+        }
+        Ok(Opts(map))
+    }
+
+    fn u32(&self, key: &str, default: Option<u32>) -> Result<u32, String> {
+        match self.0.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+            None => default.ok_or(format!("missing required flag --{key}")),
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.0.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn model(&self) -> Result<MulticastModel, String> {
+        match self.0.get("model").map(String::as_str) {
+            None | Some("msw") => Ok(MulticastModel::Msw),
+            Some("msdw") => Ok(MulticastModel::Msdw),
+            Some("maw") => Ok(MulticastModel::Maw),
+            Some(other) => Err(format!("unknown model {other:?} (msw|msdw|maw)")),
+        }
+    }
+
+    fn construction(&self) -> Result<Construction, String> {
+        match self.0.get("construction").map(String::as_str) {
+            None | Some("msw") => Ok(Construction::MswDominant),
+            Some("maw") => Ok(Construction::MawDominant),
+            Some(other) => Err(format!("unknown construction {other:?} (msw|maw)")),
+        }
+    }
+}
+
+fn frame(opts: &Opts) -> Result<NetworkConfig, String> {
+    Ok(NetworkConfig::new(opts.u32("N", None)?, opts.u32("k", Some(1))?))
+}
+
+fn cmd_capacity(opts: &Opts) -> Result<(), String> {
+    let net = frame(opts)?;
+    let mut t = TextTable::new(["model", "full assignments", "any assignments"]);
+    for model in MulticastModel::ALL {
+        t.row([
+            model.to_string(),
+            capacity::full_assignments(net, model).to_string(),
+            capacity::any_assignments(net, model).to_string(),
+        ]);
+    }
+    t.row([
+        "electronic Nk×Nk".to_string(),
+        capacity::electronic_full(net).to_string(),
+        capacity::electronic_any(net).to_string(),
+    ]);
+    println!("Multicast capacity of {net}:\n{t}");
+    Ok(())
+}
+
+fn cmd_cost(opts: &Opts) -> Result<(), String> {
+    let net = frame(opts)?;
+    let (n, k) = (net.ports as u64, net.wavelengths as u64);
+    let mut t = TextTable::new(["design", "crosspoints", "converters"]);
+    for model in MulticastModel::ALL {
+        let cb = cost::crossbar_cost(n, k, model);
+        t.row([format!("{model}/CB"), cb.crosspoints.to_string(), cb.converters.to_string()]);
+        let side = (n as f64).sqrt().round() as u32;
+        if side as u64 * side as u64 == n && side >= 2 {
+            let p = ThreeStageParams::square(net.ports, net.wavelengths);
+            let ms = cost::three_stage_cost(p, Construction::MswDominant, model);
+            t.row([
+                format!("{model}/MS (n=r={side}, m={})", p.m),
+                ms.crosspoints.to_string(),
+                ms.converters.to_string(),
+            ]);
+        }
+    }
+    println!("Network cost for {net}:\n{t}");
+    Ok(())
+}
+
+fn cmd_build(opts: &Opts) -> Result<(), String> {
+    let net = frame(opts)?;
+    let model = opts.model()?;
+    let xbar = WdmCrossbar::build(net, model);
+    let c = xbar.census();
+    let p = xbar.power_budget(&PowerParams::default());
+    println!("{model} crossbar for {net}:");
+    println!("  components: {c}");
+    println!("  netlist: {} nodes, {} fiber segments", xbar.netlist().node_count(), xbar.netlist().edge_count());
+    println!("  worst-case path loss: {:.1} dB over {} hops", p.worst_path_loss_db, p.worst_path_hops);
+    Ok(())
+}
+
+fn cmd_bounds(opts: &Opts) -> Result<(), String> {
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let t1 = bounds::theorem1_min_m(n, r);
+    let t2 = bounds::theorem2_min_m(n, r, k);
+    let mut t = TextTable::new(["bound", "m", "optimal x", "rhs"]);
+    t.row(["Theorem 1 (MSW-dominant)".to_string(), t1.m.to_string(), t1.x.to_string(), format!("{:.2}", t1.rhs)]);
+    t.row(["Theorem 2 (MAW-dominant)".to_string(), t2.m.to_string(), t2.x.to_string(), format!("{:.2}", t2.rhs)]);
+    t.row(["§3.4 closed form".to_string(), format!("{:.1}", bounds::section34_m(n, r)), format!("{:.2}", bounds::section34_x(r)), "-".to_string()]);
+    println!("Nonblocking middle-stage bounds for n={n}, r={r}, k={k}:\n{t}");
+    Ok(())
+}
+
+fn cmd_route(opts: &Opts) -> Result<(), String> {
+    let net = frame(opts)?;
+    let model = opts.model()?;
+    let steps = opts.u64("steps", 200)? as usize;
+    let seed = opts.u64("seed", 42)?;
+    let mut xbar = WdmCrossbar::build(net, model);
+    let mut gen = AssignmentGen::new(net, model, seed);
+    let mut routed = 0usize;
+    for _ in 0..steps {
+        let asg = gen.any_assignment();
+        xbar.route_verified(&asg).map_err(|e| format!("crossbar blocked?! {e}"))?;
+        routed += 1;
+    }
+    println!(
+        "{routed}/{steps} random {model} assignments routed through the {net} crossbar with exact delivery (nonblocking held)."
+    );
+    Ok(())
+}
+
+fn cmd_multistage(opts: &Opts) -> Result<(), String> {
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
+    let bound = match construction {
+        Construction::MswDominant => bounds::theorem1_min_m(n, r),
+        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    };
+    let m = opts.u32("m", Some(bound.m))?;
+    let steps = opts.u64("steps", 200)? as usize;
+    let seed = opts.u64("seed", 42)?;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let mut net = ThreeStageNetwork::new(p, construction, model);
+    let mut gen = AssignmentGen::new(p.network(), model, seed);
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let (mut routed, mut blocked) = (0usize, 0usize);
+    let mut live = Vec::new();
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(0.35) {
+            let i = rng.gen_range(0..live.len());
+            net.disconnect(live.swap_remove(i)).map_err(|e| e.to_string())?;
+        } else if let Some(req) = gen.next_request(net.assignment(), 0) {
+            let src = req.source();
+            match net.connect(req) {
+                Ok(_) => {
+                    routed += 1;
+                    live.push(src);
+                }
+                Err(RouteError::Blocked { .. }) => blocked += 1,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    println!(
+        "{p} [{construction}, {model}] (Theorem bound m={}): {routed} routed, {blocked} blocked over {steps} churn steps.",
+        bound.m
+    );
+    if m >= bound.m && blocked > 0 {
+        return Err("blocking observed at or above the theorem bound!".into());
+    }
+    Ok(())
+}
+
+fn cmd_photonic(opts: &Opts) -> Result<(), String> {
+    use wdm_multistage::PhotonicThreeStage;
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
+    let bound = match construction {
+        Construction::MswDominant => bounds::theorem1_min_m(n, r),
+        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    };
+    let m = opts.u32("m", Some(bound.m))?;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let mut photonic = PhotonicThreeStage::build(p, construction, model);
+    let census = photonic.census();
+    println!("{p} [{construction}, {model}] as a photonic netlist:");
+    println!("  {census}");
+    println!("  predicted crosspoints: {}", cost::three_stage_cost(p, construction, model).crosspoints);
+    let budget = photonic.power_budget(&PowerParams::default());
+    println!("  worst path: {:.1} dB over {} hops", budget.worst_path_loss_db, budget.worst_path_hops);
+
+    // Route a random batch and trace the light.
+    let mut logical = ThreeStageNetwork::new(p, construction, model);
+    let mut gen = AssignmentGen::new(p.network(), model, opts.u64("seed", 42)?);
+    let mut routed = 0;
+    for _ in 0..opts.u64("steps", 10)? {
+        let Some(req) = gen.next_request(logical.assignment(), 0) else { break };
+        if logical.connect(req).is_ok() {
+            routed += 1;
+        }
+    }
+    let outcome = photonic.realize(&logical).map_err(|e| format!("photonic divergence: {e}"))?;
+    println!(
+        "  routed {routed} random connections; light delivered exactly: {}",
+        outcome.delivered_exactly(logical.assignment())
+    );
+    Ok(())
+}
+
+fn cmd_fivestage(opts: &Opts) -> Result<(), String> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use wdm_multistage::FiveStageNetwork;
+    let net = frame(opts)?;
+    let model = opts.model()?;
+    let construction = opts.construction()?;
+    let mut five = FiveStageNetwork::square(net.ports, net.wavelengths, construction, model);
+    println!(
+        "5-stage {}: outer {}, inner {} per middle, {} crosspoints",
+        net,
+        five.outer_params(),
+        five.inner_params(),
+        five.crosspoints(model)
+    );
+    let steps = opts.u64("steps", 200)? as usize;
+    let mut gen = AssignmentGen::new(net, model, opts.u64("seed", 42)?);
+    let mut rng = StdRng::seed_from_u64(opts.u64("seed", 42)? ^ 5);
+    let mut live = Vec::new();
+    let (mut routed, mut blocked) = (0usize, 0usize);
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(0.35) {
+            let i = rng.gen_range(0..live.len());
+            five.disconnect(live.swap_remove(i)).map_err(|e| e.to_string())?;
+        } else if let Some(req) = gen.next_request(five.assignment(), 0) {
+            let src = req.source();
+            match five.connect(req) {
+                Ok(()) => {
+                    routed += 1;
+                    live.push(src);
+                }
+                Err(RouteError::Blocked { .. }) => blocked += 1,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    println!("churn: {routed} routed, {blocked} blocked over {steps} steps");
+    if blocked > 0 {
+        return Err("five-stage network blocked at its bounds!".into());
+    }
+    Ok(())
+}
+
+fn cmd_witness(opts: &Opts) -> Result<(), String> {
+    use wdm_multistage::find_blocking_witness;
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let m = opts.u32("m", None)?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
+    let x = opts.u32("x", Some(1))?;
+    let bound = match construction {
+        Construction::MswDominant => bounds::theorem1_min_m(n, r),
+        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    };
+    let p = ThreeStageParams::new(n, m, r, k);
+    println!("searching blocking witness for {p} (bound would be m ≥ {})…", bound.m);
+    match find_blocking_witness(p, construction, model, x, 200, opts.u64("seed", 42)?) {
+        Some(w) => {
+            println!("FOUND after {} established connections:", w.established.len());
+            for c in &w.established {
+                println!("  {c}");
+            }
+            println!("  blocked: {}", w.blocked_request);
+            println!("  replays: {}", w.replay(model));
+            Ok(())
+        }
+        None => {
+            println!("no witness found in 200 adversarial episodes (consistent with m ≥ bound).");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_scenario(opts: &Opts) -> Result<(), String> {
+    use wdm_workload::scenario::Scenario;
+    let net = frame(opts)?;
+    let model = opts.model()?;
+    let scenario = match opts.0.get("name").map(String::as_str) {
+        Some("video-conference") | None => Scenario::VideoConference { group_size: 4 },
+        Some("video-on-demand") => Scenario::VideoOnDemand { servers: 2 },
+        Some("e-commerce") => Scenario::ECommerce { multicast_pct: 20 },
+        Some(other) => return Err(format!("unknown scenario {other:?}")),
+    };
+    let asg = scenario.generate(net, model, opts.u64("seed", 42)?);
+    let mut xbar = WdmCrossbar::build(net, model);
+    let outcome = xbar.route_verified(&asg).map_err(|e| format!("blocked: {e}"))?;
+    println!(
+        "{} on {net} under {model}: {} connections, {} endpoints lit, delivered exactly: {}",
+        scenario.label(),
+        asg.len(),
+        asg.used_output_endpoints(),
+        outcome.delivered_exactly(&asg)
+    );
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    use wdm_workload::{RequestTrace, TraceEvent};
+    if let Some(path) = opts.0.get("record") {
+        let net = frame(opts)?;
+        let model = opts.model()?;
+        let steps = opts.u64("steps", 500)? as usize;
+        let trace = RequestTrace::churn(net, model, steps, 35, opts.u64("seed", 42)?);
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!(
+            "recorded {} events ({} connects, peak {} concurrent) to {path}",
+            trace.len(),
+            trace.connect_count(),
+            trace.peak_load()
+        );
+        return Ok(());
+    }
+    if let Some(path) = opts.0.get("replay") {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let trace = RequestTrace::from_json(&json).map_err(|e| e.to_string())?;
+        let n = opts.u32("n", None)?;
+        let r = opts.u32("r", None)?;
+        if n * r != trace.net.ports {
+            return Err(format!("trace is for N={} but n·r = {}", trace.net.ports, n * r));
+        }
+        let construction = opts.construction()?;
+        let bound = match construction {
+            Construction::MswDominant => bounds::theorem1_min_m(n, r),
+            Construction::MawDominant => bounds::theorem2_min_m(n, r, trace.net.wavelengths),
+        };
+        let m = opts.u32("m", Some(bound.m))?;
+        let p = ThreeStageParams::new(n, m, r, trace.net.wavelengths);
+        let mut net = ThreeStageNetwork::new(p, construction, trace.model);
+        let (mut routed, mut blocked) = (0usize, 0usize);
+        trace
+            .replay(|event| -> Result<(), String> {
+                match event {
+                    TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                        Ok(_) => routed += 1,
+                        Err(RouteError::Blocked { .. }) => blocked += 1,
+                        Err(e) => return Err(e.to_string()),
+                    },
+                    TraceEvent::Disconnect(src) => {
+                        let _ = net.disconnect(*src);
+                    }
+                }
+                Ok(())
+            })
+            .map_err(|(i, e)| format!("event {i}: {e}"))?;
+        println!(
+            "replayed {} events on {p} [{construction}]: {routed} routed, {blocked} blocked (bound m={})",
+            trace.len(),
+            bound.m
+        );
+        return Ok(());
+    }
+    Err("trace needs --record <file> or --replay <file>".into())
+}
+
+fn cmd_dot(opts: &Opts) -> Result<(), String> {
+    let net = frame(opts)?;
+    let model = opts.model()?;
+    let xbar = WdmCrossbar::build(net, model);
+    let dot = xbar.netlist().to_dot(&format!("{model} crossbar {net}"));
+    match opts.0.get("out") {
+        Some(path) => {
+            std::fs::write(path, &dot).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} nodes / {} edges to {path} (render: dot -Tsvg {path})",
+                xbar.netlist().node_count(),
+                xbar.netlist().edge_count()
+            );
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+fn cmd_fig10() -> Result<(), String> {
+    let (msw, maw) = scenarios::fig10_contrast();
+    println!("Fig. 10 scenario on {} (middle-starved, m=1):", scenarios::fig10_params());
+    for out in [msw, maw] {
+        println!(
+            "  {:<14} final request {} ({} middle switches available)",
+            out.construction.to_string() + ":",
+            if out.blocked { "BLOCKED" } else { "routed" },
+            out.available_middles
+        );
+    }
+    println!("\nThe MSW-dominant construction pins the request to its source wavelength and\nblocks; MAW-dominant converts around the clash — the paper's motivation for\nanalyzing both (§3.3).");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Binomial coefficients.
+
+use wdm_bignum::BigUint;
+
+/// The binomial coefficient `C(n, k)`, exactly.
+///
+/// Computed by the multiplicative formula with an exact division at every
+/// step (each prefix product `n·(n−1)···(n−i+1)/i!` is an integer).
+///
+/// ```
+/// use wdm_combinatorics::binomial;
+/// assert_eq!(binomial(52, 5).to_string(), "2598960");
+/// assert!(binomial(4, 9).is_zero());
+/// ```
+pub fn binomial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k); // symmetry keeps the loop short
+    let mut acc = BigUint::one();
+    for i in 0..k {
+        acc *= n - i;
+        let (q, r) = acc.divrem_u64(i + 1);
+        debug_assert!(r == 0, "binomial prefix product must divide exactly");
+        acc = q;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorial;
+
+    #[test]
+    fn edges() {
+        assert!(binomial(0, 0).is_one());
+        assert!(binomial(9, 0).is_one());
+        assert!(binomial(9, 9).is_one());
+        assert!(binomial(3, 4).is_zero());
+        assert_eq!(binomial(9, 1), BigUint::from(9u64));
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_rule() {
+        for n in 1..25u64 {
+            for k in 1..=n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factorial_formula() {
+        for n in 0..15u64 {
+            for k in 0..=n {
+                let (q, r) = factorial(n).divrem(&(factorial(k) * factorial(n - k)));
+                assert!(r.is_zero());
+                assert_eq!(binomial(n, k), q);
+            }
+        }
+    }
+
+    #[test]
+    fn row_sum_is_power_of_two() {
+        for n in 0..30u64 {
+            let sum: BigUint = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(sum, BigUint::from(2u64).pow(n));
+        }
+    }
+}

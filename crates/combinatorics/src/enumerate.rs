@@ -1,0 +1,341 @@
+//! Enumerators used by the brute-force capacity verifiers.
+//!
+//! All iterators here are allocation-light: they yield references into an
+//! internal buffer via the *lending* style (`next_ref`) where possible, and
+//! owned `Vec`s from the `Iterator` implementations for ergonomic use in
+//! tests. Brute force is only ever run for tiny networks, but sloppy
+//! enumerators would still dominate the verification time.
+
+use wdm_bignum::BigUint;
+
+/// Iterator over all set partitions of `{0, …, n−1}` encoded as
+/// restricted-growth strings (RGS).
+///
+/// An RGS `a` satisfies `a[0] = 0` and `a[i] ≤ max(a[0..i]) + 1`; element
+/// `i` belongs to block `a[i]`. The number of partitions yielded is the
+/// Bell number `B(n)`.
+///
+/// ```
+/// use wdm_combinatorics::SetPartitions;
+/// assert_eq!(SetPartitions::new(4).count(), 15); // B(4)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetPartitions {
+    rgs: Vec<usize>,
+    maxes: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl SetPartitions {
+    /// Partitions of an `n`-element set. `n = 0` yields exactly one
+    /// (empty) partition.
+    pub fn new(n: usize) -> Self {
+        SetPartitions { rgs: vec![0; n], maxes: vec![0; n + 1], started: false, done: false }
+    }
+
+    /// Group the current RGS into explicit blocks.
+    pub fn blocks_of(rgs: &[usize]) -> Vec<Vec<usize>> {
+        let nblocks = rgs.iter().copied().max().map_or(0, |m| m + 1);
+        let mut blocks = vec![Vec::new(); nblocks];
+        for (elem, &b) in rgs.iter().enumerate() {
+            blocks[b].push(elem);
+        }
+        blocks
+    }
+
+    fn advance(&mut self) -> bool {
+        let n = self.rgs.len();
+        if !self.started {
+            self.started = true;
+            // maxes[i] = max(rgs[0..i]); all zeros initially.
+            return true;
+        }
+        // Find the rightmost position that can be incremented.
+        for i in (1..n).rev() {
+            if self.rgs[i] <= self.maxes[i] {
+                self.rgs[i] += 1;
+                self.maxes[i + 1] = self.maxes[i].max(self.rgs[i]);
+                for j in i + 1..n {
+                    self.rgs[j] = 0;
+                    self.maxes[j + 1] = self.maxes[j];
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for SetPartitions {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if self.rgs.is_empty() {
+            self.done = true;
+            return if self.started { None } else { Some(Vec::new()) };
+        }
+        if self.advance() {
+            Some(self.rgs.clone())
+        } else {
+            self.done = true;
+            None
+        }
+    }
+}
+
+/// Mixed-radix counter: iterates all tuples `(t_0, …, t_{d−1})` with
+/// `0 ≤ t_i < radix[i]`.
+///
+/// Used to sweep "every output wavelength independently picks a source"
+/// spaces in the brute-force capacity counts (e.g. `N^{Nk}` under MSW).
+///
+/// ```
+/// use wdm_combinatorics::MixedRadix;
+/// assert_eq!(MixedRadix::new(vec![2, 3]).count(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedRadix {
+    radix: Vec<u64>,
+    state: Vec<u64>,
+    started: bool,
+    done: bool,
+}
+
+impl MixedRadix {
+    /// Counter over the given radices. Any zero radix yields an empty
+    /// iterator; an empty radix list yields the single empty tuple.
+    pub fn new(radix: Vec<u64>) -> Self {
+        let done = radix.iter().any(|&r| r == 0);
+        MixedRadix { state: vec![0; radix.len()], radix, started: false, done }
+    }
+
+    /// Uniform counter: `d` digits of radix `r` each.
+    pub fn uniform(r: u64, d: usize) -> Self {
+        Self::new(vec![r; d])
+    }
+
+    /// Total number of tuples, exactly.
+    pub fn cardinality(&self) -> BigUint {
+        let mut acc = BigUint::one();
+        for &r in &self.radix {
+            acc *= r;
+        }
+        acc
+    }
+}
+
+impl Iterator for MixedRadix {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.state.clone());
+        }
+        for i in (0..self.state.len()).rev() {
+            self.state[i] += 1;
+            if self.state[i] < self.radix[i] {
+                return Some(self.state.clone());
+            }
+            self.state[i] = 0;
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Iterates all `k`-element index combinations of `{0, …, n−1}` in
+/// lexicographic order.
+///
+/// ```
+/// use wdm_combinatorics::Combinations;
+/// let all: Vec<_> = Combinations::new(4, 2).collect();
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(all[0], vec![0, 1]);
+/// assert_eq!(all[5], vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    state: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    /// `k`-subsets of an `n`-set; `k > n` yields nothing, `k = 0` yields
+    /// the empty combination once.
+    pub fn new(n: usize, k: usize) -> Self {
+        Combinations { n, state: (0..k).collect(), started: false, done: k > n }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.state.clone());
+        }
+        let k = self.state.len();
+        if k == 0 {
+            self.done = true;
+            return None;
+        }
+        // Find rightmost index that can move right.
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            if self.state[i] < self.n - (k - i) {
+                self.state[i] += 1;
+                for j in i + 1..k {
+                    self.state[j] = self.state[j - 1] + 1;
+                }
+                return Some(self.state.clone());
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Iterates all subsets of `{0, …, n−1}` as index vectors, in binary
+/// counting order (empty set first). Limited to `n ≤ 63`.
+///
+/// ```
+/// use wdm_combinatorics::Subsets;
+/// assert_eq!(Subsets::new(3).count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    n: u32,
+    next_mask: u64,
+    done: bool,
+}
+
+impl Subsets {
+    /// All subsets of an `n`-element index set.
+    ///
+    /// Panics if `n > 63` (brute force beyond that is meaningless anyway).
+    pub fn new(n: u32) -> Self {
+        assert!(n <= 63, "subset enumeration limited to 63 elements");
+        Subsets { n, next_mask: 0, done: false }
+    }
+}
+
+impl Iterator for Subsets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let mask = self.next_mask;
+        let items = (0..self.n as usize).filter(|&i| mask >> i & 1 == 1).collect();
+        if self.next_mask + 1 == 1u64 << self.n {
+            self.done = true;
+        } else {
+            self.next_mask += 1;
+        }
+        Some(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bell, binomial, stirling2};
+    use wdm_bignum::BigUint;
+
+    #[test]
+    fn set_partition_counts_match_bell() {
+        for n in 0..=8usize {
+            let count = SetPartitions::new(n).count() as u64;
+            assert_eq!(BigUint::from(count), bell(n as u64), "B({n})");
+        }
+    }
+
+    #[test]
+    fn set_partition_block_counts_match_stirling() {
+        for n in 1..=7usize {
+            for j in 1..=n {
+                let count = SetPartitions::new(n)
+                    .filter(|rgs| rgs.iter().copied().max().unwrap() + 1 == j)
+                    .count() as u64;
+                assert_eq!(BigUint::from(count), stirling2(n as u64, j as u64), "S({n},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid_rgs() {
+        for rgs in SetPartitions::new(6) {
+            assert_eq!(rgs[0], 0);
+            let mut max = 0;
+            for &a in &rgs {
+                assert!(a <= max + 1);
+                max = max.max(a);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_of_partition() {
+        let blocks = SetPartitions::blocks_of(&[0, 1, 0, 2]);
+        assert_eq!(blocks, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn mixed_radix_cardinality() {
+        let mr = MixedRadix::new(vec![3, 4, 5]);
+        assert_eq!(mr.cardinality(), BigUint::from(60u64));
+        assert_eq!(mr.count(), 60);
+    }
+
+    #[test]
+    fn mixed_radix_edge_cases() {
+        assert_eq!(MixedRadix::new(vec![]).count(), 1); // one empty tuple
+        assert_eq!(MixedRadix::new(vec![3, 0, 2]).count(), 0);
+        let all: Vec<_> = MixedRadix::uniform(2, 2).collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn combination_counts_match_binomial() {
+        for n in 0..=9usize {
+            for k in 0..=n + 1 {
+                let count = Combinations::new(n, k).count() as u64;
+                assert_eq!(BigUint::from(count), binomial(n as u64, k as u64), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Combinations::new(7, 3) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 35);
+    }
+
+    #[test]
+    fn subsets_cover_power_set() {
+        let all: Vec<_> = Subsets::new(4).collect();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0], Vec::<usize>::new());
+        assert!(all.contains(&vec![0, 1, 2, 3]));
+    }
+}

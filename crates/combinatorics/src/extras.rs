@@ -1,0 +1,168 @@
+//! Additional counting functions: multinomials, Catalan numbers, ordered
+//! Bell numbers, and an integer-partition iterator — used by workload
+//! weighting and by the extended capacity analyses.
+
+use crate::{binomial, factorial};
+use wdm_bignum::BigUint;
+
+/// Multinomial coefficient `(Σkᵢ)! / Πkᵢ!` — the number of ways to deal
+/// `Σkᵢ` labeled items into groups of the given sizes.
+///
+/// ```
+/// use wdm_combinatorics::multinomial;
+/// assert_eq!(multinomial(&[2, 1, 1]).to_string(), "12");
+/// ```
+pub fn multinomial(parts: &[u64]) -> BigUint {
+    let total: u64 = parts.iter().sum();
+    let mut acc = BigUint::one();
+    let mut remaining = total;
+    // Product of binomials avoids a big division: C(n, k1)·C(n−k1, k2)…
+    for &p in parts {
+        acc *= binomial(remaining, p);
+        remaining -= p;
+    }
+    acc
+}
+
+/// Catalan number `C(2n, n)/(n+1)`.
+///
+/// ```
+/// use wdm_combinatorics::catalan;
+/// assert_eq!(catalan(5).to_string(), "42");
+/// ```
+pub fn catalan(n: u64) -> BigUint {
+    let (q, r) = binomial(2 * n, n).divrem_u64(n + 1);
+    debug_assert_eq!(r, 0);
+    q
+}
+
+/// Ordered Bell number (Fubini number): the number of ways to partition
+/// `n` elements into *ordered* nonempty groups — `Σ_j j!·S(n, j)`.
+pub fn ordered_bell(n: u64) -> BigUint {
+    (0..=n).map(|j| factorial(j) * crate::stirling2(n, j)).sum()
+}
+
+/// Iterator over the integer partitions of `n` in reverse lexicographic
+/// order, each as a non-increasing part list (`n = 0` yields one empty
+/// partition).
+///
+/// ```
+/// use wdm_combinatorics::Partitions;
+/// assert_eq!(Partitions::new(5).count(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Partitions {
+    current: Vec<u64>,
+    first: bool,
+    done: bool,
+}
+
+impl Partitions {
+    /// Partitions of `n`.
+    pub fn new(n: u64) -> Self {
+        Partitions { current: if n == 0 { vec![] } else { vec![n] }, first: true, done: false }
+    }
+}
+
+impl Iterator for Partitions {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            if self.current.is_empty() {
+                self.done = true;
+                return Some(Vec::new());
+            }
+            return Some(self.current.clone());
+        }
+        // Standard successor: find the last part > 1, decrement it, and
+        // redistribute the remainder greedily.
+        let Some(idx) = self.current.iter().rposition(|&p| p > 1) else {
+            self.done = true;
+            return None;
+        };
+        let new_part = self.current[idx] - 1;
+        let mut rest: u64 = self.current[idx..].iter().sum::<u64>() - new_part;
+        self.current.truncate(idx);
+        self.current.push(new_part);
+        while rest > 0 {
+            let chunk = rest.min(new_part);
+            self.current.push(chunk);
+            rest -= chunk;
+        }
+        Some(self.current.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multinomial_cases() {
+        assert!(multinomial(&[]).is_one());
+        assert!(multinomial(&[7]).is_one());
+        assert_eq!(multinomial(&[1, 1, 1, 1]), factorial(4));
+        // (3+2)!/3!2! = C(5,3).
+        assert_eq!(multinomial(&[3, 2]), binomial(5, 3));
+    }
+
+    #[test]
+    fn catalan_sequence() {
+        let expect = [1u64, 1, 2, 5, 14, 42, 132, 429, 1430, 4862];
+        for (n, &c) in expect.iter().enumerate() {
+            assert_eq!(catalan(n as u64), BigUint::from(c), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn catalan_recurrence() {
+        // C_{n+1} = Σ C_i · C_{n−i}.
+        for n in 0..10u64 {
+            let sum: BigUint = (0..=n).map(|i| catalan(i) * catalan(n - i)).sum();
+            assert_eq!(catalan(n + 1), sum);
+        }
+    }
+
+    #[test]
+    fn ordered_bell_sequence() {
+        let expect = [1u64, 1, 3, 13, 75, 541, 4683];
+        for (n, &b) in expect.iter().enumerate() {
+            assert_eq!(ordered_bell(n as u64), BigUint::from(b), "a({n})");
+        }
+    }
+
+    #[test]
+    fn partition_counts() {
+        // p(n) for n = 0..11: 1,1,2,3,5,7,11,15,22,30,42,56.
+        let expect = [1usize, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42, 56];
+        for (n, &p) in expect.iter().enumerate() {
+            assert_eq!(Partitions::new(n as u64).count(), p, "p({n})");
+        }
+    }
+
+    #[test]
+    fn partitions_are_sorted_and_sum_to_n() {
+        for n in 1..=9u64 {
+            let mut seen = std::collections::HashSet::new();
+            for part in Partitions::new(n) {
+                assert_eq!(part.iter().sum::<u64>(), n);
+                assert!(part.windows(2).all(|w| w[0] >= w[1]), "{part:?}");
+                assert!(seen.insert(part));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_order_is_reverse_lexicographic() {
+        let all: Vec<Vec<u64>> = Partitions::new(4).collect();
+        assert_eq!(
+            all,
+            vec![vec![4], vec![3, 1], vec![2, 2], vec![2, 1, 1], vec![1, 1, 1, 1]]
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Factorials and the falling factorial `P(x, i)` from the paper.
+
+use wdm_bignum::BigUint;
+
+/// `n!` computed exactly.
+///
+/// ```
+/// use wdm_combinatorics::factorial;
+/// assert_eq!(factorial(20).to_string(), "2432902008176640000");
+/// ```
+pub fn factorial(n: u64) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n {
+        acc *= i;
+    }
+    acc
+}
+
+/// The falling factorial `P(x, i) = x·(x−1)···(x−i+1)` as defined in the
+/// paper (Lemma 2): the number of ways to pick an ordered sequence of `i`
+/// distinct items from `x`.
+///
+/// By convention `P(x, 0) = 1` (the empty product). If `i > x` the product
+/// contains the factor zero, so the result is `0` — which matches the
+/// combinatorial meaning (no injective choice exists).
+///
+/// ```
+/// use wdm_combinatorics::falling_factorial;
+/// assert_eq!(falling_factorial(6, 3).to_string(), "120"); // 6·5·4
+/// assert!(falling_factorial(3, 5).is_zero());
+/// ```
+pub fn falling_factorial(x: u64, i: u64) -> BigUint {
+    if i > x {
+        return BigUint::zero();
+    }
+    let mut acc = BigUint::one();
+    for f in (x - i + 1)..=x {
+        acc *= f;
+    }
+    acc
+}
+
+/// The rising factorial `x·(x+1)···(x+i−1)`.
+pub fn rising_factorial(x: u64, i: u64) -> BigUint {
+    if i == 0 {
+        return BigUint::one();
+    }
+    if x == 0 {
+        return BigUint::zero();
+    }
+    let mut acc = BigUint::one();
+    for f in x..(x + i) {
+        acc *= f;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_base_cases() {
+        assert!(factorial(0).is_one());
+        assert!(factorial(1).is_one());
+        assert_eq!(factorial(5), BigUint::from(120u64));
+    }
+
+    #[test]
+    fn falling_factorial_edges() {
+        assert!(falling_factorial(0, 0).is_one());
+        assert!(falling_factorial(7, 0).is_one());
+        assert_eq!(falling_factorial(7, 1), BigUint::from(7u64));
+        assert_eq!(falling_factorial(7, 7), factorial(7));
+        assert!(falling_factorial(7, 8).is_zero());
+        assert!(falling_factorial(0, 1).is_zero());
+    }
+
+    #[test]
+    fn falling_equals_factorial_ratio() {
+        // P(x, i) = x! / (x-i)!
+        for x in 0..12u64 {
+            for i in 0..=x {
+                let lhs = falling_factorial(x, i);
+                let (q, r) = factorial(x).divrem(&factorial(x - i));
+                assert!(r.is_zero());
+                assert_eq!(lhs, q, "P({x},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn rising_vs_falling() {
+        // x^(i) rising == P(x+i-1, i)
+        for x in 1..8u64 {
+            for i in 0..6u64 {
+                assert_eq!(rising_factorial(x, i), falling_factorial(x + i - 1, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # wdm-combinatorics — exact combinatorics for capacity analysis
+//!
+//! The multicast-capacity formulas of *Nonblocking WDM Multicast Switching
+//! Networks* (Lemmas 1–3) are built from three primitives:
+//!
+//! * the **falling factorial** `P(x, i) = x·(x−1)···(x−i+1)` — the number of
+//!   ways to injectively choose `i` source wavelengths from `x`;
+//! * the **binomial coefficient** `C(n, k)`;
+//! * the **Stirling number of the second kind** `S(n, j)` — the number of
+//!   ways to divide `n` elements into `j` nonempty groups (used by the MSDW
+//!   capacity, Lemma 3).
+//!
+//! All are computed exactly over [`wdm_bignum::BigUint`]. The crate also
+//! provides *enumerators* (set partitions via restricted-growth strings,
+//! mixed-radix tuples, and index combinations/subsets) that power the
+//! brute-force verification of the closed forms for tiny networks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binomial;
+mod enumerate;
+mod extras;
+mod factorial;
+mod stirling;
+
+pub use binomial::binomial;
+pub use enumerate::{Combinations, MixedRadix, SetPartitions, Subsets};
+pub use extras::{catalan, multinomial, ordered_bell, Partitions};
+pub use factorial::{factorial, falling_factorial, rising_factorial};
+pub use stirling::{bell, stirling2, Stirling2Table};

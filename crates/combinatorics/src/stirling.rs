@@ -1,0 +1,193 @@
+//! Stirling numbers of the second kind and Bell numbers.
+//!
+//! `S(n, j)` counts the ways to divide `n` labeled elements into `j`
+//! nonempty unlabeled groups. Lemma 3 of the paper sums products of
+//! `S(N, j_i)` over all wavelength group counts `j_1..j_k`, so the same
+//! values are requested many times — a process-wide memoized table keeps
+//! the sweeps cheap (guarded by a `parking_lot::RwLock`; reads are the
+//! common case and take the shared lock).
+
+use parking_lot::RwLock;
+use std::sync::OnceLock;
+use wdm_bignum::BigUint;
+
+/// A growable, memoized table of Stirling numbers of the second kind.
+///
+/// Rows are computed on demand using the recurrence
+/// `S(n, j) = j·S(n−1, j) + S(n−1, j−1)`.
+#[derive(Debug, Default)]
+pub struct Stirling2Table {
+    /// `rows[n][j]` = S(n, j) for 0 ≤ j ≤ n.
+    rows: RwLock<Vec<Vec<BigUint>>>,
+}
+
+impl Stirling2Table {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `S(n, j)`, extending the table if needed.
+    pub fn get(&self, n: u64, j: u64) -> BigUint {
+        if j > n {
+            return BigUint::zero();
+        }
+        let n_idx = n as usize;
+        {
+            let rows = self.rows.read();
+            if let Some(row) = rows.get(n_idx) {
+                return row[j as usize].clone();
+            }
+        }
+        let mut rows = self.rows.write();
+        while rows.len() <= n_idx {
+            let n_cur = rows.len();
+            let row = if n_cur == 0 {
+                vec![BigUint::one()] // S(0,0) = 1
+            } else {
+                let prev = &rows[n_cur - 1];
+                let mut row = Vec::with_capacity(n_cur + 1);
+                row.push(BigUint::zero()); // S(n,0) = 0 for n > 0
+                for j in 1..=n_cur {
+                    let term1 = prev.get(j).map(|s| s.mul_u64(j as u64)).unwrap_or_default();
+                    let term2 = prev[j - 1].clone();
+                    row.push(term1 + term2);
+                }
+                row
+            };
+            rows.push(row);
+        }
+        rows[n_idx][j as usize].clone()
+    }
+
+    /// Bell number `B(n) = Σ_j S(n, j)` — total set partitions of `n`
+    /// elements.
+    pub fn bell(&self, n: u64) -> BigUint {
+        (0..=n).map(|j| self.get(n, j)).sum()
+    }
+}
+
+fn global_table() -> &'static Stirling2Table {
+    static TABLE: OnceLock<Stirling2Table> = OnceLock::new();
+    TABLE.get_or_init(Stirling2Table::new)
+}
+
+/// `S(n, j)` via the process-wide memoized table.
+///
+/// ```
+/// use wdm_combinatorics::stirling2;
+/// assert_eq!(stirling2(4, 2).to_string(), "7");
+/// ```
+pub fn stirling2(n: u64, j: u64) -> BigUint {
+    global_table().get(n, j)
+}
+
+/// Bell number `B(n)` via the process-wide memoized table.
+///
+/// ```
+/// use wdm_combinatorics::bell;
+/// assert_eq!(bell(5).to_string(), "52");
+/// ```
+pub fn bell(n: u64) -> BigUint {
+    global_table().bell(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial;
+
+    #[test]
+    fn known_small_values() {
+        // Rows of S(n, j) from standard tables.
+        let expect: [(u64, u64, u64); 12] = [
+            (0, 0, 1),
+            (1, 1, 1),
+            (2, 1, 1),
+            (2, 2, 1),
+            (3, 2, 3),
+            (4, 2, 7),
+            (4, 3, 6),
+            (5, 2, 15),
+            (5, 3, 25),
+            (6, 3, 90),
+            (7, 4, 350),
+            (10, 5, 42525),
+        ];
+        for (n, j, v) in expect {
+            assert_eq!(stirling2(n, j), BigUint::from(v), "S({n},{j})");
+        }
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert!(stirling2(5, 0).is_zero());
+        assert!(stirling2(3, 7).is_zero());
+        assert!(stirling2(0, 0).is_one());
+    }
+
+    #[test]
+    fn diagonal_and_singletons() {
+        for n in 1..20u64 {
+            assert!(stirling2(n, n).is_one());
+            assert!(stirling2(n, 1).is_one());
+        }
+    }
+
+    #[test]
+    fn stirling_pairs_column() {
+        // S(n, 2) = 2^(n-1) - 1.
+        for n in 2..30u64 {
+            assert_eq!(stirling2(n, 2), BigUint::from(2u64).pow(n - 1) - 1u64);
+        }
+    }
+
+    #[test]
+    fn surjection_identity() {
+        // j! · S(n, j) = number of surjections = Σ (-1)^i C(j,i)(j-i)^n.
+        // Verified via the equivalent positive form: x^n = Σ_j S(n,j)·P(x,j).
+        use crate::falling_factorial;
+        for n in 0..10u64 {
+            for x in 0..8u64 {
+                let lhs = BigUint::from(x).pow(n);
+                let rhs: BigUint = (0..=n)
+                    .map(|j| stirling2(n, j) * falling_factorial(x, j))
+                    .sum();
+                assert_eq!(lhs, rhs, "x={x}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bell_matches_known_sequence() {
+        let expect = [1u64, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
+        for (n, &b) in expect.iter().enumerate() {
+            assert_eq!(bell(n as u64), BigUint::from(b), "B({n})");
+        }
+    }
+
+    #[test]
+    fn bell_recurrence() {
+        // B(n+1) = Σ C(n, i) B(i).
+        for n in 0..12u64 {
+            let rhs: BigUint = (0..=n).map(|i| binomial(n, i) * bell(i)).sum();
+            assert_eq!(bell(n + 1), rhs);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_are_consistent() {
+        let table = Stirling2Table::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let table = &table;
+                s.spawn(move || {
+                    for n in 0..40u64 {
+                        let j = (n + t) % (n + 1);
+                        assert_eq!(table.get(n, j), stirling2(n, j));
+                    }
+                });
+            }
+        });
+    }
+}

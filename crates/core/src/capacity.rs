@@ -1,0 +1,244 @@
+//! Exact multicast-capacity formulas — Lemmas 1, 2, 3 of the paper.
+//!
+//! The *multicast capacity* of a network under a model is the number of
+//! multicast assignments the network can realize (§2.2). Full assignments
+//! use every output endpoint; any-assignments may leave outputs idle.
+//!
+//! | model | full | any |
+//! |-------|------|-----|
+//! | MSW   | `N^(Nk)` | `(N+1)^(Nk)` |
+//! | MAW   | `[P(Nk,k)]^N` | `[Σ_j P(Nk,k−j)·C(k,j)]^N` |
+//! | MSDW  | `Σ P(Nk,Σjᵢ)·Π S(N,jᵢ)` | `Σ P(Nk,Σjᵢ)·Π C(N,lᵢ)S(N−lᵢ,jᵢ)` |
+//!
+//! The MSDW sums are evaluated by observing that every destination
+//! wavelength contributes the same weight sequence `w(j)` (ways to form
+//! `j` connection groups on that wavelength), so the sum collapses to
+//! `Σ_s P(Nk, s) · (w*ᵏ)(s)` where `w*ᵏ` is the `k`-fold self-convolution
+//! of `w`. This turns a `N^k`-term sum into a handful of polynomial
+//! multiplications and makes `N = 64, k = 8` instantaneous.
+
+use crate::{MulticastModel, NetworkConfig};
+use wdm_bignum::BigUint;
+use wdm_combinatorics::{binomial, falling_factorial, stirling2};
+
+/// Capacity in *full*-multicast-assignments (Lemmas 1–3).
+pub fn full_assignments(net: NetworkConfig, model: MulticastModel) -> BigUint {
+    let (n, k) = (net.n(), net.k());
+    match model {
+        // Lemma 1: each of the Nk output wavelengths pairs with any of the
+        // N same-wavelength input ports, independently.
+        MulticastModel::Msw => BigUint::from(n).pow(n * k),
+        // Lemma 2: the k wavelengths of one output port choose distinct
+        // input endpoints: P(Nk, k); ports are independent.
+        MulticastModel::Maw => falling_factorial(n * k, k).pow(n),
+        // Lemma 3 via convolution; w(j) = S(N, j), j ≥ 1.
+        MulticastModel::Msdw => {
+            let w: Vec<BigUint> = (0..=n).map(|j| stirling2(n, j)).collect();
+            msdw_sum(n, k, &w)
+        }
+    }
+}
+
+/// Capacity in *any*-multicast-assignments (Lemmas 1–3).
+pub fn any_assignments(net: NetworkConfig, model: MulticastModel) -> BigUint {
+    let (n, k) = (net.n(), net.k());
+    match model {
+        // Lemma 1: one extra choice per output wavelength — stay idle.
+        MulticastModel::Msw => BigUint::from(n + 1).pow(n * k),
+        // Lemma 2: j of the k wavelengths of a port stay idle.
+        MulticastModel::Maw => {
+            let per_port: BigUint = (0..=k)
+                .map(|j| falling_factorial(n * k, k - j) * binomial(k, j))
+                .sum();
+            per_port.pow(n)
+        }
+        // Lemma 3 (appendix): per destination wavelength, l outputs idle
+        // and the rest split into j groups: w(j) = Σ_l C(N,l)·S(N−l, j).
+        MulticastModel::Msdw => {
+            let w: Vec<BigUint> = (0..=n)
+                .map(|j| {
+                    (0..=(n - j)).map(|l| binomial(n, l) * stirling2(n - l, j)).sum()
+                })
+                .collect();
+            msdw_sum(n, k, &w)
+        }
+    }
+}
+
+/// `Σ_s P(Nk, s) · (w*ᵏ)(s)` where `w*ᵏ` is the k-fold self-convolution of
+/// the per-wavelength weight sequence `w[0..=N]`.
+fn msdw_sum(n: u64, k: u64, w: &[BigUint]) -> BigUint {
+    let mut conv: Vec<BigUint> = vec![BigUint::one()]; // identity polynomial
+    for _ in 0..k {
+        conv = poly_mul(&conv, w);
+    }
+    conv.iter()
+        .enumerate()
+        .map(|(s, coeff)| falling_factorial(n * k, s as u64) * coeff)
+        .sum()
+}
+
+fn poly_mul(a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+    let mut out = vec![BigUint::zero(); a.len() + b.len() - 1];
+    for (i, ai) in a.iter().enumerate() {
+        if ai.is_zero() {
+            continue;
+        }
+        for (j, bj) in b.iter().enumerate() {
+            if bj.is_zero() {
+                continue;
+            }
+            out[i + j] += &(ai * bj);
+        }
+    }
+    out
+}
+
+/// Capacity of the electronic `Nk×Nk` crossbar baseline the paper compares
+/// against in §2.2: `(Nk)^(Nk)` full, `(Nk+1)^(Nk)` any.
+pub fn electronic_full(net: NetworkConfig) -> BigUint {
+    let nk = net.endpoints_per_side();
+    BigUint::from(nk).pow(nk)
+}
+
+/// See [`electronic_full`].
+pub fn electronic_any(net: NetworkConfig) -> BigUint {
+    let nk = net.endpoints_per_side();
+    BigUint::from(nk + 1).pow(nk)
+}
+
+/// Crosspoint count of the nonblocking crossbar-based design (§2.3.1):
+/// `kN²` under MSW (k parallel space planes, Fig. 4), `k²N²` under MSDW
+/// and MAW (any input wavelength to any output wavelength, Figs. 6–7).
+pub fn crossbar_crosspoints(net: NetworkConfig, model: MulticastModel) -> u64 {
+    let (n, k) = (net.n(), net.k());
+    match model {
+        MulticastModel::Msw => k * n * n,
+        MulticastModel::Msdw | MulticastModel::Maw => k * k * n * n,
+    }
+}
+
+/// Wavelength-converter count of the crossbar-based design (§2.3.2):
+/// `0` under MSW, `Nk` under MSDW (one per input wavelength, Fig. 3a) and
+/// MAW (one per output wavelength, Fig. 3b).
+pub fn crossbar_converters(net: NetworkConfig, model: MulticastModel) -> u64 {
+    match model {
+        MulticastModel::Msw => 0,
+        MulticastModel::Msdw | MulticastModel::Maw => net.endpoints_per_side(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k1_reduces_to_electronic_for_all_models() {
+        // Sanity check from the paper: with one wavelength every model
+        // degenerates to the classic N^N / (N+1)^N electronic capacity.
+        for n in 1..=6u32 {
+            let net = NetworkConfig::new(n, 1);
+            for model in MulticastModel::ALL {
+                assert_eq!(
+                    full_assignments(net, model),
+                    BigUint::from(n as u64).pow(n as u64),
+                    "full, {model}, N={n}"
+                );
+                assert_eq!(
+                    any_assignments(net, model),
+                    BigUint::from(n as u64 + 1).pow(n as u64),
+                    "any, {model}, N={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn msw_formula_examples() {
+        let net = NetworkConfig::new(3, 2);
+        assert_eq!(full_assignments(net, MulticastModel::Msw), BigUint::from(3u64).pow(6));
+        assert_eq!(any_assignments(net, MulticastModel::Msw), BigUint::from(4u64).pow(6));
+    }
+
+    #[test]
+    fn maw_formula_examples() {
+        let net = NetworkConfig::new(3, 2);
+        // P(6,2) = 30 per port; 3 ports -> 27000.
+        assert_eq!(full_assignments(net, MulticastModel::Maw), BigUint::from(27000u64));
+        // per port: P(6,2) + C(2,1)P(6,1) + C(2,2)P(6,0) = 30+12+1 = 43.
+        assert_eq!(any_assignments(net, MulticastModel::Maw), BigUint::from(43u64 * 43 * 43));
+    }
+
+    #[test]
+    fn msdw_small_hand_computation() {
+        // N=2, k=2. w_full = [0, S(2,1), S(2,2)] = [0,1,1].
+        // conv² = [0,0,1,2,1]; capacity = P(4,2)·1 + P(4,3)·2 + P(4,4)·1
+        //        = 12 + 48 + 24 = 84.
+        let net = NetworkConfig::new(2, 2);
+        assert_eq!(full_assignments(net, MulticastModel::Msdw), BigUint::from(84u64));
+    }
+
+    #[test]
+    fn model_strength_orders_capacity() {
+        for (n, k) in [(2u32, 2u32), (3, 2), (2, 3), (4, 2), (3, 3)] {
+            let net = NetworkConfig::new(n, k);
+            let f: Vec<BigUint> =
+                MulticastModel::ALL.iter().map(|&m| full_assignments(net, m)).collect();
+            assert!(f[0] < f[1], "MSW < MSDW full, N={n} k={k}");
+            assert!(f[1] < f[2], "MSDW < MAW full, N={n} k={k}");
+            let a: Vec<BigUint> =
+                MulticastModel::ALL.iter().map(|&m| any_assignments(net, m)).collect();
+            assert!(a[0] < a[1], "MSW < MSDW any, N={n} k={k}");
+            assert!(a[1] < a[2], "MSDW < MAW any, N={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn wdm_capacity_below_electronic_equivalent() {
+        // §2.2: an N×N k-λ WDM network is weaker than an Nk×Nk electronic
+        // crossbar for every model when k > 1.
+        for (n, k) in [(2u32, 2u32), (3, 2), (2, 3)] {
+            let net = NetworkConfig::new(n, k);
+            let elec_full = electronic_full(net);
+            let elec_any = electronic_any(net);
+            for model in MulticastModel::ALL {
+                assert!(full_assignments(net, model) < elec_full, "{model} full");
+                assert!(any_assignments(net, model) < elec_any, "{model} any");
+            }
+        }
+    }
+
+    #[test]
+    fn any_exceeds_full() {
+        for model in MulticastModel::ALL {
+            let net = NetworkConfig::new(3, 2);
+            assert!(any_assignments(net, model) > full_assignments(net, model));
+        }
+    }
+
+    #[test]
+    fn crosspoint_formulas() {
+        let net = NetworkConfig::new(3, 2);
+        assert_eq!(crossbar_crosspoints(net, MulticastModel::Msw), 18);
+        assert_eq!(crossbar_crosspoints(net, MulticastModel::Msdw), 36);
+        assert_eq!(crossbar_crosspoints(net, MulticastModel::Maw), 36);
+    }
+
+    #[test]
+    fn converter_formulas() {
+        let net = NetworkConfig::new(3, 2);
+        assert_eq!(crossbar_converters(net, MulticastModel::Msw), 0);
+        assert_eq!(crossbar_converters(net, MulticastModel::Msdw), 6);
+        assert_eq!(crossbar_converters(net, MulticastModel::Maw), 6);
+    }
+
+    #[test]
+    fn large_instance_is_fast_and_huge() {
+        // N=64, k=8 — thousands of digits, computed exactly.
+        let net = NetworkConfig::new(64, 8);
+        let maw = full_assignments(net, MulticastModel::Maw);
+        assert!(maw.digit_count() > 1000);
+        let msdw = full_assignments(net, MulticastModel::Msdw);
+        assert!(msdw < maw);
+    }
+}

@@ -1,0 +1,192 @@
+//! Multicast connections.
+
+use crate::{ConnectionError, Endpoint, MulticastModel, PortId, WavelengthId};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A multicast connection: one input endpoint driving a set of output
+/// endpoints, at most one per output port (paper §2.1).
+///
+/// The destination list is kept sorted and duplicate-port-free, so two
+/// connections with the same endpoints always compare equal.
+///
+/// ```
+/// use wdm_core::{MulticastConnection, Endpoint, MulticastModel};
+/// let conn = MulticastConnection::new(
+///     Endpoint::new(0, 1),
+///     [Endpoint::new(1, 1), Endpoint::new(3, 1)],
+/// ).unwrap();
+/// assert_eq!(conn.fanout(), 2);
+/// assert!(MulticastModel::Msw.allows(&conn));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MulticastConnection {
+    source: Endpoint,
+    /// Sorted by (port, wavelength); unique ports.
+    destinations: Vec<Endpoint>,
+}
+
+impl MulticastConnection {
+    /// Build a connection, validating the structural rules:
+    /// at least one destination, and no two destinations on one output
+    /// port.
+    pub fn new(
+        source: Endpoint,
+        destinations: impl IntoIterator<Item = Endpoint>,
+    ) -> Result<Self, ConnectionError> {
+        let mut dests: Vec<Endpoint> = destinations.into_iter().collect();
+        dests.sort_unstable();
+        dests.dedup();
+        if dests.is_empty() {
+            return Err(ConnectionError::EmptyDestinations);
+        }
+        for pair in dests.windows(2) {
+            if pair[0].port == pair[1].port {
+                return Err(ConnectionError::DuplicateOutputPort(pair[0].port));
+            }
+        }
+        Ok(MulticastConnection { source, destinations: dests })
+    }
+
+    /// A unicast convenience constructor.
+    pub fn unicast(source: Endpoint, destination: Endpoint) -> Self {
+        MulticastConnection { source, destinations: vec![destination] }
+    }
+
+    /// The input endpoint.
+    pub fn source(&self) -> Endpoint {
+        self.source
+    }
+
+    /// The output endpoints, sorted by port.
+    pub fn destinations(&self) -> &[Endpoint] {
+        &self.destinations
+    }
+
+    /// Number of destination endpoints (the paper's "fan-out").
+    pub fn fanout(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// The set of output ports reached.
+    pub fn output_ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.destinations.iter().map(|d| d.port)
+    }
+
+    /// Destination wavelength on `port`, if this connection reaches it.
+    pub fn wavelength_at(&self, port: PortId) -> Option<WavelengthId> {
+        self.destinations
+            .binary_search_by_key(&port, |d| d.port)
+            .ok()
+            .map(|i| self.destinations[i].wavelength)
+    }
+
+    /// The weakest model under which this connection is legal.
+    pub fn minimal_model(&self) -> MulticastModel {
+        if MulticastModel::Msw.allows(self) {
+            MulticastModel::Msw
+        } else if MulticastModel::Msdw.allows(self) {
+            MulticastModel::Msdw
+        } else {
+            MulticastModel::Maw
+        }
+    }
+}
+
+impl fmt::Display for MulticastConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {{", self.source)?;
+        for (i, d) in self.destinations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_destinations() {
+        let err = MulticastConnection::new(Endpoint::new(0, 0), []);
+        assert_eq!(err.unwrap_err(), ConnectionError::EmptyDestinations);
+    }
+
+    #[test]
+    fn rejects_two_wavelengths_on_one_output_port() {
+        let err = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 0), Endpoint::new(1, 1)],
+        );
+        assert_eq!(err.unwrap_err(), ConnectionError::DuplicateOutputPort(PortId(1)));
+    }
+
+    #[test]
+    fn dedups_identical_destinations() {
+        let conn = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 0), Endpoint::new(1, 0)],
+        )
+        .unwrap();
+        assert_eq!(conn.fanout(), 1);
+    }
+
+    #[test]
+    fn destinations_are_sorted_for_equality() {
+        let a = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(2, 0), Endpoint::new(1, 0)],
+        )
+        .unwrap();
+        let b = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 0), Endpoint::new(2, 0)],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wavelength_at_lookup() {
+        let conn = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 1), Endpoint::new(3, 0)],
+        )
+        .unwrap();
+        assert_eq!(conn.wavelength_at(PortId(1)), Some(WavelengthId(1)));
+        assert_eq!(conn.wavelength_at(PortId(3)), Some(WavelengthId(0)));
+        assert_eq!(conn.wavelength_at(PortId(2)), None);
+    }
+
+    #[test]
+    fn minimal_model_classification() {
+        let msw = MulticastConnection::new(
+            Endpoint::new(0, 1),
+            [Endpoint::new(1, 1), Endpoint::new(2, 1)],
+        )
+        .unwrap();
+        let msdw = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 1), Endpoint::new(2, 1)],
+        )
+        .unwrap();
+        let maw = MulticastConnection::new(
+            Endpoint::new(0, 0),
+            [Endpoint::new(1, 1), Endpoint::new(2, 0)],
+        )
+        .unwrap();
+        assert_eq!(msw.minimal_model(), MulticastModel::Msw);
+        assert_eq!(msdw.minimal_model(), MulticastModel::Msdw);
+        assert_eq!(maw.minimal_model(), MulticastModel::Maw);
+    }
+
+    #[test]
+    fn display_format() {
+        let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 1));
+        assert_eq!(conn.to_string(), "(p0, λ1) → {(p1, λ2)}");
+    }
+}

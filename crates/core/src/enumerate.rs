@@ -1,0 +1,201 @@
+//! Brute-force enumeration of multicast assignments for tiny networks.
+//!
+//! This is the ground truth the closed-form capacities (Lemmas 1–3) are
+//! checked against: enumerate *every* output map, keep the valid ones, and
+//! count. The spaces explode as `(Nk+1)^(Nk)`, so callers should stay at
+//! `Nk ≤ 8` or so; [`enumeration_cost`] lets tests assert they do.
+
+use crate::{Endpoint, MulticastModel, NetworkConfig, OutputMap};
+use wdm_bignum::BigUint;
+use wdm_combinatorics::MixedRadix;
+
+/// Number of raw output maps the any-assignment enumeration must visit:
+/// `(Nk+1)^(Nk)`.
+pub fn enumeration_cost(net: NetworkConfig) -> BigUint {
+    let nk = net.endpoints_per_side();
+    BigUint::from(nk + 1).pow(nk)
+}
+
+/// Iterator over all *valid* output maps of `net` under `model`.
+///
+/// `include_partial = false` restricts to full maps (every output endpoint
+/// fed). Yields each map once.
+pub fn valid_maps(
+    net: NetworkConfig,
+    model: MulticastModel,
+    include_partial: bool,
+) -> impl Iterator<Item = OutputMap> {
+    let nk = net.endpoints_per_side();
+    let k = net.wavelengths;
+    // Digit semantics: 0..nk = source endpoint flat index; nk = unused.
+    let radix = if include_partial { nk + 1 } else { nk };
+    MixedRadix::uniform(radix, nk as usize).filter_map(move |digits| {
+        let choices: Vec<Option<Endpoint>> = digits
+            .iter()
+            .map(|&d| (d < nk).then(|| Endpoint::from_flat_index(d as usize, k)))
+            .collect();
+        let map = OutputMap::from_choices(net, choices);
+        map.is_valid(model).then_some(map)
+    })
+}
+
+/// Count full-multicast-assignments by brute force.
+pub fn count_full(net: NetworkConfig, model: MulticastModel) -> BigUint {
+    BigUint::from(valid_maps(net, model, false).filter(|m| m.is_full()).count() as u64)
+}
+
+/// Count any-multicast-assignments by brute force.
+pub fn count_any(net: NetworkConfig, model: MulticastModel) -> BigUint {
+    BigUint::from(valid_maps(net, model, true).count() as u64)
+}
+
+/// Classify every *electronic-realizable* full map (`(Nk)^(Nk)` of them —
+/// each output endpoint freely picks an input endpoint, the §2.2
+/// baseline) by the first WDM rule it breaks under `model`.
+///
+/// Returns `(valid_count, violations)`; the counts sum to
+/// [`crate::capacity::electronic_full`], and `valid_count` equals
+/// [`crate::capacity::full_assignments`] — the §2.2 capacity gap made
+/// concrete violation by violation.
+pub fn electronic_violation_census(
+    net: NetworkConfig,
+    model: MulticastModel,
+) -> (BigUint, std::collections::BTreeMap<crate::output_map::MapViolation, BigUint>) {
+    let nk = net.endpoints_per_side();
+    let k = net.wavelengths;
+    let mut valid = 0u64;
+    let mut violations: std::collections::BTreeMap<crate::output_map::MapViolation, u64> =
+        std::collections::BTreeMap::new();
+    for digits in MixedRadix::uniform(nk, nk as usize) {
+        let choices: Vec<Option<Endpoint>> = digits
+            .iter()
+            .map(|&d| Some(Endpoint::from_flat_index(d as usize, k)))
+            .collect();
+        let map = OutputMap::from_choices(net, choices);
+        match map.first_violation(model) {
+            None => valid += 1,
+            Some(v) => *violations.entry(v).or_insert(0) += 1,
+        }
+    }
+    (
+        BigUint::from(valid),
+        violations.into_iter().map(|(k, v)| (k, BigUint::from(v))).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity;
+
+    // The heart of the reproduction: the closed forms of Lemmas 1–3 equal
+    // exhaustive counting on small networks, for every model.
+
+    #[test]
+    fn lemma1_msw_brute_force() {
+        for (n, k) in [(1u32, 1u32), (2, 1), (2, 2), (3, 1), (3, 2), (1, 3)] {
+            let net = NetworkConfig::new(n, k);
+            assert_eq!(
+                count_full(net, MulticastModel::Msw),
+                capacity::full_assignments(net, MulticastModel::Msw),
+                "full MSW N={n} k={k}"
+            );
+            assert_eq!(
+                count_any(net, MulticastModel::Msw),
+                capacity::any_assignments(net, MulticastModel::Msw),
+                "any MSW N={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_maw_brute_force() {
+        for (n, k) in [(1u32, 1u32), (2, 1), (2, 2), (3, 1), (3, 2), (1, 3), (2, 3)] {
+            let net = NetworkConfig::new(n, k);
+            assert_eq!(
+                count_full(net, MulticastModel::Maw),
+                capacity::full_assignments(net, MulticastModel::Maw),
+                "full MAW N={n} k={k}"
+            );
+            assert_eq!(
+                count_any(net, MulticastModel::Maw),
+                capacity::any_assignments(net, MulticastModel::Maw),
+                "any MAW N={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_msdw_brute_force() {
+        for (n, k) in [(1u32, 1u32), (2, 1), (2, 2), (3, 1), (3, 2), (1, 3), (2, 3)] {
+            let net = NetworkConfig::new(n, k);
+            assert_eq!(
+                count_full(net, MulticastModel::Msdw),
+                capacity::full_assignments(net, MulticastModel::Msdw),
+                "full MSDW N={n} k={k}"
+            );
+            assert_eq!(
+                count_any(net, MulticastModel::Msdw),
+                capacity::any_assignments(net, MulticastModel::Msdw),
+                "any MSDW N={n} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_enumerated_map_materializes() {
+        let net = NetworkConfig::new(2, 2);
+        for model in MulticastModel::ALL {
+            for map in valid_maps(net, model, true) {
+                let asg = map.to_assignment(model).expect("valid map must materialize");
+                assert_eq!(asg.used_output_endpoints(), map.used());
+                assert_eq!(asg.is_full(), map.is_full());
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_cost_formula() {
+        let net = NetworkConfig::new(2, 2);
+        assert_eq!(enumeration_cost(net), BigUint::from(625u64));
+    }
+
+    #[test]
+    fn electronic_census_partitions_the_baseline() {
+        // §2.2: valid + violating = (Nk)^(Nk), and valid = Lemma count.
+        for (n, k) in [(2u32, 2u32), (3, 1), (1, 3)] {
+            let net = NetworkConfig::new(n, k);
+            for model in MulticastModel::ALL {
+                let (valid, violations) = electronic_violation_census(net, model);
+                let total: BigUint =
+                    violations.values().fold(valid.clone(), |acc, v| acc + v);
+                assert_eq!(total, capacity::electronic_full(net), "{model} N={n} k={k}");
+                assert_eq!(
+                    valid,
+                    capacity::full_assignments(net, model),
+                    "{model} N={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violation_kinds_match_model() {
+        use crate::output_map::MapViolation;
+        let net = NetworkConfig::new(2, 2);
+        let (_, maw) = electronic_violation_census(net, MulticastModel::Maw);
+        // MAW only loses maps to port collisions.
+        assert!(maw.keys().all(|v| *v == MapViolation::WithinPortCollision));
+        let (_, msw) = electronic_violation_census(net, MulticastModel::Msw);
+        assert!(msw.contains_key(&MapViolation::MswWavelengthMismatch));
+        let (_, msdw) = electronic_violation_census(net, MulticastModel::Msdw);
+        assert!(msdw.contains_key(&MapViolation::MsdwNonUniformDestinations));
+        // k = 1: every model accepts everything the electronic switch does
+        // except nothing — there are no violations at all.
+        let net1 = NetworkConfig::new(3, 1);
+        for model in MulticastModel::ALL {
+            let (_, v) = electronic_violation_census(net1, model);
+            assert!(v.is_empty(), "{model}: {v:?}");
+        }
+    }
+}

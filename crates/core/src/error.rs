@@ -1,0 +1,86 @@
+//! Error types for connection and assignment construction.
+
+use crate::{Endpoint, PortId};
+use core::fmt;
+
+/// Why a [`crate::MulticastConnection`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionError {
+    /// A connection must reach at least one destination endpoint.
+    EmptyDestinations,
+    /// Two destination endpoints share an output port — the paper forbids
+    /// a connection from using two wavelengths at the same output port
+    /// (§2.1).
+    DuplicateOutputPort(PortId),
+}
+
+impl fmt::Display for ConnectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectionError::EmptyDestinations => {
+                write!(f, "multicast connection needs at least one destination")
+            }
+            ConnectionError::DuplicateOutputPort(p) => {
+                write!(f, "connection uses two wavelengths at output port {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectionError {}
+
+/// Why a connection could not be added to a [`crate::MulticastAssignment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// The input endpoint already sources another connection.
+    SourceBusy(Endpoint),
+    /// An output endpoint is already used by another connection (§2.1: a
+    /// wavelength at an output port cannot serve two connections).
+    DestinationBusy(Endpoint),
+    /// The connection references an endpoint outside the network.
+    OutOfRange(Endpoint),
+    /// The connection's wavelength pattern violates the assignment's
+    /// multicast model.
+    ModelViolation(crate::MulticastModel),
+    /// The connection to remove is not present.
+    NoSuchConnection(Endpoint),
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentError::SourceBusy(ep) => {
+                write!(f, "input endpoint {ep} already sources a connection")
+            }
+            AssignmentError::DestinationBusy(ep) => {
+                write!(f, "output endpoint {ep} already carries a connection")
+            }
+            AssignmentError::OutOfRange(ep) => {
+                write!(f, "endpoint {ep} is outside the network")
+            }
+            AssignmentError::ModelViolation(m) => {
+                write!(f, "connection not allowed under the {m} model")
+            }
+            AssignmentError::NoSuchConnection(ep) => {
+                write!(f, "no connection sourced at {ep}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ConnectionError::DuplicateOutputPort(PortId(3));
+        assert!(e.to_string().contains("p3"));
+        let e = AssignmentError::SourceBusy(Endpoint::new(1, 0));
+        assert!(e.to_string().contains("(p1, λ1)"));
+        let e = AssignmentError::ModelViolation(crate::MulticastModel::Msw);
+        assert!(e.to_string().contains("MSW"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Identifier newtypes: ports, wavelengths, endpoints.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A port index on one side of the network, `0..N`.
+///
+/// Input and output ports are distinguished by context (a connection's
+/// source port is always an input port, its destination ports are output
+/// ports), matching the paper's convention of numbering both sides `1..N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+/// A wavelength index `0..k` (the paper's `λ_1..λ_k`, zero-based here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WavelengthId(pub u32);
+
+/// A `(port, wavelength)` pair — one of the `Nk` signals on one side of
+/// the network. The paper writes this `(i, λ_l)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Port carrying the signal.
+    pub port: PortId,
+    /// Wavelength carrying the signal within the port's fiber.
+    pub wavelength: WavelengthId,
+}
+
+impl Endpoint {
+    /// Construct from raw indices.
+    pub const fn new(port: u32, wavelength: u32) -> Self {
+        Endpoint { port: PortId(port), wavelength: WavelengthId(wavelength) }
+    }
+
+    /// Flat index in `0..N·k` ordering endpoints port-major
+    /// (`port · k + wavelength`).
+    pub fn flat_index(&self, k: u32) -> usize {
+        (self.port.0 * k + self.wavelength.0) as usize
+    }
+
+    /// Inverse of [`Endpoint::flat_index`].
+    pub fn from_flat_index(idx: usize, k: u32) -> Self {
+        let idx = idx as u32;
+        Endpoint::new(idx / k, idx % k)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for WavelengthId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0 + 1) // paper numbers wavelengths from 1
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.port, self.wavelength)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let k = 4;
+        for idx in 0..32usize {
+            let ep = Endpoint::from_flat_index(idx, k);
+            assert_eq!(ep.flat_index(k), idx);
+        }
+    }
+
+    #[test]
+    fn flat_index_is_port_major() {
+        assert_eq!(Endpoint::new(0, 0).flat_index(3), 0);
+        assert_eq!(Endpoint::new(0, 2).flat_index(3), 2);
+        assert_eq!(Endpoint::new(1, 0).flat_index(3), 3);
+        assert_eq!(Endpoint::new(2, 1).flat_index(3), 7);
+    }
+
+    #[test]
+    fn display_uses_paper_numbering() {
+        let ep = Endpoint::new(3, 0);
+        assert_eq!(ep.to_string(), "(p3, λ1)");
+    }
+
+    #[test]
+    fn ordering_groups_by_port() {
+        let a = Endpoint::new(0, 5);
+        let b = Endpoint::new(1, 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,190 @@
+//! The three multicast models of paper §2.1.
+
+use crate::MulticastConnection;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// How a multicast connection may assign wavelengths to its source and
+/// destinations (paper §2.1, Fig. 2).
+///
+/// The models form a strict strength hierarchy
+/// `Msw < Msdw < Maw`: every connection legal under a weaker model is
+/// legal under a stronger one. [`MulticastModel::strength`] exposes that
+/// order, and `PartialOrd`/`Ord` follow it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MulticastModel {
+    /// *Multicast with Same Wavelength*: the source and every destination
+    /// use one common wavelength. Needs no wavelength converters.
+    Msw,
+    /// *Multicast with Same Destination Wavelength*: all destinations share
+    /// one wavelength, the source may differ. One converter per connection
+    /// (placed before the splitter, Fig. 3a).
+    Msdw,
+    /// *Multicast with Any Wavelength*: every endpoint is free. At least
+    /// `fanout` converters per connection (one per splitter output,
+    /// Fig. 3b).
+    Maw,
+}
+
+impl MulticastModel {
+    /// All models, in increasing strength order.
+    pub const ALL: [MulticastModel; 3] =
+        [MulticastModel::Msw, MulticastModel::Msdw, MulticastModel::Maw];
+
+    /// Strength rank: 0 (MSW) < 1 (MSDW) < 2 (MAW).
+    pub fn strength(&self) -> u8 {
+        match self {
+            MulticastModel::Msw => 0,
+            MulticastModel::Msdw => 1,
+            MulticastModel::Maw => 2,
+        }
+    }
+
+    /// `true` iff every connection legal under `other` is legal under
+    /// `self`.
+    pub fn includes(&self, other: MulticastModel) -> bool {
+        self.strength() >= other.strength()
+    }
+
+    /// Does this model permit `conn`'s wavelength pattern?
+    ///
+    /// Structural validity (≤1 wavelength per output port, nonempty
+    /// destination set) is checked at [`MulticastConnection`] construction;
+    /// this predicate checks only the model's wavelength rule.
+    pub fn allows(&self, conn: &MulticastConnection) -> bool {
+        match self {
+            MulticastModel::Msw => {
+                let src = conn.source().wavelength;
+                conn.destinations().iter().all(|d| d.wavelength == src)
+            }
+            MulticastModel::Msdw => {
+                let mut dests = conn.destinations().iter();
+                match dests.next() {
+                    None => true,
+                    Some(first) => dests.all(|d| d.wavelength == first.wavelength),
+                }
+            }
+            MulticastModel::Maw => true,
+        }
+    }
+
+    /// Number of wavelength converters a single connection with the given
+    /// fanout needs under this model (paper §2.1, Fig. 3).
+    ///
+    /// MSDW always reserves its converter (even if the chosen wavelengths
+    /// happen to match) because the crossbar design places a converter per
+    /// input wavelength unconditionally.
+    pub fn converters_per_connection(&self, fanout: u64) -> u64 {
+        match self {
+            MulticastModel::Msw => 0,
+            MulticastModel::Msdw => 1,
+            MulticastModel::Maw => fanout,
+        }
+    }
+}
+
+impl core::str::FromStr for MulticastModel {
+    type Err = String;
+
+    /// Case-insensitive parse of `"msw"`, `"msdw"`, `"maw"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "msw" => Ok(MulticastModel::Msw),
+            "msdw" => Ok(MulticastModel::Msdw),
+            "maw" => Ok(MulticastModel::Maw),
+            other => Err(format!("unknown multicast model {other:?} (msw|msdw|maw)")),
+        }
+    }
+}
+
+impl fmt::Display for MulticastModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MulticastModel::Msw => "MSW",
+            MulticastModel::Msdw => "MSDW",
+            MulticastModel::Maw => "MAW",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Endpoint;
+
+    fn conn(src: (u32, u32), dests: &[(u32, u32)]) -> MulticastConnection {
+        MulticastConnection::new(
+            Endpoint::new(src.0, src.1),
+            dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strength_hierarchy() {
+        assert!(MulticastModel::Msw < MulticastModel::Msdw);
+        assert!(MulticastModel::Msdw < MulticastModel::Maw);
+        assert!(MulticastModel::Maw.includes(MulticastModel::Msw));
+        assert!(MulticastModel::Maw.includes(MulticastModel::Msdw));
+        assert!(!MulticastModel::Msw.includes(MulticastModel::Maw));
+        assert!(MulticastModel::Msdw.includes(MulticastModel::Msdw));
+    }
+
+    #[test]
+    fn msw_requires_uniform_wavelength() {
+        let same = conn((0, 1), &[(1, 1), (2, 1)]);
+        let diff_src = conn((0, 0), &[(1, 1), (2, 1)]);
+        let diff_dst = conn((0, 1), &[(1, 1), (2, 0)]);
+        assert!(MulticastModel::Msw.allows(&same));
+        assert!(!MulticastModel::Msw.allows(&diff_src));
+        assert!(!MulticastModel::Msw.allows(&diff_dst));
+    }
+
+    #[test]
+    fn msdw_requires_uniform_destinations_only() {
+        let diff_src = conn((0, 0), &[(1, 1), (2, 1)]);
+        let diff_dst = conn((0, 1), &[(1, 1), (2, 0)]);
+        assert!(MulticastModel::Msdw.allows(&diff_src));
+        assert!(!MulticastModel::Msdw.allows(&diff_dst));
+    }
+
+    #[test]
+    fn maw_allows_anything_structurally_valid() {
+        let wild = conn((0, 0), &[(1, 1), (2, 0), (3, 2)]);
+        assert!(MulticastModel::Maw.allows(&wild));
+    }
+
+    #[test]
+    fn weaker_model_connections_allowed_by_stronger() {
+        let msw_conn = conn((0, 1), &[(1, 1), (2, 1)]);
+        for model in MulticastModel::ALL {
+            assert!(model.allows(&msw_conn), "{model}");
+        }
+    }
+
+    #[test]
+    fn converter_counts_follow_fig3() {
+        assert_eq!(MulticastModel::Msw.converters_per_connection(5), 0);
+        assert_eq!(MulticastModel::Msdw.converters_per_connection(5), 1);
+        assert_eq!(MulticastModel::Maw.converters_per_connection(5), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = MulticastModel::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, ["MSW", "MSDW", "MAW"]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for model in MulticastModel::ALL {
+            let parsed: MulticastModel = model.to_string().parse().unwrap();
+            assert_eq!(parsed, model);
+            let lower: MulticastModel =
+                model.to_string().to_lowercase().parse().unwrap();
+            assert_eq!(lower, model);
+        }
+        assert!("mws".parse::<MulticastModel>().is_err());
+    }
+}

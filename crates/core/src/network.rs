@@ -1,0 +1,120 @@
+//! Network configuration: the `N×N` `k`-wavelength frame everything else
+//! plugs into (paper Fig. 1).
+
+use crate::{Endpoint, PortId, WavelengthId};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Size parameters of an `N×N` `k`-wavelength WDM network.
+///
+/// Copyable value object used by every other crate in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// `N` — number of input ports and of output ports.
+    pub ports: u32,
+    /// `k` — wavelengths per fiber link.
+    pub wavelengths: u32,
+}
+
+impl NetworkConfig {
+    /// Construct an `N×N` `k`-wavelength configuration.
+    ///
+    /// Panics if either dimension is zero — a zero-sized switching network
+    /// is a configuration error everywhere it could be used.
+    pub fn new(ports: u32, wavelengths: u32) -> Self {
+        assert!(ports > 0, "network must have at least one port");
+        assert!(wavelengths > 0, "network must carry at least one wavelength");
+        NetworkConfig { ports, wavelengths }
+    }
+
+    /// `N` as `u64` for formula work.
+    pub fn n(&self) -> u64 {
+        self.ports as u64
+    }
+
+    /// `k` as `u64` for formula work.
+    pub fn k(&self) -> u64 {
+        self.wavelengths as u64
+    }
+
+    /// `N·k` — endpoints per side.
+    pub fn endpoints_per_side(&self) -> u64 {
+        self.n() * self.k()
+    }
+
+    /// Iterate all endpoints of one side in flat-index (port-major) order.
+    pub fn endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        let k = self.wavelengths;
+        (0..self.ports).flat_map(move |p| (0..k).map(move |w| Endpoint::new(p, w)))
+    }
+
+    /// Iterate the port identifiers of one side.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> {
+        (0..self.ports).map(PortId)
+    }
+
+    /// Iterate the wavelength identifiers of a fiber.
+    pub fn wavelength_ids(&self) -> impl Iterator<Item = WavelengthId> {
+        (0..self.wavelengths).map(WavelengthId)
+    }
+
+    /// `true` iff `ep` is a valid endpoint of this network.
+    pub fn contains(&self, ep: Endpoint) -> bool {
+        ep.port.0 < self.ports && ep.wavelength.0 < self.wavelengths
+    }
+
+    /// The equivalent electronic crossbar has `Nk` inputs and `Nk`
+    /// outputs; the paper compares WDM capacities to this baseline (§2.2).
+    pub fn electronic_equivalent_size(&self) -> u64 {
+        self.endpoints_per_side()
+    }
+}
+
+impl fmt::Display for NetworkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{0}×{0} ({1}λ)", self.ports, self.wavelengths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_iteration_is_flat_order() {
+        let net = NetworkConfig::new(3, 2);
+        let eps: Vec<Endpoint> = net.endpoints().collect();
+        assert_eq!(eps.len(), 6);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.flat_index(2), i);
+        }
+    }
+
+    #[test]
+    fn contains_checks_both_dimensions() {
+        let net = NetworkConfig::new(3, 2);
+        assert!(net.contains(Endpoint::new(2, 1)));
+        assert!(!net.contains(Endpoint::new(3, 0)));
+        assert!(!net.contains(Endpoint::new(0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        NetworkConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wavelength")]
+    fn zero_wavelengths_rejected() {
+        NetworkConfig::new(1, 0);
+    }
+
+    #[test]
+    fn display_and_sizes() {
+        let net = NetworkConfig::new(8, 4);
+        assert_eq!(net.to_string(), "8×8 (4λ)");
+        assert_eq!(net.endpoints_per_side(), 32);
+        assert_eq!(net.electronic_equivalent_size(), 32);
+    }
+}

@@ -1,0 +1,277 @@
+//! The *output map* view of a multicast assignment.
+//!
+//! The paper counts multicast capacity by letting **each output endpoint
+//! independently choose which input endpoint feeds it** (or none, in an
+//! any-multicast-assignment). That choice function is an [`OutputMap`];
+//! grouping output endpoints by their chosen source recovers the multicast
+//! connections. The two views are equivalent — conversions both ways live
+//! here and are exercised by the round-trip tests — but the map view is
+//! the natural one for brute-force counting (see [`crate::enumerate`]).
+
+use crate::{
+    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Why an output map that an `Nk×Nk` *electronic* crossbar could realize
+/// is invalid for the WDM network (§2.2's capacity gap, made concrete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MapViolation {
+    /// Two wavelengths of one output port chose the same input endpoint —
+    /// a single connection may not use two wavelengths at one output port
+    /// (§2.1).
+    WithinPortCollision,
+    /// Under MSW, an output endpoint chose a source on a different
+    /// wavelength.
+    MswWavelengthMismatch,
+    /// Under MSDW, one source feeds destinations on different
+    /// wavelengths.
+    MsdwNonUniformDestinations,
+}
+
+/// A (partial) function from output endpoints to input endpoints.
+///
+/// Indexed by flat output-endpoint index; `None` means the output
+/// endpoint is unused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputMap {
+    net: NetworkConfig,
+    choices: Vec<Option<Endpoint>>,
+}
+
+impl OutputMap {
+    /// The all-unused map.
+    pub fn empty(net: NetworkConfig) -> Self {
+        OutputMap { net, choices: vec![None; net.endpoints_per_side() as usize] }
+    }
+
+    /// Build from a choice vector in flat output order. The vector length
+    /// must be exactly `N·k`.
+    pub fn from_choices(net: NetworkConfig, choices: Vec<Option<Endpoint>>) -> Self {
+        assert_eq!(
+            choices.len(),
+            net.endpoints_per_side() as usize,
+            "choice vector must cover every output endpoint"
+        );
+        OutputMap { net, choices }
+    }
+
+    /// The network frame.
+    pub fn network(&self) -> NetworkConfig {
+        self.net
+    }
+
+    /// The source feeding output endpoint `out`, if any.
+    pub fn source_of(&self, out: Endpoint) -> Option<Endpoint> {
+        self.choices[out.flat_index(self.net.wavelengths)]
+    }
+
+    /// Set (or clear) the source feeding `out`.
+    pub fn set(&mut self, out: Endpoint, src: Option<Endpoint>) {
+        self.choices[out.flat_index(self.net.wavelengths)] = src;
+    }
+
+    /// Number of used output endpoints.
+    pub fn used(&self) -> usize {
+        self.choices.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// `true` iff every output endpoint has a source (a
+    /// *full*-multicast-assignment).
+    pub fn is_full(&self) -> bool {
+        self.choices.iter().all(|c| c.is_some())
+    }
+
+    /// Validity under `model` (paper §2.1/§2.2):
+    ///
+    /// 1. **within-port injectivity** — the (used) output endpoints of one
+    ///    output port choose pairwise distinct input endpoints, because one
+    ///    connection may not use two wavelengths at a single output port;
+    /// 2. **MSW** — every choice pairs identical wavelengths;
+    /// 3. **MSDW** — the output endpoints choosing a common input endpoint
+    ///    (i.e. belonging to one connection) carry a common wavelength.
+    pub fn is_valid(&self, model: MulticastModel) -> bool {
+        self.first_violation(model).is_none()
+    }
+
+    /// The first WDM rule this map breaks under `model`, or `None` if the
+    /// map is realizable. The variants are ordered: port collisions are
+    /// reported before model-specific wavelength rules.
+    pub fn first_violation(&self, model: MulticastModel) -> Option<MapViolation> {
+        let k = self.net.wavelengths;
+        // Rule 1: within-port injectivity.
+        for p in 0..self.net.ports {
+            for w1 in 0..k {
+                let Some(s1) = self.choices[Endpoint::new(p, w1).flat_index(k)] else {
+                    continue;
+                };
+                for w2 in (w1 + 1)..k {
+                    if self.choices[Endpoint::new(p, w2).flat_index(k)] == Some(s1) {
+                        return Some(MapViolation::WithinPortCollision);
+                    }
+                }
+            }
+        }
+        match model {
+            MulticastModel::Maw => None,
+            MulticastModel::Msw => self
+                .net
+                .endpoints()
+                .any(|out| {
+                    self.source_of(out)
+                        .is_some_and(|src| src.wavelength != out.wavelength)
+                })
+                .then_some(MapViolation::MswWavelengthMismatch),
+            MulticastModel::Msdw => {
+                // Group by source; check uniform destination wavelength.
+                let mut dest_wl: BTreeMap<Endpoint, u32> = BTreeMap::new();
+                for out in self.net.endpoints() {
+                    if let Some(src) = self.source_of(out) {
+                        match dest_wl.get(&src) {
+                            None => {
+                                dest_wl.insert(src, out.wavelength.0);
+                            }
+                            Some(&w) if w == out.wavelength.0 => {}
+                            Some(_) => {
+                                return Some(MapViolation::MsdwNonUniformDestinations)
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Group the map into multicast connections (one per used input
+    /// endpoint).
+    ///
+    /// Panics if the map violates within-port injectivity — call
+    /// [`is_valid`](Self::is_valid) first for untrusted maps.
+    pub fn to_connections(&self) -> Vec<MulticastConnection> {
+        let mut groups: BTreeMap<Endpoint, Vec<Endpoint>> = BTreeMap::new();
+        for out in self.net.endpoints() {
+            if let Some(src) = self.source_of(out) {
+                groups.entry(src).or_default().push(out);
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(src, dests)| {
+                MulticastConnection::new(src, dests)
+                    .expect("within-port-injective map yields valid connections")
+            })
+            .collect()
+    }
+
+    /// Materialize into a checked [`MulticastAssignment`].
+    pub fn to_assignment(
+        &self,
+        model: MulticastModel,
+    ) -> Result<MulticastAssignment, crate::AssignmentError> {
+        let mut asg = MulticastAssignment::new(self.net, model);
+        for conn in self.to_connections() {
+            asg.add(conn)?;
+        }
+        Ok(asg)
+    }
+
+    /// The map view of an existing assignment.
+    pub fn from_assignment(asg: &MulticastAssignment) -> Self {
+        let mut map = OutputMap::empty(asg.network());
+        for conn in asg.connections() {
+            for &d in conn.destinations() {
+                map.set(d, Some(conn.source()));
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkConfig {
+        NetworkConfig::new(3, 2)
+    }
+
+    #[test]
+    fn empty_map_is_valid_everywhere_and_not_full() {
+        let m = OutputMap::empty(net());
+        for model in MulticastModel::ALL {
+            assert!(m.is_valid(model));
+        }
+        assert!(!m.is_full());
+        assert_eq!(m.used(), 0);
+        assert!(m.to_connections().is_empty());
+    }
+
+    #[test]
+    fn within_port_injectivity_enforced() {
+        let mut m = OutputMap::empty(net());
+        let src = Endpoint::new(0, 0);
+        m.set(Endpoint::new(1, 0), Some(src));
+        m.set(Endpoint::new(1, 1), Some(src)); // same output port, same source
+        assert!(!m.is_valid(MulticastModel::Maw));
+    }
+
+    #[test]
+    fn msw_wavelength_rule() {
+        let mut m = OutputMap::empty(net());
+        m.set(Endpoint::new(1, 0), Some(Endpoint::new(0, 1)));
+        assert!(!m.is_valid(MulticastModel::Msw));
+        assert!(m.is_valid(MulticastModel::Msdw));
+        assert!(m.is_valid(MulticastModel::Maw));
+    }
+
+    #[test]
+    fn msdw_uniform_destination_rule() {
+        let mut m = OutputMap::empty(net());
+        let src = Endpoint::new(0, 0);
+        m.set(Endpoint::new(1, 1), Some(src));
+        m.set(Endpoint::new(2, 0), Some(src)); // different dest λ, same conn
+        assert!(!m.is_valid(MulticastModel::Msdw));
+        assert!(m.is_valid(MulticastModel::Maw));
+    }
+
+    #[test]
+    fn grouping_produces_multicast_connections() {
+        let mut m = OutputMap::empty(net());
+        let src = Endpoint::new(0, 0);
+        m.set(Endpoint::new(0, 0), Some(src));
+        m.set(Endpoint::new(1, 0), Some(src));
+        m.set(Endpoint::new(2, 1), Some(Endpoint::new(1, 1)));
+        let conns = m.to_connections();
+        assert_eq!(conns.len(), 2);
+        assert_eq!(conns[0].fanout(), 2);
+        assert_eq!(conns[1].fanout(), 1);
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let mut asg = MulticastAssignment::new(net(), MulticastModel::Maw);
+        asg.add(
+            MulticastConnection::new(
+                Endpoint::new(0, 0),
+                [Endpoint::new(1, 1), Endpoint::new(2, 0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        asg.add(MulticastConnection::unicast(Endpoint::new(2, 1), Endpoint::new(0, 0)))
+            .unwrap();
+        let map = OutputMap::from_assignment(&asg);
+        let back = map.to_assignment(MulticastModel::Maw).unwrap();
+        let a: Vec<_> = asg.connections().cloned().collect();
+        let b: Vec<_> = back.connections().cloned().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice vector")]
+    fn from_choices_length_checked() {
+        OutputMap::from_choices(net(), vec![None; 3]);
+    }
+}

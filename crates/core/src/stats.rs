@@ -1,0 +1,143 @@
+//! Assignment analytics: the quantities experiments report about a
+//! multicast assignment (fan-out distribution, wavelength utilization,
+//! converter demand).
+
+use crate::{MulticastAssignment, WavelengthId};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one multicast assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentStats {
+    /// Number of connections.
+    pub connections: usize,
+    /// Destination endpoints in use.
+    pub used_outputs: usize,
+    /// Fraction of output endpoints in use (`0.0..=1.0`).
+    pub output_utilization: f64,
+    /// Histogram of connection fan-outs: `fanout_histogram[f]` counts the
+    /// connections with fan-out `f` (index 0 unused).
+    pub fanout_histogram: Vec<usize>,
+    /// Mean fan-out over connections (0 when empty).
+    pub mean_fanout: f64,
+    /// Per-wavelength counts of used *output* endpoints.
+    pub output_wavelength_load: Vec<usize>,
+    /// Connections whose source wavelength differs from some destination
+    /// wavelength — exactly the connections that need conversion.
+    pub conversions_needed: usize,
+    /// Total converter demand under the assignment's own model (Fig. 3
+    /// placement).
+    pub converter_demand: u64,
+}
+
+impl AssignmentStats {
+    /// Compute the statistics of `asg`.
+    pub fn of(asg: &MulticastAssignment) -> AssignmentStats {
+        let net = asg.network();
+        let mut fanout_histogram = vec![0usize; net.ports as usize + 1];
+        let mut output_wavelength_load = vec![0usize; net.wavelengths as usize];
+        let mut conversions_needed = 0usize;
+        let mut fanout_sum = 0usize;
+        for conn in asg.connections() {
+            fanout_histogram[conn.fanout()] += 1;
+            fanout_sum += conn.fanout();
+            let mut needs_conversion = false;
+            for d in conn.destinations() {
+                output_wavelength_load[d.wavelength.0 as usize] += 1;
+                if d.wavelength != conn.source().wavelength {
+                    needs_conversion = true;
+                }
+            }
+            conversions_needed += needs_conversion as usize;
+        }
+        let connections = asg.len();
+        AssignmentStats {
+            connections,
+            used_outputs: asg.used_output_endpoints(),
+            output_utilization: asg.used_output_endpoints() as f64
+                / net.endpoints_per_side() as f64,
+            fanout_histogram,
+            mean_fanout: if connections == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / connections as f64
+            },
+            output_wavelength_load,
+            conversions_needed,
+            converter_demand: asg.converter_demand(),
+        }
+    }
+
+    /// Load on one wavelength across the output side.
+    pub fn wavelength_load(&self, w: WavelengthId) -> usize {
+        self.output_wavelength_load[w.0 as usize]
+    }
+
+    /// The largest fan-out present (0 when empty).
+    pub fn max_fanout(&self) -> usize {
+        self.fanout_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
+
+    fn sample() -> MulticastAssignment {
+        let net = NetworkConfig::new(4, 2);
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Maw);
+        asg.add(
+            MulticastConnection::new(
+                Endpoint::new(0, 0),
+                [Endpoint::new(1, 0), Endpoint::new(2, 1), Endpoint::new(3, 0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        asg.add(MulticastConnection::unicast(Endpoint::new(1, 1), Endpoint::new(0, 1)))
+            .unwrap();
+        asg
+    }
+
+    #[test]
+    fn counts_and_utilization() {
+        let s = AssignmentStats::of(&sample());
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.used_outputs, 4);
+        assert!((s.output_utilization - 0.5).abs() < 1e-12);
+        assert_eq!(s.fanout_histogram[3], 1);
+        assert_eq!(s.fanout_histogram[1], 1);
+        assert!((s.mean_fanout - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_fanout(), 3);
+    }
+
+    #[test]
+    fn wavelength_load_split() {
+        let s = AssignmentStats::of(&sample());
+        assert_eq!(s.wavelength_load(WavelengthId(0)), 2);
+        assert_eq!(s.wavelength_load(WavelengthId(1)), 2);
+    }
+
+    #[test]
+    fn conversion_counting() {
+        let s = AssignmentStats::of(&sample());
+        // First connection mixes λ1/λ2 (needs conversion); the unicast is
+        // same-wavelength.
+        assert_eq!(s.conversions_needed, 1);
+        // MAW converter demand = Σ fanout = 4.
+        assert_eq!(s.converter_demand, 4);
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let net = NetworkConfig::new(3, 1);
+        let s = AssignmentStats::of(&MulticastAssignment::new(net, MulticastModel::Msw));
+        assert_eq!(s.connections, 0);
+        assert_eq!(s.mean_fanout, 0.0);
+        assert_eq!(s.max_fanout(), 0);
+        assert_eq!(s.output_utilization, 0.0);
+    }
+}

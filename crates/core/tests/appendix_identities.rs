@@ -1,0 +1,61 @@
+//! The combinatorial identities the paper's Appendix uses to sanity-check
+//! Lemma 3 at `k = 1`, verified directly:
+//!
+//! * `Σ_{j=1..N} P(N, j) · S(N, j) = N^N`
+//! * `Σ_{l=0..N} C(N, l) · Σ_j P(N, j) · S(N−l, j) = (N+1)^N`
+//!
+//! plus the classical expansions they rest on.
+
+use wdm_bignum::BigUint;
+use wdm_combinatorics::{binomial, falling_factorial, stirling2};
+
+#[test]
+fn full_assignment_identity() {
+    // Σ P(N,j)·S(N,j) = N^N — the paper's first k=1 verification.
+    for n in 1..=10u64 {
+        let lhs: BigUint =
+            (1..=n).map(|j| falling_factorial(n, j) * stirling2(n, j)).sum();
+        assert_eq!(lhs, BigUint::from(n).pow(n), "N={n}");
+    }
+}
+
+#[test]
+fn any_assignment_identity() {
+    // Σ_l C(N,l) Σ_j P(N,j)·S(N−l,j) = (N+1)^N — the second verification.
+    // (At l = N the inner sum is the empty product, i.e. 1.)
+    for n in 1..=10u64 {
+        let lhs: BigUint = (0..=n)
+            .map(|l| {
+                let inner: BigUint = (0..=(n - l))
+                    .map(|j| falling_factorial(n, j) * stirling2(n - l, j))
+                    .sum();
+                binomial(n, l) * inner
+            })
+            .sum();
+        assert_eq!(lhs, BigUint::from(n + 1).pow(n), "N={n}");
+    }
+}
+
+#[test]
+fn surjection_expansion() {
+    // The engine behind both: x^n = Σ_j S(n,j)·P(x,j) for any x — i.e.
+    // functions counted by image size.
+    for n in 0..=8u64 {
+        for x in 0..=8u64 {
+            let rhs: BigUint =
+                (0..=n).map(|j| stirling2(n, j) * falling_factorial(x, j)).sum();
+            assert_eq!(rhs, BigUint::from(x).pow(n), "x={x} n={n}");
+        }
+    }
+}
+
+#[test]
+fn binomial_convolution_of_powers() {
+    // (N+1)^N = Σ_l C(N,l)·N^(N−l) — the binomial theorem instance the
+    // any-assignment identity reduces to after the inner sums collapse.
+    for n in 1..=12u64 {
+        let lhs: BigUint =
+            (0..=n).map(|l| binomial(n, l) * BigUint::from(n).pow(n - l)).sum();
+        assert_eq!(lhs, BigUint::from(n + 1).pow(n), "N={n}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the domain model.
+
+use proptest::prelude::*;
+use wdm_core::{
+    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
+    NetworkConfig, OutputMap,
+};
+
+/// Strategy: a small network (N ≤ 6, k ≤ 4).
+fn arb_net() -> impl Strategy<Value = NetworkConfig> {
+    (1u32..=6, 1u32..=4).prop_map(|(n, k)| NetworkConfig::new(n, k))
+}
+
+/// Strategy: a structurally valid connection inside `net`.
+fn arb_connection(net: NetworkConfig) -> impl Strategy<Value = MulticastConnection> {
+    let n = net.ports;
+    let k = net.wavelengths;
+    (
+        0..n,
+        0..k,
+        proptest::collection::btree_map(0..n, 0..k, 1..=(n as usize)),
+    )
+        .prop_map(move |(sp, sw, dest_map)| {
+            MulticastConnection::new(
+                Endpoint::new(sp, sw),
+                dest_map.into_iter().map(|(p, w)| Endpoint::new(p, w)),
+            )
+            .expect("btree_map keys give unique output ports")
+        })
+}
+
+proptest! {
+    #[test]
+    fn minimal_model_is_weakest_allowing((_net, seed) in arb_net().prop_flat_map(|n| (Just(n), arb_connection(n)))) {
+        let conn = seed;
+        let min = conn.minimal_model();
+        for model in MulticastModel::ALL {
+            prop_assert_eq!(model.allows(&conn), model.includes(min),
+                "model {} vs minimal {}", model, min);
+        }
+    }
+
+    #[test]
+    fn assignment_never_double_books((net, conns) in arb_net().prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(arb_connection(n), 1..20))
+    })) {
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Maw);
+        for c in conns {
+            let _ = asg.add(c);
+        }
+        // Invariant: every output endpoint is owned by at most one
+        // connection and owners actually exist.
+        let mut seen_outputs = std::collections::HashSet::new();
+        for conn in asg.connections() {
+            for &d in conn.destinations() {
+                prop_assert!(seen_outputs.insert(d), "output {d} double-booked");
+                prop_assert_eq!(asg.output_user(d), Some(conn.source()));
+            }
+        }
+        prop_assert_eq!(asg.used_output_endpoints(), seen_outputs.len());
+        // Sources are unique by construction of the BTreeMap key.
+        let sources: Vec<_> = asg.connections().map(|c| c.source()).collect();
+        let unique: std::collections::HashSet<_> = sources.iter().collect();
+        prop_assert_eq!(unique.len(), sources.len());
+    }
+
+    #[test]
+    fn map_assignment_roundtrip((net, conns) in arb_net().prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(arb_connection(n), 1..12))
+    })) {
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Maw);
+        for c in conns {
+            let _ = asg.add(c);
+        }
+        let map = OutputMap::from_assignment(&asg);
+        prop_assert!(map.is_valid(MulticastModel::Maw));
+        let back = map.to_assignment(MulticastModel::Maw).unwrap();
+        let a: Vec<_> = asg.connections().cloned().collect();
+        let b: Vec<_> = back.connections().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_undoes_add((net, conns) in arb_net().prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(arb_connection(n), 1..12))
+    })) {
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Maw);
+        let mut added = Vec::new();
+        for c in conns {
+            if asg.add(c.clone()).is_ok() {
+                added.push(c);
+            }
+        }
+        for c in added.iter().rev() {
+            asg.remove(c.source()).unwrap();
+        }
+        prop_assert!(asg.is_empty());
+        prop_assert_eq!(asg.used_output_endpoints(), 0);
+        // And everything can be re-added afterwards.
+        for c in added {
+            prop_assert!(asg.add(c).is_ok());
+        }
+    }
+
+    #[test]
+    fn capacity_monotone_in_model(net in arb_net()) {
+        let full: Vec<_> = MulticastModel::ALL
+            .iter()
+            .map(|&m| capacity::full_assignments(net, m))
+            .collect();
+        prop_assert!(full[0] <= full[1]);
+        prop_assert!(full[1] <= full[2]);
+        let any: Vec<_> = MulticastModel::ALL
+            .iter()
+            .map(|&m| capacity::any_assignments(net, m))
+            .collect();
+        prop_assert!(any[0] <= any[1]);
+        prop_assert!(any[1] <= any[2]);
+    }
+
+    #[test]
+    fn capacity_monotone_in_size(n in 1u32..5, k in 1u32..3, model in prop::sample::select(&MulticastModel::ALL)) {
+        let small = NetworkConfig::new(n, k);
+        let bigger_n = NetworkConfig::new(n + 1, k);
+        let bigger_k = NetworkConfig::new(n, k + 1);
+        prop_assert!(capacity::full_assignments(small, model)
+            < capacity::full_assignments(bigger_n, model));
+        prop_assert!(capacity::full_assignments(small, model)
+            <= capacity::full_assignments(bigger_k, model));
+    }
+
+    #[test]
+    fn msw_equals_k_independent_planes(n in 1u32..5, k in 1u32..4) {
+        // Under MSW the network is k parallel 1-λ networks (Fig. 4), so
+        // its capacity is the k-th power of the 1-λ capacity.
+        let net = NetworkConfig::new(n, k);
+        let plane = NetworkConfig::new(n, 1);
+        prop_assert_eq!(
+            capacity::full_assignments(net, MulticastModel::Msw),
+            capacity::full_assignments(plane, MulticastModel::Msw).pow(k as u64)
+        );
+        prop_assert_eq!(
+            capacity::any_assignments(net, MulticastModel::Msw),
+            capacity::any_assignments(plane, MulticastModel::Msw).pow(k as u64)
+        );
+    }
+
+    #[test]
+    fn crossbar_costs_match_table1(net in arb_net()) {
+        let (n, k) = (net.n(), net.k());
+        prop_assert_eq!(capacity::crossbar_crosspoints(net, MulticastModel::Msw), k * n * n);
+        prop_assert_eq!(capacity::crossbar_crosspoints(net, MulticastModel::Msdw), k * k * n * n);
+        prop_assert_eq!(capacity::crossbar_crosspoints(net, MulticastModel::Maw), k * k * n * n);
+        prop_assert_eq!(capacity::crossbar_converters(net, MulticastModel::Msw), 0);
+        prop_assert_eq!(capacity::crossbar_converters(net, MulticastModel::Msdw), n * k);
+        prop_assert_eq!(capacity::crossbar_converters(net, MulticastModel::Maw), n * k);
+    }
+}

@@ -1,0 +1,123 @@
+//! Component census — the paper's hardware-cost metric, observed rather
+//! than asserted.
+
+use crate::{ComponentKind, Netlist};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Counts of each component kind in a netlist.
+///
+/// `gates` is the paper's *crosspoint* count (§2.3.1) and `converters`
+/// its wavelength-converter count (§2.3.2); the passive-device counts
+/// feed the power-loss model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Census {
+    /// SOA gates — crosspoints.
+    pub gates: u64,
+    /// Wavelength converters.
+    pub converters: u64,
+    /// Passive splitters.
+    pub splitters: u64,
+    /// Passive combiners.
+    pub combiners: u64,
+    /// Wavelength multiplexers.
+    pub muxes: u64,
+    /// Wavelength demultiplexers.
+    pub demuxes: u64,
+    /// Input ports.
+    pub inputs: u64,
+    /// Output ports.
+    pub outputs: u64,
+}
+
+impl Census {
+    /// Count the components of `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut c = Census::default();
+        for (_, comp) in netlist.iter() {
+            match comp.kind() {
+                ComponentKind::SoaGate => c.gates += 1,
+                ComponentKind::Converter => c.converters += 1,
+                ComponentKind::Splitter => c.splitters += 1,
+                ComponentKind::Combiner => c.combiners += 1,
+                ComponentKind::Mux => c.muxes += 1,
+                ComponentKind::Demux => c.demuxes += 1,
+                ComponentKind::InputPort => c.inputs += 1,
+                ComponentKind::OutputPort => c.outputs += 1,
+            }
+        }
+        c
+    }
+
+    /// Total active devices (gates + converters) — the expensive part of
+    /// the bill of materials.
+    pub fn active_devices(&self) -> u64 {
+        self.gates + self.converters
+    }
+
+    /// Total component count.
+    pub fn total(&self) -> u64 {
+        self.gates
+            + self.converters
+            + self.splitters
+            + self.combiners
+            + self.muxes
+            + self.demuxes
+            + self.inputs
+            + self.outputs
+    }
+}
+
+impl fmt::Display for Census {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {} converters, {} splitters, {} combiners, {} mux, {} demux",
+            self.gates, self.converters, self.splitters, self.combiners, self.muxes, self.demuxes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Component;
+    use wdm_core::PortId;
+
+    #[test]
+    fn counts_each_kind() {
+        let mut nl = Netlist::new();
+        nl.add(Component::InputPort(PortId(0)));
+        nl.add(Component::Demux);
+        nl.add(Component::Splitter);
+        nl.add(Component::gate());
+        nl.add(Component::gate());
+        nl.add(Component::converter());
+        nl.add(Component::Combiner);
+        nl.add(Component::Mux);
+        nl.add(Component::OutputPort(PortId(0)));
+        let c = Census::of(&nl);
+        assert_eq!(c.gates, 2);
+        assert_eq!(c.converters, 1);
+        assert_eq!(c.splitters, 1);
+        assert_eq!(c.combiners, 1);
+        assert_eq!(c.muxes, 1);
+        assert_eq!(c.demuxes, 1);
+        assert_eq!(c.inputs, 1);
+        assert_eq!(c.outputs, 1);
+        assert_eq!(c.active_devices(), 3);
+        assert_eq!(c.total(), 9);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        assert_eq!(Census::of(&Netlist::new()), Census::default());
+    }
+
+    #[test]
+    fn display_mentions_gates() {
+        let mut nl = Netlist::new();
+        nl.add(Component::gate());
+        assert!(Census::of(&nl).to_string().starts_with("1 gates"));
+    }
+}

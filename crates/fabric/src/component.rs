@@ -1,0 +1,170 @@
+//! Photonic components — the node types of a fabric netlist.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use wdm_core::{PortId, WavelengthId};
+
+/// Index of a component in a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A photonic component instance.
+///
+/// The variants mirror the devices the paper builds its crossbars from
+/// (§2.1, §2.3): passive splitters/combiners and mux/demux, active SOA
+/// gates (the "crosspoints"), and wavelength converters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Component {
+    /// Network ingress for one input port's fiber (carries up to `k`
+    /// wavelength signals).
+    InputPort(PortId),
+    /// Wavelength demultiplexer: output slot `w` carries only wavelength
+    /// `λ_w`.
+    Demux,
+    /// Passive light splitter: every output carries a copy of the input.
+    Splitter,
+    /// Semiconductor-optical-amplifier gate: passes light when enabled,
+    /// blocks it when disabled. One of these is one *crosspoint* in the
+    /// paper's cost metric.
+    SoaGate {
+        /// Whether light may pass.
+        enabled: bool,
+        /// Fault injection: a broken gate never passes light regardless of
+        /// `enabled`.
+        broken: bool,
+    },
+    /// All-optical wavelength converter. When `target` is set, any signal
+    /// passing through leaves on that wavelength; when unset, the device
+    /// is transparent.
+    Converter {
+        /// Programmed output wavelength.
+        target: Option<WavelengthId>,
+        /// Fault injection: a broken converter is stuck transparent.
+        broken: bool,
+    },
+    /// Passive combiner: merges its inputs onto one fiber. Physically
+    /// valid only if at most one input is lit at a time (§2.1) — the
+    /// propagation engine reports a conflict otherwise.
+    Combiner,
+    /// Wavelength multiplexer: merges inputs carrying *distinct*
+    /// wavelengths onto one fiber.
+    Mux,
+    /// Network egress for one output port's fiber.
+    OutputPort(PortId),
+}
+
+/// Discriminant-only view of [`Component`], used for the census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// See [`Component::InputPort`].
+    InputPort,
+    /// See [`Component::Demux`].
+    Demux,
+    /// See [`Component::Splitter`].
+    Splitter,
+    /// See [`Component::SoaGate`].
+    SoaGate,
+    /// See [`Component::Converter`].
+    Converter,
+    /// See [`Component::Combiner`].
+    Combiner,
+    /// See [`Component::Mux`].
+    Mux,
+    /// See [`Component::OutputPort`].
+    OutputPort,
+}
+
+impl Component {
+    /// A fresh (disabled, healthy) SOA gate.
+    pub fn gate() -> Self {
+        Component::SoaGate { enabled: false, broken: false }
+    }
+
+    /// A fresh (transparent, healthy) wavelength converter.
+    pub fn converter() -> Self {
+        Component::Converter { target: None, broken: false }
+    }
+
+    /// The kind discriminant.
+    pub fn kind(&self) -> ComponentKind {
+        match self {
+            Component::InputPort(_) => ComponentKind::InputPort,
+            Component::Demux => ComponentKind::Demux,
+            Component::Splitter => ComponentKind::Splitter,
+            Component::SoaGate { .. } => ComponentKind::SoaGate,
+            Component::Converter { .. } => ComponentKind::Converter,
+            Component::Combiner => ComponentKind::Combiner,
+            Component::Mux => ComponentKind::Mux,
+            Component::OutputPort(_) => ComponentKind::OutputPort,
+        }
+    }
+
+    /// `true` for devices that originate signals (no in-edges expected).
+    pub fn is_source(&self) -> bool {
+        matches!(self, Component::InputPort(_))
+    }
+
+    /// `true` for devices that terminate signals (no out-edges expected).
+    pub fn is_sink(&self) -> bool {
+        matches!(self, Component::OutputPort(_))
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::InputPort => "input",
+            ComponentKind::Demux => "demux",
+            ComponentKind::Splitter => "splitter",
+            ComponentKind::SoaGate => "gate",
+            ComponentKind::Converter => "converter",
+            ComponentKind::Combiner => "combiner",
+            ComponentKind::Mux => "mux",
+            ComponentKind::OutputPort => "output",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_start_safe() {
+        assert_eq!(Component::gate(), Component::SoaGate { enabled: false, broken: false });
+        assert_eq!(Component::converter(), Component::Converter { target: None, broken: false });
+    }
+
+    #[test]
+    fn kinds_roundtrip() {
+        let all = [
+            Component::InputPort(PortId(0)),
+            Component::Demux,
+            Component::Splitter,
+            Component::gate(),
+            Component::converter(),
+            Component::Combiner,
+            Component::Mux,
+            Component::OutputPort(PortId(0)),
+        ];
+        let kinds: Vec<ComponentKind> = all.iter().map(|c| c.kind()).collect();
+        let unique: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn source_sink_classification() {
+        assert!(Component::InputPort(PortId(1)).is_source());
+        assert!(!Component::InputPort(PortId(1)).is_sink());
+        assert!(Component::OutputPort(PortId(1)).is_sink());
+        assert!(!Component::Splitter.is_source());
+        assert!(!Component::Splitter.is_sink());
+    }
+}

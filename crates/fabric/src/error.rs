@@ -1,0 +1,105 @@
+//! Fabric error types.
+
+use crate::NodeId;
+use core::fmt;
+use wdm_core::Endpoint;
+
+/// Physical conflicts detected while propagating light through a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationError {
+    /// Two signals on the same wavelength share one fiber segment.
+    WavelengthCollision {
+        /// Downstream component of the colliding fiber.
+        at: NodeId,
+        /// The colliding wavelength (raw index).
+        wavelength: u32,
+    },
+    /// A combiner has more than one lit input (§2.1: combiners admit only
+    /// one active input at a time).
+    CombinerConflict {
+        /// The combiner.
+        at: NodeId,
+        /// Number of simultaneously lit inputs.
+        lit_inputs: usize,
+    },
+    /// A converter is traversed by more than one signal at once.
+    ConverterOverload {
+        /// The converter.
+        at: NodeId,
+        /// Number of signals.
+        signals: usize,
+    },
+}
+
+impl fmt::Display for PropagationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropagationError::WavelengthCollision { at, wavelength } => {
+                write!(f, "wavelength λ{} collision entering {at}", wavelength + 1)
+            }
+            PropagationError::CombinerConflict { at, lit_inputs } => {
+                write!(f, "combiner {at} has {lit_inputs} lit inputs (max 1)")
+            }
+            PropagationError::ConverterOverload { at, signals } => {
+                write!(f, "converter {at} traversed by {signals} signals (max 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropagationError {}
+
+/// Errors raised by crossbar routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The assignment's model does not match the fabric's model.
+    ModelMismatch {
+        /// Model the fabric was built for.
+        fabric: wdm_core::MulticastModel,
+        /// Model of the assignment.
+        assignment: wdm_core::MulticastModel,
+    },
+    /// The assignment's network size does not match the fabric's.
+    SizeMismatch,
+    /// Light propagation produced physical conflicts.
+    Propagation(Vec<PropagationError>),
+    /// A destination endpoint did not receive its signal (e.g. a broken
+    /// gate or converter on the path).
+    DeliveryFailure {
+        /// The endpoint that missed its signal.
+        endpoint: Endpoint,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::ModelMismatch { fabric, assignment } => {
+                write!(f, "fabric is {fabric} but assignment is {assignment}")
+            }
+            FabricError::SizeMismatch => write!(f, "assignment network size differs from fabric"),
+            FabricError::Propagation(errs) => {
+                write!(f, "{} physical conflicts during propagation", errs.len())
+            }
+            FabricError::DeliveryFailure { endpoint } => {
+                write!(f, "no signal delivered to {endpoint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = PropagationError::WavelengthCollision { at: NodeId(7), wavelength: 0 };
+        assert!(e.to_string().contains("λ1"));
+        assert!(e.to_string().contains("n7"));
+        let e = FabricError::DeliveryFailure { endpoint: Endpoint::new(2, 1) };
+        assert!(e.to_string().contains("(p2, λ2)"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Rectangular WDM multicast switching modules — the building blocks of
+//! both the flat crossbars (Figs. 4–7) and the multistage compositions
+//! (Fig. 8, realized photonic­ally in `wdm-multistage`).
+//!
+//! A module is an `a×b` `k`-wavelength multicast switch *without* network
+//! ingress/egress components: its inputs are demultiplexers waiting for
+//! one fiber edge each, its outputs are multiplexers whose single output
+//! slot the caller wires onward. A flat crossbar is a module framed by
+//! `InputPort`/`OutputPort` components; a three-stage network is three
+//! columns of modules wired mux→demux.
+
+use crate::{Component, Netlist, NodeId};
+use std::collections::HashMap;
+use wdm_core::{Endpoint, MulticastModel, WavelengthId};
+
+/// Size and model of a rectangular module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Input ports (fibers).
+    pub in_ports: u32,
+    /// Output ports (fibers).
+    pub out_ports: u32,
+    /// Wavelengths per fiber.
+    pub wavelengths: u32,
+    /// Multicast model of the module (decides gate matrix shape and
+    /// converter placement).
+    pub model: MulticastModel,
+}
+
+impl ModuleSpec {
+    /// Crosspoints this module will contain (§2.3.1 generalized to
+    /// rectangles): `k·a·b` under MSW, `k²·a·b` otherwise.
+    pub fn crosspoints(&self) -> u64 {
+        let (a, b, k) =
+            (self.in_ports as u64, self.out_ports as u64, self.wavelengths as u64);
+        match self.model {
+            MulticastModel::Msw => k * a * b,
+            MulticastModel::Msdw | MulticastModel::Maw => k * k * a * b,
+        }
+    }
+
+    /// Converters this module will contain: `0` / `k·a` (input side,
+    /// Fig. 3a) / `k·b` (output side, Fig. 3b).
+    pub fn converters(&self) -> u64 {
+        let (a, b, k) =
+            (self.in_ports as u64, self.out_ports as u64, self.wavelengths as u64);
+        match self.model {
+            MulticastModel::Msw => 0,
+            MulticastModel::Msdw => k * a,
+            MulticastModel::Maw => k * b,
+        }
+    }
+}
+
+/// A built module: node handles into the shared netlist.
+#[derive(Debug, Clone)]
+pub struct WdmModule {
+    /// The spec it was built from.
+    pub spec: ModuleSpec,
+    /// One demux per input port; wire exactly one fiber edge into each.
+    pub input_taps: Vec<NodeId>,
+    /// One mux per output port; wire its single output onward.
+    pub output_muxes: Vec<NodeId>,
+    /// Gate per (input endpoint flat, output endpoint flat). Under MSW
+    /// only same-wavelength pairs exist.
+    gates: HashMap<(usize, usize), NodeId>,
+    /// MSDW: programmable converter per input endpoint.
+    input_converters: Vec<NodeId>,
+    /// MAW: fixed-target converter per output endpoint.
+    output_converters: Vec<NodeId>,
+}
+
+impl WdmModule {
+    /// Build a module's internals into `netlist`.
+    pub fn build_into(netlist: &mut Netlist, spec: ModuleSpec) -> WdmModule {
+        let k = spec.wavelengths;
+        let input_taps: Vec<NodeId> =
+            (0..spec.in_ports).map(|_| netlist.add(Component::Demux)).collect();
+        let output_muxes: Vec<NodeId> =
+            (0..spec.out_ports).map(|_| netlist.add(Component::Mux)).collect();
+
+        // Combiner per output endpoint, then (MAW) converter, into the mux.
+        let mut out_combiners = Vec::with_capacity((spec.out_ports * k) as usize);
+        let mut output_converters = Vec::new();
+        for p in 0..spec.out_ports {
+            for w in 0..k {
+                let comb = netlist.add(Component::Combiner);
+                match spec.model {
+                    MulticastModel::Maw => {
+                        let cvt = netlist.add(Component::Converter {
+                            target: Some(WavelengthId(w)),
+                            broken: false,
+                        });
+                        netlist.connect_simple(comb, cvt);
+                        netlist.connect_simple(cvt, output_muxes[p as usize]);
+                        output_converters.push(cvt);
+                    }
+                    _ => {
+                        netlist.connect_simple(comb, output_muxes[p as usize]);
+                    }
+                }
+                out_combiners.push(comb);
+            }
+        }
+
+        let mut gates = HashMap::new();
+        let mut input_converters = Vec::new();
+        for in_flat in 0..(spec.in_ports * k) as usize {
+            let ep = Endpoint::from_flat_index(in_flat, k);
+            let tap = input_taps[ep.port.0 as usize];
+            let slot = ep.wavelength.0;
+            // Optional input converter (MSDW), then the splitter.
+            let spl = netlist.add(Component::Splitter);
+            if spec.model == MulticastModel::Msdw {
+                let cvt = netlist.add(Component::converter());
+                netlist.connect(tap, slot, cvt);
+                netlist.connect_simple(cvt, spl);
+                input_converters.push(cvt);
+            } else {
+                netlist.connect(tap, slot, spl);
+            }
+            // Gates to reachable output endpoints.
+            match spec.model {
+                MulticastModel::Msw => {
+                    for p in 0..spec.out_ports {
+                        let out_flat = Endpoint::new(p, ep.wavelength.0).flat_index(k);
+                        let gate = netlist.add(Component::gate());
+                        netlist.connect_simple(spl, gate);
+                        netlist.connect_simple(gate, out_combiners[out_flat]);
+                        gates.insert((in_flat, out_flat), gate);
+                    }
+                }
+                MulticastModel::Msdw | MulticastModel::Maw => {
+                    for out_flat in 0..(spec.out_ports * k) as usize {
+                        let gate = netlist.add(Component::gate());
+                        netlist.connect_simple(spl, gate);
+                        netlist.connect_simple(gate, out_combiners[out_flat]);
+                        gates.insert((in_flat, out_flat), gate);
+                    }
+                }
+            }
+        }
+
+        WdmModule { spec, input_taps, output_muxes, gates, input_converters, output_converters }
+    }
+
+    /// The MSDW input converter of a local input endpoint, if any.
+    pub fn input_converter(&self, in_flat: usize) -> Option<NodeId> {
+        self.input_converters.get(in_flat).copied()
+    }
+
+    /// The MAW output converter of a local output endpoint, if any.
+    pub fn output_converter(&self, out_flat: usize) -> Option<NodeId> {
+        self.output_converters.get(out_flat).copied()
+    }
+
+    /// The gate wiring local input endpoint (flat) to local output
+    /// endpoint (flat), if the model has one.
+    pub fn gate(&self, in_flat: usize, out_flat: usize) -> Option<NodeId> {
+        self.gates.get(&(in_flat, out_flat)).copied()
+    }
+
+    /// Enable/disable the gate between two local endpoints.
+    ///
+    /// Panics if no such gate exists (an MSW module has no cross-
+    /// wavelength gates — asking for one is a controller bug).
+    pub fn set_gate(&self, netlist: &mut Netlist, in_flat: usize, out_flat: usize, on: bool) {
+        let id = self
+            .gate(in_flat, out_flat)
+            .unwrap_or_else(|| panic!("no gate between {in_flat} and {out_flat}"));
+        if let Component::SoaGate { enabled, .. } = netlist.component_mut(id) {
+            *enabled = on;
+        }
+    }
+
+    /// Program (or clear) the MSDW input converter of a local input
+    /// endpoint. No-op for other models.
+    pub fn program_input_converter(
+        &self,
+        netlist: &mut Netlist,
+        in_flat: usize,
+        target: Option<WavelengthId>,
+    ) {
+        if let Some(&id) = self.input_converters.get(in_flat) {
+            if let Component::Converter { target: t, .. } = netlist.component_mut(id) {
+                *t = target;
+            }
+        }
+    }
+
+    /// Disable every gate and clear every programmable converter of this
+    /// module.
+    pub fn reset(&self, netlist: &mut Netlist) {
+        for &id in self.gates.values() {
+            if let Component::SoaGate { enabled, .. } = netlist.component_mut(id) {
+                *enabled = false;
+            }
+        }
+        for &id in &self.input_converters {
+            if let Component::Converter { target, .. } = netlist.component_mut(id) {
+                *target = None;
+            }
+        }
+    }
+
+    /// Number of gates (== `spec.crosspoints()`; handy in tests).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{propagate, Census, Signal};
+    use std::collections::BTreeMap;
+    use wdm_core::PortId;
+
+    /// Frame a lone module with input/output ports for standalone tests.
+    fn framed(spec: ModuleSpec) -> (Netlist, WdmModule) {
+        let mut nl = Netlist::new();
+        let module = WdmModule::build_into(&mut nl, spec);
+        for (p, &tap) in module.input_taps.iter().enumerate() {
+            let inp = nl.add(Component::InputPort(PortId(p as u32)));
+            nl.connect_simple(inp, tap);
+        }
+        for (p, &mux) in module.output_muxes.iter().enumerate() {
+            let out = nl.add(Component::OutputPort(PortId(p as u32)));
+            nl.connect_simple(mux, out);
+        }
+        (nl, module)
+    }
+
+    #[test]
+    fn rectangular_census_matches_spec() {
+        for model in MulticastModel::ALL {
+            let spec =
+                ModuleSpec { in_ports: 3, out_ports: 5, wavelengths: 2, model };
+            let (nl, module) = framed(spec);
+            let census = Census::of(&nl);
+            assert_eq!(census.gates, spec.crosspoints(), "{model}");
+            assert_eq!(census.converters, spec.converters(), "{model}");
+            assert_eq!(module.gate_count() as u64, spec.crosspoints());
+            assert!(nl.validate().is_empty(), "{model}: {:?}", nl.validate());
+        }
+    }
+
+    #[test]
+    fn msw_module_has_no_cross_wavelength_gates() {
+        let spec = ModuleSpec {
+            in_ports: 2,
+            out_ports: 2,
+            wavelengths: 2,
+            model: MulticastModel::Msw,
+        };
+        let (_, module) = framed(spec);
+        // in (p0,λ0)=0 → out (p1,λ1)=3 must not exist.
+        assert!(module.gate(0, 3).is_none());
+        assert!(module.gate(0, 2).is_some()); // same λ
+    }
+
+    #[test]
+    fn multicast_through_rect_module() {
+        let spec = ModuleSpec {
+            in_ports: 2,
+            out_ports: 4,
+            wavelengths: 2,
+            model: MulticastModel::Msw,
+        };
+        let (mut nl, module) = framed(spec);
+        // (p0, λ1) multicast to output ports 0, 2, 3 on λ1.
+        let in_flat = Endpoint::new(0, 1).flat_index(2);
+        for p in [0u32, 2, 3] {
+            let out_flat = Endpoint::new(p, 1).flat_index(2);
+            module.set_gate(&mut nl, in_flat, out_flat, true);
+        }
+        let mut inj = BTreeMap::new();
+        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 1), wavelength: WavelengthId(1) }]);
+        let out = propagate::propagate(&nl, &inj);
+        assert!(out.is_clean());
+        for p in [0u32, 2, 3] {
+            assert_eq!(out.received_at(Endpoint::new(p, 1)).len(), 1, "port {p}");
+        }
+        assert!(out.received_at(Endpoint::new(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn msdw_module_converts_at_input() {
+        let spec = ModuleSpec {
+            in_ports: 1,
+            out_ports: 2,
+            wavelengths: 2,
+            model: MulticastModel::Msdw,
+        };
+        let (mut nl, module) = framed(spec);
+        let in_flat = Endpoint::new(0, 0).flat_index(2);
+        module.program_input_converter(&mut nl, in_flat, Some(WavelengthId(1)));
+        for p in 0..2u32 {
+            module.set_gate(&mut nl, in_flat, Endpoint::new(p, 1).flat_index(2), true);
+        }
+        let mut inj = BTreeMap::new();
+        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        let out = propagate::propagate(&nl, &inj);
+        assert!(out.is_clean());
+        assert_eq!(out.received_at(Endpoint::new(0, 1)).len(), 1);
+        assert_eq!(out.received_at(Endpoint::new(1, 1)).len(), 1);
+    }
+
+    #[test]
+    fn maw_module_converts_per_output() {
+        let spec = ModuleSpec {
+            in_ports: 1,
+            out_ports: 2,
+            wavelengths: 2,
+            model: MulticastModel::Maw,
+        };
+        let (mut nl, module) = framed(spec);
+        let in_flat = Endpoint::new(0, 0).flat_index(2);
+        // Deliver to (p0, λ2) and (p1, λ1) from a λ1 source.
+        module.set_gate(&mut nl, in_flat, Endpoint::new(0, 1).flat_index(2), true);
+        module.set_gate(&mut nl, in_flat, Endpoint::new(1, 0).flat_index(2), true);
+        let mut inj = BTreeMap::new();
+        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        let out = propagate::propagate(&nl, &inj);
+        assert!(out.is_clean());
+        assert_eq!(out.received_at(Endpoint::new(0, 1)).len(), 1);
+        assert_eq!(out.received_at(Endpoint::new(1, 0)).len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let spec = ModuleSpec {
+            in_ports: 2,
+            out_ports: 2,
+            wavelengths: 1,
+            model: MulticastModel::Msw,
+        };
+        let (mut nl, module) = framed(spec);
+        module.set_gate(&mut nl, 0, 1, true);
+        module.reset(&mut nl);
+        let mut inj = BTreeMap::new();
+        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        let out = propagate::propagate(&nl, &inj);
+        assert_eq!(out.lit_outputs().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no gate")]
+    fn set_missing_gate_panics() {
+        let spec = ModuleSpec {
+            in_ports: 2,
+            out_ports: 2,
+            wavelengths: 2,
+            model: MulticastModel::Msw,
+        };
+        let (mut nl, module) = framed(spec);
+        module.set_gate(&mut nl, 0, 3, true); // cross-wavelength under MSW
+    }
+}

@@ -1,0 +1,323 @@
+//! The device graph: components wired by directed fiber segments.
+
+use crate::{Component, ComponentKind, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a fiber segment in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+/// One directed fiber segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Upstream component.
+    pub from: NodeId,
+    /// Output slot on the upstream component. Slots are meaningful for
+    /// [`Component::Demux`] (slot `w` carries wavelength `λ_w`); other
+    /// components treat all output slots alike.
+    pub from_slot: u32,
+    /// Downstream component.
+    pub to: NodeId,
+}
+
+/// A directed acyclic graph of photonic components.
+///
+/// Built once by a crossbar constructor, then queried and mutated (gate
+/// enables, converter programs) by the routing controller.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    nodes: Vec<Component>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node, in insertion order.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node, in insertion order.
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Add a component, returning its id.
+    pub fn add(&mut self, component: Component) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(component);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Wire `from`'s output slot `from_slot` to `to`.
+    pub fn connect(&mut self, from: NodeId, from_slot: u32, to: NodeId) -> EdgeId {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "unknown node");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, from_slot, to });
+        self.out_edges[from.0].push(id);
+        self.in_edges[to.0].push(id);
+        id
+    }
+
+    /// Wire with slot 0 (for single-output components).
+    pub fn connect_simple(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        self.connect(from, 0, to)
+    }
+
+    /// Number of components.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of fiber segments.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The component at `id`.
+    pub fn component(&self, id: NodeId) -> &Component {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to the component at `id` (gate toggles, converter
+    /// programming, fault injection).
+    pub fn component_mut(&mut self, id: NodeId) -> &mut Component {
+        &mut self.nodes[id.0]
+    }
+
+    /// The edge record at `id`.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.0]
+    }
+
+    /// Outgoing edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.out_edges[id.0]
+    }
+
+    /// Incoming edges of `id`, in insertion order.
+    pub fn in_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.in_edges[id.0]
+    }
+
+    /// Iterate `(id, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Component)> {
+        self.nodes.iter().enumerate().map(|(i, c)| (NodeId(i), c))
+    }
+
+    /// Ids of all components of the given kind.
+    pub fn nodes_of_kind(&self, kind: ComponentKind) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().filter(move |(_, c)| c.kind() == kind).map(|(id, _)| id)
+    }
+
+    /// Topological order of the DAG.
+    ///
+    /// Panics if the graph has a cycle — crossbar constructors only build
+    /// feed-forward structures, so a cycle is a construction bug.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let mut indegree: Vec<usize> = self.in_edges.iter().map(|e| e.len()).collect();
+        let mut queue: Vec<NodeId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| NodeId(i))
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &eid in &self.out_edges[id.0] {
+                let to = self.edges[eid.0].to;
+                indegree[to.0] -= 1;
+                if indegree[to.0] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.nodes.len(), "netlist contains a cycle");
+        order
+    }
+
+    /// Export as Graphviz DOT for visualization (`dot -Tsvg`).
+    ///
+    /// Components are shaped by kind (gates are squares, converters
+    /// diamonds, passive devices ellipses) and enabled gates are filled.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "digraph \"{title}\" {{").unwrap();
+        writeln!(out, "  rankdir=LR;").unwrap();
+        writeln!(out, "  node [fontsize=10];").unwrap();
+        for (id, comp) in self.iter() {
+            let (label, attrs) = match comp {
+                Component::InputPort(p) => (format!("in {p}"), "shape=cds, style=filled, fillcolor=lightblue"),
+                Component::OutputPort(p) => (format!("out {p}"), "shape=cds, style=filled, fillcolor=lightgreen"),
+                Component::Demux => ("demux".to_string(), "shape=trapezium"),
+                Component::Mux => ("mux".to_string(), "shape=invtrapezium"),
+                Component::Splitter => ("split".to_string(), "shape=triangle"),
+                Component::Combiner => ("comb".to_string(), "shape=invtriangle"),
+                Component::SoaGate { enabled: true, broken: false } => {
+                    ("gate".to_string(), "shape=square, style=filled, fillcolor=gold")
+                }
+                Component::SoaGate { broken: true, .. } => {
+                    ("gate ✗".to_string(), "shape=square, style=filled, fillcolor=red")
+                }
+                Component::SoaGate { .. } => ("gate".to_string(), "shape=square"),
+                Component::Converter { target: Some(t), .. } => {
+                    (format!("conv→{t}"), "shape=diamond")
+                }
+                Component::Converter { .. } => ("conv".to_string(), "shape=diamond"),
+            };
+            writeln!(out, "  n{} [label=\"{label}\", {attrs}];", id.0).unwrap();
+        }
+        for i in 0..self.edges.len() {
+            let e = self.edges[i];
+            writeln!(out, "  n{} -> n{};", e.from.0, e.to.0).unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    /// Structural sanity checks: gates and converters are 1-in/1-out,
+    /// sources have no in-edges, sinks no out-edges. Returns a list of
+    /// violations (empty = sound).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (id, c) in self.iter() {
+            let ins = self.in_edges(id).len();
+            let outs = self.out_edges(id).len();
+            match c.kind() {
+                ComponentKind::SoaGate | ComponentKind::Converter => {
+                    if ins != 1 || outs != 1 {
+                        problems.push(format!("{id}: {} must be 1-in/1-out, has {ins}/{outs}", c.kind()));
+                    }
+                }
+                ComponentKind::InputPort => {
+                    if ins != 0 {
+                        problems.push(format!("{id}: input port has {ins} in-edges"));
+                    }
+                }
+                ComponentKind::OutputPort => {
+                    if outs != 0 {
+                        problems.push(format!("{id}: output port has {outs} out-edges"));
+                    }
+                }
+                ComponentKind::Combiner | ComponentKind::Mux => {
+                    if outs != 1 {
+                        problems.push(format!("{id}: {} must have exactly 1 output, has {outs}", c.kind()));
+                    }
+                    if ins < 1 {
+                        problems.push(format!("{id}: {} has no inputs", c.kind()));
+                    }
+                }
+                ComponentKind::Splitter | ComponentKind::Demux => {
+                    if ins != 1 {
+                        problems.push(format!("{id}: {} must have exactly 1 input, has {ins}", c.kind()));
+                    }
+                    if outs < 1 {
+                        problems.push(format!("{id}: {} has no outputs", c.kind()));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::PortId;
+
+    fn tiny() -> (Netlist, NodeId, NodeId, NodeId, NodeId) {
+        // input -> splitter -> gate -> output
+        let mut nl = Netlist::new();
+        let inp = nl.add(Component::InputPort(PortId(0)));
+        let spl = nl.add(Component::Splitter);
+        let gate = nl.add(Component::gate());
+        let out = nl.add(Component::OutputPort(PortId(0)));
+        nl.connect_simple(inp, spl);
+        nl.connect_simple(spl, gate);
+        nl.connect_simple(gate, out);
+        (nl, inp, spl, gate, out)
+    }
+
+    #[test]
+    fn adjacency_bookkeeping() {
+        let (nl, inp, spl, gate, out) = tiny();
+        assert_eq!(nl.node_count(), 4);
+        assert_eq!(nl.edge_count(), 3);
+        assert_eq!(nl.out_edges(inp).len(), 1);
+        assert_eq!(nl.in_edges(out).len(), 1);
+        let e = nl.edge(nl.out_edges(spl)[0]);
+        assert_eq!(e.to, gate);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (nl, ..) = tiny();
+        let order = nl.topological_order();
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for i in 0..nl.edge_count() {
+            let e = nl.edge(EdgeId(i));
+            assert!(pos[&e.from] < pos[&e.to]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let mut nl = Netlist::new();
+        let a = nl.add(Component::Splitter);
+        let b = nl.add(Component::Combiner);
+        nl.connect_simple(a, b);
+        nl.connect_simple(b, a);
+        nl.topological_order();
+    }
+
+    #[test]
+    fn validate_passes_on_sound_graph() {
+        let (nl, ..) = tiny();
+        assert!(nl.validate().is_empty(), "{:?}", nl.validate());
+    }
+
+    #[test]
+    fn validate_flags_malformed_gate() {
+        let mut nl = Netlist::new();
+        let inp = nl.add(Component::InputPort(PortId(0)));
+        let gate = nl.add(Component::gate());
+        nl.connect_simple(inp, gate);
+        // gate has no output
+        let problems = nl.validate();
+        assert!(problems.iter().any(|p| p.contains("gate")), "{problems:?}");
+    }
+
+    #[test]
+    fn dot_export_has_all_nodes_and_edges() {
+        let (nl, ..) = tiny();
+        let dot = nl.to_dot("tiny");
+        assert!(dot.starts_with("digraph \"tiny\""));
+        for i in 0..nl.node_count() {
+            assert!(dot.contains(&format!("n{i} [")), "node {i} missing");
+        }
+        assert_eq!(dot.matches(" -> ").count(), nl.edge_count());
+        assert!(dot.contains("shape=square")); // the gate
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn component_mut_toggles_gate() {
+        let (mut nl, _, _, gate, _) = tiny();
+        if let Component::SoaGate { enabled, .. } = nl.component_mut(gate) {
+            *enabled = true;
+        }
+        assert_eq!(nl.component(gate), &Component::SoaGate { enabled: true, broken: false });
+    }
+
+    #[test]
+    fn nodes_of_kind_filter() {
+        let (nl, ..) = tiny();
+        assert_eq!(nl.nodes_of_kind(ComponentKind::SoaGate).count(), 1);
+        assert_eq!(nl.nodes_of_kind(ComponentKind::Mux).count(), 0);
+    }
+}

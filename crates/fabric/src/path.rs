@@ -1,0 +1,156 @@
+//! Per-destination optical path tracing.
+//!
+//! The worst-case budget of [`crate::PowerBudget`] bounds every possible
+//! path; this module recovers the *actual* path one delivered signal
+//! took — the component chain from its input port to one destination —
+//! and the loss accumulated along it. Paths are reconstructed backwards
+//! from the destination using the per-edge signal sets recorded during
+//! propagation, keyed by signal *origin* (origins are unique per
+//! injection, and converters preserve them).
+
+use crate::{Component, Netlist, NodeId, PowerBudget, PowerParams, PropagationOutcome};
+use wdm_core::Endpoint;
+
+/// A reconstructed signal path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalPath {
+    /// Components traversed, input port first.
+    pub nodes: Vec<NodeId>,
+    /// Total loss along the path in dB (negative = net gain).
+    pub loss_db: f64,
+}
+
+impl SignalPath {
+    /// Number of components traversed.
+    pub fn hops(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Reconstruct the path of the signal delivered to `dest`, or `None` if
+/// nothing (or something ambiguous) arrived there.
+pub fn trace_signal(
+    netlist: &Netlist,
+    outcome: &PropagationOutcome,
+    dest: Endpoint,
+    params: &PowerParams,
+) -> Option<SignalPath> {
+    let &[signal] = &outcome.received_at(dest) else {
+        return None; // zero or multiple signals
+    };
+    let origin = signal.origin;
+
+    // Locate the destination's output port node.
+    let out_node = netlist
+        .iter()
+        .find(|(_, c)| matches!(c, Component::OutputPort(p) if p.0 == dest.port.0))
+        .map(|(id, _)| id)?;
+
+    // Walk upstream following edges that carried our origin.
+    let mut rev = vec![out_node];
+    let mut node = out_node;
+    loop {
+        let prev = netlist
+            .in_edges(node)
+            .iter()
+            .find(|&&e| outcome.edge_signals[e.0].iter().any(|s| s.origin == origin))?;
+        node = netlist.edge(*prev).from;
+        rev.push(node);
+        if netlist.component(node).is_source() {
+            break;
+        }
+        if rev.len() > netlist.node_count() {
+            return None; // defensive: malformed graph
+        }
+    }
+    rev.reverse();
+    let loss_db =
+        rev.iter().map(|&id| PowerBudget::device_loss(netlist, id, params)).sum();
+    Some(SignalPath { nodes: rev, loss_db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WdmCrossbar;
+    use wdm_core::{
+        MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
+    };
+
+    fn routed(model: MulticastModel) -> (WdmCrossbar, PropagationOutcome, MulticastAssignment) {
+        let net = NetworkConfig::new(4, 2);
+        let mut xbar = WdmCrossbar::build(net, model);
+        let mut asg = MulticastAssignment::new(net, model);
+        asg.add(
+            MulticastConnection::new(
+                Endpoint::new(0, 0),
+                [Endpoint::new(1, 0), Endpoint::new(3, 0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let outcome = xbar.route_verified(&asg).unwrap();
+        (xbar, outcome, asg)
+    }
+
+    #[test]
+    fn traces_input_to_output() {
+        let (xbar, outcome, _) = routed(MulticastModel::Msw);
+        let p = trace_signal(
+            xbar.netlist(),
+            &outcome,
+            Endpoint::new(1, 0),
+            &PowerParams::default(),
+        )
+        .expect("delivered signal has a path");
+        // input → demux → splitter → gate → combiner → mux → output.
+        assert_eq!(p.hops(), 7);
+        assert!(xbar.netlist().component(p.nodes[0]).is_source());
+        assert!(xbar.netlist().component(*p.nodes.last().unwrap()).is_sink());
+        // The path loss is bounded by the fabric's worst case.
+        let worst = xbar.power_budget(&PowerParams::default());
+        assert!(p.loss_db <= worst.worst_path_loss_db + 1e-9);
+    }
+
+    #[test]
+    fn maw_path_passes_a_converter() {
+        let (xbar, outcome, _) = routed(MulticastModel::Maw);
+        let p = trace_signal(
+            xbar.netlist(),
+            &outcome,
+            Endpoint::new(3, 0),
+            &PowerParams::default(),
+        )
+        .unwrap();
+        let has_converter = p
+            .nodes
+            .iter()
+            .any(|&id| matches!(xbar.netlist().component(id), Component::Converter { .. }));
+        assert!(has_converter, "MAW output path must include its converter");
+        // 8 hops: the converter adds one stage over MSW.
+        assert_eq!(p.hops(), 8);
+    }
+
+    #[test]
+    fn undelivered_endpoint_has_no_path() {
+        let (xbar, outcome, _) = routed(MulticastModel::Msw);
+        assert!(trace_signal(
+            xbar.netlist(),
+            &outcome,
+            Endpoint::new(2, 0),
+            &PowerParams::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn multicast_branches_share_the_splitter() {
+        let (xbar, outcome, _) = routed(MulticastModel::Msw);
+        let params = PowerParams::default();
+        let p1 = trace_signal(xbar.netlist(), &outcome, Endpoint::new(1, 0), &params).unwrap();
+        let p3 = trace_signal(xbar.netlist(), &outcome, Endpoint::new(3, 0), &params).unwrap();
+        // Same first three components (input, demux, splitter), then fork.
+        assert_eq!(&p1.nodes[..3], &p3.nodes[..3]);
+        assert_ne!(p1.nodes[3], p3.nodes[3]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Optical power-budget estimation.
+//!
+//! The paper notes (§2.3) that the crosspoint count "may also be used to
+//! project the crosstalk and power loss inside a WDM switch". This module
+//! makes that projection concrete: each passive split/combine stage loses
+//! `10·log₁₀(fanout)` dB, each device adds its insertion loss, and SOA
+//! gates contribute gain. The worst-case input→output path loss of a
+//! fabric is a first-order figure of merit for how much amplification a
+//! real implementation would need.
+
+use crate::{Component, Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Per-device optical parameters in dB. Defaults follow textbook values
+/// for integrated photonic components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Insertion loss of any device the light passes (dB).
+    pub insertion_loss_db: f64,
+    /// Gain of an enabled SOA gate (dB, applied as negative loss).
+    pub soa_gain_db: f64,
+    /// Loss of a wavelength converter (dB).
+    pub converter_loss_db: f64,
+    /// Extra loss per mux/demux stage (dB).
+    pub mux_loss_db: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            insertion_loss_db: 0.5,
+            soa_gain_db: 10.0,
+            converter_loss_db: 2.0,
+            mux_loss_db: 1.5,
+        }
+    }
+}
+
+/// Worst-case power analysis of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Largest end-to-end loss over all input→output paths (dB; negative
+    /// values mean net gain).
+    pub worst_path_loss_db: f64,
+    /// Number of hops on that worst path.
+    pub worst_path_hops: usize,
+}
+
+impl PowerBudget {
+    /// Analyze `netlist` under `params`.
+    ///
+    /// Dynamic programming over the DAG: the loss at a node is the maximum
+    /// over predecessors of (their loss + edge device loss). Splitting
+    /// loss is charged at the splitter/demux according to its fanout;
+    /// combining loss at the combiner/mux according to its fan-in. Gate
+    /// state is ignored — this is a static worst-case budget of the
+    /// fabric, not of one routed configuration.
+    pub fn analyze(netlist: &Netlist, params: &PowerParams) -> PowerBudget {
+        let order = netlist.topological_order();
+        let n = netlist.node_count();
+        // (loss, hops) accumulated on the worst path reaching the node.
+        let mut loss = vec![f64::NEG_INFINITY; n];
+        let mut hops = vec![0usize; n];
+        for &id in &order {
+            let comp = netlist.component(id);
+            if comp.is_source() {
+                loss[id.0] = 0.0;
+            }
+            if loss[id.0] == f64::NEG_INFINITY {
+                continue; // unreachable
+            }
+            let own = Self::device_loss(netlist, id, params);
+            let out_total = loss[id.0] + own;
+            for &e in netlist.out_edges(id) {
+                let to = netlist.edge(e).to;
+                let cand = out_total;
+                if cand > loss[to.0] {
+                    loss[to.0] = cand;
+                    hops[to.0] = hops[id.0] + 1;
+                }
+            }
+        }
+        let worst = netlist
+            .iter()
+            .filter(|(_, c)| c.is_sink())
+            .map(|(id, _)| (loss[id.0], hops[id.0]))
+            .filter(|(l, _)| *l != f64::NEG_INFINITY)
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let (worst_loss, worst_hops) = worst.unwrap_or((0.0, 0));
+        PowerBudget { worst_path_loss_db: worst_loss, worst_path_hops: worst_hops }
+    }
+
+    /// Loss contributed by traversing `id` (dB; negative = gain).
+    pub(crate) fn device_loss(netlist: &Netlist, id: NodeId, params: &PowerParams) -> f64 {
+        let fanout = netlist.out_edges(id).len().max(1) as f64;
+        let fanin = netlist.in_edges(id).len().max(1) as f64;
+        match netlist.component(id) {
+            Component::InputPort(_) | Component::OutputPort(_) => 0.0,
+            Component::Splitter => params.insertion_loss_db + 10.0 * fanout.log10(),
+            Component::Demux => params.mux_loss_db,
+            Component::Mux => params.mux_loss_db,
+            Component::Combiner => params.insertion_loss_db + 10.0 * fanin.log10(),
+            Component::SoaGate { .. } => params.insertion_loss_db - params.soa_gain_db,
+            Component::Converter { .. } => params.converter_loss_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::PortId;
+
+    #[test]
+    fn splitter_loss_grows_with_fanout() {
+        // input -> splitter(fanout f) -> output; loss = 0.5 + 10 log10 f.
+        for f in [2usize, 4, 8] {
+            let mut nl = Netlist::new();
+            let inp = nl.add(Component::InputPort(PortId(0)));
+            let spl = nl.add(Component::Splitter);
+            nl.connect_simple(inp, spl);
+            let mut sinks = Vec::new();
+            for i in 0..f {
+                let out = nl.add(Component::OutputPort(PortId(i as u32)));
+                nl.connect_simple(spl, out);
+                sinks.push(out);
+            }
+            let b = PowerBudget::analyze(&nl, &PowerParams::default());
+            let expect = 0.5 + 10.0 * (f as f64).log10();
+            assert!((b.worst_path_loss_db - expect).abs() < 1e-9, "f={f}");
+        }
+    }
+
+    #[test]
+    fn soa_gate_contributes_gain() {
+        let mut nl = Netlist::new();
+        let inp = nl.add(Component::InputPort(PortId(0)));
+        let gate = nl.add(Component::gate());
+        let out = nl.add(Component::OutputPort(PortId(0)));
+        nl.connect_simple(inp, gate);
+        nl.connect_simple(gate, out);
+        let b = PowerBudget::analyze(&nl, &PowerParams::default());
+        assert!((b.worst_path_loss_db - (0.5 - 10.0)).abs() < 1e-9);
+        assert_eq!(b.worst_path_hops, 2);
+    }
+
+    #[test]
+    fn empty_netlist_is_zero() {
+        let b = PowerBudget::analyze(&Netlist::new(), &PowerParams::default());
+        assert_eq!(b.worst_path_loss_db, 0.0);
+        assert_eq!(b.worst_path_hops, 0);
+    }
+
+    #[test]
+    fn worst_of_two_paths_selected() {
+        // One path through a converter (lossy), one direct.
+        let mut nl = Netlist::new();
+        let inp = nl.add(Component::InputPort(PortId(0)));
+        let spl = nl.add(Component::Splitter);
+        let cvt = nl.add(Component::converter());
+        let o1 = nl.add(Component::OutputPort(PortId(0)));
+        let o2 = nl.add(Component::OutputPort(PortId(1)));
+        nl.connect_simple(inp, spl);
+        nl.connect_simple(spl, cvt);
+        nl.connect_simple(cvt, o1);
+        nl.connect_simple(spl, o2);
+        let b = PowerBudget::analyze(&nl, &PowerParams::default());
+        // splitter: 0.5 + 10log10(2); converter: +2.0
+        let expect = 0.5 + 10.0 * 2f64.log10() + 2.0;
+        assert!((b.worst_path_loss_db - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! The crossbar designs of Figs. 4–7 are *nonblocking*: every multicast
+//! assignment legal under the fabric's model must route with no physical
+//! conflict and exact delivery. For tiny networks we can check this for
+//! **every** assignment; larger sizes get randomized coverage in
+//! `proptest_fabric.rs`.
+
+use wdm_core::{enumerate, MulticastModel, NetworkConfig};
+use wdm_fabric::WdmCrossbar;
+
+fn exhaustive_check(net: NetworkConfig, model: MulticastModel) {
+    let mut xbar = WdmCrossbar::build(net, model);
+    let mut count = 0usize;
+    for map in enumerate::valid_maps(net, model, true) {
+        let asg = map.to_assignment(model).expect("enumerated map is valid");
+        let outcome = xbar
+            .route_verified(&asg)
+            .unwrap_or_else(|e| panic!("{model} assignment blocked: {e}\n{asg}"));
+        assert!(outcome.delivered_exactly(&asg));
+        count += 1;
+    }
+    // Cross-check the brute-force count against the closed form (the
+    // routed set *is* the capacity).
+    let expect = wdm_core::capacity::any_assignments(net, model);
+    assert_eq!(wdm_bignum::BigUint::from(count as u64), expect);
+}
+
+#[test]
+fn msw_crossbar_nonblocking_2x2_2wl() {
+    exhaustive_check(NetworkConfig::new(2, 2), MulticastModel::Msw);
+}
+
+#[test]
+fn msdw_crossbar_nonblocking_2x2_2wl() {
+    exhaustive_check(NetworkConfig::new(2, 2), MulticastModel::Msdw);
+}
+
+#[test]
+fn maw_crossbar_nonblocking_2x2_2wl() {
+    exhaustive_check(NetworkConfig::new(2, 2), MulticastModel::Maw);
+}
+
+#[test]
+fn msw_crossbar_nonblocking_3x3_1wl() {
+    exhaustive_check(NetworkConfig::new(3, 1), MulticastModel::Msw);
+}
+
+#[test]
+fn maw_crossbar_nonblocking_1x1_3wl() {
+    exhaustive_check(NetworkConfig::new(1, 3), MulticastModel::Maw);
+}
+
+#[test]
+fn msdw_crossbar_nonblocking_3x3_1wl() {
+    // k = 1 degenerates all models to the classic space switch.
+    exhaustive_check(NetworkConfig::new(3, 1), MulticastModel::Msdw);
+}
+
+#[test]
+fn msw_crossbar_nonblocking_2x2_3wl() {
+    exhaustive_check(NetworkConfig::new(2, 3), MulticastModel::Msw);
+}
+
+#[test]
+fn maw_crossbar_nonblocking_2x2_3wl() {
+    // The largest exhaustive sweep: 7^6 = 117 649 candidate maps.
+    exhaustive_check(NetworkConfig::new(2, 3), MulticastModel::Maw);
+}
+
+#[test]
+fn msdw_crossbar_nonblocking_2x2_3wl() {
+    exhaustive_check(NetworkConfig::new(2, 3), MulticastModel::Msdw);
+}

@@ -1,0 +1,135 @@
+//! Randomized nonblocking checks on larger crossbars, plus census and
+//! power properties.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use wdm_core::{
+    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
+    NetworkConfig,
+};
+use wdm_fabric::{PowerParams, WdmCrossbar};
+
+/// Greedy random assignment under `model` (never fails: conflicting
+/// candidates are skipped).
+fn random_assignment(
+    net: NetworkConfig,
+    model: MulticastModel,
+    rng: &mut StdRng,
+    attempts: usize,
+) -> MulticastAssignment {
+    let mut asg = MulticastAssignment::new(net, model);
+    for _ in 0..attempts {
+        let src = Endpoint::new(rng.gen_range(0..net.ports), rng.gen_range(0..net.wavelengths));
+        let fanout = rng.gen_range(1..=net.ports);
+        let mut ports: Vec<u32> = (0..net.ports).collect();
+        // partial Fisher–Yates for a random port subset
+        for i in 0..fanout as usize {
+            let j = rng.gen_range(i..ports.len());
+            ports.swap(i, j);
+        }
+        let dest_wl = rng.gen_range(0..net.wavelengths);
+        let dests = ports[..fanout as usize].iter().map(|&p| {
+            let w = match model {
+                MulticastModel::Msw => src.wavelength.0,
+                MulticastModel::Msdw => dest_wl,
+                MulticastModel::Maw => rng.gen_range(0..net.wavelengths),
+            };
+            Endpoint::new(p, w)
+        });
+        if let Ok(conn) = MulticastConnection::new(src, dests) {
+            let _ = asg.add(conn);
+        }
+    }
+    asg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_assignments_always_route(
+        n in 2u32..7,
+        k in 1u32..4,
+        model in prop::sample::select(&MulticastModel::ALL),
+        seed in any::<u64>(),
+    ) {
+        let net = NetworkConfig::new(n, k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xbar = WdmCrossbar::build(net, model);
+        for _ in 0..4 {
+            let asg = random_assignment(net, model, &mut rng, 3 * (n * k) as usize);
+            let outcome = xbar.route_verified(&asg);
+            prop_assert!(outcome.is_ok(), "{} blocked: {:?}\n{}", model, outcome.err(), asg);
+        }
+    }
+
+    #[test]
+    fn census_is_size_polynomial(n in 1u32..9, k in 1u32..5) {
+        let net = NetworkConfig::new(n, k);
+        for model in MulticastModel::ALL {
+            let c = WdmCrossbar::build(net, model).census();
+            prop_assert_eq!(c.gates, capacity::crossbar_crosspoints(net, model));
+            prop_assert_eq!(c.converters, capacity::crossbar_converters(net, model));
+            prop_assert_eq!(c.inputs, n as u64);
+            prop_assert_eq!(c.outputs, n as u64);
+            prop_assert_eq!(c.demuxes, n as u64);
+            prop_assert_eq!(c.muxes, n as u64);
+            prop_assert_eq!(c.splitters, (n * k) as u64);
+            prop_assert_eq!(c.combiners, (n * k) as u64);
+        }
+    }
+
+    #[test]
+    fn msw_has_cheapest_power_budget(n in 2u32..6, k in 2u32..4) {
+        // MSW splitters fan out to N, MSDW/MAW to Nk — the passive loss
+        // ordering must reflect it.
+        let net = NetworkConfig::new(n, k);
+        let params = PowerParams::default();
+        let msw = WdmCrossbar::build(net, MulticastModel::Msw).power_budget(&params);
+        let maw = WdmCrossbar::build(net, MulticastModel::Maw).power_budget(&params);
+        prop_assert!(msw.worst_path_loss_db < maw.worst_path_loss_db);
+    }
+
+    #[test]
+    fn crosstalk_exposure_tracks_crosspoints(n in 2u32..7, k in 2u32..4, seed in any::<u64>()) {
+        // §2.3: more crosspoints → more first-order leakage paths, for
+        // the identical (MSW-legal) load.
+        let net = NetworkConfig::new(n, k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let asg = random_assignment(net, MulticastModel::Msw, &mut rng, 3 * (n * k) as usize);
+        prop_assume!(!asg.is_empty());
+        let mut msw = WdmCrossbar::build(net, MulticastModel::Msw);
+        let mut maw = WdmCrossbar::build(net, MulticastModel::Maw);
+        let e_msw = msw.route_verified(&asg).unwrap().total_crosstalk_exposure();
+        let e_maw = maw.route_verified(&asg).unwrap().total_crosstalk_exposure();
+        prop_assert!(e_msw <= e_maw, "MSW {e_msw} > MAW {e_maw}");
+        // Exposure is bounded by the crosspoint count.
+        prop_assert!(e_msw <= capacity::crossbar_crosspoints(net, MulticastModel::Msw));
+        prop_assert!(e_maw <= capacity::crossbar_crosspoints(net, MulticastModel::Maw));
+    }
+
+    #[test]
+    fn breaking_an_unused_gate_is_harmless(
+        seed in any::<u64>(),
+        model in prop::sample::select(&MulticastModel::ALL),
+    ) {
+        let net = NetworkConfig::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xbar = WdmCrossbar::build(net, model);
+        let asg = random_assignment(net, model, &mut rng, 6);
+        // Find a crosspoint no connection uses.
+        let used: std::collections::HashSet<(Endpoint, Endpoint)> = asg
+            .connections()
+            .flat_map(|c| c.destinations().iter().map(move |&d| (c.source(), d)))
+            .collect();
+        'outer: for ip in net.endpoints() {
+            for op in net.endpoints() {
+                if !used.contains(&(ip, op)) && xbar.gate_between(ip, op).is_some() {
+                    xbar.break_gate(ip, op);
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert!(xbar.route_verified(&asg).is_ok());
+    }
+}

@@ -1,0 +1,201 @@
+//! Sufficient nonblocking conditions on the middle-stage count `m`
+//! (Theorems 1 and 2) and the §3.4 closed form.
+//!
+//! Both theorems bound the middle switches a new request can find
+//! unavailable, assuming the routing strategy that fans each multicast
+//! connection over at most `x` middle switches:
+//!
+//! * **Theorem 1** (MSW-dominant): the connection lives on its source
+//!   wavelength only, so only the `n−1` other same-wavelength inputs of
+//!   its input module compete — `m > (n−1)·x + (n−1)·r^{1/x}`.
+//! * **Theorem 2** (MAW-dominant): all `nk−1` other input wavelengths
+//!   compete, but a middle switch only becomes unavailable when all `k`
+//!   wavelengths of its input link are taken —
+//!   `m > ⌊(nk−1)·x / k⌋ + (n−1)·r^{1/x}`.
+//!
+//! The second term is Lemma 5's bound `(n−1)·r^{1/x}` on how many middle
+//! switches may be needed before `x` of them with jointly-null
+//! destination multisets exist.
+
+use serde::{Deserialize, Serialize};
+
+/// A minimized nonblocking bound: the smallest sufficient `m` and the
+/// fan-out limit `x` that attains it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MiddleBound {
+    /// Smallest integer `m` satisfying the strict bound.
+    pub m: u32,
+    /// The optimizing `x` (each connection uses at most `x` middle
+    /// switches).
+    pub x: u32,
+    /// The real-valued right-hand side at the optimum.
+    pub rhs: f64,
+}
+
+/// `r^{1/x}` with a tiny guard against floating-point undershoot of exact
+/// roots (e.g. `64^{1/3}` evaluating to `3.9999…`).
+fn root(r: u32, x: u32) -> f64 {
+    let v = (r as f64).powf(1.0 / x as f64);
+    let rounded = v.round();
+    if (v - rounded).abs() < 1e-9 {
+        rounded
+    } else {
+        v
+    }
+}
+
+/// Range of useful `x`: `1 ≤ x ≤ min(n−1, r)` (Theorem 1's statement).
+/// For `n = 1` there is no competing input, but a connection still needs
+/// one middle switch, so `x = 1` is used.
+fn x_range(n: u32, r: u32) -> impl Iterator<Item = u32> {
+    1..=(n.saturating_sub(1)).min(r).max(1)
+}
+
+/// Theorem 1 right-hand side for a given `x`.
+pub fn theorem1_rhs(n: u32, r: u32, x: u32) -> f64 {
+    (n as f64 - 1.0) * (x as f64 + root(r, x))
+}
+
+/// Theorem 2 right-hand side for a given `x`.
+pub fn theorem2_rhs(n: u32, r: u32, k: u32, x: u32) -> f64 {
+    let unavailable = ((n as u64 * k as u64 - 1) * x as u64 / k as u64) as f64;
+    unavailable + (n as f64 - 1.0) * root(r, x)
+}
+
+/// Minimize Theorem 1 over `x`: the MSW-dominant sufficient condition
+/// `m > (n−1)(x + r^{1/x})` (Eq. 1).
+pub fn theorem1_min_m(n: u32, r: u32) -> MiddleBound {
+    minimize(n, r, |x| theorem1_rhs(n, r, x))
+}
+
+/// Minimize Theorem 2 over `x`: the MAW-dominant sufficient condition
+/// `m > ⌊(nk−1)x/k⌋ + (n−1)r^{1/x}` (Eq. 6).
+pub fn theorem2_min_m(n: u32, r: u32, k: u32) -> MiddleBound {
+    minimize(n, r, |x| theorem2_rhs(n, r, k, x))
+}
+
+fn minimize(n: u32, r: u32, rhs: impl Fn(u32) -> f64) -> MiddleBound {
+    let (best_x, best_rhs) = x_range(n, r)
+        .map(|x| (x, rhs(x)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("x range is never empty");
+    // Strict inequality: the smallest integer m with m > rhs.
+    let m = (best_rhs.floor() as u32) + 1;
+    MiddleBound { m, x: best_x, rhs: best_rhs }
+}
+
+/// The §3.4 closed form obtained from Theorem 1 with
+/// `x = 2·log r / log log r`: `m ≥ 3(n−1)·log r / log log r`.
+///
+/// Defined for `r ≥ 3` (so that `log log r > 0`); smaller `r` fall back
+/// to the exact Theorem 1 minimum.
+pub fn section34_m(n: u32, r: u32) -> f64 {
+    let lr = (r as f64).ln();
+    if r < 3 || lr.ln() <= 0.0 {
+        return theorem1_min_m(n, r).rhs;
+    }
+    3.0 * (n as f64 - 1.0) * lr / lr.ln()
+}
+
+/// The `x` used by the §3.4 closed form.
+pub fn section34_x(r: u32) -> f64 {
+    let lr = (r as f64).ln();
+    if r < 3 || lr.ln() <= 0.0 {
+        return 1.0;
+    }
+    2.0 * lr / lr.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_small_cases_by_hand() {
+        // n=2, r=2: x ∈ {1}; rhs = 1·(1+2) = 3 → m ≥ 4.
+        let b = theorem1_min_m(2, 2);
+        assert_eq!((b.m, b.x), (4, 1));
+        // n=4, r=4: x∈{1,2,3}; rhs(1)=3·5=15, rhs(2)=3·4=12, rhs(3)=3·(3+4^{1/3})≈13.76.
+        let b = theorem1_min_m(4, 4);
+        assert_eq!((b.m, b.x), (13, 2));
+    }
+
+    #[test]
+    fn theorem1_reduces_to_crossbar_like_growth() {
+        // x=1 gives the classic m > (n−1)(1+r); larger r must favor x ≥ 2.
+        let b = theorem1_min_m(8, 64);
+        assert!(b.x >= 2);
+        assert!((b.m as f64) < 7.0 * (1.0 + 64.0)); // beats x = 1
+    }
+
+    #[test]
+    fn theorem2_equals_theorem1_at_k1() {
+        for (n, r) in [(2u32, 2u32), (3, 4), (4, 4), (5, 9), (8, 8)] {
+            let t1 = theorem1_min_m(n, r);
+            let t2 = theorem2_min_m(n, r, 1);
+            assert_eq!(t1.m, t2.m, "n={n} r={r}");
+        }
+    }
+
+    #[test]
+    fn theorem2_never_below_theorem1() {
+        // MAW-dominant needs at least as many middle switches (§3.4).
+        for (n, r, k) in [(4u32, 4u32, 2u32), (4, 4, 4), (8, 8, 2), (3, 9, 3), (6, 6, 8)] {
+            let t1 = theorem1_min_m(n, r).m;
+            let t2 = theorem2_min_m(n, r, k).m;
+            assert!(t2 >= t1, "n={n} r={r} k={k}: {t2} < {t1}");
+        }
+    }
+
+    #[test]
+    fn theorem2_unavailable_term_examples() {
+        // n=2, k=2, x=1: ⌊(4−1)/2⌋ = 1 unavailable, plus (n−1)r.
+        assert_eq!(theorem2_rhs(2, 2, 2, 1), 1.0 + 2.0);
+        // n=2, k=2, r=2 → min over x∈{1}: rhs 3 → m ≥ 4.
+        assert_eq!(theorem2_min_m(2, 2, 2).m, 4);
+    }
+
+    #[test]
+    fn exact_roots_do_not_undershoot() {
+        // 64^(1/3) must be exactly 4, not 3.9999…
+        assert_eq!(root(64, 3), 4.0);
+        assert_eq!(root(16, 2), 4.0);
+        assert_eq!(root(7, 2), (7f64).sqrt());
+    }
+
+    #[test]
+    fn n1_degenerates_gracefully() {
+        // A single input per module competes with nobody: rhs = 0, m ≥ 1.
+        let b = theorem1_min_m(1, 4);
+        assert_eq!(b.m, 1);
+    }
+
+    #[test]
+    fn section34_closed_form_dominates_exact_bound() {
+        // The closed form is a (loose) upper bound for the exact minimum.
+        for (n, r) in [(4u32, 16u32), (8, 64), (16, 256), (32, 1024)] {
+            let exact = theorem1_min_m(n, r).rhs;
+            let closed = section34_m(n, r);
+            assert!(
+                closed + 1e-9 >= exact,
+                "closed {closed} < exact {exact} at n={n} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn section34_growth_is_sublinear_in_r() {
+        // m/n grows like log r / log log r, far below √r.
+        let m1 = section34_m(2, 64) / 1.0;
+        let m2 = section34_m(2, 4096) / 1.0;
+        assert!(m2 / m1 < (4096f64 / 64.0).sqrt());
+        assert!(section34_x(4096) > section34_x(64));
+    }
+
+    #[test]
+    fn bound_monotone_in_n_and_r() {
+        assert!(theorem1_min_m(4, 8).m <= theorem1_min_m(5, 8).m);
+        assert!(theorem1_min_m(4, 8).m <= theorem1_min_m(4, 16).m);
+        assert!(theorem2_min_m(4, 8, 2).m <= theorem2_min_m(5, 8, 2).m);
+    }
+}

@@ -1,0 +1,212 @@
+//! Network cost of multistage designs — §3.4 and Table 2.
+//!
+//! Crosspoints are summed module by module. A `a×b` `k`-wavelength module
+//! costs `k·a·b` crosspoints under MSW and `k²·a·b` under MSDW/MAW
+//! (§2.3.1 applied to rectangular modules). Converters follow the Fig. 3
+//! placements: an MSDW module converts on its *input* wavelengths, an MAW
+//! module on its *output* wavelengths.
+
+use crate::{bounds, Construction, ThreeStageParams};
+use serde::{Deserialize, Serialize};
+use wdm_core::MulticastModel;
+
+/// Cost summary of one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Total SOA-gate crosspoints.
+    pub crosspoints: u64,
+    /// Total wavelength converters.
+    pub converters: u64,
+}
+
+/// Crosspoints of one `a×b` `k`-wavelength module under `model`.
+pub fn module_crosspoints(a: u64, b: u64, k: u64, model: MulticastModel) -> u64 {
+    match model {
+        MulticastModel::Msw => k * a * b,
+        MulticastModel::Msdw | MulticastModel::Maw => k * k * a * b,
+    }
+}
+
+/// Converters of one `a×b` `k`-wavelength module under `model`
+/// (input-side for MSDW, output-side for MAW — Fig. 3).
+pub fn module_converters(a: u64, b: u64, k: u64, model: MulticastModel) -> u64 {
+    match model {
+        MulticastModel::Msw => 0,
+        MulticastModel::Msdw => k * a,
+        MulticastModel::Maw => k * b,
+    }
+}
+
+/// Total cost of a three-stage network built with `construction` in the
+/// first two stages and `output_model` modules in the output stage.
+///
+/// §3.4 (MSW-dominant):
+/// * MSW output stage: `r·knm + m·kr² + r·kmn = kmr(2n + r)` crosspoints,
+///   0 converters;
+/// * MSDW output stage: `kmr[(k+1)n + r]` crosspoints and `r·mk`
+///   converters (the `m` input links of each output module);
+/// * MAW output stage: same crosspoints, `r·nk = kN` converters.
+pub fn three_stage_cost(
+    p: ThreeStageParams,
+    construction: Construction,
+    output_model: MulticastModel,
+) -> NetworkCost {
+    let (n, m, r, k) = (p.n as u64, p.m as u64, p.r as u64, p.k as u64);
+    let first_two = match construction {
+        Construction::MswDominant => MulticastModel::Msw,
+        Construction::MawDominant => MulticastModel::Maw,
+    };
+    let crosspoints = r * module_crosspoints(n, m, k, first_two)      // input stage
+        + m * module_crosspoints(r, r, k, first_two)                  // middle stage
+        + r * module_crosspoints(m, n, k, output_model); // output stage
+    let converters = r * module_converters(n, m, k, first_two)
+        + m * module_converters(r, r, k, first_two)
+        + r * module_converters(m, n, k, output_model);
+    NetworkCost { crosspoints, converters }
+}
+
+/// Cost of the single-stage crossbar baseline (Table 1 rows of Table 2).
+pub fn crossbar_cost(ports: u64, k: u64, model: MulticastModel) -> NetworkCost {
+    NetworkCost {
+        crosspoints: module_crosspoints(ports, ports, k, model),
+        converters: match model {
+            MulticastModel::Msw => 0,
+            MulticastModel::Msdw | MulticastModel::Maw => ports * k,
+        },
+    }
+}
+
+/// The §3.4 recommended design for `N` ports (perfect square): square
+/// decomposition `n = r = √N`, `m` from Theorem 1, MSW-dominant.
+pub fn recommended_design(ports: u32, k: u32, output_model: MulticastModel) -> (ThreeStageParams, NetworkCost) {
+    let p = ThreeStageParams::square(ports, k);
+    let cost = three_stage_cost(p, Construction::MswDominant, output_model);
+    (p, cost)
+}
+
+/// Recursively decompose: a 5-stage (or deeper) network replaces each
+/// middle module of the three-stage design with a three-stage network of
+/// size `r×r`, as the paper sketches ("built in a recursive fashion").
+/// Returns the crosspoint total for the given recursion `depth`
+/// (`depth = 1` is the plain three-stage network; `depth = 0` a
+/// crossbar).
+///
+/// Only perfect-square sizes are decomposed; recursion stops early when
+/// `r` is not a perfect square or too small to profit.
+pub fn recursive_crosspoints(
+    ports: u64,
+    k: u64,
+    output_model: MulticastModel,
+    depth: u32,
+) -> u64 {
+    if depth == 0 || ports < 16 {
+        return crossbar_cost(ports, k, output_model).crosspoints;
+    }
+    let side = (ports as f64).sqrt().round() as u64;
+    if side * side != ports {
+        return crossbar_cost(ports, k, output_model).crosspoints;
+    }
+    let (n, r) = (side as u32, side as u32);
+    let m = bounds::theorem1_min_m(n, r).m as u64;
+    // Input stage (MSW) + r output-stage modules + m recursive middles.
+    let input = r as u64 * module_crosspoints(n as u64, m, k, MulticastModel::Msw);
+    let output = r as u64 * module_crosspoints(m, n as u64, k, output_model);
+    let middles = m * recursive_crosspoints(r as u64, k, MulticastModel::Msw, depth - 1);
+    input + output + middles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_cost_matches_section231() {
+        assert_eq!(module_crosspoints(3, 3, 2, MulticastModel::Msw), 18);
+        assert_eq!(module_crosspoints(3, 3, 2, MulticastModel::Maw), 36);
+        assert_eq!(module_converters(3, 5, 2, MulticastModel::Msw), 0);
+        assert_eq!(module_converters(3, 5, 2, MulticastModel::Msdw), 6); // input side
+        assert_eq!(module_converters(3, 5, 2, MulticastModel::Maw), 10); // output side
+    }
+
+    #[test]
+    fn msw_dominant_msw_output_formula() {
+        // §3.4: crosspoints = kmr(2n + r), converters = 0.
+        let p = ThreeStageParams::new(4, 13, 4, 2);
+        let c = three_stage_cost(p, Construction::MswDominant, MulticastModel::Msw);
+        assert_eq!(c.crosspoints, 2 * 13 * 4 * (2 * 4 + 4));
+        assert_eq!(c.converters, 0);
+    }
+
+    #[test]
+    fn msw_dominant_msdw_maw_output_formula() {
+        // §3.4: crosspoints = kmr[(k+1)n + r].
+        let p = ThreeStageParams::new(4, 13, 4, 2);
+        for model in [MulticastModel::Msdw, MulticastModel::Maw] {
+            let c = three_stage_cost(p, Construction::MswDominant, model);
+            assert_eq!(c.crosspoints, 2 * 13 * 4 * ((2 + 1) * 4 + 4), "{model}");
+        }
+        // Converters: MSDW: r·mk (input links of output modules);
+        //             MAW:  r·nk = kN.
+        let msdw = three_stage_cost(p, Construction::MswDominant, MulticastModel::Msdw);
+        assert_eq!(msdw.converters, 4 * 13 * 2);
+        let maw = three_stage_cost(p, Construction::MswDominant, MulticastModel::Maw);
+        assert_eq!(maw.converters, 4 * 4 * 2);
+        // The paper's §3.4 observation: MSDW needs *more* converters.
+        assert!(msdw.converters > maw.converters);
+    }
+
+    #[test]
+    fn maw_dominant_costs_more() {
+        // §3.4: MAW-dominant has more crosspoints and converters than
+        // MSW-dominant under every output model.
+        let p = ThreeStageParams::new(4, 16, 4, 2);
+        for model in MulticastModel::ALL {
+            let msw_dom = three_stage_cost(p, Construction::MswDominant, model);
+            let maw_dom = three_stage_cost(p, Construction::MawDominant, model);
+            assert!(maw_dom.crosspoints > msw_dom.crosspoints, "{model}");
+            assert!(maw_dom.converters >= msw_dom.converters, "{model}");
+        }
+    }
+
+    #[test]
+    fn multistage_beats_crossbar_at_scale() {
+        // Table 2's whole point: O(kN^1.5·log/loglog) < kN² for large N.
+        for ports in [256u32, 1024, 4096] {
+            let k = 2;
+            let (_, ms) = recommended_design(ports, k, MulticastModel::Msw);
+            let cb = crossbar_cost(ports as u64, k as u64, MulticastModel::Msw);
+            assert!(
+                ms.crosspoints < cb.crosspoints,
+                "N={ports}: {} !< {}",
+                ms.crosspoints,
+                cb.crosspoints
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_exists_at_small_sizes() {
+        // At tiny N the three-stage overhead loses to the crossbar.
+        let (_, ms) = recommended_design(16, 2, MulticastModel::Msw);
+        let cb = crossbar_cost(16, 2, MulticastModel::Msw);
+        assert!(ms.crosspoints > cb.crosspoints);
+    }
+
+    #[test]
+    fn recursion_reduces_cost_for_huge_networks() {
+        let n = 65536; // 2^16, so r = 256 is also a perfect square
+        let flat3 = recursive_crosspoints(n, 2, MulticastModel::Msw, 1);
+        let five = recursive_crosspoints(n, 2, MulticastModel::Msw, 2);
+        let xbar = recursive_crosspoints(n, 2, MulticastModel::Msw, 0);
+        assert!(flat3 < xbar);
+        assert!(five < flat3);
+    }
+
+    #[test]
+    fn depth_zero_is_crossbar() {
+        assert_eq!(
+            recursive_crosspoints(64, 2, MulticastModel::Maw, 0),
+            crossbar_cost(64, 2, MulticastModel::Maw).crosspoints
+        );
+    }
+}

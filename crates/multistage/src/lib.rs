@@ -1,0 +1,58 @@
+//! # wdm-multistage — three-stage nonblocking WDM multicast networks
+//!
+//! Implements §3 of *Nonblocking WDM Multicast Switching Networks*:
+//! Clos-type three-stage networks (Fig. 8) whose every inter-stage link is
+//! a `k`-wavelength WDM fiber, built from multicast-capable switching
+//! modules that may themselves follow different multicast models.
+//!
+//! * [`ThreeStageParams`] — the `(n, m, r, k)` geometry, `N = n·r`.
+//! * [`Construction`] — *MSW-dominant* (first two stages MSW) vs
+//!   *MAW-dominant* (first two stages MAW), Fig. 9.
+//! * [`DestinationMultiset`] — the multiset `M_j` of output switches
+//!   reachable from middle switch `j`, with the paper's intersection /
+//!   cardinality / null operations (Eqs. 2–5).
+//! * [`bounds`] — the sufficient nonblocking conditions: Theorem 1
+//!   (`m > min_x (n−1)(x + r^{1/x})`), Theorem 2
+//!   (`m > min_x ⌊(nk−1)x/k⌋ + (n−1)r^{1/x}`), and the §3.4 closed form
+//!   `m ≥ 3(n−1)·log r / log log r`.
+//! * [`ThreeStageNetwork`] — a routing simulator implementing the paper's
+//!   strategy (each connection uses at most `x` middle switches); requests
+//!   either route or report [`RouteError::Blocked`], which is how the
+//!   theorems are validated empirically.
+//! * [`cost`] — crosspoint/converter totals of §3.4 and Table 2.
+//! * [`scenarios`] — the Fig. 10 blocking scenario.
+//!
+//! ```
+//! use wdm_multistage::{bounds, Construction, ThreeStageParams, ThreeStageNetwork};
+//! use wdm_core::MulticastModel;
+//!
+//! let p = ThreeStageParams::new(4, 20, 4, 2); // n=4, m=20, r=4, k=2 → N=16
+//! assert!(p.m >= bounds::theorem1_min_m(4, 4).m);
+//! let mut net = ThreeStageNetwork::new(p, Construction::MswDominant,
+//!                                      MulticastModel::Msw);
+//! assert_eq!(net.network().ports, 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cost;
+mod multiset;
+mod network;
+mod params;
+mod photonic;
+mod photonic5;
+mod recursive;
+pub mod scenarios;
+mod witness;
+
+pub use multiset::DestinationMultiset;
+pub use network::{
+    Branch, Leg, RouteError, RoutedConnection, SelectionStrategy, ThreeStageNetwork,
+};
+pub use params::{Construction, ThreeStageParams};
+pub use photonic::PhotonicThreeStage;
+pub use photonic5::PhotonicFiveStage;
+pub use recursive::FiveStageNetwork;
+pub use witness::{find_blocking_witness, BlockingWitness};

@@ -1,0 +1,852 @@
+//! The three-stage routing simulator.
+//!
+//! Routes multicast connections through the Fig. 8 network under the
+//! paper's strategy: each connection fans out over **at most `x` middle
+//! switches** (the `x` that optimizes the construction's nonblocking
+//! bound, unless overridden). Requests either route — occupying one
+//! wavelength on each traversed inter-stage link — or report
+//! [`RouteError::Blocked`], which is exactly the event Theorems 1–2 say
+//! cannot happen when `m` meets their bound.
+//!
+//! Wavelength discipline per construction:
+//!
+//! * **MSW-dominant** — input and middle modules cannot convert, so a
+//!   connection occupies its *source* wavelength on every first- and
+//!   second-stage link it uses; the output module converts (or not)
+//!   according to the output-stage model.
+//! * **MAW-dominant** — input and middle modules convert freely, so any
+//!   free wavelength on a link will do; only an MSW *output* module pins
+//!   the middle→output wavelength (it must arrive on the destination
+//!   wavelength).
+
+use crate::{bounds, Construction, DestinationMultiset, ThreeStageParams};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wdm_core::{
+    AssignmentError, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
+    NetworkConfig,
+};
+
+/// Why a connection request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The request conflicts with the current assignment (busy endpoints,
+    /// model violation, out-of-range).
+    Assignment(AssignmentError),
+    /// No set of at most `x` available middle switches covers the
+    /// request's destination modules — the network is *blocked*.
+    Blocked {
+        /// Middle switches that were available to the source.
+        available_middles: usize,
+        /// The fan-out limit in force.
+        x_limit: u32,
+    },
+}
+
+impl core::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouteError::Assignment(e) => write!(f, "assignment conflict: {e}"),
+            RouteError::Blocked { available_middles, x_limit } => write!(
+                f,
+                "blocked: no ≤{x_limit}-middle cover among {available_middles} available switches"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<AssignmentError> for RouteError {
+    fn from(e: AssignmentError) -> Self {
+        RouteError::Assignment(e)
+    }
+}
+
+/// One middle→output-module hop of a routed connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Leg {
+    /// Output module served through this leg.
+    pub out_module: u32,
+    /// Wavelength occupied on the middle→output link.
+    pub wavelength: u32,
+    /// Destination endpoints delivered inside that output module.
+    pub dests: Vec<Endpoint>,
+}
+
+/// One input→middle branch of a routed connection, with its legs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Branch {
+    /// Middle switch index.
+    pub middle: u32,
+    /// Wavelength occupied on the input→middle link.
+    pub input_wavelength: u32,
+    /// Output-module hops of this branch.
+    pub legs: Vec<Leg>,
+}
+
+/// How the router orders candidate middle switches (the paper fixes the
+/// *number* of middle switches per connection — at most `x` — but not
+/// *which* ones; this is the free design choice the ablation bench
+/// explores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Lowest index first — deterministic first-fit.
+    FirstFit,
+    /// Most-loaded candidates first — packs connections onto few middle
+    /// switches, preserving empty ones for wide multicasts.
+    Pack,
+    /// Least-loaded candidates first — spreads load evenly.
+    Spread,
+}
+
+/// The realized route of one multicast connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedConnection {
+    /// Source input endpoint.
+    pub source: Endpoint,
+    /// Branches, one per middle switch used (≤ the fan-out limit).
+    pub branches: Vec<Branch>,
+}
+
+impl RoutedConnection {
+    /// Number of middle switches this connection uses.
+    pub fn middle_count(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+/// A three-stage WDM multicast network with live routing state.
+#[derive(Debug, Clone)]
+pub struct ThreeStageNetwork {
+    params: ThreeStageParams,
+    construction: Construction,
+    output_model: MulticastModel,
+    x_limit: u32,
+    strategy: SelectionStrategy,
+    /// Wavelength-conversion reach of every converter in the network:
+    /// `None` = full-range (the paper's assumption), `Some(d)` = a
+    /// converter can move a signal at most `d` wavelength slots — the
+    /// *limited-range conversion* extension studied by later literature.
+    conversion_range: Option<u32>,
+    /// Busy-wavelength bitmask per input-module→middle link: `[r][m]`.
+    input_links: Vec<Vec<u64>>,
+    /// Busy-wavelength bitmask per middle→output-module link: `[m][r]`.
+    middle_links: Vec<Vec<u64>>,
+    /// The paper's `M_j` per middle switch (kept in sync with
+    /// `middle_links`).
+    multisets: Vec<DestinationMultiset>,
+    /// Endpoint-level bookkeeping and model enforcement.
+    assignment: MulticastAssignment,
+    routed: BTreeMap<Endpoint, RoutedConnection>,
+}
+
+impl ThreeStageNetwork {
+    /// Create an idle network. The fan-out limit `x` defaults to the
+    /// optimizer of the construction's own nonblocking bound.
+    pub fn new(
+        params: ThreeStageParams,
+        construction: Construction,
+        output_model: MulticastModel,
+    ) -> Self {
+        assert!(params.k <= 64, "wavelength masks are u64-backed (k ≤ 64)");
+        let x = match construction {
+            Construction::MswDominant => bounds::theorem1_min_m(params.n, params.r).x,
+            Construction::MawDominant => {
+                bounds::theorem2_min_m(params.n, params.r, params.k).x
+            }
+        };
+        ThreeStageNetwork {
+            params,
+            construction,
+            output_model,
+            x_limit: x,
+            strategy: SelectionStrategy::FirstFit,
+            conversion_range: None,
+            input_links: vec![vec![0; params.m as usize]; params.r as usize],
+            middle_links: vec![vec![0; params.r as usize]; params.m as usize],
+            multisets: vec![DestinationMultiset::new(params.r, params.k); params.m as usize],
+            assignment: MulticastAssignment::new(params.network(), output_model),
+            routed: BTreeMap::new(),
+        }
+    }
+
+    /// The geometry.
+    pub fn params(&self) -> ThreeStageParams {
+        self.params
+    }
+
+    /// The construction method of the first two stages.
+    pub fn construction(&self) -> Construction {
+        self.construction
+    }
+
+    /// The output-stage model — the network's model as a whole.
+    pub fn output_model(&self) -> MulticastModel {
+        self.output_model
+    }
+
+    /// The equivalent flat `N×N` frame.
+    pub fn network(&self) -> NetworkConfig {
+        self.params.network()
+    }
+
+    /// The fan-out limit `x` in force.
+    pub fn fanout_limit(&self) -> u32 {
+        self.x_limit
+    }
+
+    /// Override the fan-out limit (for bound-exploration experiments).
+    pub fn set_fanout_limit(&mut self, x: u32) {
+        assert!(x >= 1, "fan-out limit must be at least 1");
+        self.x_limit = x;
+    }
+
+    /// The middle-switch ordering strategy in force.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Change the middle-switch ordering strategy (see
+    /// [`SelectionStrategy`]).
+    pub fn set_strategy(&mut self, strategy: SelectionStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Restrict every wavelength converter to a reach of `d` slots
+    /// (`None` restores the paper's full-range assumption). Shrinking the
+    /// reach re-introduces blocking in constructions that rely on
+    /// conversion — see the `conversion_range` experiment.
+    pub fn set_conversion_range(&mut self, d: Option<u32>) {
+        self.conversion_range = d;
+    }
+
+    /// The converter reach in force.
+    pub fn conversion_range(&self) -> Option<u32> {
+        self.conversion_range
+    }
+
+    /// `true` iff a converter may move wavelength `a` to wavelength `b`.
+    fn convertible(&self, a: u32, b: u32) -> bool {
+        self.conversion_range.map_or(true, |d| a.abs_diff(b) <= d)
+    }
+
+    /// Number of active connections.
+    pub fn active_connections(&self) -> usize {
+        self.routed.len()
+    }
+
+    /// The destination multiset `M_j` of middle switch `j`.
+    pub fn multiset(&self, j: u32) -> &DestinationMultiset {
+        &self.multisets[j as usize]
+    }
+
+    /// The routed form of the connection sourced at `src`, if any.
+    pub fn route_of(&self, src: Endpoint) -> Option<&RoutedConnection> {
+        self.routed.get(&src)
+    }
+
+    /// The current endpoint-level assignment.
+    pub fn assignment(&self) -> &MulticastAssignment {
+        &self.assignment
+    }
+
+    /// Middle switches reachable by a new connection from input module
+    /// `module` on source wavelength `src_wl` (the paper's *available
+    /// middle switches*).
+    pub fn available_middles(&self, module: u32, src_wl: u32) -> Vec<u32> {
+        (0..self.params.m)
+            .filter(|&j| {
+                let mask = self.input_links[module as usize][j as usize];
+                match self.construction {
+                    Construction::MswDominant => mask & (1 << src_wl) == 0,
+                    Construction::MawDominant => mask.count_ones() < self.params.k,
+                }
+            })
+            .collect()
+    }
+
+    /// Try to route `conn`. On success the connection is committed and its
+    /// realized route returned.
+    pub fn connect(&mut self, conn: MulticastConnection) -> Result<&RoutedConnection, RouteError> {
+        self.assignment.check(&conn)?;
+        let src = conn.source();
+        let (in_module, _) = self.params.input_module_of(src.port.0);
+
+        // Group destinations by output module.
+        let mut by_module: BTreeMap<u32, Vec<Endpoint>> = BTreeMap::new();
+        for &d in conn.destinations() {
+            let (om, _) = self.params.output_module_of(d.port.0);
+            by_module.entry(om).or_default().push(d);
+        }
+
+        // Availability (with the input-link wavelength each middle would
+        // use), ordered by the selection strategy (ties in the cover
+        // search resolve to earlier entries).
+        let mut available_wi: Vec<(u32, u32)> = self
+            .available_middles(in_module, src.wavelength.0)
+            .into_iter()
+            .filter_map(|j| {
+                self.branch_wavelength(in_module, j, src.wavelength.0).map(|wi| (j, wi))
+            })
+            .collect();
+        match self.strategy {
+            SelectionStrategy::FirstFit => {}
+            SelectionStrategy::Pack => available_wi.sort_by_key(|&(j, _)| {
+                std::cmp::Reverse(self.multisets[j as usize].total_connections())
+            }),
+            SelectionStrategy::Spread => available_wi
+                .sort_by_key(|&(j, _)| self.multisets[j as usize].total_connections()),
+        }
+        let available: Vec<u32> = available_wi.iter().map(|&(j, _)| j).collect();
+        let modules: Vec<u32> = by_module.keys().copied().collect();
+        let serv: Vec<Vec<u32>> = available_wi
+            .iter()
+            .map(|&(j, wi)| {
+                modules
+                    .iter()
+                    .copied()
+                    .filter(|&om| self.leg_wavelength(j, om, wi, &by_module[&om]).is_some())
+                    .collect()
+            })
+            .collect();
+
+        let cover = find_cover(&modules, &available, &serv, self.x_limit as usize).ok_or(
+            RouteError::Blocked { available_middles: available.len(), x_limit: self.x_limit },
+        )?;
+
+        // Commit.
+        let mut branches = Vec::with_capacity(cover.len());
+        for (j, legs_modules) in cover {
+            let in_wl = available_wi
+                .iter()
+                .find(|&&(jj, _)| jj == j)
+                .expect("cover switches come from the available list")
+                .1;
+            self.input_links[in_module as usize][j as usize] |= 1 << in_wl;
+            let mut legs = Vec::with_capacity(legs_modules.len());
+            for om in legs_modules {
+                let wl = self
+                    .leg_wavelength(j, om, in_wl, &by_module[&om])
+                    .expect("cover legs are serviceable");
+                self.middle_links[j as usize][om as usize] |= 1 << wl;
+                self.multisets[j as usize].add(om);
+                legs.push(Leg { out_module: om, wavelength: wl, dests: by_module[&om].clone() });
+            }
+            branches.push(Branch { middle: j, input_wavelength: in_wl, legs });
+        }
+
+        self.assignment.add(conn).expect("checked before routing");
+        self.routed.insert(src, RoutedConnection { source: src, branches });
+        Ok(&self.routed[&src])
+    }
+
+    /// Tear down the connection sourced at `src`, freeing every wavelength
+    /// it occupied.
+    pub fn disconnect(&mut self, src: Endpoint) -> Result<RoutedConnection, RouteError> {
+        let routed = self
+            .routed
+            .remove(&src)
+            .ok_or(RouteError::Assignment(AssignmentError::NoSuchConnection(src)))?;
+        let (in_module, _) = self.params.input_module_of(src.port.0);
+        for b in &routed.branches {
+            self.input_links[in_module as usize][b.middle as usize] &= !(1 << b.input_wavelength);
+            for leg in &b.legs {
+                self.middle_links[b.middle as usize][leg.out_module as usize] &=
+                    !(1 << leg.wavelength);
+                self.multisets[b.middle as usize].remove(leg.out_module);
+            }
+        }
+        self.assignment.remove(src).expect("routed connection is in the assignment");
+        Ok(routed)
+    }
+
+    /// The wavelength a branch from input module `module` to middle `j`
+    /// would occupy, or `None` if no free wavelength is reachable from
+    /// the source wavelength.
+    fn branch_wavelength(&self, module: u32, j: u32, src_wl: u32) -> Option<u32> {
+        let mask = self.input_links[module as usize][j as usize];
+        match self.construction {
+            Construction::MswDominant => (mask & (1 << src_wl) == 0).then_some(src_wl),
+            // The stage-1 MAW module converts src_wl → wi within reach.
+            Construction::MawDominant => (0..self.params.k)
+                .find(|&w| mask & (1 << w) == 0 && self.convertible(src_wl, w)),
+        }
+    }
+
+    /// The wavelength a leg from middle `j` to output module `om` would
+    /// occupy for a branch arriving at `j` on `wi`, or `None` if the link
+    /// cannot carry it — considering the middle converter's reach
+    /// (`wi → wl`) and the output module's converters (`wl → dest λ`).
+    fn leg_wavelength(&self, j: u32, om: u32, wi: u32, dests: &[Endpoint]) -> Option<u32> {
+        let mask = self.middle_links[j as usize][om as usize];
+        let reaches_dests = |wl: u32| match self.output_model {
+            // An MSW output module cannot convert — but then the dests
+            // equal wl by construction of `candidates` below.
+            MulticastModel::Msw => true,
+            // One conversion to the (uniform) destination wavelength.
+            MulticastModel::Msdw => self.convertible(wl, dests[0].wavelength.0),
+            // One conversion per destination endpoint.
+            MulticastModel::Maw => {
+                dests.iter().all(|d| self.convertible(wl, d.wavelength.0))
+            }
+        };
+        let candidates: Vec<u32> = match (self.construction, self.output_model) {
+            // MSW middles emit the arriving wavelength only.
+            (Construction::MswDominant, _) => vec![wi],
+            // MAW middles convert, but an MSW output module pins the
+            // arrival to the destination wavelength.
+            (Construction::MawDominant, MulticastModel::Msw) => {
+                vec![dests[0].wavelength.0]
+            }
+            (Construction::MawDominant, _) => (0..self.params.k).collect(),
+        };
+        candidates.into_iter().find(|&wl| {
+            mask & (1 << wl) == 0 && self.convertible(wi, wl) && reaches_dests(wl)
+        })
+    }
+
+    /// Per-middle-switch connection totals (for load-balance analysis of
+    /// the selection strategies): `loads[j] = Σ_p multiplicity(p in M_j)`.
+    pub fn middle_loads(&self) -> Vec<u64> {
+        self.multisets.iter().map(|m| m.total_connections()).collect()
+    }
+
+    /// Load-imbalance measure across the middle stage: `max − min` of
+    /// [`middle_loads`](Self::middle_loads) (0 = perfectly even).
+    pub fn middle_imbalance(&self) -> u64 {
+        let loads = self.middle_loads();
+        match (loads.iter().max(), loads.iter().min()) {
+            (Some(&max), Some(&min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// Recompute every link mask and multiset from the routed connections
+    /// and compare with the live state. Returns violations (empty =
+    /// consistent). Used by tests and debug assertions.
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut in_links = vec![vec![0u64; self.params.m as usize]; self.params.r as usize];
+        let mut mid_links = vec![vec![0u64; self.params.r as usize]; self.params.m as usize];
+        for (src, rc) in &self.routed {
+            let (a, _) = self.params.input_module_of(src.port.0);
+            for b in &rc.branches {
+                let bit = 1u64 << b.input_wavelength;
+                if in_links[a as usize][b.middle as usize] & bit != 0 {
+                    problems.push(format!(
+                        "double-booked input link {a}→{} λ{}",
+                        b.middle,
+                        b.input_wavelength + 1
+                    ));
+                }
+                in_links[a as usize][b.middle as usize] |= bit;
+                for leg in &b.legs {
+                    let bit = 1u64 << leg.wavelength;
+                    if mid_links[b.middle as usize][leg.out_module as usize] & bit != 0 {
+                        problems.push(format!(
+                            "double-booked middle link {}→{} λ{}",
+                            b.middle,
+                            leg.out_module,
+                            leg.wavelength + 1
+                        ));
+                    }
+                    mid_links[b.middle as usize][leg.out_module as usize] |= bit;
+                }
+            }
+        }
+        if in_links != self.input_links {
+            problems.push("input link masks out of sync".into());
+        }
+        if mid_links != self.middle_links {
+            problems.push("middle link masks out of sync".into());
+        }
+        for (j, ms) in self.multisets.iter().enumerate() {
+            for p in 0..self.params.r {
+                let live = self.middle_links[j][p as usize].count_ones();
+                if ms.multiplicity(p) != live {
+                    problems.push(format!("multiset M_{j}[{p}] = {} ≠ {live}", ms.multiplicity(p)));
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// Find at most `x` switches from `available` whose service sets jointly
+/// cover `modules`, and assign each module to one chosen switch.
+///
+/// Greedy max-coverage first; on failure an exact depth-first search
+/// (with a simple remaining-coverage prune) — greedy set cover can miss
+/// feasible covers, and the nonblocking theorems promise existence, not
+/// greedy-findability.
+fn find_cover(
+    modules: &[u32],
+    available: &[u32],
+    serv: &[Vec<u32>],
+    x: usize,
+) -> Option<Vec<(u32, Vec<u32>)>> {
+    if modules.is_empty() {
+        return Some(Vec::new());
+    }
+    // Greedy pass.
+    let mut uncovered: std::collections::BTreeSet<u32> = modules.iter().copied().collect();
+    let mut picks: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() && picks.len() < x {
+        // First maximal gain wins, so the caller's ordering of
+        // `available` (the selection strategy) breaks ties.
+        let mut best: Option<(usize, usize)> = None;
+        for i in 0..available.len() {
+            if picks.contains(&i) {
+                continue;
+            }
+            let gain = serv[i].iter().filter(|m| uncovered.contains(m)).count();
+            if best.map_or(true, |(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let best = best?.0;
+        let gain: Vec<u32> =
+            serv[best].iter().copied().filter(|m| uncovered.contains(m)).collect();
+        if gain.is_empty() {
+            break;
+        }
+        for m in &gain {
+            uncovered.remove(m);
+        }
+        picks.push(best);
+    }
+    if uncovered.is_empty() {
+        return Some(assign(modules, available, serv, &picks));
+    }
+
+    // Exact DFS.
+    let mut order: Vec<usize> = (0..available.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(serv[i].len()));
+    let all: std::collections::BTreeSet<u32> = modules.iter().copied().collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    fn dfs(
+        order: &[usize],
+        serv: &[Vec<u32>],
+        uncovered: &std::collections::BTreeSet<u32>,
+        start: usize,
+        x: usize,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        if uncovered.is_empty() {
+            return true;
+        }
+        if chosen.len() == x || start == order.len() {
+            return false;
+        }
+        // Prune: even taking the largest remaining service sets cannot
+        // finish in the budget.
+        let budget = x - chosen.len();
+        let optimistic: usize =
+            order[start..].iter().take(budget).map(|&i| serv[i].len()).sum();
+        if optimistic < uncovered.len() {
+            return false;
+        }
+        for idx in start..order.len() {
+            let i = order[idx];
+            let gain: Vec<u32> =
+                serv[i].iter().copied().filter(|m| uncovered.contains(m)).collect();
+            if gain.is_empty() {
+                continue;
+            }
+            let mut next = uncovered.clone();
+            for m in &gain {
+                next.remove(m);
+            }
+            chosen.push(i);
+            if dfs(order, serv, &next, idx + 1, x, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+    if dfs(&order, serv, &all, 0, x, &mut chosen) {
+        Some(assign(modules, available, serv, &chosen))
+    } else {
+        None
+    }
+}
+
+/// Distribute each module to the first chosen switch that can serve it.
+fn assign(
+    modules: &[u32],
+    available: &[u32],
+    serv: &[Vec<u32>],
+    picks: &[usize],
+) -> Vec<(u32, Vec<u32>)> {
+    let mut out: Vec<(u32, Vec<u32>)> = picks.iter().map(|&i| (available[i], Vec::new())).collect();
+    for &m in modules {
+        let slot = picks
+            .iter()
+            .position(|&i| serv[i].contains(&m))
+            .expect("cover serves every module");
+        out[slot].1.push(m);
+    }
+    out.retain(|(_, legs)| !legs.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(src: (u32, u32), dests: &[(u32, u32)]) -> MulticastConnection {
+        MulticastConnection::new(
+            Endpoint::new(src.0, src.1),
+            dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
+        )
+        .unwrap()
+    }
+
+    fn msw_net() -> ThreeStageNetwork {
+        // n=2, r=2, k=2, N=4; Theorem 1 minimum m=4.
+        let p = ThreeStageParams::new(2, 4, 2, 2);
+        ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw)
+    }
+
+    #[test]
+    fn routes_simple_multicast() {
+        let mut net = msw_net();
+        let rc = net.connect(conn((0, 0), &[(1, 0), (2, 0), (3, 0)])).unwrap().clone();
+        assert!(rc.middle_count() <= net.fanout_limit() as usize);
+        let legs: usize = rc.branches.iter().map(|b| b.legs.len()).sum();
+        assert_eq!(legs, 2); // output modules {0,1} → 2 legs... port1→module0, ports2,3→module1
+        assert!(net.check_consistency().is_empty());
+        assert_eq!(net.active_connections(), 1);
+    }
+
+    #[test]
+    fn msw_dominant_keeps_source_wavelength() {
+        let mut net = msw_net();
+        let rc = net.connect(conn((0, 1), &[(2, 1)])).unwrap().clone();
+        for b in &rc.branches {
+            assert_eq!(b.input_wavelength, 1);
+            for leg in &b.legs {
+                assert_eq!(leg.wavelength, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnect_frees_everything() {
+        let mut net = msw_net();
+        net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).unwrap();
+        net.disconnect(Endpoint::new(0, 0)).unwrap();
+        assert_eq!(net.active_connections(), 0);
+        assert!(net.check_consistency().is_empty());
+        for j in 0..4 {
+            assert_eq!(net.multiset(j).total_connections(), 0);
+        }
+        // The exact same connection routes again.
+        assert!(net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).is_ok());
+    }
+
+    #[test]
+    fn endpoint_conflicts_rejected_before_routing() {
+        let mut net = msw_net();
+        net.connect(conn((0, 0), &[(1, 0)])).unwrap();
+        let err = net.connect(conn((1, 0), &[(1, 0)])).unwrap_err();
+        assert!(matches!(err, RouteError::Assignment(AssignmentError::DestinationBusy(_))));
+        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        assert!(matches!(err, RouteError::Assignment(AssignmentError::SourceBusy(_))));
+    }
+
+    #[test]
+    fn model_enforced_by_output_stage() {
+        let mut net = msw_net(); // network model = MSW
+        let err = net.connect(conn((0, 0), &[(1, 1)])).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::Assignment(AssignmentError::ModelViolation(MulticastModel::Msw))
+        ));
+    }
+
+    #[test]
+    fn starved_middle_stage_blocks() {
+        // m=1, k=1: a single middle switch; two same-wavelength
+        // connections from the same input module exhaust the single link.
+        let p = ThreeStageParams::new(2, 1, 2, 1);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.set_fanout_limit(1);
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        let err = net.connect(conn((1, 0), &[(3, 0)])).unwrap_err();
+        assert!(matches!(err, RouteError::Blocked { available_middles: 0, .. }));
+    }
+
+    #[test]
+    fn maw_dominant_converts_around_wavelength_clash() {
+        // Same starved geometry but k=2 and MAW-dominant with MAW output:
+        // the second connection converts to the free wavelength.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        let rc = net.connect(conn((1, 0), &[(3, 0)])).unwrap().clone();
+        // Forced onto the other wavelength of the shared links.
+        assert_eq!(rc.branches[0].input_wavelength, 1);
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn msw_dominant_blocks_where_maw_dominant_survives() {
+        // The Fig. 10 contrast in miniature (same requests, same
+        // geometry): MSW-dominant cannot shift wavelengths and blocks.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let mut msw = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        msw.set_fanout_limit(1);
+        msw.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        assert!(matches!(
+            msw.connect(conn((1, 0), &[(3, 0)])),
+            Err(RouteError::Blocked { .. })
+        ));
+    }
+
+    #[test]
+    fn multiset_tracks_middle_load() {
+        let mut net = msw_net();
+        net.connect(conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
+        let total: u64 = (0..4).map(|j| net.multiset(j).total_connections()).sum();
+        assert_eq!(total, 2); // two legs across all middles
+    }
+
+    #[test]
+    fn fanout_limit_respected() {
+        let p = ThreeStageParams::new(4, 16, 4, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.set_fanout_limit(2);
+        let rc = net
+            .connect(conn((0, 0), &[(0, 0), (4, 0), (8, 0), (12, 0)]))
+            .unwrap()
+            .clone();
+        assert!(rc.middle_count() <= 2);
+    }
+
+    #[test]
+    fn spread_balances_better_than_pack_on_unicasts() {
+        // Many same-wavelength unicasts from different modules: Spread
+        // should distribute them; Pack should pile them up.
+        let p = ThreeStageParams::new(4, 10, 4, 1);
+        let imbalance = |strategy| {
+            let mut net =
+                ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+            net.set_strategy(strategy);
+            for i in 0..8u32 {
+                net.connect(conn((i % 16, 0), &[((i + 3) % 16, 0)])).unwrap();
+            }
+            net.middle_imbalance()
+        };
+        let spread = imbalance(SelectionStrategy::Spread);
+        let pack = imbalance(SelectionStrategy::Pack);
+        assert!(spread <= pack, "spread {spread} > pack {pack}");
+        assert!(spread <= 1, "spread should be near-even, got {spread}");
+    }
+
+    #[test]
+    fn middle_loads_sum_to_total_legs() {
+        let p = ThreeStageParams::new(2, 4, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.connect(conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
+        net.connect(conn((1, 1), &[(3, 1)])).unwrap();
+        let total: u64 = net.middle_loads().iter().sum();
+        assert_eq!(total, 3); // 2 legs + 1 leg
+    }
+
+    #[test]
+    fn limited_range_conversion_blocks_maw_dominant() {
+        // The Fig. 10 rescue needs a λ1→λ2 hop at the input module and a
+        // λ2→λ1 hop at the middle. With 3 wavelengths and the clash on
+        // λ1/λ2... use a reach of 0 (converters present but frozen):
+        // MAW-dominant degenerates to MSW-dominant behavior and blocks.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.set_conversion_range(Some(0));
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        assert!(matches!(
+            net.connect(conn((1, 0), &[(3, 0)])),
+            Err(RouteError::Blocked { .. })
+        ));
+        // Full range (the paper's model) rescues the same request.
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        assert!(net.connect(conn((1, 0), &[(3, 0)])).is_ok());
+    }
+
+    #[test]
+    fn range_one_reaches_adjacent_wavelengths_only() {
+        // k=4, reach 1: a λ1 source can occupy λ2 on the first hop but
+        // never λ4.
+        let p = ThreeStageParams::new(2, 1, 2, 4);
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.set_conversion_range(Some(1));
+        // Fill λ1..λ3 on the input link with adjacent-hop connections.
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap(); // λ1 source → λ1
+        let rc = net.connect(conn((1, 0), &[(3, 0)])).unwrap().clone();
+        assert_eq!(rc.branches[0].input_wavelength, 1); // λ1 source → λ2
+        let rc = net.connect(conn((0, 1), &[(2, 1)])).unwrap().clone();
+        assert_eq!(rc.branches[0].input_wavelength, 2); // λ2 source → λ3
+        // A fourth, λ2 source: only λ4 is free, two hops away — blocked.
+        assert!(matches!(
+            net.connect(conn((1, 1), &[(3, 1)])),
+            Err(RouteError::Blocked { .. })
+        ));
+    }
+
+    #[test]
+    fn msw_dominant_untouched_by_range() {
+        // MSW-dominant with an MSW output stage uses no converters, so a
+        // reach of 0 changes nothing.
+        let p = ThreeStageParams::new(2, 4, 2, 2);
+        for range in [None, Some(0)] {
+            let mut net =
+                ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+            net.set_conversion_range(range);
+            net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).unwrap();
+            net.connect(conn((0, 1), &[(2, 1), (3, 1)])).unwrap();
+            assert_eq!(net.active_connections(), 2);
+        }
+    }
+
+    #[test]
+    fn output_stage_conversion_range_enforced() {
+        // MSW-dominant + MSDW output: the output module converts src λ to
+        // the destination wavelength; reach 0 freezes that too.
+        let p = ThreeStageParams::new(2, 4, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msdw);
+        net.set_conversion_range(Some(0));
+        // λ1 → λ2 destinations now unreachable.
+        assert!(matches!(
+            net.connect(conn((0, 0), &[(2, 1), (3, 1)])),
+            Err(RouteError::Blocked { .. })
+        ));
+        // Same-wavelength destinations still route.
+        assert!(net.connect(conn((0, 0), &[(2, 0), (3, 0)])).is_ok());
+    }
+
+    #[test]
+    fn cover_search_exact_fallback() {
+        // Greedy picks the big set {0,1} first, but the only 2-cover of
+        // {0,1,2,3} is {0,1}∪... make greedy fail: sets {0,1,2}, {0,1,3}
+        // greedy takes {0,1,2} then needs {3}: {0,1,3} covers it — fine.
+        // Construct a real trap: {0,1}, {2,3}, {0,2}, {1,3} with x=2 and
+        // greedy tie-breaking on the first max; any pair from
+        // {{0,1},{2,3}} or {{0,2},{1,3}} works, so cover must be found.
+        let modules = [0, 1, 2, 3];
+        let available = [10, 11, 12, 13];
+        let serv = vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3]];
+        let cover = find_cover(&modules, &available, &serv, 2).unwrap();
+        let covered: std::collections::BTreeSet<u32> =
+            cover.iter().flat_map(|(_, ms)| ms.iter().copied()).collect();
+        assert_eq!(covered.len(), 4);
+        // x=1 is impossible.
+        assert!(find_cover(&modules, &available, &serv, 1).is_none());
+    }
+}

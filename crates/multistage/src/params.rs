@@ -1,0 +1,151 @@
+//! Three-stage geometry and construction method.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use wdm_core::NetworkConfig;
+
+/// Geometry of the three-stage network of Fig. 8:
+/// `r` input modules of size `n×m`, `m` middle modules of size `r×r`,
+/// `r` output modules of size `m×n`; `N = n·r` external ports per side;
+/// every link carries `k` wavelengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreeStageParams {
+    /// External ports per input/output module.
+    pub n: u32,
+    /// Middle-stage modules (the paper's design variable).
+    pub m: u32,
+    /// Input/output modules per side.
+    pub r: u32,
+    /// Wavelengths per fiber.
+    pub k: u32,
+}
+
+impl ThreeStageParams {
+    /// Construct and validate a geometry.
+    ///
+    /// Panics if any dimension is zero (`m ≥ n` is the paper's usual
+    /// assumption but not structurally required, so it is not enforced).
+    pub fn new(n: u32, m: u32, r: u32, k: u32) -> Self {
+        assert!(n > 0 && m > 0 && r > 0 && k > 0, "all dimensions must be positive");
+        ThreeStageParams { n, m, r, k }
+    }
+
+    /// Square decomposition `n = r = √N` used throughout §3.4, with `m`
+    /// set to the Theorem 1 minimum.
+    ///
+    /// Panics unless `n_side · n_side == ports`.
+    pub fn square(ports: u32, k: u32) -> Self {
+        let side = (ports as f64).sqrt().round() as u32;
+        assert_eq!(side * side, ports, "square() needs a perfect-square port count");
+        let m = crate::bounds::theorem1_min_m(side, side).m;
+        ThreeStageParams::new(side, m, side, k)
+    }
+
+    /// `N = n·r` — external ports per side.
+    pub fn external_ports(&self) -> u32 {
+        self.n * self.r
+    }
+
+    /// The equivalent flat network frame.
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig::new(self.external_ports(), self.k)
+    }
+
+    /// Input module containing global input port `port`, and the local
+    /// port index inside it.
+    pub fn input_module_of(&self, port: u32) -> (u32, u32) {
+        (port / self.n, port % self.n)
+    }
+
+    /// Output module containing global output port `port`, and the local
+    /// port index inside it.
+    pub fn output_module_of(&self, port: u32) -> (u32, u32) {
+        (port / self.n, port % self.n)
+    }
+}
+
+impl fmt::Display for ThreeStageParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "3-stage n={} m={} r={} k={} (N={})",
+            self.n,
+            self.m,
+            self.r,
+            self.k,
+            self.external_ports()
+        )
+    }
+}
+
+/// Which model the first two stages use (Fig. 9). The output stage's model
+/// is chosen separately and determines the network's model as a whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Construction {
+    /// Input and middle modules are MSW: a connection keeps its source
+    /// wavelength through the first two stages (cheapest; Theorem 1).
+    MswDominant,
+    /// Input and middle modules are MAW: wavelengths may be converted at
+    /// every stage (most flexible; Theorem 2).
+    MawDominant,
+}
+
+impl fmt::Display for Construction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Construction::MswDominant => "MSW-dominant",
+            Construction::MawDominant => "MAW-dominant",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_addressing() {
+        let p = ThreeStageParams::new(3, 5, 4, 2);
+        assert_eq!(p.external_ports(), 12);
+        assert_eq!(p.input_module_of(0), (0, 0));
+        assert_eq!(p.input_module_of(2), (0, 2));
+        assert_eq!(p.input_module_of(3), (1, 0));
+        assert_eq!(p.input_module_of(11), (3, 2));
+        assert_eq!(p.output_module_of(7), (2, 1));
+    }
+
+    #[test]
+    fn square_decomposition() {
+        let p = ThreeStageParams::square(16, 2);
+        assert_eq!((p.n, p.r), (4, 4));
+        assert_eq!(p.external_ports(), 16);
+        assert!(p.m >= p.n); // Theorem 1 bound is always ≥ n for r > 1
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn square_rejects_non_squares() {
+        ThreeStageParams::square(12, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        ThreeStageParams::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    fn display_contains_geometry() {
+        let p = ThreeStageParams::new(2, 3, 4, 5);
+        assert_eq!(p.to_string(), "3-stage n=2 m=3 r=4 k=5 (N=8)");
+        assert_eq!(Construction::MswDominant.to_string(), "MSW-dominant");
+    }
+
+    #[test]
+    fn network_frame() {
+        let p = ThreeStageParams::new(2, 3, 4, 5);
+        let net = p.network();
+        assert_eq!(net.ports, 8);
+        assert_eq!(net.wavelengths, 5);
+    }
+}

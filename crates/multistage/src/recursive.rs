@@ -1,0 +1,370 @@
+//! Five-stage networks — the paper's "recursive fashion" sketch (§3).
+//!
+//! "In general, a network can have any odd number of stages and be built
+//! in a recursive fashion from these switching modules, which are in fact
+//! regarded as networks of a smaller size." Here the recursion is taken
+//! one level deep: every `r×r` middle module of the three-stage design is
+//! itself a three-stage network, giving a five-stage network whose
+//! crosspoint count drops below the flat three-stage design for large `N`
+//! (see [`crate::cost::recursive_crosspoints`]).
+//!
+//! Routing recurses the same way: the outer router picks middle "switches"
+//! and wavelengths exactly as before, and each picked middle realizes its
+//! hop as a connection in its own inner three-stage network. Because the
+//! inner networks are sized at their own Theorem 1 bound they are
+//! nonblocking for any assignment, so the outer bound's reasoning — which
+//! only assumes the middle modules are nonblocking multicast switches —
+//! carries through.
+
+use crate::{
+    bounds, Construction, RouteError, RoutedConnection, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
+
+/// A five-stage WDM multicast network: a three-stage outer frame whose
+/// every middle module is an inner three-stage network.
+#[derive(Debug, Clone)]
+pub struct FiveStageNetwork {
+    outer: ThreeStageNetwork,
+    inner_params: ThreeStageParams,
+    /// One inner network per outer middle module.
+    inners: Vec<ThreeStageNetwork>,
+}
+
+impl FiveStageNetwork {
+    /// Build a five-stage network.
+    ///
+    /// * outer geometry: `n × m × r` with `m` from the construction's own
+    ///   bound; `N = n·r`;
+    /// * each middle module is an `r×r` inner three-stage network with
+    ///   geometry `inner_n × inner_m × inner_r`, `inner_n·inner_r = r`,
+    ///   `inner_m` from the bound.
+    ///
+    /// Panics if `inner_n · inner_r != r`.
+    pub fn new(
+        n: u32,
+        r: u32,
+        inner_n: u32,
+        inner_r: u32,
+        k: u32,
+        construction: Construction,
+        output_model: MulticastModel,
+    ) -> Self {
+        assert_eq!(inner_n * inner_r, r, "inner geometry must decompose the middle modules");
+        let outer_m = match construction {
+            Construction::MswDominant => bounds::theorem1_min_m(n, r).m,
+            Construction::MawDominant => bounds::theorem2_min_m(n, r, k).m,
+        };
+        let inner_m = match construction {
+            Construction::MswDominant => bounds::theorem1_min_m(inner_n, inner_r).m,
+            Construction::MawDominant => bounds::theorem2_min_m(inner_n, inner_r, k).m,
+        };
+        let outer_params = ThreeStageParams::new(n, outer_m, r, k);
+        let inner_params = ThreeStageParams::new(inner_n, inner_m, inner_r, k);
+        // Inner networks carry the middle hop; under MSW-dominant they are
+        // MSW end to end, under MAW-dominant they are MAW end to end.
+        let inner_model = match construction {
+            Construction::MswDominant => MulticastModel::Msw,
+            Construction::MawDominant => MulticastModel::Maw,
+        };
+        let inners = (0..outer_m)
+            .map(|_| ThreeStageNetwork::new(inner_params, construction, inner_model))
+            .collect();
+        FiveStageNetwork {
+            outer: ThreeStageNetwork::new(outer_params, construction, output_model),
+            inner_params,
+            inners,
+        }
+    }
+
+    /// Square five-stage design: `n = r = √N` outside,
+    /// `inner_n = inner_r = √r` inside. Panics unless `N` is a fourth
+    /// power.
+    pub fn square(ports: u32, k: u32, construction: Construction, model: MulticastModel) -> Self {
+        let side = (ports as f64).sqrt().round() as u32;
+        assert_eq!(side * side, ports, "five-stage square() needs N = side²");
+        let inner = (side as f64).sqrt().round() as u32;
+        assert_eq!(inner * inner, side, "five-stage square() needs N = inner⁴");
+        FiveStageNetwork::new(side, side, inner, inner, k, construction, model)
+    }
+
+    /// The outer geometry.
+    pub fn outer_params(&self) -> ThreeStageParams {
+        self.outer.params()
+    }
+
+    /// The inner (per-middle-module) geometry.
+    pub fn inner_params(&self) -> ThreeStageParams {
+        self.inner_params
+    }
+
+    /// The flat `N×N` frame.
+    pub fn network(&self) -> NetworkConfig {
+        self.outer.network()
+    }
+
+    /// Live connection count.
+    pub fn active_connections(&self) -> usize {
+        self.outer.active_connections()
+    }
+
+    /// Endpoint-level state (for workload generators).
+    pub fn assignment(&self) -> &wdm_core::MulticastAssignment {
+        self.outer.assignment()
+    }
+
+    /// The outer three-stage routing state.
+    pub fn outer(&self) -> &ThreeStageNetwork {
+        &self.outer
+    }
+
+    /// The inner network realizing middle module `j`.
+    pub fn inner(&self, j: u32) -> &ThreeStageNetwork {
+        &self.inners[j as usize]
+    }
+
+    /// Total crosspoints of the five-stage construction: outer input and
+    /// output stages plus the inner networks replacing the middles.
+    pub fn crosspoints(&self, output_model: MulticastModel) -> u64 {
+        let p = self.outer.params();
+        let first_two = match self.outer.construction() {
+            Construction::MswDominant => MulticastModel::Msw,
+            Construction::MawDominant => MulticastModel::Maw,
+        };
+        let input = p.r as u64
+            * crate::cost::module_crosspoints(p.n as u64, p.m as u64, p.k as u64, first_two);
+        let output = p.r as u64
+            * crate::cost::module_crosspoints(p.m as u64, p.n as u64, p.k as u64, output_model);
+        let inner = p.m as u64
+            * crate::cost::three_stage_cost(self.inner_params, self.outer.construction(), first_two)
+                .crosspoints;
+        input + output + inner
+    }
+
+    /// Route a connection through all five stages.
+    pub fn connect(&mut self, conn: MulticastConnection) -> Result<(), RouteError> {
+        let src = conn.source();
+        self.outer.connect(conn)?;
+        let routed: RoutedConnection =
+            self.outer.route_of(src).expect("just connected").clone();
+        // Realize each branch's middle hop in the inner network. These
+        // cannot block (inner networks sit at their own bound) and cannot
+        // conflict (outer link bookkeeping guarantees endpoint
+        // uniqueness); failure here is a bug, not an outcome.
+        for (idx, branch) in routed.branches.iter().enumerate() {
+            let inner_conn = self.inner_connection(&routed, branch);
+            if let Err(e) = self.inners[branch.middle as usize].connect(inner_conn) {
+                // Roll back so the caller sees a consistent network, then
+                // surface the inner block as this request's result.
+                for done in &routed.branches[..idx] {
+                    let inner_src = self.inner_source(&routed, done);
+                    self.inners[done.middle as usize].disconnect(inner_src).unwrap();
+                }
+                self.outer.disconnect(src).unwrap();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear down the connection sourced at `src`.
+    pub fn disconnect(&mut self, src: Endpoint) -> Result<(), RouteError> {
+        let routed = self.outer.route_of(src).cloned().ok_or(RouteError::Assignment(
+            wdm_core::AssignmentError::NoSuchConnection(src),
+        ))?;
+        for branch in &routed.branches {
+            let inner_src = self.inner_source(&routed, branch);
+            self.inners[branch.middle as usize].disconnect(inner_src)?;
+        }
+        self.outer.disconnect(src)?;
+        Ok(())
+    }
+
+    /// The middle hop of `branch` as a connection in the inner `r×r`
+    /// network: input port = outer input module index, output ports =
+    /// the served output modules.
+    fn inner_connection(
+        &self,
+        routed: &RoutedConnection,
+        branch: &crate::Branch,
+    ) -> MulticastConnection {
+        let src = self.inner_source(routed, branch);
+        let dests = branch
+            .legs
+            .iter()
+            .map(|leg| Endpoint::new(leg.out_module, leg.wavelength));
+        MulticastConnection::new(src, dests).expect("legs have distinct output modules")
+    }
+
+    /// The inner network's input endpoint for a branch: input port = the
+    /// outer input module index, wavelength = the branch's input-link
+    /// wavelength.
+    fn inner_source(&self, routed: &RoutedConnection, branch: &crate::Branch) -> Endpoint {
+        let (module, _) = self.outer.params().input_module_of(routed.source.port.0);
+        Endpoint::new(module, branch.input_wavelength)
+    }
+
+    /// Consistency of every level.
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut problems = self.outer.check_consistency();
+        for (j, inner) in self.inners.iter().enumerate() {
+            for p in inner.check_consistency() {
+                problems.push(format!("inner {j}: {p}"));
+            }
+            // Cross-level: inner load must mirror the outer multiset.
+            let outer_total = self.outer.multiset(j as u32).total_connections();
+            let inner_total = inner.active_connections() as u64;
+            // One inner connection per outer branch through j; its legs
+            // equal the multiset contributions.
+            let inner_legs: u64 = (0..self.inner_params.m)
+                .map(|jj| inner.multiset(jj).total_connections())
+                .sum();
+            let _ = inner_legs;
+            let outer_branches = inner_total;
+            if outer_branches > outer_total {
+                problems.push(format!(
+                    "inner {j}: {outer_branches} connections exceed outer multiset total {outer_total}"
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+
+    fn conn(src: (u32, u32), dests: &[(u32, u32)]) -> MulticastConnection {
+        MulticastConnection::new(
+            Endpoint::new(src.0, src.1),
+            dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn square_decomposition_builds() {
+        // N = 16 = 2⁴: outer 4×4, inner 2×2.
+        let net = FiveStageNetwork::square(
+            16,
+            2,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        );
+        assert_eq!(net.network().ports, 16);
+        assert_eq!(net.outer_params().n, 4);
+        assert_eq!(net.inner_params().n, 2);
+    }
+
+    #[test]
+    fn crosspoints_match_stagewise_sum() {
+        // Hand-computed: outer 4×13×4 (k=2) MSW stages 1+5 cost
+        // 2·(r·k·n·m) = 2·(4·2·4·13) = 832; each of the 13 middles is an
+        // inner 2×4×2 three-stage costing kmr(2n+r) = 2·4·2·6 = 96.
+        let net = FiveStageNetwork::square(
+            16,
+            2,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        );
+        let inner = cost::three_stage_cost(
+            net.inner_params(),
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        )
+        .crosspoints;
+        assert_eq!(inner, 96);
+        assert_eq!(net.crosspoints(MulticastModel::Msw), 832 + 13 * 96);
+        // At N = 16 the recursion does not pay (the cost model would keep
+        // crossbar middles: 32 < 96 per middle) — the five-stage win only
+        // appears at scale, cf. cost::recursive_crosspoints for N ≥ 2^16.
+        assert!(
+            net.crosspoints(MulticastModel::Msw)
+                > cost::recursive_crosspoints(16, 2, MulticastModel::Msw, 2)
+        );
+    }
+
+    #[test]
+    fn five_stage_routes_multicast_end_to_end() {
+        let mut net = FiveStageNetwork::square(
+            16,
+            2,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        );
+        net.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)])).unwrap();
+        net.connect(conn((1, 1), &[(0, 1), (8, 1)])).unwrap();
+        assert_eq!(net.active_connections(), 2);
+        assert!(net.check_consistency().is_empty(), "{:?}", net.check_consistency());
+        net.disconnect(Endpoint::new(0, 0)).unwrap();
+        net.disconnect(Endpoint::new(1, 1)).unwrap();
+        assert_eq!(net.active_connections(), 0);
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn five_stage_survives_churn_at_bounds() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut net = FiveStageNetwork::square(
+            16,
+            2,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        );
+        let frame = net.network();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut live: Vec<Endpoint> = Vec::new();
+        for step in 0..400 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let i = rng.gen_range(0..live.len());
+                net.disconnect(live.swap_remove(i)).unwrap();
+            } else {
+                let src =
+                    Endpoint::new(rng.gen_range(0..frame.ports), rng.gen_range(0..frame.wavelengths));
+                if net.assignment().input_busy(src) {
+                    continue;
+                }
+                let dests: Vec<Endpoint> = (0..frame.ports)
+                    .filter(|_| rng.gen_bool(0.3))
+                    .map(|p| Endpoint::new(p, src.wavelength.0))
+                    .filter(|&d| net.assignment().output_user(d).is_none())
+                    .collect();
+                if dests.is_empty() {
+                    continue;
+                }
+                let c = MulticastConnection::new(src, dests).unwrap();
+                match net.connect(c) {
+                    Ok(()) => live.push(src),
+                    Err(RouteError::Blocked { .. }) => {
+                        panic!("five-stage blocked at bounds (step {step})")
+                    }
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            if step % 50 == 0 {
+                assert!(net.check_consistency().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn maw_dominant_five_stage() {
+        let mut net = FiveStageNetwork::square(
+            16,
+            2,
+            Construction::MawDominant,
+            MulticastModel::Maw,
+        );
+        // Mixed-wavelength multicast only MAW permits.
+        net.connect(conn((0, 0), &[(3, 1), (7, 0), (11, 1)])).unwrap();
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decompose")]
+    fn bad_inner_geometry_rejected() {
+        FiveStageNetwork::new(4, 4, 3, 2, 1, Construction::MswDominant, MulticastModel::Msw);
+    }
+}

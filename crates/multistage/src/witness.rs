@@ -1,0 +1,211 @@
+//! Blocking-witness search — the empirical face of the *necessity* side
+//! of the nonblocking bounds.
+//!
+//! Theorems 1–2 are sufficient conditions; the paper notes (citing its
+//! ref. [16]) that matching necessary bounds exist, meaning that for `m`
+//! below the bound some request sequence blocks. This module *finds* such
+//! sequences: a randomized adversary with restarts that fills the network
+//! with hostile traffic (same input module, maximal module spread, one
+//! wavelength) and reports the first sequence ending in a blocked
+//! request.
+//!
+//! A found witness is a concrete, replayable refutation that a given `m`
+//! is too small; failure to find one (at the theorem bound) is consistent
+//! with — though of course no proof of — the sufficiency result.
+
+use crate::{Construction, RouteError, ThreeStageNetwork, ThreeStageParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel};
+
+/// A replayable blocking sequence.
+#[derive(Debug, Clone)]
+pub struct BlockingWitness {
+    /// Geometry the witness applies to.
+    pub params: ThreeStageParams,
+    /// Construction method used.
+    pub construction: Construction,
+    /// Fan-out limit in force.
+    pub x_limit: u32,
+    /// Connections established before the block (in order).
+    pub established: Vec<MulticastConnection>,
+    /// The request that blocked.
+    pub blocked_request: MulticastConnection,
+}
+
+impl BlockingWitness {
+    /// Re-run the witness from scratch, returning `true` iff it still
+    /// blocks (used by tests and by skeptical readers).
+    pub fn replay(&self, output_model: MulticastModel) -> bool {
+        let mut net = ThreeStageNetwork::new(self.params, self.construction, output_model);
+        net.set_fanout_limit(self.x_limit);
+        for conn in &self.established {
+            if net.connect(conn.clone()).is_err() {
+                return false;
+            }
+        }
+        matches!(net.connect(self.blocked_request.clone()), Err(RouteError::Blocked { .. }))
+    }
+}
+
+/// Search for a blocking witness with `attempts` randomized episodes.
+///
+/// Each episode fills a fresh network with hostile requests (sources
+/// drawn from one input module on one wavelength where the construction
+/// is MSW-dominant, spread over many output modules) until something
+/// blocks or the episode exhausts its request budget.
+pub fn find_blocking_witness(
+    params: ThreeStageParams,
+    construction: Construction,
+    output_model: MulticastModel,
+    x_limit: u32,
+    attempts: usize,
+    seed: u64,
+) -> Option<BlockingWitness> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..attempts {
+        if let Some(w) = episode(params, construction, output_model, x_limit, &mut rng) {
+            debug_assert!(w.replay(output_model), "witness must replay");
+            return Some(w);
+        }
+    }
+    None
+}
+
+fn episode(
+    params: ThreeStageParams,
+    construction: Construction,
+    output_model: MulticastModel,
+    x_limit: u32,
+    rng: &mut StdRng,
+) -> Option<BlockingWitness> {
+    let mut net = ThreeStageNetwork::new(params, construction, output_model);
+    net.set_fanout_limit(x_limit);
+    let mut established = Vec::new();
+    // Concentrate on one input module and (for the MSW-pinning effect)
+    // one wavelength.
+    let module = rng.gen_range(0..params.r);
+    let wl = rng.gen_range(0..params.k);
+    let budget = (params.n * params.k * 2) as usize;
+    for _ in 0..budget {
+        let req = hostile_request(&net, module, wl, rng)?;
+        match net.connect(req.clone()) {
+            Ok(_) => established.push(req),
+            Err(RouteError::Blocked { .. }) => {
+                return Some(BlockingWitness {
+                    params,
+                    construction,
+                    x_limit,
+                    established,
+                    blocked_request: req,
+                });
+            }
+            Err(RouteError::Assignment(_)) => unreachable!("generator checks the assignment"),
+        }
+    }
+    None
+}
+
+/// A hostile request: next free source in the target module on the target
+/// wavelength (falling back to any), destinations spread over a random
+/// subset of output modules on the same wavelength.
+fn hostile_request(
+    net: &ThreeStageNetwork,
+    module: u32,
+    wl: u32,
+    rng: &mut StdRng,
+) -> Option<MulticastConnection> {
+    let p = net.params();
+    let asg = net.assignment();
+    let src = (module * p.n..(module + 1) * p.n)
+        .map(|port| Endpoint::new(port, wl))
+        .find(|&e| !asg.input_busy(e))
+        .or_else(|| p.network().endpoints().find(|&e| !asg.input_busy(e)))?;
+    let mut dests = Vec::new();
+    for b in 0..p.r {
+        if rng.gen_bool(0.8) {
+            // One free same-wavelength endpoint in output module b.
+            if let Some(d) = (b * p.n..(b + 1) * p.n)
+                .map(|port| Endpoint::new(port, src.wavelength.0))
+                .find(|&d| asg.output_user(d).is_none())
+            {
+                dests.push(d);
+            }
+        }
+    }
+    if dests.is_empty() {
+        return None;
+    }
+    Some(MulticastConnection::new(src, dests).expect("one port per module"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn finds_witness_below_the_bound() {
+        // n=r=4, k=1: Theorem 1 bound is 13; m=3 must be blockable.
+        let p = ThreeStageParams::new(4, 3, 4, 1);
+        let w = find_blocking_witness(
+            p,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+            1,
+            50,
+            7,
+        )
+        .expect("starved network must yield a witness");
+        assert!(w.replay(MulticastModel::Msw));
+        assert!(!w.established.is_empty());
+    }
+
+    #[test]
+    fn witness_replay_detects_tampering() {
+        let p = ThreeStageParams::new(4, 3, 4, 1);
+        let mut w = find_blocking_witness(
+            p,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+            1,
+            50,
+            7,
+        )
+        .unwrap();
+        // Removing the load makes the final request routable again.
+        w.established.clear();
+        assert!(!w.replay(MulticastModel::Msw));
+    }
+
+    #[test]
+    fn no_witness_at_the_theorem_bound() {
+        for (n, r, k) in [(2u32, 2u32, 1u32), (3, 3, 2)] {
+            let b = bounds::theorem1_min_m(n, r);
+            let p = ThreeStageParams::new(n, b.m, r, k);
+            let w = find_blocking_witness(
+                p,
+                Construction::MswDominant,
+                MulticastModel::Msw,
+                b.x,
+                30,
+                11,
+            );
+            assert!(w.is_none(), "found a witness at the bound: {w:?}");
+        }
+    }
+
+    #[test]
+    fn maw_dominant_witness_below_theorem2() {
+        let p = ThreeStageParams::new(4, 2, 4, 2); // bound is 14
+        let w = find_blocking_witness(
+            p,
+            Construction::MawDominant,
+            MulticastModel::Maw,
+            1,
+            50,
+            3,
+        );
+        assert!(w.is_some(), "m=2 should block under adversarial load");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the three-stage simulator.
+
+use proptest::prelude::*;
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel};
+use wdm_multistage::{
+    bounds, Construction, DestinationMultiset, SelectionStrategy, ThreeStageNetwork,
+    ThreeStageParams,
+};
+
+fn arb_geometry() -> impl Strategy<Value = (u32, u32, u32)> {
+    (2u32..=4, 2u32..=4, 1u32..=3)
+}
+
+/// Requests drawn directly from proptest: a source endpoint plus a set of
+/// same-wavelength destinations (legal under every model).
+fn arb_requests(n: u32, r: u32, k: u32) -> impl Strategy<Value = Vec<(u32, u32, Vec<u32>)>> {
+    let ports = n * r;
+    proptest::collection::vec(
+        (
+            0..ports,
+            0..k,
+            proptest::collection::btree_set(0..ports, 1..=(ports as usize)),
+        )
+            .prop_map(|(src, wl, dests)| (src, wl, dests.into_iter().collect::<Vec<u32>>())),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn state_stays_consistent_under_arbitrary_requests(
+        reqs in arb_geometry().prop_flat_map(|(n, r, k)| arb_requests(n, r, k)),
+        seed_geometry in arb_geometry(),
+    ) {
+        // Use an independent geometry for request generation robustness:
+        // requests outside the frame are rejected by the assignment layer.
+        let (n, r, k) = seed_geometry;
+        let m = bounds::theorem1_min_m(n, r).m;
+        let p = ThreeStageParams::new(n, m, r, k);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let ports = n * r;
+        let mut live = Vec::new();
+        for (src, wl, dests) in reqs {
+            let src = Endpoint::new(src % ports, wl % k);
+            let dests: Vec<Endpoint> =
+                dests.iter().map(|&d| Endpoint::new(d % ports, src.wavelength.0)).collect();
+            let Ok(conn) = MulticastConnection::new(src, dests) else { continue };
+            if net.connect(conn).is_ok() {
+                live.push(src);
+            }
+        }
+        prop_assert!(net.check_consistency().is_empty());
+        // Tear everything down; the network must return to pristine state.
+        for src in live {
+            net.disconnect(src).unwrap();
+        }
+        prop_assert_eq!(net.active_connections(), 0);
+        for j in 0..m {
+            prop_assert_eq!(net.multiset(j).total_connections(), 0);
+        }
+    }
+
+    #[test]
+    fn all_strategies_nonblocking_at_bound(
+        (n, r, k) in arb_geometry(),
+        strategy in prop::sample::select(&[
+            SelectionStrategy::FirstFit,
+            SelectionStrategy::Pack,
+            SelectionStrategy::Spread,
+        ]),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let m = bounds::theorem1_min_m(n, r).m;
+        let p = ThreeStageParams::new(n, m, r, k);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.set_strategy(strategy);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = wdm_workload::AssignmentGen::new(p.network(), MulticastModel::Msw, seed);
+        let mut live: Vec<Endpoint> = Vec::new();
+        for _ in 0..120 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let i = rng.gen_range(0..live.len());
+                net.disconnect(live.swap_remove(i)).unwrap();
+            } else if let Some(req) = gen.next_request(net.assignment(), 0) {
+                let src = req.source();
+                let result = net.connect(req);
+                prop_assert!(result.is_ok(), "{:?} blocked at bound: {:?}", strategy, result.err());
+                live.push(src);
+            }
+        }
+        prop_assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn multiset_intersection_cardinality_bounds(
+        counts_a in proptest::collection::vec(0u32..=3, 1..8),
+        counts_b in proptest::collection::vec(0u32..=3, 1..8),
+    ) {
+        let len = counts_a.len().min(counts_b.len());
+        let a = DestinationMultiset::from_counts(3, counts_a[..len].to_vec());
+        let b = DestinationMultiset::from_counts(3, counts_b[..len].to_vec());
+        let i = a.intersection(&b);
+        // |A ∩ B| ≤ min(|A|, |B|) under the paper's Eq. (4) cardinality.
+        prop_assert!(i.cardinality() <= a.cardinality().min(b.cardinality()));
+        // Intersection total never exceeds either operand's total.
+        prop_assert!(i.total_connections() <= a.total_connections());
+        prop_assert!(i.total_connections() <= b.total_connections());
+    }
+
+    #[test]
+    fn routed_connections_respect_x_limit(
+        (n, r, k) in arb_geometry(),
+        x in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let m = bounds::theorem1_min_m(n, r).m + 4; // headroom so x can bind
+        let p = ThreeStageParams::new(n, m, r, k);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.set_fanout_limit(x);
+        let mut gen = wdm_workload::AssignmentGen::new(p.network(), MulticastModel::Msw, seed);
+        for _ in 0..30 {
+            let Some(req) = gen.next_request(net.assignment(), 0) else { break };
+            let src = req.source();
+            if net.connect(req).is_ok() {
+                prop_assert!(net.route_of(src).unwrap().middle_count() <= x as usize);
+            }
+        }
+    }
+}

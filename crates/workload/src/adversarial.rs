@@ -1,0 +1,185 @@
+//! Adversarial generators for three-stage networks.
+//!
+//! The worst cases in the proofs of Theorems 1–2 have a shape: many
+//! connections from the *same input module*, each fanned out to *many
+//! output modules*, all pinned to the *same wavelength* (for the
+//! MSW-dominant construction). These generators produce exactly that
+//! pressure, so the empirical nonblocking checks probe the theorems near
+//! their tight spot rather than in the friendly average case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdm_core::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel};
+
+/// Three-stage geometry as seen by a workload generator (kept as plain
+/// numbers so this crate does not depend on `wdm-multistage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// External ports per input/output module.
+    pub n: u32,
+    /// Modules per side.
+    pub r: u32,
+    /// Wavelengths per fiber.
+    pub k: u32,
+}
+
+impl Geometry {
+    /// External ports per side, `N = n·r`.
+    pub fn ports(&self) -> u32 {
+        self.n * self.r
+    }
+
+    /// Global port range of input module `a`.
+    pub fn module_ports(&self, a: u32) -> std::ops::Range<u32> {
+        (a * self.n)..((a + 1) * self.n)
+    }
+}
+
+/// Generator of middle-stage-hostile request sequences.
+#[derive(Debug)]
+pub struct AdversarialGen {
+    geo: Geometry,
+    model: MulticastModel,
+    rng: StdRng,
+}
+
+impl AdversarialGen {
+    /// Create a generator for `geo` producing requests legal under
+    /// `model`.
+    pub fn new(geo: Geometry, model: MulticastModel, seed: u64) -> Self {
+        AdversarialGen { geo, model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The next hostile request against `asg`: sourced in the most
+    /// heavily used input module (to maximize link contention), on the
+    /// most-used wavelength the module still has free, spread over as
+    /// many *distinct output modules* as possible (one destination port
+    /// per module, maximizing the middle-switch fan-out pressure).
+    pub fn next_request(&mut self, asg: &MulticastAssignment) -> Option<MulticastConnection> {
+        let net = asg.network();
+        debug_assert_eq!(net.ports, self.geo.ports());
+
+        // Pick the input module with the most busy sources that still has
+        // a free source endpoint.
+        let mut best: Option<(usize, Endpoint)> = None;
+        for a in 0..self.geo.r {
+            let ports = self.geo.module_ports(a);
+            let busy = ports
+                .clone()
+                .flat_map(|p| (0..self.geo.k).map(move |w| Endpoint::new(p, w)))
+                .filter(|&e| asg.input_busy(e))
+                .count();
+            let free = ports
+                .clone()
+                .flat_map(|p| (0..self.geo.k).map(move |w| Endpoint::new(p, w)))
+                .find(|&e| !asg.input_busy(e));
+            if let Some(src) = free {
+                if best.map_or(true, |(b, _)| busy > b) {
+                    best = Some((busy, src));
+                }
+            }
+        }
+        let (_, src) = best?;
+
+        // One destination in every output module that still has a free
+        // endpoint on a compatible wavelength.
+        let dest_wl = match self.model {
+            MulticastModel::Msw => src.wavelength.0,
+            _ => self.rng.gen_range(0..self.geo.k),
+        };
+        let mut dests = Vec::new();
+        for b in 0..self.geo.r {
+            'module: for p in self.geo.module_ports(b) {
+                let wl_order: Vec<u32> = match self.model {
+                    MulticastModel::Msw => vec![src.wavelength.0],
+                    MulticastModel::Msdw => vec![dest_wl],
+                    MulticastModel::Maw => (0..self.geo.k).collect(),
+                };
+                for w in wl_order {
+                    let ep = Endpoint::new(p, w);
+                    if asg.output_user(ep).is_none() {
+                        dests.push(ep);
+                        break 'module;
+                    }
+                }
+            }
+        }
+        if dests.is_empty() {
+            return None;
+        }
+        Some(MulticastConnection::new(src, dests).expect("one port per module"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::NetworkConfig;
+
+    fn geo() -> Geometry {
+        Geometry { n: 3, r: 4, k: 2 }
+    }
+
+    #[test]
+    fn geometry_addressing() {
+        let g = geo();
+        assert_eq!(g.ports(), 12);
+        assert_eq!(g.module_ports(0), 0..3);
+        assert_eq!(g.module_ports(3), 9..12);
+    }
+
+    #[test]
+    fn requests_spread_across_modules() {
+        let g = geo();
+        let net = NetworkConfig::new(g.ports(), g.k);
+        let asg = MulticastAssignment::new(net, MulticastModel::Msw);
+        let mut gen = AdversarialGen::new(g, MulticastModel::Msw, 1);
+        let req = gen.next_request(&asg).unwrap();
+        // One destination in each of the r output modules.
+        assert_eq!(req.fanout(), g.r as usize);
+        let modules: std::collections::BTreeSet<u32> =
+            req.destinations().iter().map(|d| d.port.0 / g.n).collect();
+        assert_eq!(modules.len(), g.r as usize);
+    }
+
+    #[test]
+    fn prefers_contended_input_module() {
+        let g = geo();
+        let net = NetworkConfig::new(g.ports(), g.k);
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Msw);
+        let mut gen = AdversarialGen::new(g, MulticastModel::Msw, 2);
+        // Route the first request, add it, then the second must come from
+        // the same input module (it is now the busiest with free slots).
+        let r1 = gen.next_request(&asg).unwrap();
+        let m1 = r1.source().port.0 / g.n;
+        asg.add(r1).unwrap();
+        let r2 = gen.next_request(&asg).unwrap();
+        let m2 = r2.source().port.0 / g.n;
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn msw_requests_are_wavelength_homogeneous() {
+        let g = geo();
+        let net = NetworkConfig::new(g.ports(), g.k);
+        let asg = MulticastAssignment::new(net, MulticastModel::Msw);
+        let mut gen = AdversarialGen::new(g, MulticastModel::Msw, 3);
+        let req = gen.next_request(&asg).unwrap();
+        assert!(req.destinations().iter().all(|d| d.wavelength == req.source().wavelength));
+    }
+
+    #[test]
+    fn generator_exhausts_gracefully() {
+        let g = Geometry { n: 1, r: 2, k: 1 };
+        let net = NetworkConfig::new(2, 1);
+        let mut asg = MulticastAssignment::new(net, MulticastModel::Msw);
+        let mut gen = AdversarialGen::new(g, MulticastModel::Msw, 4);
+        while let Some(req) = gen.next_request(&asg) {
+            asg.add(req).unwrap();
+        }
+        // All sources or all destinations used.
+        let no_src = net.endpoints().all(|e| asg.input_busy(e));
+        let no_dst = net.endpoints().all(|e| asg.output_user(e).is_some());
+        assert!(no_src || no_dst);
+    }
+}

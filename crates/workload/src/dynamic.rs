@@ -1,0 +1,215 @@
+//! Dynamic (timed) traffic: Poisson arrivals with exponentially
+//! distributed holding times — the classic teletraffic model, used to
+//! measure blocking probability as a function of offered load on
+//! middle-stage-starved networks.
+
+use crate::{AssignmentGen, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use wdm_core::{Endpoint, MulticastAssignment, MulticastModel, NetworkConfig};
+
+/// One timestamped workload event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Simulation time.
+    pub time: f64,
+    /// The connect/disconnect.
+    pub event: TraceEvent,
+}
+
+/// Poisson/exponential traffic source.
+///
+/// Offered load in Erlangs is `arrival_rate × mean_holding`; with `Nk`
+/// source endpoints the per-endpoint load is that divided by `Nk`.
+#[derive(Debug)]
+pub struct DynamicTraffic {
+    net: NetworkConfig,
+    model: MulticastModel,
+    /// Connection attempts per unit time.
+    pub arrival_rate: f64,
+    /// Mean holding time of an accepted connection.
+    pub mean_holding: f64,
+    max_fanout: usize,
+    rng: StdRng,
+    gen: AssignmentGen,
+}
+
+/// Max-heap entry ordered by earliest departure.
+#[derive(Debug, PartialEq)]
+struct Departure {
+    time: f64,
+    src: Endpoint,
+}
+
+impl Eq for Departure {}
+impl Ord for Departure {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.time.total_cmp(&self.time)
+    }
+}
+impl PartialOrd for Departure {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DynamicTraffic {
+    /// Create a source. `max_fanout = 0` means unbounded.
+    pub fn new(
+        net: NetworkConfig,
+        model: MulticastModel,
+        arrival_rate: f64,
+        mean_holding: f64,
+        max_fanout: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(arrival_rate > 0.0 && mean_holding > 0.0, "rates must be positive");
+        DynamicTraffic {
+            net,
+            model,
+            arrival_rate,
+            mean_holding,
+            max_fanout,
+            rng: StdRng::seed_from_u64(seed),
+            gen: AssignmentGen::new(net, model, seed ^ 0x5EED),
+        }
+    }
+
+    /// Offered load in Erlangs (`λ·h`).
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate * self.mean_holding
+    }
+
+    /// Exponential variate with the given rate (inverse transform).
+    fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+
+    /// Generate events up to `horizon` simulated time units.
+    ///
+    /// Requests are legal against the trace's own endpoint bookkeeping:
+    /// an arrival finding no legal request (all sources or compatible
+    /// outputs busy) is simply dropped, mimicking admission control.
+    pub fn generate(&mut self, horizon: f64) -> Vec<TimedEvent> {
+        let mut events = Vec::new();
+        let mut asg = MulticastAssignment::new(self.net, self.model);
+        let mut departures: BinaryHeap<Departure> = BinaryHeap::new();
+        let mut t = 0.0;
+        loop {
+            t += Self::exp_sample(&mut self.rng, self.arrival_rate);
+            if t > horizon {
+                break;
+            }
+            // Release everything that departed before this arrival.
+            while let Some(d) = departures.peek() {
+                if d.time > t {
+                    break;
+                }
+                let d = departures.pop().unwrap();
+                asg.remove(d.src).expect("departing connection is live");
+                events.push(TimedEvent { time: d.time, event: TraceEvent::Disconnect(d.src) });
+            }
+            if let Some(req) = self.gen.next_request(&asg, self.max_fanout) {
+                let src = req.source();
+                asg.add(req.clone()).expect("generator emits legal requests");
+                events.push(TimedEvent { time: t, event: TraceEvent::Connect(req) });
+                let hold = Self::exp_sample(&mut self.rng, 1.0 / self.mean_holding);
+                departures.push(Departure { time: t + hold, src });
+            }
+        }
+        // Drain remaining departures inside the horizon.
+        while let Some(d) = departures.pop() {
+            if d.time > horizon {
+                break;
+            }
+            asg.remove(d.src).expect("departing connection is live");
+            events.push(TimedEvent { time: d.time, event: TraceEvent::Disconnect(d.src) });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(load: f64) -> DynamicTraffic {
+        DynamicTraffic::new(NetworkConfig::new(8, 2), MulticastModel::Msw, load, 1.0, 2, 42)
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_paired() {
+        let events = source(3.0).generate(200.0);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time, "{} > {}", w[0].time, w[1].time);
+        }
+        // Every disconnect refers to an earlier connect of the same source.
+        let mut live = std::collections::BTreeSet::new();
+        for e in &events {
+            match &e.event {
+                TraceEvent::Connect(c) => assert!(live.insert(c.source())),
+                TraceEvent::Disconnect(src) => assert!(live.remove(src)),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_endpoint_legal() {
+        let events = source(5.0).generate(100.0);
+        let mut asg =
+            MulticastAssignment::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
+        for e in events {
+            match e.event {
+                TraceEvent::Connect(c) => asg.add(c).expect("legal"),
+                TraceEvent::Disconnect(src) => {
+                    asg.remove(src).expect("legal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_load_means_more_concurrency() {
+        let peak = |load: f64| {
+            let events = DynamicTraffic::new(
+                NetworkConfig::new(8, 2),
+                MulticastModel::Msw,
+                load,
+                1.0,
+                1,
+                7,
+            )
+            .generate(300.0);
+            let (mut live, mut peak) = (0i64, 0i64);
+            for e in &events {
+                match e.event {
+                    TraceEvent::Connect(_) => {
+                        live += 1;
+                        peak = peak.max(live);
+                    }
+                    TraceEvent::Disconnect(_) => live -= 1,
+                }
+            }
+            peak
+        };
+        assert!(peak(8.0) > peak(0.5));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = source(2.0).generate(50.0);
+        let b = source(2.0).generate(50.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        DynamicTraffic::new(NetworkConfig::new(2, 1), MulticastModel::Msw, 0.0, 1.0, 0, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wdm-workload — multicast traffic generation
+//!
+//! Workload generators for exercising WDM multicast switches:
+//!
+//! * [`AssignmentGen`] — seeded random multicast assignments (full or
+//!   partial) under any model, and random *legal next requests* against a
+//!   live assignment (the building block of churn experiments);
+//! * [`trace`] — connect/disconnect event traces: generation, serde
+//!   round-tripping, replay;
+//! * [`adversarial`] — generators that deliberately pressure a three-stage
+//!   middle stage (same-input-module sources, maximum module spread,
+//!   wavelength-homogeneous traffic);
+//! * [`scenario`] — the application mixes the paper's introduction
+//!   motivates: video conferencing, video-on-demand, and unicast-heavy
+//!   e-commerce traffic.
+//!
+//! Everything is deterministic given a seed (`StdRng`), so experiments are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod dynamic;
+mod generators;
+pub mod scenario;
+pub mod trace;
+
+pub use dynamic::{DynamicTraffic, TimedEvent};
+pub use generators::AssignmentGen;
+pub use trace::{RequestTrace, TraceEvent};

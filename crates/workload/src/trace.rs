@@ -1,0 +1,191 @@
+//! Connect/disconnect event traces: generation, persistence, replay.
+
+use crate::AssignmentGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wdm_core::{
+    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
+};
+
+/// One event of a dynamic workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Establish a connection.
+    Connect(MulticastConnection),
+    /// Tear down the connection sourced at the endpoint.
+    Disconnect(Endpoint),
+}
+
+/// A replayable sequence of connection events, legal by construction:
+/// generated traces never connect a busy endpoint nor disconnect an idle
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Frame the trace was generated for.
+    pub net: NetworkConfig,
+    /// Model every connection obeys.
+    pub model: MulticastModel,
+    /// The events, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RequestTrace {
+    /// Generate a churn trace of `steps` events: each step disconnects a
+    /// live connection with probability `disconnect_pct`/100, otherwise
+    /// connects a fresh random legal request.
+    pub fn churn(
+        net: NetworkConfig,
+        model: MulticastModel,
+        steps: usize,
+        disconnect_pct: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(disconnect_pct <= 100);
+        let mut gen = AssignmentGen::new(net, model, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut asg = MulticastAssignment::new(net, model);
+        let mut live: Vec<Endpoint> = Vec::new();
+        let mut events = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let disconnect = !live.is_empty() && rng.gen_range(0..100) < disconnect_pct;
+            if disconnect {
+                let i = rng.gen_range(0..live.len());
+                let src = live.swap_remove(i);
+                asg.remove(src).expect("live connection");
+                events.push(TraceEvent::Disconnect(src));
+            } else if let Some(req) = gen.next_request(&asg, 0) {
+                let src = req.source();
+                asg.add(req.clone()).expect("generator emits legal requests");
+                live.push(src);
+                events.push(TraceEvent::Connect(req));
+            }
+        }
+        RequestTrace { net, model, events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of connect events.
+    pub fn connect_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Connect(_))).count()
+    }
+
+    /// Peak number of simultaneously live connections.
+    pub fn peak_load(&self) -> usize {
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for e in &self.events {
+            match e {
+                TraceEvent::Connect(_) => {
+                    live += 1;
+                    peak = peak.max(live);
+                }
+                TraceEvent::Disconnect(_) => live -= 1,
+            }
+        }
+        peak
+    }
+
+    /// Replay against an arbitrary event handler, stopping at the first
+    /// handler error and returning how many events succeeded. A single
+    /// handler (rather than separate connect/disconnect callbacks) lets
+    /// the caller close over one mutable network.
+    pub fn replay<E>(
+        &self,
+        mut handler: impl FnMut(&TraceEvent) -> Result<(), E>,
+    ) -> Result<usize, (usize, E)> {
+        for (i, event) in self.events.iter().enumerate() {
+            if let Err(e) = handler(event) {
+                return Err((i, e));
+            }
+        }
+        Ok(self.events.len())
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Parse from the [`to_json`](Self::to_json) format.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_traces_are_legal() {
+        let net = NetworkConfig::new(6, 2);
+        for model in MulticastModel::ALL {
+            let trace = RequestTrace::churn(net, model, 300, 30, 7);
+            // Replaying against a fresh assignment must never error.
+            let mut asg = MulticastAssignment::new(net, model);
+            let replayed = trace
+                .replay(|event| match event {
+                    TraceEvent::Connect(c) => asg.add(c.clone()).map_err(|e| e.to_string()),
+                    TraceEvent::Disconnect(src) => {
+                        asg.remove(*src).map(|_| ()).map_err(|e| e.to_string())
+                    }
+                })
+                .expect("trace is legal");
+            assert_eq!(replayed, trace.len());
+        }
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let net = NetworkConfig::new(4, 2);
+        let trace = RequestTrace::churn(net, MulticastModel::Msw, 200, 40, 3);
+        assert!(trace.connect_count() > 0);
+        assert!(trace.peak_load() <= net.endpoints_per_side() as usize);
+        assert!(trace.peak_load() >= 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let net = NetworkConfig::new(3, 2);
+        let trace = RequestTrace::churn(net, MulticastModel::Maw, 50, 25, 11);
+        let json = trace.to_json();
+        let back = RequestTrace::from_json(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn replay_reports_failure_position() {
+        let net = NetworkConfig::new(6, 2);
+        let trace = RequestTrace::churn(net, MulticastModel::Msw, 40, 30, 5);
+        assert!(trace.len() >= 3, "need at least 3 events, got {}", trace.len());
+        // Fail on the third event.
+        let mut n = 0;
+        let result: Result<usize, (usize, &str)> = trace.replay(|_| {
+            n += 1;
+            if n == 3 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(result.unwrap_err(), (2, "boom"));
+    }
+
+    #[test]
+    fn zero_disconnect_pct_is_connect_only() {
+        let net = NetworkConfig::new(4, 2);
+        let trace = RequestTrace::churn(net, MulticastModel::Msw, 100, 0, 9);
+        assert_eq!(trace.connect_count(), trace.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! Fault injection and observability: break gates and converters in a
+//! crossbar, watch the gate-level verification catch each fault, and
+//! inspect crosstalk exposure and per-destination optical budgets.
+//!
+//! Run with: `cargo run --example fault_injection`
+
+use wdm_multicast::core::{Endpoint, MulticastModel, NetworkConfig};
+use wdm_multicast::fabric::{trace_signal, FabricError, PowerParams, WdmCrossbar};
+use wdm_multicast::workload::AssignmentGen;
+
+fn main() {
+    let net = NetworkConfig::new(6, 2);
+    let model = MulticastModel::Maw;
+    let mut xbar = WdmCrossbar::build(net, model);
+    let asg = AssignmentGen::new(net, model, 7).full_assignment();
+    println!("fabric: {} crossbar on {net} — {}", model, xbar.census());
+    println!("offered: full assignment with {} connections\n", asg.len());
+
+    // Healthy run: exact delivery, with per-destination optical budgets.
+    let outcome = xbar.route_verified(&asg).expect("healthy fabric is nonblocking");
+    let params = PowerParams::default();
+    let mut worst: Option<(Endpoint, f64)> = None;
+    for conn in asg.connections() {
+        for &d in conn.destinations() {
+            let path = trace_signal(xbar.netlist(), &outcome, d, &params).unwrap();
+            if worst.map_or(true, |(_, l)| path.loss_db > l) {
+                worst = Some((d, path.loss_db));
+            }
+        }
+    }
+    let (worst_ep, worst_loss) = worst.unwrap();
+    println!("healthy: every endpoint lit; worst per-destination budget {worst_loss:.1} dB at {worst_ep}");
+    println!(
+        "crosstalk exposure: {} leakage paths across {} output ports\n",
+        outcome.total_crosstalk_exposure(),
+        net.ports
+    );
+
+    // Fault 1: a dead SOA gate on a used crosspoint.
+    let victim = asg.connections().next().unwrap();
+    let (src, dst) = (victim.source(), victim.destinations()[0]);
+    xbar.break_gate(src, dst);
+    match xbar.route_verified(&asg) {
+        Err(FabricError::DeliveryFailure { endpoint }) => {
+            println!("broken gate {src}→{dst}: verification flags missing light at {endpoint}");
+        }
+        other => panic!("fault not detected: {other:?}"),
+    }
+
+    // Fault 2: a stuck-transparent converter.
+    let mut xbar = WdmCrossbar::build(net, model);
+    // Find a destination whose wavelength differs from its source — its
+    // output converter is load-bearing.
+    let cross = asg
+        .connections()
+        .flat_map(|c| c.destinations().iter().map(move |&d| (c.source(), d)))
+        .find(|(s, d)| s.wavelength != d.wavelength)
+        .expect("a full MAW assignment converts somewhere");
+    xbar.break_converter(cross.1);
+    match xbar.route_verified(&asg) {
+        Err(FabricError::DeliveryFailure { endpoint }) => {
+            println!(
+                "broken converter at {}: wrong-wavelength light detected at {endpoint}",
+                cross.1
+            );
+        }
+        Err(FabricError::Propagation(errors)) => {
+            // The unconverted signal can collide with a legitimate one on
+            // its original wavelength — also caught, as a physical
+            // conflict.
+            println!(
+                "broken converter at {}: {} physical conflicts detected ({})",
+                cross.1,
+                errors.len(),
+                errors[0]
+            );
+        }
+        other => panic!("fault not detected: {other:?}"),
+    }
+
+    println!("\nboth faults caught by gate-level verification — no silent data loss.");
+}

@@ -1,0 +1,66 @@
+//! Photonic end-to-end: build the Fig. 8 three-stage network as one large
+//! netlist of real modules, drive it from the logical router's decisions,
+//! and trace the light.
+//!
+//! This is the whole paper in one run: the Theorem 1 bound sizes the
+//! middle stage, the §3.4 formulas predict the hardware, the router picks
+//! middle switches and wavelengths, and the photonic simulator confirms
+//! that every destination endpoint receives exactly its signal.
+//!
+//! Run with: `cargo run --example photonic_multistage`
+
+use wdm_multicast::core::{Endpoint, MulticastConnection, MulticastModel};
+use wdm_multicast::fabric::PowerParams;
+use wdm_multicast::multistage::{
+    bounds, cost, Construction, PhotonicThreeStage, ThreeStageNetwork, ThreeStageParams,
+};
+
+fn main() {
+    let (n, r, k) = (3u32, 3u32, 2u32);
+    let bound = bounds::theorem1_min_m(n, r);
+    let p = ThreeStageParams::new(n, bound.m, r, k);
+    println!("{p}  (Theorem 1: m ≥ {}, x = {})\n", bound.m, bound.x);
+
+    // The hardware, predicted and then measured.
+    let predicted = cost::three_stage_cost(p, Construction::MswDominant, MulticastModel::Msw);
+    let mut photonic =
+        PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
+    let census = photonic.census();
+    println!("predicted crosspoints (kmr(2n+r)): {}", predicted.crosspoints);
+    println!("measured SOA gates in the netlist: {}", census.gates);
+    assert_eq!(census.gates, predicted.crosspoints);
+    let budget = photonic.power_budget(&PowerParams::default());
+    println!(
+        "netlist: {} components, worst path {:.1} dB over {} hops\n",
+        photonic.netlist().node_count(),
+        budget.worst_path_loss_db,
+        budget.worst_path_hops
+    );
+
+    // Route a handful of multicasts logically…
+    let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+    let requests = [
+        ((0u32, 0u32), vec![(2u32, 0u32), (5, 0), (8, 0)]),
+        ((1, 1), vec![(0, 1), (4, 1)]),
+        ((4, 0), vec![(1, 0), (7, 0)]),
+        ((8, 1), vec![(2, 1), (3, 1), (6, 1), (8, 1)]),
+    ];
+    for (src, dests) in requests {
+        let conn = MulticastConnection::new(
+            Endpoint::new(src.0, src.1),
+            dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
+        )
+        .unwrap();
+        let routed = logical.connect(conn.clone()).expect("nonblocking at the bound");
+        let middles: Vec<u32> = routed.branches.iter().map(|b| b.middle).collect();
+        println!("{conn}\n    → via middle switches {middles:?}");
+    }
+
+    // …then realize them photonically and verify the light.
+    let outcome = photonic.realize(&logical).expect("light follows the route");
+    assert!(outcome.delivered_exactly(logical.assignment()));
+    println!(
+        "\nall {} connections realized in hardware: every destination endpoint lit by\nexactly its source, zero combiner conflicts.",
+        logical.active_connections()
+    );
+}

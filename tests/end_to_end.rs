@@ -1,0 +1,133 @@
+//! End-to-end integration: workload generation → fabric construction →
+//! routing → gate-level delivery verification, across crates.
+
+use wdm_multicast::core::{capacity, MulticastModel, NetworkConfig};
+use wdm_multicast::fabric::WdmCrossbar;
+use wdm_multicast::multistage::{
+    bounds, Construction, RouteError, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_multicast::workload::scenario::Scenario;
+use wdm_multicast::workload::{AssignmentGen, RequestTrace, TraceEvent};
+
+#[test]
+fn random_assignments_route_through_matching_crossbars() {
+    for model in MulticastModel::ALL {
+        let net = NetworkConfig::new(8, 3);
+        let mut gen = AssignmentGen::new(net, model, 2025);
+        let mut xbar = WdmCrossbar::build(net, model);
+        for i in 0..10 {
+            let asg = if i % 2 == 0 { gen.full_assignment() } else { gen.any_assignment() };
+            let outcome = xbar.route_verified(&asg).unwrap_or_else(|e| {
+                panic!("{model} assignment {i} failed: {e}\n{asg}");
+            });
+            assert!(outcome.delivered_exactly(&asg));
+        }
+    }
+}
+
+#[test]
+fn scenario_workloads_route_and_match_cost_model() {
+    let net = NetworkConfig::new(12, 2);
+    for scenario in [
+        Scenario::VideoConference { group_size: 4 },
+        Scenario::VideoOnDemand { servers: 2 },
+        Scenario::ECommerce { multicast_pct: 30 },
+    ] {
+        for model in MulticastModel::ALL {
+            let asg = scenario.generate(net, model, 7);
+            assert!(!asg.is_empty(), "{} produced nothing under {model}", scenario.label());
+            let mut xbar = WdmCrossbar::build(net, model);
+            let outcome = xbar.route_verified(&asg).unwrap();
+            assert!(outcome.delivered_exactly(&asg));
+            // Fig. 3 converter accounting holds on real traffic.
+            let expected: u64 = asg
+                .connections()
+                .map(|c| model.converters_per_connection(c.fanout() as u64))
+                .sum();
+            assert_eq!(asg.converter_demand(), expected);
+        }
+    }
+}
+
+#[test]
+fn churn_trace_runs_identically_on_crossbar_and_multistage() {
+    // The same trace drives a flat crossbar (always nonblocking) and a
+    // Theorem-1-sized three-stage network (nonblocking by Theorem 1);
+    // neither may ever fail.
+    let (n, r, k) = (3u32, 3u32, 2u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let net = p.network();
+    let model = MulticastModel::Msw;
+    let trace = RequestTrace::churn(net, model, 500, 35, 99);
+
+    let mut three = ThreeStageNetwork::new(p, Construction::MswDominant, model);
+    let mut xbar = WdmCrossbar::build(net, model);
+
+    trace
+        .replay(|event| -> Result<(), String> {
+            match event {
+                TraceEvent::Connect(conn) => {
+                    three.connect(conn.clone()).map_err(|e| e.to_string())?;
+                }
+                TraceEvent::Disconnect(src) => {
+                    three.disconnect(*src).map_err(|e| e.to_string())?;
+                }
+            }
+            // After every event, the multistage network's live assignment
+            // must also route through the crossbar (they represent the
+            // same endpoint-level state).
+            let outcome = xbar.route_verified(three.assignment()).map_err(|e| e.to_string())?;
+            assert!(outcome.delivered_exactly(three.assignment()));
+            Ok(())
+        })
+        .expect("both fabrics handle the trace");
+    assert!(three.check_consistency().is_empty());
+}
+
+#[test]
+fn multistage_capacity_equals_crossbar_capacity() {
+    // §3.1: a nonblocking multistage network has the same multicast
+    // capacity as the crossbar — verified by routing *every* tiny
+    // assignment through a Theorem-1-sized network.
+    let (n, r, k) = (2u32, 2u32, 1u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let net = p.network();
+    let model = MulticastModel::Msw;
+    let mut routed = 0u64;
+    for map in wdm_multicast::core::enumerate::valid_maps(net, model, true) {
+        let asg = map.to_assignment(model).unwrap();
+        let mut three = ThreeStageNetwork::new(p, Construction::MswDominant, model);
+        for conn in asg.connections() {
+            three.connect(conn.clone()).unwrap_or_else(|e| {
+                panic!("assignment not routable in multistage: {e}\n{asg}")
+            });
+        }
+        routed += 1;
+    }
+    assert_eq!(
+        wdm_multicast::bignum::BigUint::from(routed),
+        capacity::any_assignments(net, model)
+    );
+}
+
+#[test]
+fn fig10_outcome_stable_under_request_order() {
+    // The blocking contrast does not depend on which setup request comes
+    // first — both orders pin λ1 on the shared links.
+    use wdm_multicast::multistage::scenarios;
+    let mut requests = scenarios::fig10_requests();
+    requests.reverse();
+    let mut net = ThreeStageNetwork::new(
+        scenarios::fig10_params(),
+        Construction::MswDominant,
+        MulticastModel::Maw,
+    );
+    net.set_fanout_limit(1);
+    let last = requests.pop().unwrap();
+    for r in requests {
+        net.connect(r).unwrap();
+    }
+    assert!(matches!(net.connect(last), Err(RouteError::Blocked { .. })));
+}

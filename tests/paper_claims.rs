@@ -1,0 +1,153 @@
+//! One test per headline claim of the paper — the reproduction's
+//! checklist, kept deliberately readable.
+
+use wdm_multicast::bignum::BigUint;
+use wdm_multicast::core::{capacity, enumerate, MulticastModel, NetworkConfig};
+use wdm_multicast::fabric::WdmCrossbar;
+use wdm_multicast::multistage::{bounds, cost, scenarios, Construction, ThreeStageParams};
+
+/// §2.2, Lemma 1: MSW capacity is `N^(Nk)` full, `(N+1)^(Nk)` any.
+#[test]
+fn claim_lemma1() {
+    let net = NetworkConfig::new(3, 2);
+    assert_eq!(capacity::full_assignments(net, MulticastModel::Msw), BigUint::from(729u64));
+    assert_eq!(enumerate::count_full(net, MulticastModel::Msw), BigUint::from(729u64));
+}
+
+/// §2.2, Lemma 2: MAW capacity is `[P(Nk,k)]^N` full.
+#[test]
+fn claim_lemma2() {
+    let net = NetworkConfig::new(2, 2);
+    // P(4,2)^2 = 12² = 144.
+    assert_eq!(capacity::full_assignments(net, MulticastModel::Maw), BigUint::from(144u64));
+    assert_eq!(enumerate::count_full(net, MulticastModel::Maw), BigUint::from(144u64));
+}
+
+/// §2.2, Lemma 3: the MSDW Stirling sum, against brute force.
+#[test]
+fn claim_lemma3() {
+    let net = NetworkConfig::new(2, 2);
+    assert_eq!(capacity::full_assignments(net, MulticastModel::Msdw), BigUint::from(84u64));
+    assert_eq!(enumerate::count_full(net, MulticastModel::Msdw), BigUint::from(84u64));
+}
+
+/// §2.2: a WDM N×N k-λ network is strictly weaker than an Nk×Nk
+/// electronic crossbar for every model when k > 1, and the models order
+/// MSW < MSDW < MAW.
+#[test]
+fn claim_model_hierarchy_and_electronic_gap() {
+    let net = NetworkConfig::new(4, 3);
+    let msw = capacity::full_assignments(net, MulticastModel::Msw);
+    let msdw = capacity::full_assignments(net, MulticastModel::Msdw);
+    let maw = capacity::full_assignments(net, MulticastModel::Maw);
+    let elec = capacity::electronic_full(net);
+    assert!(msw < msdw && msdw < maw && maw < elec);
+}
+
+/// §2.3 / Table 1: crosspoints kN² (MSW) and k²N² (MSDW/MAW); converters
+/// 0 / kN / kN — *measured on constructed hardware*.
+#[test]
+fn claim_table1_hardware() {
+    let net = NetworkConfig::new(5, 3);
+    let c = WdmCrossbar::build(net, MulticastModel::Msw).census();
+    assert_eq!((c.gates, c.converters), (3 * 25, 0));
+    let c = WdmCrossbar::build(net, MulticastModel::Msdw).census();
+    assert_eq!((c.gates, c.converters), (9 * 25, 15));
+    let c = WdmCrossbar::build(net, MulticastModel::Maw).census();
+    assert_eq!((c.gates, c.converters), (9 * 25, 15));
+}
+
+/// §2.4: MSDW is dominated — same cost as MAW, strictly less capacity.
+#[test]
+fn claim_msdw_dominated() {
+    let net = NetworkConfig::new(4, 2);
+    assert_eq!(
+        capacity::crossbar_crosspoints(net, MulticastModel::Msdw),
+        capacity::crossbar_crosspoints(net, MulticastModel::Maw)
+    );
+    assert_eq!(
+        capacity::crossbar_converters(net, MulticastModel::Msdw),
+        capacity::crossbar_converters(net, MulticastModel::Maw)
+    );
+    assert!(
+        capacity::full_assignments(net, MulticastModel::Msdw)
+            < capacity::full_assignments(net, MulticastModel::Maw)
+    );
+}
+
+/// Theorem 1: `m > min_x (n−1)(x + r^{1/x})` suffices for the
+/// MSW-dominant construction (spot values).
+#[test]
+fn claim_theorem1_values() {
+    assert_eq!(bounds::theorem1_min_m(4, 4).m, 13);
+    assert_eq!(bounds::theorem1_min_m(2, 2).m, 4);
+}
+
+/// Theorem 2 reduces to Theorem 1 at k = 1 and never needs fewer middle
+/// switches.
+#[test]
+fn claim_theorem2_relation() {
+    for (n, r) in [(3u32, 3u32), (4, 4), (8, 8)] {
+        assert_eq!(bounds::theorem2_min_m(n, r, 1).m, bounds::theorem1_min_m(n, r).m);
+        for k in [2u32, 4, 8] {
+            assert!(bounds::theorem2_min_m(n, r, k).m >= bounds::theorem1_min_m(n, r).m);
+        }
+    }
+}
+
+/// §3.3 / Fig. 10: MSW-dominant blocks where MAW-dominant routes.
+#[test]
+fn claim_fig10() {
+    let (msw, maw) = scenarios::fig10_contrast();
+    assert!(msw.blocked);
+    assert!(!maw.blocked);
+}
+
+/// §3.4 / Table 2: the multistage design's crosspoints drop below the
+/// crossbar's for large N, for every model.
+#[test]
+fn claim_table2_crossover() {
+    for model in MulticastModel::ALL {
+        let n = 1024u32;
+        let k = 4;
+        let p = ThreeStageParams::square(n, k);
+        let ms = cost::three_stage_cost(p, Construction::MswDominant, model);
+        let cb = cost::crossbar_cost(n as u64, k as u64, model);
+        assert!(ms.crosspoints < cb.crosspoints, "{model}");
+    }
+}
+
+/// §3.4: under the multistage construction MSDW needs *more* converters
+/// than MAW (the reversal the paper points out).
+#[test]
+fn claim_msdw_converter_reversal_in_multistage() {
+    let p = ThreeStageParams::square(256, 4);
+    let msdw = cost::three_stage_cost(p, Construction::MswDominant, MulticastModel::Msdw);
+    let maw = cost::three_stage_cost(p, Construction::MswDominant, MulticastModel::Maw);
+    assert!(msdw.converters > maw.converters);
+    assert_eq!(maw.converters, 256 * 4); // kN exactly
+}
+
+/// §4 conclusion: the MSW-dominant construction is the better choice —
+/// cheaper than MAW-dominant at equal capacity.
+#[test]
+fn claim_msw_dominant_recommended() {
+    for model in MulticastModel::ALL {
+        let side = 16u32;
+        let k = 2;
+        let m1 = bounds::theorem1_min_m(side, side).m;
+        let m2 = bounds::theorem2_min_m(side, side, k).m;
+        let c1 = cost::three_stage_cost(
+            ThreeStageParams::new(side, m1, side, k),
+            Construction::MswDominant,
+            model,
+        );
+        let c2 = cost::three_stage_cost(
+            ThreeStageParams::new(side, m2, side, k),
+            Construction::MawDominant,
+            model,
+        );
+        assert!(c1.crosspoints < c2.crosspoints, "{model}");
+        assert!(c1.converters <= c2.converters, "{model}");
+    }
+}
