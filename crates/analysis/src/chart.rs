@@ -29,7 +29,11 @@ pub struct BarChart {
 impl BarChart {
     /// New chart; `width` is the maximum bar length in cells.
     pub fn new(title: impl Into<String>, width: usize) -> Self {
-        BarChart { title: title.into(), width: width.max(1), rows: Vec::new() }
+        BarChart {
+            title: title.into(),
+            width: width.max(1),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a labeled value (negative values are clamped to zero).
@@ -53,16 +57,29 @@ impl fmt::Display for BarChart {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.title)?;
         let max = self.rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-        let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
         for (label, value) in &self.rows {
-            let cells = if max == 0.0 { 0.0 } else { value / max * self.width as f64 };
+            let cells = if max == 0.0 {
+                0.0
+            } else {
+                value / max * self.width as f64
+            };
             let full = cells.floor() as usize;
             let partial = ((cells - full as f64) * 8.0).round() as usize;
             let mut bar: String = "█".repeat(full);
             if partial > 0 && full < self.width {
                 bar.push(BLOCKS[partial]);
             }
-            writeln!(f, "{label:<label_w$}  {bar:<w$}  {value:.4}", w = self.width + 1)?;
+            writeln!(
+                f,
+                "{label:<label_w$}  {bar:<w$}  {value:.4}",
+                w = self.width + 1
+            )?;
         }
         Ok(())
     }

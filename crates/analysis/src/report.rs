@@ -63,7 +63,10 @@ impl Report {
                 out.push_str(&format!("| {} |\n", cells.join(" | ")));
                 out.push_str(&format!("|{}\n", "---|".repeat(cells.len())));
                 for line in lines {
-                    out.push_str(&format!("| {} |\n", line.split(',').collect::<Vec<_>>().join(" | ")));
+                    out.push_str(&format!(
+                        "| {} |\n",
+                        line.split(',').collect::<Vec<_>>().join(" | ")
+                    ));
                 }
             }
             out.push('\n');

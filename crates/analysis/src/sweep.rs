@@ -20,12 +20,27 @@ where
     O: Send,
     F: Fn(T) -> O + Sync,
 {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    map_with_threads(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count; lets tests exercise
+/// the threaded path on single-CPU hosts.
+fn map_with_threads<I, T, O, F>(items: I, threads: usize, f: F) -> Vec<O>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
     let items: Vec<T> = items.into_iter().collect();
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let threads = threads.max(1).min(n);
     if threads == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -47,7 +62,10 @@ where
         }
     })
     .expect("sweep worker panicked");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 /// Sweep a 2-D parameter grid, returning `(a, b, f(a, b))` triples in
@@ -59,8 +77,10 @@ where
     O: Send,
     F: Fn(A, B) -> O + Sync,
 {
-    let grid: Vec<(A, B)> =
-        axis_a.iter().flat_map(|&a| axis_b.iter().map(move |&b| (a, b))).collect();
+    let grid: Vec<(A, B)> = axis_a
+        .iter()
+        .flat_map(|&a| axis_b.iter().map(move |&b| (a, b)))
+        .collect();
     parallel_map(grid, |(a, b)| (a, b, f(a, b)))
         .into_iter()
         .collect()
@@ -107,18 +127,36 @@ mod tests {
         let grid = parallel_sweep(&[1u32, 2], &[10u32, 20, 30], |a, b| a * b);
         assert_eq!(
             grid,
-            vec![(1, 10, 10), (1, 20, 20), (1, 30, 30), (2, 10, 20), (2, 20, 40), (2, 30, 60)]
+            vec![
+                (1, 10, 10),
+                (1, 20, 20),
+                (1, 30, 30),
+                (2, 10, 20),
+                (2, 20, 40),
+                (2, 30, 60)
+            ]
         );
     }
 
     #[test]
     #[should_panic(expected = "sweep worker panicked")]
     fn worker_panic_propagates() {
-        parallel_map(0..100, |x| {
+        // Pin the worker count: on a single-CPU host `parallel_map`
+        // would take the sequential path and the raw panic would
+        // propagate without the scope's wrapper message.
+        map_with_threads(0..100, 2, |x| {
             if x == 50 {
                 panic!("boom");
             }
             x
         });
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        for threads in [1, 2, 7] {
+            let out = map_with_threads(0..100u64, threads, |x| x * 3);
+            assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+        }
     }
 }

@@ -22,7 +22,10 @@ impl TextTable {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "table needs at least one column");
-        TextTable { headers, rows: Vec::new() }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row. Panics if the cell count differs from the header

@@ -7,7 +7,9 @@ use wdm_bignum::BigUint;
 
 fn value_of_limbs(limbs: usize, salt: u64) -> BigUint {
     BigUint::from_limbs(
-        (0..limbs as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + salt)).collect(),
+        (0..limbs as u64)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + salt))
+            .collect(),
     )
 }
 

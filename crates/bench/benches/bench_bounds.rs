@@ -35,5 +35,10 @@ fn bench_recursive_cost(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_theorem_minimization, bench_bound_sweep, bench_recursive_cost);
+criterion_group!(
+    benches,
+    bench_theorem_minimization,
+    bench_bound_sweep,
+    bench_recursive_cost
+);
 criterion_main!(benches);

@@ -38,5 +38,10 @@ fn bench_stirling_heavy_msdw(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_capacity, bench_any_capacity, bench_stirling_heavy_msdw);
+criterion_group!(
+    benches,
+    bench_full_capacity,
+    bench_any_capacity,
+    bench_stirling_heavy_msdw
+);
 criterion_main!(benches);

@@ -31,9 +31,7 @@ fn bench_route(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(model.to_string(), format!("N{n}k{k}")),
                 &asg,
-                |b, asg| {
-                    b.iter(|| xbar.route(black_box(asg)).expect("crossbar is nonblocking"))
-                },
+                |b, asg| b.iter(|| xbar.route(black_box(asg)).expect("crossbar is nonblocking")),
             );
         }
     }
@@ -42,7 +40,9 @@ fn bench_route(c: &mut Criterion) {
 
 fn bench_census(c: &mut Criterion) {
     let xbar = WdmCrossbar::build(NetworkConfig::new(16, 4), MulticastModel::Maw);
-    c.bench_function("fabric/census_N16k4_maw", |b| b.iter(|| black_box(&xbar).census()));
+    c.bench_function("fabric/census_N16k4_maw", |b| {
+        b.iter(|| black_box(&xbar).census())
+    });
 }
 
 fn bench_incremental_vs_batch(c: &mut Criterion) {
@@ -83,5 +83,11 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_route, bench_census, bench_incremental_vs_batch);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_route,
+    bench_census,
+    bench_incremental_vs_batch
+);
 criterion_main!(benches);

@@ -18,9 +18,15 @@ fn bench_build(c: &mut Criterion) {
     g.sample_size(10);
     for (n, r, k) in [(2u32, 2u32, 2u32), (3, 3, 2), (4, 4, 2)] {
         let p = sized(n, r, k);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}r{r}k{k}")), &p, |b, &p| {
-            b.iter(|| PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}r{r}k{k}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -30,8 +36,7 @@ fn bench_realize(c: &mut Criterion) {
     g.sample_size(10);
     for (n, r, k) in [(2u32, 2u32, 2u32), (3, 3, 2), (4, 4, 2)] {
         let p = sized(n, r, k);
-        let mut logical =
-            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         let mut gen = AssignmentGen::new(p.network(), MulticastModel::Msw, 3);
         for _ in 0..(n * r) {
             if let Some(req) = gen.next_request(logical.assignment(), 3) {

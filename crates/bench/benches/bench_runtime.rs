@@ -1,0 +1,96 @@
+//! **Runtime benchmark**: admitted connections per second through the
+//! sharded admission engine as the worker count grows (1 → 8), on both
+//! backends. The interesting quantity is scaling without state loss:
+//! every sample re-verifies that offered = admitted + blocked + expired
+//! and that the backend drained consistently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_runtime::{AdmissionEngine, Backend, RuntimeConfig, RuntimeReport};
+use wdm_workload::{DynamicTraffic, TimedEvent, TraceEvent};
+
+/// Append the departures `generate` truncated at the horizon so no
+/// endpoint stays occupied forever (which would turn the benchmark into
+/// a deadline-expiry measurement).
+fn closed_trace(net: NetworkConfig, model: MulticastModel, seed: u64) -> Vec<TimedEvent> {
+    let horizon = 30.0;
+    let mut events = DynamicTraffic::new(net, model, 6.0, 1.0, 2, seed).generate(horizon);
+    let mut live = std::collections::BTreeSet::new();
+    for e in &events {
+        match &e.event {
+            TraceEvent::Connect(c) => live.insert(c.source()),
+            TraceEvent::Disconnect(s) => live.remove(s),
+        };
+    }
+    events.extend(live.into_iter().map(|src| TimedEvent {
+        time: horizon + 1.0,
+        event: TraceEvent::Disconnect(src),
+    }));
+    events
+}
+
+fn drive<B: Backend>(backend: B, events: &[TimedEvent], workers: usize) -> RuntimeReport<B> {
+    let engine = AdmissionEngine::start(
+        backend,
+        RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        },
+    );
+    engine.run_events(events.iter().cloned());
+    let report = engine.drain();
+    let s = &report.summary;
+    assert_eq!(
+        s.offered,
+        s.admitted + s.blocked + s.expired,
+        "lost a request"
+    );
+    assert_eq!(
+        s.fatal, 0,
+        "structural error under concurrency: {:?}",
+        report.errors
+    );
+    assert!(report.consistency.is_empty(), "{:?}", report.consistency);
+    report
+}
+
+fn bench_crossbar_scaling(c: &mut Criterion) {
+    let net = NetworkConfig::new(16, 2);
+    let events = closed_trace(net, MulticastModel::Msw, 42);
+    let mut g = c.benchmark_group("runtime/crossbar_admissions");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| drive(CrossbarSession::new(net, MulticastModel::Msw), &events, w));
+        });
+    }
+    g.finish();
+}
+
+fn bench_three_stage_scaling(c: &mut Criterion) {
+    let (n, r, k) = (4u32, 4u32, 2u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let events = closed_trace(p.network(), MulticastModel::Msw, 7);
+    let mut g = c.benchmark_group("runtime/three_stage_admissions");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let report = drive(
+                    ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw),
+                    &events,
+                    w,
+                );
+                assert_eq!(report.summary.blocked, 0, "blocked at m = bound");
+                report
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossbar_scaling, bench_three_stage_scaling);
+criterion_main!(benches);

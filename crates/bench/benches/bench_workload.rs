@@ -39,10 +39,17 @@ fn bench_scenarios(c: &mut Criterion) {
         Scenario::VideoOnDemand { servers: 4 },
         Scenario::ECommerce { multicast_pct: 20 },
     ] {
-        g.bench_function(s.label(), |b| b.iter(|| s.generate(net, MulticastModel::Maw, 3)));
+        g.bench_function(s.label(), |b| {
+            b.iter(|| s.generate(net, MulticastModel::Maw, 3))
+        });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_full_assignment, bench_churn_trace, bench_scenarios);
+criterion_group!(
+    benches,
+    bench_full_assignment,
+    bench_churn_trace,
+    bench_scenarios
+);
 criterion_main!(benches);

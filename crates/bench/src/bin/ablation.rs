@@ -14,13 +14,16 @@ use wdm_analysis::{parallel_map, Report, TextTable};
 use wdm_bench::experiments_dir;
 use wdm_core::MulticastModel;
 use wdm_multistage::{
-    bounds, find_blocking_witness, Construction, RouteError, SelectionStrategy,
-    ThreeStageNetwork, ThreeStageParams,
+    bounds, find_blocking_witness, Construction, RouteError, SelectionStrategy, ThreeStageNetwork,
+    ThreeStageParams,
 };
 use wdm_workload::{RequestTrace, TraceEvent};
 
-const STRATEGIES: [SelectionStrategy; 3] =
-    [SelectionStrategy::FirstFit, SelectionStrategy::Pack, SelectionStrategy::Spread];
+const STRATEGIES: [SelectionStrategy; 3] = [
+    SelectionStrategy::FirstFit,
+    SelectionStrategy::Pack,
+    SelectionStrategy::Spread,
+];
 
 fn blocking_rate(
     p: ThreeStageParams,
@@ -61,8 +64,10 @@ fn main() {
 
     // ---- 1. Strategy ablation across m ----
     let ms: Vec<u32> = (2..=bound.m).collect();
-    let jobs: Vec<(u32, SelectionStrategy)> =
-        ms.iter().flat_map(|&m| STRATEGIES.into_iter().map(move |s| (m, s))).collect();
+    let jobs: Vec<(u32, SelectionStrategy)> = ms
+        .iter()
+        .flat_map(|&m| STRATEGIES.into_iter().map(move |s| (m, s)))
+        .collect();
     let rows = parallel_map(jobs, |(m, strategy)| {
         let p = ThreeStageParams::new(n, m, r, k);
         let (routed, blocked) = blocking_rate(p, strategy, None, &trace);
@@ -75,10 +80,17 @@ fn main() {
             format!("{strategy:?}"),
             routed.to_string(),
             blocked.to_string(),
-            format!("{:.2}", 100.0 * blocked as f64 / (routed + blocked).max(1) as f64),
+            format!(
+                "{:.2}",
+                100.0 * blocked as f64 / (routed + blocked).max(1) as f64
+            ),
         ]);
     }
-    report.add("ablation_strategy", "Selection strategy vs blocking (n=r=4, k=2)", t);
+    report.add(
+        "ablation_strategy",
+        "Selection strategy vs blocking (n=r=4, k=2)",
+        t,
+    );
 
     // ---- 2. Fan-out limit sweep at fixed m ----
     let m_fixed = bound.m;
@@ -101,14 +113,8 @@ fn main() {
     // ---- 3. Witness search difficulty vs m ----
     let rows = parallel_map((1..=bound.m).collect::<Vec<u32>>(), |m| {
         let p = ThreeStageParams::new(n, m, r, 1);
-        let witness = find_blocking_witness(
-            p,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-            1,
-            60,
-            99,
-        );
+        let witness =
+            find_blocking_witness(p, Construction::MswDominant, MulticastModel::Msw, 1, 60, 99);
         (m, witness.map(|w| w.established.len()))
     });
     let mut t = TextTable::new(["m", "witness found", "connections before block"]);
@@ -162,16 +168,26 @@ fn main() {
             range.map_or("full (paper)".into(), |d| format!("±{d}")),
             routed.to_string(),
             blocked.to_string(),
-            format!("{:.2}", 100.0 * blocked as f64 / (routed + blocked).max(1) as f64),
+            format!(
+                "{:.2}",
+                100.0 * blocked as f64 / (routed + blocked).max(1) as f64
+            ),
         ]);
     }
     report.add(
         "ablation_conversion_range",
-        format!("Limited-range conversion (MAW-dominant, n=r={n2}, k={k2}, m={})", bound2.m),
+        format!(
+            "Limited-range conversion (MAW-dominant, n=r={n2}, k={k2}, m={})",
+            bound2.m
+        ),
         t,
     );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

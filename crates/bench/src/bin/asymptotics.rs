@@ -21,7 +21,12 @@ fn main() {
         (side, exact, closed, x34)
     });
     let mut t = TextTable::new([
-        "n=r", "N", "m exact (Thm 1)", "optimal x", "m closed form (§3.4)", "x = 2logr/loglogr",
+        "n=r",
+        "N",
+        "m exact (Thm 1)",
+        "optimal x",
+        "m closed form (§3.4)",
+        "x = 2logr/loglogr",
         "m/n",
     ]);
     for (side, exact, closed, x34) in rows {
@@ -47,7 +52,12 @@ fn main() {
         (n, cb, s3, s5)
     });
     let mut t = TextTable::new([
-        "N", "crossbar kN^2", "3-stage", "5-stage", "3-stage/CB", "normalized 3-stage (/kN^1.5·logN/loglogN)",
+        "N",
+        "crossbar kN^2",
+        "3-stage",
+        "5-stage",
+        "3-stage/CB",
+        "normalized 3-stage (/kN^1.5·logN/loglogN)",
     ]);
     for (n, cb, s3, s5) in rows {
         let nf = n as f64;
@@ -61,7 +71,11 @@ fn main() {
             format!("{norm:.3}"),
         ]);
     }
-    report.add("asymptotics_crosspoints", "§3.4 — crosspoint growth (MSW, k=4)", t);
+    report.add(
+        "asymptotics_crosspoints",
+        "§3.4 — crosspoint growth (MSW, k=4)",
+        t,
+    );
 
     report.print();
 
@@ -81,5 +95,9 @@ fn main() {
     );
 
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

@@ -23,8 +23,7 @@ struct Point {
 fn run_point(n: u32, r: u32, k: u32, m: u32, load: f64, seed: u64) -> Point {
     let p = ThreeStageParams::new(n, m, r, k);
     let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-    let mut traffic =
-        DynamicTraffic::new(p.network(), MulticastModel::Msw, load, 1.0, 3, seed);
+    let mut traffic = DynamicTraffic::new(p.network(), MulticastModel::Msw, load, 1.0, 3, seed);
     let (mut attempts, mut blocked) = (0u64, 0u64);
     for timed in traffic.generate(400.0) {
         match timed.event {
@@ -42,7 +41,12 @@ fn run_point(n: u32, r: u32, k: u32, m: u32, load: f64, seed: u64) -> Point {
             }
         }
     }
-    Point { m, load, attempts, blocked }
+    Point {
+        m,
+        load,
+        attempts,
+        blocked,
+    }
 }
 
 fn main() {
@@ -52,14 +56,27 @@ fn main() {
 
     let ms = [2u32, 3, 4, 6, bound.m];
     let loads = [1.0f64, 2.0, 4.0, 8.0, 16.0];
-    let grid: Vec<(u32, f64)> =
-        ms.iter().flat_map(|&m| loads.iter().map(move |&l| (m, l))).collect();
+    let grid: Vec<(u32, f64)> = ms
+        .iter()
+        .flat_map(|&m| loads.iter().map(move |&l| (m, l)))
+        .collect();
     let points = parallel_map(grid, |(m, load)| run_point(n, r, k, m, load, 0xB10C));
 
     let mut t = TextTable::new([
-        "m", "offered load (Erl)", "attempts", "blocked", "P(block)", "95% CI",
+        "m",
+        "offered load (Erl)",
+        "attempts",
+        "blocked",
+        "P(block)",
+        "95% CI",
     ]);
-    for Point { m, load, attempts, blocked } in points {
+    for Point {
+        m,
+        load,
+        attempts,
+        blocked,
+    } in points
+    {
         let p = blocked as f64 / attempts.max(1) as f64;
         let (lo, hi) = wilson_interval(blocked, attempts, 1.96);
         t.row([
@@ -73,7 +90,10 @@ fn main() {
     }
     report.add(
         "blocking_curves",
-        format!("Blocking probability vs load (n=r={n}, k={k}; Thm 1 bound m={})", bound.m),
+        format!(
+            "Blocking probability vs load (n=r={n}, k={k}; Thm 1 bound m={})",
+            bound.m
+        ),
         t,
     );
 
@@ -87,10 +107,17 @@ fn main() {
     );
     for &m in &ms {
         let p = run_point(n, r, k, m, heavy, 0xB10C);
-        chart.bar(format!("m={m:>2}"), p.blocked as f64 / p.attempts.max(1) as f64);
+        chart.bar(
+            format!("m={m:>2}"),
+            p.blocked as f64 / p.attempts.max(1) as f64,
+        );
     }
     println!("{chart}");
 
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

@@ -16,8 +16,14 @@ fn main() {
     let net = NetworkConfig::new(4, 3);
     let mut t = TextTable::new(["property", "value"]);
     t.row(["network", &net.to_string()]);
-    t.row(["endpoints per side (Nk)", &net.endpoints_per_side().to_string()]);
-    t.row(["fixed-tuned transmitters per node", &net.wavelengths.to_string()]);
+    t.row([
+        "endpoints per side (Nk)",
+        &net.endpoints_per_side().to_string(),
+    ]);
+    t.row([
+        "fixed-tuned transmitters per node",
+        &net.wavelengths.to_string(),
+    ]);
     report.add("fig1_frame", "Fig. 1 — N×N k-wavelength WDM network", t);
 
     // Fig. 2: the three models on one example connection shape.
@@ -25,7 +31,11 @@ fn main() {
     use wdm_core::{Endpoint, MulticastConnection};
     let cases = [
         ("same everywhere", (0u32, 0u32), vec![(1u32, 0u32), (2, 0)]),
-        ("uniform dests, different source", (0, 1), vec![(1, 0), (2, 0)]),
+        (
+            "uniform dests, different source",
+            (0, 1),
+            vec![(1, 0), (2, 0)],
+        ),
         ("mixed dests", (0, 0), vec![(1, 1), (2, 0)]),
     ];
     for (label, src, dests) in cases {
@@ -43,7 +53,11 @@ fn main() {
             ]);
         }
     }
-    report.add("fig2_models", "Fig. 2 — multicast models (legality matrix)", t);
+    report.add(
+        "fig2_models",
+        "Fig. 2 — multicast models (legality matrix)",
+        t,
+    );
 
     // Fig. 3: converter placement and count per connection.
     let mut t = TextTable::new(["model", "placement", "converters for fanout f"]);
@@ -54,7 +68,14 @@ fn main() {
 
     // Figs. 4–7: build each crossbar and report its census + power budget.
     let mut t = TextTable::new([
-        "figure", "design", "N", "k", "gates", "converters", "splitters", "combiners",
+        "figure",
+        "design",
+        "N",
+        "k",
+        "gates",
+        "converters",
+        "splitters",
+        "combiners",
         "worst loss (dB)",
     ]);
     let params = PowerParams::default();
@@ -84,19 +105,26 @@ fn main() {
             format!("{:.1}", pb.worst_path_loss_db),
         ]);
     }
-    report.add("fig4to7_crossbars", "Figs. 4–7 — crossbar constructions (measured census)", t);
+    report.add(
+        "fig4to7_crossbars",
+        "Figs. 4–7 — crossbar constructions (measured census)",
+        t,
+    );
 
     // §2.3's crosstalk remark, quantified: route the *same* workload
     // through each crossbar and count first-order leakage paths (off
     // gates with lit inputs). Exposure tracks the crosspoint count.
     let mut t = TextTable::new([
-        "design", "N", "k", "crosspoints", "crosstalk exposure (full MSW load)",
+        "design",
+        "N",
+        "k",
+        "crosspoints",
+        "crosstalk exposure (full MSW load)",
         "exposure / crosspoints",
     ]);
     for (n, k) in [(4u32, 2u32), (8, 2), (8, 4)] {
         let net = NetworkConfig::new(n, k);
-        let load =
-            wdm_workload::AssignmentGen::new(net, MulticastModel::Msw, 7).full_assignment();
+        let load = wdm_workload::AssignmentGen::new(net, MulticastModel::Msw, 7).full_assignment();
         for model in MulticastModel::ALL {
             let mut xbar = WdmCrossbar::build(net, model);
             let outcome = xbar.route_verified(&load).expect("nonblocking");
@@ -119,7 +147,15 @@ fn main() {
     );
 
     // Fig. 8: three-stage geometry at the Theorem 1 bound.
-    let mut t = TextTable::new(["n", "r", "k", "N", "m (Thm 1)", "optimal x", "crosspoints (MSW/MS)"]);
+    let mut t = TextTable::new([
+        "n",
+        "r",
+        "k",
+        "N",
+        "m (Thm 1)",
+        "optimal x",
+        "crosspoints (MSW/MS)",
+    ]);
     for (n, r, k) in [(4u32, 4u32, 2u32), (8, 8, 2), (16, 16, 4), (32, 32, 4)] {
         let b = bounds::theorem1_min_m(n, r);
         let p = ThreeStageParams::new(n, b.m, r, k);
@@ -137,30 +173,62 @@ fn main() {
     report.add("fig8_three_stage", "Fig. 8 — three-stage geometries", t);
 
     // Fig. 9: the two construction methods, module model by stage.
-    let mut t = TextTable::new(["construction", "input stage", "middle stage", "output stage"]);
-    for (c, first) in
-        [(Construction::MswDominant, "MSW"), (Construction::MawDominant, "MAW")]
-    {
+    let mut t = TextTable::new([
+        "construction",
+        "input stage",
+        "middle stage",
+        "output stage",
+    ]);
+    for (c, first) in [
+        (Construction::MswDominant, "MSW"),
+        (Construction::MawDominant, "MAW"),
+    ] {
         for out in ["MSW", "MSDW", "MAW"] {
-            t.row([c.to_string(), first.to_string(), first.to_string(), out.to_string()]);
+            t.row([
+                c.to_string(),
+                first.to_string(),
+                first.to_string(),
+                out.to_string(),
+            ]);
         }
     }
-    report.add("fig9_constructions", "Fig. 9 — MSW-/MAW-dominant constructions", t);
+    report.add(
+        "fig9_constructions",
+        "Fig. 9 — MSW-/MAW-dominant constructions",
+        t,
+    );
 
     // Fig. 10: the blocking contrast, replayed.
     let (msw, maw) = scenarios::fig10_contrast();
-    let mut t = TextTable::new(["construction", "final request", "available middles", "outcome"]);
+    let mut t = TextTable::new([
+        "construction",
+        "final request",
+        "available middles",
+        "outcome",
+    ]);
     for out in [msw, maw] {
         t.row([
             out.construction.to_string(),
             "(p1, λ1) → (p3, λ1)".to_string(),
             out.available_middles.to_string(),
-            if out.blocked { "BLOCKED".to_string() } else { "routed".to_string() },
+            if out.blocked {
+                "BLOCKED".to_string()
+            } else {
+                "routed".to_string()
+            },
         ]);
     }
-    report.add("fig10_blocking", "Fig. 10 — middle-stage blocking contrast", t);
+    report.add(
+        "fig10_blocking",
+        "Fig. 10 — middle-stage blocking contrast",
+        t,
+    );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

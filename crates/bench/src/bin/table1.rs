@@ -16,17 +16,44 @@ fn main() {
     let mut report = Report::new();
 
     // ---- Table 1 proper: symbolic row per model (paper layout) ----
-    let mut symbolic = TextTable::new(["model", "capacity (full)", "capacity (any)", "crosspoints", "converters"]);
+    let mut symbolic = TextTable::new([
+        "model",
+        "capacity (full)",
+        "capacity (any)",
+        "crosspoints",
+        "converters",
+    ]);
     symbolic.row(["MSW", "N^(Nk)", "(N+1)^(Nk)", "kN^2", "0"]);
-    symbolic.row(["MSDW", "Σ P(Nk,Σj_i)·Π S(N,j_i)", "Σ P(Nk,Σj_i)·Π C(N,l_i)S(N-l_i,j_i)", "k^2·N^2", "kN"]);
-    symbolic.row(["MAW", "[P(Nk,k)]^N", "[Σ_j P(Nk,k-j)C(k,j)]^N", "k^2·N^2", "kN"]);
-    report.add("table1_symbolic", "Table 1 — symbolic (paper layout)", symbolic);
+    symbolic.row([
+        "MSDW",
+        "Σ P(Nk,Σj_i)·Π S(N,j_i)",
+        "Σ P(Nk,Σj_i)·Π C(N,l_i)S(N-l_i,j_i)",
+        "k^2·N^2",
+        "kN",
+    ]);
+    symbolic.row([
+        "MAW",
+        "[P(Nk,k)]^N",
+        "[Σ_j P(Nk,k-j)C(k,j)]^N",
+        "k^2·N^2",
+        "kN",
+    ]);
+    report.add(
+        "table1_symbolic",
+        "Table 1 — symbolic (paper layout)",
+        symbolic,
+    );
 
     // ---- Evaluated across a size sweep ----
-    let sizes: &[(u32, u32)] =
-        &[(2, 2), (4, 2), (8, 2), (8, 4), (16, 4), (32, 4), (64, 8)];
+    let sizes: &[(u32, u32)] = &[(2, 2), (4, 2), (8, 2), (8, 4), (16, 4), (32, 4), (64, 8)];
     let mut eval = TextTable::new([
-        "N", "k", "model", "capacity full", "capacity any", "crosspoints", "converters",
+        "N",
+        "k",
+        "model",
+        "capacity full",
+        "capacity any",
+        "crosspoints",
+        "converters",
         "electronic full (Nk×Nk)",
     ]);
     for &(n, k) in sizes {
@@ -59,7 +86,14 @@ fn main() {
     report.add("table1_evaluated", "Table 1 — evaluated over (N, k)", eval);
 
     // ---- Capacity ratios: how far each model is from the electronic bound ----
-    let mut ratios = TextTable::new(["N", "k", "log10 MSW", "log10 MSDW", "log10 MAW", "log10 electronic"]);
+    let mut ratios = TextTable::new([
+        "N",
+        "k",
+        "log10 MSW",
+        "log10 MSDW",
+        "log10 MAW",
+        "log10 electronic",
+    ]);
     for &(n, k) in sizes {
         let net = NetworkConfig::new(n, k);
         let row: Vec<String> = MulticastModel::ALL
@@ -75,9 +109,17 @@ fn main() {
             format!("{:.1}", capacity::electronic_full(net).log10()),
         ]);
     }
-    report.add("table1_ratios", "Capacity magnitudes (log10, full assignments)", ratios);
+    report.add(
+        "table1_ratios",
+        "Capacity magnitudes (log10, full assignments)",
+        ratios,
+    );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

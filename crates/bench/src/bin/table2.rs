@@ -16,16 +16,27 @@ fn main() {
     symbolic.row(["MSW/CB", "kN^2", "0"]);
     symbolic.row(["MSW/MS", "O(kN^1.5 · logN/loglogN)", "0"]);
     symbolic.row(["MSDW/CB", "k^2·N^2", "kN"]);
-    symbolic.row(["MSDW/MS", "O(k^2·N^1.5 · logN/loglogN)", "O(kN · logN/loglogN)"]);
+    symbolic.row([
+        "MSDW/MS",
+        "O(k^2·N^1.5 · logN/loglogN)",
+        "O(kN · logN/loglogN)",
+    ]);
     symbolic.row(["MAW/CB", "k^2·N^2", "kN"]);
     symbolic.row(["MAW/MS", "O(k^2·N^1.5 · logN/loglogN)", "kN"]);
-    report.add("table2_symbolic", "Table 2 — symbolic (paper layout)", symbolic);
+    report.add(
+        "table2_symbolic",
+        "Table 2 — symbolic (paper layout)",
+        symbolic,
+    );
 
     // ---- Evaluated: square decompositions over perfect-square N ----
     let sizes: Vec<u32> = vec![16, 64, 256, 1024, 4096, 16384];
     let ks = [2u32, 4, 8];
     let rows = parallel_map(
-        sizes.iter().flat_map(|&n| ks.iter().map(move |&k| (n, k))).collect::<Vec<_>>(),
+        sizes
+            .iter()
+            .flat_map(|&n| ks.iter().map(move |&k| (n, k)))
+            .collect::<Vec<_>>(),
         |(n, k)| {
             let p = ThreeStageParams::square(n, k);
             let per_model: Vec<(u64, u64, u64, u64)> = MulticastModel::ALL
@@ -40,7 +51,14 @@ fn main() {
         },
     );
     let mut eval = TextTable::new([
-        "N", "k", "m", "model", "CB crosspoints", "MS crosspoints", "MS/CB", "CB conv",
+        "N",
+        "k",
+        "m",
+        "model",
+        "CB crosspoints",
+        "MS crosspoints",
+        "MS/CB",
+        "CB conv",
         "MS conv",
     ]);
     for (n, k, m, per_model) in rows {
@@ -59,7 +77,11 @@ fn main() {
             ]);
         }
     }
-    report.add("table2_evaluated", "Table 2 — evaluated (MSW-dominant, n=r=√N)", eval);
+    report.add(
+        "table2_evaluated",
+        "Table 2 — evaluated (MSW-dominant, n=r=√N)",
+        eval,
+    );
 
     // ---- Crossover: smallest square N where MS beats CB per model ----
     let mut crossover = TextTable::new(["model", "k", "crossover N (MS < CB)"]);
@@ -79,11 +101,20 @@ fn main() {
             ]);
         }
     }
-    report.add("table2_crossover", "Multistage/crossbar crossover sizes", crossover);
+    report.add(
+        "table2_crossover",
+        "Multistage/crossbar crossover sizes",
+        crossover,
+    );
 
     // ---- MSW- vs MAW-dominant comparison (§3.4 conclusion) ----
     let mut dom = TextTable::new([
-        "N", "k", "model", "MSW-dom crosspoints", "MAW-dom crosspoints", "MSW-dom m (Thm1)",
+        "N",
+        "k",
+        "model",
+        "MSW-dom crosspoints",
+        "MAW-dom crosspoints",
+        "MSW-dom m (Thm1)",
         "MAW-dom m (Thm2)",
     ]);
     for &n in &[64u32, 1024] {
@@ -108,9 +139,17 @@ fn main() {
             }
         }
     }
-    report.add("table2_constructions", "MSW-dominant vs MAW-dominant cost", dom);
+    report.add(
+        "table2_constructions",
+        "MSW-dominant vs MAW-dominant cost",
+        dom,
+    );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
 }

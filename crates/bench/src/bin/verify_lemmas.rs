@@ -10,8 +10,18 @@ use wdm_core::{capacity, enumerate, MulticastModel, NetworkConfig};
 fn main() {
     let mut report = Report::new();
 
-    let configs: Vec<(u32, u32)> =
-        vec![(1, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 2), (3, 2), (1, 3), (2, 3), (1, 4)];
+    let configs: Vec<(u32, u32)> = vec![
+        (1, 1),
+        (2, 1),
+        (3, 1),
+        (4, 1),
+        (1, 2),
+        (2, 2),
+        (3, 2),
+        (1, 3),
+        (2, 3),
+        (1, 4),
+    ];
 
     let rows = parallel_map(
         configs
@@ -24,12 +34,27 @@ fn main() {
             let brute_full = enumerate::count_full(net, model);
             let formula_any = capacity::any_assignments(net, model);
             let brute_any = enumerate::count_any(net, model);
-            (n, k, model, formula_full, brute_full, formula_any, brute_any)
+            (
+                n,
+                k,
+                model,
+                formula_full,
+                brute_full,
+                formula_any,
+                brute_any,
+            )
         },
     );
 
     let mut t = TextTable::new([
-        "N", "k", "model", "lemma", "formula full", "brute full", "formula any", "brute any",
+        "N",
+        "k",
+        "model",
+        "lemma",
+        "formula full",
+        "brute full",
+        "formula any",
+        "brute any",
         "match",
     ]);
     let mut all_match = true;
@@ -50,10 +75,18 @@ fn main() {
             bf.to_string(),
             fa.to_string(),
             ba.to_string(),
-            if ok { "✓".to_string() } else { "MISMATCH".to_string() },
+            if ok {
+                "✓".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
-    report.add("lemmas_brute_force", "Lemmas 1–3 — closed form vs exhaustive count", t);
+    report.add(
+        "lemmas_brute_force",
+        "Lemmas 1–3 — closed form vs exhaustive count",
+        t,
+    );
 
     // k = 1 reduction (the paper's sanity check after Lemma 3).
     let mut t = TextTable::new(["N", "model", "full == N^N", "any == (N+1)^N"]);
@@ -73,11 +106,19 @@ fn main() {
             ]);
         }
     }
-    report.add("lemmas_k1_reduction", "k = 1 reduction to the electronic capacities", t);
+    report.add(
+        "lemmas_k1_reduction",
+        "k = 1 reduction to the electronic capacities",
+        t,
+    );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
     assert!(all_match, "capacity verification failed — see table above");
     println!("\nAll lemma verifications PASSED.");
 }

@@ -7,9 +7,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use wdm_analysis::{parallel_map, Report, TextTable};
 use wdm_bench::experiments_dir;
 use wdm_core::MulticastModel;
-use wdm_multistage::{
-    bounds, Construction, RouteError, ThreeStageNetwork, ThreeStageParams,
-};
+use wdm_multistage::{bounds, Construction, RouteError, ThreeStageNetwork, ThreeStageParams};
 use wdm_workload::adversarial::{AdversarialGen, Geometry};
 use wdm_workload::AssignmentGen;
 
@@ -30,7 +28,11 @@ fn random_churn(
     let mut gen = AssignmentGen::new(frame, model, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut live = Vec::new();
-    let mut result = ChurnResult { attempts: 0, routed: 0, blocked: 0 };
+    let mut result = ChurnResult {
+        attempts: 0,
+        routed: 0,
+        blocked: 0,
+    };
     for _ in 0..steps {
         if !live.is_empty() && rng.gen_bool(0.35) {
             let i = rng.gen_range(0..live.len());
@@ -54,9 +56,17 @@ fn random_churn(
 /// Adversarial fill: hostile generator, connect-only until exhaustion.
 fn adversarial_fill(mut net: ThreeStageNetwork, model: MulticastModel, seed: u64) -> ChurnResult {
     let p = net.params();
-    let geo = Geometry { n: p.n, r: p.r, k: p.k };
+    let geo = Geometry {
+        n: p.n,
+        r: p.r,
+        k: p.k,
+    };
     let mut gen = AdversarialGen::new(geo, model, seed);
-    let mut result = ChurnResult { attempts: 0, routed: 0, blocked: 0 };
+    let mut result = ChurnResult {
+        attempts: 0,
+        routed: 0,
+        blocked: 0,
+    };
     while let Some(req) = gen.next_request(net.assignment()) {
         result.attempts += 1;
         match net.connect(req.clone()) {
@@ -76,8 +86,15 @@ fn adversarial_fill(mut net: ThreeStageNetwork, model: MulticastModel, seed: u64
 
 fn main() {
     let mut report = Report::new();
-    let geometries: Vec<(u32, u32, u32)> =
-        vec![(2, 2, 2), (3, 3, 2), (4, 4, 2), (4, 4, 4), (2, 4, 3), (6, 6, 2), (8, 8, 2)];
+    let geometries: Vec<(u32, u32, u32)> = vec![
+        (2, 2, 2),
+        (3, 3, 2),
+        (4, 4, 2),
+        (4, 4, 4),
+        (2, 4, 3),
+        (6, 6, 2),
+        (8, 8, 2),
+    ];
 
     // ---- At the bound: zero blocking expected ----
     let jobs: Vec<(u32, u32, u32, Construction, MulticastModel)> = geometries
@@ -85,7 +102,11 @@ fn main() {
         .flat_map(|&(n, r, k)| {
             [Construction::MswDominant, Construction::MawDominant]
                 .into_iter()
-                .flat_map(move |c| MulticastModel::ALL.into_iter().map(move |m| (n, r, k, c, m)))
+                .flat_map(move |c| {
+                    MulticastModel::ALL
+                        .into_iter()
+                        .map(move |m| (n, r, k, c, m))
+                })
         })
         .collect();
     let rows = parallel_map(jobs, |(n, r, k, construction, model)| {
@@ -100,8 +121,16 @@ fn main() {
         (n, r, k, construction, model, bound.m, rand, adv)
     });
     let mut t = TextTable::new([
-        "n", "r", "k", "construction", "model", "m (bound)", "random routed/attempts",
-        "random blocked", "adversarial routed", "adversarial blocked",
+        "n",
+        "r",
+        "k",
+        "construction",
+        "model",
+        "m (bound)",
+        "random routed/attempts",
+        "random blocked",
+        "adversarial routed",
+        "adversarial blocked",
     ]);
     let mut any_blocked = false;
     for (n, r, k, c, model, m, rand, adv) in rows {
@@ -119,10 +148,22 @@ fn main() {
             adv.blocked.to_string(),
         ]);
     }
-    report.add("theorems_at_bound", "Theorems 1–2 — churn at the nonblocking bound", t);
+    report.add(
+        "theorems_at_bound",
+        "Theorems 1–2 — churn at the nonblocking bound",
+        t,
+    );
 
     // ---- Below the bound: blocking must appear ----
-    let mut t = TextTable::new(["n", "r", "k", "construction", "m used", "m bound", "blocked found"]);
+    let mut t = TextTable::new([
+        "n",
+        "r",
+        "k",
+        "construction",
+        "m used",
+        "m bound",
+        "blocked found",
+    ]);
     let mut starved_blocked_everywhere = true;
     for &(n, r, k) in &[(4u32, 4u32, 1u32), (4, 4, 2), (6, 6, 2)] {
         for construction in [Construction::MswDominant, Construction::MawDominant] {
@@ -147,12 +188,26 @@ fn main() {
             ]);
         }
     }
-    report.add("theorems_below_bound", "Control — starved middle stages do block", t);
+    report.add(
+        "theorems_below_bound",
+        "Control — starved middle stages do block",
+        t,
+    );
 
     report.print();
     let paths = report.write_csv_dir(experiments_dir()).expect("write CSVs");
-    eprintln!("wrote {} CSV files to {}", paths.len(), experiments_dir().display());
-    assert!(!any_blocked, "blocking observed at the theorem bound — bound violated!");
-    assert!(starved_blocked_everywhere, "starved networks never blocked — test too weak");
+    eprintln!(
+        "wrote {} CSV files to {}",
+        paths.len(),
+        experiments_dir().display()
+    );
+    assert!(
+        !any_blocked,
+        "blocking observed at the theorem bound — bound violated!"
+    );
+    assert!(
+        starved_blocked_everywhere,
+        "starved networks never blocked — test too weak"
+    );
     println!("\nAll theorem verifications PASSED.");
 }

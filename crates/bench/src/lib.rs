@@ -23,9 +23,11 @@ pub fn experiments_dir() -> PathBuf {
     }
     // crates/bench/ → workspace root.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|ws| ws.join("experiments")).unwrap_or_else(
-        || PathBuf::from("experiments"),
-    )
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.join("experiments"))
+        .unwrap_or_else(|| PathBuf::from("experiments"))
 }
 
 /// Render a `BigUint` compactly: exact when short, `~10^d` when long.

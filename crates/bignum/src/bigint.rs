@@ -37,7 +37,10 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// Construct from a sign and magnitude (sign is corrected for zero).
@@ -45,7 +48,11 @@ impl BigInt {
         if mag.is_zero() {
             BigInt::zero()
         } else {
-            let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+            let sign = if sign == Sign::Zero {
+                Sign::Positive
+            } else {
+                sign
+            };
             BigInt { sign, mag }
         }
     }
@@ -113,7 +120,10 @@ impl Neg for BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, mag: self.mag }
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
     }
 }
 
@@ -224,7 +234,11 @@ impl PartialOrd for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.pad_integral(self.sign != Sign::Negative, "", &self.mag.to_decimal_string())
+        f.pad_integral(
+            self.sign != Sign::Negative,
+            "",
+            &self.mag.to_decimal_string(),
+        )
     }
 }
 
@@ -265,14 +279,20 @@ mod tests {
 
     #[test]
     fn multiplication_signs() {
-        assert_eq!(BigInt::from(-3i64) * BigInt::from(-4i64), BigInt::from(12i64));
-        assert_eq!(BigInt::from(-3i64) * BigInt::from(4i64), BigInt::from(-12i64));
+        assert_eq!(
+            BigInt::from(-3i64) * BigInt::from(-4i64),
+            BigInt::from(12i64)
+        );
+        assert_eq!(
+            BigInt::from(-3i64) * BigInt::from(4i64),
+            BigInt::from(-12i64)
+        );
         assert!((BigInt::from(-3i64) * BigInt::zero()).is_zero());
     }
 
     #[test]
     fn ordering_across_signs() {
-        let mut v = vec![
+        let mut v = [
             BigInt::from(3i64),
             BigInt::from(-7i64),
             BigInt::zero(),

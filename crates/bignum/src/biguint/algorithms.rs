@@ -29,7 +29,9 @@ impl BigUint {
             if a.is_zero() {
                 break;
             }
-            a >>= a.trailing_zeros().expect("difference of distinct odds is nonzero");
+            a >>= a
+                .trailing_zeros()
+                .expect("difference of distinct odds is nonzero");
         }
         (if a.is_zero() { b } else { a }) << common
     }
@@ -110,8 +112,14 @@ mod tests {
     fn gcd_small_cases() {
         let g = BigUint::from(48u64).gcd(&BigUint::from(36u64));
         assert_eq!(g, BigUint::from(12u64));
-        assert_eq!(BigUint::zero().gcd(&BigUint::from(5u64)), BigUint::from(5u64));
-        assert_eq!(BigUint::from(5u64).gcd(&BigUint::zero()), BigUint::from(5u64));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from(5u64)),
+            BigUint::from(5u64)
+        );
+        assert_eq!(
+            BigUint::from(5u64).gcd(&BigUint::zero()),
+            BigUint::from(5u64)
+        );
         assert!(BigUint::from(17u64).gcd(&BigUint::from(13u64)).is_one());
     }
 
@@ -164,6 +172,9 @@ mod tests {
         assert_eq!(&BigUint::from(0x1234u64).to_bytes_be()[..], &[0x12, 0x34]);
         assert!(BigUint::zero().to_bytes_be().is_empty());
         // Leading zeros accepted on parse.
-        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0x12, 0x34]), BigUint::from(0x1234u64));
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 0x12, 0x34]),
+            BigUint::from(0x1234u64)
+        );
     }
 }

@@ -35,14 +35,15 @@ impl BigUint {
 
     /// Number of trailing zero bits, or `None` for the value zero.
     pub fn trailing_zeros(&self) -> Option<u64> {
-        self.limbs.iter().position(|&l| l != 0).map(|i| {
-            i as u64 * 64 + self.limbs[i].trailing_zeros() as u64
-        })
+        self.limbs
+            .iter()
+            .position(|&l| l != 0)
+            .map(|i| i as u64 * 64 + self.limbs[i].trailing_zeros() as u64)
     }
 
     /// `true` iff the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 }
 

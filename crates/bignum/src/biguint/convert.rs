@@ -134,13 +134,15 @@ impl FromStr for BigUint {
         // Allow `_` separators as Rust literals do.
         let digits: Vec<char> = s.chars().filter(|&c| c != '_').collect();
         if digits.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut out = BigUint::zero();
         for &c in &digits {
-            let d = c
-                .to_digit(10)
-                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let d = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             out = out.mul_u64(10);
             out.add_u64(d as u64);
         }

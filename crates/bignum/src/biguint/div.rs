@@ -65,9 +65,7 @@ fn divrem_knuth(lhs: &BigUint, rhs: &BigUint) -> (BigUint, BigUint) {
         let mut qhat = top / v_hi as u128;
         let mut rhat = top % v_hi as u128;
         // Refine: q̂ can be at most 2 too large.
-        while qhat >> 64 != 0
-            || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-        {
+        while qhat >> 64 != 0 || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
             qhat -= 1;
             rhat += v_hi as u128;
             if rhat >> 64 != 0 {

@@ -189,8 +189,12 @@ mod tests {
     #[test]
     fn karatsuba_agrees_with_schoolbook() {
         // Build operands big enough to take the Karatsuba path.
-        let limbs_a: Vec<u64> = (0..100).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
-        let limbs_b: Vec<u64> = (0..87).map(|i| 0xC2B2_AE3D_27D4_EB4Fu64.wrapping_mul(i + 7)).collect();
+        let limbs_a: Vec<u64> = (0..100)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+            .collect();
+        let limbs_b: Vec<u64> = (0..87)
+            .map(|i| 0xC2B2_AE3D_27D4_EB4Fu64.wrapping_mul(i + 7))
+            .collect();
         let a = BigUint::from_limbs(limbs_a.clone());
         let b = BigUint::from_limbs(limbs_b.clone());
         let fast = &a * &b;

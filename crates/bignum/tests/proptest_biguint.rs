@@ -122,8 +122,8 @@ proptest! {
     fn bit_len_bounds_value(a in arb_biguint()) {
         prop_assume!(!a.is_zero());
         let bl = a.bit_len();
-        prop_assert!(&a >= &(BigUint::one() << (bl - 1)));
-        prop_assert!(&a < &(BigUint::one() << bl));
+        prop_assert!(a >= (BigUint::one() << (bl - 1)));
+        prop_assert!(a < (BigUint::one() << bl));
     }
 
     // ---- algorithms ----

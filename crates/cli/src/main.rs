@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "scenario" => cmd_scenario(&opts),
         "trace" => cmd_trace(&opts),
         "dot" => cmd_dot(&opts),
+        "serve" => cmd_serve(&opts),
         "fig10" => cmd_fig10(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -85,6 +86,12 @@ COMMANDS:
   trace       --record <file> -N <ports> -k <λ> [--steps S]  record a churn trace to JSON
               --replay <file> --n <n> --r <r>      replay a recorded trace on a 3-stage network
   dot         -N <ports> -k <λ> --model <m> [--out file.dot]  export a crossbar netlist as Graphviz
+  serve       --n <n> --r <r> -k <λ> [--m M] [--construction msw|maw] [--model m]
+              [--rate R] [--horizon T] [--workers W] [--deadline-ms D] [--seed X]
+              [--snapshot-ms S] [--json file]      run the concurrent admission engine over a
+                                                   dynamic trace on BOTH backends (crossbar and
+                                                   three-stage) and report throughput, blocking
+                                                   probability, and admission latency
   fig10                                            replay the paper's Fig. 10 scenario
 
 OPTIONS:
@@ -103,8 +110,10 @@ impl Opts {
             if key.is_empty() || !flag.starts_with('-') {
                 return Err(format!("unexpected argument {flag:?}"));
             }
-            let value =
-                it.next().ok_or_else(|| format!("flag {flag} needs a value"))?.to_string();
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?
+                .to_string();
             map.insert(key, value);
         }
         Ok(Opts(map))
@@ -112,14 +121,28 @@ impl Opts {
 
     fn u32(&self, key: &str, default: Option<u32>) -> Result<u32, String> {
         match self.0.get(key) {
-            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
             None => default.ok_or(format!("missing required flag --{key}")),
         }
     }
 
     fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.0.get(key) {
-            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.0.get(key) {
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && x > 0.0 => Ok(x),
+                _ => Err(format!("--{key} must be a positive number, got {v:?}")),
+            },
             None => Ok(default),
         }
     }
@@ -142,8 +165,40 @@ impl Opts {
     }
 }
 
+/// Validated flat network frame: the constructors panic on degenerate
+/// geometry, so flag values are checked here and reported as errors.
 fn frame(opts: &Opts) -> Result<NetworkConfig, String> {
-    Ok(NetworkConfig::new(opts.u32("N", None)?, opts.u32("k", Some(1))?))
+    let ports = opts.u32("N", None)?;
+    let k = opts.u32("k", Some(1))?;
+    if ports == 0 {
+        return Err("-N must be at least 1".into());
+    }
+    if k == 0 {
+        return Err("-k must be at least 1".into());
+    }
+    Ok(NetworkConfig::new(ports, k))
+}
+
+/// Validated three-stage geometry from `--n/--m/--r/-k` flags.
+/// `m` defaults to `default_m` (usually the theorem bound).
+fn three_stage(
+    opts: &Opts,
+    n: u32,
+    r: u32,
+    k: u32,
+    default_m: u32,
+) -> Result<ThreeStageParams, String> {
+    let m = opts.u32("m", Some(default_m))?;
+    if n == 0 || m == 0 || r == 0 || k == 0 {
+        return Err("--n, --m, --r and -k must all be at least 1".into());
+    }
+    if k > 64 {
+        return Err(format!("-k is limited to 64 wavelengths (got {k})"));
+    }
+    if n.checked_mul(r).is_none() {
+        return Err(format!("n·r overflows: n={n}, r={r}"));
+    }
+    Ok(ThreeStageParams::new(n, m, r, k))
 }
 
 fn cmd_capacity(opts: &Opts) -> Result<(), String> {
@@ -171,7 +226,11 @@ fn cmd_cost(opts: &Opts) -> Result<(), String> {
     let mut t = TextTable::new(["design", "crosspoints", "converters"]);
     for model in MulticastModel::ALL {
         let cb = cost::crossbar_cost(n, k, model);
-        t.row([format!("{model}/CB"), cb.crosspoints.to_string(), cb.converters.to_string()]);
+        t.row([
+            format!("{model}/CB"),
+            cb.crosspoints.to_string(),
+            cb.converters.to_string(),
+        ]);
         let side = (n as f64).sqrt().round() as u32;
         if side as u64 * side as u64 == n && side >= 2 {
             let p = ThreeStageParams::square(net.ports, net.wavelengths);
@@ -195,8 +254,15 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     let p = xbar.power_budget(&PowerParams::default());
     println!("{model} crossbar for {net}:");
     println!("  components: {c}");
-    println!("  netlist: {} nodes, {} fiber segments", xbar.netlist().node_count(), xbar.netlist().edge_count());
-    println!("  worst-case path loss: {:.1} dB over {} hops", p.worst_path_loss_db, p.worst_path_hops);
+    println!(
+        "  netlist: {} nodes, {} fiber segments",
+        xbar.netlist().node_count(),
+        xbar.netlist().edge_count()
+    );
+    println!(
+        "  worst-case path loss: {:.1} dB over {} hops",
+        p.worst_path_loss_db, p.worst_path_hops
+    );
     Ok(())
 }
 
@@ -207,9 +273,24 @@ fn cmd_bounds(opts: &Opts) -> Result<(), String> {
     let t1 = bounds::theorem1_min_m(n, r);
     let t2 = bounds::theorem2_min_m(n, r, k);
     let mut t = TextTable::new(["bound", "m", "optimal x", "rhs"]);
-    t.row(["Theorem 1 (MSW-dominant)".to_string(), t1.m.to_string(), t1.x.to_string(), format!("{:.2}", t1.rhs)]);
-    t.row(["Theorem 2 (MAW-dominant)".to_string(), t2.m.to_string(), t2.x.to_string(), format!("{:.2}", t2.rhs)]);
-    t.row(["§3.4 closed form".to_string(), format!("{:.1}", bounds::section34_m(n, r)), format!("{:.2}", bounds::section34_x(r)), "-".to_string()]);
+    t.row([
+        "Theorem 1 (MSW-dominant)".to_string(),
+        t1.m.to_string(),
+        t1.x.to_string(),
+        format!("{:.2}", t1.rhs),
+    ]);
+    t.row([
+        "Theorem 2 (MAW-dominant)".to_string(),
+        t2.m.to_string(),
+        t2.x.to_string(),
+        format!("{:.2}", t2.rhs),
+    ]);
+    t.row([
+        "§3.4 closed form".to_string(),
+        format!("{:.1}", bounds::section34_m(n, r)),
+        format!("{:.2}", bounds::section34_x(r)),
+        "-".to_string(),
+    ]);
     println!("Nonblocking middle-stage bounds for n={n}, r={r}, k={k}:\n{t}");
     Ok(())
 }
@@ -224,7 +305,8 @@ fn cmd_route(opts: &Opts) -> Result<(), String> {
     let mut routed = 0usize;
     for _ in 0..steps {
         let asg = gen.any_assignment();
-        xbar.route_verified(&asg).map_err(|e| format!("crossbar blocked?! {e}"))?;
+        xbar.route_verified(&asg)
+            .map_err(|e| format!("crossbar blocked?! {e}"))?;
         routed += 1;
     }
     println!(
@@ -243,10 +325,10 @@ fn cmd_multistage(opts: &Opts) -> Result<(), String> {
         Construction::MswDominant => bounds::theorem1_min_m(n, r),
         Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
     };
-    let m = opts.u32("m", Some(bound.m))?;
+    let p = three_stage(opts, n, r, k, bound.m)?;
+    let m = p.m;
     let steps = opts.u64("steps", 200)? as usize;
     let seed = opts.u64("seed", 42)?;
-    let p = ThreeStageParams::new(n, m, r, k);
     let mut net = ThreeStageNetwork::new(p, construction, model);
     let mut gen = AssignmentGen::new(p.network(), model, seed);
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -256,7 +338,8 @@ fn cmd_multistage(opts: &Opts) -> Result<(), String> {
     for _ in 0..steps {
         if !live.is_empty() && rng.gen_bool(0.35) {
             let i = rng.gen_range(0..live.len());
-            net.disconnect(live.swap_remove(i)).map_err(|e| e.to_string())?;
+            net.disconnect(live.swap_remove(i))
+                .map_err(|e| e.to_string())?;
         } else if let Some(req) = gen.next_request(net.assignment(), 0) {
             let src = req.source();
             match net.connect(req) {
@@ -290,27 +373,36 @@ fn cmd_photonic(opts: &Opts) -> Result<(), String> {
         Construction::MswDominant => bounds::theorem1_min_m(n, r),
         Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
     };
-    let m = opts.u32("m", Some(bound.m))?;
-    let p = ThreeStageParams::new(n, m, r, k);
+    let p = three_stage(opts, n, r, k, bound.m)?;
     let mut photonic = PhotonicThreeStage::build(p, construction, model);
     let census = photonic.census();
     println!("{p} [{construction}, {model}] as a photonic netlist:");
     println!("  {census}");
-    println!("  predicted crosspoints: {}", cost::three_stage_cost(p, construction, model).crosspoints);
+    println!(
+        "  predicted crosspoints: {}",
+        cost::three_stage_cost(p, construction, model).crosspoints
+    );
     let budget = photonic.power_budget(&PowerParams::default());
-    println!("  worst path: {:.1} dB over {} hops", budget.worst_path_loss_db, budget.worst_path_hops);
+    println!(
+        "  worst path: {:.1} dB over {} hops",
+        budget.worst_path_loss_db, budget.worst_path_hops
+    );
 
     // Route a random batch and trace the light.
     let mut logical = ThreeStageNetwork::new(p, construction, model);
     let mut gen = AssignmentGen::new(p.network(), model, opts.u64("seed", 42)?);
     let mut routed = 0;
     for _ in 0..opts.u64("steps", 10)? {
-        let Some(req) = gen.next_request(logical.assignment(), 0) else { break };
+        let Some(req) = gen.next_request(logical.assignment(), 0) else {
+            break;
+        };
         if logical.connect(req).is_ok() {
             routed += 1;
         }
     }
-    let outcome = photonic.realize(&logical).map_err(|e| format!("photonic divergence: {e}"))?;
+    let outcome = photonic
+        .realize(&logical)
+        .map_err(|e| format!("photonic divergence: {e}"))?;
     println!(
         "  routed {routed} random connections; light delivered exactly: {}",
         outcome.delivered_exactly(logical.assignment())
@@ -324,6 +416,13 @@ fn cmd_fivestage(opts: &Opts) -> Result<(), String> {
     let net = frame(opts)?;
     let model = opts.model()?;
     let construction = opts.construction()?;
+    let inner = (net.ports as f64).sqrt().sqrt().round() as u32;
+    if inner.pow(4) != net.ports || inner < 2 {
+        return Err(format!(
+            "fivestage needs N = s⁴ for some s ≥ 2 (16, 81, 256, …); got N={}",
+            net.ports
+        ));
+    }
     let mut five = FiveStageNetwork::square(net.ports, net.wavelengths, construction, model);
     println!(
         "5-stage {}: outer {}, inner {} per middle, {} crosspoints",
@@ -340,7 +439,8 @@ fn cmd_fivestage(opts: &Opts) -> Result<(), String> {
     for _ in 0..steps {
         if !live.is_empty() && rng.gen_bool(0.35) {
             let i = rng.gen_range(0..live.len());
-            five.disconnect(live.swap_remove(i)).map_err(|e| e.to_string())?;
+            five.disconnect(live.swap_remove(i))
+                .map_err(|e| e.to_string())?;
         } else if let Some(req) = gen.next_request(five.assignment(), 0) {
             let src = req.source();
             match five.connect(req) {
@@ -369,15 +469,24 @@ fn cmd_witness(opts: &Opts) -> Result<(), String> {
     let construction = opts.construction()?;
     let model = opts.model()?;
     let x = opts.u32("x", Some(1))?;
+    if x == 0 {
+        return Err("--x must be at least 1".into());
+    }
     let bound = match construction {
         Construction::MswDominant => bounds::theorem1_min_m(n, r),
         Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
     };
-    let p = ThreeStageParams::new(n, m, r, k);
-    println!("searching blocking witness for {p} (bound would be m ≥ {})…", bound.m);
+    let p = three_stage(opts, n, r, k, m)?;
+    println!(
+        "searching blocking witness for {p} (bound would be m ≥ {})…",
+        bound.m
+    );
     match find_blocking_witness(p, construction, model, x, 200, opts.u64("seed", 42)?) {
         Some(w) => {
-            println!("FOUND after {} established connections:", w.established.len());
+            println!(
+                "FOUND after {} established connections:",
+                w.established.len()
+            );
             for c in &w.established {
                 println!("  {c}");
             }
@@ -404,7 +513,9 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     };
     let asg = scenario.generate(net, model, opts.u64("seed", 42)?);
     let mut xbar = WdmCrossbar::build(net, model);
-    let outcome = xbar.route_verified(&asg).map_err(|e| format!("blocked: {e}"))?;
+    let outcome = xbar
+        .route_verified(&asg)
+        .map_err(|e| format!("blocked: {e}"))?;
     println!(
         "{} on {net} under {model}: {} connections, {} endpoints lit, delivered exactly: {}",
         scenario.label(),
@@ -436,16 +547,19 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
         let trace = RequestTrace::from_json(&json).map_err(|e| e.to_string())?;
         let n = opts.u32("n", None)?;
         let r = opts.u32("r", None)?;
-        if n * r != trace.net.ports {
-            return Err(format!("trace is for N={} but n·r = {}", trace.net.ports, n * r));
+        if n.checked_mul(r) != Some(trace.net.ports) {
+            return Err(format!(
+                "trace is for N={} but n·r = {}",
+                trace.net.ports,
+                n as u64 * r as u64
+            ));
         }
         let construction = opts.construction()?;
         let bound = match construction {
             Construction::MswDominant => bounds::theorem1_min_m(n, r),
             Construction::MawDominant => bounds::theorem2_min_m(n, r, trace.net.wavelengths),
         };
-        let m = opts.u32("m", Some(bound.m))?;
-        let p = ThreeStageParams::new(n, m, r, trace.net.wavelengths);
+        let p = three_stage(opts, n, r, trace.net.wavelengths, bound.m)?;
         let mut net = ThreeStageNetwork::new(p, construction, trace.model);
         let (mut routed, mut blocked) = (0usize, 0usize);
         trace
@@ -492,9 +606,189 @@ fn cmd_dot(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Run the concurrent admission engine over one dynamic trace on both
+/// backends — the strictly-nonblocking crossbar and the three-stage
+/// network at (or away from) the theorem bound — and report the paper's
+/// operational metrics side by side.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use std::time::Duration;
+    use wdm_fabric::CrossbarSession;
+    use wdm_runtime::{AdmissionEngine, Backend, MetricsSnapshot, RuntimeConfig, RuntimeReport};
+    use wdm_workload::DynamicTraffic;
+
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
+    let bound = match construction {
+        Construction::MswDominant => bounds::theorem1_min_m(n, r),
+        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    };
+    let p = three_stage(opts, n, r, k, bound.m)?;
+    let flat = p.network();
+
+    let rate = opts.f64("rate", 4.0)?;
+    let horizon = opts.f64("horizon", 30.0)?;
+    let seed = opts.u64("seed", 42)?;
+    let workers = opts.u32("workers", Some(4))? as usize;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let config = RuntimeConfig {
+        workers,
+        deadline: Duration::from_millis(opts.u64("deadline-ms", 500)?.max(1)),
+        snapshot_every: match opts.0.get("snapshot-ms") {
+            Some(_) => Some(Duration::from_millis(opts.u64("snapshot-ms", 50)?.max(1))),
+            None => None,
+        },
+        ..RuntimeConfig::default()
+    };
+
+    // Close the trace: `generate` truncates departures past the horizon,
+    // and a connection that never departs would pin its endpoints forever,
+    // expiring every later rival. Appending the missing disconnects makes
+    // the run end with an empty network.
+    let mut events = DynamicTraffic::new(flat, model, rate, 1.0, 3, seed).generate(horizon);
+    let mut live = std::collections::BTreeSet::new();
+    for e in &events {
+        match &e.event {
+            wdm_workload::TraceEvent::Connect(c) => live.insert(c.source()),
+            wdm_workload::TraceEvent::Disconnect(s) => live.remove(s),
+        };
+    }
+    events.extend(live.into_iter().map(|src| wdm_workload::TimedEvent {
+        time: horizon + 1.0,
+        event: wdm_workload::TraceEvent::Disconnect(src),
+    }));
+    let offered_load = events.len();
+    println!(
+        "offered load: {offered_load} events (arrival rate {rate}/t over {horizon}t, seed {seed}) on {flat}, model {model}"
+    );
+    println!(
+        "engine: {workers} worker shards, deadline {:?}\n",
+        config.deadline
+    );
+
+    fn run<B: Backend>(
+        backend: B,
+        events: &[wdm_workload::TimedEvent],
+        config: &RuntimeConfig,
+    ) -> RuntimeReport<B> {
+        let engine = AdmissionEngine::start(backend, config.clone());
+        engine.run_events(events.iter().cloned());
+        engine.drain()
+    }
+
+    let xbar = run(CrossbarSession::new(flat, model), &events, &config);
+    let three = run(
+        ThreeStageNetwork::new(p, construction, model),
+        &events,
+        &config,
+    );
+
+    let mut t = TextTable::new([
+        "backend",
+        "offered",
+        "admitted",
+        "blocked",
+        "P(block)",
+        "retried",
+        "expired",
+        "p50 admit",
+        "p99 admit",
+        "conns/s",
+    ]);
+    let mut row = |label: &str, s: &MetricsSnapshot| {
+        t.row([
+            label.to_string(),
+            s.offered.to_string(),
+            s.admitted.to_string(),
+            s.blocked.to_string(),
+            format!("{:.4}", s.blocking_probability),
+            s.retried.to_string(),
+            s.expired.to_string(),
+            format!("{:.1}µs", s.p50_admit_ns as f64 / 1e3),
+            format!("{:.1}µs", s.p99_admit_ns as f64 / 1e3),
+            format!("{:.0}", s.throughput()),
+        ]);
+    };
+    row("crossbar", &xbar.summary);
+    row(&format!("3-stage m={}", p.m), &three.summary);
+    println!("{t}");
+
+    let loads: Vec<f64> = three
+        .summary
+        .middle_loads
+        .iter()
+        .map(|&l| l as f64)
+        .collect();
+    println!(
+        "three-stage middle-switch occupancy at drain: {} (theorem bound m ≥ {})",
+        wdm_analysis::sparkline(&loads),
+        bound.m
+    );
+    for report in [&xbar.errors, &three.errors] {
+        for e in report.iter().take(4) {
+            eprintln!("note: {e}");
+        }
+    }
+
+    if let Some(path) = opts.0.get("json") {
+        let mut lines: Vec<String> = Vec::new();
+        for (label, rep) in [
+            ("crossbar", &xbar.snapshots),
+            ("three-stage", &three.snapshots),
+        ] {
+            for s in rep {
+                lines.push(format!(
+                    "{{\"backend\":\"{label}\",\"snapshot\":{}}}",
+                    s.to_json()
+                ));
+            }
+        }
+        lines.push(format!(
+            "{{\"backend\":\"crossbar\",\"summary\":{}}}",
+            xbar.summary.to_json()
+        ));
+        lines.push(format!(
+            "{{\"backend\":\"three-stage\",\"summary\":{}}}",
+            three.summary.to_json()
+        ));
+        std::fs::write(path, lines.join("\n") + "\n").map_err(|e| e.to_string())?;
+        println!("wrote {} JSON records to {path}", lines.len());
+    }
+
+    if !xbar.consistency.is_empty() || !three.consistency.is_empty() {
+        return Err(format!(
+            "backend consistency check failed: {:?}",
+            [&xbar.consistency[..], &three.consistency[..]].concat()
+        ));
+    }
+    if xbar.summary.blocked > 0 {
+        return Err("the crossbar backend blocked — it must never".into());
+    }
+    if p.m >= bound.m && three.summary.blocked > 0 {
+        return Err(format!(
+            "{} hard blocks at m={} ≥ bound {} — nonblocking theorem violated",
+            three.summary.blocked, p.m, bound.m
+        ));
+    }
+    if p.m < bound.m {
+        println!(
+            "(m={} is below the bound {}; {} blocks observed is expected behaviour)",
+            p.m, bound.m, three.summary.blocked
+        );
+    }
+    Ok(())
+}
+
 fn cmd_fig10() -> Result<(), String> {
     let (msw, maw) = scenarios::fig10_contrast();
-    println!("Fig. 10 scenario on {} (middle-starved, m=1):", scenarios::fig10_params());
+    println!(
+        "Fig. 10 scenario on {} (middle-starved, m=1):",
+        scenarios::fig10_params()
+    );
     for out in [msw, maw] {
         println!(
             "  {:<14} final request {} ({} middle switches available)",

@@ -31,7 +31,12 @@ impl SetPartitions {
     /// Partitions of an `n`-element set. `n = 0` yields exactly one
     /// (empty) partition.
     pub fn new(n: usize) -> Self {
-        SetPartitions { rgs: vec![0; n], maxes: vec![0; n + 1], started: false, done: false }
+        SetPartitions {
+            rgs: vec![0; n],
+            maxes: vec![0; n + 1],
+            started: false,
+            done: false,
+        }
     }
 
     /// Group the current RGS into explicit blocks.
@@ -109,8 +114,13 @@ impl MixedRadix {
     /// Counter over the given radices. Any zero radix yields an empty
     /// iterator; an empty radix list yields the single empty tuple.
     pub fn new(radix: Vec<u64>) -> Self {
-        let done = radix.iter().any(|&r| r == 0);
-        MixedRadix { state: vec![0; radix.len()], radix, started: false, done }
+        let done = radix.contains(&0);
+        MixedRadix {
+            state: vec![0; radix.len()],
+            radix,
+            started: false,
+            done,
+        }
     }
 
     /// Uniform counter: `d` digits of radix `r` each.
@@ -173,7 +183,12 @@ impl Combinations {
     /// `k`-subsets of an `n`-set; `k > n` yields nothing, `k = 0` yields
     /// the empty combination once.
     pub fn new(n: usize, k: usize) -> Self {
-        Combinations { n, state: (0..k).collect(), started: false, done: k > n }
+        Combinations {
+            n,
+            state: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
     }
 }
 
@@ -230,7 +245,11 @@ impl Subsets {
     /// Panics if `n > 63` (brute force beyond that is meaningless anyway).
     pub fn new(n: u32) -> Self {
         assert!(n <= 63, "subset enumeration limited to 63 elements");
-        Subsets { n, next_mask: 0, done: false }
+        Subsets {
+            n,
+            next_mask: 0,
+            done: false,
+        }
     }
 }
 
@@ -242,7 +261,9 @@ impl Iterator for Subsets {
             return None;
         }
         let mask = self.next_mask;
-        let items = (0..self.n as usize).filter(|&i| mask >> i & 1 == 1).collect();
+        let items = (0..self.n as usize)
+            .filter(|&i| mask >> i & 1 == 1)
+            .collect();
         if self.next_mask + 1 == 1u64 << self.n {
             self.done = true;
         } else {
@@ -273,7 +294,11 @@ mod tests {
                 let count = SetPartitions::new(n)
                     .filter(|rgs| rgs.iter().copied().max().unwrap() + 1 == j)
                     .count() as u64;
-                assert_eq!(BigUint::from(count), stirling2(n as u64, j as u64), "S({n},{j})");
+                assert_eq!(
+                    BigUint::from(count),
+                    stirling2(n as u64, j as u64),
+                    "S({n},{j})"
+                );
             }
         }
     }
@@ -316,7 +341,11 @@ mod tests {
         for n in 0..=9usize {
             for k in 0..=n + 1 {
                 let count = Combinations::new(n, k).count() as u64;
-                assert_eq!(BigUint::from(count), binomial(n as u64, k as u64), "C({n},{k})");
+                assert_eq!(
+                    BigUint::from(count),
+                    binomial(n as u64, k as u64),
+                    "C({n},{k})"
+                );
             }
         }
     }

@@ -60,7 +60,11 @@ pub struct Partitions {
 impl Partitions {
     /// Partitions of `n`.
     pub fn new(n: u64) -> Self {
-        Partitions { current: if n == 0 { vec![] } else { vec![n] }, first: true, done: false }
+        Partitions {
+            current: if n == 0 { vec![] } else { vec![n] },
+            first: true,
+            done: false,
+        }
     }
 }
 
@@ -162,7 +166,13 @@ mod tests {
         let all: Vec<Vec<u64>> = Partitions::new(4).collect();
         assert_eq!(
             all,
-            vec![vec![4], vec![3, 1], vec![2, 2], vec![2, 1, 1], vec![1, 1, 1, 1]]
+            vec![
+                vec![4],
+                vec![3, 1],
+                vec![2, 2],
+                vec![2, 1, 1],
+                vec![1, 1, 1, 1]
+            ]
         );
     }
 }

@@ -1,8 +1,6 @@
 //! Multicast assignments: conflict-free sets of connections.
 
-use crate::{
-    AssignmentError, Endpoint, MulticastConnection, MulticastModel, NetworkConfig,
-};
+use crate::{AssignmentError, Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use core::fmt;
 use std::collections::BTreeMap;
 
@@ -223,7 +221,13 @@ impl<'de> serde::Deserialize<'de> for MulticastAssignment {
 
 impl fmt::Display for MulticastAssignment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} assignment on {} ({} connections):", self.model, self.net, self.len())?;
+        writeln!(
+            f,
+            "{} assignment on {} ({} connections):",
+            self.model,
+            self.net,
+            self.len()
+        )?;
         for c in self.connections.values() {
             writeln!(f, "  {c}")?;
         }
@@ -255,7 +259,10 @@ mod tests {
         assert_eq!(asg.len(), 1);
         assert_eq!(asg.used_output_endpoints(), 2);
         assert!(asg.input_busy(Endpoint::new(0, 0)));
-        assert_eq!(asg.output_user(Endpoint::new(1, 1)), Some(Endpoint::new(0, 0)));
+        assert_eq!(
+            asg.output_user(Endpoint::new(1, 1)),
+            Some(Endpoint::new(0, 0))
+        );
         let back = asg.remove(Endpoint::new(0, 0)).unwrap();
         assert_eq!(back, c);
         assert!(asg.is_empty());

@@ -57,7 +57,9 @@ pub fn any_assignments(net: NetworkConfig, model: MulticastModel) -> BigUint {
         MulticastModel::Msdw => {
             let w: Vec<BigUint> = (0..=n)
                 .map(|j| {
-                    (0..=(n - j)).map(|l| binomial(n, l) * stirling2(n - l, j)).sum()
+                    (0..=(n - j))
+                        .map(|l| binomial(n, l) * stirling2(n - l, j))
+                        .sum()
                 })
                 .collect();
             msdw_sum(n, k, &w)
@@ -156,17 +158,29 @@ mod tests {
     #[test]
     fn msw_formula_examples() {
         let net = NetworkConfig::new(3, 2);
-        assert_eq!(full_assignments(net, MulticastModel::Msw), BigUint::from(3u64).pow(6));
-        assert_eq!(any_assignments(net, MulticastModel::Msw), BigUint::from(4u64).pow(6));
+        assert_eq!(
+            full_assignments(net, MulticastModel::Msw),
+            BigUint::from(3u64).pow(6)
+        );
+        assert_eq!(
+            any_assignments(net, MulticastModel::Msw),
+            BigUint::from(4u64).pow(6)
+        );
     }
 
     #[test]
     fn maw_formula_examples() {
         let net = NetworkConfig::new(3, 2);
         // P(6,2) = 30 per port; 3 ports -> 27000.
-        assert_eq!(full_assignments(net, MulticastModel::Maw), BigUint::from(27000u64));
+        assert_eq!(
+            full_assignments(net, MulticastModel::Maw),
+            BigUint::from(27000u64)
+        );
         // per port: P(6,2) + C(2,1)P(6,1) + C(2,2)P(6,0) = 30+12+1 = 43.
-        assert_eq!(any_assignments(net, MulticastModel::Maw), BigUint::from(43u64 * 43 * 43));
+        assert_eq!(
+            any_assignments(net, MulticastModel::Maw),
+            BigUint::from(43u64 * 43 * 43)
+        );
     }
 
     #[test]
@@ -175,19 +189,26 @@ mod tests {
         // conv² = [0,0,1,2,1]; capacity = P(4,2)·1 + P(4,3)·2 + P(4,4)·1
         //        = 12 + 48 + 24 = 84.
         let net = NetworkConfig::new(2, 2);
-        assert_eq!(full_assignments(net, MulticastModel::Msdw), BigUint::from(84u64));
+        assert_eq!(
+            full_assignments(net, MulticastModel::Msdw),
+            BigUint::from(84u64)
+        );
     }
 
     #[test]
     fn model_strength_orders_capacity() {
         for (n, k) in [(2u32, 2u32), (3, 2), (2, 3), (4, 2), (3, 3)] {
             let net = NetworkConfig::new(n, k);
-            let f: Vec<BigUint> =
-                MulticastModel::ALL.iter().map(|&m| full_assignments(net, m)).collect();
+            let f: Vec<BigUint> = MulticastModel::ALL
+                .iter()
+                .map(|&m| full_assignments(net, m))
+                .collect();
             assert!(f[0] < f[1], "MSW < MSDW full, N={n} k={k}");
             assert!(f[1] < f[2], "MSDW < MAW full, N={n} k={k}");
-            let a: Vec<BigUint> =
-                MulticastModel::ALL.iter().map(|&m| any_assignments(net, m)).collect();
+            let a: Vec<BigUint> = MulticastModel::ALL
+                .iter()
+                .map(|&m| any_assignments(net, m))
+                .collect();
             assert!(a[0] < a[1], "MSW < MSDW any, N={n} k={k}");
             assert!(a[1] < a[2], "MSDW < MAW any, N={n} k={k}");
         }

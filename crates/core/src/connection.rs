@@ -45,12 +45,18 @@ impl MulticastConnection {
                 return Err(ConnectionError::DuplicateOutputPort(pair[0].port));
             }
         }
-        Ok(MulticastConnection { source, destinations: dests })
+        Ok(MulticastConnection {
+            source,
+            destinations: dests,
+        })
     }
 
     /// A unicast convenience constructor.
     pub fn unicast(source: Endpoint, destination: Endpoint) -> Self {
-        MulticastConnection { source, destinations: vec![destination] }
+        MulticastConnection {
+            source,
+            destinations: vec![destination],
+        }
     }
 
     /// The input endpoint.
@@ -122,7 +128,10 @@ mod tests {
             Endpoint::new(0, 0),
             [Endpoint::new(1, 0), Endpoint::new(1, 1)],
         );
-        assert_eq!(err.unwrap_err(), ConnectionError::DuplicateOutputPort(PortId(1)));
+        assert_eq!(
+            err.unwrap_err(),
+            ConnectionError::DuplicateOutputPort(PortId(1))
+        );
     }
 
     #[test]

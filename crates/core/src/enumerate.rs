@@ -41,7 +41,11 @@ pub fn valid_maps(
 
 /// Count full-multicast-assignments by brute force.
 pub fn count_full(net: NetworkConfig, model: MulticastModel) -> BigUint {
-    BigUint::from(valid_maps(net, model, false).filter(|m| m.is_full()).count() as u64)
+    BigUint::from(
+        valid_maps(net, model, false)
+            .filter(|m| m.is_full())
+            .count() as u64,
+    )
 }
 
 /// Count any-multicast-assignments by brute force.
@@ -60,7 +64,10 @@ pub fn count_any(net: NetworkConfig, model: MulticastModel) -> BigUint {
 pub fn electronic_violation_census(
     net: NetworkConfig,
     model: MulticastModel,
-) -> (BigUint, std::collections::BTreeMap<crate::output_map::MapViolation, BigUint>) {
+) -> (
+    BigUint,
+    std::collections::BTreeMap<crate::output_map::MapViolation, BigUint>,
+) {
     let nk = net.endpoints_per_side();
     let k = net.wavelengths;
     let mut valid = 0u64;
@@ -79,7 +86,10 @@ pub fn electronic_violation_census(
     }
     (
         BigUint::from(valid),
-        violations.into_iter().map(|(k, v)| (k, BigUint::from(v))).collect(),
+        violations
+            .into_iter()
+            .map(|(k, v)| (k, BigUint::from(v)))
+            .collect(),
     )
 }
 
@@ -147,7 +157,9 @@ mod tests {
         let net = NetworkConfig::new(2, 2);
         for model in MulticastModel::ALL {
             for map in valid_maps(net, model, true) {
-                let asg = map.to_assignment(model).expect("valid map must materialize");
+                let asg = map
+                    .to_assignment(model)
+                    .expect("valid map must materialize");
                 assert_eq!(asg.used_output_endpoints(), map.used());
                 assert_eq!(asg.is_full(), map.is_full());
             }
@@ -167,8 +179,7 @@ mod tests {
             let net = NetworkConfig::new(n, k);
             for model in MulticastModel::ALL {
                 let (valid, violations) = electronic_violation_census(net, model);
-                let total: BigUint =
-                    violations.values().fold(valid.clone(), |acc, v| acc + v);
+                let total: BigUint = violations.values().fold(valid.clone(), |acc, v| acc + v);
                 assert_eq!(total, capacity::electronic_full(net), "{model} N={n} k={k}");
                 assert_eq!(
                     valid,

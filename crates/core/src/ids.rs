@@ -28,7 +28,10 @@ pub struct Endpoint {
 impl Endpoint {
     /// Construct from raw indices.
     pub const fn new(port: u32, wavelength: u32) -> Self {
-        Endpoint { port: PortId(port), wavelength: WavelengthId(wavelength) }
+        Endpoint {
+            port: PortId(port),
+            wavelength: WavelengthId(wavelength),
+        }
     }
 
     /// Flat index in `0..N·k` ordering endpoints port-major

@@ -28,8 +28,11 @@ pub enum MulticastModel {
 
 impl MulticastModel {
     /// All models, in increasing strength order.
-    pub const ALL: [MulticastModel; 3] =
-        [MulticastModel::Msw, MulticastModel::Msdw, MulticastModel::Maw];
+    pub const ALL: [MulticastModel; 3] = [
+        MulticastModel::Msw,
+        MulticastModel::Msdw,
+        MulticastModel::Maw,
+    ];
 
     /// Strength rank: 0 (MSW) < 1 (MSDW) < 2 (MAW).
     pub fn strength(&self) -> u8 {
@@ -181,8 +184,7 @@ mod tests {
         for model in MulticastModel::ALL {
             let parsed: MulticastModel = model.to_string().parse().unwrap();
             assert_eq!(parsed, model);
-            let lower: MulticastModel =
-                model.to_string().to_lowercase().parse().unwrap();
+            let lower: MulticastModel = model.to_string().to_lowercase().parse().unwrap();
             assert_eq!(lower, model);
         }
         assert!("mws".parse::<MulticastModel>().is_err());

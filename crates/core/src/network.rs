@@ -23,7 +23,10 @@ impl NetworkConfig {
     /// is a configuration error everywhere it could be used.
     pub fn new(ports: u32, wavelengths: u32) -> Self {
         assert!(ports > 0, "network must have at least one port");
-        assert!(wavelengths > 0, "network must carry at least one wavelength");
+        assert!(
+            wavelengths > 0,
+            "network must carry at least one wavelength"
+        );
         NetworkConfig { ports, wavelengths }
     }
 

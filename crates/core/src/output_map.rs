@@ -8,9 +8,7 @@
 //! here and are exercised by the round-trip tests — but the map view is
 //! the natural one for brute-force counting (see [`crate::enumerate`]).
 
-use crate::{
-    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
-};
+use crate::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -43,7 +41,10 @@ pub struct OutputMap {
 impl OutputMap {
     /// The all-unused map.
     pub fn empty(net: NetworkConfig) -> Self {
-        OutputMap { net, choices: vec![None; net.endpoints_per_side() as usize] }
+        OutputMap {
+            net,
+            choices: vec![None; net.endpoints_per_side() as usize],
+        }
     }
 
     /// Build from a choice vector in flat output order. The vector length
@@ -133,9 +134,7 @@ impl OutputMap {
                                 dest_wl.insert(src, out.wavelength.0);
                             }
                             Some(&w) if w == out.wavelength.0 => {}
-                            Some(_) => {
-                                return Some(MapViolation::MsdwNonUniformDestinations)
-                            }
+                            Some(_) => return Some(MapViolation::MsdwNonUniformDestinations),
                         }
                     }
                 }
@@ -260,8 +259,11 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        asg.add(MulticastConnection::unicast(Endpoint::new(2, 1), Endpoint::new(0, 0)))
-            .unwrap();
+        asg.add(MulticastConnection::unicast(
+            Endpoint::new(2, 1),
+            Endpoint::new(0, 0),
+        ))
+        .unwrap();
         let map = OutputMap::from_assignment(&asg);
         let back = map.to_assignment(MulticastModel::Maw).unwrap();
         let a: Vec<_> = asg.connections().cloned().collect();

@@ -92,13 +92,20 @@ mod tests {
         asg.add(
             MulticastConnection::new(
                 Endpoint::new(0, 0),
-                [Endpoint::new(1, 0), Endpoint::new(2, 1), Endpoint::new(3, 0)],
+                [
+                    Endpoint::new(1, 0),
+                    Endpoint::new(2, 1),
+                    Endpoint::new(3, 0),
+                ],
             )
             .unwrap(),
         )
         .unwrap();
-        asg.add(MulticastConnection::unicast(Endpoint::new(1, 1), Endpoint::new(0, 1)))
-            .unwrap();
+        asg.add(MulticastConnection::unicast(
+            Endpoint::new(1, 1),
+            Endpoint::new(0, 1),
+        ))
+        .unwrap();
         asg
     }
 

@@ -13,8 +13,9 @@ use wdm_combinatorics::{binomial, falling_factorial, stirling2};
 fn full_assignment_identity() {
     // Σ P(N,j)·S(N,j) = N^N — the paper's first k=1 verification.
     for n in 1..=10u64 {
-        let lhs: BigUint =
-            (1..=n).map(|j| falling_factorial(n, j) * stirling2(n, j)).sum();
+        let lhs: BigUint = (1..=n)
+            .map(|j| falling_factorial(n, j) * stirling2(n, j))
+            .sum();
         assert_eq!(lhs, BigUint::from(n).pow(n), "N={n}");
     }
 }
@@ -42,8 +43,9 @@ fn surjection_expansion() {
     // functions counted by image size.
     for n in 0..=8u64 {
         for x in 0..=8u64 {
-            let rhs: BigUint =
-                (0..=n).map(|j| stirling2(n, j) * falling_factorial(x, j)).sum();
+            let rhs: BigUint = (0..=n)
+                .map(|j| stirling2(n, j) * falling_factorial(x, j))
+                .sum();
             assert_eq!(rhs, BigUint::from(x).pow(n), "x={x} n={n}");
         }
     }
@@ -54,8 +56,9 @@ fn binomial_convolution_of_powers() {
     // (N+1)^N = Σ_l C(N,l)·N^(N−l) — the binomial theorem instance the
     // any-assignment identity reduces to after the inner sums collapse.
     for n in 1..=12u64 {
-        let lhs: BigUint =
-            (0..=n).map(|l| binomial(n, l) * BigUint::from(n).pow(n - l)).sum();
+        let lhs: BigUint = (0..=n)
+            .map(|l| binomial(n, l) * BigUint::from(n).pow(n - l))
+            .sum();
         assert_eq!(lhs, BigUint::from(n + 1).pow(n), "N={n}");
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wdm_core::{
-    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
-    NetworkConfig, OutputMap,
+    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
+    OutputMap,
 };
 
 /// Strategy: a small network (N ≤ 6, k ≤ 4).

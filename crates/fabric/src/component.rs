@@ -83,12 +83,18 @@ pub enum ComponentKind {
 impl Component {
     /// A fresh (disabled, healthy) SOA gate.
     pub fn gate() -> Self {
-        Component::SoaGate { enabled: false, broken: false }
+        Component::SoaGate {
+            enabled: false,
+            broken: false,
+        }
     }
 
     /// A fresh (transparent, healthy) wavelength converter.
     pub fn converter() -> Self {
-        Component::Converter { target: None, broken: false }
+        Component::Converter {
+            target: None,
+            broken: false,
+        }
     }
 
     /// The kind discriminant.
@@ -138,8 +144,20 @@ mod tests {
 
     #[test]
     fn constructors_start_safe() {
-        assert_eq!(Component::gate(), Component::SoaGate { enabled: false, broken: false });
-        assert_eq!(Component::converter(), Component::Converter { target: None, broken: false });
+        assert_eq!(
+            Component::gate(),
+            Component::SoaGate {
+                enabled: false,
+                broken: false
+            }
+        );
+        assert_eq!(
+            Component::converter(),
+            Component::Converter {
+                target: None,
+                broken: false
+            }
+        );
     }
 
     #[test]

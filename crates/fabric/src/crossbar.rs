@@ -46,8 +46,16 @@ impl WdmCrossbar {
             let out = netlist.add(Component::OutputPort(p));
             netlist.connect_simple(module.output_muxes[p.0 as usize], out);
         }
-        let xbar = WdmCrossbar { net, netlist, module };
-        debug_assert!(xbar.netlist.validate().is_empty(), "{:?}", xbar.netlist.validate());
+        let xbar = WdmCrossbar {
+            net,
+            netlist,
+            module,
+        };
+        debug_assert!(
+            xbar.netlist.validate().is_empty(),
+            "{:?}",
+            xbar.netlist.validate()
+        );
         xbar
     }
 
@@ -77,7 +85,8 @@ impl WdmCrossbar {
         in_flat: usize,
         target: Option<wdm_core::WavelengthId>,
     ) {
-        self.module.program_input_converter(&mut self.netlist, in_flat, target);
+        self.module
+            .program_input_converter(&mut self.netlist, in_flat, target);
     }
 
     /// Shine the sources of `asg` through the fabric **as currently
@@ -87,10 +96,10 @@ impl WdmCrossbar {
         let mut injections: BTreeMap<u32, Vec<Signal>> = BTreeMap::new();
         for conn in asg.connections() {
             let src = conn.source();
-            injections
-                .entry(src.port.0)
-                .or_default()
-                .push(Signal { origin: src, wavelength: src.wavelength });
+            injections.entry(src.port.0).or_default().push(Signal {
+                origin: src,
+                wavelength: src.wavelength,
+            });
         }
         propagate::propagate(&self.netlist, &injections)
     }
@@ -192,10 +201,10 @@ impl WdmCrossbar {
         let mut injections: BTreeMap<u32, Vec<Signal>> = BTreeMap::new();
         for conn in asg.connections() {
             let src = conn.source();
-            injections
-                .entry(src.port.0)
-                .or_default()
-                .push(Signal { origin: src, wavelength: src.wavelength });
+            injections.entry(src.port.0).or_default().push(Signal {
+                origin: src,
+                wavelength: src.wavelength,
+            });
         }
 
         let outcome = propagate::propagate(&self.netlist, &injections);
@@ -214,7 +223,10 @@ impl WdmCrossbar {
         for conn in asg.connections() {
             for &d in conn.destinations() {
                 let got = outcome.received_at(d);
-                let want = Signal { origin: conn.source(), wavelength: d.wavelength };
+                let want = Signal {
+                    origin: conn.source(),
+                    wavelength: d.wavelength,
+                };
                 if got != [want] {
                     return Err(FabricError::DeliveryFailure { endpoint: d });
                 }
@@ -355,7 +367,12 @@ mod tests {
         let mut asg = MulticastAssignment::new(net, MulticastModel::Msw);
         asg.add(conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
         let err = xbar.route_verified(&asg).unwrap_err();
-        assert_eq!(err, FabricError::DeliveryFailure { endpoint: Endpoint::new(1, 0) });
+        assert_eq!(
+            err,
+            FabricError::DeliveryFailure {
+                endpoint: Endpoint::new(1, 0)
+            }
+        );
     }
 
     #[test]
@@ -412,10 +429,10 @@ mod tests {
     #[test]
     fn power_budget_scales_with_size() {
         let params = PowerParams::default();
-        let small = WdmCrossbar::build(NetworkConfig::new(2, 2), MulticastModel::Maw)
-            .power_budget(&params);
-        let large = WdmCrossbar::build(NetworkConfig::new(8, 2), MulticastModel::Maw)
-            .power_budget(&params);
+        let small =
+            WdmCrossbar::build(NetworkConfig::new(2, 2), MulticastModel::Maw).power_budget(&params);
+        let large =
+            WdmCrossbar::build(NetworkConfig::new(8, 2), MulticastModel::Maw).power_budget(&params);
         // Bigger splitters/combiners → more passive loss.
         assert!(large.worst_path_loss_db > small.worst_path_loss_db);
     }

@@ -96,10 +96,15 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = PropagationError::WavelengthCollision { at: NodeId(7), wavelength: 0 };
+        let e = PropagationError::WavelengthCollision {
+            at: NodeId(7),
+            wavelength: 0,
+        };
         assert!(e.to_string().contains("λ1"));
         assert!(e.to_string().contains("n7"));
-        let e = FabricError::DeliveryFailure { endpoint: Endpoint::new(2, 1) };
+        let e = FabricError::DeliveryFailure {
+            endpoint: Endpoint::new(2, 1),
+        };
         assert!(e.to_string().contains("(p2, λ2)"));
     }
 }

@@ -54,10 +54,10 @@ mod session;
 pub use census::Census;
 pub use component::{Component, ComponentKind, NodeId};
 pub use crossbar::WdmCrossbar;
-pub use path::{trace_signal, SignalPath};
-pub use session::CrossbarSession;
 pub use error::{FabricError, PropagationError};
 pub use module::{ModuleSpec, WdmModule};
 pub use netlist::{EdgeId, Netlist};
+pub use path::{trace_signal, SignalPath};
 pub use power::{PowerBudget, PowerParams};
 pub use propagate::{propagate, PropagationOutcome, Signal};
+pub use session::CrossbarSession;

@@ -31,8 +31,11 @@ impl ModuleSpec {
     /// Crosspoints this module will contain (§2.3.1 generalized to
     /// rectangles): `k·a·b` under MSW, `k²·a·b` otherwise.
     pub fn crosspoints(&self) -> u64 {
-        let (a, b, k) =
-            (self.in_ports as u64, self.out_ports as u64, self.wavelengths as u64);
+        let (a, b, k) = (
+            self.in_ports as u64,
+            self.out_ports as u64,
+            self.wavelengths as u64,
+        );
         match self.model {
             MulticastModel::Msw => k * a * b,
             MulticastModel::Msdw | MulticastModel::Maw => k * k * a * b,
@@ -42,8 +45,11 @@ impl ModuleSpec {
     /// Converters this module will contain: `0` / `k·a` (input side,
     /// Fig. 3a) / `k·b` (output side, Fig. 3b).
     pub fn converters(&self) -> u64 {
-        let (a, b, k) =
-            (self.in_ports as u64, self.out_ports as u64, self.wavelengths as u64);
+        let (a, b, k) = (
+            self.in_ports as u64,
+            self.out_ports as u64,
+            self.wavelengths as u64,
+        );
         match self.model {
             MulticastModel::Msw => 0,
             MulticastModel::Msdw => k * a,
@@ -74,10 +80,12 @@ impl WdmModule {
     /// Build a module's internals into `netlist`.
     pub fn build_into(netlist: &mut Netlist, spec: ModuleSpec) -> WdmModule {
         let k = spec.wavelengths;
-        let input_taps: Vec<NodeId> =
-            (0..spec.in_ports).map(|_| netlist.add(Component::Demux)).collect();
-        let output_muxes: Vec<NodeId> =
-            (0..spec.out_ports).map(|_| netlist.add(Component::Mux)).collect();
+        let input_taps: Vec<NodeId> = (0..spec.in_ports)
+            .map(|_| netlist.add(Component::Demux))
+            .collect();
+        let output_muxes: Vec<NodeId> = (0..spec.out_ports)
+            .map(|_| netlist.add(Component::Mux))
+            .collect();
 
         // Combiner per output endpoint, then (MAW) converter, into the mux.
         let mut out_combiners = Vec::with_capacity((spec.out_ports * k) as usize);
@@ -131,17 +139,25 @@ impl WdmModule {
                     }
                 }
                 MulticastModel::Msdw | MulticastModel::Maw => {
-                    for out_flat in 0..(spec.out_ports * k) as usize {
+                    let reachable = (spec.out_ports * k) as usize;
+                    for (out_flat, &comb) in out_combiners.iter().enumerate().take(reachable) {
                         let gate = netlist.add(Component::gate());
                         netlist.connect_simple(spl, gate);
-                        netlist.connect_simple(gate, out_combiners[out_flat]);
+                        netlist.connect_simple(gate, comb);
                         gates.insert((in_flat, out_flat), gate);
                     }
                 }
             }
         }
 
-        WdmModule { spec, input_taps, output_muxes, gates, input_converters, output_converters }
+        WdmModule {
+            spec,
+            input_taps,
+            output_muxes,
+            gates,
+            input_converters,
+            output_converters,
+        }
     }
 
     /// The MSDW input converter of a local input endpoint, if any.
@@ -234,8 +250,12 @@ mod tests {
     #[test]
     fn rectangular_census_matches_spec() {
         for model in MulticastModel::ALL {
-            let spec =
-                ModuleSpec { in_ports: 3, out_ports: 5, wavelengths: 2, model };
+            let spec = ModuleSpec {
+                in_ports: 3,
+                out_ports: 5,
+                wavelengths: 2,
+                model,
+            };
             let (nl, module) = framed(spec);
             let census = Census::of(&nl);
             assert_eq!(census.gates, spec.crosspoints(), "{model}");
@@ -275,7 +295,13 @@ mod tests {
             module.set_gate(&mut nl, in_flat, out_flat, true);
         }
         let mut inj = BTreeMap::new();
-        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 1), wavelength: WavelengthId(1) }]);
+        inj.insert(
+            0u32,
+            vec![Signal {
+                origin: Endpoint::new(0, 1),
+                wavelength: WavelengthId(1),
+            }],
+        );
         let out = propagate::propagate(&nl, &inj);
         assert!(out.is_clean());
         for p in [0u32, 2, 3] {
@@ -299,7 +325,13 @@ mod tests {
             module.set_gate(&mut nl, in_flat, Endpoint::new(p, 1).flat_index(2), true);
         }
         let mut inj = BTreeMap::new();
-        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        inj.insert(
+            0u32,
+            vec![Signal {
+                origin: Endpoint::new(0, 0),
+                wavelength: WavelengthId(0),
+            }],
+        );
         let out = propagate::propagate(&nl, &inj);
         assert!(out.is_clean());
         assert_eq!(out.received_at(Endpoint::new(0, 1)).len(), 1);
@@ -320,7 +352,13 @@ mod tests {
         module.set_gate(&mut nl, in_flat, Endpoint::new(0, 1).flat_index(2), true);
         module.set_gate(&mut nl, in_flat, Endpoint::new(1, 0).flat_index(2), true);
         let mut inj = BTreeMap::new();
-        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        inj.insert(
+            0u32,
+            vec![Signal {
+                origin: Endpoint::new(0, 0),
+                wavelength: WavelengthId(0),
+            }],
+        );
         let out = propagate::propagate(&nl, &inj);
         assert!(out.is_clean());
         assert_eq!(out.received_at(Endpoint::new(0, 1)).len(), 1);
@@ -339,7 +377,13 @@ mod tests {
         module.set_gate(&mut nl, 0, 1, true);
         module.reset(&mut nl);
         let mut inj = BTreeMap::new();
-        inj.insert(0u32, vec![Signal { origin: Endpoint::new(0, 0), wavelength: WavelengthId(0) }]);
+        inj.insert(
+            0u32,
+            vec![Signal {
+                origin: Endpoint::new(0, 0),
+                wavelength: WavelengthId(0),
+            }],
+        );
         let out = propagate::propagate(&nl, &inj);
         assert_eq!(out.lit_outputs().count(), 0);
     }

@@ -51,9 +51,16 @@ impl Netlist {
 
     /// Wire `from`'s output slot `from_slot` to `to`.
     pub fn connect(&mut self, from: NodeId, from_slot: u32, to: NodeId) -> EdgeId {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "unknown node");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "unknown node"
+        );
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { from, from_slot, to });
+        self.edges.push(Edge {
+            from,
+            from_slot,
+            to,
+        });
         self.out_edges[from.0].push(id);
         self.in_edges[to.0].push(id);
         id
@@ -107,7 +114,9 @@ impl Netlist {
 
     /// Ids of all components of the given kind.
     pub fn nodes_of_kind(&self, kind: ComponentKind) -> impl Iterator<Item = NodeId> + '_ {
-        self.iter().filter(move |(_, c)| c.kind() == kind).map(|(id, _)| id)
+        self.iter()
+            .filter(move |(_, c)| c.kind() == kind)
+            .map(|(id, _)| id)
     }
 
     /// Topological order of the DAG.
@@ -149,22 +158,33 @@ impl Netlist {
         writeln!(out, "  node [fontsize=10];").unwrap();
         for (id, comp) in self.iter() {
             let (label, attrs) = match comp {
-                Component::InputPort(p) => (format!("in {p}"), "shape=cds, style=filled, fillcolor=lightblue"),
-                Component::OutputPort(p) => (format!("out {p}"), "shape=cds, style=filled, fillcolor=lightgreen"),
+                Component::InputPort(p) => (
+                    format!("in {p}"),
+                    "shape=cds, style=filled, fillcolor=lightblue",
+                ),
+                Component::OutputPort(p) => (
+                    format!("out {p}"),
+                    "shape=cds, style=filled, fillcolor=lightgreen",
+                ),
                 Component::Demux => ("demux".to_string(), "shape=trapezium"),
                 Component::Mux => ("mux".to_string(), "shape=invtrapezium"),
                 Component::Splitter => ("split".to_string(), "shape=triangle"),
                 Component::Combiner => ("comb".to_string(), "shape=invtriangle"),
-                Component::SoaGate { enabled: true, broken: false } => {
-                    ("gate".to_string(), "shape=square, style=filled, fillcolor=gold")
-                }
-                Component::SoaGate { broken: true, .. } => {
-                    ("gate ✗".to_string(), "shape=square, style=filled, fillcolor=red")
-                }
+                Component::SoaGate {
+                    enabled: true,
+                    broken: false,
+                } => (
+                    "gate".to_string(),
+                    "shape=square, style=filled, fillcolor=gold",
+                ),
+                Component::SoaGate { broken: true, .. } => (
+                    "gate ✗".to_string(),
+                    "shape=square, style=filled, fillcolor=red",
+                ),
                 Component::SoaGate { .. } => ("gate".to_string(), "shape=square"),
-                Component::Converter { target: Some(t), .. } => {
-                    (format!("conv→{t}"), "shape=diamond")
-                }
+                Component::Converter {
+                    target: Some(t), ..
+                } => (format!("conv→{t}"), "shape=diamond"),
                 Component::Converter { .. } => ("conv".to_string(), "shape=diamond"),
             };
             writeln!(out, "  n{} [label=\"{label}\", {attrs}];", id.0).unwrap();
@@ -188,7 +208,10 @@ impl Netlist {
             match c.kind() {
                 ComponentKind::SoaGate | ComponentKind::Converter => {
                     if ins != 1 || outs != 1 {
-                        problems.push(format!("{id}: {} must be 1-in/1-out, has {ins}/{outs}", c.kind()));
+                        problems.push(format!(
+                            "{id}: {} must be 1-in/1-out, has {ins}/{outs}",
+                            c.kind()
+                        ));
                     }
                 }
                 ComponentKind::InputPort => {
@@ -203,7 +226,10 @@ impl Netlist {
                 }
                 ComponentKind::Combiner | ComponentKind::Mux => {
                     if outs != 1 {
-                        problems.push(format!("{id}: {} must have exactly 1 output, has {outs}", c.kind()));
+                        problems.push(format!(
+                            "{id}: {} must have exactly 1 output, has {outs}",
+                            c.kind()
+                        ));
                     }
                     if ins < 1 {
                         problems.push(format!("{id}: {} has no inputs", c.kind()));
@@ -211,7 +237,10 @@ impl Netlist {
                 }
                 ComponentKind::Splitter | ComponentKind::Demux => {
                     if ins != 1 {
-                        problems.push(format!("{id}: {} must have exactly 1 input, has {ins}", c.kind()));
+                        problems.push(format!(
+                            "{id}: {} must have exactly 1 input, has {ins}",
+                            c.kind()
+                        ));
                     }
                     if outs < 1 {
                         problems.push(format!("{id}: {} has no outputs", c.kind()));
@@ -311,7 +340,13 @@ mod tests {
         if let Component::SoaGate { enabled, .. } = nl.component_mut(gate) {
             *enabled = true;
         }
-        assert_eq!(nl.component(gate), &Component::SoaGate { enabled: true, broken: false });
+        assert_eq!(
+            nl.component(gate),
+            &Component::SoaGate {
+                enabled: true,
+                broken: false
+            }
+        );
     }
 
     #[test]

@@ -64,18 +64,21 @@ pub fn trace_signal(
         }
     }
     rev.reverse();
-    let loss_db =
-        rev.iter().map(|&id| PowerBudget::device_loss(netlist, id, params)).sum();
-    Some(SignalPath { nodes: rev, loss_db })
+    let loss_db = rev
+        .iter()
+        .map(|&id| PowerBudget::device_loss(netlist, id, params))
+        .sum();
+    Some(SignalPath {
+        nodes: rev,
+        loss_db,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::WdmCrossbar;
-    use wdm_core::{
-        MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
-    };
+    use wdm_core::{MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig};
 
     fn routed(model: MulticastModel) -> (WdmCrossbar, PropagationOutcome, MulticastAssignment) {
         let net = NetworkConfig::new(4, 2);

@@ -87,7 +87,10 @@ impl PowerBudget {
             .filter(|(l, _)| *l != f64::NEG_INFINITY)
             .max_by(|a, b| a.0.total_cmp(&b.0));
         let (worst_loss, worst_hops) = worst.unwrap_or((0.0, 0));
-        PowerBudget { worst_path_loss_db: worst_loss, worst_path_hops: worst_hops }
+        PowerBudget {
+            worst_path_loss_db: worst_loss,
+            worst_path_hops: worst_hops,
+        }
     }
 
     /// Loss contributed by traversing `id` (dB; negative = gain).

@@ -76,13 +76,21 @@ impl PropagationOutcome {
         let mut expected: BTreeMap<Endpoint, Signal> = BTreeMap::new();
         for conn in asg.connections() {
             for &d in conn.destinations() {
-                expected.insert(d, Signal { origin: conn.source(), wavelength: d.wavelength });
+                expected.insert(
+                    d,
+                    Signal {
+                        origin: conn.source(),
+                        wavelength: d.wavelength,
+                    },
+                );
             }
         }
         if self.received.len() != expected.len() {
             return false;
         }
-        expected.iter().all(|(ep, want)| self.received_at(*ep) == std::slice::from_ref(want))
+        expected
+            .iter()
+            .all(|(ep, want)| self.received_at(*ep) == std::slice::from_ref(want))
     }
 }
 
@@ -91,10 +99,7 @@ impl PropagationOutcome {
 /// `injections` maps each input port id to the signals entering on its
 /// fiber. Returns the full outcome; callers decide whether conflicts are
 /// fatal.
-pub fn propagate(
-    netlist: &Netlist,
-    injections: &BTreeMap<u32, Vec<Signal>>,
-) -> PropagationOutcome {
+pub fn propagate(netlist: &Netlist, injections: &BTreeMap<u32, Vec<Signal>>) -> PropagationOutcome {
     let mut edge_signals: Vec<Vec<Signal>> = vec![Vec::new(); netlist.edge_count()];
     let mut errors = Vec::new();
     let mut received: BTreeMap<Endpoint, Vec<Signal>> = BTreeMap::new();
@@ -105,22 +110,32 @@ pub fn propagate(
             .iter()
             .map(|&e| (e, edge_signals[e.0].as_slice()))
             .collect();
-        let gathered: Vec<Signal> = incoming.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        let gathered: Vec<Signal> = incoming
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
 
         // Per-component transfer function; produces the signal set for
         // each outgoing edge (by slot).
         let outputs: Vec<(EdgeId, Vec<Signal>)> = match netlist.component(node) {
             Component::InputPort(port) => {
                 let sigs = injections.get(&port.0).cloned().unwrap_or_default();
-                netlist.out_edges(node).iter().map(|&e| (e, sigs.clone())).collect()
+                netlist
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| (e, sigs.clone()))
+                    .collect()
             }
             Component::Demux => netlist
                 .out_edges(node)
                 .iter()
                 .map(|&e| {
                     let slot = netlist.edge(e).from_slot;
-                    let filtered: Vec<Signal> =
-                        gathered.iter().copied().filter(|s| s.wavelength.0 == slot).collect();
+                    let filtered: Vec<Signal> = gathered
+                        .iter()
+                        .copied()
+                        .filter(|s| s.wavelength.0 == slot)
+                        .collect();
                     (e, filtered)
                 })
                 .collect(),
@@ -147,26 +162,45 @@ pub fn propagate(
                 let converted: Vec<Signal> = gathered
                     .iter()
                     .map(|s| match (target, broken) {
-                        (Some(t), false) => Signal { origin: s.origin, wavelength: *t },
+                        (Some(t), false) => Signal {
+                            origin: s.origin,
+                            wavelength: *t,
+                        },
                         _ => *s,
                     })
                     .collect();
-                netlist.out_edges(node).iter().map(|&e| (e, converted.clone())).collect()
+                netlist
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| (e, converted.clone()))
+                    .collect()
             }
             Component::Combiner => {
                 let lit = incoming.iter().filter(|(_, s)| !s.is_empty()).count();
                 if lit > 1 {
-                    errors.push(PropagationError::CombinerConflict { at: node, lit_inputs: lit });
+                    errors.push(PropagationError::CombinerConflict {
+                        at: node,
+                        lit_inputs: lit,
+                    });
                 }
-                netlist.out_edges(node).iter().map(|&e| (e, gathered.clone())).collect()
+                netlist
+                    .out_edges(node)
+                    .iter()
+                    .map(|&e| (e, gathered.clone()))
+                    .collect()
             }
-            Component::Mux => {
-                netlist.out_edges(node).iter().map(|&e| (e, gathered.clone())).collect()
-            }
+            Component::Mux => netlist
+                .out_edges(node)
+                .iter()
+                .map(|&e| (e, gathered.clone()))
+                .collect(),
             Component::OutputPort(port) => {
                 for s in &gathered {
                     received
-                        .entry(Endpoint { port: *port, wavelength: s.wavelength })
+                        .entry(Endpoint {
+                            port: *port,
+                            wavelength: s.wavelength,
+                        })
                         .or_default()
                         .push(*s);
                 }
@@ -211,8 +245,17 @@ pub fn propagate(
         }
     }
 
-    let edge_load = edge_signals.iter().map(|s| s.len().min(u8::MAX as usize) as u8).collect();
-    PropagationOutcome { received, errors, edge_load, crosstalk_exposure, edge_signals }
+    let edge_load = edge_signals
+        .iter()
+        .map(|s| s.len().min(u8::MAX as usize) as u8)
+        .collect();
+    PropagationOutcome {
+        received,
+        errors,
+        edge_load,
+        crosstalk_exposure,
+        edge_signals,
+    }
 }
 
 /// Follow the unique downstream chain from `node` (gate → combiner →
@@ -239,7 +282,10 @@ mod tests {
     use wdm_core::PortId;
 
     fn sig(p: u32, w: u32) -> Signal {
-        Signal { origin: Endpoint::new(p, w), wavelength: WavelengthId(w) }
+        Signal {
+            origin: Endpoint::new(p, w),
+            wavelength: WavelengthId(w),
+        }
     }
 
     /// input ── splitter ──┬─ gate_a ── combiner ── output0
@@ -322,7 +368,10 @@ mod tests {
         inj.insert(1, vec![sig(1, 1)]);
         let o = propagate(&nl, &inj);
         assert_eq!(o.errors.len(), 1);
-        assert!(matches!(o.errors[0], PropagationError::CombinerConflict { lit_inputs: 2, .. }));
+        assert!(matches!(
+            o.errors[0],
+            PropagationError::CombinerConflict { lit_inputs: 2, .. }
+        ));
     }
 
     #[test]
@@ -338,12 +387,18 @@ mod tests {
         nl.connect_simple(mux, out);
         let mut inj = BTreeMap::new();
         inj.insert(0, vec![sig(0, 0)]);
-        inj.insert(1, vec![Signal { origin: Endpoint::new(1, 0), wavelength: WavelengthId(0) }]);
+        inj.insert(
+            1,
+            vec![Signal {
+                origin: Endpoint::new(1, 0),
+                wavelength: WavelengthId(0),
+            }],
+        );
         let o = propagate(&nl, &inj);
-        assert!(o
-            .errors
-            .iter()
-            .any(|e| matches!(e, PropagationError::WavelengthCollision { wavelength: 0, .. })));
+        assert!(o.errors.iter().any(|e| matches!(
+            e,
+            PropagationError::WavelengthCollision { wavelength: 0, .. }
+        )));
     }
 
     #[test]
@@ -369,7 +424,10 @@ mod tests {
     fn converter_rewrites_wavelength() {
         let mut nl = Netlist::new();
         let inp = nl.add(Component::InputPort(PortId(0)));
-        let cvt = nl.add(Component::Converter { target: Some(WavelengthId(1)), broken: false });
+        let cvt = nl.add(Component::Converter {
+            target: Some(WavelengthId(1)),
+            broken: false,
+        });
         let out = nl.add(Component::OutputPort(PortId(0)));
         nl.connect_simple(inp, cvt);
         nl.connect_simple(cvt, out);
@@ -386,7 +444,10 @@ mod tests {
     fn broken_converter_is_transparent() {
         let mut nl = Netlist::new();
         let inp = nl.add(Component::InputPort(PortId(0)));
-        let cvt = nl.add(Component::Converter { target: Some(WavelengthId(1)), broken: true });
+        let cvt = nl.add(Component::Converter {
+            target: Some(WavelengthId(1)),
+            broken: true,
+        });
         let out = nl.add(Component::OutputPort(PortId(0)));
         nl.connect_simple(inp, cvt);
         nl.connect_simple(cvt, out);
@@ -421,7 +482,10 @@ mod tests {
     fn converter_overload_detected() {
         let mut nl = Netlist::new();
         let inp = nl.add(Component::InputPort(PortId(0)));
-        let cvt = nl.add(Component::Converter { target: Some(WavelengthId(0)), broken: false });
+        let cvt = nl.add(Component::Converter {
+            target: Some(WavelengthId(0)),
+            broken: false,
+        });
         let out = nl.add(Component::OutputPort(PortId(0)));
         nl.connect_simple(inp, cvt);
         nl.connect_simple(cvt, out);

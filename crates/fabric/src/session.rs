@@ -72,8 +72,10 @@ impl CrossbarSession {
         let conn = self.live.remove(src)?;
         let k = self.network().wavelengths;
         for &dst in conn.destinations() {
-            let gate =
-                self.xbar.gate_between(src, dst).expect("routed connection had a gate path");
+            let gate = self
+                .xbar
+                .gate_between(src, dst)
+                .expect("routed connection had a gate path");
             self.xbar.set_gate_raw(gate, false);
         }
         if self.xbar.model() == MulticastModel::Msdw {
@@ -96,7 +98,9 @@ impl CrossbarSession {
                 .flat_map(|c| c.destinations().iter().copied())
                 .find(|&d| outcome.received_at(d).len() != 1)
                 .or_else(|| {
-                    outcome.lit_outputs().find(|ep| self.live.output_user(*ep).is_none())
+                    outcome
+                        .lit_outputs()
+                        .find(|ep| self.live.output_user(*ep).is_none())
                 })
                 .expect("deviating endpoint exists");
             return Err(FabricError::DeliveryFailure { endpoint: bad });
@@ -193,7 +197,9 @@ mod tests {
                 }
                 // Same light, both ways.
                 let inc = session.verify().expect("incremental config verifies");
-                let bat = batch.route_verified(session.assignment()).expect("batch verifies");
+                let bat = batch
+                    .route_verified(session.assignment())
+                    .expect("batch verifies");
                 let a: Vec<_> = inc.lit_outputs().collect();
                 let b: Vec<_> = bat.lit_outputs().collect();
                 assert_eq!(a, b, "{model}");
@@ -215,12 +221,19 @@ mod tests {
 
         impl Gen {
             pub fn new(net: NetworkConfig, model: MulticastModel, seed: u64) -> Self {
-                Gen { rng: StdRng::seed_from_u64(seed), net, model }
+                Gen {
+                    rng: StdRng::seed_from_u64(seed),
+                    net,
+                    model,
+                }
             }
 
             pub fn next(&mut self, asg: &MulticastAssignment) -> Option<MulticastConnection> {
-                let free: Vec<Endpoint> =
-                    self.net.endpoints().filter(|&e| !asg.input_busy(e)).collect();
+                let free: Vec<Endpoint> = self
+                    .net
+                    .endpoints()
+                    .filter(|&e| !asg.input_busy(e))
+                    .collect();
                 if free.is_empty() {
                     return None;
                 }

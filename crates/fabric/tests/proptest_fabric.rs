@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use wdm_core::{
-    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
-    NetworkConfig,
+    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
 };
 use wdm_fabric::{PowerParams, WdmCrossbar};
 
@@ -19,7 +18,10 @@ fn random_assignment(
 ) -> MulticastAssignment {
     let mut asg = MulticastAssignment::new(net, model);
     for _ in 0..attempts {
-        let src = Endpoint::new(rng.gen_range(0..net.ports), rng.gen_range(0..net.wavelengths));
+        let src = Endpoint::new(
+            rng.gen_range(0..net.ports),
+            rng.gen_range(0..net.wavelengths),
+        );
         let fanout = rng.gen_range(1..=net.ports);
         let mut ports: Vec<u32> = (0..net.ports).collect();
         // partial Fisher–Yates for a random port subset

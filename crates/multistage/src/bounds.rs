@@ -81,7 +81,11 @@ fn minimize(n: u32, r: u32, rhs: impl Fn(u32) -> f64) -> MiddleBound {
         .expect("x range is never empty");
     // Strict inequality: the smallest integer m with m > rhs.
     let m = (best_rhs.floor() as u32) + 1;
-    MiddleBound { m, x: best_x, rhs: best_rhs }
+    MiddleBound {
+        m,
+        x: best_x,
+        rhs: best_rhs,
+    }
 }
 
 /// The §3.4 closed form obtained from Theorem 1 with
@@ -140,7 +144,13 @@ mod tests {
     #[test]
     fn theorem2_never_below_theorem1() {
         // MAW-dominant needs at least as many middle switches (§3.4).
-        for (n, r, k) in [(4u32, 4u32, 2u32), (4, 4, 4), (8, 8, 2), (3, 9, 3), (6, 6, 8)] {
+        for (n, r, k) in [
+            (4u32, 4u32, 2u32),
+            (4, 4, 4),
+            (8, 8, 2),
+            (3, 9, 3),
+            (6, 6, 8),
+        ] {
             let t1 = theorem1_min_m(n, r).m;
             let t2 = theorem2_min_m(n, r, k).m;
             assert!(t2 >= t1, "n={n} r={r} k={k}: {t2} < {t1}");

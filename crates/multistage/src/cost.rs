@@ -62,7 +62,10 @@ pub fn three_stage_cost(
     let converters = r * module_converters(n, m, k, first_two)
         + m * module_converters(r, r, k, first_two)
         + r * module_converters(m, n, k, output_model);
-    NetworkCost { crosspoints, converters }
+    NetworkCost {
+        crosspoints,
+        converters,
+    }
 }
 
 /// Cost of the single-stage crossbar baseline (Table 1 rows of Table 2).
@@ -78,7 +81,11 @@ pub fn crossbar_cost(ports: u64, k: u64, model: MulticastModel) -> NetworkCost {
 
 /// The §3.4 recommended design for `N` ports (perfect square): square
 /// decomposition `n = r = √N`, `m` from Theorem 1, MSW-dominant.
-pub fn recommended_design(ports: u32, k: u32, output_model: MulticastModel) -> (ThreeStageParams, NetworkCost) {
+pub fn recommended_design(
+    ports: u32,
+    k: u32,
+    output_model: MulticastModel,
+) -> (ThreeStageParams, NetworkCost) {
     let p = ThreeStageParams::square(ports, k);
     let cost = three_stage_cost(p, Construction::MswDominant, output_model);
     (p, cost)
@@ -93,12 +100,7 @@ pub fn recommended_design(ports: u32, k: u32, output_model: MulticastModel) -> (
 ///
 /// Only perfect-square sizes are decomposed; recursion stops early when
 /// `r` is not a perfect square or too small to profit.
-pub fn recursive_crosspoints(
-    ports: u64,
-    k: u64,
-    output_model: MulticastModel,
-    depth: u32,
-) -> u64 {
+pub fn recursive_crosspoints(ports: u64, k: u64, output_model: MulticastModel, depth: u32) -> u64 {
     if depth == 0 || ports < 16 {
         return crossbar_cost(ports, k, output_model).crosspoints;
     }

@@ -29,7 +29,10 @@ impl DestinationMultiset {
     /// `k`.
     pub fn new(r: u32, k: u32) -> Self {
         assert!(k > 0, "wavelength bound must be positive");
-        DestinationMultiset { k, counts: vec![0; r as usize] }
+        DestinationMultiset {
+            k,
+            counts: vec![0; r as usize],
+        }
     }
 
     /// Build from explicit multiplicities (each must be ≤ k).
@@ -41,6 +44,11 @@ impl DestinationMultiset {
     /// Number of output switches `r`.
     pub fn len(&self) -> usize {
         self.counts.len()
+    }
+
+    /// `true` iff `r == 0` (no output switches tracked).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
     }
 
     /// `true` iff `r == 0` (no output switches tracked).
@@ -64,13 +72,19 @@ impl DestinationMultiset {
     /// [`is_saturated`](Self::is_saturated) first (links have only `k`
     /// wavelengths).
     pub fn add(&mut self, p: u32) {
-        assert!(self.counts[p as usize] < self.k, "output switch {p} already saturated");
+        assert!(
+            self.counts[p as usize] < self.k,
+            "output switch {p} already saturated"
+        );
         self.counts[p as usize] += 1;
     }
 
     /// Remove one connection toward output switch `p`.
     pub fn remove(&mut self, p: u32) {
-        assert!(self.counts[p as usize] > 0, "output switch {p} has no connections");
+        assert!(
+            self.counts[p as usize] > 0,
+            "output switch {p} has no connections"
+        );
         self.counts[p as usize] -= 1;
     }
 

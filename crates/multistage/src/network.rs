@@ -47,7 +47,10 @@ impl core::fmt::Display for RouteError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RouteError::Assignment(e) => write!(f, "assignment conflict: {e}"),
-            RouteError::Blocked { available_middles, x_limit } => write!(
+            RouteError::Blocked {
+                available_middles,
+                x_limit,
+            } => write!(
                 f,
                 "blocked: no ≤{x_limit}-middle cover among {available_middles} available switches"
             ),
@@ -152,9 +155,7 @@ impl ThreeStageNetwork {
         assert!(params.k <= 64, "wavelength masks are u64-backed (k ≤ 64)");
         let x = match construction {
             Construction::MswDominant => bounds::theorem1_min_m(params.n, params.r).x,
-            Construction::MawDominant => {
-                bounds::theorem2_min_m(params.n, params.r, params.k).x
-            }
+            Construction::MawDominant => bounds::theorem2_min_m(params.n, params.r, params.k).x,
         };
         ThreeStageNetwork {
             params,
@@ -228,7 +229,7 @@ impl ThreeStageNetwork {
 
     /// `true` iff a converter may move wavelength `a` to wavelength `b`.
     fn convertible(&self, a: u32, b: u32) -> bool {
-        self.conversion_range.map_or(true, |d| a.abs_diff(b) <= d)
+        self.conversion_range.is_none_or(|d| a.abs_diff(b) <= d)
     }
 
     /// Number of active connections.
@@ -287,7 +288,8 @@ impl ThreeStageNetwork {
             .available_middles(in_module, src.wavelength.0)
             .into_iter()
             .filter_map(|j| {
-                self.branch_wavelength(in_module, j, src.wavelength.0).map(|wi| (j, wi))
+                self.branch_wavelength(in_module, j, src.wavelength.0)
+                    .map(|wi| (j, wi))
             })
             .collect();
         match self.strategy {
@@ -295,8 +297,9 @@ impl ThreeStageNetwork {
             SelectionStrategy::Pack => available_wi.sort_by_key(|&(j, _)| {
                 std::cmp::Reverse(self.multisets[j as usize].total_connections())
             }),
-            SelectionStrategy::Spread => available_wi
-                .sort_by_key(|&(j, _)| self.multisets[j as usize].total_connections()),
+            SelectionStrategy::Spread => {
+                available_wi.sort_by_key(|&(j, _)| self.multisets[j as usize].total_connections())
+            }
         }
         let available: Vec<u32> = available_wi.iter().map(|&(j, _)| j).collect();
         let modules: Vec<u32> = by_module.keys().copied().collect();
@@ -312,7 +315,10 @@ impl ThreeStageNetwork {
             .collect();
 
         let cover = find_cover(&modules, &available, &serv, self.x_limit as usize).ok_or(
-            RouteError::Blocked { available_middles: available.len(), x_limit: self.x_limit },
+            RouteError::Blocked {
+                available_middles: available.len(),
+                x_limit: self.x_limit,
+            },
         )?;
 
         // Commit.
@@ -331,23 +337,36 @@ impl ThreeStageNetwork {
                     .expect("cover legs are serviceable");
                 self.middle_links[j as usize][om as usize] |= 1 << wl;
                 self.multisets[j as usize].add(om);
-                legs.push(Leg { out_module: om, wavelength: wl, dests: by_module[&om].clone() });
+                legs.push(Leg {
+                    out_module: om,
+                    wavelength: wl,
+                    dests: by_module[&om].clone(),
+                });
             }
-            branches.push(Branch { middle: j, input_wavelength: in_wl, legs });
+            branches.push(Branch {
+                middle: j,
+                input_wavelength: in_wl,
+                legs,
+            });
         }
 
         self.assignment.add(conn).expect("checked before routing");
-        self.routed.insert(src, RoutedConnection { source: src, branches });
+        self.routed.insert(
+            src,
+            RoutedConnection {
+                source: src,
+                branches,
+            },
+        );
         Ok(&self.routed[&src])
     }
 
     /// Tear down the connection sourced at `src`, freeing every wavelength
     /// it occupied.
     pub fn disconnect(&mut self, src: Endpoint) -> Result<RoutedConnection, RouteError> {
-        let routed = self
-            .routed
-            .remove(&src)
-            .ok_or(RouteError::Assignment(AssignmentError::NoSuchConnection(src)))?;
+        let routed = self.routed.remove(&src).ok_or(RouteError::Assignment(
+            AssignmentError::NoSuchConnection(src),
+        ))?;
         let (in_module, _) = self.params.input_module_of(src.port.0);
         for b in &routed.branches {
             self.input_links[in_module as usize][b.middle as usize] &= !(1 << b.input_wavelength);
@@ -357,7 +376,9 @@ impl ThreeStageNetwork {
                 self.multisets[b.middle as usize].remove(leg.out_module);
             }
         }
-        self.assignment.remove(src).expect("routed connection is in the assignment");
+        self.assignment
+            .remove(src)
+            .expect("routed connection is in the assignment");
         Ok(routed)
     }
 
@@ -369,8 +390,9 @@ impl ThreeStageNetwork {
         match self.construction {
             Construction::MswDominant => (mask & (1 << src_wl) == 0).then_some(src_wl),
             // The stage-1 MAW module converts src_wl → wi within reach.
-            Construction::MawDominant => (0..self.params.k)
-                .find(|&w| mask & (1 << w) == 0 && self.convertible(src_wl, w)),
+            Construction::MawDominant => {
+                (0..self.params.k).find(|&w| mask & (1 << w) == 0 && self.convertible(src_wl, w))
+            }
         }
     }
 
@@ -387,9 +409,7 @@ impl ThreeStageNetwork {
             // One conversion to the (uniform) destination wavelength.
             MulticastModel::Msdw => self.convertible(wl, dests[0].wavelength.0),
             // One conversion per destination endpoint.
-            MulticastModel::Maw => {
-                dests.iter().all(|d| self.convertible(wl, d.wavelength.0))
-            }
+            MulticastModel::Maw => dests.iter().all(|d| self.convertible(wl, d.wavelength.0)),
         };
         let candidates: Vec<u32> = match (self.construction, self.output_model) {
             // MSW middles emit the arriving wavelength only.
@@ -401,15 +421,18 @@ impl ThreeStageNetwork {
             }
             (Construction::MawDominant, _) => (0..self.params.k).collect(),
         };
-        candidates.into_iter().find(|&wl| {
-            mask & (1 << wl) == 0 && self.convertible(wi, wl) && reaches_dests(wl)
-        })
+        candidates
+            .into_iter()
+            .find(|&wl| mask & (1 << wl) == 0 && self.convertible(wi, wl) && reaches_dests(wl))
     }
 
     /// Per-middle-switch connection totals (for load-balance analysis of
     /// the selection strategies): `loads[j] = Σ_p multiplicity(p in M_j)`.
     pub fn middle_loads(&self) -> Vec<u64> {
-        self.multisets.iter().map(|m| m.total_connections()).collect()
+        self.multisets
+            .iter()
+            .map(|m| m.total_connections())
+            .collect()
     }
 
     /// Load-imbalance measure across the middle stage: `max − min` of
@@ -465,7 +488,10 @@ impl ThreeStageNetwork {
             for p in 0..self.params.r {
                 let live = self.middle_links[j][p as usize].count_ones();
                 if ms.multiplicity(p) != live {
-                    problems.push(format!("multiset M_{j}[{p}] = {} ≠ {live}", ms.multiplicity(p)));
+                    problems.push(format!(
+                        "multiset M_{j}[{p}] = {} ≠ {live}",
+                        ms.multiplicity(p)
+                    ));
                 }
             }
         }
@@ -496,18 +522,21 @@ fn find_cover(
         // First maximal gain wins, so the caller's ordering of
         // `available` (the selection strategy) breaks ties.
         let mut best: Option<(usize, usize)> = None;
-        for i in 0..available.len() {
+        for (i, served) in serv.iter().enumerate().take(available.len()) {
             if picks.contains(&i) {
                 continue;
             }
-            let gain = serv[i].iter().filter(|m| uncovered.contains(m)).count();
-            if best.map_or(true, |(_, g)| gain > g) {
+            let gain = served.iter().filter(|m| uncovered.contains(m)).count();
+            if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((i, gain));
             }
         }
         let best = best?.0;
-        let gain: Vec<u32> =
-            serv[best].iter().copied().filter(|m| uncovered.contains(m)).collect();
+        let gain: Vec<u32> = serv[best]
+            .iter()
+            .copied()
+            .filter(|m| uncovered.contains(m))
+            .collect();
         if gain.is_empty() {
             break;
         }
@@ -542,15 +571,21 @@ fn find_cover(
         // Prune: even taking the largest remaining service sets cannot
         // finish in the budget.
         let budget = x - chosen.len();
-        let optimistic: usize =
-            order[start..].iter().take(budget).map(|&i| serv[i].len()).sum();
+        let optimistic: usize = order[start..]
+            .iter()
+            .take(budget)
+            .map(|&i| serv[i].len())
+            .sum();
         if optimistic < uncovered.len() {
             return false;
         }
         for idx in start..order.len() {
             let i = order[idx];
-            let gain: Vec<u32> =
-                serv[i].iter().copied().filter(|m| uncovered.contains(m)).collect();
+            let gain: Vec<u32> = serv[i]
+                .iter()
+                .copied()
+                .filter(|m| uncovered.contains(m))
+                .collect();
             if gain.is_empty() {
                 continue;
             }
@@ -613,7 +648,10 @@ mod tests {
     #[test]
     fn routes_simple_multicast() {
         let mut net = msw_net();
-        let rc = net.connect(conn((0, 0), &[(1, 0), (2, 0), (3, 0)])).unwrap().clone();
+        let rc = net
+            .connect(conn((0, 0), &[(1, 0), (2, 0), (3, 0)]))
+            .unwrap()
+            .clone();
         assert!(rc.middle_count() <= net.fanout_limit() as usize);
         let legs: usize = rc.branches.iter().map(|b| b.legs.len()).sum();
         assert_eq!(legs, 2); // output modules {0,1} → 2 legs... port1→module0, ports2,3→module1
@@ -636,7 +674,8 @@ mod tests {
     #[test]
     fn disconnect_frees_everything() {
         let mut net = msw_net();
-        net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).unwrap();
+        net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            .unwrap();
         net.disconnect(Endpoint::new(0, 0)).unwrap();
         assert_eq!(net.active_connections(), 0);
         assert!(net.check_consistency().is_empty());
@@ -644,7 +683,9 @@ mod tests {
             assert_eq!(net.multiset(j).total_connections(), 0);
         }
         // The exact same connection routes again.
-        assert!(net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).is_ok());
+        assert!(net
+            .connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            .is_ok());
     }
 
     #[test]
@@ -652,9 +693,15 @@ mod tests {
         let mut net = msw_net();
         net.connect(conn((0, 0), &[(1, 0)])).unwrap();
         let err = net.connect(conn((1, 0), &[(1, 0)])).unwrap_err();
-        assert!(matches!(err, RouteError::Assignment(AssignmentError::DestinationBusy(_))));
+        assert!(matches!(
+            err,
+            RouteError::Assignment(AssignmentError::DestinationBusy(_))
+        ));
         let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
-        assert!(matches!(err, RouteError::Assignment(AssignmentError::SourceBusy(_))));
+        assert!(matches!(
+            err,
+            RouteError::Assignment(AssignmentError::SourceBusy(_))
+        ));
     }
 
     #[test]
@@ -676,7 +723,13 @@ mod tests {
         net.set_fanout_limit(1);
         net.connect(conn((0, 0), &[(2, 0)])).unwrap();
         let err = net.connect(conn((1, 0), &[(3, 0)])).unwrap_err();
-        assert!(matches!(err, RouteError::Blocked { available_middles: 0, .. }));
+        assert!(matches!(
+            err,
+            RouteError::Blocked {
+                available_middles: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -733,11 +786,11 @@ mod tests {
         // should distribute them; Pack should pile them up.
         let p = ThreeStageParams::new(4, 10, 4, 1);
         let imbalance = |strategy| {
-            let mut net =
-                ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+            let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
             net.set_strategy(strategy);
             for i in 0..8u32 {
-                net.connect(conn((i % 16, 0), &[((i + 3) % 16, 0)])).unwrap();
+                net.connect(conn((i % 16, 0), &[((i + 3) % 16, 0)]))
+                    .unwrap();
             }
             net.middle_imbalance()
         };
@@ -793,7 +846,7 @@ mod tests {
         assert_eq!(rc.branches[0].input_wavelength, 1); // λ1 source → λ2
         let rc = net.connect(conn((0, 1), &[(2, 1)])).unwrap().clone();
         assert_eq!(rc.branches[0].input_wavelength, 2); // λ2 source → λ3
-        // A fourth, λ2 source: only λ4 is free, two hops away — blocked.
+                                                        // A fourth, λ2 source: only λ4 is free, two hops away — blocked.
         assert!(matches!(
             net.connect(conn((1, 1), &[(3, 1)])),
             Err(RouteError::Blocked { .. })
@@ -806,10 +859,10 @@ mod tests {
         // reach of 0 changes nothing.
         let p = ThreeStageParams::new(2, 4, 2, 2);
         for range in [None, Some(0)] {
-            let mut net =
-                ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+            let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
             net.set_conversion_range(range);
-            net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).unwrap();
+            net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+                .unwrap();
             net.connect(conn((0, 1), &[(2, 1), (3, 1)])).unwrap();
             assert_eq!(net.active_connections(), 2);
         }
@@ -843,8 +896,10 @@ mod tests {
         let available = [10, 11, 12, 13];
         let serv = vec![vec![0, 1], vec![2, 3], vec![0, 2], vec![1, 3]];
         let cover = find_cover(&modules, &available, &serv, 2).unwrap();
-        let covered: std::collections::BTreeSet<u32> =
-            cover.iter().flat_map(|(_, ms)| ms.iter().copied()).collect();
+        let covered: std::collections::BTreeSet<u32> = cover
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().copied())
+            .collect();
         assert_eq!(covered.len(), 4);
         // x=1 is impossible.
         assert!(find_cover(&modules, &available, &serv, 1).is_none());

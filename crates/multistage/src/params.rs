@@ -26,7 +26,10 @@ impl ThreeStageParams {
     /// Panics if any dimension is zero (`m ≥ n` is the paper's usual
     /// assumption but not structurally required, so it is not enforced).
     pub fn new(n: u32, m: u32, r: u32, k: u32) -> Self {
-        assert!(n > 0 && m > 0 && r > 0 && k > 0, "all dimensions must be positive");
+        assert!(
+            n > 0 && m > 0 && r > 0 && k > 0,
+            "all dimensions must be positive"
+        );
         ThreeStageParams { n, m, r, k }
     }
 
@@ -36,7 +39,11 @@ impl ThreeStageParams {
     /// Panics unless `n_side · n_side == ports`.
     pub fn square(ports: u32, k: u32) -> Self {
         let side = (ports as f64).sqrt().round() as u32;
-        assert_eq!(side * side, ports, "square() needs a perfect-square port count");
+        assert_eq!(
+            side * side,
+            ports,
+            "square() needs a perfect-square port count"
+        );
         let m = crate::bounds::theorem1_min_m(side, side).m;
         ThreeStageParams::new(side, m, side, k)
     }

@@ -65,7 +65,12 @@ impl PhotonicThreeStage {
             .map(|_| {
                 WdmModule::build_into(
                     &mut netlist,
-                    ModuleSpec { in_ports: n, out_ports: m, wavelengths: k, model: first_two },
+                    ModuleSpec {
+                        in_ports: n,
+                        out_ports: m,
+                        wavelengths: k,
+                        model: first_two,
+                    },
                 )
             })
             .collect();
@@ -73,7 +78,12 @@ impl PhotonicThreeStage {
             .map(|_| {
                 WdmModule::build_into(
                     &mut netlist,
-                    ModuleSpec { in_ports: r, out_ports: r, wavelengths: k, model: first_two },
+                    ModuleSpec {
+                        in_ports: r,
+                        out_ports: r,
+                        wavelengths: k,
+                        model: first_two,
+                    },
                 )
             })
             .collect();
@@ -81,7 +91,12 @@ impl PhotonicThreeStage {
             .map(|_| {
                 WdmModule::build_into(
                     &mut netlist,
-                    ModuleSpec { in_ports: m, out_ports: n, wavelengths: k, model: output_model },
+                    ModuleSpec {
+                        in_ports: m,
+                        out_ports: n,
+                        wavelengths: k,
+                        model: output_model,
+                    },
                 )
             })
             .collect();
@@ -94,20 +109,14 @@ impl PhotonicThreeStage {
         }
         // Inter-stage fibers: input a → middle j on (a's output j, j's input a),
         // middle j → output p on (j's output p, p's input j).
-        for a in 0..r as usize {
-            for j in 0..m as usize {
-                netlist.connect_simple(
-                    input_modules[a].output_muxes[j],
-                    middle_modules[j].input_taps[a],
-                );
+        for (a, im) in input_modules.iter().enumerate().take(r as usize) {
+            for (j, mm) in middle_modules.iter().enumerate().take(m as usize) {
+                netlist.connect_simple(im.output_muxes[j], mm.input_taps[a]);
             }
         }
-        for j in 0..m as usize {
-            for p in 0..r as usize {
-                netlist.connect_simple(
-                    middle_modules[j].output_muxes[p],
-                    output_modules[p].input_taps[j],
-                );
+        for (j, mm) in middle_modules.iter().enumerate().take(m as usize) {
+            for (p, om) in output_modules.iter().enumerate().take(r as usize) {
+                netlist.connect_simple(mm.output_muxes[p], om.input_taps[j]);
             }
         }
         for p in 0..n * r {
@@ -124,7 +133,11 @@ impl PhotonicThreeStage {
             middle_modules,
             output_modules,
         };
-        debug_assert!(net.netlist.validate().is_empty(), "{:?}", net.netlist.validate());
+        debug_assert!(
+            net.netlist.validate().is_empty(),
+            "{:?}",
+            net.netlist.validate()
+        );
         net
     }
 
@@ -174,8 +187,11 @@ impl PhotonicThreeStage {
         assert_eq!(logical.params(), self.params, "geometry mismatch");
         assert_eq!(logical.output_model(), self.output_model, "model mismatch");
 
-        for module in
-            self.input_modules.iter().chain(&self.middle_modules).chain(&self.output_modules)
+        for module in self
+            .input_modules
+            .iter()
+            .chain(&self.middle_modules)
+            .chain(&self.output_modules)
         {
             module.reset(&mut self.netlist);
         }
@@ -186,10 +202,13 @@ impl PhotonicThreeStage {
                 .route_of(conn.source())
                 .expect("every live connection has a recorded route");
             self.program_connection(conn, routed);
-            injections.entry(conn.source().port.0).or_default().push(Signal {
-                origin: conn.source(),
-                wavelength: conn.source().wavelength,
-            });
+            injections
+                .entry(conn.source().port.0)
+                .or_default()
+                .push(Signal {
+                    origin: conn.source(),
+                    wavelength: conn.source().wavelength,
+                });
         }
 
         let outcome = propagate(&self.netlist, &injections);
@@ -202,7 +221,11 @@ impl PhotonicThreeStage {
                 .connections()
                 .flat_map(|c| c.destinations().iter().copied())
                 .find(|&d| outcome.received_at(d).len() != 1)
-                .or_else(|| outcome.lit_outputs().find(|ep| logical.assignment().output_user(*ep).is_none()))
+                .or_else(|| {
+                    outcome
+                        .lit_outputs()
+                        .find(|ep| logical.assignment().output_user(*ep).is_none())
+                })
                 .expect("some endpoint deviates");
             return Err(FabricError::DeliveryFailure { endpoint: missing });
         }
@@ -242,8 +265,7 @@ impl PhotonicThreeStage {
                 }
                 for &dest in &leg.dests {
                     let (_, local_out) = self.params.output_module_of(dest.port.0);
-                    let out_flat =
-                        Endpoint::new(local_out, dest.wavelength.0).flat_index(k);
+                    let out_flat = Endpoint::new(local_out, dest.wavelength.0).flat_index(k);
                     self.output_modules[p].set_gate(&mut self.netlist, in_flat, out_flat, true);
                 }
             }
@@ -275,7 +297,10 @@ mod tests {
                     let census = photonic.census();
                     let expect = cost::three_stage_cost(p, construction, model);
                     assert_eq!(census.gates, expect.crosspoints, "{construction} {model}");
-                    assert_eq!(census.converters, expect.converters, "{construction} {model}");
+                    assert_eq!(
+                        census.converters, expect.converters,
+                        "{construction} {model}"
+                    );
                     assert!(photonic.netlist().validate().is_empty());
                 }
             }
@@ -285,13 +310,16 @@ mod tests {
     #[test]
     fn light_follows_the_logical_route() {
         let p = ThreeStageParams::new(2, 4, 2, 2);
-        let mut logical =
-            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-        logical.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)])).unwrap();
+        let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        logical
+            .connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            .unwrap();
         logical.connect(conn((1, 1), &[(2, 1)])).unwrap();
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
-        let outcome = photonic.realize(&logical).expect("light must follow the route");
+        let outcome = photonic
+            .realize(&logical)
+            .expect("light must follow the route");
         assert!(outcome.delivered_exactly(logical.assignment()));
     }
 
@@ -300,8 +328,7 @@ mod tests {
         // Fig. 10's routable half: MAW-dominant converts λ1→λ2→λ1 across
         // the first two stages; verify the actual light does that.
         let p = crate::scenarios::fig10_params();
-        let mut logical =
-            ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        let mut logical = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         logical.set_fanout_limit(1);
         for req in crate::scenarios::fig10_requests() {
             logical.connect(req).unwrap();
@@ -319,7 +346,9 @@ mod tests {
             ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msdw);
         // Source λ1, destinations uniformly λ2 — the output stage must
         // convert.
-        logical.connect(conn((0, 0), &[(1, 1), (2, 1), (3, 1)])).unwrap();
+        logical
+            .connect(conn((0, 0), &[(1, 1), (2, 1), (3, 1)]))
+            .unwrap();
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msdw);
         let outcome = photonic.realize(&logical).unwrap();
@@ -332,8 +361,7 @@ mod tests {
         let (n, r, k) = (2u32, 2u32, 2u32);
         let m = bounds::theorem1_min_m(n, r).m;
         let p = ThreeStageParams::new(n, m, r, k);
-        let mut logical =
-            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
         let mut rng = StdRng::seed_from_u64(5);
@@ -361,18 +389,20 @@ mod tests {
                     live.push(src);
                 }
             }
-            let outcome = photonic.realize(&logical).unwrap_or_else(|e| {
-                panic!("photonic divergence at step {step}: {e}")
-            });
-            assert!(outcome.delivered_exactly(logical.assignment()), "step {step}");
+            let outcome = photonic
+                .realize(&logical)
+                .unwrap_or_else(|e| panic!("photonic divergence at step {step}: {e}"));
+            assert!(
+                outcome.delivered_exactly(logical.assignment()),
+                "step {step}"
+            );
         }
     }
 
     #[test]
     fn power_budget_reflects_three_passive_stages() {
         let p = ThreeStageParams::new(4, 13, 4, 2);
-        let photonic =
-            PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
+        let photonic = PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
         let flat = wdm_fabric::WdmCrossbar::build(p.network(), MulticastModel::Msw);
         let params = PowerParams::default();
         let three = photonic.power_budget(&params);

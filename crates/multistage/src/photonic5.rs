@@ -49,7 +49,12 @@ impl PhotonicFiveStage {
             .map(|_| {
                 WdmModule::build_into(
                     &mut nl,
-                    ModuleSpec { in_ports: n, out_ports: m, wavelengths: k, model: first_two },
+                    ModuleSpec {
+                        in_ports: n,
+                        out_ports: m,
+                        wavelengths: k,
+                        model: first_two,
+                    },
                 )
             })
             .collect();
@@ -100,7 +105,12 @@ impl PhotonicFiveStage {
             .map(|_| {
                 WdmModule::build_into(
                     &mut nl,
-                    ModuleSpec { in_ports: m, out_ports: n, wavelengths: k, model: output_model },
+                    ModuleSpec {
+                        in_ports: m,
+                        out_ports: n,
+                        wavelengths: k,
+                        model: output_model,
+                    },
                 )
             })
             .collect();
@@ -161,7 +171,11 @@ impl PhotonicFiveStage {
             inners,
             stage5,
         };
-        debug_assert!(ph.netlist.validate().is_empty(), "{:?}", ph.netlist.validate());
+        debug_assert!(
+            ph.netlist.validate().is_empty(),
+            "{:?}",
+            ph.netlist.validate()
+        );
         ph
     }
 
@@ -183,15 +197,25 @@ impl PhotonicFiveStage {
     /// Program all five stages from `five`'s live routing state, shine
     /// light, and verify exact delivery.
     pub fn realize(&mut self, five: &FiveStageNetwork) -> Result<PropagationOutcome, FabricError> {
-        assert_eq!(five.outer_params(), self.outer_params, "outer geometry mismatch");
-        assert_eq!(five.inner_params(), self.inner_params, "inner geometry mismatch");
+        assert_eq!(
+            five.outer_params(),
+            self.outer_params,
+            "outer geometry mismatch"
+        );
+        assert_eq!(
+            five.inner_params(),
+            self.inner_params,
+            "inner geometry mismatch"
+        );
 
         for module in self
             .stage1
             .iter()
-            .chain(self.inners.iter().flat_map(|c| {
-                c.input.iter().chain(&c.middle).chain(&c.output)
-            }))
+            .chain(
+                self.inners
+                    .iter()
+                    .flat_map(|c| c.input.iter().chain(&c.middle).chain(&c.output)),
+            )
             .chain(&self.stage5)
         {
             module.reset(&mut self.netlist);
@@ -205,18 +229,22 @@ impl PhotonicFiveStage {
             .outer()
             .assignment()
             .connections()
-            .map(|c| (c.source(), five.outer().route_of(c.source()).unwrap().clone()))
+            .map(|c| {
+                (
+                    c.source(),
+                    five.outer().route_of(c.source()).unwrap().clone(),
+                )
+            })
             .collect();
         for (src, routed) in &outer_conns {
             let (a, local_in) = self.outer_params.input_module_of(src.port.0);
-            injections
-                .entry(src.port.0)
-                .or_default()
-                .push(Signal { origin: *src, wavelength: src.wavelength });
+            injections.entry(src.port.0).or_default().push(Signal {
+                origin: *src,
+                wavelength: src.wavelength,
+            });
             for branch in &routed.branches {
                 let in_flat = Endpoint::new(local_in, src.wavelength.0).flat_index(k);
-                let out_flat =
-                    Endpoint::new(branch.middle, branch.input_wavelength).flat_index(k);
+                let out_flat = Endpoint::new(branch.middle, branch.input_wavelength).flat_index(k);
                 self.stage1[a as usize].set_gate(&mut self.netlist, in_flat, out_flat, true);
                 for leg in &branch.legs {
                     let p = leg.out_module as usize;
@@ -230,8 +258,7 @@ impl PhotonicFiveStage {
                     }
                     for &dest in &leg.dests {
                         let (_, local_out) = self.outer_params.output_module_of(dest.port.0);
-                        let out_flat =
-                            Endpoint::new(local_out, dest.wavelength.0).flat_index(k);
+                        let out_flat = Endpoint::new(local_out, dest.wavelength.0).flat_index(k);
                         self.stage5[p].set_gate(&mut self.netlist, in_flat, out_flat, true);
                     }
                 }
@@ -251,10 +278,8 @@ impl PhotonicFiveStage {
                         Endpoint::new(branch.middle, branch.input_wavelength).flat_index(k);
                     cols.input[im as usize].set_gate(&mut self.netlist, in_flat, out_flat, true);
                     for leg in &branch.legs {
-                        let mid_in =
-                            Endpoint::new(im, branch.input_wavelength).flat_index(k);
-                        let mid_out =
-                            Endpoint::new(leg.out_module, leg.wavelength).flat_index(k);
+                        let mid_in = Endpoint::new(im, branch.input_wavelength).flat_index(k);
+                        let mid_out = Endpoint::new(leg.out_module, leg.wavelength).flat_index(k);
                         cols.middle[branch.middle as usize].set_gate(
                             &mut self.netlist,
                             mid_in,
@@ -262,16 +287,12 @@ impl PhotonicFiveStage {
                             true,
                         );
                         for &dest in &leg.dests {
-                            let (_, local_out) =
-                                self.inner_params.output_module_of(dest.port.0);
+                            let (_, local_out) = self.inner_params.output_module_of(dest.port.0);
                             let in_flat =
                                 Endpoint::new(branch.middle, leg.wavelength).flat_index(k);
                             let out_flat =
                                 Endpoint::new(local_out, dest.wavelength.0).flat_index(k);
-                            cols.output[self
-                                .inner_params
-                                .output_module_of(dest.port.0)
-                                .0 as usize]
+                            cols.output[self.inner_params.output_module_of(dest.port.0).0 as usize]
                                 .set_gate(&mut self.netlist, in_flat, out_flat, true);
                         }
                     }
@@ -316,41 +337,34 @@ mod tests {
 
     #[test]
     fn census_matches_the_stagewise_cost() {
-        let five = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let five = FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
         let photonic = PhotonicFiveStage::build(&five, MulticastModel::Msw);
-        assert_eq!(photonic.census().gates, five.crosspoints(MulticastModel::Msw));
+        assert_eq!(
+            photonic.census().gates,
+            five.crosspoints(MulticastModel::Msw)
+        );
         assert!(photonic.netlist().validate().is_empty());
     }
 
     #[test]
     fn light_crosses_five_stages() {
-        let mut five = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
-        five.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)])).unwrap();
+        let mut five =
+            FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
+        five.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
+            .unwrap();
         five.connect(conn((5, 1), &[(0, 1), (9, 1)])).unwrap();
         let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Msw);
-        let outcome = photonic.realize(&five).expect("light must cross all five stages");
+        let outcome = photonic
+            .realize(&five)
+            .expect("light must cross all five stages");
         assert!(outcome.delivered_exactly(five.assignment()));
     }
 
     #[test]
     fn five_stage_churn_stays_physical() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut five = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let mut five =
+            FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
         let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Msw);
         let frame = five.network();
         let mut rng = StdRng::seed_from_u64(23);
@@ -375,7 +389,10 @@ mod tests {
                 if dests.is_empty() {
                     continue;
                 }
-                if five.connect(MulticastConnection::new(src, dests).unwrap()).is_ok() {
+                if five
+                    .connect(MulticastConnection::new(src, dests).unwrap())
+                    .is_ok()
+                {
                     live.push(src);
                 }
             }
@@ -388,13 +405,10 @@ mod tests {
 
     #[test]
     fn maw_dominant_five_stage_converts_in_hardware() {
-        let mut five = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MawDominant,
-            MulticastModel::Maw,
-        );
-        five.connect(conn((0, 0), &[(3, 1), (7, 0), (12, 1)])).unwrap();
+        let mut five =
+            FiveStageNetwork::square(16, 2, Construction::MawDominant, MulticastModel::Maw);
+        five.connect(conn((0, 0), &[(3, 1), (7, 0), (12, 1)]))
+            .unwrap();
         let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Maw);
         let outcome = photonic.realize(&five).unwrap();
         assert!(outcome.delivered_exactly(five.assignment()));

@@ -50,7 +50,11 @@ impl FiveStageNetwork {
         construction: Construction,
         output_model: MulticastModel,
     ) -> Self {
-        assert_eq!(inner_n * inner_r, r, "inner geometry must decompose the middle modules");
+        assert_eq!(
+            inner_n * inner_r,
+            r,
+            "inner geometry must decompose the middle modules"
+        );
         let outer_m = match construction {
             Construction::MswDominant => bounds::theorem1_min_m(n, r).m,
             Construction::MawDominant => bounds::theorem2_min_m(n, r, k).m,
@@ -136,8 +140,12 @@ impl FiveStageNetwork {
         let output = p.r as u64
             * crate::cost::module_crosspoints(p.m as u64, p.n as u64, p.k as u64, output_model);
         let inner = p.m as u64
-            * crate::cost::three_stage_cost(self.inner_params, self.outer.construction(), first_two)
-                .crosspoints;
+            * crate::cost::three_stage_cost(
+                self.inner_params,
+                self.outer.construction(),
+                first_two,
+            )
+            .crosspoints;
         input + output + inner
     }
 
@@ -145,8 +153,7 @@ impl FiveStageNetwork {
     pub fn connect(&mut self, conn: MulticastConnection) -> Result<(), RouteError> {
         let src = conn.source();
         self.outer.connect(conn)?;
-        let routed: RoutedConnection =
-            self.outer.route_of(src).expect("just connected").clone();
+        let routed: RoutedConnection = self.outer.route_of(src).expect("just connected").clone();
         // Realize each branch's middle hop in the inner network. These
         // cannot block (inner networks sit at their own bound) and cannot
         // conflict (outer link bookkeeping guarantees endpoint
@@ -158,7 +165,9 @@ impl FiveStageNetwork {
                 // surface the inner block as this request's result.
                 for done in &routed.branches[..idx] {
                     let inner_src = self.inner_source(&routed, done);
-                    self.inners[done.middle as usize].disconnect(inner_src).unwrap();
+                    self.inners[done.middle as usize]
+                        .disconnect(inner_src)
+                        .unwrap();
                 }
                 self.outer.disconnect(src).unwrap();
                 return Err(e);
@@ -169,9 +178,13 @@ impl FiveStageNetwork {
 
     /// Tear down the connection sourced at `src`.
     pub fn disconnect(&mut self, src: Endpoint) -> Result<(), RouteError> {
-        let routed = self.outer.route_of(src).cloned().ok_or(RouteError::Assignment(
-            wdm_core::AssignmentError::NoSuchConnection(src),
-        ))?;
+        let routed = self
+            .outer
+            .route_of(src)
+            .cloned()
+            .ok_or(RouteError::Assignment(
+                wdm_core::AssignmentError::NoSuchConnection(src),
+            ))?;
         for branch in &routed.branches {
             let inner_src = self.inner_source(&routed, branch);
             self.inners[branch.middle as usize].disconnect(inner_src)?;
@@ -247,12 +260,7 @@ mod tests {
     #[test]
     fn square_decomposition_builds() {
         // N = 16 = 2⁴: outer 4×4, inner 2×2.
-        let net = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let net = FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
         assert_eq!(net.network().ports, 16);
         assert_eq!(net.outer_params().n, 4);
         assert_eq!(net.inner_params().n, 2);
@@ -263,12 +271,7 @@ mod tests {
         // Hand-computed: outer 4×13×4 (k=2) MSW stages 1+5 cost
         // 2·(r·k·n·m) = 2·(4·2·4·13) = 832; each of the 13 middles is an
         // inner 2×4×2 three-stage costing kmr(2n+r) = 2·4·2·6 = 96.
-        let net = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let net = FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
         let inner = cost::three_stage_cost(
             net.inner_params(),
             Construction::MswDominant,
@@ -288,16 +291,17 @@ mod tests {
 
     #[test]
     fn five_stage_routes_multicast_end_to_end() {
-        let mut net = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
-        net.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)])).unwrap();
+        let mut net =
+            FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
+        net.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
+            .unwrap();
         net.connect(conn((1, 1), &[(0, 1), (8, 1)])).unwrap();
         assert_eq!(net.active_connections(), 2);
-        assert!(net.check_consistency().is_empty(), "{:?}", net.check_consistency());
+        assert!(
+            net.check_consistency().is_empty(),
+            "{:?}",
+            net.check_consistency()
+        );
         net.disconnect(Endpoint::new(0, 0)).unwrap();
         net.disconnect(Endpoint::new(1, 1)).unwrap();
         assert_eq!(net.active_connections(), 0);
@@ -307,12 +311,8 @@ mod tests {
     #[test]
     fn five_stage_survives_churn_at_bounds() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut net = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let mut net =
+            FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
         let frame = net.network();
         let mut rng = StdRng::seed_from_u64(17);
         let mut live: Vec<Endpoint> = Vec::new();
@@ -321,8 +321,10 @@ mod tests {
                 let i = rng.gen_range(0..live.len());
                 net.disconnect(live.swap_remove(i)).unwrap();
             } else {
-                let src =
-                    Endpoint::new(rng.gen_range(0..frame.ports), rng.gen_range(0..frame.wavelengths));
+                let src = Endpoint::new(
+                    rng.gen_range(0..frame.ports),
+                    rng.gen_range(0..frame.wavelengths),
+                );
                 if net.assignment().input_busy(src) {
                     continue;
                 }
@@ -351,20 +353,25 @@ mod tests {
 
     #[test]
     fn maw_dominant_five_stage() {
-        let mut net = FiveStageNetwork::square(
-            16,
-            2,
-            Construction::MawDominant,
-            MulticastModel::Maw,
-        );
+        let mut net =
+            FiveStageNetwork::square(16, 2, Construction::MawDominant, MulticastModel::Maw);
         // Mixed-wavelength multicast only MAW permits.
-        net.connect(conn((0, 0), &[(3, 1), (7, 0), (11, 1)])).unwrap();
+        net.connect(conn((0, 0), &[(3, 1), (7, 0), (11, 1)]))
+            .unwrap();
         assert!(net.check_consistency().is_empty());
     }
 
     #[test]
     #[should_panic(expected = "decompose")]
     fn bad_inner_geometry_rejected() {
-        FiveStageNetwork::new(4, 4, 3, 2, 1, Construction::MswDominant, MulticastModel::Msw);
+        FiveStageNetwork::new(
+            4,
+            4,
+            3,
+            2,
+            1,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        );
     }
 }

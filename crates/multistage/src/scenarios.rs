@@ -63,13 +63,20 @@ pub fn run_fig10(construction: Construction) -> ScenarioOutcome {
     let (module, _) = net.params().input_module_of(src.port.0);
     let available = net.available_middles(module, src.wavelength.0).len();
     let blocked = matches!(net.connect(last), Err(RouteError::Blocked { .. }));
-    ScenarioOutcome { construction, blocked, available_middles: available }
+    ScenarioOutcome {
+        construction,
+        blocked,
+        available_middles: available,
+    }
 }
 
 /// The full Fig. 10 demonstration: MSW-dominant blocks, MAW-dominant does
 /// not, on the identical request sequence.
 pub fn fig10_contrast() -> (ScenarioOutcome, ScenarioOutcome) {
-    (run_fig10(Construction::MswDominant), run_fig10(Construction::MawDominant))
+    (
+        run_fig10(Construction::MswDominant),
+        run_fig10(Construction::MawDominant),
+    )
 }
 
 #[cfg(test)]

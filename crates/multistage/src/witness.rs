@@ -44,7 +44,10 @@ impl BlockingWitness {
                 return false;
             }
         }
-        matches!(net.connect(self.blocked_request.clone()), Err(RouteError::Blocked { .. }))
+        matches!(
+            net.connect(self.blocked_request.clone()),
+            Err(RouteError::Blocked { .. })
+        )
     }
 }
 
@@ -148,15 +151,8 @@ mod tests {
     fn finds_witness_below_the_bound() {
         // n=r=4, k=1: Theorem 1 bound is 13; m=3 must be blockable.
         let p = ThreeStageParams::new(4, 3, 4, 1);
-        let w = find_blocking_witness(
-            p,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-            1,
-            50,
-            7,
-        )
-        .expect("starved network must yield a witness");
+        let w = find_blocking_witness(p, Construction::MswDominant, MulticastModel::Msw, 1, 50, 7)
+            .expect("starved network must yield a witness");
         assert!(w.replay(MulticastModel::Msw));
         assert!(!w.established.is_empty());
     }
@@ -164,15 +160,9 @@ mod tests {
     #[test]
     fn witness_replay_detects_tampering() {
         let p = ThreeStageParams::new(4, 3, 4, 1);
-        let mut w = find_blocking_witness(
-            p,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-            1,
-            50,
-            7,
-        )
-        .unwrap();
+        let mut w =
+            find_blocking_witness(p, Construction::MswDominant, MulticastModel::Msw, 1, 50, 7)
+                .unwrap();
         // Removing the load makes the final request routable again.
         w.established.clear();
         assert!(!w.replay(MulticastModel::Msw));
@@ -198,14 +188,7 @@ mod tests {
     #[test]
     fn maw_dominant_witness_below_theorem2() {
         let p = ThreeStageParams::new(4, 2, 4, 2); // bound is 14
-        let w = find_blocking_witness(
-            p,
-            Construction::MawDominant,
-            MulticastModel::Maw,
-            1,
-            50,
-            3,
-        );
+        let w = find_blocking_witness(p, Construction::MawDominant, MulticastModel::Maw, 1, 50, 3);
         assert!(w.is_some(), "m=2 should block under adversarial load");
     }
 }

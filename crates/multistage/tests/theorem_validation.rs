@@ -71,12 +71,7 @@ fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
 }
 
 /// Churn `steps` random operations; panic on any Blocked error.
-fn churn_never_blocks(
-    mut net: ThreeStageNetwork,
-    model: MulticastModel,
-    steps: usize,
-    seed: u64,
-) {
+fn churn_never_blocks(mut net: ThreeStageNetwork, model: MulticastModel, steps: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut live: Vec<Endpoint> = Vec::new();
     for step in 0..steps {
@@ -89,7 +84,10 @@ fn churn_never_blocks(
             let src = req.source();
             match net.connect(req) {
                 Ok(_) => live.push(src),
-                Err(RouteError::Blocked { available_middles, x_limit }) => panic!(
+                Err(RouteError::Blocked {
+                    available_middles,
+                    x_limit,
+                }) => panic!(
                     "step {step}: blocked with m={} (bound satisfied!), \
                      {available_middles} available, x={x_limit}",
                     net.params().m
@@ -98,7 +96,10 @@ fn churn_never_blocks(
             }
         }
         if step % 97 == 0 {
-            assert!(net.check_consistency().is_empty(), "state diverged at step {step}");
+            assert!(
+                net.check_consistency().is_empty(),
+                "state diverged at step {step}"
+            );
         }
     }
 }
@@ -145,15 +146,30 @@ fn starved_network_does_block() {
     // two connections, so a third same-module source is stranded.
     let p = ThreeStageParams::new(4, 2, 4, 1); // Theorem 1 bound would be 13
     let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-    net.connect(MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(0, 0)))
-        .unwrap();
-    net.connect(MulticastConnection::unicast(Endpoint::new(1, 0), Endpoint::new(1, 0)))
-        .unwrap();
+    net.connect(MulticastConnection::unicast(
+        Endpoint::new(0, 0),
+        Endpoint::new(0, 0),
+    ))
+    .unwrap();
+    net.connect(MulticastConnection::unicast(
+        Endpoint::new(1, 0),
+        Endpoint::new(1, 0),
+    ))
+    .unwrap();
     let err = net
-        .connect(MulticastConnection::unicast(Endpoint::new(2, 0), Endpoint::new(2, 0)))
+        .connect(MulticastConnection::unicast(
+            Endpoint::new(2, 0),
+            Endpoint::new(2, 0),
+        ))
         .unwrap_err();
     assert!(
-        matches!(err, RouteError::Blocked { available_middles: 0, .. }),
+        matches!(
+            err,
+            RouteError::Blocked {
+                available_middles: 0,
+                ..
+            }
+        ),
         "expected middle starvation, got {err}"
     );
 }

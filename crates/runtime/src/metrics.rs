@@ -1,0 +1,339 @@
+//! Lock-free runtime telemetry: atomic counters, log-scaled latency and
+//! holding-time histograms, per-wavelength occupancy gauges, and the
+//! serializable [`MetricsSnapshot`] emitted periodically for offline
+//! analysis (tables/plots via `wdm-analysis`, JSON via `serde_json`).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+const MAX_NOTED_ERRORS: usize = 32;
+
+/// Power-of-two bucketed histogram, safe for concurrent recording.
+///
+/// Bucket `i` holds values whose bit width is `i` (`0` for the value 0),
+/// so relative error of a reported quantile is at most 2×; that is
+/// plenty for p50/p99 admission-latency telemetry and costs a single
+/// atomic increment on the hot path.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let idx = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the geometric midpoint of
+    /// the bucket containing the `q`-th ranked value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_midpoint(i);
+            }
+        }
+        bucket_midpoint(BUCKETS - 1)
+    }
+}
+
+/// Representative value for bucket `i` (values in `[2^(i-1), 2^i)`).
+fn bucket_midpoint(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => 3u64 << (i - 2), // 1.5 · 2^(i-1)
+    }
+}
+
+/// Shared counters and gauges for one engine run. All hot-path updates
+/// are relaxed atomics; consistency across counters is only needed at
+/// snapshot time and after drain, when the workers have quiesced.
+#[derive(Debug)]
+pub struct RuntimeMetrics {
+    /// Connect requests handed to the engine.
+    pub offered: AtomicU64,
+    /// Connect requests admitted by the backend.
+    pub admitted: AtomicU64,
+    /// Hard blocks (middle-stage exhaustion — the theorems' event).
+    pub blocked: AtomicU64,
+    /// Retry attempts across all requests (busy-endpoint conflicts).
+    pub retried: AtomicU64,
+    /// Requests dropped after exhausting retries or their deadline.
+    pub expired: AtomicU64,
+    /// Connections torn down.
+    pub departed: AtomicU64,
+    /// Departure events for requests that were never admitted.
+    pub skipped_departures: AtomicU64,
+    /// Structural errors (must stay 0 in a healthy run).
+    pub fatal: AtomicU64,
+    /// Wall-clock admission latency, nanoseconds.
+    pub admit_latency_ns: LogHistogram,
+    /// Holding time in simulation micro-units (sim time × 10⁶).
+    pub holding_micros: LogHistogram,
+    /// Live connections per source wavelength.
+    wavelength_live: Vec<AtomicU64>,
+    /// First few error messages, for the drain report.
+    errors: Mutex<Vec<String>>,
+}
+
+impl RuntimeMetrics {
+    /// Metrics for a network with `k` wavelengths.
+    pub fn new(wavelengths: u32) -> Self {
+        RuntimeMetrics {
+            offered: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            departed: AtomicU64::new(0),
+            skipped_departures: AtomicU64::new(0),
+            fatal: AtomicU64::new(0),
+            admit_latency_ns: LogHistogram::new(),
+            holding_micros: LogHistogram::new(),
+            wavelength_live: (0..wavelengths.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            errors: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Gauge up: a connection on source wavelength `w` went live.
+    pub fn wavelength_up(&self, w: usize) {
+        if let Some(g) = self.wavelength_live.get(w) {
+            g.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Gauge down: a connection on source wavelength `w` departed.
+    pub fn wavelength_down(&self, w: usize) {
+        if let Some(g) = self.wavelength_live.get(w) {
+            g.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current per-wavelength live-connection gauges.
+    pub fn wavelength_gauges(&self) -> Vec<u64> {
+        self.wavelength_live
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Remember an error message (bounded; counted in `fatal` by the
+    /// caller).
+    pub fn note_error(&self, msg: String) {
+        let mut errs = self.errors.lock();
+        if errs.len() < MAX_NOTED_ERRORS {
+            errs.push(msg);
+        }
+    }
+
+    /// Errors noted so far.
+    pub fn errors(&self) -> Vec<String> {
+        self.errors.lock().clone()
+    }
+
+    /// Point-in-time snapshot. `active` and `middle_loads` come from the
+    /// backend (the caller holds its lock briefly).
+    pub fn snapshot(
+        &self,
+        elapsed_secs: f64,
+        active: u64,
+        middle_loads: Vec<u64>,
+    ) -> MetricsSnapshot {
+        let offered = self.offered.load(Ordering::Relaxed);
+        let blocked = self.blocked.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            elapsed_secs,
+            offered,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            blocked,
+            retried: self.retried.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            departed: self.departed.load(Ordering::Relaxed),
+            skipped_departures: self.skipped_departures.load(Ordering::Relaxed),
+            fatal: self.fatal.load(Ordering::Relaxed),
+            active,
+            blocking_probability: if offered == 0 {
+                0.0
+            } else {
+                blocked as f64 / offered as f64
+            },
+            p50_admit_ns: self.admit_latency_ns.quantile(0.50),
+            p99_admit_ns: self.admit_latency_ns.quantile(0.99),
+            mean_admit_ns: self.admit_latency_ns.mean(),
+            mean_holding: self.holding_micros.mean() / 1e6,
+            wavelength_live: self.wavelength_gauges(),
+            middle_loads,
+        }
+    }
+}
+
+/// A serializable point-in-time view of a running (or drained) engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Wall-clock seconds since the engine started.
+    pub elapsed_secs: f64,
+    /// Connect requests handed to the engine so far.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Hard blocks (middle-stage exhaustion).
+    pub blocked: u64,
+    /// Total retry attempts.
+    pub retried: u64,
+    /// Requests dropped at their deadline.
+    pub expired: u64,
+    /// Connections torn down.
+    pub departed: u64,
+    /// Departures skipped because admission failed.
+    pub skipped_departures: u64,
+    /// Structural errors.
+    pub fatal: u64,
+    /// Live connections at snapshot time.
+    pub active: u64,
+    /// `blocked / offered` (0 when nothing offered).
+    pub blocking_probability: f64,
+    /// Median admission latency, nanoseconds (log-bucket approximation).
+    pub p50_admit_ns: u64,
+    /// 99th-percentile admission latency, nanoseconds.
+    pub p99_admit_ns: u64,
+    /// Mean admission latency, nanoseconds.
+    pub mean_admit_ns: f64,
+    /// Mean holding time in simulation time units.
+    pub mean_holding: f64,
+    /// Live connections per source wavelength.
+    pub wavelength_live: Vec<u64>,
+    /// Per-middle-switch loads (empty for single-stage backends).
+    pub middle_loads: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Admitted connections per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Render as a JSON line (for log shipping / offline analysis).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median 500; log buckets give the [256, 512) midpoint.
+        assert!((256..=768).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 512, "p99 = {p99}");
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn gauges_track_up_down() {
+        let m = RuntimeMetrics::new(3);
+        m.wavelength_up(0);
+        m.wavelength_up(0);
+        m.wavelength_up(2);
+        m.wavelength_down(0);
+        assert_eq!(m.wavelength_gauges(), vec![1, 0, 1]);
+        // Out-of-range wavelength is ignored, not a panic.
+        m.wavelength_up(99);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let m = RuntimeMetrics::new(2);
+        m.offered.fetch_add(10, Ordering::Relaxed);
+        m.admitted.fetch_add(9, Ordering::Relaxed);
+        m.blocked.fetch_add(1, Ordering::Relaxed);
+        m.admit_latency_ns.record(1500);
+        let snap = m.snapshot(2.0, 4, vec![3, 1]);
+        assert!((snap.blocking_probability - 0.1).abs() < 1e-12);
+        assert!((snap.throughput() - 4.5).abs() < 1e-12);
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn error_notes_are_bounded() {
+        let m = RuntimeMetrics::new(1);
+        for i in 0..100 {
+            m.note_error(format!("e{i}"));
+        }
+        assert_eq!(m.errors().len(), MAX_NOTED_ERRORS);
+    }
+}

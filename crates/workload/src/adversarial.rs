@@ -47,7 +47,11 @@ impl AdversarialGen {
     /// Create a generator for `geo` producing requests legal under
     /// `model`.
     pub fn new(geo: Geometry, model: MulticastModel, seed: u64) -> Self {
-        AdversarialGen { geo, model, rng: StdRng::seed_from_u64(seed) }
+        AdversarialGen {
+            geo,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The next hostile request against `asg`: sourced in the most
@@ -74,7 +78,7 @@ impl AdversarialGen {
                 .flat_map(|p| (0..self.geo.k).map(move |w| Endpoint::new(p, w)))
                 .find(|&e| !asg.input_busy(e));
             if let Some(src) = free {
-                if best.map_or(true, |(b, _)| busy > b) {
+                if best.is_none_or(|(b, _)| busy > b) {
                     best = Some((busy, src));
                 }
             }
@@ -165,7 +169,10 @@ mod tests {
         let asg = MulticastAssignment::new(net, MulticastModel::Msw);
         let mut gen = AdversarialGen::new(g, MulticastModel::Msw, 3);
         let req = gen.next_request(&asg).unwrap();
-        assert!(req.destinations().iter().all(|d| d.wavelength == req.source().wavelength));
+        assert!(req
+            .destinations()
+            .iter()
+            .all(|d| d.wavelength == req.source().wavelength));
     }
 
     #[test]

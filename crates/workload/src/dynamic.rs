@@ -66,7 +66,10 @@ impl DynamicTraffic {
         max_fanout: usize,
         seed: u64,
     ) -> Self {
-        assert!(arrival_rate > 0.0 && mean_holding > 0.0, "rates must be positive");
+        assert!(
+            arrival_rate > 0.0 && mean_holding > 0.0,
+            "rates must be positive"
+        );
         DynamicTraffic {
             net,
             model,
@@ -111,14 +114,24 @@ impl DynamicTraffic {
                 }
                 let d = departures.pop().unwrap();
                 asg.remove(d.src).expect("departing connection is live");
-                events.push(TimedEvent { time: d.time, event: TraceEvent::Disconnect(d.src) });
+                events.push(TimedEvent {
+                    time: d.time,
+                    event: TraceEvent::Disconnect(d.src),
+                });
             }
             if let Some(req) = self.gen.next_request(&asg, self.max_fanout) {
                 let src = req.source();
-                asg.add(req.clone()).expect("generator emits legal requests");
-                events.push(TimedEvent { time: t, event: TraceEvent::Connect(req) });
+                asg.add(req.clone())
+                    .expect("generator emits legal requests");
+                events.push(TimedEvent {
+                    time: t,
+                    event: TraceEvent::Connect(req),
+                });
                 let hold = Self::exp_sample(&mut self.rng, 1.0 / self.mean_holding);
-                departures.push(Departure { time: t + hold, src });
+                departures.push(Departure {
+                    time: t + hold,
+                    src,
+                });
             }
         }
         // Drain remaining departures inside the horizon.
@@ -127,7 +140,10 @@ impl DynamicTraffic {
                 break;
             }
             asg.remove(d.src).expect("departing connection is live");
-            events.push(TimedEvent { time: d.time, event: TraceEvent::Disconnect(d.src) });
+            events.push(TimedEvent {
+                time: d.time,
+                event: TraceEvent::Disconnect(d.src),
+            });
         }
         events
     }
@@ -138,7 +154,14 @@ mod tests {
     use super::*;
 
     fn source(load: f64) -> DynamicTraffic {
-        DynamicTraffic::new(NetworkConfig::new(8, 2), MulticastModel::Msw, load, 1.0, 2, 42)
+        DynamicTraffic::new(
+            NetworkConfig::new(8, 2),
+            MulticastModel::Msw,
+            load,
+            1.0,
+            2,
+            42,
+        )
     }
 
     #[test]
@@ -161,8 +184,7 @@ mod tests {
     #[test]
     fn replay_is_endpoint_legal() {
         let events = source(5.0).generate(100.0);
-        let mut asg =
-            MulticastAssignment::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
+        let mut asg = MulticastAssignment::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
         for e in events {
             match e.event {
                 TraceEvent::Connect(c) => asg.add(c).expect("legal"),
@@ -210,6 +232,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
-        DynamicTraffic::new(NetworkConfig::new(2, 1), MulticastModel::Msw, 0.0, 1.0, 0, 1);
+        DynamicTraffic::new(
+            NetworkConfig::new(2, 1),
+            MulticastModel::Msw,
+            0.0,
+            1.0,
+            0,
+            1,
+        );
     }
 }

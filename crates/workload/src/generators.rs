@@ -3,8 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_core::{
-    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
-    OutputMap,
+    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig, OutputMap,
 };
 
 /// Seeded generator of random multicast assignments and requests.
@@ -29,7 +28,11 @@ pub struct AssignmentGen {
 impl AssignmentGen {
     /// Create a generator for `net` under `model` with the given seed.
     pub fn new(net: NetworkConfig, model: MulticastModel, seed: u64) -> Self {
-        AssignmentGen { net, model, rng: StdRng::seed_from_u64(seed) }
+        AssignmentGen {
+            net,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The network frame.
@@ -122,8 +125,10 @@ impl AssignmentGen {
             let w = out.wavelength.0 as usize;
             // Join an existing group with probability proportional to the
             // group count, else open a new one (if a source is free).
-            let join_existing =
-                !groups[w].is_empty() && self.rng.gen_ratio(groups[w].len() as u32, (groups[w].len() + 2) as u32);
+            let join_existing = !groups[w].is_empty()
+                && self
+                    .rng
+                    .gen_ratio(groups[w].len() as u32, (groups[w].len() + 2) as u32);
             if join_existing {
                 let src = groups[w][self.rng.gen_range(0..groups[w].len())];
                 map.set(out, Some(src));
@@ -167,7 +172,11 @@ impl AssignmentGen {
             return None;
         }
         shuffle(&mut free_sources, &mut self.rng);
-        let cap = if max_fanout == 0 { net.ports as usize } else { max_fanout };
+        let cap = if max_fanout == 0 {
+            net.ports as usize
+        } else {
+            max_fanout
+        };
         let want = self.rng.gen_range(1..=cap.min(net.ports as usize));
         // MSDW: candidate group wavelengths, in random preference order —
         // the first with any free endpoint wins (a fixed choice could
@@ -247,9 +256,13 @@ mod tests {
     fn any_assignments_are_valid_and_vary_in_load() {
         let net = NetworkConfig::new(5, 2);
         let mut gen = AssignmentGen::new(net, MulticastModel::Maw, 3);
-        let loads: Vec<usize> =
-            (0..10).map(|_| gen.any_assignment().used_output_endpoints()).collect();
-        assert!(loads.iter().any(|&l| l < 10), "some load below full: {loads:?}");
+        let loads: Vec<usize> = (0..10)
+            .map(|_| gen.any_assignment().used_output_endpoints())
+            .collect();
+        assert!(
+            loads.iter().any(|&l| l < 10),
+            "some load below full: {loads:?}"
+        );
     }
 
     #[test]

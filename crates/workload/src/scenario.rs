@@ -14,9 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use wdm_core::{
-    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
-};
+use wdm_core::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig};
 
 /// The application mix to synthesize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,7 +92,9 @@ impl Scenario {
                     for w in 0..net.wavelengths {
                         let src = Endpoint::new(server, w);
                         let dests: Vec<Endpoint> = (s..net.ports)
-                            .filter(|p| (p + server + w) % net.wavelengths == 0 || net.wavelengths == 1)
+                            .filter(|p| {
+                                (p + server + w) % net.wavelengths == 0 || net.wavelengths == 1
+                            })
                             .map(|p| Endpoint::new(p, dest_wl(model, w, &mut rng, net)))
                             .collect();
                         if !dests.is_empty() {
@@ -178,8 +178,8 @@ mod tests {
 
     #[test]
     fn video_conference_has_symmetric_medium_fanout() {
-        let asg = Scenario::VideoConference { group_size: 4 }
-            .generate(net(), MulticastModel::Msw, 1);
+        let asg =
+            Scenario::VideoConference { group_size: 4 }.generate(net(), MulticastModel::Msw, 1);
         assert!(!asg.is_empty());
         // Every connection reaches exactly group_size−1 ports.
         for c in asg.connections() {
@@ -189,11 +189,13 @@ mod tests {
 
     #[test]
     fn vod_has_few_sources_big_fanout() {
-        let asg =
-            Scenario::VideoOnDemand { servers: 2 }.generate(net(), MulticastModel::Msw, 2);
+        let asg = Scenario::VideoOnDemand { servers: 2 }.generate(net(), MulticastModel::Msw, 2);
         assert!(!asg.is_empty());
         let max_fanout = asg.connections().map(|c| c.fanout()).max().unwrap();
-        assert!(max_fanout >= 4, "VoD should have large fan-out, got {max_fanout}");
+        assert!(
+            max_fanout >= 4,
+            "VoD should have large fan-out, got {max_fanout}"
+        );
         // All sources are server ports.
         for c in asg.connections() {
             assert!(c.source().port.0 < 2);
@@ -202,8 +204,7 @@ mod tests {
 
     #[test]
     fn ecommerce_is_unicast_dominated() {
-        let asg = Scenario::ECommerce { multicast_pct: 10 }
-            .generate(net(), MulticastModel::Maw, 3);
+        let asg = Scenario::ECommerce { multicast_pct: 10 }.generate(net(), MulticastModel::Maw, 3);
         let unicasts = asg.connections().filter(|c| c.fanout() == 1).count();
         let total = asg.len();
         assert!(total > 0);
@@ -220,7 +221,11 @@ mod tests {
             ] {
                 let asg = scenario.generate(net(), model, 7);
                 for c in asg.connections() {
-                    assert!(model.allows(c), "{} violates {model}: {c}", scenario.label());
+                    assert!(
+                        model.allows(c),
+                        "{} violates {model}: {c}",
+                        scenario.label()
+                    );
                 }
             }
         }
@@ -236,6 +241,9 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(Scenario::VideoOnDemand { servers: 1 }.label(), "video-on-demand");
+        assert_eq!(
+            Scenario::VideoOnDemand { servers: 1 }.label(),
+            "video-on-demand"
+        );
     }
 }

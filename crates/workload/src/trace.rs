@@ -4,9 +4,7 @@ use crate::AssignmentGen;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use wdm_core::{
-    Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
-};
+use wdm_core::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig};
 
 /// One event of a dynamic workload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +54,8 @@ impl RequestTrace {
                 events.push(TraceEvent::Disconnect(src));
             } else if let Some(req) = gen.next_request(&asg, 0) {
                 let src = req.source();
-                asg.add(req.clone()).expect("generator emits legal requests");
+                asg.add(req.clone())
+                    .expect("generator emits legal requests");
                 live.push(src);
                 events.push(TraceEvent::Connect(req));
             }
@@ -76,7 +75,10 @@ impl RequestTrace {
 
     /// Number of connect events.
     pub fn connect_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::Connect(_))).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Connect(_)))
+            .count()
     }
 
     /// Peak number of simultaneously live connections.
@@ -168,7 +170,11 @@ mod tests {
     fn replay_reports_failure_position() {
         let net = NetworkConfig::new(6, 2);
         let trace = RequestTrace::churn(net, MulticastModel::Msw, 40, 30, 5);
-        assert!(trace.len() >= 3, "need at least 3 events, got {}", trace.len());
+        assert!(
+            trace.len() >= 3,
+            "need at least 3 events, got {}",
+            trace.len()
+        );
         // Fail on the third event.
         let mut n = 0;
         let result: Result<usize, (usize, &str)> = trace.replay(|_| {

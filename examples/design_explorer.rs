@@ -15,7 +15,11 @@ fn main() {
     let k: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let net = NetworkConfig::new(ports, k);
     let side = (ports as f64).sqrt().round() as u32;
-    assert_eq!(side * side, ports, "this explorer wants a perfect-square port count");
+    assert_eq!(
+        side * side,
+        ports,
+        "this explorer wants a perfect-square port count"
+    );
 
     println!("design space for {net}\n");
     println!(
@@ -61,12 +65,8 @@ fn main() {
     let quarter = (ports as f64).powf(0.25).round() as u32;
     if quarter.pow(4) == ports {
         use wdm_multicast::multistage::FiveStageNetwork;
-        let five = FiveStageNetwork::square(
-            ports,
-            k,
-            Construction::MswDominant,
-            MulticastModel::Msw,
-        );
+        let five =
+            FiveStageNetwork::square(ports, k, Construction::MswDominant, MulticastModel::Msw);
         println!(
             "{:<22} {:>14} {:>12} {:>9}",
             "MSW/5-stage",

@@ -30,7 +30,10 @@ fn main() {
         trace.peak_load()
     );
 
-    println!("{:>4} {:>10} {:>9} {:>9}  note", "m", "routed", "blocked", "rate");
+    println!(
+        "{:>4} {:>10} {:>9} {:>9}  note",
+        "m", "routed", "blocked", "rate"
+    );
     for m in [2, 4, 8, bound.m - 1, bound.m, bound.m + 4] {
         let p = ThreeStageParams::new(n, m, r, k);
         let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);

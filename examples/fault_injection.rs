@@ -17,13 +17,15 @@ fn main() {
     println!("offered: full assignment with {} connections\n", asg.len());
 
     // Healthy run: exact delivery, with per-destination optical budgets.
-    let outcome = xbar.route_verified(&asg).expect("healthy fabric is nonblocking");
+    let outcome = xbar
+        .route_verified(&asg)
+        .expect("healthy fabric is nonblocking");
     let params = PowerParams::default();
     let mut worst: Option<(Endpoint, f64)> = None;
     for conn in asg.connections() {
         for &d in conn.destinations() {
             let path = trace_signal(xbar.netlist(), &outcome, d, &params).unwrap();
-            if worst.map_or(true, |(_, l)| path.loss_db > l) {
+            if worst.is_none_or(|(_, l)| path.loss_db > l) {
                 worst = Some((d, path.loss_db));
             }
         }

@@ -23,10 +23,12 @@ fn main() {
 
     // The hardware, predicted and then measured.
     let predicted = cost::three_stage_cost(p, Construction::MswDominant, MulticastModel::Msw);
-    let mut photonic =
-        PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
+    let mut photonic = PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
     let census = photonic.census();
-    println!("predicted crosspoints (kmr(2n+r)): {}", predicted.crosspoints);
+    println!(
+        "predicted crosspoints (kmr(2n+r)): {}",
+        predicted.crosspoints
+    );
     println!("measured SOA gates in the netlist: {}", census.gates);
     assert_eq!(census.gates, predicted.crosspoints);
     let budget = photonic.power_budget(&PowerParams::default());
@@ -51,7 +53,9 @@ fn main() {
             dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
         )
         .unwrap();
-        let routed = logical.connect(conn.clone()).expect("nonblocking at the bound");
+        let routed = logical
+            .connect(conn.clone())
+            .expect("nonblocking at the bound");
         let middles: Vec<u32> = routed.branches.iter().map(|b| b.middle).collect();
         println!("{conn}\n    → via middle switches {middles:?}");
     }

@@ -8,8 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use wdm_multicast::core::{
-    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
-    NetworkConfig,
+    capacity, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig,
 };
 use wdm_multicast::fabric::{PowerParams, WdmCrossbar};
 
@@ -50,7 +49,11 @@ fn main() {
     asg.add(
         MulticastConnection::new(
             Endpoint::new(0, 0), // port 0, λ1
-            [Endpoint::new(1, 1), Endpoint::new(2, 0), Endpoint::new(3, 0)],
+            [
+                Endpoint::new(1, 1),
+                Endpoint::new(2, 0),
+                Endpoint::new(3, 0),
+            ],
         )
         .unwrap(),
     )
@@ -65,7 +68,9 @@ fn main() {
     .unwrap();
     println!("{asg}");
 
-    let outcome = xbar.route_verified(&asg).expect("crossbars are nonblocking");
+    let outcome = xbar
+        .route_verified(&asg)
+        .expect("crossbars are nonblocking");
     println!("routed: every destination received exactly its signal.");
     for conn in asg.connections() {
         for &d in conn.destinations() {

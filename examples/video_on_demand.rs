@@ -29,7 +29,9 @@ fn main() {
 
         // Route the entire offered load through the crossbar at once.
         let mut xbar = WdmCrossbar::build(net, model);
-        let outcome = xbar.route_verified(&offered).expect("crossbar is nonblocking");
+        let outcome = xbar
+            .route_verified(&offered)
+            .expect("crossbar is nonblocking");
         assert!(outcome.delivered_exactly(&offered));
 
         println!(

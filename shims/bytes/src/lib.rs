@@ -1,0 +1,202 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the tiny subset of the real `bytes` API that the workspace uses:
+//! [`Bytes`], [`BytesMut`], and the [`BufMut`] writer trait. Both buffer
+//! types are thin wrappers over `Vec<u8>` — this workspace never relies
+//! on the real crate's zero-copy slicing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (frozen form of [`BytesMut`]).
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Extract the underlying vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data == other
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Append-style writer trait (the subset of `bytes::BufMut` this
+/// workspace uses: big-endian integer and slice appends).
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a `u32` big-endian.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a `u64` big-endian.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_freeze_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64(0x0102030405060708);
+        b.put_slice(&[0xAA]);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 9);
+        assert_eq!(frozen[0], 1);
+        assert_eq!(frozen[7], 8);
+        assert_eq!(frozen[8], 0xAA);
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Supports the benchmark surface this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: per benchmark it calibrates an
+//! iteration count to a target wall-clock window, then reports the mean
+//! time per iteration over `sample_size` samples (median of samples for
+//! the headline number). Like the real crate, running without `--bench`
+//! on the command line (as `cargo test` does) executes every benchmark
+//! body exactly once as a smoke test instead of timing it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a run was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: calibrate and measure.
+    Measure,
+    /// `cargo test` (no `--bench` flag): run each body once.
+    Smoke,
+}
+
+/// Top-level benchmark driver, one per binary.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from the process command line (cargo passes `--bench` for
+    /// `cargo bench` and nothing for `cargo test`; a bare non-flag
+    /// argument filters benchmarks by substring).
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                "--test" => mode = Mode::Smoke,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            sample_size: 20,
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmark a single closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.mode, self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named cluster of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.c.sample_size)
+    }
+
+    /// Benchmark `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        let samples = self.effective_samples();
+        if self.c.selected(&name) {
+            run_one(&name, self.c.mode, samples, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().0);
+        let samples = self.effective_samples();
+        if self.c.selected(&name) {
+            run_one(&name, self.c.mode, samples, f);
+        }
+        self
+    }
+
+    /// End the group. (No cross-benchmark reporting in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    mode: Mode,
+    iters_hint: u64,
+    /// Mean nanoseconds per iteration for the sample just run.
+    last_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `body`, running it enough times for a stable reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(body());
+                self.last_ns_per_iter = None;
+            }
+            Mode::Measure => {
+                let iters = self.iters_hint.max(1);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                let elapsed = start.elapsed();
+                self.last_ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+    }
+}
+
+fn run_one<F>(name: &str, mode: Mode, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if mode == Mode::Smoke {
+        let mut b = Bencher {
+            mode,
+            iters_hint: 1,
+            last_ns_per_iter: None,
+        };
+        f(&mut b);
+        println!("test {name} ... ok (smoke)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to swamp timer resolution.
+    let target = Duration::from_millis(20);
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            mode,
+            iters_hint: iters,
+            last_ns_per_iter: None,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        let took = start.elapsed();
+        if took >= target || iters >= 1 << 24 {
+            break;
+        }
+        let grow = (target.as_nanos() as u64 / took.as_nanos().max(1) as u64).clamp(2, 16);
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut readings: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            mode,
+            iters_hint: iters,
+            last_ns_per_iter: None,
+        };
+        f(&mut b);
+        if let Some(ns) = b.last_ns_per_iter {
+            readings.push(ns);
+        }
+    }
+    readings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    if readings.is_empty() {
+        println!("bench {name:<50} (no b.iter() call)");
+        return;
+    }
+    let median = readings[readings.len() / 2];
+    let best = readings[0];
+    let worst = readings[readings.len() - 1];
+    println!(
+        "bench {name:<50} {:>12} /iter  [{} .. {}]  ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(best),
+        fmt_ns(worst),
+        readings.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        let mut g = c.benchmark_group("shim/group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            sample_size: 20,
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn measure_mode_produces_timings() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filter: None,
+            sample_size: 3,
+        };
+        c.bench_function("shim/tiny", |b| b.iter(|| black_box(1u32).wrapping_add(1)));
+    }
+
+    #[test]
+    fn filter_skips_unselected() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filter: Some("nomatch".into()),
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("other");
+        // Body would spin forever if not filtered out; quick closure is fine.
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |b, &x| b.iter(|| x));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", "p").0, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

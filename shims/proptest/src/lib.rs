@@ -1,0 +1,685 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest used by this workspace's property
+//! tests: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`Just`](strategy::Just),
+//! `collection::{vec, btree_set, btree_map}`, `sample::select`,
+//! `any::<T>()`, and the `proptest!` / `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from the real crate, chosen for an offline environment:
+//! cases are generated from a deterministic per-test seed (no
+//! `PROPTEST_*` env handling, no persisted failure files), and failing
+//! cases are reported verbatim without shrinking.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree: a strategy simply
+    /// produces a fresh value per test case and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feed generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for type-default strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::RngCore;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    // Full-width bits, no rejection needed.
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> i128 {
+            u128::arbitrary_value(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full value range for integers).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections with a size range.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// Inclusive bounds on a generated collection's size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate ordered sets whose cardinality falls in `size` (best
+    /// effort: if the element strategy cannot produce enough distinct
+    /// values the set is as large as repeated sampling reached).
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.elem.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generate ordered maps whose entry count falls in `size` (same
+    /// best-effort distinctness as [`btree_set`]).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                let k = self.key.new_value(rng);
+                let v = self.value.new_value(rng);
+                out.insert(k, v);
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that pick from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Pick uniformly from `values` (cloned up front, so promoted
+    /// temporaries and consts both work).
+    pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "select() needs at least one value");
+        Select {
+            values: values.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.values.len());
+            self.values[i].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case loop behind the `proptest!` macro.
+
+    use rand::SeedableRng;
+
+    /// RNG handed to strategies. Deterministic per test name.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps un-configured shim
+            // runs fast while still exercising plenty of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; retry without counting.
+        Reject(String),
+        /// `prop_assert*` failed; abort the whole test.
+        Fail(String),
+    }
+
+    /// Result type of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property: generate cases until `config.cases` pass.
+    ///
+    /// `f` returns the Debug rendering of the generated inputs plus the
+    /// case outcome; the rendering is used verbatim in failure messages
+    /// (this shim does not shrink).
+    pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+    {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        while passed < config.cases {
+            let (desc, outcome) = f(&mut rng);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    let limit = config.cases as u64 * 20 + 100;
+                    if rejected > limit {
+                        panic!(
+                            "proptest `{name}`: {rejected} rejections \
+                             (limit {limit}); last prop_assume!: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing case(s): {msg}\n\
+                         input (unshrunk): {desc}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Define property tests: `proptest! { fn name(pat in strategy, ...) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // Callers write `#[test]` themselves (real-proptest convention),
+        // so it arrives via $meta — adding another here would register
+        // the test twice with libtest.
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest($cfg, stringify!($name), |__rng| {
+                let __vals = (
+                    $($crate::strategy::Strategy::new_value(&($strat), __rng),)+
+                );
+                let __desc = format!("{:?}", __vals);
+                let ($($pat,)+) = __vals;
+                let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                    let _ = $body;
+                    ::std::result::Result::Ok(())
+                })();
+                (__desc, __outcome)
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Assert inside a `proptest!` body; failure aborts the test with the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Reject the current inputs; the case is retried with fresh ones.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property test file needs: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias so `prop::sample::select` / `prop::collection::vec` resolve.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (3u32..10).new_value(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (5usize..=5).new_value(&mut rng);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn collections_hit_size_targets() {
+        let mut rng = TestRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u32..100, 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(0u32..100, 3..=6).new_value(&mut rng);
+            assert!((3..=6).contains(&s.len()));
+            let m = crate::collection::btree_map(0u32..100, 0u32..4, 1..=4).new_value(&mut rng);
+            assert!((1..=4).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn select_and_combinators() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = crate::sample::select(&[10u32, 20, 30]).prop_map(|x| x + 1);
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!([11, 21, 31].contains(&v));
+        }
+        let nested = (1u32..4).prop_flat_map(|n| crate::collection::vec(0u32..n, 1..3));
+        for _ in 0..50 {
+            let v = nested.new_value(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(
+            a in 0u64..1000,
+            (lo, hi) in (0u32..50, 50u32..100),
+            xs in prop::collection::vec(any::<u8>(), 0..4),
+        ) {
+            prop_assume!(a != 999);
+            prop_assert!(lo < hi, "{lo} !< {hi}");
+            prop_assert_eq!(a + 1, 1 + a);
+            prop_assert!(xs.len() < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `failing_property` failed")]
+    fn failures_report_input() {
+        crate::test_runner::run_proptest(
+            ProptestConfig::with_cases(4),
+            "failing_property",
+            |rng| {
+                let v = (0u32..10).new_value(rng);
+                let desc = format!("{v:?}");
+                (
+                    desc,
+                    Err(crate::test_runner::TestCaseError::Fail("boom".into())),
+                )
+            },
+        );
+    }
+}

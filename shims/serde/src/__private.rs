@@ -1,0 +1,70 @@
+//! Helpers the derive macro expands to. Not public API.
+
+use crate::{DeserializeOwned, Value, ValueError};
+
+/// Pull a named field out of a struct's entry list and deserialize it.
+pub fn field<T: DeserializeOwned>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, ValueError> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| ValueError(format!("missing field `{name}`")))?;
+    T::deserialize(value).map_err(|e| ValueError(format!("field `{name}`: {e}")))
+}
+
+/// Deserialize a whole value (newtype structs / newtype variants).
+pub fn from_value_de<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(value)
+}
+
+/// A unit variant must have no payload.
+pub fn expect_no_payload(payload: &Option<Value>) -> Result<(), ValueError> {
+    match payload {
+        None => Ok(()),
+        Some(Value::Null) => Ok(()),
+        Some(v) => Err(ValueError(format!(
+            "unexpected payload for unit variant: {}",
+            v.kind()
+        ))),
+    }
+}
+
+/// The payload of a newtype variant.
+pub fn newtype_payload<T: DeserializeOwned>(payload: Option<Value>) -> Result<T, ValueError> {
+    let v = payload.ok_or_else(|| ValueError("missing payload for newtype variant".into()))?;
+    T::deserialize(v)
+}
+
+/// The payload of a tuple variant or tuple struct: a sequence of
+/// exactly `len` elements.
+pub fn tuple_payload(payload: Option<Value>, len: usize) -> Result<Vec<Value>, ValueError> {
+    let v = payload.ok_or_else(|| ValueError("missing payload for tuple variant".into()))?;
+    match v {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(ValueError(format!(
+            "expected {len} tuple fields, found {}",
+            items.len()
+        ))),
+        other => Err(ValueError(format!(
+            "expected sequence payload, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// The payload of a struct variant: a map body.
+pub fn struct_payload(payload: Option<Value>) -> Result<Vec<(String, Value)>, ValueError> {
+    let v = payload.ok_or_else(|| ValueError("missing payload for struct variant".into()))?;
+    v.into_struct_map("variant")
+}
+
+/// Next element of an already-length-checked tuple payload.
+pub fn next_elem<T: DeserializeOwned>(it: &mut std::vec::IntoIter<Value>) -> Result<T, ValueError> {
+    let v = it
+        .next()
+        .ok_or_else(|| ValueError("tuple payload exhausted".into()))?;
+    T::deserialize(v)
+}

@@ -1,0 +1,1132 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the slice of serde's architecture that the workspace
+//! uses: the [`Serialize`] / [`Serializer`] / [`Deserialize`] /
+//! [`Deserializer`] traits with their real method names and shapes
+//! (hand-written impls in `wdm-core` compile unchanged), a derive macro
+//! behind the `derive` feature, and a self-describing [`Value`] tree as
+//! the single interchange format.
+//!
+//! Unlike real serde there is no zero-copy visitor machinery: a
+//! [`Serializer`] builds a [`Value`], and a [`Deserializer`] surrenders
+//! one via [`Deserializer::take_value`]. The companion `serde_json` shim
+//! renders and parses that tree.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private;
+
+/// A self-describing serialized value (the shim's interchange format).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (structs, enums, maps).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Interpret as an externally-tagged enum: a bare string is a unit
+    /// variant, a single-entry map is a variant with payload.
+    pub fn into_variant(self) -> Result<(String, Option<Value>), ValueError> {
+        match self {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Map(mut entries) if entries.len() == 1 => {
+                let (tag, payload) = entries.pop().expect("len checked");
+                Ok((tag, Some(payload)))
+            }
+            other => Err(ValueError(format!(
+                "expected enum (string or single-entry map), found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interpret as a struct body.
+    pub fn into_struct_map(self, name: &str) -> Result<Vec<(String, Value)>, ValueError> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(ValueError(format!(
+                "expected map for struct {name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable kind tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "unsigned integer",
+            Value::I64(_) => "signed integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The single error type of the shim's data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A serializable type.
+pub trait Serialize {
+    /// Feed `self` into the serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Serialization traits and compound builders (mirrors `serde::ser`).
+pub mod ser {
+    use super::Serialize;
+    use core::fmt;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Build from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Builder for struct bodies.
+    pub trait SerializeStruct {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for sequences.
+    pub trait SerializeSeq {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for tuples (same shape as sequences here).
+    pub trait SerializeTuple {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for tuple structs.
+    pub trait SerializeTupleStruct {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one field.
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finish.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for tuple enum variants.
+    pub trait SerializeTupleVariant {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one field.
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finish.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for struct enum variants.
+    pub trait SerializeStructVariant {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one named field.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finish.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Builder for maps.
+    pub trait SerializeMap {
+        /// Final output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Append one key/value entry.
+        fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error>;
+        /// Finish the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization support (mirrors `serde::de`).
+pub mod de {
+    use core::fmt;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Build from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A serialization backend.
+///
+/// Identical method surface to real serde's `Serializer` for everything
+/// the workspace's hand-written impls and the derive macro emit.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Struct builder.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sequence builder.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple builder.
+    type SerializeTuple: ser::SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct builder.
+    type SerializeTupleStruct: ser::SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant builder.
+    type SerializeTupleVariant: ser::SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant builder.
+    type SerializeStructVariant: ser::SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder.
+    type SerializeMap: ser::SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i64` (all signed ints funnel here).
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64` (all unsigned ints funnel here).
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64` (both float widths funnel here).
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit struct.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct (transparent).
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begin a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begin a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begin a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+}
+
+/// A deserializable type (`'de` kept for signature compatibility; the
+/// shim always hands out owned [`Value`]s).
+pub trait Deserialize<'de>: Sized {
+    /// Pull `Self` out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializable from any lifetime — what owned-value deserialization
+/// requires (mirrors `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A deserialization backend: anything that can surrender a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Give up the underlying value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self)
+    }
+}
+
+/// Serialize anything into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize anything out of a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------------
+// The Value-building serializer.
+// ---------------------------------------------------------------------
+
+/// The [`Serializer`] that builds a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// Compound builder used for every sequence-like shape.
+pub struct SeqBuilder {
+    items: Vec<Value>,
+    /// `Some(variant)` wraps the finished seq in `{variant: [...]}`.
+    variant: Option<&'static str>,
+}
+
+/// Compound builder used for every map/struct-like shape.
+pub struct MapBuilder {
+    entries: Vec<(String, Value)>,
+    /// `Some(variant)` wraps the finished map in `{variant: {...}}`.
+    variant: Option<&'static str>,
+}
+
+impl SeqBuilder {
+    fn finish(self) -> Value {
+        let seq = Value::Seq(self.items);
+        match self.variant {
+            Some(v) => Value::Map(vec![(v.to_string(), seq)]),
+            None => seq,
+        }
+    }
+
+    fn push<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.items.push(to_value(value)?);
+        Ok(())
+    }
+}
+
+impl MapBuilder {
+    fn finish(self) -> Value {
+        let map = Value::Map(self.entries);
+        match self.variant {
+            Some(v) => Value::Map(vec![(v.to_string(), map)]),
+            None => map,
+        }
+    }
+
+    fn push<T: ?Sized + Serialize>(&mut self, key: &str, value: &T) -> Result<(), ValueError> {
+        self.entries.push((key.to_string(), to_value(value)?));
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ValueError> {
+        self.push(key, value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeStructVariant for MapBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), ValueError> {
+        self.push(key, value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), ValueError> {
+        let key = match to_value(key)? {
+            Value::Str(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => {
+                return Err(ValueError(format!(
+                    "map key must be scalar, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        self.entries.push((key, to_value(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTuple for SeqBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTupleVariant for SeqBuilder {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), ValueError> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, ValueError> {
+        Ok(self.finish())
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    type SerializeStruct = MapBuilder;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeTupleStruct = SeqBuilder;
+    type SerializeTupleVariant = SeqBuilder;
+    type SerializeStructVariant = MapBuilder;
+    type SerializeMap = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, ValueError> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, ValueError> {
+        if v >= 0 {
+            Ok(Value::U64(v as u64))
+        } else {
+            Ok(Value::I64(v))
+        }
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, ValueError> {
+        Ok(Value::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, ValueError> {
+        Ok(Value::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, ValueError> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, ValueError> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, ValueError> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, ValueError> {
+        to_value(value)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value, ValueError> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, ValueError> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, ValueError> {
+        to_value(value)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, ValueError> {
+        Ok(Value::Map(vec![(variant.to_string(), to_value(value)?)]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, ValueError> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, ValueError> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder, ValueError> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder, ValueError> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapBuilder, ValueError> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<MapBuilder, ValueError> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, ValueError> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if let Ok(v) = u64::try_from(*self) {
+            s.serialize_u64(v)
+        } else {
+            s.serialize_str(&self.to_string())
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<'a, S, T, I>(s: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    use ser::SerializeSeq as _;
+    let mut seq = s.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, N, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(s, self.len(), self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap as _;
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap as _;
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeTuple as _;
+                let mut t = s.serialize_tuple(0 $(+ { let _ = stringify!($name); 1 })+)?;
+                $(t.serialize_element(&self.$idx)?;)+
+                t.end()
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+fn wrong_kind<E: de::Error>(expected: &str, v: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", v.kind()))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = match v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => return Err(wrong_kind("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: i64 = match v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        <D::Error as de::Error>::custom(format!("{n} overflows i64"))
+                    })?,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    ref other => return Err(wrong_kind("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::U64(n) => Ok(n as u128),
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| de::Error::custom(format!("invalid u128 string: {s:?}"))),
+            ref other => Err(wrong_kind("u128", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(wrong_kind("float", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(wrong_kind("bool", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            ref other => Err(wrong_kind("string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Str(ref s) if s.chars().count() == 1 => Ok(s.chars().next().expect("len 1")),
+            ref other => Err(wrong_kind("single-char string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Null => Ok(()),
+            ref other => Err(wrong_kind("null", other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| T::deserialize(item).map_err(de::Error::custom))
+                .collect(),
+            ref other => Err(wrong_kind("sequence", other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + std::hash::Hash + Eq> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+/// Re-parse a map key that was stringified on the way out (numeric map
+/// keys arrive as strings).
+fn key_from_string<K: DeserializeOwned>(key: String) -> Result<K, ValueError> {
+    if let Ok(k) = K::deserialize(Value::Str(key.clone())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::deserialize(Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::deserialize(Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = K::deserialize(Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(ValueError(format!(
+        "cannot reconstruct map key from {key:?}"
+    )))
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = key_from_string::<K>(k).map_err(de::Error::custom)?;
+                    let value = V::deserialize(v).map_err(de::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            ref other => Err(wrong_kind("map", other)),
+        }
+    }
+}
+
+impl<'de, K: DeserializeOwned + std::hash::Hash + Eq, V: DeserializeOwned> Deserialize<'de>
+    for HashMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = key_from_string::<K>(k).map_err(de::Error::custom)?;
+                    let value = V::deserialize(v).map_err(de::Error::custom)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            ref other => Err(wrong_kind("map", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+; $len:expr))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                let items = match v {
+                    Value::Seq(items) if items.len() == $len => items,
+                    Value::Seq(ref items) => {
+                        return Err(de::Error::custom(format!(
+                            "expected tuple of {}, found {} elements", $len, items.len()
+                        )))
+                    }
+                    ref other => return Err(wrong_kind("sequence", other)),
+                };
+                let mut it = items.into_iter();
+                Ok(($(
+                    $name::deserialize(it.next().expect("length checked"))
+                        .map_err(|e| de::Error::custom(e))?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (A; 1)
+    (A, B; 2)
+    (A, B, C; 3)
+    (A, B, C, D; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_value(&42u32).unwrap(), Value::U64(42));
+        assert_eq!(from_value::<u32>(Value::U64(42)).unwrap(), 42);
+        assert_eq!(from_value::<i32>(Value::I64(-5)).unwrap(), -5);
+        assert_eq!(to_value(&-5i32).unwrap(), Value::I64(-5));
+        assert_eq!(from_value::<f64>(Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(from_value::<String>(Value::Str("hi".into())).unwrap(), "hi");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let val = to_value(&v).unwrap();
+        assert_eq!(from_value::<Vec<u32>>(val).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(7, "y".to_string());
+        let val = to_value(&m).unwrap();
+        assert_eq!(from_value::<BTreeMap<u32, String>>(val).unwrap(), m);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(to_value(&Option::<u8>::None).unwrap(), Value::Null);
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        assert!(from_value::<u8>(Value::U64(300)).is_err());
+        assert!(from_value::<u32>(Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline shim for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` without syn/quote:
+//! the input token stream is walked by hand (attributes skipped,
+//! visibility skipped, angle-bracket depth tracked so generic types with
+//! embedded commas parse correctly) and the impl is emitted as a string.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! plain structs with named fields, tuple structs (newtype and wider),
+//! unit structs, and enums whose variants are unit, tuple, or
+//! struct-like. Generic types are *not* supported and produce a
+//! compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum TypeDef {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_type(input) {
+        Ok(def) => gen_serialize(&def).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_type(input) {
+        Ok(def) => gen_deserialize(&def)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> Result<TypeDef, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic types (deriving on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(TypeDef::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(TypeDef::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                *i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token slice at top-level commas, tracking `<`/`>` depth so
+/// commas inside generic arguments don't split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(chunk, &mut i);
+            i < chunk.len()
+        })
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            // `Variant = 3` discriminants and bare variants are both unit.
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("__s.serialize_unit_struct({name:?})"),
+                Fields::Tuple(1) => {
+                    format!("__s.serialize_newtype_struct({name:?}, &self.0)")
+                }
+                Fields::Tuple(n) => {
+                    let mut b = String::new();
+                    b.push_str("{ use ::serde::ser::SerializeTupleStruct as _; ");
+                    b.push_str(&format!(
+                        "let mut __st = __s.serialize_tuple_struct({name:?}, {n})?; "
+                    ));
+                    for idx in 0..*n {
+                        b.push_str(&format!("__st.serialize_field(&self.{idx})?; "));
+                    }
+                    b.push_str("__st.end() }");
+                    b
+                }
+                Fields::Named(names) => {
+                    let mut b = String::new();
+                    b.push_str("{ use ::serde::ser::SerializeStruct as _; ");
+                    b.push_str(&format!(
+                        "let mut __st = __s.serialize_struct({name:?}, {})?; ",
+                        names.len()
+                    ));
+                    for f in names {
+                        b.push_str(&format!("__st.serialize_field({f:?}, &self.{f})?; "));
+                    }
+                    b.push_str("__st.end() }");
+                    b
+                }
+            };
+            wrap_serialize_impl(name, &body)
+        }
+        TypeDef::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vi, (vname, fields)) in variants.iter().enumerate() {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __s.serialize_unit_variant({name:?}, {vi}u32, {vname:?}),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                         __s.serialize_newtype_variant({name:?}, {vi}u32, {vname:?}, __f0),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{ ", binders.join(", "));
+                        arm.push_str("use ::serde::ser::SerializeTupleVariant as _; ");
+                        arm.push_str(&format!(
+                            "let mut __st = \
+                             __s.serialize_tuple_variant({name:?}, {vi}u32, {vname:?}, {n})?; "
+                        ));
+                        for b in &binders {
+                            arm.push_str(&format!("__st.serialize_field({b})?; "));
+                        }
+                        arm.push_str("__st.end() },\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fnames) => {
+                        let mut arm =
+                            format!("{name}::{vname} {{ {} }} => {{ ", fnames.join(", "));
+                        arm.push_str("use ::serde::ser::SerializeStructVariant as _; ");
+                        arm.push_str(&format!(
+                            "let mut __st = __s.serialize_struct_variant(\
+                             {name:?}, {vi}u32, {vname:?}, {})?; ",
+                            fnames.len()
+                        ));
+                        for f in fnames {
+                            arm.push_str(&format!("__st.serialize_field({f:?}, {f})?; "));
+                        }
+                        arm.push_str("__st.end() },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            wrap_serialize_impl(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn wrap_serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let body = match def {
+        TypeDef::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match __v {{ ::serde::Value::Null => ::core::result::Result::Ok({name}), \
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"expected null for unit struct {name}, found {{}}\", __other.kind()))) }}"
+            ),
+            Fields::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::__private::from_value_de(__v)\
+                 .map_err(::serde::de::Error::custom)?))"
+            ),
+            Fields::Tuple(n) => {
+                let mut b = format!(
+                    "let __seq = ::serde::__private::tuple_payload(\
+                     ::core::option::Option::Some(__v), {n})\
+                     .map_err(::serde::de::Error::custom)?; \
+                     let mut __it = __seq.into_iter(); \
+                     ::core::result::Result::Ok({name}("
+                );
+                for _ in 0..*n {
+                    b.push_str(
+                        "::serde::__private::next_elem(&mut __it)\
+                         .map_err(::serde::de::Error::custom)?, ",
+                    );
+                }
+                b.push_str("))");
+                b
+            }
+            Fields::Named(names) => {
+                let mut b = format!(
+                    "let __m = __v.into_struct_map({name:?})\
+                     .map_err(::serde::de::Error::custom)?; \
+                     ::core::result::Result::Ok({name} {{ "
+                );
+                for f in names {
+                    b.push_str(&format!(
+                        "{f}: ::serde::__private::field(&__m, {f:?})\
+                         .map_err(::serde::de::Error::custom)?, "
+                    ));
+                }
+                b.push_str("})");
+                b
+            }
+        },
+        TypeDef::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{vname:?} => {{ \
+                         ::serde::__private::expect_no_payload(&__payload)\
+                         .map_err(::serde::de::Error::custom)?; \
+                         ::core::result::Result::Ok({name}::{vname}) }},\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::__private::newtype_payload(__payload)\
+                         .map_err(::serde::de::Error::custom)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "{vname:?} => {{ \
+                             let __seq = ::serde::__private::tuple_payload(__payload, {n})\
+                             .map_err(::serde::de::Error::custom)?; \
+                             let mut __it = __seq.into_iter(); \
+                             ::core::result::Result::Ok({name}::{vname}("
+                        );
+                        for _ in 0..*n {
+                            arm.push_str(
+                                "::serde::__private::next_elem(&mut __it)\
+                                 .map_err(::serde::de::Error::custom)?, ",
+                            );
+                        }
+                        arm.push_str(")) },\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fnames) => {
+                        let mut arm = format!(
+                            "{vname:?} => {{ \
+                             let __m = ::serde::__private::struct_payload(__payload)\
+                             .map_err(::serde::de::Error::custom)?; \
+                             ::core::result::Result::Ok({name}::{vname} {{ "
+                        );
+                        for f in fnames {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::__private::field(&__m, {f:?})\
+                                 .map_err(::serde::de::Error::custom)?, "
+                            ));
+                        }
+                        arm.push_str("}) },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = __v.into_variant()\
+                 .map_err(::serde::de::Error::custom)?; \
+                 match __tag.as_str() {{ {arms} \
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for enum {name}\"))) }}"
+            )
+        }
+    };
+    let name = match def {
+        TypeDef::Struct { name, .. } | TypeDef::Enum { name, .. } => name,
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __v = __d.take_value()?;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -16,7 +16,11 @@ fn random_assignments_route_through_matching_crossbars() {
         let mut gen = AssignmentGen::new(net, model, 2025);
         let mut xbar = WdmCrossbar::build(net, model);
         for i in 0..10 {
-            let asg = if i % 2 == 0 { gen.full_assignment() } else { gen.any_assignment() };
+            let asg = if i % 2 == 0 {
+                gen.full_assignment()
+            } else {
+                gen.any_assignment()
+            };
             let outcome = xbar.route_verified(&asg).unwrap_or_else(|e| {
                 panic!("{model} assignment {i} failed: {e}\n{asg}");
             });
@@ -35,7 +39,11 @@ fn scenario_workloads_route_and_match_cost_model() {
     ] {
         for model in MulticastModel::ALL {
             let asg = scenario.generate(net, model, 7);
-            assert!(!asg.is_empty(), "{} produced nothing under {model}", scenario.label());
+            assert!(
+                !asg.is_empty(),
+                "{} produced nothing under {model}",
+                scenario.label()
+            );
             let mut xbar = WdmCrossbar::build(net, model);
             let outcome = xbar.route_verified(&asg).unwrap();
             assert!(outcome.delivered_exactly(&asg));
@@ -77,7 +85,9 @@ fn churn_trace_runs_identically_on_crossbar_and_multistage() {
             // After every event, the multistage network's live assignment
             // must also route through the crossbar (they represent the
             // same endpoint-level state).
-            let outcome = xbar.route_verified(three.assignment()).map_err(|e| e.to_string())?;
+            let outcome = xbar
+                .route_verified(three.assignment())
+                .map_err(|e| e.to_string())?;
             assert!(outcome.delivered_exactly(three.assignment()));
             Ok(())
         })
@@ -100,9 +110,9 @@ fn multistage_capacity_equals_crossbar_capacity() {
         let asg = map.to_assignment(model).unwrap();
         let mut three = ThreeStageNetwork::new(p, Construction::MswDominant, model);
         for conn in asg.connections() {
-            three.connect(conn.clone()).unwrap_or_else(|e| {
-                panic!("assignment not routable in multistage: {e}\n{asg}")
-            });
+            three
+                .connect(conn.clone())
+                .unwrap_or_else(|e| panic!("assignment not routable in multistage: {e}\n{asg}"));
         }
         routed += 1;
     }

@@ -5,29 +5,30 @@
 use wdm_multicast::core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use wdm_multicast::fabric::{trace_signal, CrossbarSession, PowerParams};
 use wdm_multicast::multistage::{
-    bounds, Construction, FiveStageNetwork, PhotonicFiveStage, PhotonicThreeStage,
-    RouteError, SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
+    bounds, Construction, FiveStageNetwork, PhotonicFiveStage, PhotonicThreeStage, RouteError,
+    SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
 };
 use wdm_multicast::workload::{AssignmentGen, DynamicTraffic, TraceEvent};
 
 #[test]
 fn five_stage_and_photonic_agree_under_dynamic_traffic() {
-    let mut five =
-        FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
+    let mut five = FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
     let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Msw);
-    let mut traffic =
-        DynamicTraffic::new(five.network(), MulticastModel::Msw, 3.0, 1.0, 4, 99);
+    let mut traffic = DynamicTraffic::new(five.network(), MulticastModel::Msw, 3.0, 1.0, 4, 99);
     for timed in traffic.generate(60.0) {
         match timed.event {
             TraceEvent::Connect(conn) => {
-                five.connect(conn).expect("five-stage at bounds never blocks");
+                five.connect(conn)
+                    .expect("five-stage at bounds never blocks");
             }
             TraceEvent::Disconnect(src) => {
                 five.disconnect(src).unwrap();
             }
         }
     }
-    let outcome = photonic.realize(&five).expect("hardware follows the logical state");
+    let outcome = photonic
+        .realize(&five)
+        .expect("hardware follows the logical state");
     assert!(outcome.delivered_exactly(five.assignment()));
 }
 
@@ -38,11 +39,12 @@ fn photonic_three_stage_strategies_all_realizable() {
     let (n, r, k) = (3u32, 3u32, 2u32);
     let m = bounds::theorem1_min_m(n, r).m;
     let p = ThreeStageParams::new(n, m, r, k);
-    for strategy in
-        [SelectionStrategy::FirstFit, SelectionStrategy::Pack, SelectionStrategy::Spread]
-    {
-        let mut logical =
-            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+    for strategy in [
+        SelectionStrategy::FirstFit,
+        SelectionStrategy::Pack,
+        SelectionStrategy::Spread,
+    ] {
+        let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         logical.set_strategy(strategy);
         let mut gen = AssignmentGen::new(p.network(), MulticastModel::Msw, 31);
         for _ in 0..10 {
@@ -53,7 +55,10 @@ fn photonic_three_stage_strategies_all_realizable() {
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
         let outcome = photonic.realize(&logical).unwrap();
-        assert!(outcome.delivered_exactly(logical.assignment()), "{strategy:?}");
+        assert!(
+            outcome.delivered_exactly(logical.assignment()),
+            "{strategy:?}"
+        );
     }
 }
 
@@ -91,7 +96,10 @@ fn limited_range_interpolates_between_constructions() {
     let b1 = blocked_with(Some(1));
     let bfull = blocked_with(None);
     assert_eq!(bfull, 0, "full range at the Theorem 2 bound must not block");
-    assert!(b0 >= b1, "reach 0 ({b0}) should block at least as much as reach 1 ({b1})");
+    assert!(
+        b0 >= b1,
+        "reach 0 ({b0}) should block at least as much as reach 1 ({b1})"
+    );
     assert!(b0 > 0, "frozen converters must block under MAW churn");
 }
 
@@ -121,9 +129,14 @@ fn path_loss_orders_msw_below_maw() {
         let mut session = CrossbarSession::new(net, model);
         session.connect(conn.clone()).unwrap();
         let outcome = session.verify().unwrap();
-        trace_signal(session.crossbar().netlist(), &outcome, Endpoint::new(4, 0), &params)
-            .unwrap()
-            .loss_db
+        trace_signal(
+            session.crossbar().netlist(),
+            &outcome,
+            Endpoint::new(4, 0),
+            &params,
+        )
+        .unwrap()
+        .loss_db
     };
     assert!(loss(MulticastModel::Msw) < loss(MulticastModel::Maw));
 }
@@ -140,11 +153,9 @@ fn photonic_fault_on_routed_path_is_detected() {
     logical
         .connect(MulticastConnection::unicast(Endpoint::new(0, 0), dest))
         .unwrap();
-    let mut photonic =
-        PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
+    let mut photonic = PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
     let healthy = photonic.realize(&logical).unwrap();
-    let path =
-        trace_signal(photonic.netlist(), &healthy, dest, &PowerParams::default()).unwrap();
+    let path = trace_signal(photonic.netlist(), &healthy, dest, &PowerParams::default()).unwrap();
     // The path crosses three gates (one per stage).
     let gates: Vec<_> = path
         .nodes

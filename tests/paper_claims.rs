@@ -10,8 +10,14 @@ use wdm_multicast::multistage::{bounds, cost, scenarios, Construction, ThreeStag
 #[test]
 fn claim_lemma1() {
     let net = NetworkConfig::new(3, 2);
-    assert_eq!(capacity::full_assignments(net, MulticastModel::Msw), BigUint::from(729u64));
-    assert_eq!(enumerate::count_full(net, MulticastModel::Msw), BigUint::from(729u64));
+    assert_eq!(
+        capacity::full_assignments(net, MulticastModel::Msw),
+        BigUint::from(729u64)
+    );
+    assert_eq!(
+        enumerate::count_full(net, MulticastModel::Msw),
+        BigUint::from(729u64)
+    );
 }
 
 /// §2.2, Lemma 2: MAW capacity is `[P(Nk,k)]^N` full.
@@ -19,16 +25,28 @@ fn claim_lemma1() {
 fn claim_lemma2() {
     let net = NetworkConfig::new(2, 2);
     // P(4,2)^2 = 12² = 144.
-    assert_eq!(capacity::full_assignments(net, MulticastModel::Maw), BigUint::from(144u64));
-    assert_eq!(enumerate::count_full(net, MulticastModel::Maw), BigUint::from(144u64));
+    assert_eq!(
+        capacity::full_assignments(net, MulticastModel::Maw),
+        BigUint::from(144u64)
+    );
+    assert_eq!(
+        enumerate::count_full(net, MulticastModel::Maw),
+        BigUint::from(144u64)
+    );
 }
 
 /// §2.2, Lemma 3: the MSDW Stirling sum, against brute force.
 #[test]
 fn claim_lemma3() {
     let net = NetworkConfig::new(2, 2);
-    assert_eq!(capacity::full_assignments(net, MulticastModel::Msdw), BigUint::from(84u64));
-    assert_eq!(enumerate::count_full(net, MulticastModel::Msdw), BigUint::from(84u64));
+    assert_eq!(
+        capacity::full_assignments(net, MulticastModel::Msdw),
+        BigUint::from(84u64)
+    );
+    assert_eq!(
+        enumerate::count_full(net, MulticastModel::Msdw),
+        BigUint::from(84u64)
+    );
 }
 
 /// §2.2: a WDM N×N k-λ network is strictly weaker than an Nk×Nk
@@ -88,7 +106,10 @@ fn claim_theorem1_values() {
 #[test]
 fn claim_theorem2_relation() {
     for (n, r) in [(3u32, 3u32), (4, 4), (8, 8)] {
-        assert_eq!(bounds::theorem2_min_m(n, r, 1).m, bounds::theorem1_min_m(n, r).m);
+        assert_eq!(
+            bounds::theorem2_min_m(n, r, 1).m,
+            bounds::theorem1_min_m(n, r).m
+        );
         for k in [2u32, 4, 8] {
             assert!(bounds::theorem2_min_m(n, r, k).m >= bounds::theorem1_min_m(n, r).m);
         }
