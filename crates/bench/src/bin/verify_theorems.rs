@@ -47,6 +47,7 @@ fn random_churn(
                 }
                 Err(RouteError::Blocked { .. }) => result.blocked += 1,
                 Err(RouteError::Assignment(e)) => panic!("illegal generated request: {e}"),
+                Err(e) => panic!("unexpected routing failure: {e}"),
             }
         }
     }
@@ -76,6 +77,7 @@ fn adversarial_fill(mut net: ThreeStageNetwork, model: MulticastModel, seed: u64
                 break; // adversarial generator would retry the same shape
             }
             Err(RouteError::Assignment(e)) => panic!("illegal adversarial request: {e}"),
+            Err(e) => panic!("unexpected routing failure: {e}"),
         }
         if result.attempts > 10_000 {
             break;

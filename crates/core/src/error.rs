@@ -44,6 +44,10 @@ pub enum AssignmentError {
     ModelViolation(crate::MulticastModel),
     /// The connection to remove is not present.
     NoSuchConnection(Endpoint),
+    /// The connection touches a failed component (dead port, dark
+    /// converter bank, …). Unlike a busy endpoint this cannot resolve by
+    /// waiting — only a repair of the named component helps.
+    ComponentDown(crate::Fault),
 }
 
 impl fmt::Display for AssignmentError {
@@ -63,6 +67,9 @@ impl fmt::Display for AssignmentError {
             }
             AssignmentError::NoSuchConnection(ep) => {
                 write!(f, "no connection sourced at {ep}")
+            }
+            AssignmentError::ComponentDown(fault) => {
+                write!(f, "component down: {fault}")
             }
         }
     }

@@ -42,6 +42,7 @@ pub mod capacity;
 pub mod connection;
 pub mod enumerate;
 mod error;
+pub mod fault;
 mod ids;
 mod model;
 mod network;
@@ -51,6 +52,7 @@ pub mod stats;
 pub use assignment::MulticastAssignment;
 pub use connection::MulticastConnection;
 pub use error::{AssignmentError, ConnectionError};
+pub use fault::{Fault, FaultSet};
 pub use ids::{Endpoint, PortId, WavelengthId};
 pub use model::MulticastModel;
 pub use network::NetworkConfig;

@@ -55,4 +55,4 @@ pub use params::{Construction, ThreeStageParams};
 pub use photonic::PhotonicThreeStage;
 pub use photonic5::PhotonicFiveStage;
 pub use recursive::FiveStageNetwork;
-pub use witness::{find_blocking_witness, BlockingWitness};
+pub use witness::{find_blocking_witness, find_blocking_witness_faulted, BlockingWitness};

@@ -23,8 +23,8 @@ use crate::{bounds, Construction, DestinationMultiset, ThreeStageParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use wdm_core::{
-    AssignmentError, Endpoint, MulticastAssignment, MulticastConnection, MulticastModel,
-    NetworkConfig,
+    AssignmentError, Endpoint, Fault, FaultSet, MulticastAssignment, MulticastConnection,
+    MulticastModel, NetworkConfig,
 };
 
 /// Why a connection request failed.
@@ -41,6 +41,19 @@ pub enum RouteError {
         /// The fan-out limit in force.
         x_limit: u32,
     },
+    /// The request touches a failed component (dead port, or a module
+    /// structurally cut off from the middle stage). Unlike
+    /// [`RouteError::Blocked`] no amount of spare capacity helps; only a
+    /// repair of the named component does.
+    ComponentDown(Fault),
+    /// Internal bookkeeping failed while undoing a partially committed
+    /// route; the network may be left inconsistent. This is a defensive
+    /// error for a condition that indicates a bug, surfaced instead of
+    /// panicking so a long-running controller can report and recover.
+    Inconsistent {
+        /// What went wrong during the rollback.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for RouteError {
@@ -54,6 +67,10 @@ impl core::fmt::Display for RouteError {
                 f,
                 "blocked: no ≤{x_limit}-middle cover among {available_middles} available switches"
             ),
+            RouteError::ComponentDown(fault) => write!(f, "component down: {fault}"),
+            RouteError::Inconsistent { detail } => {
+                write!(f, "rollback failed, state may be inconsistent: {detail}")
+            }
         }
     }
 }
@@ -142,6 +159,8 @@ pub struct ThreeStageNetwork {
     /// Endpoint-level bookkeeping and model enforcement.
     assignment: MulticastAssignment,
     routed: BTreeMap<Endpoint, RoutedConnection>,
+    /// Failed components the router must skip.
+    faults: FaultSet,
 }
 
 impl ThreeStageNetwork {
@@ -169,6 +188,7 @@ impl ThreeStageNetwork {
             multisets: vec![DestinationMultiset::new(params.r, params.k); params.m as usize],
             assignment: MulticastAssignment::new(params.network(), output_model),
             routed: BTreeMap::new(),
+            faults: FaultSet::new(),
         }
     }
 
@@ -252,11 +272,135 @@ impl ThreeStageNetwork {
         &self.assignment
     }
 
+    /// The failed components currently on record.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Mark `fault` failed. Returns `true` if it was healthy before.
+    ///
+    /// This only updates the routing tables' view of the world: future
+    /// routes avoid the component, but connections already traversing it
+    /// are *not* torn down here — a runtime that owns the traffic decides
+    /// what to heal (see [`Self::connections_through`]).
+    pub fn inject_fault(&mut self, fault: Fault) -> bool {
+        self.faults.fail(fault)
+    }
+
+    /// Mark `fault` repaired. Returns `true` if it was failed before.
+    pub fn repair_fault(&mut self, fault: Fault) -> bool {
+        self.faults.repair(fault)
+    }
+
+    /// Live connections whose realized route traverses `fault` — the
+    /// traffic a runtime must heal when the component dies.
+    pub fn connections_through(&self, fault: &Fault) -> Vec<Endpoint> {
+        self.routed
+            .iter()
+            .filter(|(src, rc)| self.route_uses(src, rc, fault))
+            .map(|(&src, _)| src)
+            .collect()
+    }
+
+    fn route_uses(&self, src: &Endpoint, rc: &RoutedConnection, fault: &Fault) -> bool {
+        let (in_module, _) = self.params.input_module_of(src.port.0);
+        match *fault {
+            Fault::MiddleSwitch(j) => rc.branches.iter().any(|b| b.middle == j),
+            Fault::InputLink { module, middle } => {
+                in_module == module && rc.branches.iter().any(|b| b.middle == middle)
+            }
+            Fault::MiddleLink { middle, module } => rc
+                .branches
+                .iter()
+                .any(|b| b.middle == middle && b.legs.iter().any(|l| l.out_module == module)),
+            // Stage-1 converters matter only in the MAW-dominant
+            // construction, and only for branches that actually shifted
+            // the source wavelength.
+            Fault::InputConverters(a) => {
+                self.construction == Construction::MawDominant
+                    && in_module == a
+                    && rc
+                        .branches
+                        .iter()
+                        .any(|b| b.input_wavelength != src.wavelength.0)
+            }
+            Fault::MiddleConverters(j) => rc.branches.iter().any(|b| {
+                b.middle == j && b.legs.iter().any(|l| l.wavelength != b.input_wavelength)
+            }),
+            Fault::OutputConverters(om) => rc.branches.iter().any(|b| {
+                b.legs.iter().any(|l| {
+                    l.out_module == om && l.dests.iter().any(|d| d.wavelength.0 != l.wavelength)
+                })
+            }),
+            Fault::Port(p) => {
+                src.port.0 == p
+                    || rc
+                        .branches
+                        .iter()
+                        .any(|b| b.legs.iter().any(|l| l.dests.iter().any(|d| d.port.0 == p)))
+            }
+        }
+    }
+
+    /// A fault that makes `conn` categorically unroutable (as opposed to
+    /// merely blocked): a dead endpoint port, or a module structurally cut
+    /// off from the middle stage.
+    fn component_down(&self, conn: &MulticastConnection) -> Option<Fault> {
+        let src = conn.source();
+        if self.faults.port_down(src.port.0) {
+            return Some(Fault::Port(src.port.0));
+        }
+        for d in conn.destinations() {
+            if self.faults.port_down(d.port.0) {
+                return Some(Fault::Port(d.port.0));
+            }
+        }
+        if self.faults.is_empty() {
+            return None;
+        }
+        // Source module cut off: every middle is dead or unreachable.
+        let (in_module, _) = self.params.input_module_of(src.port.0);
+        let cut = |j: u32| self.faults.middle_down(j) || self.faults.input_link_down(in_module, j);
+        if (0..self.params.m).all(cut) {
+            let j = (0..self.params.m)
+                .find(|&j| self.faults.middle_down(j))
+                .unwrap_or(0);
+            return Some(if self.faults.middle_down(j) {
+                Fault::MiddleSwitch(j)
+            } else {
+                Fault::InputLink {
+                    module: in_module,
+                    middle: j,
+                }
+            });
+        }
+        // A requested output module cut off from every middle.
+        for d in conn.destinations() {
+            let (om, _) = self.params.output_module_of(d.port.0);
+            let cut = |j: u32| self.faults.middle_down(j) || self.faults.middle_link_down(j, om);
+            if (0..self.params.m).all(cut) {
+                let j = (0..self.params.m)
+                    .find(|&j| self.faults.middle_down(j))
+                    .unwrap_or(0);
+                return Some(if self.faults.middle_down(j) {
+                    Fault::MiddleSwitch(j)
+                } else {
+                    Fault::MiddleLink {
+                        middle: j,
+                        module: om,
+                    }
+                });
+            }
+        }
+        None
+    }
+
     /// Middle switches reachable by a new connection from input module
     /// `module` on source wavelength `src_wl` (the paper's *available
     /// middle switches*).
     pub fn available_middles(&self, module: u32, src_wl: u32) -> Vec<u32> {
         (0..self.params.m)
+            .filter(|&j| !self.faults.middle_down(j) && !self.faults.input_link_down(module, j))
             .filter(|&j| {
                 let mask = self.input_links[module as usize][j as usize];
                 match self.construction {
@@ -271,6 +415,9 @@ impl ThreeStageNetwork {
     /// realized route returned.
     pub fn connect(&mut self, conn: MulticastConnection) -> Result<&RoutedConnection, RouteError> {
         self.assignment.check(&conn)?;
+        if let Some(fault) = self.component_down(&conn) {
+            return Err(RouteError::ComponentDown(fault));
+        }
         let src = conn.source();
         let (in_module, _) = self.params.input_module_of(src.port.0);
 
@@ -389,7 +536,12 @@ impl ThreeStageNetwork {
         let mask = self.input_links[module as usize][j as usize];
         match self.construction {
             Construction::MswDominant => (mask & (1 << src_wl) == 0).then_some(src_wl),
-            // The stage-1 MAW module converts src_wl → wi within reach.
+            // The stage-1 MAW module converts src_wl → wi within reach —
+            // unless its converter bank is dark, in which case the signal
+            // passes through on its own wavelength only.
+            Construction::MawDominant if self.faults.input_converters_down(module) => {
+                (mask & (1 << src_wl) == 0).then_some(src_wl)
+            }
             Construction::MawDominant => {
                 (0..self.params.k).find(|&w| mask & (1 << w) == 0 && self.convertible(src_wl, w))
             }
@@ -401,15 +553,30 @@ impl ThreeStageNetwork {
     /// cannot carry it — considering the middle converter's reach
     /// (`wi → wl`) and the output module's converters (`wl → dest λ`).
     fn leg_wavelength(&self, j: u32, om: u32, wi: u32, dests: &[Endpoint]) -> Option<u32> {
+        if self.faults.middle_link_down(j, om) {
+            return None;
+        }
         let mask = self.middle_links[j as usize][om as usize];
+        let out_conv_down = self.faults.output_converters_down(om);
         let reaches_dests = |wl: u32| match self.output_model {
             // An MSW output module cannot convert — but then the dests
             // equal wl by construction of `candidates` below.
             MulticastModel::Msw => true,
-            // One conversion to the (uniform) destination wavelength.
+            // One conversion to the (uniform) destination wavelength —
+            // identity only if the output converter bank is dark.
+            MulticastModel::Msdw if out_conv_down => wl == dests[0].wavelength.0,
             MulticastModel::Msdw => self.convertible(wl, dests[0].wavelength.0),
             // One conversion per destination endpoint.
+            MulticastModel::Maw if out_conv_down => dests.iter().all(|d| d.wavelength.0 == wl),
             MulticastModel::Maw => dests.iter().all(|d| self.convertible(wl, d.wavelength.0)),
+        };
+        // A dark middle converter bank pins the leg to the arrival λ.
+        let mid_conv_ok = |wl: u32| {
+            if self.faults.middle_converters_down(j) {
+                wl == wi
+            } else {
+                self.convertible(wi, wl)
+            }
         };
         let candidates: Vec<u32> = match (self.construction, self.output_model) {
             // MSW middles emit the arriving wavelength only.
@@ -423,7 +590,7 @@ impl ThreeStageNetwork {
         };
         candidates
             .into_iter()
-            .find(|&wl| mask & (1 << wl) == 0 && self.convertible(wi, wl) && reaches_dests(wl))
+            .find(|&wl| mask & (1 << wl) == 0 && mid_conv_ok(wl) && reaches_dests(wl))
     }
 
     /// Per-middle-switch connection totals (for load-balance analysis of
@@ -882,6 +1049,162 @@ mod tests {
         ));
         // Same-wavelength destinations still route.
         assert!(net.connect(conn((0, 0), &[(2, 0), (3, 0)])).is_ok());
+    }
+
+    #[test]
+    fn dead_middle_skipped_by_routing() {
+        let mut net = msw_net(); // m = 4
+        for j in 0..3 {
+            assert!(net.inject_fault(Fault::MiddleSwitch(j)));
+        }
+        assert_eq!(net.available_middles(0, 0), vec![3]);
+        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        assert_eq!(rc.branches.len(), 1);
+        assert_eq!(rc.branches[0].middle, 3, "only live middle");
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn severed_input_link_skipped() {
+        let mut net = msw_net();
+        net.inject_fault(Fault::InputLink {
+            module: 0,
+            middle: 0,
+        });
+        // Module 0 loses middle 0; module 1 keeps all four.
+        assert_eq!(net.available_middles(0, 0), vec![1, 2, 3]);
+        assert_eq!(net.available_middles(1, 0), vec![0, 1, 2, 3]);
+        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        assert_ne!(rc.branches[0].middle, 0);
+    }
+
+    #[test]
+    fn severed_middle_link_skipped() {
+        let mut net = msw_net();
+        // FirstFit would route 0→module1 via middle 0; severing 0→1
+        // forces the leg onto another middle.
+        net.inject_fault(Fault::MiddleLink {
+            middle: 0,
+            module: 1,
+        });
+        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        assert_ne!(rc.branches[0].middle, 0);
+        // Output module 0 is still reachable through middle 0.
+        let rc = net.connect(conn((1, 0), &[(0, 0)])).unwrap().clone();
+        assert_eq!(rc.branches[0].middle, 0);
+    }
+
+    #[test]
+    fn dark_input_converters_pin_wavelength() {
+        // MAW-dominant normally converts around a wavelength clash
+        // (see maw_dominant_converts_around_wavelength_clash); with the
+        // module's converter bank dark it degenerates to MSW and blocks.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.inject_fault(Fault::InputConverters(0));
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        assert!(matches!(
+            net.connect(conn((1, 0), &[(3, 0)])),
+            Err(RouteError::Blocked { .. })
+        ));
+    }
+
+    #[test]
+    fn dark_middle_converters_pin_leg_wavelength() {
+        // MAW-dominant, λ0 busy on the 0→module1 middle link: normally the
+        // middle converts the leg to λ1; with its bank dark the leg must
+        // stay on the arrival wavelength.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
+        net.set_fanout_limit(1);
+        net.inject_fault(Fault::MiddleConverters(0));
+        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        // Second λ0 source: input converter shifts it to λ1; the middle
+        // cannot shift it back to reach a λ1 destination — that's fine
+        // (λ1 output free) — but a λ0 destination needs the dark bank.
+        let rc = net.connect(conn((1, 0), &[(3, 1)])).unwrap().clone();
+        assert_eq!(rc.branches[0].input_wavelength, 1);
+        assert_eq!(rc.branches[0].legs[0].wavelength, 1, "no conversion");
+    }
+
+    #[test]
+    fn dead_port_is_component_down() {
+        let mut net = msw_net();
+        net.inject_fault(Fault::Port(2));
+        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        assert!(matches!(err, RouteError::ComponentDown(Fault::Port(2))));
+        let err = net.connect(conn((2, 0), &[(0, 0)])).unwrap_err();
+        assert!(matches!(err, RouteError::ComponentDown(Fault::Port(2))));
+        // Other traffic unaffected.
+        assert!(net.connect(conn((0, 0), &[(3, 0)])).is_ok());
+    }
+
+    #[test]
+    fn cut_off_module_is_component_down_not_blocked() {
+        let mut net = msw_net();
+        // Sever every link from input module 0 to the middle stage.
+        for j in 0..4 {
+            net.inject_fault(Fault::InputLink {
+                module: 0,
+                middle: j,
+            });
+        }
+        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        assert!(
+            matches!(err, RouteError::ComponentDown(Fault::InputLink { .. })),
+            "cut-off module must not read as capacity blocking: {err}"
+        );
+        // Module 1 still routes.
+        assert!(net.connect(conn((2, 0), &[(0, 0)])).is_ok());
+    }
+
+    #[test]
+    fn connections_through_finds_traversing_traffic() {
+        let mut net = msw_net();
+        let rc = net
+            .connect(conn((0, 0), &[(1, 0), (2, 0)]))
+            .unwrap()
+            .clone();
+        net.connect(conn((2, 1), &[(3, 1)])).unwrap();
+        let j = rc.branches[0].middle;
+        let hit = net.connections_through(&Fault::MiddleSwitch(j));
+        assert!(hit.contains(&Endpoint::new(0, 0)));
+        let hit = net.connections_through(&Fault::Port(1));
+        assert_eq!(hit, vec![Endpoint::new(0, 0)]);
+        let hit = net.connections_through(&Fault::Port(3));
+        assert_eq!(hit, vec![Endpoint::new(2, 1)]);
+        // A middle no route uses carries nothing.
+        let unused: Vec<u32> = (0..4)
+            .filter(|&j| {
+                net.route_of(Endpoint::new(0, 0))
+                    .unwrap()
+                    .branches
+                    .iter()
+                    .chain(net.route_of(Endpoint::new(2, 1)).unwrap().branches.iter())
+                    .all(|b| b.middle != j)
+            })
+            .collect();
+        for j in unused {
+            assert!(net.connections_through(&Fault::MiddleSwitch(j)).is_empty());
+        }
+    }
+
+    #[test]
+    fn repair_restores_routing() {
+        let mut net = msw_net();
+        for j in 0..4 {
+            net.inject_fault(Fault::MiddleSwitch(j));
+        }
+        assert!(matches!(
+            net.connect(conn((0, 0), &[(2, 0)])),
+            Err(RouteError::ComponentDown(_))
+        ));
+        assert!(net.repair_fault(Fault::MiddleSwitch(2)));
+        assert!(!net.repair_fault(Fault::MiddleSwitch(2)), "double repair");
+        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        assert_eq!(rc.branches[0].middle, 2);
+        assert_eq!(net.faults().failed_middles(), 3);
     }
 
     #[test]

@@ -162,18 +162,37 @@ impl FiveStageNetwork {
             let inner_conn = self.inner_connection(&routed, branch);
             if let Err(e) = self.inners[branch.middle as usize].connect(inner_conn) {
                 // Roll back so the caller sees a consistent network, then
-                // surface the inner block as this request's result.
+                // surface the inner block as this request's result. A
+                // rollback failure would leave the levels out of sync —
+                // report it instead of panicking so a long-running
+                // controller can quarantine the network.
+                let mut rollback_errors = Vec::new();
                 for done in &routed.branches[..idx] {
                     let inner_src = self.inner_source(&routed, done);
-                    self.inners[done.middle as usize]
-                        .disconnect(inner_src)
-                        .unwrap();
+                    if let Err(re) = self.inners[done.middle as usize].disconnect(inner_src) {
+                        rollback_errors
+                            .push(format!("inner {} undo {inner_src}: {re}", done.middle));
+                    }
                 }
-                self.outer.disconnect(src).unwrap();
+                if let Err(re) = self.outer.disconnect(src) {
+                    rollback_errors.push(format!("outer undo {src}: {re}"));
+                }
+                if !rollback_errors.is_empty() {
+                    return Err(RouteError::Inconsistent {
+                        detail: rollback_errors.join("; "),
+                    });
+                }
                 return Err(e);
             }
         }
         Ok(())
+    }
+
+    /// Mutable access to inner network `j` — test-only, for sabotaging an
+    /// inner network to exercise the rollback path.
+    #[cfg(test)]
+    fn inner_mut(&mut self, j: u32) -> &mut ThreeStageNetwork {
+        &mut self.inners[j as usize]
     }
 
     /// Tear down the connection sourced at `src`.
@@ -359,6 +378,47 @@ mod tests {
         net.connect(conn((0, 0), &[(3, 1), (7, 0), (11, 1)]))
             .unwrap();
         assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn sabotaged_inner_rolls_back_cleanly() {
+        let mut net =
+            FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
+        // Occupy the inner endpoint the first branch from input module 0
+        // on λ0 would need (inner source = (module 0, λ0)), so the outer
+        // route commits and the inner hop then refuses.
+        net.inner_mut(0)
+            .connect(conn((0, 0), &[(0, 0)]))
+            .expect("sabotage connect");
+        let err = net
+            .connect(conn((0, 0), &[(5, 0)]))
+            .expect_err("inner source is busy");
+        assert!(
+            matches!(
+                err,
+                RouteError::Assignment(wdm_core::AssignmentError::SourceBusy(_))
+            ),
+            "unexpected error: {err}"
+        );
+        // The rollback left the outer state untouched — after removing
+        // the sabotage (which the cross-level consistency check rightly
+        // flags as an inner connection with no outer counterpart) the
+        // request routes.
+        assert_eq!(net.active_connections(), 0);
+        net.inner_mut(0).disconnect(Endpoint::new(0, 0)).unwrap();
+        assert!(net.check_consistency().is_empty());
+        net.connect(conn((0, 0), &[(5, 0)])).unwrap();
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_error_displays_detail() {
+        let e = RouteError::Inconsistent {
+            detail: "inner 3 undo (p0, λ1): no connection sourced at (p0, λ1)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("inconsistent"), "{s}");
+        assert!(s.contains("inner 3"), "{s}");
     }
 
     #[test]

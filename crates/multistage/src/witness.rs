@@ -16,7 +16,7 @@
 use crate::{Construction, RouteError, ThreeStageNetwork, ThreeStageParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wdm_core::{Endpoint, MulticastConnection, MulticastModel};
+use wdm_core::{Endpoint, FaultSet, MulticastConnection, MulticastModel};
 
 /// A replayable blocking sequence.
 #[derive(Debug, Clone)]
@@ -27,6 +27,9 @@ pub struct BlockingWitness {
     pub construction: Construction,
     /// Fan-out limit in force.
     pub x_limit: u32,
+    /// Faults in force while the witness was found (usually empty; the
+    /// degraded-fabric search fills this in).
+    pub faults: FaultSet,
     /// Connections established before the block (in order).
     pub established: Vec<MulticastConnection>,
     /// The request that blocked.
@@ -39,6 +42,9 @@ impl BlockingWitness {
     pub fn replay(&self, output_model: MulticastModel) -> bool {
         let mut net = ThreeStageNetwork::new(self.params, self.construction, output_model);
         net.set_fanout_limit(self.x_limit);
+        for &fault in self.faults.iter() {
+            net.inject_fault(fault);
+        }
         for conn in &self.established {
             if net.connect(conn.clone()).is_err() {
                 return false;
@@ -65,9 +71,41 @@ pub fn find_blocking_witness(
     attempts: usize,
     seed: u64,
 ) -> Option<BlockingWitness> {
+    find_blocking_witness_faulted(
+        params,
+        construction,
+        output_model,
+        x_limit,
+        attempts,
+        seed,
+        &FaultSet::new(),
+    )
+}
+
+/// [`find_blocking_witness`] on a degraded fabric: the search runs with
+/// `faults` in force, so a found witness proves the *surviving* capacity
+/// is blockable. Used by the spare-margin tests to show that killing
+/// middles at `m = bound` produces honest blocking.
+#[allow(clippy::too_many_arguments)]
+pub fn find_blocking_witness_faulted(
+    params: ThreeStageParams,
+    construction: Construction,
+    output_model: MulticastModel,
+    x_limit: u32,
+    attempts: usize,
+    seed: u64,
+    faults: &FaultSet,
+) -> Option<BlockingWitness> {
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..attempts {
-        if let Some(w) = episode(params, construction, output_model, x_limit, &mut rng) {
+        if let Some(w) = episode(
+            params,
+            construction,
+            output_model,
+            x_limit,
+            faults,
+            &mut rng,
+        ) {
             debug_assert!(w.replay(output_model), "witness must replay");
             return Some(w);
         }
@@ -80,10 +118,14 @@ fn episode(
     construction: Construction,
     output_model: MulticastModel,
     x_limit: u32,
+    faults: &FaultSet,
     rng: &mut StdRng,
 ) -> Option<BlockingWitness> {
     let mut net = ThreeStageNetwork::new(params, construction, output_model);
     net.set_fanout_limit(x_limit);
+    for &fault in faults.iter() {
+        net.inject_fault(fault);
+    }
     let mut established = Vec::new();
     // Concentrate on one input module and (for the MSW-pinning effect)
     // one wavelength.
@@ -99,11 +141,15 @@ fn episode(
                     params,
                     construction,
                     x_limit,
+                    faults: faults.clone(),
                     established,
                     blocked_request: req,
                 });
             }
-            Err(RouteError::Assignment(_)) => unreachable!("generator checks the assignment"),
+            // Assignment errors cannot happen (the generator checks), and
+            // a fault-cut-off request is not a *blocking* witness — give
+            // up on this episode either way.
+            Err(_) => return None,
         }
     }
     None

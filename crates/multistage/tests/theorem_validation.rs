@@ -92,7 +92,7 @@ fn churn_never_blocks(mut net: ThreeStageNetwork, model: MulticastModel, steps: 
                      {available_middles} available, x={x_limit}",
                     net.params().m
                 ),
-                Err(RouteError::Assignment(e)) => panic!("generator produced illegal request: {e}"),
+                Err(e) => panic!("unexpected routing failure: {e}"),
             }
         }
         if step % 97 == 0 {

@@ -11,7 +11,7 @@
 //! impossible when `m` meets the bound — and is counted as a hard block.
 
 use core::fmt;
-use wdm_core::{AssignmentError, Endpoint, MulticastConnection};
+use wdm_core::{AssignmentError, Endpoint, Fault, MulticastConnection};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{RouteError, ThreeStageNetwork};
 
@@ -31,6 +31,11 @@ pub enum AdmitError {
         /// Fan-out limit in force when routing failed.
         x_limit: u32,
     },
+    /// The request needs a component that is currently failed. Waiting
+    /// does not help (the endpoint is not merely busy) and spare capacity
+    /// does not help (the fabric is not merely blocked) — only a repair
+    /// does, so the engine never retries it and counts it separately.
+    ComponentDown(Fault),
     /// A structurally invalid request or bookkeeping violation; never
     /// expected from a well-formed workload.
     Fatal(String),
@@ -47,6 +52,7 @@ impl fmt::Display for AdmitError {
                 f,
                 "blocked: {available_middles} middle switches available, fan-out limit {x_limit}"
             ),
+            AdmitError::ComponentDown(fault) => write!(f, "component down: {fault}"),
             AdmitError::Fatal(msg) => write!(f, "fatal: {msg}"),
         }
     }
@@ -57,6 +63,7 @@ impl std::error::Error for AdmitError {}
 fn classify(e: AssignmentError) -> AdmitError {
     match e {
         AssignmentError::SourceBusy(_) | AssignmentError::DestinationBusy(_) => AdmitError::Busy(e),
+        AssignmentError::ComponentDown(fault) => AdmitError::ComponentDown(fault),
         other => AdmitError::Fatal(other.to_string()),
     }
 }
@@ -93,6 +100,22 @@ pub trait Backend: Send + 'static {
         Vec::new()
     }
 
+    /// Mark `fault` failed and evict the live connections that traversed
+    /// the dead component, returning them for the caller to re-admit on
+    /// surviving hardware. A repeat injection of the same fault evicts
+    /// nothing. Fault-oblivious backends ignore the call.
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        let _ = fault;
+        Vec::new()
+    }
+
+    /// Mark `fault` repaired; `true` if it was failed before. Default:
+    /// nothing to repair.
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        let _ = fault;
+        false
+    }
+
     /// Deep-verify internal consistency; returns human-readable findings
     /// (empty = consistent). May be expensive — called at drain, not on
     /// the admission path.
@@ -125,6 +148,25 @@ impl Backend for CrossbarSession {
 
     fn active_connections(&self) -> usize {
         self.assignment().len()
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        if !CrossbarSession::inject_fault(self, fault) {
+            return Vec::new();
+        }
+        let victims: Vec<MulticastConnection> = self
+            .connections_through(&fault)
+            .into_iter()
+            .filter_map(|src| self.assignment().connection_at(src).cloned())
+            .collect();
+        for c in &victims {
+            CrossbarSession::disconnect(self, c.source()).expect("victim is live");
+        }
+        victims
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        CrossbarSession::repair_fault(self, fault)
     }
 
     fn check(&self) -> Vec<String> {
@@ -161,6 +203,8 @@ impl Backend for ThreeStageNetwork {
                 available_middles,
                 x_limit,
             }),
+            Err(RouteError::ComponentDown(fault)) => Err(AdmitError::ComponentDown(fault)),
+            Err(e @ RouteError::Inconsistent { .. }) => Err(AdmitError::Fatal(e.to_string())),
         }
     }
 
@@ -178,6 +222,25 @@ impl Backend for ThreeStageNetwork {
 
     fn middle_loads(&self) -> Vec<u64> {
         ThreeStageNetwork::middle_loads(self)
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        if !ThreeStageNetwork::inject_fault(self, fault) {
+            return Vec::new();
+        }
+        let victims: Vec<MulticastConnection> = self
+            .connections_through(&fault)
+            .into_iter()
+            .filter_map(|src| self.assignment().connection_at(src).cloned())
+            .collect();
+        for c in &victims {
+            ThreeStageNetwork::disconnect(self, c.source()).expect("victim is live");
+        }
+        victims
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        ThreeStageNetwork::repair_fault(self, fault)
     }
 
     fn check(&self) -> Vec<String> {

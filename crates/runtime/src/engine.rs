@@ -25,10 +25,10 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wdm_core::{Endpoint, MulticastConnection};
+use wdm_core::{Endpoint, Fault, MulticastConnection};
 use wdm_workload::{TimedEvent, TraceEvent};
 
 /// Tuning knobs for an engine run.
@@ -92,12 +92,16 @@ pub struct RuntimeReport<B> {
     pub consistency: Vec<String>,
     /// First few error messages noted by workers.
     pub errors: Vec<String>,
+    /// Shard workers that died by panic instead of draining. Any panic
+    /// means events were dropped mid-queue, so the run cannot be clean.
+    pub worker_panics: usize,
 }
 
 impl<B> RuntimeReport<B> {
-    /// The run is healthy: no structural errors and a consistent backend.
+    /// The run is healthy: every worker drained, no structural errors,
+    /// and a consistent backend.
     pub fn is_clean(&self) -> bool {
-        self.summary.fatal == 0 && self.consistency.is_empty()
+        self.worker_panics == 0 && self.summary.fatal == 0 && self.consistency.is_empty()
     }
 }
 
@@ -109,6 +113,9 @@ pub struct AdmissionEngine<B: Backend> {
     workers: Vec<JoinHandle<()>>,
     observer: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
     snapshots: Arc<Mutex<Vec<MetricsSnapshot>>>,
+    /// Sources whose connection a failed heal already removed: their
+    /// scheduled departure must be swallowed, not sent to the backend.
+    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
     ports_per_module: u32,
     started: Instant,
 }
@@ -121,6 +128,7 @@ impl<B: Backend> AdmissionEngine<B> {
         let ports_per_module = backend.ports_per_module().max(1);
         let metrics = Arc::new(RuntimeMetrics::new(backend.wavelengths()));
         let backend = Arc::new(Mutex::new(backend));
+        let dead_sources = Arc::new(Mutex::new(HashSet::new()));
         let started = Instant::now();
 
         let mut senders = Vec::with_capacity(workers_n);
@@ -130,11 +138,12 @@ impl<B: Backend> AdmissionEngine<B> {
             senders.push(tx);
             let backend = Arc::clone(&backend);
             let metrics = Arc::clone(&metrics);
+            let dead_sources = Arc::clone(&dead_sources);
             let cfg = config.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("wdm-shard-{shard}"))
-                    .spawn(move || shard_loop(rx, backend, metrics, cfg))
+                    .spawn(move || shard_loop(rx, backend, metrics, dead_sources, cfg))
                     .expect("spawn shard worker"),
             );
         }
@@ -170,8 +179,20 @@ impl<B: Backend> AdmissionEngine<B> {
             workers,
             observer,
             snapshots,
+            dead_sources,
             ports_per_module,
             started,
+        }
+    }
+
+    /// A handle for injecting and repairing faults while the engine runs.
+    /// The handle holds only a weak reference to the backend, so it can
+    /// outlive the engine (injections after [`Self::drain`] are no-ops).
+    pub fn fault_handle(&self) -> FaultHandle<B> {
+        FaultHandle {
+            backend: Arc::downgrade(&self.backend),
+            metrics: Arc::clone(&self.metrics),
+            dead_sources: Arc::clone(&self.dead_sources),
         }
     }
 
@@ -219,10 +240,12 @@ impl<B: Backend> AdmissionEngine<B> {
         // Closing the channels lets each worker finish its backlog and
         // exit its recv loop.
         self.senders.clear();
+        let mut worker_panics = 0usize;
         for w in self.workers.drain(..) {
             if w.join().is_err() {
                 self.metrics.note_error("shard worker panicked".into());
                 self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
+                worker_panics += 1;
             }
         }
         if let Some((stop, handle)) = self.observer.take() {
@@ -246,7 +269,101 @@ impl<B: Backend> AdmissionEngine<B> {
             snapshots,
             consistency,
             errors: self.metrics.errors(),
+            worker_panics,
         }
+    }
+}
+
+/// The per-fault summary [`FaultHandle::inject`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealOutcome {
+    /// Live connections the fault evicted.
+    pub connections_hit: usize,
+    /// Evictees re-admitted on surviving hardware.
+    pub healed: usize,
+    /// Evictees the degraded fabric could not re-admit.
+    pub heal_failed: usize,
+}
+
+/// Injects faults into a running engine and heals the traffic they hit.
+///
+/// Injection, teardown of the victims, and their re-admission happen
+/// under one backend lock acquisition, so shards observe the failure
+/// atomically: either the old route or the healed one, never a half-torn
+/// state. Holds the backend weakly — after [`AdmissionEngine::drain`]
+/// reclaims the backend, injections return the empty outcome.
+pub struct FaultHandle<B: Backend> {
+    backend: Weak<Mutex<B>>,
+    metrics: Arc<RuntimeMetrics>,
+    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
+}
+
+impl<B: Backend> Clone for FaultHandle<B> {
+    fn clone(&self) -> Self {
+        FaultHandle {
+            backend: Weak::clone(&self.backend),
+            metrics: Arc::clone(&self.metrics),
+            dead_sources: Arc::clone(&self.dead_sources),
+        }
+    }
+}
+
+impl<B: Backend> FaultHandle<B> {
+    /// Fail `fault`, tear down the connections traversing it, and try to
+    /// re-admit each on the surviving hardware. Connections that cannot
+    /// be re-admitted are gone; their eventual departure events are
+    /// swallowed as `orphaned_departures` rather than erroring.
+    pub fn inject(&self, fault: Fault) -> HealOutcome {
+        let Some(backend) = self.backend.upgrade() else {
+            return HealOutcome::default();
+        };
+        let mut b = backend.lock();
+        let t_inject = Instant::now();
+        self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let victims = b.inject_fault(fault);
+        let mut outcome = HealOutcome {
+            connections_hit: victims.len(),
+            ..HealOutcome::default()
+        };
+        self.metrics
+            .connections_hit
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        for conn in victims {
+            let src = conn.source();
+            match b.connect(&conn) {
+                Ok(()) => {
+                    outcome.healed += 1;
+                    self.metrics.healed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .heal_latency_ns
+                        .record(t_inject.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
+                Err(e) => {
+                    outcome.heal_failed += 1;
+                    self.metrics.heal_failed.fetch_add(1, Ordering::Relaxed);
+                    // The connection went live once (gauge up at admit)
+                    // and will never depart through the backend.
+                    self.metrics.wavelength_down(src.wavelength.0 as usize);
+                    self.metrics
+                        .note_error(format!("heal of {src} after {fault} failed: {e}"));
+                    self.dead_sources.lock().insert(src);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Repair `fault`; `true` if it was failed before. Already-lost
+    /// connections are not resurrected — only future admissions benefit.
+    pub fn repair(&self, fault: Fault) -> bool {
+        let Some(backend) = self.backend.upgrade() else {
+            return false;
+        };
+        let repaired = backend.lock().repair_fault(fault);
+        if repaired {
+            self.metrics.faults_repaired.fetch_add(1, Ordering::Relaxed);
+        }
+        repaired
     }
 }
 
@@ -267,6 +384,8 @@ struct Parked {
 struct Shard<B: Backend> {
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
+    /// Shared with [`FaultHandle`]: sources a failed heal removed.
+    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
     cfg: RuntimeConfig,
     /// Admitted sources with their connect sim-time (for holding time).
     live_since: HashMap<Endpoint, f64>,
@@ -349,6 +468,13 @@ impl<B: Backend> Shard<B> {
                 self.metrics.blocked.fetch_add(1, Ordering::Relaxed);
                 self.never_admitted.insert(src);
             }
+            Err(AdmitError::ComponentDown(_)) => {
+                // Only a repair can change the answer; retrying would just
+                // burn the deadline. Not a block either — the fabric had
+                // capacity, a component was dead.
+                self.metrics.component_down.fetch_add(1, Ordering::Relaxed);
+                self.never_admitted.insert(src);
+            }
             Err(AdmitError::Fatal(msg)) => {
                 self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
                 self.metrics.note_error(format!("connect {src}: {msg}"));
@@ -361,6 +487,17 @@ impl<B: Backend> Shard<B> {
         if self.never_admitted.remove(&src) {
             self.metrics
                 .skipped_departures
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // A failed heal already removed this connection. (The guard is a
+        // statement temporary: it drops before the backend lock below, so
+        // the lock order backend → dead_sources used by FaultHandle can
+        // never deadlock against this path.)
+        if self.dead_sources.lock().remove(&src) {
+            self.live_since.remove(&src);
+            self.metrics
+                .orphaned_departures
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -423,11 +560,13 @@ fn shard_loop<B: Backend>(
     rx: Receiver<TimedEvent>,
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
+    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
     cfg: RuntimeConfig,
 ) {
     let mut shard = Shard {
         backend,
         metrics,
+        dead_sources,
         cfg,
         live_since: HashMap::new(),
         never_admitted: HashSet::new(),

@@ -1,0 +1,230 @@
+//! The [`FaultInjector`]: drives a [`crate::FaultHandle`] from a timed
+//! fault schedule — scripted kills for reproducible experiments, or a
+//! randomized [`ChaosSchedule`] for soak runs.
+//!
+//! The injector is deliberately dumb: it owns a sorted queue of
+//! [`TimedFault`]s and fires everything due at the caller's current
+//! simulation time. The caller chooses the clock — interleaved with trace
+//! submission (`fire_due` between events, exact sim-time semantics) or
+//! free-running on a wall-clock thread (`spawn`, for soak tests).
+
+use crate::engine::{FaultHandle, HealOutcome};
+use crate::Backend;
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wdm_workload::{ChaosSchedule, FaultAction, TimedFault};
+
+/// What one fired schedule entry did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionRecord {
+    /// Scheduled simulation time.
+    pub time: f64,
+    /// The action fired.
+    pub action: FaultAction,
+    /// Heal outcome (`Some` for failures, `None` for repairs).
+    pub outcome: Option<HealOutcome>,
+    /// For repairs: whether the component was actually down.
+    pub repaired: bool,
+}
+
+/// A queue of scheduled failures/repairs to fire against a running
+/// engine.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    schedule: VecDeque<TimedFault>,
+}
+
+impl FaultInjector {
+    /// A scripted schedule (sorted by time internally).
+    pub fn scripted(mut schedule: Vec<TimedFault>) -> Self {
+        schedule.sort_by(|a, b| a.time.total_cmp(&b.time));
+        FaultInjector {
+            schedule: schedule.into(),
+        }
+    }
+
+    /// A randomized schedule for an `m`-middle, `r`-module network:
+    /// component failures at `fault_rate` per unit time, exponential
+    /// repairs with mean `mttr`, over `[0, horizon)`.
+    pub fn randomized(m: u32, r: u32, fault_rate: f64, mttr: f64, horizon: f64, seed: u64) -> Self {
+        FaultInjector::scripted(ChaosSchedule::new(m, r, fault_rate, mttr).generate(horizon, seed))
+    }
+
+    /// Entries not yet fired.
+    pub fn pending(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Scheduled time of the next entry, if any.
+    pub fn next_time(&self) -> Option<f64> {
+        self.schedule.front().map(|tf| tf.time)
+    }
+
+    /// Fire every entry scheduled at or before `now`, in order. Returns
+    /// one record per fired entry.
+    pub fn fire_due<B: Backend>(
+        &mut self,
+        now: f64,
+        handle: &FaultHandle<B>,
+    ) -> Vec<InjectionRecord> {
+        let mut fired = Vec::new();
+        while let Some(next) = self.schedule.front() {
+            if next.time > now {
+                break;
+            }
+            let tf = self.schedule.pop_front().expect("front exists");
+            fired.push(match tf.action {
+                FaultAction::Fail(fault) => InjectionRecord {
+                    time: tf.time,
+                    action: tf.action,
+                    outcome: Some(handle.inject(fault)),
+                    repaired: false,
+                },
+                FaultAction::Repair(fault) => InjectionRecord {
+                    time: tf.time,
+                    action: tf.action,
+                    outcome: None,
+                    repaired: handle.repair(fault),
+                },
+            });
+        }
+        fired
+    }
+
+    /// Free-running mode: consume the injector on a thread that maps one
+    /// simulation time unit to `time_unit` of wall clock and fires
+    /// entries as they come due. Join the handle for the records. The
+    /// thread exits early (quietly) if the engine drains under it — the
+    /// weak backend reference in [`FaultHandle`] makes late injections
+    /// no-ops.
+    pub fn spawn<B: Backend>(
+        self,
+        handle: FaultHandle<B>,
+        time_unit: Duration,
+    ) -> JoinHandle<Vec<InjectionRecord>> {
+        let mut injector = self;
+        std::thread::Builder::new()
+            .name("wdm-fault-injector".into())
+            .spawn(move || {
+                let started = std::time::Instant::now();
+                let mut records = Vec::new();
+                while let Some(next) = injector.schedule.front() {
+                    let due_wall = time_unit.mul_f64(next.time.max(0.0));
+                    let elapsed = started.elapsed();
+                    if due_wall > elapsed {
+                        std::thread::sleep((due_wall - elapsed).min(Duration::from_millis(20)));
+                        continue;
+                    }
+                    let now_sim = if time_unit.is_zero() {
+                        f64::INFINITY
+                    } else {
+                        started.elapsed().as_secs_f64() / time_unit.as_secs_f64()
+                    };
+                    records.extend(injector.fire_due(now_sim, &handle));
+                }
+                records
+            })
+            .expect("spawn fault injector")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdmissionEngine, RuntimeConfig};
+    use std::sync::atomic::Ordering;
+    use std::time::Instant;
+    use wdm_core::{Endpoint, Fault, MulticastConnection, MulticastModel, NetworkConfig};
+    use wdm_fabric::CrossbarSession;
+    use wdm_workload::{TimedEvent, TraceEvent};
+
+    fn crossbar_engine() -> AdmissionEngine<CrossbarSession> {
+        AdmissionEngine::start(
+            CrossbarSession::new(NetworkConfig::new(8, 1), MulticastModel::Msw),
+            RuntimeConfig {
+                workers: 2,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn scripted_faults_fire_in_time_order() {
+        let engine = crossbar_engine();
+        let handle = engine.fault_handle();
+        let mut inj = FaultInjector::scripted(vec![
+            TimedFault {
+                time: 2.0,
+                action: FaultAction::Repair(Fault::Port(3)),
+            },
+            TimedFault {
+                time: 1.0,
+                action: FaultAction::Fail(Fault::Port(3)),
+            },
+        ]);
+        assert_eq!(inj.pending(), 2);
+        assert!(inj.fire_due(0.5, &handle).is_empty(), "nothing due yet");
+        let fired = inj.fire_due(10.0, &handle);
+        assert_eq!(fired.len(), 2);
+        assert!(matches!(fired[0].action, FaultAction::Fail(_)));
+        assert_eq!(fired[0].outcome, Some(HealOutcome::default()));
+        assert!(fired[1].repaired, "port 3 was down, repair takes");
+        assert_eq!(inj.pending(), 0);
+        let report = engine.drain();
+        assert!(report.is_clean());
+        assert_eq!(report.summary.faults_injected, 1);
+        assert_eq!(report.summary.faults_repaired, 1);
+    }
+
+    #[test]
+    fn injection_after_drain_is_noop_fault() {
+        let engine = crossbar_engine();
+        let handle = engine.fault_handle();
+        engine.drain();
+        let outcome = handle.inject(Fault::Port(0));
+        assert_eq!(outcome, HealOutcome::default());
+        assert!(!handle.repair(Fault::Port(0)));
+    }
+
+    #[test]
+    fn spawned_injector_fires_against_live_fault_traffic() {
+        let engine = crossbar_engine();
+        let handle = engine.fault_handle();
+        engine.submit(TimedEvent {
+            time: 0.0,
+            event: TraceEvent::Connect(MulticastConnection::unicast(
+                Endpoint::new(0, 0),
+                Endpoint::new(1, 0),
+            )),
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.metrics().admitted.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "admission never happened");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Port 1 dies at sim t=1 (1 ms wall): the unicast is evicted and
+        // cannot heal (its destination port is the dead component).
+        let inj = FaultInjector::scripted(vec![TimedFault {
+            time: 1.0,
+            action: FaultAction::Fail(Fault::Port(1)),
+        }]);
+        let records = inj
+            .spawn(handle, Duration::from_millis(1))
+            .join()
+            .expect("injector thread");
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].outcome,
+            Some(HealOutcome {
+                connections_hit: 1,
+                healed: 0,
+                heal_failed: 1,
+            })
+        );
+        let report = engine.drain();
+        assert_eq!(report.summary.connections_hit, 1);
+        assert_eq!(report.summary.heal_failed, 1);
+        assert_eq!(report.backend.assignment().len(), 0, "victim removed");
+    }
+}

@@ -26,7 +26,8 @@
 //!
 //! * [`Backend`] abstracts the two switch implementations behind one
 //!   admit/tear-down interface and classifies refusals into retryable
-//!   [`AdmitError::Busy`] versus hard [`AdmitError::Blocked`].
+//!   [`AdmitError::Busy`] versus hard [`AdmitError::Blocked`] versus
+//!   repair-gated [`AdmitError::ComponentDown`].
 //! * [`AdmissionEngine`] owns the worker shards. Sharding by input
 //!   module keeps each source's connect strictly before its disconnect;
 //!   cross-shard reordering can only manifest as transient destination
@@ -34,6 +35,11 @@
 //! * [`RuntimeMetrics`] / [`MetricsSnapshot`] provide lock-free counters,
 //!   log-bucketed latency and holding-time histograms, per-wavelength and
 //!   per-middle-switch gauges, and a serializable snapshot stream.
+//! * [`FaultHandle`] / [`FaultInjector`] fail components mid-run
+//!   ([`Fault`] names them). Injection tears down the connections that
+//!   traversed the dead component and re-admits them on surviving
+//!   hardware in the same critical section — the *self-healing* the Clos
+//!   sparing margin `m ≥ bound + f` provisions for.
 //!
 //! # Example
 //!
@@ -65,8 +71,11 @@
 
 mod backend;
 mod engine;
+mod injector;
 mod metrics;
 
 pub use backend::{AdmitError, Backend};
-pub use engine::{AdmissionEngine, RuntimeConfig, RuntimeReport};
+pub use engine::{AdmissionEngine, FaultHandle, HealOutcome, RuntimeConfig, RuntimeReport};
+pub use injector::{FaultInjector, InjectionRecord};
 pub use metrics::{LogHistogram, MetricsSnapshot, RuntimeMetrics};
+pub use wdm_core::{Fault, FaultSet};

@@ -109,10 +109,28 @@ pub struct RuntimeMetrics {
     pub departed: AtomicU64,
     /// Departure events for requests that were never admitted.
     pub skipped_departures: AtomicU64,
+    /// Requests refused because they touched a failed component.
+    pub component_down: AtomicU64,
+    /// Faults injected into the backend.
+    pub faults_injected: AtomicU64,
+    /// Faults repaired.
+    pub faults_repaired: AtomicU64,
+    /// Live connections evicted by a fault.
+    pub connections_hit: AtomicU64,
+    /// Evicted connections successfully re-admitted on surviving
+    /// hardware.
+    pub healed: AtomicU64,
+    /// Evicted connections the degraded fabric could not re-admit.
+    pub heal_failed: AtomicU64,
+    /// Departure events for connections a failed heal already removed.
+    pub orphaned_departures: AtomicU64,
     /// Structural errors (must stay 0 in a healthy run).
     pub fatal: AtomicU64,
     /// Wall-clock admission latency, nanoseconds.
     pub admit_latency_ns: LogHistogram,
+    /// Wall-clock per-connection heal latency (teardown to re-admit),
+    /// nanoseconds.
+    pub heal_latency_ns: LogHistogram,
     /// Holding time in simulation micro-units (sim time × 10⁶).
     pub holding_micros: LogHistogram,
     /// Live connections per source wavelength.
@@ -132,8 +150,16 @@ impl RuntimeMetrics {
             expired: AtomicU64::new(0),
             departed: AtomicU64::new(0),
             skipped_departures: AtomicU64::new(0),
+            component_down: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            faults_repaired: AtomicU64::new(0),
+            connections_hit: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
+            heal_failed: AtomicU64::new(0),
+            orphaned_departures: AtomicU64::new(0),
             fatal: AtomicU64::new(0),
             admit_latency_ns: LogHistogram::new(),
+            heal_latency_ns: LogHistogram::new(),
             holding_micros: LogHistogram::new(),
             wavelength_live: (0..wavelengths.max(1)).map(|_| AtomicU64::new(0)).collect(),
             errors: Mutex::new(Vec::new()),
@@ -195,6 +221,13 @@ impl RuntimeMetrics {
             expired: self.expired.load(Ordering::Relaxed),
             departed: self.departed.load(Ordering::Relaxed),
             skipped_departures: self.skipped_departures.load(Ordering::Relaxed),
+            component_down: self.component_down.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            faults_repaired: self.faults_repaired.load(Ordering::Relaxed),
+            connections_hit: self.connections_hit.load(Ordering::Relaxed),
+            healed: self.healed.load(Ordering::Relaxed),
+            heal_failed: self.heal_failed.load(Ordering::Relaxed),
+            orphaned_departures: self.orphaned_departures.load(Ordering::Relaxed),
             fatal: self.fatal.load(Ordering::Relaxed),
             active,
             blocking_probability: if offered == 0 {
@@ -205,6 +238,7 @@ impl RuntimeMetrics {
             p50_admit_ns: self.admit_latency_ns.quantile(0.50),
             p99_admit_ns: self.admit_latency_ns.quantile(0.99),
             mean_admit_ns: self.admit_latency_ns.mean(),
+            p99_heal_ns: self.heal_latency_ns.quantile(0.99),
             mean_holding: self.holding_micros.mean() / 1e6,
             wavelength_live: self.wavelength_gauges(),
             middle_loads,
@@ -231,6 +265,20 @@ pub struct MetricsSnapshot {
     pub departed: u64,
     /// Departures skipped because admission failed.
     pub skipped_departures: u64,
+    /// Requests refused for touching a failed component.
+    pub component_down: u64,
+    /// Faults injected so far.
+    pub faults_injected: u64,
+    /// Faults repaired so far.
+    pub faults_repaired: u64,
+    /// Live connections evicted by faults.
+    pub connections_hit: u64,
+    /// Evicted connections re-admitted on surviving hardware.
+    pub healed: u64,
+    /// Evicted connections lost for good.
+    pub heal_failed: u64,
+    /// Departures for connections a failed heal already removed.
+    pub orphaned_departures: u64,
     /// Structural errors.
     pub fatal: u64,
     /// Live connections at snapshot time.
@@ -243,6 +291,9 @@ pub struct MetricsSnapshot {
     pub p99_admit_ns: u64,
     /// Mean admission latency, nanoseconds.
     pub mean_admit_ns: f64,
+    /// 99th-percentile per-connection heal latency, nanoseconds (0 when
+    /// no heals ran).
+    pub p99_heal_ns: u64,
     /// Mean holding time in simulation time units.
     pub mean_holding: f64,
     /// Live connections per source wavelength.

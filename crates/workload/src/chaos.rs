@@ -1,0 +1,235 @@
+//! Chaos schedules: timed component failures and repairs for exercising
+//! the degraded regime of a three-stage network.
+//!
+//! The paper's Theorems 1–2 size the middle stage so blocking is
+//! impossible; the classic Clos sparing corollary says provisioning
+//! `m ≥ bound + f` keeps that true with up to `f` failed middles. A
+//! [`ChaosSchedule`] generates the traffic of *failures* — exponential
+//! fault arrivals over weighted component classes with exponential
+//! mean-time-to-repair — the same way [`crate::DynamicTraffic`] generates
+//! the traffic of connections, so a fault-tolerance run is reproducible
+//! from two seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use wdm_core::Fault;
+
+/// Fail or repair one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The component dies.
+    Fail(Fault),
+    /// The component comes back.
+    Repair(Fault),
+}
+
+impl FaultAction {
+    /// The component this action touches.
+    pub fn fault(&self) -> Fault {
+        match *self {
+            FaultAction::Fail(f) | FaultAction::Repair(f) => f,
+        }
+    }
+}
+
+/// One timestamped fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFault {
+    /// Simulation time.
+    pub time: f64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Randomized failure/repair generator for a three-stage geometry.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// Middle switches.
+    pub m: u32,
+    /// Input/output modules.
+    pub r: u32,
+    /// Component failures per unit time (whole network).
+    pub fault_rate: f64,
+    /// Mean time to repair one failed component.
+    pub mttr: f64,
+}
+
+impl ChaosSchedule {
+    /// A schedule for an `m`-middle, `r`-module network.
+    pub fn new(m: u32, r: u32, fault_rate: f64, mttr: f64) -> Self {
+        assert!(m >= 1 && r >= 1, "geometry must be non-degenerate");
+        assert!(
+            fault_rate > 0.0 && mttr > 0.0,
+            "fault rate and MTTR must be positive"
+        );
+        ChaosSchedule {
+            m,
+            r,
+            fault_rate,
+            mttr,
+        }
+    }
+
+    /// Generate failures over `[0, horizon)` with their paired repairs
+    /// (repairs may land past the horizon). Deterministic per seed.
+    ///
+    /// Component classes are weighted towards the paper's central actor:
+    /// middle switches ~50 %, each inter-stage link class ~20 %,
+    /// converter banks ~10 %. A component that is currently down is not
+    /// failed again, and the last live middle switch is never killed —
+    /// chaos should degrade the fabric, not sever it.
+    pub fn generate(&self, horizon: f64, seed: u64) -> Vec<TimedFault> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut down: BTreeSet<Fault> = BTreeSet::new();
+        let mut dead_middles = 0u32;
+        let mut t = 0.0;
+        loop {
+            t += exp_sample(&mut rng, self.fault_rate);
+            if t >= horizon {
+                break;
+            }
+            // Expire repairs scheduled before this failure so the
+            // "currently down" view is accurate.
+            down.retain(|f| {
+                let still = events.iter().any(|e: &TimedFault| {
+                    matches!(e.action, FaultAction::Repair(rf) if rf == *f) && e.time > t
+                });
+                if !still && matches!(f, Fault::MiddleSwitch(_)) {
+                    dead_middles -= 1;
+                }
+                still
+            });
+            let Some(fault) = self.pick_component(&mut rng, &down, dead_middles) else {
+                continue;
+            };
+            down.insert(fault);
+            if matches!(fault, Fault::MiddleSwitch(_)) {
+                dead_middles += 1;
+            }
+            events.push(TimedFault {
+                time: t,
+                action: FaultAction::Fail(fault),
+            });
+            let repair_at = t + exp_sample(&mut rng, 1.0 / self.mttr);
+            events.push(TimedFault {
+                time: repair_at,
+                action: FaultAction::Repair(fault),
+            });
+        }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        events
+    }
+
+    fn pick_component(
+        &self,
+        rng: &mut StdRng,
+        down: &BTreeSet<Fault>,
+        dead_middles: u32,
+    ) -> Option<Fault> {
+        for _ in 0..16 {
+            let roll: f64 = rng.gen();
+            let fault = if roll < 0.5 {
+                if dead_middles + 1 >= self.m {
+                    continue; // never kill the last live middle
+                }
+                Fault::MiddleSwitch(rng.gen_range(0..self.m))
+            } else if roll < 0.7 {
+                Fault::InputLink {
+                    module: rng.gen_range(0..self.r),
+                    middle: rng.gen_range(0..self.m),
+                }
+            } else if roll < 0.9 {
+                Fault::MiddleLink {
+                    middle: rng.gen_range(0..self.m),
+                    module: rng.gen_range(0..self.r),
+                }
+            } else {
+                Fault::MiddleConverters(rng.gen_range(0..self.m))
+            };
+            if !down.contains(&fault) {
+                return Some(fault);
+            }
+        }
+        None
+    }
+}
+
+/// Exponential sample with the given rate (mean `1/rate`).
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let s = ChaosSchedule::new(13, 4, 0.5, 2.0);
+        let a = s.generate(40.0, 9);
+        let b = s.generate(40.0, 9);
+        assert_eq!(a, b);
+        let c = s.generate(40.0, 10);
+        assert_ne!(a, c, "different seed, different chaos");
+        assert!(!a.is_empty(), "rate 0.5 over 40 time units fires");
+    }
+
+    #[test]
+    fn every_failure_gets_a_repair() {
+        let s = ChaosSchedule::new(8, 4, 1.0, 1.5);
+        let events = s.generate(30.0, 3);
+        let fails: Vec<Fault> = events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Fail(f) => Some(f),
+                FaultAction::Repair(_) => None,
+            })
+            .collect();
+        let repairs: Vec<Fault> = events
+            .iter()
+            .filter_map(|e| match e.action {
+                FaultAction::Repair(f) => Some(f),
+                FaultAction::Fail(_) => None,
+            })
+            .collect();
+        assert_eq!(fails.len(), repairs.len());
+        for f in &fails {
+            assert!(repairs.contains(f), "{f} failed but never repaired");
+        }
+        // Sorted by time.
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn never_kills_every_middle() {
+        // m=2 with a furious fault rate: at most one middle may be down
+        // at any instant.
+        let s = ChaosSchedule::new(2, 2, 50.0, 100.0);
+        let events = s.generate(10.0, 5);
+        let mut dead = 0i32;
+        for e in &events {
+            if let FaultAction::Fail(Fault::MiddleSwitch(_)) = e.action {
+                dead += 1;
+            }
+            if let FaultAction::Repair(Fault::MiddleSwitch(_)) = e.action {
+                dead -= 1;
+            }
+            assert!(dead < 2, "both middles dead at t={}", e.time);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = ChaosSchedule::new(4, 2, 1.0, 1.0);
+        let events = s.generate(5.0, 1);
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<TimedFault> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
+    }
+}

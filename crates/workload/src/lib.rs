@@ -12,7 +12,9 @@
 //!   wavelength-homogeneous traffic);
 //! * [`scenario`] — the application mixes the paper's introduction
 //!   motivates: video conferencing, video-on-demand, and unicast-heavy
-//!   e-commerce traffic.
+//!   e-commerce traffic;
+//! * [`chaos`] — timed component failures and repairs (fault traffic for
+//!   the degraded-regime experiments).
 //!
 //! Everything is deterministic given a seed (`StdRng`), so experiments are
 //! reproducible.
@@ -21,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod chaos;
 pub mod dynamic;
 mod generators;
 pub mod scenario;
 pub mod trace;
 
+pub use chaos::{ChaosSchedule, FaultAction, TimedFault};
 pub use dynamic::{DynamicTraffic, TimedEvent};
 pub use generators::AssignmentGen;
 pub use trace::{RequestTrace, TraceEvent};
