@@ -21,6 +21,6 @@ mod table;
 
 pub use chart::{sparkline, BarChart};
 pub use report::Report;
-pub use stats::{wilson_interval, Summary};
+pub use stats::{percentile, wilson_interval, Summary};
 pub use sweep::{parallel_map, parallel_sweep};
 pub use table::TextTable;

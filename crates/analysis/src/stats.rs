@@ -59,6 +59,24 @@ impl Summary {
     }
 }
 
+/// The `q`-th quantile (`q` in `[0, 1]`) of a sample by linear
+/// interpolation between closest ranks — the estimator load reports
+/// expect for latency percentiles (`percentile(&lat, 0.99)`). Returns
+/// `None` for an empty slice; `q` is clamped to `[0, 1]`.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 /// Wilson score interval for a binomial proportion (95% by default via
 /// `z = 1.96`) — the right interval for blocking probabilities, which sit
 /// near 0 where the normal approximation fails.
@@ -118,6 +136,20 @@ mod tests {
         assert_eq!(s.cv(), 0.0);
         let s = Summary::of(&[1.0, 3.0]).unwrap();
         assert!(s.cv() > 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        assert_eq!(percentile(&[], 0.5), None);
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        assert_eq!(percentile(&data, 0.5), Some(2.5));
+        // Median agrees with Summary.
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(percentile(&data, 0.5), Some(s.median));
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&data, 7.0), Some(4.0));
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&opts),
         "dot" => cmd_dot(&opts),
         "serve" => cmd_serve(&opts),
+        "bench-net" => cmd_bench_net(&opts),
         "fig10" => cmd_fig10(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -96,6 +97,16 @@ COMMANDS:
                                                    --kill-middle fails the named middle switches
                                                    mid-run, --fault-rate adds randomized component
                                                    chaos (repairs after mean --mttr, default 2)
+              with --listen ADDR (e.g. 127.0.0.1:0) the command instead serves the three-stage
+              engine over TCP using the wdm-net wire protocol; [--addr-file PATH] writes the
+              bound address (for port 0) and a client's Drain frame stops the server
+  bench-net   --connect ADDR --n <n> --r <r> -k <λ> [--clients C] [--pipeline W]
+              [--rate R] [--horizon T] [--seed X] [--drain true|false]
+                                                   closed-loop load generator: C client threads
+                                                   stream a generated trace into a wdm-net server
+                                                   and report admissions/sec plus latency
+                                                   percentiles; --drain true (default) drains the
+                                                   server at the end and asserts a clean report
   fig10                                            replay the paper's Fig. 10 scenario
 
 OPTIONS:
@@ -615,6 +626,9 @@ fn cmd_dot(opts: &Opts) -> Result<(), String> {
 /// network at (or away from) the theorem bound — and report the paper's
 /// operational metrics side by side.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    if opts.0.contains_key("listen") {
+        return cmd_serve_net(opts);
+    }
     use std::time::Duration;
     use wdm_fabric::CrossbarSession;
     use wdm_runtime::{
@@ -747,7 +761,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             std::thread::sleep(Duration::from_millis(25));
             fired.extend(injector.fire_due(ev.time, &handle));
         }
-        engine.submit(ev.clone());
+        let _ = engine.submit(ev.clone());
     }
     fired.extend(injector.fire_due(f64::INFINITY, &handle));
     let three = engine.drain();
@@ -888,6 +902,218 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             },
             three.summary.blocked
         );
+    }
+    Ok(())
+}
+
+/// `serve --listen ADDR`: front the three-stage admission engine with
+/// the wdm-net TCP server. Runs until a client sends a `Drain` frame,
+/// then prints the drained report; the exit code asserts a clean drain
+/// (and zero blocks when `m` is at the bound), so CI can `wait` on it.
+fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
+    use std::time::Duration;
+    use wdm_net::{NetServer, NetServerConfig};
+    use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
+    let bound = match construction {
+        Construction::MswDominant => bounds::theorem1_min_m(n, r),
+        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    };
+    let p = three_stage(opts, n, r, k, bound.m)?;
+    let workers = opts.u32("workers", Some(4))? as usize;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let config = RuntimeConfig {
+        workers,
+        deadline: Duration::from_millis(opts.u64("deadline-ms", 500)?.max(1)),
+        ..RuntimeConfig::default()
+    };
+    let listen = opts.0.get("listen").expect("checked by caller").clone();
+    let engine = AdmissionEngine::start(ThreeStageNetwork::new(p, construction, model), config);
+    let server = NetServer::serve(engine, listen.as_str(), NetServerConfig::default())
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = server.local_addr();
+    println!(
+        "serving {p} [{construction}, {model}] on {addr} ({workers} worker shards, \
+         Theorem bound m ≥ {}); a client's Drain frame stops the server",
+        bound.m
+    );
+    if let Some(path) = opts.0.get("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let report = server.wait();
+    let s = &report.summary;
+    println!(
+        "drained: offered {} admitted {} blocked {} expired {} departed {} (P(block) {:.4})",
+        s.offered, s.admitted, s.blocked, s.expired, s.departed, s.blocking_probability
+    );
+    if !report.is_clean() {
+        return Err(format!(
+            "drain was not clean: {} worker panics, consistency {:?}, errors {:?}",
+            report.worker_panics, report.consistency, report.errors
+        ));
+    }
+    if p.m >= bound.m && s.blocked > 0 {
+        return Err(format!(
+            "{} hard blocks with m={} at or above the bound {} — nonblocking theorem violated",
+            s.blocked, p.m, bound.m
+        ));
+    }
+    Ok(())
+}
+
+/// `bench-net`: closed-loop load generator against a wdm-net server.
+/// Streams a closed, source-partitioned trace through `--clients`
+/// threads with a `--pipeline`-deep window each, and reports
+/// admissions/sec plus request-latency percentiles.
+fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
+    use std::collections::VecDeque;
+    use std::time::Instant;
+    use wdm_net::{NetClient, Request, Response};
+    use wdm_workload::{close_trace, partition_by_source, DynamicTraffic, TraceEvent};
+
+    let addr = opts
+        .0
+        .get("connect")
+        .ok_or("bench-net needs --connect <addr>")?
+        .clone();
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    if n == 0 || r == 0 || k == 0 {
+        return Err("--n, --r and -k must all be at least 1".into());
+    }
+    let model = opts.model()?;
+    let clients = opts.u32("clients", Some(4))?.max(1) as usize;
+    let window = opts.u32("pipeline", Some(32))?.max(1) as usize;
+    let rate = opts.f64("rate", 6.0)?;
+    let horizon = opts.f64("horizon", 20.0)?;
+    let seed = opts.u64("seed", 42)?;
+    let drain = match opts.0.get("drain").map(String::as_str) {
+        None | Some("true") | Some("1") => true,
+        Some("false") | Some("0") => false,
+        Some(other) => return Err(format!("--drain must be true or false, got {other:?}")),
+    };
+
+    let flat = NetworkConfig::new(n * r, k);
+    let mut events = DynamicTraffic::new(flat, model, rate, 1.0, 2, seed).generate(horizon);
+    close_trace(&mut events, horizon + 1.0);
+    let total_events = events.len();
+    let lanes = partition_by_source(events, clients);
+    println!(
+        "bench-net: {total_events} events on {flat} ({model}), {clients} clients × \
+         pipeline {window}, against {addr}"
+    );
+
+    /// One client's view of the run.
+    #[derive(Default)]
+    struct LaneResult {
+        connect_acks: u64,
+        rejects: u64,
+        latencies_ms: Vec<f64>,
+    }
+
+    let started = Instant::now();
+    let handles: Vec<_> = lanes
+        .into_iter()
+        .map(|lane| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Result<LaneResult, String> {
+                let mut client =
+                    NetClient::connect(addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+                let mut out = LaneResult::default();
+                let mut outstanding: VecDeque<(u64, Instant, bool)> = VecDeque::new();
+                let settle = |out: &mut LaneResult,
+                              client: &mut NetClient,
+                              (id, t0, is_connect): (u64, Instant, bool)|
+                 -> Result<(), String> {
+                    let resp = client.recv(id).map_err(|e| format!("recv: {e}"))?;
+                    out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match resp {
+                        Response::Ok if is_connect => out.connect_acks += 1,
+                        Response::Ok => {}
+                        Response::Rejected { .. } => out.rejects += 1,
+                        other => return Err(format!("unexpected response {other:?}")),
+                    }
+                    Ok(())
+                };
+                for ev in &lane {
+                    let req = Request::from(&ev.event);
+                    let is_connect = matches!(ev.event, TraceEvent::Connect(_));
+                    let id = client.send(&req).map_err(|e| format!("send: {e}"))?;
+                    outstanding.push_back((id, Instant::now(), is_connect));
+                    if outstanding.len() >= window {
+                        let oldest = outstanding.pop_front().expect("nonempty");
+                        settle(&mut out, &mut client, oldest)?;
+                    }
+                }
+                for pending in outstanding {
+                    settle(&mut out, &mut client, pending)?;
+                }
+                Ok(out)
+            })
+        })
+        .collect();
+    let mut acks = 0u64;
+    let mut rejects = 0u64;
+    let mut latencies = Vec::new();
+    for h in handles {
+        let lane = h.join().map_err(|_| "client thread panicked")??;
+        acks += lane.connect_acks;
+        rejects += lane.rejects;
+        latencies.extend(lane.latencies_ms);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let pct = |q: f64| wdm_analysis::percentile(&latencies, q).unwrap_or(0.0);
+    let mut t = TextTable::new([
+        "clients",
+        "requests",
+        "connect acks",
+        "rejects",
+        "admissions/s",
+        "p50 lat",
+        "p95 lat",
+        "p99 lat",
+    ]);
+    t.row([
+        clients.to_string(),
+        latencies.len().to_string(),
+        acks.to_string(),
+        rejects.to_string(),
+        format!("{:.0}", acks as f64 / elapsed.max(1e-9)),
+        format!("{:.2}ms", pct(0.50)),
+        format!("{:.2}ms", pct(0.95)),
+        format!("{:.2}ms", pct(0.99)),
+    ]);
+    println!("{t}");
+
+    if drain {
+        let mut control = NetClient::connect(addr.as_str()).map_err(|e| format!("connect: {e}"))?;
+        match control.drain().map_err(|e| format!("drain: {e}"))? {
+            Response::DrainReport { clean, summary } => {
+                println!(
+                    "server drained: clean={clean}, admitted {} blocked {} (client acks {acks})",
+                    summary.admitted, summary.blocked
+                );
+                if !clean {
+                    return Err("server drain was not clean".into());
+                }
+                if summary.admitted != acks {
+                    return Err(format!(
+                        "server admitted {} but clients counted {acks} acks",
+                        summary.admitted
+                    ));
+                }
+            }
+            other => return Err(format!("expected DrainReport, got {other:?}")),
+        }
     }
     Ok(())
 }

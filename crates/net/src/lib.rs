@@ -1,0 +1,54 @@
+//! Wire protocol and TCP serving layer over the WDM admission engine.
+//!
+//! This crate turns the in-process [`wdm_runtime::AdmissionEngine`]
+//! into a network service: remote controllers connect over TCP and
+//! speak a compact length-prefixed binary protocol to admit and tear
+//! down multicast connections on a switch whose nonblocking guarantees
+//! come from Theorems 1–2 of Yang–Wang–Qiao.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the request/response vocabulary ([`Request`],
+//!   [`Response`], [`RejectReason`]) mirroring the runtime's error
+//!   taxonomy, plus the trace → wire adapter (`From<&TraceEvent> for
+//!   Request`).
+//! * [`codec`] — versioned framing with strict malformed-frame
+//!   rejection ([`WireError`]); decoding never panics on hostile input.
+//! * [`server`] / [`client`] — a multi-threaded [`NetServer`] feeding
+//!   the engine's sharded submit path with per-request write-back,
+//!   backpressure, and graceful drain; and a pipelining [`NetClient`]
+//!   with connection reuse and timeout/retry.
+//!
+//! # Example
+//!
+//! ```
+//! use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
+//! use wdm_fabric::CrossbarSession;
+//! use wdm_net::{NetClient, NetServer, NetServerConfig, Request, Response};
+//! use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+//!
+//! let net = NetworkConfig::new(4, 2);
+//! let backend = CrossbarSession::new(net, MulticastModel::Msw);
+//! let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+//! let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).unwrap();
+//!
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 0));
+//! assert!(client.call(&Request::Connect(conn)).unwrap().is_ok());
+//! assert!(matches!(
+//!     client.drain().unwrap(),
+//!     Response::DrainReport { clean: true, .. }
+//! ));
+//! let report = server.wait();
+//! assert_eq!(report.summary.blocked, 0);
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, NetClient, NetClientError};
+pub use codec::{RawFrame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD};
+pub use protocol::{RejectReason, Request, Response, WIRE_VERSION};
+pub use server::{NetServer, NetServerConfig};

@@ -1,0 +1,219 @@
+//! The request/response vocabulary of the wire protocol.
+//!
+//! A remote controller speaks four verbs to the switch — `Connect`,
+//! `Disconnect`, `Snapshot`, `Drain` — plus a `Ping` health probe. Every
+//! refusal carries a [`RejectReason`] mirroring the runtime's error
+//! taxonomy: transient `Busy`, hard `Blocked` (the theorems' event),
+//! repair-gated `ComponentDown`, plus the serving-layer-only `Draining`
+//! and `Backpressure` refusals a remote client needs to tell apart from
+//! fabric behaviour.
+
+use wdm_core::{Endpoint, MulticastConnection};
+use wdm_runtime::{MetricsSnapshot, RequestOutcome};
+use wdm_workload::TraceEvent;
+
+/// Current wire-format version, carried in every frame header. Peers
+/// reject frames with any other version — there is no negotiation.
+pub const WIRE_VERSION: u8 = 1;
+
+/// One request frame, client → server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Admit a multicast connection.
+    Connect(MulticastConnection),
+    /// Tear down the connection sourced at the endpoint.
+    Disconnect(Endpoint),
+    /// Return a live [`MetricsSnapshot`] of the engine.
+    Snapshot,
+    /// Gracefully drain the engine: refuse new work, finish queued
+    /// events, reply with the final report.
+    Drain,
+    /// Health probe; the server answers [`Response::Pong`].
+    Ping,
+}
+
+impl From<&TraceEvent> for Request {
+    /// Trace → wire-request adapter: replaying a `wdm-workload` trace
+    /// over the network is a `map` over its events.
+    fn from(event: &TraceEvent) -> Self {
+        match event {
+            TraceEvent::Connect(conn) => Request::Connect(conn.clone()),
+            TraceEvent::Disconnect(src) => Request::Disconnect(*src),
+        }
+    }
+}
+
+/// Why the server refused a `Connect` or `Disconnect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Endpoint conflict that outlived the engine's retry budget. The
+    /// request may succeed later, once the occupant departs.
+    Busy,
+    /// Middle-stage exhaustion — the hard block Theorems 1–2 rule out
+    /// at the nonblocking bound. Retrying without a departure is
+    /// pointless.
+    Blocked,
+    /// A required component is failed; only a repair changes the answer.
+    ComponentDown,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// This connection has too many requests in flight; resubmit after
+    /// some responses arrive.
+    Backpressure,
+    /// Disconnect for a source the server never admitted.
+    UnknownSource,
+    /// Structural error (malformed request reached the fabric).
+    Fatal,
+}
+
+impl RejectReason {
+    /// `true` when resubmitting the same request later can succeed
+    /// without operator intervention.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::Busy | RejectReason::Draining | RejectReason::Backpressure
+        )
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectReason::Busy => "busy",
+            RejectReason::Blocked => "blocked",
+            RejectReason::ComponentDown => "component down",
+            RejectReason::Draining => "draining",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::UnknownSource => "unknown source",
+            RejectReason::Fatal => "fatal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One response frame, server → client. Responses carry the id of the
+/// request they answer; because the engine resolves requests out of
+/// order (parked retries), responses on one connection may interleave.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The connect was admitted / the disconnect completed.
+    Ok,
+    /// The request was refused; `detail` is a human-readable elaboration
+    /// (may be empty).
+    Rejected {
+        /// Machine-readable refusal class.
+        reason: RejectReason,
+        /// Free-text elaboration.
+        detail: String,
+    },
+    /// Live engine telemetry.
+    Snapshot(MetricsSnapshot),
+    /// The drain completed; `summary` is the engine's final snapshot.
+    DrainReport {
+        /// Every worker drained, no structural errors, backend
+        /// consistent.
+        clean: bool,
+        /// Final counters after quiescence.
+        summary: MetricsSnapshot,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The peer sent something unintelligible; the connection closes
+    /// after this frame.
+    ProtocolError {
+        /// What was wrong with the offending frame.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Map an engine-side [`RequestOutcome`] to the wire response the
+    /// remote caller sees. An `OrphanedDeparture` (the connection was
+    /// already torn down by a failed heal) reads as success: the caller
+    /// wanted the connection gone and it is.
+    pub fn from_outcome(outcome: RequestOutcome) -> Response {
+        let reject = |reason, detail: &str| Response::Rejected {
+            reason,
+            detail: detail.to_string(),
+        };
+        match outcome {
+            RequestOutcome::Admitted | RequestOutcome::Departed => Response::Ok,
+            RequestOutcome::OrphanedDeparture => Response::Ok,
+            RequestOutcome::Expired => reject(
+                RejectReason::Busy,
+                "endpoint conflict outlived the retry deadline",
+            ),
+            RequestOutcome::Blocked => reject(RejectReason::Blocked, "middle stage exhausted"),
+            RequestOutcome::ComponentDown => {
+                reject(RejectReason::ComponentDown, "required component is failed")
+            }
+            RequestOutcome::SkippedDeparture => {
+                reject(RejectReason::UnknownSource, "source was never admitted")
+            }
+            RequestOutcome::Fatal => reject(RejectReason::Fatal, "structural error"),
+            RequestOutcome::Draining => reject(RejectReason::Draining, "engine is draining"),
+        }
+    }
+
+    /// `true` for [`Response::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_mapping_covers_the_taxonomy() {
+        assert_eq!(
+            Response::from_outcome(RequestOutcome::Admitted),
+            Response::Ok
+        );
+        assert_eq!(
+            Response::from_outcome(RequestOutcome::Departed),
+            Response::Ok
+        );
+        assert_eq!(
+            Response::from_outcome(RequestOutcome::OrphanedDeparture),
+            Response::Ok
+        );
+        for (outcome, reason) in [
+            (RequestOutcome::Expired, RejectReason::Busy),
+            (RequestOutcome::Blocked, RejectReason::Blocked),
+            (RequestOutcome::ComponentDown, RejectReason::ComponentDown),
+            (
+                RequestOutcome::SkippedDeparture,
+                RejectReason::UnknownSource,
+            ),
+            (RequestOutcome::Fatal, RejectReason::Fatal),
+            (RequestOutcome::Draining, RejectReason::Draining),
+        ] {
+            match Response::from_outcome(outcome) {
+                Response::Rejected { reason: r, .. } => assert_eq!(r, reason),
+                other => panic!("{outcome:?} mapped to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(RejectReason::Busy.is_retryable());
+        assert!(RejectReason::Draining.is_retryable());
+        assert!(RejectReason::Backpressure.is_retryable());
+        assert!(!RejectReason::Blocked.is_retryable());
+        assert!(!RejectReason::ComponentDown.is_retryable());
+        assert!(!RejectReason::Fatal.is_retryable());
+    }
+
+    #[test]
+    fn trace_event_adapter() {
+        let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 1));
+        let req: Request = (&TraceEvent::Connect(conn.clone())).into();
+        assert_eq!(req, Request::Connect(conn));
+        let req: Request = (&TraceEvent::Disconnect(Endpoint::new(2, 0))).into();
+        assert_eq!(req, Request::Disconnect(Endpoint::new(2, 0)));
+    }
+}

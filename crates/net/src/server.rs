@@ -1,0 +1,349 @@
+//! Multi-threaded TCP server fronting an [`AdmissionEngine`].
+//!
+//! One reader thread per accepted connection decodes request frames and
+//! feeds them straight into the engine's sharded submit path via
+//! [`AdmissionEngine::submit_tracked`]; the shard worker that resolves
+//! each request writes the response frame back through a per-connection
+//! writer lock, so responses interleave in *resolution* order, matched
+//! to requests by id.
+//!
+//! Flow control and lifecycle:
+//!
+//! * **Backpressure** — each connection has an in-flight cap
+//!   ([`NetServerConfig::max_inflight_per_conn`]); excess requests are
+//!   refused with [`RejectReason::Backpressure`] instead of ballooning
+//!   the shard queues.
+//! * **Graceful drain** — a [`Request::Drain`] frame (the wire-level
+//!   stand-in for SIGINT, which std exposes no portable hook for) flips
+//!   the engine into draining mode, finishes every queued event, and
+//!   answers with a [`Response::DrainReport`]. Later `Connect`s are
+//!   refused with [`RejectReason::Draining`].
+//! * **Protocol errors** — a malformed frame gets a
+//!   [`Response::ProtocolError`] reply and the connection is closed;
+//!   one broken peer cannot wedge the server.
+
+use crate::codec::{decode_request, encode_response, read_frame, WireError};
+use crate::protocol::{RejectReason, Request, Response};
+use parking_lot::{Mutex, RwLock};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use wdm_runtime::{AdmissionEngine, Backend, MetricsSnapshot, RuntimeReport};
+use wdm_workload::TimedEvent;
+use wdm_workload::TraceEvent;
+
+/// Tunables for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Maximum tracked requests in flight per connection before the
+    /// server answers [`RejectReason::Backpressure`].
+    pub max_inflight_per_conn: usize,
+    /// Poll interval of the nonblocking accept loop (also bounds how
+    /// long shutdown waits for the acceptor to notice the stop flag).
+    pub accept_poll: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_inflight_per_conn: 1024,
+            accept_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// State shared between the acceptor, the per-connection handlers, and
+/// the shard callbacks.
+struct Shared<B: Backend> {
+    /// `Some` while serving; taken (and consumed) by the drain.
+    engine: RwLock<Option<AdmissionEngine<B>>>,
+    /// Final report, parked here by the drain until [`NetServer::wait`].
+    report: Mutex<Option<RuntimeReport<B>>>,
+    /// `(is_clean, final summary)` once drained — answers `Snapshot`
+    /// and concurrent `Drain` requests after the engine is gone.
+    summary: Mutex<Option<(bool, MetricsSnapshot)>>,
+    /// Tells the acceptor to exit.
+    stop: AtomicBool,
+    /// Set once a drain has completed; [`NetServer::wait`] returns.
+    done: AtomicBool,
+    /// Server epoch: wall-clock arrival times become simulation times.
+    started: Instant,
+    /// Accepted sockets, kept so shutdown can unblock their readers.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Per-connection handler threads.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    config: NetServerConfig,
+}
+
+/// A listening server. Dropping it does **not** stop the threads; call
+/// [`NetServer::wait`] (after a client sent `Drain`) or
+/// [`NetServer::shutdown`] to tear down and collect the report.
+pub struct NetServer<B: Backend> {
+    shared: Arc<Shared<B>>,
+    acceptor: JoinHandle<()>,
+    local_addr: SocketAddr,
+}
+
+impl<B: Backend> NetServer<B> {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start
+    /// serving `engine`.
+    pub fn serve(
+        engine: AdmissionEngine<B>,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(Some(engine)),
+            report: Mutex::new(None),
+            summary: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            started: Instant::now(),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            config,
+        });
+        let acceptor = thread::Builder::new()
+            .name("wdm-net-accept".into())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || accept_loop(listener, shared)
+            })?;
+        Ok(NetServer {
+            shared,
+            acceptor,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Block until a client's `Drain` request completes, then tear the
+    /// server down and return the engine's final report.
+    pub fn wait(self) -> RuntimeReport<B> {
+        while !self.shared.done.load(Ordering::Acquire) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        self.finish()
+    }
+
+    /// Drain locally (as if a `Drain` frame had arrived), tear down,
+    /// and return the final report.
+    pub fn shutdown(self) -> RuntimeReport<B> {
+        drain_now(&self.shared);
+        self.finish()
+    }
+
+    fn finish(self) -> RuntimeReport<B> {
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = self.acceptor.join();
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared
+            .report
+            .lock()
+            .take()
+            .expect("drain completed, report parked")
+    }
+}
+
+fn accept_loop<B: Backend>(listener: TcpListener, shared: Arc<Shared<B>>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets go back to blocking mode: the reader
+                // thread parks in `read` and is unblocked by `shutdown`.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().push(clone);
+                }
+                let handle = thread::Builder::new().name("wdm-net-conn".into()).spawn({
+                    let shared = Arc::clone(&shared);
+                    move || handle_conn(stream, shared)
+                });
+                if let Ok(h) = handle {
+                    shared.handlers.lock().push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(shared.config.accept_poll);
+            }
+            Err(_) => thread::sleep(shared.config.accept_poll),
+        }
+    }
+}
+
+/// Write one response frame under the connection's writer lock. Errors
+/// are swallowed: a peer that vanished mid-reply is not a server fault.
+fn respond(writer: &Mutex<TcpStream>, id: u64, resp: &Response) {
+    let bytes = encode_response(id, resp);
+    let mut w = writer.lock();
+    let _ = w.write_all(&bytes);
+    let _ = w.flush();
+}
+
+fn handle_conn<B: Backend>(stream: TcpStream, shared: Arc<Shared<B>>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let inflight = Arc::new(AtomicUsize::new(0));
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(WireError::Closed) => break,
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => break,
+            Err(e) => {
+                // The stream is desynchronized; explain, then hang up.
+                respond(
+                    &writer,
+                    0,
+                    &Response::ProtocolError {
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        let id = frame.id;
+        let req = match decode_request(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                respond(
+                    &writer,
+                    id,
+                    &Response::ProtocolError {
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        match req {
+            Request::Ping => respond(&writer, id, &Response::Pong),
+            Request::Snapshot => {
+                let resp = snapshot_response(&shared);
+                respond(&writer, id, &resp);
+            }
+            Request::Drain => {
+                let (clean, summary) = drain_now(&shared);
+                respond(&writer, id, &Response::DrainReport { clean, summary });
+            }
+            Request::Connect(conn) => {
+                submit(&shared, &writer, &inflight, id, TraceEvent::Connect(conn));
+            }
+            Request::Disconnect(src) => {
+                submit(&shared, &writer, &inflight, id, TraceEvent::Disconnect(src));
+            }
+        }
+    }
+    // The shutdown set (`shared.conns`) holds another dup of this fd, so
+    // dropping the stream alone would leave the peer's reads hanging —
+    // shut the socket down explicitly.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Answer `Snapshot`: live engine telemetry while serving, the final
+/// summary after a drain.
+fn snapshot_response<B: Backend>(shared: &Shared<B>) -> Response {
+    if let Some(engine) = shared.engine.read().as_ref() {
+        return Response::Snapshot(engine.snapshot_now());
+    }
+    match shared.summary.lock().as_ref() {
+        Some((_, summary)) => Response::Snapshot(summary.clone()),
+        None => Response::Rejected {
+            reason: RejectReason::Draining,
+            detail: "engine is draining".into(),
+        },
+    }
+}
+
+/// Feed one connect/disconnect into the engine's sharded submit path.
+/// The response is written by whichever thread resolves the request —
+/// a shard worker on the normal path, this thread on refusals.
+fn submit<B: Backend>(
+    shared: &Shared<B>,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<AtomicUsize>,
+    id: u64,
+    event: TraceEvent,
+) {
+    if inflight.load(Ordering::Acquire) >= shared.config.max_inflight_per_conn {
+        respond(
+            writer,
+            id,
+            &Response::Rejected {
+                reason: RejectReason::Backpressure,
+                detail: "per-connection in-flight cap reached".into(),
+            },
+        );
+        return;
+    }
+    let guard = shared.engine.read();
+    let Some(engine) = guard.as_ref() else {
+        respond(
+            writer,
+            id,
+            &Response::Rejected {
+                reason: RejectReason::Draining,
+                detail: "engine is draining".into(),
+            },
+        );
+        return;
+    };
+    inflight.fetch_add(1, Ordering::AcqRel);
+    let done = {
+        let writer = Arc::clone(writer);
+        let inflight = Arc::clone(inflight);
+        Box::new(move |outcome| {
+            respond(&writer, id, &Response::from_outcome(outcome));
+            inflight.fetch_sub(1, Ordering::AcqRel);
+        })
+    };
+    let timed = TimedEvent {
+        time: shared.started.elapsed().as_secs_f64(),
+        event,
+    };
+    // A `Draining` refusal fires the callback inline with
+    // `RequestOutcome::Draining`, so every tracked submit answers
+    // exactly once.
+    let _ = engine.submit_tracked(timed, done);
+}
+
+/// Consume the engine and drain it; concurrent callers wait for the
+/// winner and return the same `(clean, summary)`.
+fn drain_now<B: Backend>(shared: &Shared<B>) -> (bool, MetricsSnapshot) {
+    let engine = { shared.engine.write().take() };
+    if let Some(engine) = engine {
+        // Refuse new work first so racing submits get clean refusals
+        // instead of queueing behind the drain.
+        engine.begin_drain();
+        let report = engine.drain();
+        let clean = report.is_clean();
+        *shared.summary.lock() = Some((clean, report.summary.clone()));
+        *shared.report.lock() = Some(report);
+        shared.done.store(true, Ordering::Release);
+    }
+    loop {
+        if let Some(result) = shared.summary.lock().clone() {
+            return result;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+}

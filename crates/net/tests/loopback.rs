@@ -1,0 +1,163 @@
+//! End-to-end acceptance test: N client threads stream a `wdm-workload`
+//! trace through [`NetClient`]s into a [`NetServer`] fronting a
+//! Theorem-1-sized three-stage network with `m` at the nonblocking
+//! bound. The drained report must be clean with **zero** blocks (the
+//! theorem's claim, now holding across a real socket boundary), and the
+//! server-observed admission count must equal the clients' observed
+//! acks.
+
+use std::thread;
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_net::{NetClient, NetServer, NetServerConfig, Request, Response};
+use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_workload::{close_trace, partition_by_source, DynamicTraffic, TimedEvent, TraceEvent};
+
+const CLIENTS: usize = 4;
+
+fn trace(net: NetworkConfig, seed: u64) -> Vec<TimedEvent> {
+    let horizon = 20.0;
+    let mut events =
+        DynamicTraffic::new(net, MulticastModel::Msw, 6.0, 1.0, 2, seed).generate(horizon);
+    close_trace(&mut events, horizon + 1.0);
+    events
+}
+
+/// Replay one lane through one connection, fully pipelined. The whole
+/// lane goes out before any response is awaited: a *windowed* closed
+/// loop could stall against a parked admission whose freeing departure
+/// sits in an unsent window, turning the test into a deadline-expiry
+/// measurement. Returns `(connect_acks, disconnect_responses, rejects)`.
+fn replay_lane(addr: std::net::SocketAddr, lane: Vec<TimedEvent>) -> (u64, u64, Vec<Response>) {
+    let mut client = NetClient::connect(addr).expect("client connects");
+    let mut connect_acks = 0u64;
+    let mut disconnect_responses = 0u64;
+    let mut rejects = Vec::new();
+    let reqs: Vec<Request> = lane.iter().map(|ev| Request::from(&ev.event)).collect();
+    let resps = client.pipeline(&reqs).expect("pipelined replay");
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert!(
+            !matches!(resp, Response::ProtocolError { .. }),
+            "server reported a protocol error for {req:?}: {resp:?}"
+        );
+        match (req, resp) {
+            (Request::Connect(_), Response::Ok) => connect_acks += 1,
+            (Request::Disconnect(_), _) => disconnect_responses += 1,
+            (_, other) => rejects.push(other.clone()),
+        }
+    }
+    (connect_acks, disconnect_responses, rejects)
+}
+
+#[test]
+fn multi_client_replay_at_the_bound_is_nonblocking() {
+    let (n, r, k) = (4u32, 4u32, 2u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let backend = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let events = trace(p.network(), 42);
+    let offered: u64 = events
+        .iter()
+        .filter(|e| matches!(e.event, TraceEvent::Connect(_)))
+        .count() as u64;
+    let disconnects = events.len() as u64 - offered;
+    assert!(offered > 20, "trace too small to mean anything");
+
+    let lanes = partition_by_source(events, CLIENTS);
+    let handles: Vec<_> = lanes
+        .into_iter()
+        .map(|lane| thread::spawn(move || replay_lane(addr, lane)))
+        .collect();
+    let mut connect_acks = 0u64;
+    let mut disconnect_responses = 0u64;
+    let mut rejects = Vec::new();
+    for h in handles {
+        let (acks, dis, rej) = h.join().expect("client thread");
+        connect_acks += acks;
+        disconnect_responses += dis;
+        rejects.extend(rej);
+    }
+    // Every request got exactly one answer.
+    assert_eq!(disconnect_responses, disconnects);
+    assert_eq!(connect_acks + rejects.len() as u64, offered);
+
+    // Drain over the wire and cross-check the final report.
+    let mut control = NetClient::connect(addr).expect("control client");
+    match control.drain().expect("drain round trip") {
+        Response::DrainReport { clean, summary } => {
+            assert!(clean, "drain not clean");
+            assert_eq!(summary.blocked, 0, "blocked at m = Theorem 1 bound");
+        }
+        other => panic!("expected DrainReport, got {other:?}"),
+    }
+    // After the drain, connects are refused as Draining.
+    let resp = control.snapshot().expect("post-drain snapshot");
+    assert!(matches!(resp, Response::Snapshot(_)));
+
+    let report = server.wait();
+    assert_eq!(report.worker_panics, 0);
+    assert!(report.is_clean(), "{:?}", report.consistency);
+    assert_eq!(report.summary.blocked, 0);
+    // Server-observed admissions == client-observed acks.
+    assert_eq!(report.summary.admitted, connect_acks);
+    assert_eq!(report.summary.offered, offered);
+}
+
+#[test]
+fn drain_refuses_new_connects_with_draining() {
+    let net = NetworkConfig::new(4, 2);
+    let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
+    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    assert!(matches!(
+        client.drain().expect("drain"),
+        Response::DrainReport { clean: true, .. }
+    ));
+    let conn = wdm_core::MulticastConnection::unicast(
+        wdm_core::Endpoint::new(0, 0),
+        wdm_core::Endpoint::new(1, 0),
+    );
+    match client
+        .call(&Request::Connect(conn))
+        .expect("post-drain connect")
+    {
+        Response::Rejected { reason, .. } => {
+            assert_eq!(reason, wdm_net::RejectReason::Draining);
+        }
+        other => panic!("expected Draining rejection, got {other:?}"),
+    }
+    let report = server.wait();
+    assert!(report.is_clean());
+}
+
+#[test]
+fn malformed_frame_gets_protocol_error_then_close() {
+    use std::io::{Read, Write};
+    let net = NetworkConfig::new(4, 2);
+    let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
+    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+    // The server answers with a ProtocolError frame, then hangs up.
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).expect("read until close");
+    let frame = wdm_net::codec::read_frame(&mut std::io::Cursor::new(buf)).expect("frame");
+    match wdm_net::codec::decode_response(&frame).expect("decodes") {
+        Response::ProtocolError { message } => assert!(message.contains("magic")),
+        other => panic!("expected ProtocolError, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert!(report.is_clean());
+}

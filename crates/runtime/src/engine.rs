@@ -79,6 +79,79 @@ impl RuntimeConfig {
     }
 }
 
+/// Whether [`AdmissionEngine::submit`] actually enqueued the event.
+///
+/// The engine refuses new work once a drain has begun (either
+/// [`AdmissionEngine::begin_drain`] was called or the engine is being
+/// consumed by [`AdmissionEngine::drain`]). Callers that front the
+/// engine with a network protocol map [`SubmitOutcome::Draining`] to a
+/// retryable "server is shutting down" error instead of silently
+/// dropping the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Draining outcome means the event was NOT enqueued"]
+pub enum SubmitOutcome {
+    /// The event was enqueued and will be processed by its shard.
+    Accepted,
+    /// The engine is draining; the event was dropped.
+    Draining,
+}
+
+impl SubmitOutcome {
+    /// `true` iff the event was enqueued.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SubmitOutcome::Accepted)
+    }
+}
+
+/// Terminal fate of one tracked request, reported through the
+/// [`OutcomeCallback`] passed to [`AdmissionEngine::submit_tracked`].
+///
+/// Exactly one of these fires per tracked event, from the shard thread
+/// that resolved it (or inline from `submit_tracked` itself when the
+/// engine is draining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Connect admitted by the backend.
+    Admitted,
+    /// Connect refused: middle-stage exhaustion (the theorems' event).
+    Blocked,
+    /// Connect refused: a required component is failed.
+    ComponentDown,
+    /// Connect gave up after exhausting its retry budget or deadline.
+    Expired,
+    /// Connect or disconnect hit a structural error.
+    Fatal,
+    /// Disconnect completed.
+    Departed,
+    /// Disconnect for a source whose admission previously failed.
+    SkippedDeparture,
+    /// Disconnect for a connection a failed heal already removed.
+    OrphanedDeparture,
+    /// The engine is draining; the event was never enqueued.
+    Draining,
+}
+
+/// Completion hook for one tracked event. Runs on a shard thread; keep
+/// it short (enqueue a response, bump a counter).
+pub type OutcomeCallback = Box<dyn FnOnce(RequestOutcome) + Send + 'static>;
+
+/// One queued unit of shard work: the event plus an optional completion
+/// callback for callers (like the TCP serving layer) that need the
+/// admission outcome written back per request.
+struct Job {
+    ev: TimedEvent,
+    done: Option<OutcomeCallback>,
+}
+
+impl Job {
+    /// Fire the callback, if any, with this job's terminal outcome.
+    fn resolve(done: Option<OutcomeCallback>, outcome: RequestOutcome) {
+        if let Some(cb) = done {
+            cb(outcome);
+        }
+    }
+}
+
 /// Everything known after a graceful drain.
 #[derive(Debug)]
 pub struct RuntimeReport<B> {
@@ -103,13 +176,24 @@ impl<B> RuntimeReport<B> {
     pub fn is_clean(&self) -> bool {
         self.worker_panics == 0 && self.summary.fatal == 0 && self.consistency.is_empty()
     }
+
+    /// The most recent point-in-time view of the run: the last periodic
+    /// snapshot when the observer emitted any, otherwise the final
+    /// summary. Runs whose snapshot interval exceeded their duration
+    /// produce no periodic snapshots, so `snapshots.last().unwrap()`
+    /// would panic — this accessor is always safe.
+    pub fn last_snapshot(&self) -> &MetricsSnapshot {
+        self.snapshots.last().unwrap_or(&self.summary)
+    }
 }
 
 /// A running sharded admission engine over backend `B`.
 pub struct AdmissionEngine<B: Backend> {
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
-    senders: Vec<Sender<TimedEvent>>,
+    senders: Vec<Sender<Job>>,
+    /// Set by [`Self::begin_drain`]; makes every later submit refuse.
+    draining: AtomicBool,
     workers: Vec<JoinHandle<()>>,
     observer: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
     snapshots: Arc<Mutex<Vec<MetricsSnapshot>>>,
@@ -134,7 +218,7 @@ impl<B: Backend> AdmissionEngine<B> {
         let mut senders = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         for shard in 0..workers_n {
-            let (tx, rx) = unbounded::<TimedEvent>();
+            let (tx, rx) = unbounded::<Job>();
             senders.push(tx);
             let backend = Arc::clone(&backend);
             let metrics = Arc::clone(&metrics);
@@ -176,6 +260,7 @@ impl<B: Backend> AdmissionEngine<B> {
             backend,
             metrics,
             senders,
+            draining: AtomicBool::new(false),
             workers,
             observer,
             snapshots,
@@ -202,19 +287,65 @@ impl<B: Backend> AdmissionEngine<B> {
         (port / self.ports_per_module) as usize % self.senders.len()
     }
 
-    /// Enqueue one event. Returns `false` if the engine is draining.
-    pub fn submit(&self, event: TimedEvent) -> bool {
-        let port = match &event.event {
+    /// Enqueue one event. [`SubmitOutcome::Draining`] means the engine
+    /// refused it (a drain has begun) and the event was dropped.
+    pub fn submit(&self, event: TimedEvent) -> SubmitOutcome {
+        self.enqueue(Job {
+            ev: event,
+            done: None,
+        })
+    }
+
+    /// Enqueue one event with a completion callback. The callback fires
+    /// exactly once with the request's terminal [`RequestOutcome`] —
+    /// from the resolving shard thread, or inline with
+    /// [`RequestOutcome::Draining`] when the engine refuses the event.
+    /// This is the hook the TCP serving layer uses to write admission
+    /// outcomes back to remote clients.
+    pub fn submit_tracked(&self, event: TimedEvent, done: OutcomeCallback) -> SubmitOutcome {
+        self.enqueue(Job {
+            ev: event,
+            done: Some(done),
+        })
+    }
+
+    fn enqueue(&self, job: Job) -> SubmitOutcome {
+        if self.draining.load(Ordering::Acquire) {
+            Job::resolve(job.done, RequestOutcome::Draining);
+            return SubmitOutcome::Draining;
+        }
+        let port = match &job.ev.event {
             TraceEvent::Connect(conn) => conn.source().port.0,
             TraceEvent::Disconnect(src) => src.port.0,
         };
-        self.senders[self.shard_of(port)].send(event).is_ok()
+        match self.senders[self.shard_of(port)].send(job) {
+            Ok(()) => SubmitOutcome::Accepted,
+            Err(e) => {
+                Job::resolve(e.0.done, RequestOutcome::Draining);
+                SubmitOutcome::Draining
+            }
+        }
+    }
+
+    /// Non-consuming drain signal: stop accepting new events without
+    /// tearing the engine down. Every subsequent [`Self::submit`] /
+    /// [`Self::submit_tracked`] returns [`SubmitOutcome::Draining`];
+    /// already-queued events still run to completion. A server that owns
+    /// the engine calls this first (so remote clients get clean
+    /// "draining" refusals), then [`Self::drain`] to collect the report.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`Self::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Enqueue a whole pre-generated trace.
     pub fn run_events(&self, events: impl IntoIterator<Item = TimedEvent>) {
         for e in events {
-            self.submit(e);
+            let _ = self.submit(e);
         }
     }
 
@@ -239,6 +370,7 @@ impl<B: Backend> AdmissionEngine<B> {
     pub fn drain(mut self) -> RuntimeReport<B> {
         // Closing the channels lets each worker finish its backlog and
         // exit its recv loop.
+        self.begin_drain();
         self.senders.clear();
         let mut worker_panics = 0usize;
         for w in self.workers.drain(..) {
@@ -377,7 +509,9 @@ struct Parked {
     attempts: u32,
     backoff: Duration,
     next_try: Instant,
-    deferred: VecDeque<TimedEvent>,
+    /// Completion callback of the parked connect, fired on resolution.
+    done: Option<OutcomeCallback>,
+    deferred: VecDeque<Job>,
 }
 
 /// Per-shard state and bookkeeping.
@@ -399,8 +533,8 @@ struct Shard<B: Backend> {
 impl<B: Backend> Shard<B> {
     /// Apply one event. Never sleeps: a busy connect parks instead of
     /// blocking the queue.
-    fn handle(&mut self, ev: TimedEvent) {
-        let src = match &ev.event {
+    fn handle(&mut self, job: Job) {
+        let src = match &job.ev.event {
             TraceEvent::Connect(conn) => conn.source(),
             TraceEvent::Disconnect(src) => *src,
         };
@@ -408,15 +542,23 @@ impl<B: Backend> Shard<B> {
         // per-source order survives. (A deferred connect counts as
         // offered only when it actually replays.)
         if let Some(p) = self.parked.get_mut(&src) {
-            p.deferred.push_back(ev);
+            p.deferred.push_back(job);
             return;
         }
+        let Job { ev, done } = job;
         match ev.event {
             TraceEvent::Connect(conn) => {
                 self.metrics.offered.fetch_add(1, Ordering::Relaxed);
-                self.try_connect(conn, ev.time, Instant::now(), 0, self.cfg.initial_backoff);
+                self.try_connect(
+                    conn,
+                    ev.time,
+                    Instant::now(),
+                    0,
+                    self.cfg.initial_backoff,
+                    done,
+                );
             }
-            TraceEvent::Disconnect(src) => self.do_disconnect(src, ev.time),
+            TraceEvent::Disconnect(src) => self.do_disconnect(src, ev.time, done),
         }
     }
 
@@ -428,6 +570,7 @@ impl<B: Backend> Shard<B> {
         t0: Instant,
         attempts: u32,
         backoff: Duration,
+        done: Option<OutcomeCallback>,
     ) {
         let src = conn.source();
         match self.backend.lock().connect(&conn) {
@@ -438,6 +581,7 @@ impl<B: Backend> Shard<B> {
                     .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 self.metrics.wavelength_up(src.wavelength.0 as usize);
                 self.live_since.insert(src, sim_time);
+                Job::resolve(done, RequestOutcome::Admitted);
             }
             Err(AdmitError::Busy(e)) => {
                 if attempts >= self.cfg.max_retries || t0.elapsed() >= self.cfg.deadline {
@@ -446,6 +590,7 @@ impl<B: Backend> Shard<B> {
                         "request {src} expired after {attempts} retries: {e}"
                     ));
                     self.never_admitted.insert(src);
+                    Job::resolve(done, RequestOutcome::Expired);
                 } else {
                     if attempts > 0 {
                         self.metrics.retried.fetch_add(1, Ordering::Relaxed);
@@ -459,6 +604,7 @@ impl<B: Backend> Shard<B> {
                             attempts: attempts + 1,
                             backoff: (backoff * 2).min(self.cfg.max_backoff),
                             next_try: Instant::now() + backoff,
+                            done,
                             deferred: VecDeque::new(),
                         },
                     );
@@ -467,6 +613,7 @@ impl<B: Backend> Shard<B> {
             Err(AdmitError::Blocked { .. }) => {
                 self.metrics.blocked.fetch_add(1, Ordering::Relaxed);
                 self.never_admitted.insert(src);
+                Job::resolve(done, RequestOutcome::Blocked);
             }
             Err(AdmitError::ComponentDown(_)) => {
                 // Only a repair can change the answer; retrying would just
@@ -474,20 +621,23 @@ impl<B: Backend> Shard<B> {
                 // capacity, a component was dead.
                 self.metrics.component_down.fetch_add(1, Ordering::Relaxed);
                 self.never_admitted.insert(src);
+                Job::resolve(done, RequestOutcome::ComponentDown);
             }
             Err(AdmitError::Fatal(msg)) => {
                 self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
                 self.metrics.note_error(format!("connect {src}: {msg}"));
                 self.never_admitted.insert(src);
+                Job::resolve(done, RequestOutcome::Fatal);
             }
         }
     }
 
-    fn do_disconnect(&mut self, src: Endpoint, sim_time: f64) {
+    fn do_disconnect(&mut self, src: Endpoint, sim_time: f64, done: Option<OutcomeCallback>) {
         if self.never_admitted.remove(&src) {
             self.metrics
                 .skipped_departures
                 .fetch_add(1, Ordering::Relaxed);
+            Job::resolve(done, RequestOutcome::SkippedDeparture);
             return;
         }
         // A failed heal already removed this connection. (The guard is a
@@ -499,6 +649,7 @@ impl<B: Backend> Shard<B> {
             self.metrics
                 .orphaned_departures
                 .fetch_add(1, Ordering::Relaxed);
+            Job::resolve(done, RequestOutcome::OrphanedDeparture);
             return;
         }
         match self.backend.lock().disconnect(src) {
@@ -509,10 +660,12 @@ impl<B: Backend> Shard<B> {
                     let micros = ((sim_time - since) * 1e6).max(0.0);
                     self.metrics.holding_micros.record(micros as u64);
                 }
+                Job::resolve(done, RequestOutcome::Departed);
             }
             Err(e) => {
                 self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
                 self.metrics.note_error(format!("disconnect {src}: {e}"));
+                Job::resolve(done, RequestOutcome::Fatal);
             }
         }
     }
@@ -529,7 +682,7 @@ impl<B: Backend> Shard<B> {
             .collect();
         for src in due {
             let p = self.parked.remove(&src).expect("due entry present");
-            self.try_connect(p.conn, p.sim_time, p.t0, p.attempts, p.backoff);
+            self.try_connect(p.conn, p.sim_time, p.t0, p.attempts, p.backoff, p.done);
             if self.parked.contains_key(&src) {
                 // Still parked: keep its deferred tail attached.
                 self.parked.get_mut(&src).expect("re-parked").deferred = p.deferred;
@@ -557,7 +710,7 @@ impl<B: Backend> Shard<B> {
 /// One shard: applies its slice of the event stream to the backend,
 /// interleaving queue intake with retries of parked requests.
 fn shard_loop<B: Backend>(
-    rx: Receiver<TimedEvent>,
+    rx: Receiver<Job>,
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
     dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
@@ -621,11 +774,11 @@ mod tests {
     fn single_event_roundtrip() {
         let engine = engine_on_crossbar(1);
         let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 0));
-        engine.submit(TimedEvent {
+        let _ = engine.submit(TimedEvent {
             time: 0.5,
             event: TraceEvent::Connect(conn),
         });
-        engine.submit(TimedEvent {
+        let _ = engine.submit(TimedEvent {
             time: 1.5,
             event: TraceEvent::Disconnect(Endpoint::new(0, 0)),
         });
@@ -709,15 +862,118 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         let report = engine.drain();
         assert!(!report.snapshots.is_empty());
-        let last = report.snapshots.last().unwrap();
+        let last = report.last_snapshot();
         assert!(last.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn last_snapshot_without_observer_falls_back_to_summary() {
+        // Snapshot interval longer than the run: no periodic snapshots.
+        // last_snapshot must degrade gracefully instead of panicking.
+        let engine = engine_on_crossbar(1);
+        let _ = engine.submit(TimedEvent {
+            time: 0.0,
+            event: TraceEvent::Connect(MulticastConnection::unicast(
+                Endpoint::new(0, 0),
+                Endpoint::new(1, 0),
+            )),
+        });
+        let report = engine.drain();
+        assert!(report.snapshots.is_empty());
+        assert_eq!(report.last_snapshot(), &report.summary);
+        assert_eq!(report.last_snapshot().admitted, 1);
+    }
+
+    #[test]
+    fn begin_drain_refuses_new_events_but_finishes_queued_ones() {
+        let engine = engine_on_crossbar(2);
+        let a = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 0));
+        assert!(engine
+            .submit(TimedEvent {
+                time: 0.0,
+                event: TraceEvent::Connect(a),
+            })
+            .is_accepted());
+        engine.begin_drain();
+        assert!(engine.is_draining());
+        let b = MulticastConnection::unicast(Endpoint::new(2, 0), Endpoint::new(3, 0));
+        assert_eq!(
+            engine.submit(TimedEvent {
+                time: 0.1,
+                event: TraceEvent::Connect(b),
+            }),
+            SubmitOutcome::Draining
+        );
+        let report = engine.drain();
+        assert!(report.is_clean(), "{:?}", report.errors);
+        // Only the pre-drain event was processed.
+        assert_eq!(report.summary.offered, 1);
+        assert_eq!(report.summary.admitted, 1);
+    }
+
+    #[test]
+    fn tracked_submit_reports_outcomes() {
+        use std::sync::mpsc;
+        let engine = engine_on_crossbar(2);
+        let (tx, rx) = mpsc::channel();
+        let send = |tx: &mpsc::Sender<(u32, RequestOutcome)>, tag: u32| {
+            let tx = tx.clone();
+            Box::new(move |o| tx.send((tag, o)).unwrap()) as OutcomeCallback
+        };
+        let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(1, 0));
+        let _ = engine.submit_tracked(
+            TimedEvent {
+                time: 0.0,
+                event: TraceEvent::Connect(conn),
+            },
+            send(&tx, 1),
+        );
+        let _ = engine.submit_tracked(
+            TimedEvent {
+                time: 1.0,
+                event: TraceEvent::Disconnect(Endpoint::new(0, 0)),
+            },
+            send(&tx, 2),
+        );
+        // A disconnect for a source that was never connected.
+        let _ = engine.submit_tracked(
+            TimedEvent {
+                time: 2.0,
+                event: TraceEvent::Disconnect(Endpoint::new(5, 0)),
+            },
+            send(&tx, 3),
+        );
+        let mut got: Vec<(u32, RequestOutcome)> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort_by_key(|(tag, _)| *tag);
+        assert_eq!(got[0], (1, RequestOutcome::Admitted));
+        assert_eq!(got[1], (2, RequestOutcome::Departed));
+        // Unknown source surfaces as Fatal (real bookkeeping violation).
+        assert_eq!(got[2].0, 3);
+        assert_eq!(got[2].1, RequestOutcome::Fatal);
+        engine.begin_drain();
+        // Tracked submits after begin_drain resolve inline as Draining.
+        let conn2 = MulticastConnection::unicast(Endpoint::new(6, 0), Endpoint::new(7, 0));
+        let _ = engine.submit_tracked(
+            TimedEvent {
+                time: 3.0,
+                event: TraceEvent::Connect(conn2),
+            },
+            send(&tx, 4),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            (4, RequestOutcome::Draining)
+        );
+        engine.drain();
     }
 
     #[test]
     fn live_metrics_visible_mid_run() {
         let engine = engine_on_crossbar(2);
         let conn = MulticastConnection::unicast(Endpoint::new(2, 1), Endpoint::new(3, 1));
-        engine.submit(TimedEvent {
+        let _ = engine.submit(TimedEvent {
             time: 0.0,
             event: TraceEvent::Connect(conn),
         });

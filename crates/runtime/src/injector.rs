@@ -191,7 +191,7 @@ mod tests {
     fn spawned_injector_fires_against_live_fault_traffic() {
         let engine = crossbar_engine();
         let handle = engine.fault_handle();
-        engine.submit(TimedEvent {
+        let _ = engine.submit(TimedEvent {
             time: 0.0,
             event: TraceEvent::Connect(MulticastConnection::unicast(
                 Endpoint::new(0, 0),

@@ -75,7 +75,10 @@ mod injector;
 mod metrics;
 
 pub use backend::{AdmitError, Backend};
-pub use engine::{AdmissionEngine, FaultHandle, HealOutcome, RuntimeConfig, RuntimeReport};
+pub use engine::{
+    AdmissionEngine, FaultHandle, HealOutcome, OutcomeCallback, RequestOutcome, RuntimeConfig,
+    RuntimeReport, SubmitOutcome,
+};
 pub use injector::{FaultInjector, InjectionRecord};
 pub use metrics::{LogHistogram, MetricsSnapshot, RuntimeMetrics};
 pub use wdm_core::{Fault, FaultSet};

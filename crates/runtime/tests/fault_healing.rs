@@ -216,8 +216,8 @@ fn fault_heal_then_repair_restores_capacity() {
         },
     );
     let handle = engine.fault_handle();
-    engine.submit(connect_at(0.0, unicast((0, 0), (2, 0))));
-    engine.submit(connect_at(0.0, unicast((1, 1), (3, 1))));
+    let _ = engine.submit(connect_at(0.0, unicast((0, 0), (2, 0))));
+    let _ = engine.submit(connect_at(0.0, unicast((1, 1), (3, 1))));
     wait_for(&engine.metrics().admitted, 2, "admitted");
 
     let loads = engine.snapshot_now().middle_loads;
@@ -259,7 +259,7 @@ fn fault_dead_port_tombstones_victims_until_repair() {
         [Endpoint::new(1, 0), Endpoint::new(2, 0)],
     )
     .unwrap();
-    engine.submit(connect_at(0.0, victim));
+    let _ = engine.submit(connect_at(0.0, victim));
     wait_for(&engine.metrics().admitted, 1, "admitted");
 
     let outcome = handle.inject(Fault::Port(1));
@@ -267,18 +267,18 @@ fn fault_dead_port_tombstones_victims_until_repair() {
     assert_eq!(outcome.heal_failed, 1, "destination port is the dead part");
 
     // The victim's scheduled departure is an orphan, quietly absorbed.
-    engine.submit(disconnect_at(1.0, (0, 0)));
+    let _ = engine.submit(disconnect_at(1.0, (0, 0)));
     wait_for(&engine.metrics().orphaned_departures, 1, "orphaned");
 
     // A fresh request needing the dead port is refused as ComponentDown…
-    engine.submit(connect_at(2.0, unicast((3, 0), (1, 0))));
+    let _ = engine.submit(connect_at(2.0, unicast((3, 0), (1, 0))));
     wait_for(&engine.metrics().component_down, 1, "component_down");
     // …and its departure is skipped (it was never admitted).
-    engine.submit(disconnect_at(3.0, (3, 0)));
+    let _ = engine.submit(disconnect_at(3.0, (3, 0)));
     wait_for(&engine.metrics().skipped_departures, 1, "skipped");
 
     assert!(handle.repair(Fault::Port(1)));
-    engine.submit(connect_at(4.0, unicast((4, 0), (1, 0))));
+    let _ = engine.submit(connect_at(4.0, unicast((4, 0), (1, 0))));
     wait_for(&engine.metrics().admitted, 2, "admitted after repair");
 
     let report = engine.drain();
@@ -303,15 +303,15 @@ fn fault_component_down_is_not_retried_but_busy_is() {
     let handle = engine.fault_handle();
     handle.inject(Fault::Port(5));
 
-    engine.submit(connect_at(0.0, unicast((0, 0), (4, 0))));
+    let _ = engine.submit(connect_at(0.0, unicast((0, 0), (4, 0))));
     wait_for(&engine.metrics().admitted, 1, "first admit");
     // Same destination: Busy, parked and retried until the rival leaves.
-    engine.submit(connect_at(1.0, unicast((1, 0), (4, 0))));
+    let _ = engine.submit(connect_at(1.0, unicast((1, 0), (4, 0))));
     std::thread::sleep(Duration::from_millis(20));
-    engine.submit(disconnect_at(2.0, (0, 0)));
+    let _ = engine.submit(disconnect_at(2.0, (0, 0)));
     wait_for(&engine.metrics().admitted, 2, "retry lands after departure");
     // Dead destination port: refused once, never retried.
-    engine.submit(connect_at(3.0, unicast((2, 0), (5, 0))));
+    let _ = engine.submit(connect_at(3.0, unicast((2, 0), (5, 0))));
     wait_for(&engine.metrics().component_down, 1, "component_down");
 
     let report = engine.drain();
@@ -367,8 +367,8 @@ fn fault_worker_panic_is_never_clean() {
             ..RuntimeConfig::default()
         },
     );
-    engine.submit(connect_at(0.0, unicast((0, 0), (1, 0))));
-    engine.submit(connect_at(0.0, unicast((7, 0), (2, 0)))); // kills its shard
+    let _ = engine.submit(connect_at(0.0, unicast((0, 0), (1, 0))));
+    let _ = engine.submit(connect_at(0.0, unicast((7, 0), (2, 0)))); // kills its shard
     let report = engine.drain();
     assert_eq!(report.worker_panics, 1);
     assert!(

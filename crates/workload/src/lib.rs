@@ -14,7 +14,9 @@
 //!   motivates: video conferencing, video-on-demand, and unicast-heavy
 //!   e-commerce traffic;
 //! * [`chaos`] — timed component failures and repairs (fault traffic for
-//!   the degraded-regime experiments).
+//!   the degraded-regime experiments);
+//! * [`partition`] — closing a trace and sharding it by source port into
+//!   per-client lanes for multi-connection network replay.
 //!
 //! Everything is deterministic given a seed (`StdRng`), so experiments are
 //! reproducible.
@@ -26,10 +28,12 @@ pub mod adversarial;
 pub mod chaos;
 pub mod dynamic;
 mod generators;
+pub mod partition;
 pub mod scenario;
 pub mod trace;
 
 pub use chaos::{ChaosSchedule, FaultAction, TimedFault};
 pub use dynamic::{DynamicTraffic, TimedEvent};
 pub use generators::AssignmentGen;
+pub use partition::{close_trace, partition_by_source};
 pub use trace::{RequestTrace, TraceEvent};

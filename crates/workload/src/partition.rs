@@ -1,0 +1,122 @@
+//! Trace partitioning for multi-client replay.
+//!
+//! Streaming one trace through several network clients only preserves
+//! correctness if each connection's `Connect` still precedes its
+//! `Disconnect` at the server. Sharding events by **source port** gives
+//! that guarantee for free: both events of a connection name the same
+//! source, so they land in the same lane, and each lane is replayed
+//! in order by a single client.
+
+use crate::dynamic::TimedEvent;
+use crate::trace::TraceEvent;
+
+/// The source port an event is keyed by.
+fn source_port(event: &TraceEvent) -> u32 {
+    match event {
+        TraceEvent::Connect(conn) => conn.source().port.0,
+        TraceEvent::Disconnect(src) => src.port.0,
+    }
+}
+
+/// Append the departures [`DynamicTraffic::generate`] truncated at the
+/// horizon, so every connection in the trace eventually releases its
+/// endpoints. Replaying an *unclosed* trace leaves the tail of
+/// connections holding endpoints forever, which turns rival requests
+/// into deadline expiries.
+///
+/// [`DynamicTraffic::generate`]: crate::DynamicTraffic::generate
+pub fn close_trace(events: &mut Vec<TimedEvent>, time: f64) {
+    let mut live = std::collections::BTreeSet::new();
+    for e in events.iter() {
+        match &e.event {
+            TraceEvent::Connect(c) => live.insert(c.source()),
+            TraceEvent::Disconnect(s) => live.remove(s),
+        };
+    }
+    events.extend(live.into_iter().map(|src| TimedEvent {
+        time,
+        event: TraceEvent::Disconnect(src),
+    }));
+}
+
+/// Split a trace into `lanes` per-client sub-traces, sharded by source
+/// port (`port % lanes`). Event order within each lane matches the
+/// input order, so per-connection connect-before-disconnect is
+/// preserved. `lanes` of 0 is treated as 1.
+pub fn partition_by_source(
+    events: impl IntoIterator<Item = TimedEvent>,
+    lanes: usize,
+) -> Vec<Vec<TimedEvent>> {
+    let lanes = lanes.max(1);
+    let mut out: Vec<Vec<TimedEvent>> = (0..lanes).map(|_| Vec::new()).collect();
+    for ev in events {
+        let lane = source_port(&ev.event) as usize % lanes;
+        out[lane].push(ev);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicTraffic;
+    use std::collections::HashMap;
+    use wdm_core::{MulticastModel, NetworkConfig};
+
+    fn sample_trace() -> Vec<TimedEvent> {
+        let net = NetworkConfig::new(8, 2);
+        let mut traffic = DynamicTraffic::new(net, MulticastModel::Msw, 4.0, 1.0, 3, 11);
+        let mut events = traffic.generate(10.0);
+        close_trace(&mut events, 11.0);
+        events
+    }
+
+    #[test]
+    fn lanes_cover_the_trace_without_duplication() {
+        let events = sample_trace();
+        let total = events.len();
+        let lanes = partition_by_source(events, 3);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes.iter().map(Vec::len).sum::<usize>(), total);
+    }
+
+    #[test]
+    fn connect_precedes_disconnect_within_every_lane() {
+        for lane in partition_by_source(sample_trace(), 4) {
+            let mut live: HashMap<(u32, u32), u32> = HashMap::new();
+            for ev in &lane {
+                match &ev.event {
+                    TraceEvent::Connect(conn) => {
+                        let src = conn.source();
+                        *live.entry((src.port.0, src.wavelength.0)).or_insert(0) += 1;
+                    }
+                    TraceEvent::Disconnect(src) => {
+                        let n = live
+                            .get_mut(&(src.port.0, src.wavelength.0))
+                            .expect("disconnect after its connect, in the same lane");
+                        *n -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_assignment_is_by_source_port() {
+        let lanes = partition_by_source(sample_trace(), 4);
+        for (i, lane) in lanes.iter().enumerate() {
+            for ev in lane {
+                assert_eq!(super::source_port(&ev.event) as usize % 4, i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lanes_degenerates_to_one() {
+        let events = sample_trace();
+        let n = events.len();
+        let lanes = partition_by_source(events, 0);
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].len(), n);
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
     // concurrently from this thread.
     for chunk in events.chunks(64) {
         for ev in chunk {
-            engine.submit(ev.clone());
+            let _ = engine.submit(ev.clone());
         }
         let snap = engine.snapshot_now();
         println!(

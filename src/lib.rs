@@ -13,5 +13,6 @@ pub use wdm_combinatorics as combinatorics;
 pub use wdm_core as core;
 pub use wdm_fabric as fabric;
 pub use wdm_multistage as multistage;
+pub use wdm_net as net;
 pub use wdm_runtime as runtime;
 pub use wdm_workload as workload;
