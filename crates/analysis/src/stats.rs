@@ -153,6 +153,44 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_a_single_sample_is_that_sample_at_every_q() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], q), Some(42.0), "q = {q}");
+        }
+        // Clamping applies to the degenerate case too.
+        assert_eq!(percentile(&[42.0], -3.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 7.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_extremes_equal_min_and_max() {
+        let data = [9.0, -2.0, 5.5, 0.0, 9.0];
+        assert_eq!(percentile(&data, 0.0), Some(-2.0));
+        assert_eq!(percentile(&data, 1.0), Some(9.0));
+        // Negative q clamps to the minimum, not an index underflow.
+        assert_eq!(percentile(&data, -0.5), Some(-2.0));
+    }
+
+    #[test]
+    fn percentile_on_duplicate_heavy_data_stays_on_the_plateau() {
+        // Latency-like sample: a wide plateau with one outlier, the
+        // shape that trips naive nearest-rank estimators.
+        let mut data = vec![7.0; 99];
+        data.push(1000.0);
+        assert_eq!(percentile(&data, 0.5), Some(7.0));
+        assert_eq!(percentile(&data, 0.98), Some(7.0));
+        // p99 sits on the interpolated ramp toward the outlier.
+        let p99 = percentile(&data, 0.99).unwrap();
+        assert!((7.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(percentile(&data, 1.0), Some(1000.0));
+        // All-identical data is flat at every quantile.
+        let flat = [3.0; 17];
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(percentile(&flat, q), Some(3.0));
+        }
+    }
+
+    #[test]
     fn wilson_contains_the_point_estimate() {
         let (lo, hi) = wilson_interval(15, 100, 1.96);
         assert!(lo < 0.15 && 0.15 < hi);

@@ -1,0 +1,56 @@
+//! **Simulation benchmark**: throughput of the deterministic executor —
+//! seeded interleaving checks per second, end to end (adversarial trace
+//! generation, the cooperative scheduler, the serial oracle replay, and
+//! the conformance diff). This is the cost CI pays per seed in the
+//! nightly sweep, so regressions here translate directly into less
+//! schedule-space coverage per minute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_sim::SimSetup;
+
+fn bench_check_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_check_seed");
+    for (label, setup) in [
+        ("crossbar", SimSetup::crossbar(2, 4, 1, 40, 4)),
+        (
+            "three-stage",
+            SimSetup::three_stage_at_bound(2, 4, 1, 40, 4),
+        ),
+        ("three-stage-faulted", {
+            let mut s = SimSetup::three_stage_at_bound(2, 4, 1, 40, 4);
+            s.m += 1;
+            s.faulted = true;
+            s
+        }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &setup, |b, setup| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                let verdict = setup.check_seed(seed);
+                assert!(verdict.violations.is_empty(), "seed {seed} diverged");
+                seed = seed.wrapping_add(1);
+                verdict.fingerprint
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    // The starved regime: every seed fails, so this measures the full
+    // artifact pipeline — check, ddmin over connect/disconnect units,
+    // and the final re-validation of the shrunk trace.
+    let mut setup = SimSetup::three_stage_underprovisioned(4, 4, 1, 60, 4);
+    setup.m = 3;
+    c.bench_function("sim_failing_seed_shrink", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            let failure = setup.failing_seed(seed).expect("starved network must fail");
+            seed = seed.wrapping_add(1);
+            failure.trace.len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_check_seed, bench_shrink);
+criterion_main!(benches);

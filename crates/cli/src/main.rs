@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&opts),
         "serve" => cmd_serve(&opts),
         "bench-net" => cmd_bench_net(&opts),
+        "sim" => cmd_sim(&opts),
         "fig10" => cmd_fig10(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -107,6 +108,16 @@ COMMANDS:
                                                    and report admissions/sec plus latency
                                                    percentiles; --drain true (default) drains the
                                                    server at the end and asserts a clean report
+  sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage] [--m M]
+              [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted]
+                                                   deterministic simulation: replay seeded
+                                                   interleavings of the sharded admission engine
+                                                   and check each against the serial oracle
+                                                   (fault-free) or the conservation invariants
+                                                   (--faulted); --seeds sweeps COUNT seeds from
+                                                   --seed (default 0); a failing seed is shrunk
+                                                   by delta debugging and printed as a replayable
+                                                   artifact, and the exit code is nonzero
   fig10                                            replay the paper's Fig. 10 scenario
 
 OPTIONS:
@@ -117,13 +128,23 @@ OPTIONS:
 struct Opts(HashMap<String, String>);
 
 impl Opts {
+    /// Flags that may appear without a value (presence means "true"),
+    /// so shrink artifacts' `reproduce:` lines paste back verbatim.
+    const BOOLEAN_FLAGS: [&'static str; 1] = ["faulted"];
+
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut map = HashMap::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(flag) = it.next() {
             let key = flag.trim_start_matches('-').to_string();
             if key.is_empty() || !flag.starts_with('-') {
                 return Err(format!("unexpected argument {flag:?}"));
+            }
+            if Self::BOOLEAN_FLAGS.contains(&key.as_str())
+                && it.peek().is_none_or(|next| next.starts_with('-'))
+            {
+                map.insert(key, "true".to_string());
+                continue;
             }
             let value = it
                 .next()
@@ -1116,6 +1137,117 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `sim`: deterministic simulation of the sharded admission engine.
+/// One seed fixes the adversarial trace, the fault script, and every
+/// scheduling decision; each run is judged against the serial oracle
+/// (fault-free) or the conservation invariants (`--faulted`). Any
+/// failure is delta-debugged to a minimal trace and reported with its
+/// seed — and the process exits nonzero so CI sweeps fail loudly.
+fn cmd_sim(opts: &Opts) -> Result<(), String> {
+    use wdm_sim::{BackendKind, SimSetup};
+
+    let backend = match opts.0.get("backend").map(String::as_str) {
+        None => BackendKind::ThreeStage,
+        Some(s) => BackendKind::parse(s)
+            .ok_or_else(|| format!("unknown backend {s:?} (crossbar|three-stage)"))?,
+    };
+    let n = opts.u32("n", None)?;
+    let r = opts.u32("r", None)?;
+    let k = opts.u32("k", Some(1))?;
+    if n == 0 || r == 0 || k == 0 {
+        return Err("--n, --r and -k must all be at least 1".into());
+    }
+    let steps = opts.u64("steps", 40)? as usize;
+    let shards = opts.u32("shards", Some(4))?.max(1) as usize;
+    let faulted = match opts.0.get("faulted").map(String::as_str) {
+        None | Some("false") | Some("0") => false,
+        Some("true") | Some("1") => true,
+        Some(other) => return Err(format!("--faulted must be true or false, got {other:?}")),
+    };
+
+    let bound = bounds::theorem1_min_m(n, r).m;
+    let mut setup = match backend {
+        BackendKind::Crossbar => SimSetup::crossbar(n, r, k, steps, shards),
+        BackendKind::ThreeStage => SimSetup::three_stage_at_bound(n, r, k, steps, shards),
+    };
+    setup.faulted = faulted;
+    if backend == BackendKind::ThreeStage {
+        if let Some(m) = opts.0.get("m") {
+            setup.m = m
+                .parse::<u32>()
+                .ok()
+                .filter(|&m| m >= 1)
+                .ok_or_else(|| format!("--m must be a positive integer, got {m:?}"))?;
+        }
+        if setup.m < bound {
+            // Under-provisioned: spread load across middles so reachable
+            // hard blocks actually surface (and become artifacts).
+            setup.strategy = wdm_multistage::SelectionStrategy::Spread;
+        }
+        if faulted {
+            // A mid-trace kill shrinks the live middle stage by one until
+            // its repair; only a spare margin keeps the guarantee.
+            setup.expect_nonblocking = setup.m > bound;
+        }
+    }
+    println!(
+        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{} (Theorem 1 bound m ≥ {bound})",
+        backend.label(),
+        if backend == BackendKind::ThreeStage {
+            format!(" m={}", setup.m)
+        } else {
+            String::new()
+        },
+        if faulted { " faulted" } else { "" },
+    );
+
+    let base = opts.u64("seed", if opts.0.contains_key("seeds") { 0 } else { 42 })?;
+    if let Some(count) = opts.0.get("seeds") {
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("--seeds must be a count, got {count:?}"))?;
+        let report = setup.sweep(base..base + count);
+        println!(
+            "swept {} seeds [{base}..{}): {} distinct schedules, {} failing",
+            report.checked,
+            base + count,
+            report.distinct_schedules,
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("\n{f}");
+        }
+        if let Some(first) = report.failures.first() {
+            return Err(format!(
+                "{} of {} seeds diverged; first offending seed: {}",
+                report.failures.len(),
+                report.checked,
+                first.seed
+            ));
+        }
+        return Ok(());
+    }
+
+    let verdict = setup.check_seed(base);
+    if verdict.violations.is_empty() {
+        println!(
+            "seed {base}: OK ({} events, schedule fingerprint {:016x})",
+            verdict.events, verdict.fingerprint
+        );
+        return Ok(());
+    }
+    // Shrink before reporting so the artifact is minimal and replayable.
+    match setup.failing_seed(base) {
+        Some(failure) => println!("{failure}"),
+        None => {
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+        }
+    }
+    Err(format!("conformance divergence at seed {base}"))
 }
 
 fn cmd_fig10() -> Result<(), String> {

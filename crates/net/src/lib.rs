@@ -47,8 +47,10 @@ pub mod client;
 pub mod codec;
 pub mod protocol;
 pub mod server;
+pub mod transport;
 
 pub use client::{ClientConfig, NetClient, NetClientError};
 pub use codec::{RawFrame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD};
 pub use protocol::{RejectReason, Request, Response, WIRE_VERSION};
 pub use server::{NetServer, NetServerConfig};
+pub use transport::{MemDuplex, Transport};

@@ -1,0 +1,173 @@
+//! Byte-transport abstraction under the wire protocol.
+//!
+//! The codec ([`read_frame`], [`write_frame`]) already works over any
+//! `Read`/`Write` pair; what the TCP layer adds is *blocking* delivery
+//! over a socket. This module extracts the transport seam so the same
+//! frames can flow over other carriers — above all the in-memory
+//! [`MemDuplex`], which the deterministic simulation harness (`wdm-sim`)
+//! uses to run the full client/server codec path with no sockets, no
+//! threads, and no time: bytes sit in a buffer until the simulator
+//! explicitly delivers them, which is exactly what makes stalled-window
+//! schedules reproducible.
+
+use crate::codec::{read_frame, RawFrame, WireError, HEADER_LEN, MAX_PAYLOAD};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A bidirectional, frame-oriented byte transport.
+///
+/// `send_bytes` never blocks on the peer; `try_recv_frame` is
+/// non-blocking and returns `Ok(None)` until a *complete* frame is
+/// buffered — partial frames stay queued, mirroring TCP's stream
+/// semantics without its timing.
+pub trait Transport: Send {
+    /// Queue raw bytes (one or more encoded frames) toward the peer.
+    fn send_bytes(&self, bytes: &[u8]) -> Result<(), WireError>;
+
+    /// Decode the next complete frame, if one is fully buffered.
+    fn try_recv_frame(&self) -> Result<Option<RawFrame>, WireError>;
+
+    /// `true` when the peer endpoint is gone (no more data can arrive).
+    fn is_closed(&self) -> bool;
+}
+
+/// Shared state of one direction of a [`MemDuplex`].
+#[derive(Default)]
+struct Lane {
+    buf: Mutex<VecDeque<u8>>,
+}
+
+/// One endpoint of an in-memory duplex byte pipe.
+///
+/// Created in pairs by [`MemDuplex::pair`]; what one endpoint sends the
+/// other receives, in order, with no loss and no timing. `Clone` hands
+/// out another handle to the *same* endpoint (useful when a callback
+/// needs to write responses while the owner keeps reading).
+#[derive(Clone)]
+pub struct MemDuplex {
+    /// Bytes we write, the peer reads.
+    out: Arc<Lane>,
+    /// Bytes the peer writes, we read.
+    inn: Arc<Lane>,
+}
+
+impl MemDuplex {
+    /// A connected pair: bytes sent on one side arrive on the other.
+    pub fn pair() -> (MemDuplex, MemDuplex) {
+        let a = Arc::new(Lane::default());
+        let b = Arc::new(Lane::default());
+        (
+            MemDuplex {
+                out: Arc::clone(&a),
+                inn: Arc::clone(&b),
+            },
+            MemDuplex { out: b, inn: a },
+        )
+    }
+
+    /// Bytes currently queued toward this endpoint (not yet received).
+    pub fn pending_in(&self) -> usize {
+        self.inn.buf.lock().len()
+    }
+
+    /// `true` when a complete frame is buffered and `try_recv_frame`
+    /// would return it.
+    pub fn frame_ready(&self) -> bool {
+        frame_len(&self.inn.buf.lock()).is_some()
+    }
+}
+
+/// Length of the first complete frame in `buf`, if any.
+///
+/// Header bytes 12..16 carry the little-endian payload length; a frame
+/// is complete when `HEADER_LEN + len` bytes are buffered. Garbage in
+/// the length field is bounded by [`MAX_PAYLOAD`] at decode time, so
+/// this peek never waits for more than one max-size frame.
+fn frame_len(buf: &VecDeque<u8>) -> Option<usize> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let mut len_bytes = [0u8; 4];
+    for (i, b) in len_bytes.iter_mut().enumerate() {
+        *b = buf[12 + i];
+    }
+    let payload = u32::from_le_bytes(len_bytes) as usize;
+    // Oversized frames surface as a decode error, not a stuck pipe.
+    let total = HEADER_LEN + payload.min(MAX_PAYLOAD + 1);
+    (buf.len() >= total).then_some(total)
+}
+
+impl Transport for MemDuplex {
+    fn send_bytes(&self, bytes: &[u8]) -> Result<(), WireError> {
+        self.out.buf.lock().extend(bytes.iter().copied());
+        Ok(())
+    }
+
+    fn try_recv_frame(&self) -> Result<Option<RawFrame>, WireError> {
+        let mut buf = self.inn.buf.lock();
+        let Some(total) = frame_len(&buf) else {
+            return Ok(None);
+        };
+        let bytes: Vec<u8> = buf.drain(..total).collect();
+        read_frame(&mut bytes.as_slice()).map(Some)
+    }
+
+    fn is_closed(&self) -> bool {
+        // The peer endpoint (and all its clones) dropped its handles and
+        // nothing is left to read.
+        Arc::strong_count(&self.inn) == 1 && self.inn.buf.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_request, encode_request};
+    use crate::protocol::Request;
+
+    #[test]
+    fn roundtrip_one_frame() {
+        let (a, b) = MemDuplex::pair();
+        assert!(!a.frame_ready());
+        a.send_bytes(&encode_request(7, &Request::Ping)).unwrap();
+        assert!(b.frame_ready());
+        let frame = b.try_recv_frame().unwrap().expect("complete frame");
+        assert_eq!(frame.id, 7);
+        assert_eq!(decode_request(&frame).unwrap(), Request::Ping);
+        assert!(b.try_recv_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_frame_stays_buffered() {
+        let (a, b) = MemDuplex::pair();
+        let bytes = encode_request(1, &Request::Snapshot);
+        a.send_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(!b.frame_ready());
+        assert!(b.try_recv_frame().unwrap().is_none());
+        a.send_bytes(&bytes[bytes.len() - 1..]).unwrap();
+        let frame = b.try_recv_frame().unwrap().expect("now complete");
+        assert_eq!(frame.id, 1);
+    }
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let (a, b) = MemDuplex::pair();
+        for id in 0..5u64 {
+            a.send_bytes(&encode_request(id, &Request::Ping)).unwrap();
+        }
+        for id in 0..5u64 {
+            assert_eq!(b.try_recv_frame().unwrap().unwrap().id, id);
+        }
+    }
+
+    #[test]
+    fn closed_when_peer_dropped_and_drained() {
+        let (a, b) = MemDuplex::pair();
+        a.send_bytes(&encode_request(3, &Request::Ping)).unwrap();
+        drop(a);
+        assert!(!b.is_closed(), "buffered frame still readable");
+        let _ = b.try_recv_frame().unwrap().unwrap();
+        assert!(b.is_closed());
+    }
+}

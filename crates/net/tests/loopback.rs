@@ -138,6 +138,62 @@ fn drain_refuses_new_connects_with_draining() {
     assert!(report.is_clean());
 }
 
+/// Two `Drain` frames on one connection: the first consumes the engine,
+/// the second must answer with the *same* completed report rather than
+/// hanging, erroring, or re-draining — and the server still tears down
+/// to a single clean report.
+#[test]
+fn drain_frame_twice_on_one_connection_is_idempotent() {
+    let net = NetworkConfig::new(4, 2);
+    let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
+    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    let conn = wdm_core::MulticastConnection::unicast(
+        wdm_core::Endpoint::new(0, 0),
+        wdm_core::Endpoint::new(1, 0),
+    );
+    assert!(matches!(
+        client.call(&Request::Connect(conn)).expect("connect req"),
+        Response::Ok
+    ));
+    assert!(matches!(
+        client
+            .call(&Request::Disconnect(wdm_core::Endpoint::new(0, 0)))
+            .expect("disconnect req"),
+        Response::Ok
+    ));
+
+    let first = match client.drain().expect("first drain") {
+        Response::DrainReport { clean, summary } => {
+            assert!(clean, "first drain not clean");
+            summary
+        }
+        other => panic!("expected DrainReport, got {other:?}"),
+    };
+    let second = match client.drain().expect("second drain") {
+        Response::DrainReport { clean, summary } => {
+            assert!(clean, "second drain not clean");
+            summary
+        }
+        other => panic!("expected DrainReport, got {other:?}"),
+    };
+    // Identical terminal counters: the second frame observed the first
+    // drain's result instead of re-counting anything.
+    assert_eq!(first.offered, second.offered);
+    assert_eq!(first.admitted, second.admitted);
+    assert_eq!(first.departed, second.departed);
+    assert_eq!(first.orphaned_departures, second.orphaned_departures);
+    assert_eq!(first.admitted, 1);
+    assert_eq!(first.departed, 1);
+
+    let report = server.wait();
+    assert!(report.is_clean());
+    assert_eq!(report.summary.admitted, 1);
+}
+
 #[test]
 fn malformed_frame_gets_protocol_error_then_close() {
     use std::io::{Read, Write};

@@ -1,0 +1,114 @@
+//! Time sources for the engine.
+//!
+//! Every time-dependent decision in the shard logic — retry backoff,
+//! deadline expiry, latency metering — goes through the [`Clock`] trait
+//! instead of calling [`Instant::now`] directly. Production code uses
+//! the zero-cost [`SystemClock`]; the deterministic simulation harness
+//! (`wdm-sim`) substitutes a [`VirtualClock`] it advances by hand, so a
+//! whole churn trace with thousands of parked retries replays in
+//! microseconds of wall time and — crucially — *identically* on every
+//! run with the same seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source.
+///
+/// Implementations return [`Instant`]s so the shard bookkeeping
+/// (`next_try`, `t0`) keeps its natural types; a virtual implementation
+/// just offsets a fixed epoch, which keeps all arithmetic deterministic.
+pub trait Clock: Clone + Send + 'static {
+    /// The current instant according to this clock.
+    fn now(&self) -> Instant;
+}
+
+/// The real wall clock; what [`AdmissionEngine`] threads use.
+///
+/// [`AdmissionEngine`]: crate::AdmissionEngine
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    #[inline]
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A manually advanced clock for deterministic simulation.
+///
+/// Reads return `epoch + offset` where the epoch is captured once at
+/// construction and the offset only moves via [`VirtualClock::advance`].
+/// Clones share the offset, so every shard handed a clone of one
+/// `VirtualClock` observes the same, simulation-controlled time.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    epoch: Instant,
+    nanos: Arc<AtomicU64>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    /// A clock frozen at its epoch.
+    pub fn new() -> Self {
+        VirtualClock {
+            epoch: Instant::now(),
+            nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Move time forward by `d`. Never moves backward.
+    pub fn advance(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.nanos.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Virtual time elapsed since the epoch.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Instant {
+        self.epoch + self.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_frozen_until_advanced() {
+        let clock = VirtualClock::new();
+        let t0 = clock.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), t0, "virtual time ignores wall time");
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(clock.now() - t0, Duration::from_secs(3));
+        assert_eq!(clock.elapsed(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn clones_share_the_offset() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_millis(500));
+        assert_eq!(b.elapsed(), Duration::from_millis(500));
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn system_clock_moves() {
+        let clock = SystemClock;
+        let t0 = clock.now();
+        assert!(clock.now() >= t0);
+    }
+}

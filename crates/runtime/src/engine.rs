@@ -20,6 +20,7 @@
 //! nonblocking guarantee becomes the runtime invariant `blocked == 0`.
 
 use crate::backend::{AdmitError, Backend};
+use crate::clock::{Clock, SystemClock};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -187,20 +188,122 @@ impl<B> RuntimeReport<B> {
     }
 }
 
-/// A running sharded admission engine over backend `B`.
-pub struct AdmissionEngine<B: Backend> {
+/// The shared heart of an engine: the backend under its lock, the
+/// metrics sink, and the failed-heal tombstone set.
+///
+/// [`AdmissionEngine`] wraps one of these with real threads and
+/// channels; the deterministic simulation harness (`wdm-sim`) drives
+/// the same core single-threaded through hand-built [`ShardCore`]s, so
+/// both paths exercise *identical* admission logic.
+pub struct EngineCore<B: Backend> {
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
+    /// Sources whose connection a failed heal already removed: their
+    /// scheduled departure must be swallowed, not sent to the backend.
+    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
+    ports_per_module: u32,
+}
+
+impl<B: Backend> EngineCore<B> {
+    /// Take ownership of `backend` and set up the shared state.
+    pub fn new(backend: B) -> Self {
+        let ports_per_module = backend.ports_per_module().max(1);
+        let metrics = Arc::new(RuntimeMetrics::new(backend.wavelengths()));
+        EngineCore {
+            backend: Arc::new(Mutex::new(backend)),
+            metrics,
+            dead_sources: Arc::new(Mutex::new(HashSet::new())),
+            ports_per_module,
+        }
+    }
+
+    /// Live metrics handle.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// Ports per input module of the backend (≥ 1).
+    pub fn ports_per_module(&self) -> u32 {
+        self.ports_per_module
+    }
+
+    /// Shard index for a source port among `shards` shards: all ports of
+    /// one input module map to one shard.
+    pub fn shard_of(&self, port: u32, shards: usize) -> usize {
+        (port / self.ports_per_module) as usize % shards.max(1)
+    }
+
+    /// A fault-injection handle holding the backend weakly (usable after
+    /// the core is finished; injections then become no-ops).
+    pub fn fault_handle(&self) -> FaultHandle<B> {
+        FaultHandle {
+            backend: Arc::downgrade(&self.backend),
+            metrics: Arc::clone(&self.metrics),
+            dead_sources: Arc::clone(&self.dead_sources),
+        }
+    }
+
+    /// Mint one shard driving this core on `clock`.
+    pub fn shard<C: Clock>(&self, cfg: RuntimeConfig, clock: C) -> ShardCore<B, C> {
+        ShardCore {
+            backend: Arc::clone(&self.backend),
+            metrics: Arc::clone(&self.metrics),
+            dead_sources: Arc::clone(&self.dead_sources),
+            cfg,
+            clock,
+            live_since: HashMap::new(),
+            never_admitted: HashSet::new(),
+            parked: HashMap::new(),
+        }
+    }
+
+    /// Point-in-time snapshot at `elapsed_secs` on the caller's clock.
+    pub fn snapshot(&self, elapsed_secs: f64) -> MetricsSnapshot {
+        let (active, loads) = {
+            let b = self.backend.lock();
+            (b.active_connections() as u64, b.middle_loads())
+        };
+        self.metrics.snapshot(elapsed_secs, active, loads)
+    }
+
+    /// Clone of the backend handle, for observers that poll gauges.
+    fn backend_arc(&self) -> Arc<Mutex<B>> {
+        Arc::clone(&self.backend)
+    }
+
+    /// Reclaim the backend and produce the final report. Every
+    /// [`ShardCore`] minted from this core must have been dropped;
+    /// [`FaultHandle`]s may live on (they hold the backend weakly).
+    pub fn finish(self, elapsed_secs: f64) -> RuntimeReport<B> {
+        let backend = Arc::try_unwrap(self.backend)
+            .unwrap_or_else(|_| panic!("all shards dropped; no other backend handles"))
+            .into_inner();
+        let consistency = backend.check();
+        let summary = self.metrics.snapshot(
+            elapsed_secs,
+            backend.active_connections() as u64,
+            backend.middle_loads(),
+        );
+        RuntimeReport {
+            backend,
+            summary,
+            snapshots: Vec::new(),
+            consistency,
+            errors: self.metrics.errors(),
+            worker_panics: 0,
+        }
+    }
+}
+
+/// A running sharded admission engine over backend `B`.
+pub struct AdmissionEngine<B: Backend> {
+    core: EngineCore<B>,
     senders: Vec<Sender<Job>>,
     /// Set by [`Self::begin_drain`]; makes every later submit refuse.
     draining: AtomicBool,
     workers: Vec<JoinHandle<()>>,
     observer: Option<(Arc<AtomicBool>, JoinHandle<()>)>,
     snapshots: Arc<Mutex<Vec<MetricsSnapshot>>>,
-    /// Sources whose connection a failed heal already removed: their
-    /// scheduled departure must be swallowed, not sent to the backend.
-    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
-    ports_per_module: u32,
     started: Instant,
 }
 
@@ -209,10 +312,7 @@ impl<B: Backend> AdmissionEngine<B> {
     /// the snapshot observer when configured).
     pub fn start(backend: B, config: RuntimeConfig) -> Self {
         let workers_n = config.effective_workers();
-        let ports_per_module = backend.ports_per_module().max(1);
-        let metrics = Arc::new(RuntimeMetrics::new(backend.wavelengths()));
-        let backend = Arc::new(Mutex::new(backend));
-        let dead_sources = Arc::new(Mutex::new(HashSet::new()));
+        let core = EngineCore::new(backend);
         let started = Instant::now();
 
         let mut senders = Vec::with_capacity(workers_n);
@@ -220,14 +320,11 @@ impl<B: Backend> AdmissionEngine<B> {
         for shard in 0..workers_n {
             let (tx, rx) = unbounded::<Job>();
             senders.push(tx);
-            let backend = Arc::clone(&backend);
-            let metrics = Arc::clone(&metrics);
-            let dead_sources = Arc::clone(&dead_sources);
-            let cfg = config.clone();
+            let shard_core = core.shard(config.clone(), SystemClock);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("wdm-shard-{shard}"))
-                    .spawn(move || shard_loop(rx, backend, metrics, dead_sources, cfg))
+                    .spawn(move || shard_loop(rx, shard_core))
                     .expect("spawn shard worker"),
             );
         }
@@ -236,8 +333,8 @@ impl<B: Backend> AdmissionEngine<B> {
         let observer = config.snapshot_every.map(|every| {
             let stop = Arc::new(AtomicBool::new(false));
             let flag = Arc::clone(&stop);
-            let backend = Arc::clone(&backend);
-            let metrics = Arc::clone(&metrics);
+            let backend = core.backend_arc();
+            let metrics = Arc::clone(&core.metrics);
             let log = Arc::clone(&snapshots);
             let handle = std::thread::Builder::new()
                 .name("wdm-observer".into())
@@ -257,15 +354,12 @@ impl<B: Backend> AdmissionEngine<B> {
         });
 
         AdmissionEngine {
-            backend,
-            metrics,
+            core,
             senders,
             draining: AtomicBool::new(false),
             workers,
             observer,
             snapshots,
-            dead_sources,
-            ports_per_module,
             started,
         }
     }
@@ -274,17 +368,13 @@ impl<B: Backend> AdmissionEngine<B> {
     /// The handle holds only a weak reference to the backend, so it can
     /// outlive the engine (injections after [`Self::drain`] are no-ops).
     pub fn fault_handle(&self) -> FaultHandle<B> {
-        FaultHandle {
-            backend: Arc::downgrade(&self.backend),
-            metrics: Arc::clone(&self.metrics),
-            dead_sources: Arc::clone(&self.dead_sources),
-        }
+        self.core.fault_handle()
     }
 
     /// Shard index for a source port: all ports of one input module map
     /// to one shard.
     fn shard_of(&self, port: u32) -> usize {
-        (port / self.ports_per_module) as usize % self.senders.len()
+        self.core.shard_of(port, self.senders.len())
     }
 
     /// Enqueue one event. [`SubmitOutcome::Draining`] means the engine
@@ -351,17 +441,12 @@ impl<B: Backend> AdmissionEngine<B> {
 
     /// Live metrics handle (counters update while workers run).
     pub fn metrics(&self) -> &RuntimeMetrics {
-        &self.metrics
+        self.core.metrics()
     }
 
     /// Snapshot right now without draining.
     pub fn snapshot_now(&self) -> MetricsSnapshot {
-        let (active, loads) = {
-            let b = self.backend.lock();
-            (b.active_connections() as u64, b.middle_loads())
-        };
-        self.metrics
-            .snapshot(self.started.elapsed().as_secs_f64(), active, loads)
+        self.core.snapshot(self.started.elapsed().as_secs_f64())
     }
 
     /// Graceful shutdown: stop accepting events, let every shard drain
@@ -375,8 +460,10 @@ impl<B: Backend> AdmissionEngine<B> {
         let mut worker_panics = 0usize;
         for w in self.workers.drain(..) {
             if w.join().is_err() {
-                self.metrics.note_error("shard worker panicked".into());
-                self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
+                self.core
+                    .metrics()
+                    .note_error("shard worker panicked".into());
+                self.core.metrics().fatal.fetch_add(1, Ordering::Relaxed);
                 worker_panics += 1;
             }
         }
@@ -385,24 +472,10 @@ impl<B: Backend> AdmissionEngine<B> {
             let _ = handle.join();
         }
 
-        let backend = Arc::try_unwrap(self.backend)
-            .unwrap_or_else(|_| panic!("all workers joined; no other backend handles"))
-            .into_inner();
-        let consistency = backend.check();
-        let summary = self.metrics.snapshot(
-            self.started.elapsed().as_secs_f64(),
-            backend.active_connections() as u64,
-            backend.middle_loads(),
-        );
-        let snapshots = std::mem::take(&mut *self.snapshots.lock());
-        RuntimeReport {
-            backend,
-            summary,
-            snapshots,
-            consistency,
-            errors: self.metrics.errors(),
-            worker_panics,
-        }
+        let mut report = self.core.finish(self.started.elapsed().as_secs_f64());
+        report.snapshots = std::mem::take(&mut *self.snapshots.lock());
+        report.worker_panics = worker_panics;
+        report
     }
 }
 
@@ -514,13 +587,20 @@ struct Parked {
     deferred: VecDeque<Job>,
 }
 
-/// Per-shard state and bookkeeping.
-struct Shard<B: Backend> {
+/// Per-shard state and bookkeeping, generic over its time source.
+///
+/// Minted by [`EngineCore::shard`]. The threaded engine runs one of
+/// these per worker on [`SystemClock`]; the simulation harness drives
+/// the same type single-threaded on a virtual clock via
+/// [`ShardCore::handle_event`] / [`ShardCore::retry_due`] /
+/// [`ShardCore::next_due`].
+pub struct ShardCore<B: Backend, C: Clock> {
     backend: Arc<Mutex<B>>,
     metrics: Arc<RuntimeMetrics>,
     /// Shared with [`FaultHandle`]: sources a failed heal removed.
     dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
     cfg: RuntimeConfig,
+    clock: C,
     /// Admitted sources with their connect sim-time (for holding time).
     live_since: HashMap<Endpoint, f64>,
     /// Sources whose admission failed; their paired departure must be
@@ -530,9 +610,19 @@ struct Shard<B: Backend> {
     parked: HashMap<Endpoint, Parked>,
 }
 
-impl<B: Backend> Shard<B> {
-    /// Apply one event. Never sleeps: a busy connect parks instead of
-    /// blocking the queue.
+impl<B: Backend, C: Clock> ShardCore<B, C> {
+    /// Apply one event, optionally tracked by a completion callback.
+    /// Never sleeps: a busy connect parks instead of blocking the queue.
+    pub fn handle_event(&mut self, ev: TimedEvent, done: Option<OutcomeCallback>) {
+        self.handle(Job { ev, done });
+    }
+
+    /// Number of busy connects currently parked awaiting retry.
+    pub fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Apply one queued job.
     fn handle(&mut self, job: Job) {
         let src = match &job.ev.event {
             TraceEvent::Connect(conn) => conn.source(),
@@ -552,7 +642,7 @@ impl<B: Backend> Shard<B> {
                 self.try_connect(
                     conn,
                     ev.time,
-                    Instant::now(),
+                    self.clock.now(),
                     0,
                     self.cfg.initial_backoff,
                     done,
@@ -575,16 +665,18 @@ impl<B: Backend> Shard<B> {
         let src = conn.source();
         match self.backend.lock().connect(&conn) {
             Ok(()) => {
+                let waited = self.clock.now().saturating_duration_since(t0);
                 self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .admit_latency_ns
-                    .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    .record(waited.as_nanos().min(u64::MAX as u128) as u64);
                 self.metrics.wavelength_up(src.wavelength.0 as usize);
                 self.live_since.insert(src, sim_time);
                 Job::resolve(done, RequestOutcome::Admitted);
             }
             Err(AdmitError::Busy(e)) => {
-                if attempts >= self.cfg.max_retries || t0.elapsed() >= self.cfg.deadline {
+                let waited = self.clock.now().saturating_duration_since(t0);
+                if attempts >= self.cfg.max_retries || waited >= self.cfg.deadline {
                     self.metrics.expired.fetch_add(1, Ordering::Relaxed);
                     self.metrics.note_error(format!(
                         "request {src} expired after {attempts} retries: {e}"
@@ -603,7 +695,7 @@ impl<B: Backend> Shard<B> {
                             t0,
                             attempts: attempts + 1,
                             backoff: (backoff * 2).min(self.cfg.max_backoff),
-                            next_try: Instant::now() + backoff,
+                            next_try: self.clock.now() + backoff,
                             done,
                             deferred: VecDeque::new(),
                         },
@@ -672,8 +764,8 @@ impl<B: Backend> Shard<B> {
 
     /// Retry every parked connect whose backoff elapsed; replay deferred
     /// same-source events for the ones that resolved.
-    fn retry_due(&mut self) {
-        let now = Instant::now();
+    pub fn retry_due(&mut self) {
+        let now = self.clock.now();
         let due: Vec<Endpoint> = self
             .parked
             .iter()
@@ -697,9 +789,10 @@ impl<B: Backend> Shard<B> {
         }
     }
 
-    /// Time until the earliest parked retry is due.
-    fn next_due(&self) -> Option<Duration> {
-        let now = Instant::now();
+    /// Time until the earliest parked retry is due ([`Duration::ZERO`]
+    /// when one is due right now).
+    pub fn next_due(&self) -> Option<Duration> {
+        let now = self.clock.now();
         self.parked
             .values()
             .map(|p| p.next_try.saturating_duration_since(now))
@@ -709,22 +802,7 @@ impl<B: Backend> Shard<B> {
 
 /// One shard: applies its slice of the event stream to the backend,
 /// interleaving queue intake with retries of parked requests.
-fn shard_loop<B: Backend>(
-    rx: Receiver<Job>,
-    backend: Arc<Mutex<B>>,
-    metrics: Arc<RuntimeMetrics>,
-    dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
-    cfg: RuntimeConfig,
-) {
-    let mut shard = Shard {
-        backend,
-        metrics,
-        dead_sources,
-        cfg,
-        live_since: HashMap::new(),
-        never_admitted: HashSet::new(),
-        parked: HashMap::new(),
-    };
+fn shard_loop<B: Backend>(rx: Receiver<Job>, mut shard: ShardCore<B, SystemClock>) {
     let mut open = true;
     while open || !shard.parked.is_empty() {
         shard.retry_due();

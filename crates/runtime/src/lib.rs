@@ -70,14 +70,16 @@
 //! ```
 
 mod backend;
+mod clock;
 mod engine;
 mod injector;
 mod metrics;
 
 pub use backend::{AdmitError, Backend};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::{
-    AdmissionEngine, FaultHandle, HealOutcome, OutcomeCallback, RequestOutcome, RuntimeConfig,
-    RuntimeReport, SubmitOutcome,
+    AdmissionEngine, EngineCore, FaultHandle, HealOutcome, OutcomeCallback, RequestOutcome,
+    RuntimeConfig, RuntimeReport, ShardCore, SubmitOutcome,
 };
 pub use injector::{FaultInjector, InjectionRecord};
 pub use metrics::{LogHistogram, MetricsSnapshot, RuntimeMetrics};

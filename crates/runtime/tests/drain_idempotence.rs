@@ -1,0 +1,171 @@
+//! Drain idempotence: repeated drain signals, drains racing fault
+//! injection, and post-drain injection must all resolve to exactly one
+//! clean [`wdm_runtime::RuntimeReport`] with conserved outcome counts —
+//! in particular, no double-counted orphaned departures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_runtime::{AdmissionEngine, Fault, HealOutcome, RuntimeConfig, SubmitOutcome};
+use wdm_workload::{TimedEvent, TraceEvent};
+
+fn crossbar(ports: u32) -> CrossbarSession {
+    CrossbarSession::new(NetworkConfig::new(ports, 1), MulticastModel::Msw)
+}
+
+fn connect_at(time: f64, src: u32, dst: u32) -> TimedEvent {
+    TimedEvent {
+        time,
+        event: TraceEvent::Connect(MulticastConnection::unicast(
+            Endpoint::new(src, 0),
+            Endpoint::new(dst, 0),
+        )),
+    }
+}
+
+fn disconnect_at(time: f64, src: u32) -> TimedEvent {
+    TimedEvent {
+        time,
+        event: TraceEvent::Disconnect(Endpoint::new(src, 0)),
+    }
+}
+
+/// Spin until `counter` reaches `want` (bounded by a wall-clock limit).
+fn wait_for(counter: &AtomicU64, want: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while counter.load(Ordering::Relaxed) < want {
+        assert!(
+            Instant::now() < deadline,
+            "{what} never reached {want} (at {})",
+            counter.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// `begin_drain` twice: the second signal is a no-op, every post-signal
+/// submit is refused (and not counted as offered), and the single
+/// `drain()` yields one clean report whose counters reflect only the
+/// accepted work.
+#[test]
+fn begin_drain_twice_yields_one_clean_report() {
+    let engine = AdmissionEngine::start(crossbar(8), RuntimeConfig::default());
+    for p in 0..4 {
+        assert_eq!(
+            engine.submit(connect_at(0.0, p, p + 4)),
+            SubmitOutcome::Accepted
+        );
+    }
+    wait_for(&engine.metrics().admitted, 4, "admitted");
+    for p in 0..4 {
+        assert_eq!(
+            engine.submit(disconnect_at(1.0, p)),
+            SubmitOutcome::Accepted
+        );
+    }
+    wait_for(&engine.metrics().departed, 4, "departed");
+
+    engine.begin_drain();
+    assert!(engine.is_draining());
+    engine.begin_drain(); // idempotent: signalling again changes nothing
+    assert!(engine.is_draining());
+    for _ in 0..2 {
+        assert_eq!(
+            engine.submit(connect_at(2.0, 0, 5)),
+            SubmitOutcome::Draining,
+            "post-drain submits must be refused every time"
+        );
+    }
+
+    let report = engine.drain();
+    assert!(report.is_clean(), "{:?}", report.consistency);
+    let s = &report.summary;
+    assert_eq!(s.offered, 4, "refused submits must not count as offered");
+    assert_eq!(s.admitted, 4);
+    assert_eq!(s.departed, 4);
+    assert_eq!(s.orphaned_departures, 0);
+    assert_eq!(s.active, 0);
+}
+
+/// A `FaultHandle::inject` racing the departure stream and the drain:
+/// whatever interleaving the threads land on, the single report must
+/// conserve victims (`connections_hit == healed + heal_failed`) and
+/// departures (`admitted == departed + orphaned_departures`), with each
+/// failed heal producing at most one orphaned departure — never two.
+#[test]
+fn drain_racing_inject_conserves_victims() {
+    for round in 0..8u32 {
+        let engine = AdmissionEngine::start(crossbar(8), RuntimeConfig::default());
+        let handle = engine.fault_handle();
+        for p in 0..4 {
+            assert_eq!(
+                engine.submit(connect_at(0.0, p, p + 4)),
+                SubmitOutcome::Accepted
+            );
+        }
+        wait_for(&engine.metrics().admitted, 4, "admitted");
+
+        // Kill the destination port of one live connection from another
+        // thread while this thread sends the departures and drains.
+        let killer = std::thread::spawn(move || handle.inject(Fault::Port(4 + round % 4)));
+        for p in 0..4 {
+            let _ = engine.submit(disconnect_at(1.0, p));
+        }
+        engine.begin_drain();
+        let outcome = killer.join().expect("injector thread");
+        let report = engine.drain();
+
+        assert!(report.is_clean(), "round {round}: {:?}", report.consistency);
+        let s = &report.summary;
+        assert_eq!(
+            s.connections_hit,
+            s.healed + s.heal_failed,
+            "round {round}: victim accounting must balance"
+        );
+        assert_eq!(
+            s.admitted,
+            s.departed + s.orphaned_departures,
+            "round {round}: every admission departs exactly once"
+        );
+        assert!(
+            s.orphaned_departures <= s.heal_failed,
+            "round {round}: {} orphans from {} failed heals — double counted",
+            s.orphaned_departures,
+            s.heal_failed
+        );
+        assert_eq!(s.active, 0, "round {round}");
+        assert_eq!(
+            outcome.connections_hit,
+            outcome.healed + outcome.heal_failed,
+            "round {round}: HealOutcome must balance too"
+        );
+    }
+}
+
+/// Injection after the drain reclaimed the backend is a no-op — the
+/// weak handle refuses rather than mutating freed state.
+#[test]
+fn inject_after_drain_is_a_noop() {
+    let engine = AdmissionEngine::start(crossbar(4), RuntimeConfig::default());
+    let handle = engine.fault_handle();
+    let _ = engine.submit(connect_at(0.0, 0, 2));
+    wait_for(&engine.metrics().admitted, 1, "admitted");
+    let _ = engine.submit(disconnect_at(1.0, 0));
+    wait_for(&engine.metrics().departed, 1, "departed");
+
+    let report = engine.drain();
+    assert!(report.is_clean());
+    assert_eq!(report.summary.faults_injected, 0);
+
+    let late = handle.inject(Fault::Port(0));
+    assert_eq!(
+        late,
+        HealOutcome::default(),
+        "post-drain inject must refuse"
+    );
+    assert!(
+        !handle.repair(Fault::Port(0)),
+        "post-drain repair must refuse"
+    );
+}

@@ -1,0 +1,43 @@
+//! Differential backend runner.
+//!
+//! The photonic crossbar (`CrossbarSession`) and a three-stage network
+//! provisioned at the Theorem 1/2 bound are *both* supposed to be
+//! nonblocking, so an identical trace driven through each — under the
+//! same recorded schedule — must yield the same admit/block verdict at
+//! every trace index. A divergence localizes a bug to one construction
+//! (most often the three-stage routing search failing a request the
+//! theorems say it must satisfy).
+
+use crate::executor::SimRun;
+use std::fmt;
+use wdm_runtime::RequestOutcome;
+
+/// One per-index disagreement between two backends on the same trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// Trace index of the disagreeing event.
+    pub index: usize,
+    /// Outcome under the first backend.
+    pub a: Option<RequestOutcome>,
+    /// Outcome under the second backend.
+    pub b: Option<RequestOutcome>,
+}
+
+impl fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event #{}: {:?} vs {:?}", self.index, self.a, self.b)
+    }
+}
+
+/// Compare two runs of the same trace, index by index. Backends may
+/// differ in type; only the outcome sequences are compared.
+pub fn diff_runs<A, B>(a: &SimRun<A>, b: &SimRun<B>) -> Vec<DiffEntry> {
+    debug_assert_eq!(a.outcomes.len(), b.outcomes.len());
+    a.outcomes
+        .iter()
+        .zip(b.outcomes.iter())
+        .enumerate()
+        .filter(|(_, (x, y))| x != y)
+        .map(|(index, (&a, &b))| DiffEntry { index, a, b })
+        .collect()
+}

@@ -1,0 +1,412 @@
+//! Seed sweeps and failing-seed artifacts.
+//!
+//! A [`SimSetup`] fixes everything about a simulated experiment except
+//! the seed: geometry, backend, trace length, shard count, fault plan.
+//! One seed then determines the whole run — the adversarial churn trace,
+//! the fault script, and every scheduling decision — so
+//! [`SimSetup::check_seed`] is a pure function from `u64` to verdict.
+//! When a seed fails, [`SimSetup::failing_seed`] shrinks its trace with
+//! delta debugging and packages seed + minimal trace + reproduction
+//! command line into a [`FailingSeed`] artifact a human (or CI) can
+//! replay with `wdmcast sim --seed N`.
+
+use crate::executor::{simulate, Scheduler, SimParams, SimRun};
+use crate::oracle::{conformance_violations, invariant_violations, Violation};
+use crate::schedule::ChoiceStream;
+use crate::shrink::shrink_trace;
+use std::fmt;
+use wdm_core::{Fault, MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{
+    bounds, Construction, SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_runtime::RuntimeConfig;
+use wdm_workload::adversarial::{AdversarialGen, Geometry};
+use wdm_workload::{close_trace, FaultAction, TimedEvent, TimedFault};
+
+/// Which construction the simulated engine drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The photonic crossbar session (strictly nonblocking by
+    /// construction).
+    Crossbar,
+    /// A three-stage network with `m` middle switches.
+    ThreeStage,
+}
+
+impl BackendKind {
+    /// CLI-facing label (`--backend` value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Crossbar => "crossbar",
+            BackendKind::ThreeStage => "three-stage",
+        }
+    }
+
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "crossbar" => Some(BackendKind::Crossbar),
+            "three-stage" | "threestage" | "3stage" => Some(BackendKind::ThreeStage),
+            _ => None,
+        }
+    }
+}
+
+/// Everything about a simulated experiment except the seed.
+#[derive(Debug, Clone)]
+pub struct SimSetup {
+    /// Three-stage geometry; the crossbar uses `geo.ports()` ports and
+    /// `geo.k` wavelengths.
+    pub geo: Geometry,
+    /// Multicast model requests are legal under.
+    pub model: MulticastModel,
+    /// Middle switches (three-stage only).
+    pub m: u32,
+    /// Which backend to drive.
+    pub backend: BackendKind,
+    /// Churn-trace length before closing departures are appended.
+    pub steps: usize,
+    /// Cooperatively scheduled shards.
+    pub shards: usize,
+    /// Inject a seed-derived fail/repair pair mid-trace.
+    pub faulted: bool,
+    /// Assert `blocked == 0` (the fabric is provisioned at or above the
+    /// relevant nonblocking bound for the whole run, faults included).
+    pub expect_nonblocking: bool,
+    /// Middle-switch ordering strategy (three-stage only). `Spread`
+    /// maximizes middle-stage dispersal, which is what makes hard blocks
+    /// reachable on an under-provisioned fabric.
+    pub strategy: SelectionStrategy,
+}
+
+impl SimSetup {
+    /// A three-stage setup provisioned exactly at the Theorem 1 bound,
+    /// fault-free, expecting zero hard blocks under every schedule.
+    pub fn three_stage_at_bound(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
+        let m = bounds::theorem1_min_m(n, r).m;
+        SimSetup {
+            geo: Geometry { n, r, k },
+            model: MulticastModel::Msw,
+            m,
+            backend: BackendKind::ThreeStage,
+            steps,
+            shards,
+            faulted: false,
+            expect_nonblocking: true,
+            strategy: SelectionStrategy::FirstFit,
+        }
+    }
+
+    /// A three-stage setup one middle switch *below* the Theorem 1
+    /// bound, with load-spreading selection. The oracle still expects
+    /// `blocked == 0`, so a reachable hard block becomes a
+    /// [`FailingSeed`] artifact — this is the harness's own smoke test.
+    pub fn three_stage_underprovisioned(
+        n: u32,
+        r: u32,
+        k: u32,
+        steps: usize,
+        shards: usize,
+    ) -> SimSetup {
+        let mut setup = SimSetup::three_stage_at_bound(n, r, k, steps, shards);
+        setup.m = setup.m.saturating_sub(1).max(1);
+        setup.strategy = SelectionStrategy::Spread;
+        setup
+    }
+
+    /// A crossbar setup over the same geometry (always nonblocking).
+    pub fn crossbar(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
+        SimSetup {
+            geo: Geometry { n, r, k },
+            model: MulticastModel::Msw,
+            m: 0,
+            backend: BackendKind::Crossbar,
+            steps,
+            shards,
+            faulted: false,
+            expect_nonblocking: true,
+            strategy: SelectionStrategy::FirstFit,
+        }
+    }
+
+    /// The seed's closed adversarial churn trace.
+    pub fn trace(&self, seed: u64) -> Vec<TimedEvent> {
+        let mut gen = AdversarialGen::new(self.geo, self.model, seed);
+        let mut trace = gen.churn_trace(self.steps);
+        let horizon = trace.last().map_or(0.0, |e| e.time) + 1.0;
+        close_trace(&mut trace, horizon);
+        trace
+    }
+
+    /// The seed's fault script: one mid-trace component failure and its
+    /// repair two-thirds in. Empty when the setup is fault-free.
+    pub fn faults(&self, seed: u64, trace: &[TimedEvent]) -> Vec<TimedFault> {
+        if !self.faulted || trace.is_empty() {
+            return Vec::new();
+        }
+        let fault = match self.backend {
+            BackendKind::ThreeStage => Fault::MiddleSwitch((seed % self.m.max(1) as u64) as u32),
+            BackendKind::Crossbar => Fault::Port((seed % self.geo.ports() as u64) as u32),
+        };
+        let fail_at = trace[trace.len() / 3].time;
+        let repair_at = trace[trace.len() * 2 / 3].time;
+        vec![
+            TimedFault {
+                time: fail_at,
+                action: FaultAction::Fail(fault),
+            },
+            TimedFault {
+                time: repair_at,
+                action: FaultAction::Repair(fault),
+            },
+        ]
+    }
+
+    fn params(&self) -> SimParams {
+        SimParams {
+            shards: self.shards,
+            runtime: RuntimeConfig::default(),
+        }
+    }
+
+    /// Run one (trace, faults) input under the scheduler and return the
+    /// violations the oracle finds. Fault-free runs are checked for full
+    /// serial conformance; faulted runs (whose victim sets are
+    /// schedule-dependent) against the conservation invariants.
+    pub fn violations_for(
+        &self,
+        trace: &[TimedEvent],
+        faults: &[TimedFault],
+        choices: &mut ChoiceStream,
+    ) -> Vec<Violation> {
+        let params = self.params();
+        match self.backend {
+            BackendKind::Crossbar => {
+                let run = simulate(
+                    self.make_crossbar(),
+                    trace,
+                    faults,
+                    &params,
+                    Scheduler::Random(choices),
+                );
+                self.judge(trace, faults, run)
+            }
+            BackendKind::ThreeStage => {
+                let run = simulate(
+                    self.make_three_stage(),
+                    trace,
+                    faults,
+                    &params,
+                    Scheduler::Random(choices),
+                );
+                self.judge(trace, faults, run)
+            }
+        }
+    }
+
+    fn judge<B: wdm_runtime::Backend>(
+        &self,
+        trace: &[TimedEvent],
+        faults: &[TimedFault],
+        run: SimRun<B>,
+    ) -> Vec<Violation> {
+        if faults.is_empty() {
+            let serial_params = SimParams {
+                shards: 1,
+                runtime: RuntimeConfig::default(),
+            };
+            match self.backend {
+                BackendKind::Crossbar => {
+                    let serial = simulate(
+                        self.make_crossbar(),
+                        trace,
+                        &[],
+                        &serial_params,
+                        Scheduler::Serial,
+                    );
+                    conformance_violations(&run, &serial, self.expect_nonblocking)
+                }
+                BackendKind::ThreeStage => {
+                    let serial = simulate(
+                        self.make_three_stage(),
+                        trace,
+                        &[],
+                        &serial_params,
+                        Scheduler::Serial,
+                    );
+                    conformance_violations(&run, &serial, self.expect_nonblocking)
+                }
+            }
+        } else {
+            invariant_violations(&run, self.expect_nonblocking)
+        }
+    }
+
+    fn make_crossbar(&self) -> CrossbarSession {
+        CrossbarSession::new(NetworkConfig::new(self.geo.ports(), self.geo.k), self.model)
+    }
+
+    fn make_three_stage(&self) -> ThreeStageNetwork {
+        let mut net = ThreeStageNetwork::new(
+            ThreeStageParams::new(self.geo.n, self.m, self.geo.r, self.geo.k),
+            Construction::MswDominant,
+            self.model,
+        );
+        net.set_strategy(self.strategy);
+        net
+    }
+
+    /// Check one seed end to end: derive trace + faults, run under the
+    /// seeded scheduler, judge against the oracle.
+    pub fn check_seed(&self, seed: u64) -> SeedVerdict {
+        let trace = self.trace(seed);
+        let faults = self.faults(seed, &trace);
+        let mut choices = ChoiceStream::new(seed);
+        let violations = self.violations_for(&trace, &faults, &mut choices);
+        SeedVerdict {
+            seed,
+            fingerprint: choices.fingerprint(),
+            events: trace.len(),
+            violations,
+        }
+    }
+
+    /// Check a seed and, on failure, shrink its trace to a minimal
+    /// reproducer (same violation class, fresh scheduler from the same
+    /// seed on every candidate, fault script carried over unchanged).
+    pub fn failing_seed(&self, seed: u64) -> Option<FailingSeed> {
+        let verdict = self.check_seed(seed);
+        if verdict.violations.is_empty() {
+            return None;
+        }
+        let classes: Vec<&'static str> = verdict.violations.iter().map(|v| v.class()).collect();
+        let trace = self.trace(seed);
+        let faults = self.faults(seed, &trace);
+        let shrunk = shrink_trace(&trace, |candidate| {
+            let mut choices = ChoiceStream::new(seed);
+            self.violations_for(candidate, &faults, &mut choices)
+                .iter()
+                .any(|v| classes.contains(&v.class()))
+        });
+        let mut choices = ChoiceStream::new(seed);
+        let violations = self.violations_for(&shrunk, &faults, &mut choices);
+        Some(FailingSeed {
+            seed,
+            setup: self.clone(),
+            violations,
+            trace: shrunk,
+        })
+    }
+
+    /// Sweep a seed range, collecting distinct schedule fingerprints and
+    /// every failure (shrunk).
+    pub fn sweep(&self, seeds: std::ops::Range<u64>) -> SweepReport {
+        let mut fingerprints = std::collections::HashSet::new();
+        let mut failures = Vec::new();
+        let mut checked = 0usize;
+        for seed in seeds {
+            let verdict = self.check_seed(seed);
+            checked += 1;
+            fingerprints.insert(verdict.fingerprint);
+            if !verdict.violations.is_empty() {
+                if let Some(failure) = self.failing_seed(seed) {
+                    failures.push(failure);
+                }
+            }
+        }
+        SweepReport {
+            checked,
+            distinct_schedules: fingerprints.len(),
+            failures,
+        }
+    }
+
+    /// The `wdmcast sim` invocation that replays `seed` under this
+    /// setup.
+    pub fn repro_command(&self, seed: u64) -> String {
+        let mut cmd = format!(
+            "wdmcast sim --backend {} --n {} --r {} --k {} --steps {} --shards {} --seed {seed}",
+            self.backend.label(),
+            self.geo.n,
+            self.geo.r,
+            self.geo.k,
+            self.steps,
+            self.shards,
+        );
+        if self.backend == BackendKind::ThreeStage {
+            cmd.push_str(&format!(" --m {}", self.m));
+        }
+        if self.faulted {
+            cmd.push_str(" --faulted");
+        }
+        cmd
+    }
+}
+
+/// Outcome of checking one seed.
+#[derive(Debug)]
+pub struct SeedVerdict {
+    /// The seed checked.
+    pub seed: u64,
+    /// Fingerprint of the schedule the seed induced.
+    pub fingerprint: u64,
+    /// Closed-trace length the seed generated.
+    pub events: usize,
+    /// Violations found (empty = the seed passed).
+    pub violations: Vec<Violation>,
+}
+
+/// A reproducible failure artifact: seed, minimized trace, and the
+/// command line that replays it.
+#[derive(Debug)]
+pub struct FailingSeed {
+    /// The offending seed.
+    pub seed: u64,
+    /// Setup the failure occurred under.
+    pub setup: SimSetup,
+    /// Violations on the *shrunk* trace.
+    pub violations: Vec<Violation>,
+    /// Delta-debugged minimal trace still exhibiting the failure.
+    pub trace: Vec<TimedEvent>,
+}
+
+impl FailingSeed {
+    /// The `wdmcast sim` invocation that replays this failure.
+    pub fn repro(&self) -> String {
+        self.setup.repro_command(self.seed)
+    }
+}
+
+impl fmt::Display for FailingSeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "seed {} failed on {} ({} violation(s), trace shrunk to {} event(s))",
+            self.seed,
+            self.setup.backend.label(),
+            self.violations.len(),
+            self.trace.len(),
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        writeln!(f, "  minimal trace:")?;
+        for ev in &self.trace {
+            writeln!(f, "    t={:.2} {:?}", ev.time, ev.event)?;
+        }
+        write!(f, "  reproduce: {}", self.repro())
+    }
+}
+
+/// Aggregate of a seed sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Seeds checked.
+    pub checked: usize,
+    /// Distinct schedule fingerprints observed (proof the sweep explored
+    /// genuinely different interleavings).
+    pub distinct_schedules: usize,
+    /// Every failing seed, shrunk.
+    pub failures: Vec<FailingSeed>,
+}

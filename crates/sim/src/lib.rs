@@ -1,0 +1,51 @@
+//! # wdm-sim — deterministic simulation & conformance harness
+//!
+//! FoundationDB-style simulation testing for the concurrent WDM
+//! admission stack: the sharded engine, the fault injector, and the
+//! wire-protocol serving path all run as *cooperatively scheduled
+//! tasks* in one thread over a virtual clock, with every
+//! nondeterministic choice drawn from a single `u64` seed. A failure is
+//! therefore a seed, a seed is a schedule, and a schedule replays bit
+//! for bit.
+//!
+//! The layers:
+//!
+//! * [`schedule`] — the seeded [`ChoiceStream`]: decision log,
+//!   schedule fingerprinting, forced-prefix replay.
+//! * [`executor`] — [`simulate`]: a whole engine lifetime (submit,
+//!   shard delivery, parked retries, fault injection, drain) as one
+//!   deterministic loop over [`wdm_runtime::ShardCore`]s and a
+//!   [`wdm_runtime::VirtualClock`].
+//! * [`oracle`] — the serial-oracle conformance check (every
+//!   interleaving of a legal closed trace must match the single-shard
+//!   serial outcome, index by index) and the schedule-independent
+//!   conservation invariants used for faulted runs.
+//! * [`diff`] — differential backend runner: identical traces through
+//!   the crossbar and a three-stage network at the Theorem 1/2 bound
+//!   must agree on every admit/block verdict.
+//! * [`netsim`] — scripted client/server lanes over the real codec and
+//!   in-memory [`wdm_net::MemDuplex`] pipes, making stalled-window
+//!   schedules schedulable.
+//! * [`shrink`] — delta-debugging minimization at connect/disconnect
+//!   unit granularity.
+//! * [`harness`] — seed sweeps ([`SimSetup`]) and replayable
+//!   [`FailingSeed`] artifacts (`wdmcast sim --seed N`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod executor;
+pub mod harness;
+pub mod netsim;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+
+pub use diff::{diff_runs, DiffEntry};
+pub use executor::{simulate, Scheduler, SimParams, SimRun};
+pub use harness::{BackendKind, FailingSeed, SeedVerdict, SimSetup, SweepReport};
+pub use netsim::NetSim;
+pub use oracle::{conformance_violations, invariant_violations, Violation};
+pub use schedule::ChoiceStream;
+pub use shrink::{ddmin, shrink_trace, trace_units};

@@ -1,0 +1,310 @@
+//! Simulated client/server lanes over the real wire codec.
+//!
+//! [`NetSim`] runs the full protocol path — `encode_request` on a
+//! client, frame transport, `decode_request` on the server, shard
+//! admission, `Response::from_outcome`, frame transport back, client
+//! decode — with every hop an explicit, schedulable step over
+//! [`MemDuplex`] buffers and a virtual clock. Nothing moves until the
+//! test (or the seeded driver, [`NetSim::run_random`]) says so, which
+//! makes *stalled-window* schedules first-class: a departure that would
+//! free a parked admission can be held unsent in its client's window
+//! while the parked request's deadline runs, deterministically.
+//!
+//! Each lane models one remote controller: a script of requests, a
+//! window bounding how many may be outstanding (sent but their
+//! responses not yet read), and its own duplex pipe pair.
+
+use crate::schedule::ChoiceStream;
+use std::collections::VecDeque;
+use std::time::Duration;
+use wdm_net::codec::{decode_request, decode_response, encode_request, encode_response};
+use wdm_net::protocol::{Request, Response};
+use wdm_net::{MemDuplex, Transport};
+use wdm_runtime::{Backend, EngineCore, RuntimeConfig, RuntimeReport, ShardCore, VirtualClock};
+use wdm_workload::{TimedEvent, TraceEvent};
+
+/// One scripted remote controller.
+struct LaneState {
+    client: MemDuplex,
+    server: MemDuplex,
+    window: usize,
+    script: VecDeque<TraceEvent>,
+    next_id: u64,
+    /// Sent requests whose responses the client has not read yet.
+    outstanding: usize,
+    responses: Vec<(u64, Response)>,
+}
+
+/// A decoded request parked in a shard's inbound queue.
+struct PendingJob {
+    id: u64,
+    lane: usize,
+    event: TraceEvent,
+}
+
+/// The simulated serving stack: lanes of scripted clients in front of
+/// cooperatively scheduled admission shards.
+pub struct NetSim<B: Backend> {
+    core: EngineCore<B>,
+    clock: VirtualClock,
+    shards: Vec<ShardCore<B, VirtualClock>>,
+    queues: Vec<VecDeque<PendingJob>>,
+    lanes: Vec<LaneState>,
+}
+
+impl<B: Backend> NetSim<B> {
+    /// Build a sim over `backend` with one lane per `(script, window)`
+    /// pair and `shards` admission shards.
+    pub fn new(
+        backend: B,
+        lane_scripts: Vec<(Vec<TraceEvent>, usize)>,
+        shards: usize,
+        runtime: RuntimeConfig,
+    ) -> Self {
+        let shards = shards.max(1);
+        let core = EngineCore::new(backend);
+        let clock = VirtualClock::new();
+        let shard_cores = (0..shards)
+            .map(|_| core.shard(runtime.clone(), clock.clone()))
+            .collect();
+        let lanes = lane_scripts
+            .into_iter()
+            .map(|(script, window)| {
+                let (client, server) = MemDuplex::pair();
+                LaneState {
+                    client,
+                    server,
+                    window: window.max(1),
+                    script: script.into(),
+                    next_id: 1,
+                    outstanding: 0,
+                    responses: Vec::new(),
+                }
+            })
+            .collect();
+        NetSim {
+            core,
+            clock,
+            shards: shard_cores,
+            queues: (0..shards).map(|_| VecDeque::new()).collect(),
+            lanes,
+        }
+    }
+
+    /// Lane `l` may send its next scripted request (script nonempty and
+    /// window not full).
+    pub fn can_send(&self, l: usize) -> bool {
+        let lane = &self.lanes[l];
+        !lane.script.is_empty() && lane.outstanding < lane.window
+    }
+
+    /// Encode and send lane `l`'s next scripted request.
+    pub fn client_send(&mut self, l: usize) {
+        debug_assert!(self.can_send(l));
+        let lane = &mut self.lanes[l];
+        let ev = lane.script.pop_front().expect("can_send checked");
+        let id = lane.next_id;
+        lane.next_id += 1;
+        lane.outstanding += 1;
+        lane.client
+            .send_bytes(&encode_request(id, &Request::from(&ev)))
+            .expect("in-memory send is infallible");
+    }
+
+    /// Send an out-of-script `Ping` on lane `l` (it occupies a window
+    /// slot like any other outstanding request).
+    pub fn ping(&mut self, l: usize) {
+        let lane = &mut self.lanes[l];
+        let id = lane.next_id;
+        lane.next_id += 1;
+        lane.outstanding += 1;
+        lane.client
+            .send_bytes(&encode_request(id, &Request::Ping))
+            .expect("in-memory send is infallible");
+    }
+
+    /// A complete request frame is buffered on lane `l`'s server side.
+    pub fn server_ready(&self, l: usize) -> bool {
+        self.lanes[l].server.frame_ready()
+    }
+
+    /// Decode lane `l`'s next request frame and route it to its shard's
+    /// queue (`Ping` is answered inline, as the real server does).
+    pub fn server_recv(&mut self, l: usize) {
+        let lane = &mut self.lanes[l];
+        let frame = lane
+            .server
+            .try_recv_frame()
+            .expect("well-formed frames only")
+            .expect("server_ready checked");
+        let req = decode_request(&frame).expect("scripted requests are legal");
+        let event = match req {
+            Request::Connect(conn) => TraceEvent::Connect(conn),
+            Request::Disconnect(src) => TraceEvent::Disconnect(src),
+            Request::Ping => {
+                lane.server
+                    .send_bytes(&encode_response(frame.id, &Response::Pong))
+                    .expect("in-memory send is infallible");
+                return;
+            }
+            other => panic!("netsim lanes only script data requests, got {other:?}"),
+        };
+        let shard = self.core.shard_of(source_port(&event), self.shards.len());
+        self.queues[shard].push_back(PendingJob {
+            id: frame.id,
+            lane: l,
+            event,
+        });
+    }
+
+    /// Requests queued at shard `s` awaiting delivery.
+    pub fn queued(&self, s: usize) -> usize {
+        self.queues[s].len()
+    }
+
+    /// Deliver shard `s`'s next queued request to the admission logic;
+    /// its terminal outcome is encoded back onto the lane's server pipe.
+    pub fn deliver(&mut self, s: usize) {
+        let job = self.queues[s].pop_front().expect("queued request");
+        let server = self.lanes[job.lane].server.clone();
+        let id = job.id;
+        let timed = TimedEvent {
+            time: self.clock.elapsed().as_secs_f64(),
+            event: job.event,
+        };
+        self.shards[s].handle_event(
+            timed,
+            Some(Box::new(move |outcome| {
+                server
+                    .send_bytes(&encode_response(id, &Response::from_outcome(outcome)))
+                    .expect("in-memory send is infallible");
+            })),
+        );
+    }
+
+    /// Retry shard `s`'s due parked requests.
+    pub fn retry(&mut self, s: usize) {
+        self.shards[s].retry_due();
+    }
+
+    /// Parked requests on shard `s`.
+    pub fn parked(&self, s: usize) -> usize {
+        self.shards[s].parked_len()
+    }
+
+    /// A complete response frame is buffered on lane `l`'s client side.
+    pub fn client_ready(&self, l: usize) -> bool {
+        self.lanes[l].client.frame_ready()
+    }
+
+    /// Read and decode lane `l`'s next response, freeing window space.
+    pub fn client_recv(&mut self, l: usize) -> (u64, Response) {
+        let lane = &mut self.lanes[l];
+        let frame = lane
+            .client
+            .try_recv_frame()
+            .expect("well-formed frames only")
+            .expect("client_ready checked");
+        let resp = decode_response(&frame).expect("server responses are legal");
+        lane.outstanding = lane.outstanding.saturating_sub(1);
+        lane.responses.push((frame.id, resp.clone()));
+        (frame.id, resp)
+    }
+
+    /// Earliest parked-retry due time across shards.
+    pub fn next_due(&self) -> Option<Duration> {
+        self.shards.iter().filter_map(|s| s.next_due()).min()
+    }
+
+    /// Advance the virtual clock.
+    pub fn advance(&self, d: Duration) {
+        self.clock.advance(d.max(Duration::from_nanos(1)));
+    }
+
+    /// Responses lane `l` has read so far, in arrival order.
+    pub fn responses(&self, l: usize) -> &[(u64, Response)] {
+        &self.lanes[l].responses
+    }
+
+    /// Virtual seconds elapsed.
+    pub fn virtual_secs(&self) -> f64 {
+        self.clock.elapsed().as_secs_f64()
+    }
+
+    /// Tear down the shards and produce the engine's final report.
+    pub fn finish(self) -> RuntimeReport<B> {
+        let NetSim {
+            core,
+            clock,
+            shards,
+            queues,
+            lanes,
+        } = self;
+        debug_assert!(queues.iter().all(|q| q.is_empty()), "undelivered requests");
+        drop(shards);
+        drop(lanes);
+        core.finish(clock.elapsed().as_secs_f64())
+    }
+
+    /// Drive the whole sim to quiescence under seeded scheduling: every
+    /// enabled hop (client send, server decode, shard delivery, due
+    /// retry, client read) is one scheduler choice; when nothing is
+    /// enabled the clock jumps to the earliest parked retry.
+    pub fn run_random(&mut self, choices: &mut ChoiceStream) {
+        #[derive(Clone, Copy)]
+        enum Step {
+            Send(usize),
+            ServerRecv(usize),
+            Deliver(usize),
+            Retry(usize),
+            ClientRecv(usize),
+        }
+        loop {
+            let mut steps = Vec::new();
+            for l in 0..self.lanes.len() {
+                if self.can_send(l) {
+                    steps.push(Step::Send(l));
+                }
+                if self.server_ready(l) {
+                    steps.push(Step::ServerRecv(l));
+                }
+                if self.client_ready(l) {
+                    steps.push(Step::ClientRecv(l));
+                }
+            }
+            for s in 0..self.shards.len() {
+                if self.queued(s) > 0 {
+                    steps.push(Step::Deliver(s));
+                }
+                if self.shards[s].next_due() == Some(Duration::ZERO) {
+                    steps.push(Step::Retry(s));
+                }
+            }
+            if steps.is_empty() {
+                match self.next_due() {
+                    Some(wait) => {
+                        self.advance(wait);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            match steps[choices.choose(steps.len())] {
+                Step::Send(l) => self.client_send(l),
+                Step::ServerRecv(l) => self.server_recv(l),
+                Step::Deliver(s) => self.deliver(s),
+                Step::Retry(s) => self.retry(s),
+                Step::ClientRecv(l) => {
+                    self.client_recv(l);
+                }
+            }
+        }
+    }
+}
+
+fn source_port(event: &TraceEvent) -> u32 {
+    match event {
+        TraceEvent::Connect(conn) => conn.source().port.0,
+        TraceEvent::Disconnect(src) => src.port.0,
+    }
+}

@@ -1,0 +1,197 @@
+//! The serial oracle and the schedule-independent invariants.
+//!
+//! **Fault-free conformance** generalizes the single-shard ≡ serial
+//! equivalence test of the runtime crate to *every* explored
+//! interleaving: on a legal, closed trace, the per-event outcome of a
+//! concurrent schedule must equal the serial reference outcome, index
+//! by index. Cross-shard reordering may only manifest as transient
+//! `Busy` conflicts, which the park-and-retry machinery must absorb —
+//! so an `Expired` where the serial run admitted, or any outcome
+//! mismatch, is a scheduling bug (lost wakeup, dropped deferral) made
+//! reproducible by its seed.
+//!
+//! **Faulted runs** have schedule-dependent victim sets (which
+//! connections a fault evicts depends on what was admitted when it
+//! fired), so per-index equality is too strong. Instead every schedule
+//! must satisfy the conservation laws of the outcome taxonomy — each
+//! offered connect resolves exactly once, each admitted connect leaves
+//! the fabric exactly once (departed or orphaned), the final state is
+//! empty and consistent — plus `blocked == 0` whenever the surviving
+//! middle stage still meets the Theorem 1 bound.
+
+use crate::executor::SimRun;
+use std::fmt;
+use wdm_runtime::RequestOutcome;
+
+/// One verified property failure in a simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A trace event never received a terminal outcome.
+    Unresolved {
+        /// Trace index of the event.
+        index: usize,
+    },
+    /// Concurrent and serial outcomes differ at one trace index.
+    Mismatch {
+        /// Trace index of the event.
+        index: usize,
+        /// What the concurrent schedule produced.
+        concurrent: RequestOutcome,
+        /// What the serial reference produced.
+        serial: RequestOutcome,
+    },
+    /// Middle-stage exhaustion where the theorems forbid it.
+    HardBlock {
+        /// Number of blocked requests.
+        count: u64,
+    },
+    /// A request expired although every occupant eventually departs.
+    StallExpiry {
+        /// Number of expired requests.
+        count: u64,
+    },
+    /// The run was not clean (fatal errors, inconsistent backend).
+    Unclean {
+        /// Error and consistency findings.
+        details: Vec<String>,
+    },
+    /// An outcome conservation law failed.
+    Conservation {
+        /// Human-readable statement of the law.
+        law: String,
+        /// Left-hand side value.
+        lhs: u64,
+        /// Right-hand side value.
+        rhs: u64,
+    },
+}
+
+impl Violation {
+    /// Coarse class used to keep a shrink focused on the original
+    /// failure (so a reduced trace cannot "fail" for an unrelated
+    /// reason and mislead the minimization).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Violation::Unresolved { .. } => "unresolved",
+            Violation::Mismatch { .. } => "mismatch",
+            Violation::HardBlock { .. } => "hard-block",
+            Violation::StallExpiry { .. } => "stall-expiry",
+            Violation::Unclean { .. } => "unclean",
+            Violation::Conservation { .. } => "conservation",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unresolved { index } => {
+                write!(f, "event #{index} never resolved")
+            }
+            Violation::Mismatch {
+                index,
+                concurrent,
+                serial,
+            } => write!(
+                f,
+                "event #{index}: concurrent schedule produced {concurrent:?}, serial oracle {serial:?}"
+            ),
+            Violation::HardBlock { count } => write!(
+                f,
+                "{count} hard block(s) on a fabric provisioned at the nonblocking bound"
+            ),
+            Violation::StallExpiry { count } => write!(
+                f,
+                "{count} deadline expiries on a closed trace (possible lost wakeup)"
+            ),
+            Violation::Unclean { details } => {
+                write!(f, "run not clean: {}", details.join("; "))
+            }
+            Violation::Conservation { law, lhs, rhs } => {
+                write!(f, "conservation violated: {law} ({lhs} != {rhs})")
+            }
+        }
+    }
+}
+
+/// Schedule-independent checks every run must pass. With
+/// `expect_nonblocking`, additionally require `blocked == 0` (the
+/// theorems' guarantee) and zero deadline expiries.
+pub fn invariant_violations<B>(run: &SimRun<B>, expect_nonblocking: bool) -> Vec<Violation> {
+    let s = &run.report.summary;
+    let mut out = Vec::new();
+    for (index, o) in run.outcomes.iter().enumerate() {
+        if o.is_none() {
+            out.push(Violation::Unresolved { index });
+        }
+    }
+    if !run.report.is_clean() {
+        let mut details = run.report.consistency.clone();
+        details.extend(run.report.errors.iter().cloned());
+        out.push(Violation::Unclean { details });
+    }
+    let mut law = |name: &str, lhs: u64, rhs: u64| {
+        if lhs != rhs {
+            out.push(Violation::Conservation {
+                law: name.to_string(),
+                lhs,
+                rhs,
+            });
+        }
+    };
+    law(
+        "offered = admitted + blocked + expired + component_down + fatal_connects",
+        s.offered,
+        s.admitted + s.blocked + s.expired + s.component_down,
+    );
+    law(
+        "admitted = departed + orphaned_departures (closed trace)",
+        s.admitted,
+        s.departed + s.orphaned_departures,
+    );
+    law(
+        "skipped_departures = blocked + expired + component_down (closed trace)",
+        s.skipped_departures,
+        s.blocked + s.expired + s.component_down,
+    );
+    law(
+        "connections_hit = healed + heal_failed",
+        s.connections_hit,
+        s.healed + s.heal_failed,
+    );
+    law("active = 0 after a closed trace", s.active, 0);
+    if expect_nonblocking && s.blocked > 0 {
+        out.push(Violation::HardBlock { count: s.blocked });
+    }
+    if s.expired > 0 {
+        out.push(Violation::StallExpiry { count: s.expired });
+    }
+    out
+}
+
+/// Full fault-free conformance: the invariants plus per-event outcome
+/// equality against the serial reference.
+pub fn conformance_violations<A, B>(
+    concurrent: &SimRun<A>,
+    serial: &SimRun<B>,
+    expect_nonblocking: bool,
+) -> Vec<Violation> {
+    let mut out = invariant_violations(concurrent, expect_nonblocking);
+    debug_assert_eq!(concurrent.outcomes.len(), serial.outcomes.len());
+    for (index, (c, s)) in concurrent
+        .outcomes
+        .iter()
+        .zip(serial.outcomes.iter())
+        .enumerate()
+    {
+        match (c, s) {
+            (Some(c), Some(s)) if c != s => out.push(Violation::Mismatch {
+                index,
+                concurrent: *c,
+                serial: *s,
+            }),
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,162 @@
+//! Delta-debugging trace minimization.
+//!
+//! A failing seed usually fails on a few-hundred-event churn trace;
+//! the bug report wants the three events that matter. [`ddmin`] is the
+//! classic greedy minimizer: try dropping ever-smaller chunks of the
+//! input, keep any reduction that still fails, stop when the input is
+//! 1-minimal (no single unit can be removed).
+//!
+//! The unit of removal is *not* a raw trace event. Removing a `Connect`
+//! while keeping its `Disconnect` would manufacture an unknown-source
+//! departure — noise that can itself trip the checker and hijack the
+//! minimization toward a different bug. [`trace_units`] therefore pairs
+//! each connect with its matching disconnect and shrinks over those
+//! pairs, so every candidate trace stays legal. The failure predicate
+//! should additionally pin the violation *class* (see
+//! [`crate::oracle::Violation::class`]) so a shrunk trace reproduces the
+//! original failure, not merely *a* failure.
+
+use wdm_workload::{TimedEvent, TraceEvent};
+
+/// Minimize `items` under `fails` (which must hold for the full input).
+/// Returns a subsequence, in original order, on which `fails` still
+/// holds and from which no single item can be dropped.
+pub fn ddmin<T: Clone, F: FnMut(&[T]) -> bool>(items: &[T], mut fails: F) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut granularity = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            // Complement of cur[start..end].
+            let candidate: Vec<T> = cur[..start]
+                .iter()
+                .chain(cur[end..].iter())
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            granularity = (granularity * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+/// One shrinkable unit of a trace: a connect paired with its matching
+/// disconnect (if any), tagged with the original indices so a reduced
+/// selection can be flattened back into original order.
+#[derive(Debug, Clone)]
+pub struct TraceUnit {
+    events: Vec<(usize, TimedEvent)>,
+}
+
+/// Group a trace into connect+disconnect units. Each `Disconnect` is
+/// attached to the most recent open `Connect` from the same source
+/// endpoint; a disconnect with no open connect becomes its own unit.
+pub fn trace_units(trace: &[TimedEvent]) -> Vec<TraceUnit> {
+    let mut units: Vec<TraceUnit> = Vec::new();
+    // Source endpoint -> index into `units` of its currently open unit.
+    let mut open: std::collections::HashMap<wdm_core::Endpoint, usize> = Default::default();
+    for (i, ev) in trace.iter().enumerate() {
+        match &ev.event {
+            TraceEvent::Connect(c) => {
+                open.insert(c.source(), units.len());
+                units.push(TraceUnit {
+                    events: vec![(i, ev.clone())],
+                });
+            }
+            TraceEvent::Disconnect(src) => match open.remove(src) {
+                Some(u) => units[u].events.push((i, ev.clone())),
+                None => units.push(TraceUnit {
+                    events: vec![(i, ev.clone())],
+                }),
+            },
+        }
+    }
+    units
+}
+
+/// Flatten a selection of units back into a trace, restoring original
+/// event order.
+pub fn flatten_units(units: &[TraceUnit]) -> Vec<TimedEvent> {
+    let mut indexed: Vec<(usize, TimedEvent)> = units
+        .iter()
+        .flat_map(|u| u.events.iter().cloned())
+        .collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, ev)| ev).collect()
+}
+
+/// Shrink a trace at the connect/disconnect-unit granularity: the
+/// smallest legal sub-trace on which `fails` still holds.
+pub fn shrink_trace<F: FnMut(&[TimedEvent]) -> bool>(
+    trace: &[TimedEvent],
+    mut fails: F,
+) -> Vec<TimedEvent> {
+    let units = trace_units(trace);
+    let kept = ddmin(&units, |sel| fails(&flatten_units(sel)));
+    flatten_units(&kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::{Endpoint, MulticastConnection};
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let items: Vec<u32> = (0..64).collect();
+        let shrunk = ddmin(&items, |s| s.contains(&37));
+        assert_eq!(shrunk, vec![37]);
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pairs() {
+        let items: Vec<u32> = (0..32).collect();
+        let shrunk = ddmin(&items, |s| s.contains(&3) && s.contains(&29));
+        assert_eq!(shrunk, vec![3, 29]);
+    }
+
+    fn ev(time: f64, event: TraceEvent) -> TimedEvent {
+        TimedEvent { time, event }
+    }
+
+    #[test]
+    fn units_pair_connects_with_their_disconnects() {
+        let a = Endpoint::new(0, 0);
+        let b = Endpoint::new(1, 0);
+        let trace = vec![
+            ev(
+                0.0,
+                TraceEvent::Connect(MulticastConnection::unicast(a, Endpoint::new(2, 0))),
+            ),
+            ev(
+                1.0,
+                TraceEvent::Connect(MulticastConnection::unicast(b, Endpoint::new(3, 0))),
+            ),
+            ev(2.0, TraceEvent::Disconnect(a)),
+            ev(3.0, TraceEvent::Disconnect(b)),
+        ];
+        let units = trace_units(&trace);
+        assert_eq!(units.len(), 2);
+        // Dropping unit 0 keeps b's connect AND disconnect together.
+        let reduced = flatten_units(&units[1..]);
+        assert_eq!(reduced.len(), 2);
+        assert!(matches!(&reduced[0].event, TraceEvent::Connect(c) if c.source() == b));
+        assert!(matches!(&reduced[1].event, TraceEvent::Disconnect(s) if *s == b));
+        // Round-trip of all units preserves the trace.
+        assert_eq!(flatten_units(&units).len(), trace.len());
+    }
+}

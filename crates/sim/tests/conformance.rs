@@ -1,0 +1,112 @@
+//! Serial-oracle conformance sweeps and the differential backend
+//! runner — the tentpole checks of the deterministic simulation
+//! harness.
+//!
+//! On a legal, closed churn trace against a fabric provisioned at the
+//! Theorem 1 bound, *every* seeded interleaving of the sharded engine
+//! must produce exactly the serial reference outcomes: cross-shard
+//! reordering may surface as transient `Busy` conflicts, but the
+//! park-and-retry machinery has to absorb them all. The sweeps below
+//! prove the explored schedules are genuinely distinct by counting
+//! decision-log fingerprints.
+
+use wdm_sim::{diff_runs, simulate, ChoiceStream, Scheduler, SimParams, SimSetup};
+
+/// ISSUE acceptance: ≥100 distinct seeded interleavings of a
+/// Theorem-1-bound churn trace with zero oracle divergences.
+#[test]
+fn three_stage_at_bound_conformance_sweep() {
+    let setup = SimSetup::three_stage_at_bound(2, 4, 1, 40, 4);
+    let report = setup.sweep(0..128);
+    assert_eq!(report.checked, 128);
+    assert!(
+        report.failures.is_empty(),
+        "oracle divergence:\n{}",
+        report.failures[0]
+    );
+    assert!(
+        report.distinct_schedules >= 100,
+        "only {} distinct schedules in 128 seeds",
+        report.distinct_schedules
+    );
+}
+
+/// The crossbar (strictly nonblocking by construction) under the same
+/// sweep: different backend, same conformance obligation.
+#[test]
+fn crossbar_conformance_sweep() {
+    let setup = SimSetup::crossbar(2, 4, 1, 40, 4);
+    let report = setup.sweep(0..64);
+    assert!(
+        report.failures.is_empty(),
+        "oracle divergence:\n{}",
+        report.failures[0]
+    );
+    assert!(report.distinct_schedules >= 50);
+}
+
+/// More shards than ports-worth of contention: the schedule space is
+/// wider but the oracle obligation is identical.
+#[test]
+fn conformance_is_shard_count_independent() {
+    for shards in [1usize, 2, 8] {
+        let setup = SimSetup::three_stage_at_bound(2, 4, 1, 30, shards);
+        let report = setup.sweep(0..24);
+        assert!(
+            report.failures.is_empty(),
+            "shards={shards}:\n{}",
+            report.failures[0]
+        );
+    }
+}
+
+/// Differential backend runner: an identical trace through the
+/// crossbar and through a three-stage network at the Theorem 1 bound
+/// must yield the same per-event verdicts — both constructions promise
+/// nonblocking, so any disagreement localizes a bug to one of them.
+#[test]
+fn crossbar_and_three_stage_agree_at_the_bound() {
+    let cb = SimSetup::crossbar(2, 4, 1, 40, 4);
+    let ts = SimSetup::three_stage_at_bound(2, 4, 1, 40, 4);
+    let params = SimParams::default();
+    for seed in 0..32u64 {
+        let trace = cb.trace(seed);
+        let mut cs_a = ChoiceStream::new(seed);
+        let run_a = simulate(
+            make_crossbar(&cb),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_a),
+        );
+        let mut cs_b = ChoiceStream::new(seed);
+        let run_b = simulate(
+            make_three_stage(&ts),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_b),
+        );
+        let diffs = diff_runs(&run_a, &run_b);
+        assert!(
+            diffs.is_empty(),
+            "seed {seed}: backends diverged: {}",
+            diffs[0]
+        );
+    }
+}
+
+fn make_crossbar(setup: &SimSetup) -> wdm_fabric::CrossbarSession {
+    wdm_fabric::CrossbarSession::new(
+        wdm_core::NetworkConfig::new(setup.geo.ports(), setup.geo.k),
+        setup.model,
+    )
+}
+
+fn make_three_stage(setup: &SimSetup) -> wdm_multistage::ThreeStageNetwork {
+    wdm_multistage::ThreeStageNetwork::new(
+        wdm_multistage::ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
+        wdm_multistage::Construction::MswDominant,
+        setup.model,
+    )
+}

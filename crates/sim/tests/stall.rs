@@ -1,0 +1,181 @@
+//! The DESIGN.md windowed closed-loop stall, as a deterministic
+//! regression test — plus randomized loopback conformance over the real
+//! codec.
+//!
+//! DESIGN.md ("wdm-net → Client") records the caveat: replaying a trace
+//! through a *windowed* pipeline can stall, because the departure that
+//! would free a parked admission may sit in a window the client has not
+//! sent yet — the prescribed behavior is to accept deadline expiries as
+//! `Busy` rejects rather than hang. Under real sockets that schedule is
+//! a race; under [`NetSim`] it is a script.
+
+use std::time::Duration;
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_net::protocol::{RejectReason, Response};
+use wdm_runtime::RuntimeConfig;
+use wdm_sim::{ChoiceStream, NetSim};
+use wdm_workload::TraceEvent;
+
+fn crossbar(ports: u32) -> CrossbarSession {
+    CrossbarSession::new(NetworkConfig::new(ports, 1), MulticastModel::Msw)
+}
+
+fn connect(src: u32, dst: u32) -> TraceEvent {
+    TraceEvent::Connect(MulticastConnection::unicast(
+        Endpoint::new(src, 0),
+        Endpoint::new(dst, 0),
+    ))
+}
+
+fn disconnect(src: u32) -> TraceEvent {
+    TraceEvent::Disconnect(Endpoint::new(src, 0))
+}
+
+/// The stall, step by step: lane 0 (window 1) admits a connection and
+/// holds the freeing departure unsent because its client never reads
+/// the admission response; lane 1's rival connect parks behind the
+/// occupant. No departure can arrive — the engine's deadline must bound
+/// the stall and surface it as an expiry (`Busy` on the wire), after
+/// which draining the window completes the trace cleanly.
+#[test]
+fn unsent_window_stall_is_bounded_by_the_deadline() {
+    let runtime = RuntimeConfig {
+        max_retries: u32::MAX, // let the deadline, not the budget, bind
+        ..RuntimeConfig::default()
+    };
+    let deadline = runtime.deadline.as_secs_f64();
+    let max_backoff = runtime.max_backoff.as_secs_f64();
+    let mut sim = NetSim::new(
+        crossbar(4),
+        vec![
+            (vec![connect(0, 2), disconnect(0)], 1), // lane 0: window of 1
+            (vec![connect(1, 2)], 1),                // lane 1: the rival
+        ],
+        2,
+        runtime,
+    );
+
+    // Lane 0's connect is admitted; the response sits unread in the
+    // client buffer, so the window stays full and the departure unsent.
+    sim.client_send(0);
+    sim.server_recv(0);
+    sim.deliver(0);
+    assert!(sim.client_ready(0), "admission response is buffered");
+    assert!(
+        !sim.can_send(0),
+        "window of 1 is full until the client reads"
+    );
+
+    // Lane 1's rival connect parks behind the occupant.
+    sim.client_send(1);
+    sim.server_recv(1);
+    sim.deliver(1);
+    assert_eq!(sim.parked(1), 1, "rival must park, not fail");
+
+    // Nothing else is runnable: only the virtual clock can move. The
+    // deadline — not an unbounded hang — must resolve the parked rival.
+    while sim.parked(1) > 0 {
+        let due = sim.next_due().expect("parked request keeps a due time");
+        sim.advance(due.max(Duration::from_nanos(1)));
+        sim.retry(1);
+    }
+    assert!(
+        sim.virtual_secs() >= deadline,
+        "expired before the deadline: {}",
+        sim.virtual_secs()
+    );
+    assert!(
+        sim.virtual_secs() <= deadline + max_backoff + 1e-6,
+        "deadline did not bound the stall: {}",
+        sim.virtual_secs()
+    );
+    let (_, resp) = sim.client_recv(1);
+    assert!(
+        matches!(
+            resp,
+            Response::Rejected {
+                reason: RejectReason::Busy,
+                ..
+            }
+        ),
+        "stall surfaces as a Busy reject, got {resp:?}"
+    );
+
+    // Drain the window: the departure flows and the run ends clean.
+    let (_, resp) = sim.client_recv(0);
+    assert!(resp.is_ok());
+    sim.client_send(0);
+    sim.server_recv(0);
+    sim.deliver(0);
+    let (_, resp) = sim.client_recv(0);
+    assert!(resp.is_ok(), "departure completes after the window drains");
+
+    let report = sim.finish();
+    assert!(report.is_clean(), "{:?}", report.errors);
+    assert_eq!(report.summary.admitted, 1);
+    assert_eq!(report.summary.departed, 1);
+    assert_eq!(report.summary.expired, 1, "exactly the stalled rival");
+}
+
+/// With windows wide enough that departures are never held back, the
+/// full codec path (encode → frame → decode → admit → respond) must
+/// deliver every outcome under any seeded schedule: all events resolve,
+/// nothing expires, and the engine drains clean.
+#[test]
+fn loopback_codec_conformance_under_random_schedules() {
+    // Two lanes sharing destination 2: cross-lane conflicts exercise
+    // park-and-retry through the wire path.
+    let lane0 = vec![connect(0, 2), disconnect(0), connect(0, 3), disconnect(0)];
+    let lane1 = vec![connect(1, 2), disconnect(1)];
+    for seed in 0..64u64 {
+        let mut sim = NetSim::new(
+            crossbar(4),
+            vec![(lane0.clone(), 8), (lane1.clone(), 8)],
+            2,
+            RuntimeConfig::default(),
+        );
+        let mut choices = ChoiceStream::new(seed);
+        sim.run_random(&mut choices);
+        for lane in 0..2 {
+            for (id, resp) in sim.responses(lane) {
+                assert!(
+                    resp.is_ok(),
+                    "seed {seed}: lane {lane} id {id} got {resp:?}"
+                );
+            }
+        }
+        assert_eq!(sim.responses(0).len(), 4, "seed {seed}");
+        assert_eq!(sim.responses(1).len(), 2, "seed {seed}");
+        let report = sim.finish();
+        assert!(report.is_clean(), "seed {seed}: {:?}", report.errors);
+        assert_eq!(report.summary.expired, 0, "seed {seed}");
+        assert_eq!(report.summary.active, 0, "seed {seed}");
+    }
+}
+
+/// `Ping` is answered inline by the serving layer, never touching the
+/// admission path — exactly like the real server.
+#[test]
+fn ping_answered_inline() {
+    let mut sim = NetSim::new(
+        crossbar(4),
+        vec![(vec![connect(0, 1), disconnect(0)], 4)],
+        1,
+        RuntimeConfig::default(),
+    );
+    // A Ping ahead of the scripted traffic is answered without any
+    // shard delivery step.
+    sim.ping(0);
+    sim.server_recv(0);
+    assert_eq!(sim.queued(0), 0, "Ping must not reach the admission queue");
+    let (_, resp) = sim.client_recv(0);
+    assert!(matches!(resp, Response::Pong), "got {resp:?}");
+
+    let mut choices = ChoiceStream::new(7);
+    sim.run_random(&mut choices);
+    let report = sim.finish();
+    assert!(report.is_clean());
+    assert_eq!(report.summary.admitted, 1);
+    assert_eq!(report.summary.departed, 1);
+}

@@ -7,9 +7,11 @@
 //! pressure, so the empirical nonblocking checks probe the theorems near
 //! their tight spot rather than in the friendly average case.
 
+use crate::dynamic::TimedEvent;
+use crate::trace::TraceEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wdm_core::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel};
+use wdm_core::{Endpoint, MulticastAssignment, MulticastConnection, MulticastModel, NetworkConfig};
 
 /// Three-stage geometry as seen by a workload generator (kept as plain
 /// numbers so this crate does not depend on `wdm-multistage`).
@@ -113,6 +115,53 @@ impl AdversarialGen {
         }
         Some(MulticastConnection::new(src, dests).expect("one port per module"))
     }
+
+    /// A seeded *churn* trace: hostile connects interleaved with random
+    /// departures, `steps` events long, fully determined by the
+    /// generator's seed.
+    ///
+    /// Each step either admits the next hostile request (tracked in a
+    /// local assignment mirror, so every request is endpoint-legal) or
+    /// tears down a uniformly chosen live connection. The mix keeps the
+    /// fabric near its contention peak — connections from the busiest
+    /// input module appear, vanish, and reappear, which is exactly the
+    /// traffic the middle-stage bounds must absorb. The trace is *not*
+    /// closed; callers wanting every connection released append the
+    /// missing departures with [`crate::close_trace`].
+    pub fn churn_trace(&mut self, steps: usize) -> Vec<TimedEvent> {
+        let net = NetworkConfig::new(self.geo.ports(), self.geo.k);
+        let mut asg = MulticastAssignment::new(net, self.model);
+        let mut live: Vec<Endpoint> = Vec::new();
+        let mut events = Vec::with_capacity(steps);
+        let mut t = 0.0;
+        while events.len() < steps {
+            t += 1.0;
+            let depart = !live.is_empty() && self.rng.gen_bool(0.4);
+            if !depart {
+                if let Some(req) = self.next_request(&asg) {
+                    let src = req.source();
+                    asg.add(req.clone()).expect("mirror admits legal request");
+                    live.push(src);
+                    events.push(TimedEvent {
+                        time: t,
+                        event: TraceEvent::Connect(req),
+                    });
+                    continue;
+                }
+                if live.is_empty() {
+                    break; // saturated a degenerate geometry with nothing live
+                }
+            }
+            let idx = self.rng.gen_range(0..live.len());
+            let src = live.swap_remove(idx);
+            asg.remove(src).expect("mirror tracked this source");
+            events.push(TimedEvent {
+                time: t,
+                event: TraceEvent::Disconnect(src),
+            });
+        }
+        events
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +222,41 @@ mod tests {
             .destinations()
             .iter()
             .all(|d| d.wavelength == req.source().wavelength));
+    }
+
+    #[test]
+    fn churn_trace_is_seeded_and_legal() {
+        let g = geo();
+        let a = AdversarialGen::new(g, MulticastModel::Msw, 9).churn_trace(40);
+        let b = AdversarialGen::new(g, MulticastModel::Msw, 9).churn_trace(40);
+        assert_eq!(a.len(), 40);
+        assert_eq!(
+            a.iter()
+                .map(|e| format!("{:?}", e.event))
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|e| format!("{:?}", e.event))
+                .collect::<Vec<_>>(),
+            "same seed, same trace"
+        );
+        let c = AdversarialGen::new(g, MulticastModel::Msw, 10).churn_trace(40);
+        assert_ne!(
+            a.iter()
+                .map(|e| format!("{:?}", e.event))
+                .collect::<Vec<_>>(),
+            c.iter()
+                .map(|e| format!("{:?}", e.event))
+                .collect::<Vec<_>>(),
+            "different seed, different trace"
+        );
+        // Per-endpoint legality: no connect while live, no stray departs.
+        let mut live = std::collections::HashSet::new();
+        for e in &a {
+            match &e.event {
+                TraceEvent::Connect(c) => assert!(live.insert(c.source())),
+                TraceEvent::Disconnect(s) => assert!(live.remove(s)),
+            }
+        }
     }
 
     #[test]

@@ -112,6 +112,77 @@ mod tests {
     }
 
     #[test]
+    fn close_trace_appends_one_departure_per_live_source() {
+        let net = NetworkConfig::new(8, 2);
+        let mut traffic = DynamicTraffic::new(net, MulticastModel::Msw, 4.0, 1.0, 3, 23);
+        let mut events = traffic.generate(10.0);
+        let live_before: usize = {
+            let mut live = std::collections::BTreeSet::new();
+            for e in &events {
+                match &e.event {
+                    TraceEvent::Connect(c) => live.insert(c.source()),
+                    TraceEvent::Disconnect(s) => live.remove(s),
+                };
+            }
+            live.len()
+        };
+        let before = events.len();
+        close_trace(&mut events, 11.0);
+        assert_eq!(events.len(), before + live_before);
+        for e in &events[before..] {
+            assert_eq!(e.time, 11.0);
+            assert!(matches!(e.event, TraceEvent::Disconnect(_)));
+        }
+    }
+
+    #[test]
+    fn close_trace_is_idempotent_on_a_closed_trace() {
+        let mut events = sample_trace(); // already closed by the helper
+        let closed_len = events.len();
+        close_trace(&mut events, 99.0);
+        assert_eq!(
+            events.len(),
+            closed_len,
+            "closing a closed trace must append nothing"
+        );
+        close_trace(&mut events, 100.0);
+        assert_eq!(events.len(), closed_len);
+    }
+
+    #[test]
+    fn close_trace_handles_out_of_order_and_reconnecting_sources() {
+        use wdm_core::{Endpoint, MulticastConnection};
+        let conn = |src: u32, dst: u32| {
+            TraceEvent::Connect(MulticastConnection::unicast(
+                Endpoint::new(src, 0),
+                Endpoint::new(dst, 0),
+            ))
+        };
+        let disc = |src: u32| TraceEvent::Disconnect(Endpoint::new(src, 0));
+        let at = |time: f64, event: TraceEvent| TimedEvent { time, event };
+        // Source 0: connect → disconnect → reconnect (ends live, one
+        // closing departure). Source 1: a stray disconnect *before* its
+        // connect — sequence order, not timestamps, decides liveness, so
+        // the later connect leaves it live.
+        let mut events = vec![
+            at(0.0, conn(0, 4)),
+            at(1.0, disc(0)),
+            at(2.0, conn(0, 5)),
+            at(0.5, disc(1)), // out of order: no prior connect
+            at(3.0, conn(1, 6)),
+        ];
+        close_trace(&mut events, 10.0);
+        let closers: Vec<u32> = events[5..]
+            .iter()
+            .map(|e| match &e.event {
+                TraceEvent::Disconnect(s) => s.port.0,
+                other => panic!("closer must be a disconnect, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(closers, vec![0, 1], "exactly the still-live sources");
+    }
+
+    #[test]
     fn zero_lanes_degenerates_to_one() {
         let events = sample_trace();
         let n = events.len();
