@@ -1,0 +1,67 @@
+//! **Batch admission benchmark**: singles vs `submit_batch` through the
+//! sharded admission engine, on both backends and across geometries.
+//!
+//! The batched path pays one channel send per shard per window and one
+//! backend lock acquisition per delivered batch, instead of one of each
+//! per event — this bench measures how much of the per-event overhead
+//! that actually removes. Every sample still re-verifies conservation
+//! (offered = admitted + blocked + expired) so the fast path cannot
+//! cheat by dropping work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdm_bench::batch_drive::{closed_trace, drive, BATCH_WINDOW};
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+
+fn bench_crossbar_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/crossbar_admissions");
+    g.sample_size(10);
+    for (ports, k) in [(16u32, 2u32), (64, 4)] {
+        let net = NetworkConfig::new(ports, k);
+        let events = closed_trace(net, MulticastModel::Msw, 42);
+        let label = format!("N{ports}k{k}");
+        for (mode, window) in [("singles", 1usize), ("batch", BATCH_WINDOW)] {
+            g.bench_with_input(BenchmarkId::new(mode, &label), &window, |b, &w| {
+                b.iter(|| {
+                    drive(
+                        CrossbarSession::new(net, MulticastModel::Msw),
+                        &events,
+                        4,
+                        w,
+                    )
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_three_stage_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/three_stage_admissions");
+    g.sample_size(10);
+    for (n, r, k) in [(4u32, 4u32, 2u32), (8, 8, 2), (8, 16, 4)] {
+        let m = bounds::theorem1_min_m(n, r).m;
+        let p = ThreeStageParams::new(n, m, r, k);
+        let events = closed_trace(p.network(), MulticastModel::Msw, 7);
+        let label = format!("n{n}r{r}k{k}m{m}");
+        for (mode, window) in [("singles", 1usize), ("batch", BATCH_WINDOW)] {
+            g.bench_with_input(BenchmarkId::new(mode, &label), &window, |b, &w| {
+                b.iter(|| {
+                    let report = drive(
+                        ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw),
+                        &events,
+                        4,
+                        w,
+                    );
+                    assert_eq!(report.summary.blocked, 0, "blocked at m = bound");
+                    report
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossbar_batch, bench_three_stage_batch);
+criterion_main!(benches);

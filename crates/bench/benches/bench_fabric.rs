@@ -63,11 +63,11 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
 
     let mut session = CrossbarSession::new(net, model);
     for conn in background.connections() {
-        session.connect(conn.clone()).unwrap();
+        session.connect(conn).unwrap();
     }
     c.bench_function("fabric/incremental_connect_cycle_N16k4", |b| {
         b.iter(|| {
-            session.connect(extra.clone()).unwrap();
+            session.connect(&extra).unwrap();
             session.disconnect(free_src).unwrap();
         })
     });

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdm_core::MulticastModel;
 use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
 use wdm_net::{NetClient, NetServer, NetServerConfig, Request};
-use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_runtime::{AdmissionEngine, EngineBuilder};
 use wdm_workload::{close_trace, partition_by_source, DynamicTraffic, TimedEvent};
 
 fn closed_trace(p: ThreeStageParams, seed: u64) -> Vec<TimedEvent> {
@@ -21,13 +21,11 @@ fn closed_trace(p: ThreeStageParams, seed: u64) -> Vec<TimedEvent> {
 }
 
 fn engine(p: ThreeStageParams) -> AdmissionEngine<ThreeStageNetwork> {
-    AdmissionEngine::start(
-        ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw),
-        RuntimeConfig {
-            workers: 4,
-            ..RuntimeConfig::default()
-        },
-    )
+    EngineBuilder::new().shards(4).start(ThreeStageNetwork::new(
+        p,
+        Construction::MswDominant,
+        MulticastModel::Msw,
+    ))
 }
 
 /// Stream the trace through `clients` loopback connections and drain.

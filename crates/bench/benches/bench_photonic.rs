@@ -40,7 +40,7 @@ fn bench_realize(c: &mut Criterion) {
         let mut gen = AssignmentGen::new(p.network(), MulticastModel::Msw, 3);
         for _ in 0..(n * r) {
             if let Some(req) = gen.next_request(logical.assignment(), 3) {
-                let _ = logical.connect(req);
+                let _ = logical.connect(&req);
             }
         }
         let mut photonic =

@@ -30,10 +30,9 @@ fn bench_churn(c: &mut Criterion) {
                         let mut net = ThreeStageNetwork::new(p, construction, model);
                         trace
                             .replay(|event| match event {
-                                TraceEvent::Connect(conn) => net
-                                    .connect(conn.clone())
-                                    .map(|_| ())
-                                    .map_err(|e| e.to_string()),
+                                TraceEvent::Connect(conn) => {
+                                    net.connect(conn).map(|_| ()).map_err(|e| e.to_string())
+                                }
                                 TraceEvent::Disconnect(src) => {
                                     net.disconnect(*src).map(|_| ()).map_err(|e| e.to_string())
                                 }
@@ -57,10 +56,9 @@ fn bench_single_connect(c: &mut Criterion) {
     let mut loaded = ThreeStageNetwork::new(p, Construction::MswDominant, model);
     trace
         .replay(|event| match event {
-            TraceEvent::Connect(conn) => loaded
-                .connect(conn.clone())
-                .map(|_| ())
-                .map_err(|e| e.to_string()),
+            TraceEvent::Connect(conn) => {
+                loaded.connect(conn).map(|_| ()).map_err(|e| e.to_string())
+            }
             TraceEvent::Disconnect(src) => loaded
                 .disconnect(*src)
                 .map(|_| ())
@@ -79,9 +77,7 @@ fn bench_single_connect(c: &mut Criterion) {
     loaded.disconnect(src).unwrap();
     c.bench_function("multistage/single_connect_loaded_n8r8k2", |b| {
         b.iter(|| {
-            loaded
-                .connect(victim.clone())
-                .expect("nonblocking at the bound");
+            loaded.connect(&victim).expect("nonblocking at the bound");
             loaded.disconnect(src).unwrap();
         })
     });

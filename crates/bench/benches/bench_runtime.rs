@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdm_core::{MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
-use wdm_runtime::{AdmissionEngine, Backend, RuntimeConfig, RuntimeReport};
+use wdm_runtime::{Backend, EngineBuilder, RuntimeReport};
 use wdm_workload::{DynamicTraffic, TimedEvent, TraceEvent};
 
 /// Append the departures `generate` truncated at the horizon so no
@@ -32,13 +32,7 @@ fn closed_trace(net: NetworkConfig, model: MulticastModel, seed: u64) -> Vec<Tim
 }
 
 fn drive<B: Backend>(backend: B, events: &[TimedEvent], workers: usize) -> RuntimeReport<B> {
-    let engine = AdmissionEngine::start(
-        backend,
-        RuntimeConfig {
-            workers,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::new().shards(workers).start(backend);
     engine.run_events(events.iter().cloned());
     let report = engine.drain();
     let s = &report.summary;

@@ -1,0 +1,72 @@
+//! Shared driver for the batch-admission benchmarks (`bench_batch` and
+//! the `batch_report` binary): build a closed trace, stream it through
+//! the engine either event-at-a-time or in `submit_batch` windows, and
+//! verify conservation before reporting.
+
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_runtime::{Backend, EngineBuilder, RuntimeReport};
+use wdm_workload::{DynamicTraffic, TimedEvent, TraceEvent};
+
+/// Submission window used by the `batch` legs. Chosen to comfortably
+/// amortize the per-event channel send + backend lock without building
+/// unrealistically deep queues.
+pub const BATCH_WINDOW: usize = 128;
+
+/// A churn trace with the departures `generate` truncated at the
+/// horizon appended, so no endpoint stays occupied forever (which would
+/// turn a throughput benchmark into a deadline-expiry measurement).
+pub fn closed_trace(net: NetworkConfig, model: MulticastModel, seed: u64) -> Vec<TimedEvent> {
+    let horizon = 3000.0;
+    let mut events = DynamicTraffic::new(net, model, 6.0, 1.0, 2, seed).generate(horizon);
+    let mut live = std::collections::BTreeSet::new();
+    for e in &events {
+        match &e.event {
+            TraceEvent::Connect(c) => live.insert(c.source()),
+            TraceEvent::Disconnect(s) => live.remove(s),
+        };
+    }
+    events.extend(live.into_iter().map(|src| TimedEvent {
+        time: horizon + 1.0,
+        event: TraceEvent::Disconnect(src),
+    }));
+    events
+}
+
+/// Stream `events` through a fresh engine and drain. `window == 1`
+/// submits event-at-a-time; larger windows go through
+/// [`AdmissionEngine::submit_batch`] in chunks. Panics if the run lost a
+/// request or drained inconsistently, so a "fast" path that cheats
+/// fails the benchmark instead of winning it.
+///
+/// [`AdmissionEngine::submit_batch`]: wdm_runtime::AdmissionEngine::submit_batch
+pub fn drive<B: Backend>(
+    backend: B,
+    events: &[TimedEvent],
+    shards: usize,
+    window: usize,
+) -> RuntimeReport<B> {
+    let engine = EngineBuilder::new().shards(shards).start(backend);
+    if window <= 1 {
+        for ev in events {
+            let _ = engine.submit(ev.clone());
+        }
+    } else {
+        for chunk in events.chunks(window) {
+            let _ = engine.submit_batch(chunk.to_vec());
+        }
+    }
+    let report = engine.drain();
+    let s = &report.summary;
+    assert_eq!(
+        s.offered,
+        s.admitted + s.blocked + s.expired,
+        "lost a request"
+    );
+    assert_eq!(
+        s.fatal, 0,
+        "structural error under concurrency: {:?}",
+        report.errors
+    );
+    assert!(report.consistency.is_empty(), "{:?}", report.consistency);
+    report
+}

@@ -40,7 +40,7 @@ fn blocking_rate(
     trace
         .replay(|event| -> Result<(), String> {
             match event {
-                TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                TraceEvent::Connect(conn) => match net.connect(conn) {
                     Ok(_) => routed += 1,
                     Err(RouteError::Blocked { .. }) => blocked += 1,
                     Err(e) => return Err(e.to_string()),
@@ -148,7 +148,7 @@ fn main() {
         trace2
             .replay(|event| -> Result<(), String> {
                 match event {
-                    TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                    TraceEvent::Connect(conn) => match net.connect(conn) {
                         Ok(_) => routed += 1,
                         Err(RouteError::Blocked { .. }) => blocked += 1,
                         Err(e) => return Err(e.to_string()),

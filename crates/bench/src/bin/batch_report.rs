@@ -1,0 +1,142 @@
+//! `batch_report` — measure singles vs batched admission throughput and
+//! write the trajectory to `BENCH_runtime.json` at the workspace root
+//! (override the path with the first CLI argument).
+//!
+//! The acceptance gate lives here, not in criterion: the batched
+//! three-stage leg must clear **1.5×** the singles throughput at the
+//! largest configured geometry or the process exits nonzero. Each leg
+//! takes the best of several runs so a scheduler hiccup doesn't fail
+//! the gate spuriously.
+
+use std::time::Instant;
+use wdm_bench::batch_drive::{closed_trace, drive, BATCH_WINDOW};
+use wdm_core::{MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_workload::TimedEvent;
+
+const RUNS: usize = 5;
+const SHARDS: usize = 4;
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+struct Leg {
+    backend: &'static str,
+    geometry: String,
+    events: usize,
+    singles_per_sec: f64,
+    batch_per_sec: f64,
+}
+
+impl Leg {
+    fn speedup(&self) -> f64 {
+        self.batch_per_sec / self.singles_per_sec.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"geometry\":\"{}\",\"events\":{},\
+             \"singles_admissions_per_sec\":{:.0},\"batch_admissions_per_sec\":{:.0},\
+             \"speedup\":{:.3}}}",
+            self.backend,
+            self.geometry,
+            self.events,
+            self.singles_per_sec,
+            self.batch_per_sec,
+            self.speedup()
+        )
+    }
+}
+
+/// Best-of-`RUNS` admissions/sec for one (backend, window) pair.
+fn measure<B, F>(make: F, events: &[TimedEvent], window: usize) -> f64
+where
+    B: wdm_runtime::Backend,
+    F: Fn() -> B,
+{
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let started = Instant::now();
+        let report = drive(make(), events, SHARDS, window);
+        let rate = report.summary.admitted as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(rate);
+    }
+    best
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let mut legs: Vec<Leg> = Vec::new();
+
+    for (ports, k) in [(16u32, 2u32), (64, 4)] {
+        let net = NetworkConfig::new(ports, k);
+        let events = closed_trace(net, MulticastModel::Msw, 42);
+        let make = || CrossbarSession::new(net, MulticastModel::Msw);
+        legs.push(Leg {
+            backend: "crossbar",
+            geometry: format!("N={ports} k={k}"),
+            events: events.len(),
+            singles_per_sec: measure(make, &events, 1),
+            batch_per_sec: measure(make, &events, BATCH_WINDOW),
+        });
+    }
+
+    for (n, r, k) in [(4u32, 4u32, 2u32), (8, 8, 2), (8, 16, 4)] {
+        let m = bounds::theorem1_min_m(n, r).m;
+        let p = ThreeStageParams::new(n, m, r, k);
+        let events = closed_trace(p.network(), MulticastModel::Msw, 7);
+        let make = || ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        legs.push(Leg {
+            backend: "three-stage",
+            geometry: format!("n={n} r={r} k={k} m={m}"),
+            events: events.len(),
+            singles_per_sec: measure(make, &events, 1),
+            batch_per_sec: measure(make, &events, BATCH_WINDOW),
+        });
+    }
+
+    for leg in &legs {
+        println!(
+            "{:<11} {:<20} {:>7} events  singles {:>9.0}/s  batch {:>9.0}/s  ×{:.2}",
+            leg.backend,
+            leg.geometry,
+            leg.events,
+            leg.singles_per_sec,
+            leg.batch_per_sec,
+            leg.speedup()
+        );
+    }
+
+    let body = legs
+        .iter()
+        .map(Leg::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"batch_admission\",\n  \"batch_window\": {BATCH_WINDOW},\n  \
+         \"shards\": {SHARDS},\n  \"runs_per_leg\": {RUNS},\n  \"results\": [\n    {body}\n  ]\n}}\n"
+    );
+    std::fs::write(&out, json).expect("write report");
+    println!("wrote {out}");
+
+    // The gate: batched three-stage throughput at the largest geometry.
+    let gated = legs
+        .iter()
+        .rfind(|l| l.backend == "three-stage")
+        .expect("three-stage legs configured");
+    if gated.speedup() < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: batched three-stage admissions/sec is only {:.2}× singles at {} \
+             (floor {SPEEDUP_FLOOR}×)",
+            gated.speedup(),
+            gated.geometry
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gate passed: {:.2}× ≥ {SPEEDUP_FLOOR}× at {}",
+        gated.speedup(),
+        gated.geometry
+    );
+}

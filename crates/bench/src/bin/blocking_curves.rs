@@ -29,7 +29,7 @@ fn run_point(n: u32, r: u32, k: u32, m: u32, load: f64, seed: u64) -> Point {
         match timed.event {
             TraceEvent::Connect(conn) => {
                 attempts += 1;
-                match net.connect(conn) {
+                match net.connect(&conn) {
                     Ok(_) => {}
                     Err(RouteError::Blocked { .. }) => blocked += 1,
                     Err(e) => panic!("illegal trace event: {e}"),

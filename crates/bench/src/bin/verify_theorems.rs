@@ -40,7 +40,7 @@ fn random_churn(
         } else if let Some(req) = gen.next_request(net.assignment(), 0) {
             result.attempts += 1;
             let src = req.source();
-            match net.connect(req) {
+            match net.connect(&req) {
                 Ok(_) => {
                     result.routed += 1;
                     live.push(src);
@@ -70,7 +70,7 @@ fn adversarial_fill(mut net: ThreeStageNetwork, model: MulticastModel, seed: u64
     };
     while let Some(req) = gen.next_request(net.assignment()) {
         result.attempts += 1;
-        match net.connect(req.clone()) {
+        match net.connect(&req) {
             Ok(_) => result.routed += 1,
             Err(RouteError::Blocked { .. }) => {
                 result.blocked += 1;

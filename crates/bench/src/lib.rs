@@ -13,6 +13,8 @@
 //!
 //! CSV copies of every table land in `experiments/` at the workspace root.
 
+pub mod batch_drive;
+
 use std::path::PathBuf;
 
 /// Directory where generator binaries drop their CSV outputs

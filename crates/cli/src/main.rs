@@ -98,11 +98,14 @@ COMMANDS:
                                                    --kill-middle fails the named middle switches
                                                    mid-run, --fault-rate adds randomized component
                                                    chaos (repairs after mean --mttr, default 2)
-              with --listen ADDR (e.g. 127.0.0.1:0) the command instead serves the three-stage
-              engine over TCP using the wdm-net wire protocol; [--addr-file PATH] writes the
-              bound address (for port 0) and a client's Drain frame stops the server
+              with --listen ADDR (e.g. 127.0.0.1:0) the command instead serves the admission
+              engine over TCP using the wdm-net wire protocol ([--backend crossbar|three-stage]
+              picks the fabric behind the same dyn-Backend engine, default three-stage);
+              [--addr-file PATH] writes the bound address (for port 0) and a client's Drain
+              frame stops the server
   bench-net   --connect ADDR --n <n> --r <r> -k <λ> [--clients C] [--pipeline W]
-              [--rate R] [--horizon T] [--seed X] [--drain true|false]
+              [--batch B] [--rate R] [--horizon T] [--seed X] [--drain true|false]
+              (--batch > 1 ships runs of connects as single wire-v2 BatchConnect frames)
                                                    closed-loop load generator: C client threads
                                                    stream a generated trace into a wdm-net server
                                                    and report admissions/sec plus latency
@@ -378,7 +381,7 @@ fn cmd_multistage(opts: &Opts) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         } else if let Some(req) = gen.next_request(net.assignment(), 0) {
             let src = req.source();
-            match net.connect(req) {
+            match net.connect(&req) {
                 Ok(_) => {
                     routed += 1;
                     live.push(src);
@@ -432,7 +435,7 @@ fn cmd_photonic(opts: &Opts) -> Result<(), String> {
         let Some(req) = gen.next_request(logical.assignment(), 0) else {
             break;
         };
-        if logical.connect(req).is_ok() {
+        if logical.connect(&req).is_ok() {
             routed += 1;
         }
     }
@@ -479,7 +482,7 @@ fn cmd_fivestage(opts: &Opts) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         } else if let Some(req) = gen.next_request(five.assignment(), 0) {
             let src = req.source();
-            match five.connect(req) {
+            match five.connect(&req) {
                 Ok(()) => {
                     routed += 1;
                     live.push(src);
@@ -601,7 +604,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
         trace
             .replay(|event| -> Result<(), String> {
                 match event {
-                    TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                    TraceEvent::Connect(conn) => match net.connect(conn) {
                         Ok(_) => routed += 1,
                         Err(RouteError::Blocked { .. }) => blocked += 1,
                         Err(e) => return Err(e.to_string()),
@@ -653,7 +656,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use std::time::Duration;
     use wdm_fabric::CrossbarSession;
     use wdm_runtime::{
-        AdmissionEngine, Backend, Fault, FaultInjector, InjectionRecord, MetricsSnapshot,
+        Backend, EngineBuilder, Fault, FaultInjector, InjectionRecord, MetricsSnapshot,
         RuntimeConfig, RuntimeReport,
     };
     use wdm_workload::{ChaosSchedule, DynamicTraffic, FaultAction, TimedFault};
@@ -757,7 +760,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         events: &[wdm_workload::TimedEvent],
         config: &RuntimeConfig,
     ) -> RuntimeReport<B> {
-        let engine = AdmissionEngine::start(backend, config.clone());
+        let engine = EngineBuilder::from_config(config.clone()).start(backend);
         engine.run_events(events.iter().cloned());
         engine.drain()
     }
@@ -770,10 +773,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // than an empty one.
     let mut injector = FaultInjector::scripted(fault_schedule);
     let chaos = injector.pending() > 0;
-    let engine = AdmissionEngine::start(
-        ThreeStageNetwork::new(p, construction, model),
-        config.clone(),
-    );
+    let engine = EngineBuilder::from_config(config.clone()).start(ThreeStageNetwork::new(
+        p,
+        construction,
+        model,
+    ));
     let handle = engine.fault_handle();
     let mut fired: Vec<InjectionRecord> = Vec::new();
     for ev in &events {
@@ -933,8 +937,9 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 /// (and zero blocks when `m` is at the bound), so CI can `wait` on it.
 fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     use std::time::Duration;
+    use wdm_fabric::CrossbarSession;
     use wdm_net::{NetServer, NetServerConfig};
-    use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+    use wdm_runtime::{Backend, EngineBuilder, RuntimeConfig};
 
     let n = opts.u32("n", None)?;
     let r = opts.u32("r", None)?;
@@ -956,12 +961,26 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
         ..RuntimeConfig::default()
     };
     let listen = opts.0.get("listen").expect("checked by caller").clone();
-    let engine = AdmissionEngine::start(ThreeStageNetwork::new(p, construction, model), config);
+    // The backend is picked at runtime behind `dyn Backend`: the engine,
+    // server, and wire path are identical for every fabric.
+    let (label, backend): (&str, Box<dyn Backend>) = match opts.0.get("backend").map(String::as_str)
+    {
+        None | Some("three-stage") | Some("threestage") | Some("3stage") => (
+            "three-stage",
+            Box::new(ThreeStageNetwork::new(p, construction, model)),
+        ),
+        Some("crossbar") => (
+            "crossbar",
+            Box::new(CrossbarSession::new(p.network(), model)),
+        ),
+        Some(other) => return Err(format!("unknown backend {other:?} (crossbar|three-stage)")),
+    };
+    let engine = EngineBuilder::from_config(config).start(backend);
     let server = NetServer::serve(engine, listen.as_str(), NetServerConfig::default())
         .map_err(|e| format!("bind {listen}: {e}"))?;
     let addr = server.local_addr();
     println!(
-        "serving {p} [{construction}, {model}] on {addr} ({workers} worker shards, \
+        "serving {label} {p} [{construction}, {model}] on {addr} ({workers} worker shards, \
          Theorem bound m ≥ {}); a client's Drain frame stops the server",
         bound.m
     );
@@ -996,6 +1015,7 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
 fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
     use std::collections::VecDeque;
     use std::time::Instant;
+    use wdm_core::MulticastConnection;
     use wdm_net::{NetClient, Request, Response};
     use wdm_workload::{close_trace, partition_by_source, DynamicTraffic, TraceEvent};
 
@@ -1013,6 +1033,7 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
     let model = opts.model()?;
     let clients = opts.u32("clients", Some(4))?.max(1) as usize;
     let window = opts.u32("pipeline", Some(32))?.max(1) as usize;
+    let batch = opts.u32("batch", Some(1))?.max(1) as usize;
     let rate = opts.f64("rate", 6.0)?;
     let horizon = opts.f64("horizon", 20.0)?;
     let seed = opts.u64("seed", 42)?;
@@ -1029,7 +1050,12 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
     let lanes = partition_by_source(events, clients);
     println!(
         "bench-net: {total_events} events on {flat} ({model}), {clients} clients × \
-         pipeline {window}, against {addr}"
+         pipeline {window}{}, against {addr}",
+        if batch > 1 {
+            format!(" × batch {batch}")
+        } else {
+            String::new()
+        }
     );
 
     /// One client's view of the run.
@@ -1049,6 +1075,59 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
                 let mut client =
                     NetClient::connect(addr.as_str()).map_err(|e| format!("connect: {e}"))?;
                 let mut out = LaneResult::default();
+                if batch > 1 {
+                    // Batched mode: runs of consecutive connects travel as
+                    // one v2 BatchConnect frame each; a disconnect flushes
+                    // the run first so per-source ordering is preserved.
+                    let flush = |out: &mut LaneResult,
+                                 client: &mut NetClient,
+                                 buf: &mut Vec<MulticastConnection>|
+                     -> Result<(), String> {
+                        if buf.is_empty() {
+                            return Ok(());
+                        }
+                        let t0 = Instant::now();
+                        let verdicts = client
+                            .connect_batch(std::mem::take(buf))
+                            .map_err(|e| format!("batch: {e}"))?;
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        for v in verdicts {
+                            out.latencies_ms.push(ms);
+                            match v {
+                                Response::Ok => out.connect_acks += 1,
+                                Response::Rejected { .. } => out.rejects += 1,
+                                other => return Err(format!("unexpected batch item {other:?}")),
+                            }
+                        }
+                        Ok(())
+                    };
+                    let mut buf: Vec<MulticastConnection> = Vec::with_capacity(batch);
+                    for ev in &lane {
+                        match &ev.event {
+                            TraceEvent::Connect(c) => {
+                                buf.push(c.clone());
+                                if buf.len() >= batch {
+                                    flush(&mut out, &mut client, &mut buf)?;
+                                }
+                            }
+                            TraceEvent::Disconnect(src) => {
+                                flush(&mut out, &mut client, &mut buf)?;
+                                let t0 = Instant::now();
+                                let resp = client
+                                    .call(&Request::Disconnect(*src))
+                                    .map_err(|e| format!("disconnect: {e}"))?;
+                                out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                match resp {
+                                    Response::Ok => {}
+                                    Response::Rejected { .. } => out.rejects += 1,
+                                    other => return Err(format!("unexpected response {other:?}")),
+                                }
+                            }
+                        }
+                    }
+                    flush(&mut out, &mut client, &mut buf)?;
+                    return Ok(out);
+                }
                 let mut outstanding: VecDeque<(u64, Instant, bool)> = VecDeque::new();
                 let settle = |out: &mut LaneResult,
                               client: &mut NetClient,

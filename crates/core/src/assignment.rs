@@ -1,5 +1,6 @@
 //! Multicast assignments: conflict-free sets of connections.
 
+use crate::bitset::BitRows;
 use crate::{AssignmentError, Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use core::fmt;
 use std::collections::BTreeMap;
@@ -8,8 +9,11 @@ use std::collections::BTreeMap;
 /// shared destination endpoint (paper §2), maintained under a fixed
 /// network size and multicast model.
 ///
-/// Occupancy of both sides is tracked with flat bit-vectors, so inserting
-/// and conflict-checking a connection is `O(fanout)`.
+/// Occupancy of both sides is tracked as packed per-port wavelength
+/// masks ([`BitRows`]): conflict-checking a connection is `O(fanout)`
+/// single-bit probes, and routing layers can AND whole port masks at
+/// once via [`input_port_mask`](Self::input_port_mask) /
+/// [`output_port_mask`](Self::output_port_mask).
 ///
 /// ```
 /// use wdm_core::{MulticastAssignment, MulticastConnection, Endpoint,
@@ -22,6 +26,7 @@ use std::collections::BTreeMap;
 /// ).unwrap()).unwrap();
 /// assert_eq!(asg.len(), 1);
 /// assert!(!asg.is_full());
+/// assert_eq!(asg.input_port_mask(0), &[0b01]); // λ0 busy on input port 0
 /// ```
 #[derive(Debug, Clone)]
 pub struct MulticastAssignment {
@@ -29,24 +34,25 @@ pub struct MulticastAssignment {
     model: MulticastModel,
     /// Connections keyed by source endpoint (each sources at most one).
     connections: BTreeMap<Endpoint, MulticastConnection>,
-    /// `input_busy[flat(ep)]` — endpoint sources a connection.
-    input_busy: Vec<bool>,
-    /// `output_owner[flat(ep)]` — source endpoint of the connection using
-    /// this output endpoint, if any.
-    output_owner: Vec<Option<Endpoint>>,
+    /// Busy-wavelength mask per input port.
+    input_busy: BitRows,
+    /// Busy-wavelength mask per output port.
+    output_busy: BitRows,
+    /// Source endpoint of the connection using each busy output endpoint.
+    output_owner: BTreeMap<Endpoint, Endpoint>,
     used_outputs: usize,
 }
 
 impl MulticastAssignment {
     /// Empty assignment for the given network and model.
     pub fn new(net: NetworkConfig, model: MulticastModel) -> Self {
-        let side = net.endpoints_per_side() as usize;
         MulticastAssignment {
             net,
             model,
             connections: BTreeMap::new(),
-            input_busy: vec![false; side],
-            output_owner: vec![None; side],
+            input_busy: BitRows::new(net.ports, net.wavelengths),
+            output_busy: BitRows::new(net.ports, net.wavelengths),
+            output_owner: BTreeMap::new(),
             used_outputs: 0,
         }
     }
@@ -83,31 +89,47 @@ impl MulticastAssignment {
 
     /// The connection (by source endpoint) currently using output `ep`.
     pub fn output_user(&self, ep: Endpoint) -> Option<Endpoint> {
-        self.output_owner[ep.flat_index(self.net.wavelengths)]
+        self.output_owner.get(&ep).copied()
     }
 
     /// `true` iff input endpoint `ep` already sources a connection.
     pub fn input_busy(&self, ep: Endpoint) -> bool {
-        self.input_busy[ep.flat_index(self.net.wavelengths)]
+        self.input_busy.get(ep.port.0, ep.wavelength.0)
+    }
+
+    /// `true` iff output endpoint `ep` carries a connection.
+    pub fn output_busy(&self, ep: Endpoint) -> bool {
+        self.output_busy.get(ep.port.0, ep.wavelength.0)
+    }
+
+    /// Packed busy-wavelength mask of input port `port` (bit `w` set iff
+    /// `(port, λw)` sources a connection).
+    pub fn input_port_mask(&self, port: u32) -> &[u64] {
+        self.input_busy.row(port)
+    }
+
+    /// Packed busy-wavelength mask of output port `port`.
+    pub fn output_port_mask(&self, port: u32) -> &[u64] {
+        self.output_busy.row(port)
     }
 
     /// Check whether `conn` could be added without mutating the state.
     pub fn check(&self, conn: &MulticastConnection) -> Result<(), AssignmentError> {
-        let k = self.net.wavelengths;
-        if !self.net.contains(conn.source()) {
-            return Err(AssignmentError::OutOfRange(conn.source()));
+        let src = conn.source();
+        if !self.net.contains(src) {
+            return Err(AssignmentError::OutOfRange(src));
         }
         if !self.model.allows(conn) {
             return Err(AssignmentError::ModelViolation(self.model));
         }
-        if self.input_busy[conn.source().flat_index(k)] {
-            return Err(AssignmentError::SourceBusy(conn.source()));
+        if self.input_busy.get(src.port.0, src.wavelength.0) {
+            return Err(AssignmentError::SourceBusy(src));
         }
         for &d in conn.destinations() {
             if !self.net.contains(d) {
                 return Err(AssignmentError::OutOfRange(d));
             }
-            if self.output_owner[d.flat_index(k)].is_some() {
+            if self.output_busy.get(d.port.0, d.wavelength.0) {
                 return Err(AssignmentError::DestinationBusy(d));
             }
         }
@@ -117,13 +139,14 @@ impl MulticastAssignment {
     /// Add a connection, rejecting conflicts and model violations.
     pub fn add(&mut self, conn: MulticastConnection) -> Result<(), AssignmentError> {
         self.check(&conn)?;
-        let k = self.net.wavelengths;
-        self.input_busy[conn.source().flat_index(k)] = true;
+        let src = conn.source();
+        self.input_busy.set(src.port.0, src.wavelength.0);
         for &d in conn.destinations() {
-            self.output_owner[d.flat_index(k)] = Some(conn.source());
+            self.output_busy.set(d.port.0, d.wavelength.0);
+            self.output_owner.insert(d, src);
         }
         self.used_outputs += conn.fanout();
-        self.connections.insert(conn.source(), conn);
+        self.connections.insert(src, conn);
         Ok(())
     }
 
@@ -133,10 +156,10 @@ impl MulticastAssignment {
             .connections
             .remove(&src)
             .ok_or(AssignmentError::NoSuchConnection(src))?;
-        let k = self.net.wavelengths;
-        self.input_busy[src.flat_index(k)] = false;
+        self.input_busy.clear(src.port.0, src.wavelength.0);
         for &d in conn.destinations() {
-            self.output_owner[d.flat_index(k)] = None;
+            self.output_busy.clear(d.port.0, d.wavelength.0);
+            self.output_owner.remove(&d);
         }
         self.used_outputs -= conn.fanout();
         Ok(conn)
@@ -164,11 +187,11 @@ impl MulticastAssignment {
     pub fn is_maximal(&self) -> bool {
         // Try every free output endpoint against every free input endpoint.
         for out_ep in self.net.endpoints() {
-            if self.output_owner[out_ep.flat_index(self.net.wavelengths)].is_some() {
+            if self.output_busy.get(out_ep.port.0, out_ep.wavelength.0) {
                 continue;
             }
             for in_ep in self.net.endpoints() {
-                if self.input_busy[in_ep.flat_index(self.net.wavelengths)] {
+                if self.input_busy.get(in_ep.port.0, in_ep.wavelength.0) {
                     continue;
                 }
                 let conn = MulticastConnection::unicast(in_ep, out_ep);
@@ -364,6 +387,22 @@ mod tests {
                 assert_eq!(asg.is_maximal(), asg.is_full(), "model {model}");
             }
         }
+    }
+
+    #[test]
+    fn port_masks_track_occupancy() {
+        let mut asg = MulticastAssignment::new(net(), MulticastModel::Maw);
+        asg.add(conn((0, 1), &[(1, 0), (2, 1)])).unwrap();
+        assert_eq!(asg.input_port_mask(0), &[0b10]);
+        assert_eq!(asg.input_port_mask(1), &[0b00]);
+        assert_eq!(asg.output_port_mask(1), &[0b01]);
+        assert_eq!(asg.output_port_mask(2), &[0b10]);
+        assert!(asg.output_busy(Endpoint::new(1, 0)));
+        assert!(!asg.output_busy(Endpoint::new(1, 1)));
+        asg.remove(Endpoint::new(0, 1)).unwrap();
+        assert_eq!(asg.input_port_mask(0), &[0]);
+        assert_eq!(asg.output_port_mask(1), &[0]);
+        assert_eq!(asg.output_port_mask(2), &[0]);
     }
 
     #[test]

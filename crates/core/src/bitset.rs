@@ -1,0 +1,242 @@
+//! Packed `u64` occupancy words.
+//!
+//! The paper's routing arguments (Theorems 1–2) are free-set cardinality
+//! arguments: "how many middle switches still have wavelength `w` free
+//! towards module `i`?" This module gives every layer the same packed
+//! representation for such sets, so a routing probe is a handful of
+//! AND/popcount instructions instead of a `Vec<bool>` walk.
+//!
+//! Two pieces:
+//!
+//! * free functions over `&[u64]` word slices ([`test_bit`], [`set_bit`],
+//!   [`clear_bit`], [`count_ones`], [`ones`]) — for callers that keep
+//!   their own word vectors (e.g. per-module free-middle masks);
+//! * [`BitRows`], a rectangular table of rows × bits packed row-major —
+//!   for per-port wavelength occupancy where every port owns
+//!   `ceil(k/64)` words.
+
+/// Number of `u64` words needed to hold `bits` bits.
+pub const fn words_for(bits: u32) -> usize {
+    bits.div_ceil(64) as usize
+}
+
+/// Packed words with the first `bits` bits set and the tail clear.
+pub fn filled_words(bits: u32) -> Vec<u64> {
+    let mut words = vec![u64::MAX; words_for(bits)];
+    let tail = bits % 64;
+    if tail != 0 {
+        if let Some(last) = words.last_mut() {
+            *last = (1u64 << tail) - 1;
+        }
+    }
+    words
+}
+
+/// `true` iff bit `i` is set in the packed words.
+#[inline]
+pub fn test_bit(words: &[u64], i: u32) -> bool {
+    words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+}
+
+/// Set bit `i`.
+#[inline]
+pub fn set_bit(words: &mut [u64], i: u32) {
+    words[(i / 64) as usize] |= 1u64 << (i % 64);
+}
+
+/// Clear bit `i`.
+#[inline]
+pub fn clear_bit(words: &mut [u64], i: u32) {
+    words[(i / 64) as usize] &= !(1u64 << (i % 64));
+}
+
+/// Population count across all words.
+#[inline]
+pub fn count_ones(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Iterate the indices of set bits in ascending order.
+pub fn ones(words: &[u64]) -> Ones<'_> {
+    Ones {
+        words,
+        word_idx: 0,
+        current: words.first().copied().unwrap_or(0),
+    }
+}
+
+/// Iterator over set-bit indices of a packed word slice.
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u32 * 64 + bit)
+    }
+}
+
+/// A rectangular bitset: `rows` rows of `bits_per_row` bits, packed
+/// row-major so each row is a contiguous `&[u64]` mask.
+///
+/// ```
+/// use wdm_core::bitset::BitRows;
+/// let mut t = BitRows::new(4, 70);
+/// t.set(2, 65);
+/// assert!(t.get(2, 65));
+/// assert_eq!(t.row(2).len(), 2); // 70 bits ⇒ 2 words per row
+/// assert_eq!(t.count_row(2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRows {
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitRows {
+    /// All-zero table of `rows` rows × `bits_per_row` bits.
+    pub fn new(rows: u32, bits_per_row: u32) -> Self {
+        let words_per_row = words_for(bits_per_row);
+        BitRows {
+            words_per_row,
+            words: vec![0; words_per_row * rows as usize],
+        }
+    }
+
+    /// Table with every valid bit set (tail bits of each row clear).
+    pub fn filled(rows: u32, bits_per_row: u32) -> Self {
+        let row = filled_words(bits_per_row);
+        BitRows {
+            words_per_row: row.len(),
+            words: row
+                .iter()
+                .cycle()
+                .take(row.len() * rows as usize)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Words per row (`ceil(bits_per_row / 64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed mask of one row.
+    #[inline]
+    pub fn row(&self, row: u32) -> &[u64] {
+        let start = row as usize * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, row: u32) -> &mut [u64] {
+        let start = row as usize * self.words_per_row;
+        &mut self.words[start..start + self.words_per_row]
+    }
+
+    /// Bit `bit` of row `row`.
+    #[inline]
+    pub fn get(&self, row: u32, bit: u32) -> bool {
+        test_bit(self.row(row), bit)
+    }
+
+    /// Set bit `bit` of row `row`.
+    #[inline]
+    pub fn set(&mut self, row: u32, bit: u32) {
+        set_bit(self.row_mut(row), bit);
+    }
+
+    /// Clear bit `bit` of row `row`.
+    #[inline]
+    pub fn clear(&mut self, row: u32, bit: u32) {
+        clear_bit(self.row_mut(row), bit);
+    }
+
+    /// Popcount of one row.
+    #[inline]
+    pub fn count_row(&self, row: u32) -> u32 {
+        count_ones(self.row(row))
+    }
+
+    /// Popcount of the whole table.
+    pub fn count(&self) -> u32 {
+        count_ones(&self.words)
+    }
+
+    /// `true` iff every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_helpers_roundtrip() {
+        let mut w = vec![0u64; words_for(130)];
+        assert_eq!(w.len(), 3);
+        for i in [0, 63, 64, 127, 129] {
+            assert!(!test_bit(&w, i));
+            set_bit(&mut w, i);
+            assert!(test_bit(&w, i));
+        }
+        assert_eq!(count_ones(&w), 5);
+        assert_eq!(ones(&w).collect::<Vec<_>>(), vec![0, 63, 64, 127, 129]);
+        clear_bit(&mut w, 64);
+        assert!(!test_bit(&w, 64));
+        assert_eq!(ones(&w).collect::<Vec<_>>(), vec![0, 63, 127, 129]);
+    }
+
+    #[test]
+    fn ones_on_empty_and_full_words() {
+        assert_eq!(ones(&[]).count(), 0);
+        assert_eq!(ones(&[0, 0]).count(), 0);
+        let full = vec![u64::MAX; 2];
+        assert_eq!(ones(&full).count(), 128);
+        assert_eq!(ones(&full).next(), Some(0));
+        assert_eq!(ones(&full).last(), Some(127));
+    }
+
+    #[test]
+    fn filled_clears_tail_bits() {
+        assert_eq!(filled_words(0), Vec::<u64>::new());
+        assert_eq!(filled_words(64), vec![u64::MAX]);
+        assert_eq!(filled_words(3), vec![0b111]);
+        assert_eq!(filled_words(65), vec![u64::MAX, 1]);
+        let t = BitRows::filled(2, 65);
+        assert_eq!(t.count_row(0), 65);
+        assert_eq!(t.count(), 130);
+        assert!(t.get(1, 64));
+        assert!(!t.get(1, 65));
+    }
+
+    #[test]
+    fn bitrows_rows_are_independent() {
+        let mut t = BitRows::new(3, 65);
+        t.set(0, 64);
+        t.set(1, 0);
+        assert!(t.get(0, 64));
+        assert!(!t.get(1, 64));
+        assert!(t.get(1, 0));
+        assert_eq!(t.count_row(0), 1);
+        assert_eq!(t.count(), 2);
+        t.clear(0, 64);
+        assert!(!t.is_zero());
+        t.clear(1, 0);
+        assert!(t.is_zero());
+    }
+}

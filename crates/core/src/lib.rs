@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod assignment;
+pub mod bitset;
 pub mod capacity;
 pub mod connection;
 pub mod enumerate;
@@ -47,6 +48,7 @@ mod ids;
 mod model;
 mod network;
 pub mod output_map;
+pub mod reject;
 pub mod stats;
 
 pub use assignment::MulticastAssignment;
@@ -57,3 +59,4 @@ pub use ids::{Endpoint, PortId, WavelengthId};
 pub use model::MulticastModel;
 pub use network::NetworkConfig;
 pub use output_map::{MapViolation, OutputMap};
+pub use reject::{Reject, RejectClass};

@@ -90,6 +90,15 @@ impl fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
+/// Every fabric error is structural — a mismatch between assignment and
+/// hardware or physically conflicting light — so all of them classify as
+/// [`wdm_core::RejectClass::Fatal`] in the canonical taxonomy.
+impl From<FabricError> for wdm_core::Reject {
+    fn from(e: FabricError) -> Self {
+        wdm_core::Reject::Fatal(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +115,12 @@ mod tests {
             endpoint: Endpoint::new(2, 1),
         };
         assert!(e.to_string().contains("(p2, λ2)"));
+    }
+
+    #[test]
+    fn fabric_errors_classify_as_fatal() {
+        let r = wdm_core::Reject::from(FabricError::SizeMismatch);
+        assert_eq!(r.class(), wdm_core::RejectClass::Fatal);
+        assert!(r.to_string().contains("size differs"));
     }
 }

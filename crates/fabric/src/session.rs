@@ -133,9 +133,13 @@ impl CrossbarSession {
 
     /// Add one connection: checks endpoint conflicts, then enables only
     /// this connection's gates (and programs its converter under MSDW).
-    pub fn connect(&mut self, conn: MulticastConnection) -> Result<(), AssignmentError> {
-        self.live.check(&conn)?;
-        if let Some(fault) = self.component_down(&conn) {
+    ///
+    /// Borrows the request so rejected admissions (the hot path under
+    /// contention) never copy the destination set; the single clone
+    /// happens at the commit point.
+    pub fn connect(&mut self, conn: &MulticastConnection) -> Result<(), AssignmentError> {
+        self.live.check(conn)?;
+        if let Some(fault) = self.component_down(conn) {
             return Err(AssignmentError::ComponentDown(fault));
         }
         let k = self.network().wavelengths;
@@ -151,7 +155,7 @@ impl CrossbarSession {
                 .expect("model-legal connection has a gate path");
             self.xbar.set_gate_raw(gate, true);
         }
-        self.live.add(conn).expect("checked above");
+        self.live.add(conn.clone()).expect("checked above");
         Ok(())
     }
 
@@ -233,9 +237,9 @@ mod tests {
     fn incremental_connect_disconnect() {
         let net = NetworkConfig::new(4, 2);
         let mut s = CrossbarSession::new(net, MulticastModel::Msw);
-        s.connect(conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
         s.verify().unwrap();
-        s.connect(conn((1, 1), &[(0, 1), (3, 1)])).unwrap();
+        s.connect(&conn((1, 1), &[(0, 1), (3, 1)])).unwrap();
         s.verify().unwrap();
         s.disconnect(Endpoint::new(0, 0)).unwrap();
         let outcome = s.verify().unwrap();
@@ -246,8 +250,8 @@ mod tests {
     fn conflicts_rejected_without_touching_hardware() {
         let net = NetworkConfig::new(3, 1);
         let mut s = CrossbarSession::new(net, MulticastModel::Msw);
-        s.connect(conn((0, 0), &[(1, 0)])).unwrap();
-        let err = s.connect(conn((1, 0), &[(1, 0)])).unwrap_err();
+        s.connect(&conn((0, 0), &[(1, 0)])).unwrap();
+        let err = s.connect(&conn((1, 0), &[(1, 0)])).unwrap_err();
         assert!(matches!(err, AssignmentError::DestinationBusy(_)));
         // Hardware still verifies the original connection only.
         s.verify().unwrap();
@@ -257,12 +261,12 @@ mod tests {
     fn msdw_converter_is_programmed_and_cleared() {
         let net = NetworkConfig::new(3, 2);
         let mut s = CrossbarSession::new(net, MulticastModel::Msdw);
-        s.connect(conn((0, 0), &[(1, 1), (2, 1)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 1), (2, 1)])).unwrap();
         s.verify().unwrap();
         s.disconnect(Endpoint::new(0, 0)).unwrap();
         // The same source can now host a λ1-destination connection —
         // which would fail had the converter stayed programmed to λ2.
-        s.connect(conn((0, 0), &[(1, 0)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 0)])).unwrap();
         s.verify().unwrap();
     }
 
@@ -271,21 +275,21 @@ mod tests {
         let net = NetworkConfig::new(4, 1);
         let mut s = CrossbarSession::new(net, MulticastModel::Msw);
         s.inject_fault(Fault::Port(2));
-        let err = s.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        let err = s.connect(&conn((0, 0), &[(2, 0)])).unwrap_err();
         assert!(matches!(
             err,
             AssignmentError::ComponentDown(Fault::Port(2))
         ));
-        let err = s.connect(conn((2, 0), &[(3, 0)])).unwrap_err();
+        let err = s.connect(&conn((2, 0), &[(3, 0)])).unwrap_err();
         assert!(matches!(
             err,
             AssignmentError::ComponentDown(Fault::Port(2))
         ));
         // Unaffected traffic still admits and verifies.
-        s.connect(conn((0, 0), &[(1, 0)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 0)])).unwrap();
         s.verify().unwrap();
         assert!(s.repair_fault(Fault::Port(2)));
-        s.connect(conn((2, 0), &[(3, 0)])).unwrap();
+        s.connect(&conn((2, 0), &[(3, 0)])).unwrap();
         s.verify().unwrap();
     }
 
@@ -295,13 +299,13 @@ mod tests {
         let mut s = CrossbarSession::new(net, MulticastModel::Msdw);
         s.inject_fault(Fault::InputConverters(0));
         // A converted group needs the dark bank — refused.
-        let err = s.connect(conn((0, 0), &[(1, 1), (2, 1)])).unwrap_err();
+        let err = s.connect(&conn((0, 0), &[(1, 1), (2, 1)])).unwrap_err();
         assert!(matches!(
             err,
             AssignmentError::ComponentDown(Fault::InputConverters(0))
         ));
         // Same-wavelength group passes through without conversion.
-        s.connect(conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
         s.verify().unwrap();
     }
 
@@ -310,13 +314,13 @@ mod tests {
         let net = NetworkConfig::new(3, 2);
         let mut s = CrossbarSession::new(net, MulticastModel::Maw);
         s.inject_fault(Fault::OutputConverters(1));
-        let err = s.connect(conn((0, 0), &[(1, 1)])).unwrap_err();
+        let err = s.connect(&conn((0, 0), &[(1, 1)])).unwrap_err();
         assert!(matches!(
             err,
             AssignmentError::ComponentDown(Fault::OutputConverters(1))
         ));
         // Identity delivery to port 1 and conversion at port 2 still work.
-        s.connect(conn((0, 0), &[(1, 0), (2, 1)])).unwrap();
+        s.connect(&conn((0, 0), &[(1, 0), (2, 1)])).unwrap();
         s.verify().unwrap();
     }
 
@@ -324,8 +328,8 @@ mod tests {
     fn connections_through_tracks_dependent_traffic() {
         let net = NetworkConfig::new(4, 2);
         let mut s = CrossbarSession::new(net, MulticastModel::Msdw);
-        s.connect(conn((0, 0), &[(1, 1), (2, 1)])).unwrap(); // converted
-        s.connect(conn((1, 0), &[(3, 0)])).unwrap(); // identity
+        s.connect(&conn((0, 0), &[(1, 1), (2, 1)])).unwrap(); // converted
+        s.connect(&conn((1, 0), &[(3, 0)])).unwrap(); // identity
         assert_eq!(
             s.connections_through(&Fault::InputConverters(0)),
             vec![Endpoint::new(0, 0)]
@@ -357,7 +361,7 @@ mod tests {
                     session.disconnect(live.swap_remove(i)).unwrap();
                 } else if let Some(c) = gen.next(&session.live) {
                     live.push(c.source());
-                    session.connect(c).unwrap();
+                    session.connect(&c).unwrap();
                 }
                 // Same light, both ways.
                 let inc = session.verify().expect("incremental config verifies");

@@ -22,9 +22,10 @@
 use crate::{bounds, Construction, DestinationMultiset, ThreeStageParams};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use wdm_core::bitset::{self, BitRows};
 use wdm_core::{
     AssignmentError, Endpoint, Fault, FaultSet, MulticastAssignment, MulticastConnection,
-    MulticastModel, NetworkConfig,
+    MulticastModel, NetworkConfig, Reject,
 };
 
 /// Why a connection request failed.
@@ -80,6 +81,29 @@ impl std::error::Error for RouteError {}
 impl From<AssignmentError> for RouteError {
     fn from(e: AssignmentError) -> Self {
         RouteError::Assignment(e)
+    }
+}
+
+/// Canonical classification of a routing failure: assignment conflicts
+/// classify as the assignment error would, capacity exhaustion is
+/// `Blocked`, dead components are `ComponentDown`, and a failed rollback
+/// is structural (`Fatal`).
+impl From<RouteError> for Reject {
+    fn from(e: RouteError) -> Self {
+        match e {
+            RouteError::Assignment(a) => Reject::from(a),
+            RouteError::Blocked {
+                available_middles,
+                x_limit,
+            } => Reject::Blocked {
+                available_middles,
+                x_limit,
+            },
+            RouteError::ComponentDown(fault) => Reject::ComponentDown(fault),
+            RouteError::Inconsistent { detail } => Reject::Fatal(format!(
+                "rollback failed, state may be inconsistent: {detail}"
+            )),
+        }
     }
 }
 
@@ -153,6 +177,18 @@ pub struct ThreeStageNetwork {
     input_links: Vec<Vec<u64>>,
     /// Busy-wavelength bitmask per middle→output-module link: `[m][r]`.
     middle_links: Vec<Vec<u64>>,
+    /// Free-middle mask per `(input module, wavelength)` — row
+    /// `module·k + w`, bit `j` set iff wavelength `w` is free on the
+    /// link `module→j`. The MSW-dominant availability probe.
+    free_in: BitRows,
+    /// Not-full mask per input module — bit `j` set iff the link
+    /// `module→j` still has a free wavelength. The MAW-dominant probe.
+    not_full: BitRows,
+    /// Bit `j` set iff middle switch `j` is not failed.
+    live_middles: Vec<u64>,
+    /// Bit `j` of row `module` set iff the input link `module→j` is not
+    /// severed.
+    links_up: BitRows,
     /// The paper's `M_j` per middle switch (kept in sync with
     /// `middle_links`).
     multisets: Vec<DestinationMultiset>,
@@ -185,6 +221,10 @@ impl ThreeStageNetwork {
             conversion_range: None,
             input_links: vec![vec![0; params.m as usize]; params.r as usize],
             middle_links: vec![vec![0; params.r as usize]; params.m as usize],
+            free_in: BitRows::filled(params.r * params.k, params.m),
+            not_full: BitRows::filled(params.r, params.m),
+            live_middles: bitset::filled_words(params.m),
+            links_up: BitRows::filled(params.r, params.m),
             multisets: vec![DestinationMultiset::new(params.r, params.k); params.m as usize],
             assignment: MulticastAssignment::new(params.network(), output_model),
             routed: BTreeMap::new(),
@@ -284,12 +324,46 @@ impl ThreeStageNetwork {
     /// are *not* torn down here — a runtime that owns the traffic decides
     /// what to heal (see [`Self::connections_through`]).
     pub fn inject_fault(&mut self, fault: Fault) -> bool {
-        self.faults.fail(fault)
+        let fresh = self.faults.fail(fault);
+        if fresh {
+            self.apply_fault_to_masks(fault, false);
+        }
+        fresh
     }
 
     /// Mark `fault` repaired. Returns `true` if it was failed before.
     pub fn repair_fault(&mut self, fault: Fault) -> bool {
-        self.faults.repair(fault)
+        let was_failed = self.faults.repair(fault);
+        if was_failed {
+            self.apply_fault_to_masks(fault, true);
+        }
+        was_failed
+    }
+
+    /// Keep the packed availability masks in sync with the fault set.
+    /// Only middle-switch and input-link faults affect the *availability*
+    /// of a middle; out-of-range indices touch nothing (the fault set
+    /// accepts foreign vocabulary).
+    fn apply_fault_to_masks(&mut self, fault: Fault, up: bool) {
+        match fault {
+            Fault::MiddleSwitch(j) if j < self.params.m => {
+                if up {
+                    bitset::set_bit(&mut self.live_middles, j);
+                } else {
+                    bitset::clear_bit(&mut self.live_middles, j);
+                }
+            }
+            Fault::InputLink { module, middle }
+                if module < self.params.r && middle < self.params.m =>
+            {
+                if up {
+                    self.links_up.set(module, middle);
+                } else {
+                    self.links_up.clear(module, middle);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Live connections whose realized route traverses `fault` — the
@@ -395,27 +469,41 @@ impl ThreeStageNetwork {
         None
     }
 
-    /// Middle switches reachable by a new connection from input module
-    /// `module` on source wavelength `src_wl` (the paper's *available
-    /// middle switches*).
-    pub fn available_middles(&self, module: u32, src_wl: u32) -> Vec<u32> {
-        (0..self.params.m)
-            .filter(|&j| !self.faults.middle_down(j) && !self.faults.input_link_down(module, j))
-            .filter(|&j| {
-                let mask = self.input_links[module as usize][j as usize];
-                match self.construction {
-                    Construction::MswDominant => mask & (1 << src_wl) == 0,
-                    Construction::MawDominant => mask.count_ones() < self.params.k,
-                }
-            })
+    /// Packed mask of the middle switches reachable by a new connection
+    /// from input module `module` on source wavelength `src_wl` (the
+    /// paper's *available middle switches*, bit `j` per middle `j`).
+    ///
+    /// This is the routing probe's fast path: one AND across the
+    /// incrementally maintained free-wavelength (or not-full), live-middle
+    /// and live-link words — no per-middle scan.
+    pub fn available_middles_mask(&self, module: u32, src_wl: u32) -> Vec<u64> {
+        let base = match self.construction {
+            Construction::MswDominant => self.free_in.row(module * self.params.k + src_wl),
+            Construction::MawDominant => self.not_full.row(module),
+        };
+        base.iter()
+            .zip(&self.live_middles)
+            .zip(self.links_up.row(module))
+            .map(|((&free, &live), &link)| free & live & link)
             .collect()
+    }
+
+    /// Middle switches reachable by a new connection from input module
+    /// `module` on source wavelength `src_wl`, as an ascending index
+    /// list. Derived from [`Self::available_middles_mask`].
+    pub fn available_middles(&self, module: u32, src_wl: u32) -> Vec<u32> {
+        bitset::ones(&self.available_middles_mask(module, src_wl)).collect()
     }
 
     /// Try to route `conn`. On success the connection is committed and its
     /// realized route returned.
-    pub fn connect(&mut self, conn: MulticastConnection) -> Result<&RoutedConnection, RouteError> {
-        self.assignment.check(&conn)?;
-        if let Some(fault) = self.component_down(&conn) {
+    ///
+    /// Borrows the request: a rejected probe (the hot path under
+    /// contention) copies nothing; the single clone happens at the
+    /// commit point.
+    pub fn connect(&mut self, conn: &MulticastConnection) -> Result<&RoutedConnection, RouteError> {
+        self.assignment.check(conn)?;
+        if let Some(fault) = self.component_down(conn) {
             return Err(RouteError::ComponentDown(fault));
         }
         let src = conn.source();
@@ -428,45 +516,76 @@ impl ThreeStageNetwork {
             by_module.entry(om).or_default().push(d);
         }
 
-        // Availability (with the input-link wavelength each middle would
-        // use), ordered by the selection strategy (ties in the cover
-        // search resolve to earlier entries).
-        let mut available_wi: Vec<(u32, u32)> = self
-            .available_middles(in_module, src.wavelength.0)
-            .into_iter()
-            .filter_map(|j| {
-                self.branch_wavelength(in_module, j, src.wavelength.0)
-                    .map(|wi| (j, wi))
-            })
-            .collect();
-        match self.strategy {
-            SelectionStrategy::FirstFit => {}
-            SelectionStrategy::Pack => available_wi.sort_by_key(|&(j, _)| {
-                std::cmp::Reverse(self.multisets[j as usize].total_connections())
-            }),
-            SelectionStrategy::Spread => {
-                available_wi.sort_by_key(|&(j, _)| self.multisets[j as usize].total_connections())
+        let modules: Vec<u32> = by_module.keys().copied().collect();
+
+        // Fast path (FirstFit): `find_cover`'s greedy pass commits the
+        // *first* switch attaining maximal gain, and no gain can exceed
+        // the number of requested output modules — so the first available
+        // middle that services every module is exactly the switch
+        // FirstFit would pick. Probe the packed mask lazily (a handful of
+        // AND/popcount words plus per-candidate wavelength checks) instead
+        // of materializing the full service matrix. Falls through to the
+        // general cover search only when no single middle covers the
+        // request.
+        let mut fast_hit: Option<(u32, u32)> = None;
+        if matches!(self.strategy, SelectionStrategy::FirstFit) {
+            let mask = self.available_middles_mask(in_module, src.wavelength.0);
+            'probe: for j in bitset::ones(&mask) {
+                let Some(wi) = self.branch_wavelength(in_module, j, src.wavelength.0) else {
+                    continue;
+                };
+                for (&om, dests) in &by_module {
+                    if self.leg_wavelength(j, om, wi, dests).is_none() {
+                        continue 'probe;
+                    }
+                }
+                fast_hit = Some((j, wi));
+                break;
             }
         }
-        let available: Vec<u32> = available_wi.iter().map(|&(j, _)| j).collect();
-        let modules: Vec<u32> = by_module.keys().copied().collect();
-        let serv: Vec<Vec<u32>> = available_wi
-            .iter()
-            .map(|&(j, wi)| {
-                modules
-                    .iter()
-                    .copied()
-                    .filter(|&om| self.leg_wavelength(j, om, wi, &by_module[&om]).is_some())
-                    .collect()
-            })
-            .collect();
 
-        let cover = find_cover(&modules, &available, &serv, self.x_limit as usize).ok_or(
-            RouteError::Blocked {
-                available_middles: available.len(),
-                x_limit: self.x_limit,
-            },
-        )?;
+        let (available_wi, cover) = if let Some((j, wi)) = fast_hit {
+            (vec![(j, wi)], vec![(j, modules)])
+        } else {
+            // Availability (with the input-link wavelength each middle
+            // would use), ordered by the selection strategy (ties in the
+            // cover search resolve to earlier entries).
+            let mut available_wi: Vec<(u32, u32)> = self
+                .available_middles(in_module, src.wavelength.0)
+                .into_iter()
+                .filter_map(|j| {
+                    self.branch_wavelength(in_module, j, src.wavelength.0)
+                        .map(|wi| (j, wi))
+                })
+                .collect();
+            match self.strategy {
+                SelectionStrategy::FirstFit => {}
+                SelectionStrategy::Pack => available_wi.sort_by_key(|&(j, _)| {
+                    std::cmp::Reverse(self.multisets[j as usize].total_connections())
+                }),
+                SelectionStrategy::Spread => available_wi
+                    .sort_by_key(|&(j, _)| self.multisets[j as usize].total_connections()),
+            }
+            let available: Vec<u32> = available_wi.iter().map(|&(j, _)| j).collect();
+            let serv: Vec<Vec<u32>> = available_wi
+                .iter()
+                .map(|&(j, wi)| {
+                    modules
+                        .iter()
+                        .copied()
+                        .filter(|&om| self.leg_wavelength(j, om, wi, &by_module[&om]).is_some())
+                        .collect()
+                })
+                .collect();
+
+            let cover = find_cover(&modules, &available, &serv, self.x_limit as usize).ok_or(
+                RouteError::Blocked {
+                    available_middles: available.len(),
+                    x_limit: self.x_limit,
+                },
+            )?;
+            (available_wi, cover)
+        };
 
         // Commit.
         let mut branches = Vec::with_capacity(cover.len());
@@ -476,7 +595,7 @@ impl ThreeStageNetwork {
                 .find(|&&(jj, _)| jj == j)
                 .expect("cover switches come from the available list")
                 .1;
-            self.input_links[in_module as usize][j as usize] |= 1 << in_wl;
+            self.occupy_input_link(in_module, j, in_wl);
             let mut legs = Vec::with_capacity(legs_modules.len());
             for om in legs_modules {
                 let wl = self
@@ -497,7 +616,9 @@ impl ThreeStageNetwork {
             });
         }
 
-        self.assignment.add(conn).expect("checked before routing");
+        self.assignment
+            .add(conn.clone())
+            .expect("checked before routing");
         self.routed.insert(
             src,
             RoutedConnection {
@@ -508,6 +629,24 @@ impl ThreeStageNetwork {
         Ok(&self.routed[&src])
     }
 
+    /// Mark wavelength `wl` busy on the input link `module→j`, keeping
+    /// the packed availability masks in sync.
+    fn occupy_input_link(&mut self, module: u32, j: u32, wl: u32) {
+        self.input_links[module as usize][j as usize] |= 1 << wl;
+        self.free_in.clear(module * self.params.k + wl, j);
+        if self.input_links[module as usize][j as usize].count_ones() >= self.params.k {
+            self.not_full.clear(module, j);
+        }
+    }
+
+    /// Free wavelength `wl` on the input link `module→j`, keeping the
+    /// packed availability masks in sync.
+    fn release_input_link(&mut self, module: u32, j: u32, wl: u32) {
+        self.input_links[module as usize][j as usize] &= !(1 << wl);
+        self.free_in.set(module * self.params.k + wl, j);
+        self.not_full.set(module, j);
+    }
+
     /// Tear down the connection sourced at `src`, freeing every wavelength
     /// it occupied.
     pub fn disconnect(&mut self, src: Endpoint) -> Result<RoutedConnection, RouteError> {
@@ -516,7 +655,7 @@ impl ThreeStageNetwork {
         ))?;
         let (in_module, _) = self.params.input_module_of(src.port.0);
         for b in &routed.branches {
-            self.input_links[in_module as usize][b.middle as usize] &= !(1 << b.input_wavelength);
+            self.release_input_link(in_module, b.middle, b.input_wavelength);
             for leg in &b.legs {
                 self.middle_links[b.middle as usize][leg.out_module as usize] &=
                     !(1 << leg.wavelength);
@@ -650,6 +789,49 @@ impl ThreeStageNetwork {
         }
         if mid_links != self.middle_links {
             problems.push("middle link masks out of sync".into());
+        }
+        // The packed availability masks must agree with a from-scratch
+        // recomputation off the link masks and the fault set.
+        let mut free_in = BitRows::new(self.params.r * self.params.k, self.params.m);
+        let mut not_full = BitRows::new(self.params.r, self.params.m);
+        for a in 0..self.params.r {
+            for j in 0..self.params.m {
+                let mask = in_links[a as usize][j as usize];
+                for w in 0..self.params.k {
+                    if mask & (1 << w) == 0 {
+                        free_in.set(a * self.params.k + w, j);
+                    }
+                }
+                if mask.count_ones() < self.params.k {
+                    not_full.set(a, j);
+                }
+            }
+        }
+        if free_in != self.free_in {
+            problems.push("free-wavelength middle masks out of sync".into());
+        }
+        if not_full != self.not_full {
+            problems.push("not-full middle masks out of sync".into());
+        }
+        let mut live_middles = bitset::filled_words(self.params.m);
+        for j in 0..self.params.m {
+            if self.faults.middle_down(j) {
+                bitset::clear_bit(&mut live_middles, j);
+            }
+        }
+        if live_middles != self.live_middles {
+            problems.push("live-middle mask out of sync with fault set".into());
+        }
+        let mut links_up = BitRows::filled(self.params.r, self.params.m);
+        for a in 0..self.params.r {
+            for j in 0..self.params.m {
+                if self.faults.input_link_down(a, j) {
+                    links_up.clear(a, j);
+                }
+            }
+        }
+        if links_up != self.links_up {
+            problems.push("input-link-up mask out of sync with fault set".into());
         }
         for (j, ms) in self.multisets.iter().enumerate() {
             for p in 0..self.params.r {
@@ -816,7 +998,7 @@ mod tests {
     fn routes_simple_multicast() {
         let mut net = msw_net();
         let rc = net
-            .connect(conn((0, 0), &[(1, 0), (2, 0), (3, 0)]))
+            .connect(&conn((0, 0), &[(1, 0), (2, 0), (3, 0)]))
             .unwrap()
             .clone();
         assert!(rc.middle_count() <= net.fanout_limit() as usize);
@@ -829,7 +1011,7 @@ mod tests {
     #[test]
     fn msw_dominant_keeps_source_wavelength() {
         let mut net = msw_net();
-        let rc = net.connect(conn((0, 1), &[(2, 1)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 1), &[(2, 1)])).unwrap().clone();
         for b in &rc.branches {
             assert_eq!(b.input_wavelength, 1);
             for leg in &b.legs {
@@ -841,7 +1023,7 @@ mod tests {
     #[test]
     fn disconnect_frees_everything() {
         let mut net = msw_net();
-        net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+        net.connect(&conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
             .unwrap();
         net.disconnect(Endpoint::new(0, 0)).unwrap();
         assert_eq!(net.active_connections(), 0);
@@ -851,20 +1033,20 @@ mod tests {
         }
         // The exact same connection routes again.
         assert!(net
-            .connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            .connect(&conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
             .is_ok());
     }
 
     #[test]
     fn endpoint_conflicts_rejected_before_routing() {
         let mut net = msw_net();
-        net.connect(conn((0, 0), &[(1, 0)])).unwrap();
-        let err = net.connect(conn((1, 0), &[(1, 0)])).unwrap_err();
+        net.connect(&conn((0, 0), &[(1, 0)])).unwrap();
+        let err = net.connect(&conn((1, 0), &[(1, 0)])).unwrap_err();
         assert!(matches!(
             err,
             RouteError::Assignment(AssignmentError::DestinationBusy(_))
         ));
-        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        let err = net.connect(&conn((0, 0), &[(2, 0)])).unwrap_err();
         assert!(matches!(
             err,
             RouteError::Assignment(AssignmentError::SourceBusy(_))
@@ -874,7 +1056,7 @@ mod tests {
     #[test]
     fn model_enforced_by_output_stage() {
         let mut net = msw_net(); // network model = MSW
-        let err = net.connect(conn((0, 0), &[(1, 1)])).unwrap_err();
+        let err = net.connect(&conn((0, 0), &[(1, 1)])).unwrap_err();
         assert!(matches!(
             err,
             RouteError::Assignment(AssignmentError::ModelViolation(MulticastModel::Msw))
@@ -888,8 +1070,8 @@ mod tests {
         let p = ThreeStageParams::new(2, 1, 2, 1);
         let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         net.set_fanout_limit(1);
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
-        let err = net.connect(conn((1, 0), &[(3, 0)])).unwrap_err();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
+        let err = net.connect(&conn((1, 0), &[(3, 0)])).unwrap_err();
         assert!(matches!(
             err,
             RouteError::Blocked {
@@ -906,8 +1088,8 @@ mod tests {
         let p = ThreeStageParams::new(2, 1, 2, 2);
         let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         net.set_fanout_limit(1);
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
-        let rc = net.connect(conn((1, 0), &[(3, 0)])).unwrap().clone();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
+        let rc = net.connect(&conn((1, 0), &[(3, 0)])).unwrap().clone();
         // Forced onto the other wavelength of the shared links.
         assert_eq!(rc.branches[0].input_wavelength, 1);
         assert!(net.check_consistency().is_empty());
@@ -920,9 +1102,9 @@ mod tests {
         let p = ThreeStageParams::new(2, 1, 2, 2);
         let mut msw = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         msw.set_fanout_limit(1);
-        msw.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        msw.connect(&conn((0, 0), &[(2, 0)])).unwrap();
         assert!(matches!(
-            msw.connect(conn((1, 0), &[(3, 0)])),
+            msw.connect(&conn((1, 0), &[(3, 0)])),
             Err(RouteError::Blocked { .. })
         ));
     }
@@ -930,7 +1112,7 @@ mod tests {
     #[test]
     fn multiset_tracks_middle_load() {
         let mut net = msw_net();
-        net.connect(conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
+        net.connect(&conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
         let total: u64 = (0..4).map(|j| net.multiset(j).total_connections()).sum();
         assert_eq!(total, 2); // two legs across all middles
     }
@@ -941,7 +1123,7 @@ mod tests {
         let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         net.set_fanout_limit(2);
         let rc = net
-            .connect(conn((0, 0), &[(0, 0), (4, 0), (8, 0), (12, 0)]))
+            .connect(&conn((0, 0), &[(0, 0), (4, 0), (8, 0), (12, 0)]))
             .unwrap()
             .clone();
         assert!(rc.middle_count() <= 2);
@@ -956,7 +1138,7 @@ mod tests {
             let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
             net.set_strategy(strategy);
             for i in 0..8u32 {
-                net.connect(conn((i % 16, 0), &[((i + 3) % 16, 0)]))
+                net.connect(&conn((i % 16, 0), &[((i + 3) % 16, 0)]))
                     .unwrap();
             }
             net.middle_imbalance()
@@ -971,8 +1153,8 @@ mod tests {
     fn middle_loads_sum_to_total_legs() {
         let p = ThreeStageParams::new(2, 4, 2, 2);
         let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-        net.connect(conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
-        net.connect(conn((1, 1), &[(3, 1)])).unwrap();
+        net.connect(&conn((0, 0), &[(0, 0), (2, 0)])).unwrap();
+        net.connect(&conn((1, 1), &[(3, 1)])).unwrap();
         let total: u64 = net.middle_loads().iter().sum();
         assert_eq!(total, 3); // 2 legs + 1 leg
     }
@@ -987,16 +1169,16 @@ mod tests {
         let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         net.set_fanout_limit(1);
         net.set_conversion_range(Some(0));
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
         assert!(matches!(
-            net.connect(conn((1, 0), &[(3, 0)])),
+            net.connect(&conn((1, 0), &[(3, 0)])),
             Err(RouteError::Blocked { .. })
         ));
         // Full range (the paper's model) rescues the same request.
         let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         net.set_fanout_limit(1);
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
-        assert!(net.connect(conn((1, 0), &[(3, 0)])).is_ok());
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
+        assert!(net.connect(&conn((1, 0), &[(3, 0)])).is_ok());
     }
 
     #[test]
@@ -1008,14 +1190,14 @@ mod tests {
         net.set_fanout_limit(1);
         net.set_conversion_range(Some(1));
         // Fill λ1..λ3 on the input link with adjacent-hop connections.
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap(); // λ1 source → λ1
-        let rc = net.connect(conn((1, 0), &[(3, 0)])).unwrap().clone();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap(); // λ1 source → λ1
+        let rc = net.connect(&conn((1, 0), &[(3, 0)])).unwrap().clone();
         assert_eq!(rc.branches[0].input_wavelength, 1); // λ1 source → λ2
-        let rc = net.connect(conn((0, 1), &[(2, 1)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 1), &[(2, 1)])).unwrap().clone();
         assert_eq!(rc.branches[0].input_wavelength, 2); // λ2 source → λ3
                                                         // A fourth, λ2 source: only λ4 is free, two hops away — blocked.
         assert!(matches!(
-            net.connect(conn((1, 1), &[(3, 1)])),
+            net.connect(&conn((1, 1), &[(3, 1)])),
             Err(RouteError::Blocked { .. })
         ));
     }
@@ -1028,9 +1210,9 @@ mod tests {
         for range in [None, Some(0)] {
             let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
             net.set_conversion_range(range);
-            net.connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            net.connect(&conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
                 .unwrap();
-            net.connect(conn((0, 1), &[(2, 1), (3, 1)])).unwrap();
+            net.connect(&conn((0, 1), &[(2, 1), (3, 1)])).unwrap();
             assert_eq!(net.active_connections(), 2);
         }
     }
@@ -1044,11 +1226,11 @@ mod tests {
         net.set_conversion_range(Some(0));
         // λ1 → λ2 destinations now unreachable.
         assert!(matches!(
-            net.connect(conn((0, 0), &[(2, 1), (3, 1)])),
+            net.connect(&conn((0, 0), &[(2, 1), (3, 1)])),
             Err(RouteError::Blocked { .. })
         ));
         // Same-wavelength destinations still route.
-        assert!(net.connect(conn((0, 0), &[(2, 0), (3, 0)])).is_ok());
+        assert!(net.connect(&conn((0, 0), &[(2, 0), (3, 0)])).is_ok());
     }
 
     #[test]
@@ -1058,7 +1240,7 @@ mod tests {
             assert!(net.inject_fault(Fault::MiddleSwitch(j)));
         }
         assert_eq!(net.available_middles(0, 0), vec![3]);
-        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 0), &[(2, 0)])).unwrap().clone();
         assert_eq!(rc.branches.len(), 1);
         assert_eq!(rc.branches[0].middle, 3, "only live middle");
         assert!(net.check_consistency().is_empty());
@@ -1074,7 +1256,7 @@ mod tests {
         // Module 0 loses middle 0; module 1 keeps all four.
         assert_eq!(net.available_middles(0, 0), vec![1, 2, 3]);
         assert_eq!(net.available_middles(1, 0), vec![0, 1, 2, 3]);
-        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 0), &[(2, 0)])).unwrap().clone();
         assert_ne!(rc.branches[0].middle, 0);
     }
 
@@ -1087,10 +1269,10 @@ mod tests {
             middle: 0,
             module: 1,
         });
-        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 0), &[(2, 0)])).unwrap().clone();
         assert_ne!(rc.branches[0].middle, 0);
         // Output module 0 is still reachable through middle 0.
-        let rc = net.connect(conn((1, 0), &[(0, 0)])).unwrap().clone();
+        let rc = net.connect(&conn((1, 0), &[(0, 0)])).unwrap().clone();
         assert_eq!(rc.branches[0].middle, 0);
     }
 
@@ -1103,9 +1285,9 @@ mod tests {
         let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         net.set_fanout_limit(1);
         net.inject_fault(Fault::InputConverters(0));
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
         assert!(matches!(
-            net.connect(conn((1, 0), &[(3, 0)])),
+            net.connect(&conn((1, 0), &[(3, 0)])),
             Err(RouteError::Blocked { .. })
         ));
     }
@@ -1119,11 +1301,11 @@ mod tests {
         let mut net = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         net.set_fanout_limit(1);
         net.inject_fault(Fault::MiddleConverters(0));
-        net.connect(conn((0, 0), &[(2, 0)])).unwrap();
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
         // Second λ0 source: input converter shifts it to λ1; the middle
         // cannot shift it back to reach a λ1 destination — that's fine
         // (λ1 output free) — but a λ0 destination needs the dark bank.
-        let rc = net.connect(conn((1, 0), &[(3, 1)])).unwrap().clone();
+        let rc = net.connect(&conn((1, 0), &[(3, 1)])).unwrap().clone();
         assert_eq!(rc.branches[0].input_wavelength, 1);
         assert_eq!(rc.branches[0].legs[0].wavelength, 1, "no conversion");
     }
@@ -1132,12 +1314,12 @@ mod tests {
     fn dead_port_is_component_down() {
         let mut net = msw_net();
         net.inject_fault(Fault::Port(2));
-        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        let err = net.connect(&conn((0, 0), &[(2, 0)])).unwrap_err();
         assert!(matches!(err, RouteError::ComponentDown(Fault::Port(2))));
-        let err = net.connect(conn((2, 0), &[(0, 0)])).unwrap_err();
+        let err = net.connect(&conn((2, 0), &[(0, 0)])).unwrap_err();
         assert!(matches!(err, RouteError::ComponentDown(Fault::Port(2))));
         // Other traffic unaffected.
-        assert!(net.connect(conn((0, 0), &[(3, 0)])).is_ok());
+        assert!(net.connect(&conn((0, 0), &[(3, 0)])).is_ok());
     }
 
     #[test]
@@ -1150,23 +1332,23 @@ mod tests {
                 middle: j,
             });
         }
-        let err = net.connect(conn((0, 0), &[(2, 0)])).unwrap_err();
+        let err = net.connect(&conn((0, 0), &[(2, 0)])).unwrap_err();
         assert!(
             matches!(err, RouteError::ComponentDown(Fault::InputLink { .. })),
             "cut-off module must not read as capacity blocking: {err}"
         );
         // Module 1 still routes.
-        assert!(net.connect(conn((2, 0), &[(0, 0)])).is_ok());
+        assert!(net.connect(&conn((2, 0), &[(0, 0)])).is_ok());
     }
 
     #[test]
     fn connections_through_finds_traversing_traffic() {
         let mut net = msw_net();
         let rc = net
-            .connect(conn((0, 0), &[(1, 0), (2, 0)]))
+            .connect(&conn((0, 0), &[(1, 0), (2, 0)]))
             .unwrap()
             .clone();
-        net.connect(conn((2, 1), &[(3, 1)])).unwrap();
+        net.connect(&conn((2, 1), &[(3, 1)])).unwrap();
         let j = rc.branches[0].middle;
         let hit = net.connections_through(&Fault::MiddleSwitch(j));
         assert!(hit.contains(&Endpoint::new(0, 0)));
@@ -1197,12 +1379,12 @@ mod tests {
             net.inject_fault(Fault::MiddleSwitch(j));
         }
         assert!(matches!(
-            net.connect(conn((0, 0), &[(2, 0)])),
+            net.connect(&conn((0, 0), &[(2, 0)])),
             Err(RouteError::ComponentDown(_))
         ));
         assert!(net.repair_fault(Fault::MiddleSwitch(2)));
         assert!(!net.repair_fault(Fault::MiddleSwitch(2)), "double repair");
-        let rc = net.connect(conn((0, 0), &[(2, 0)])).unwrap().clone();
+        let rc = net.connect(&conn((0, 0), &[(2, 0)])).unwrap().clone();
         assert_eq!(rc.branches[0].middle, 2);
         assert_eq!(net.faults().failed_middles(), 3);
     }

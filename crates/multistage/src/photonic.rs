@@ -312,9 +312,9 @@ mod tests {
         let p = ThreeStageParams::new(2, 4, 2, 2);
         let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
         logical
-            .connect(conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
+            .connect(&conn((0, 0), &[(0, 0), (1, 0), (2, 0), (3, 0)]))
             .unwrap();
-        logical.connect(conn((1, 1), &[(2, 1)])).unwrap();
+        logical.connect(&conn((1, 1), &[(2, 1)])).unwrap();
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
         let outcome = photonic
@@ -331,7 +331,7 @@ mod tests {
         let mut logical = ThreeStageNetwork::new(p, Construction::MawDominant, MulticastModel::Maw);
         logical.set_fanout_limit(1);
         for req in crate::scenarios::fig10_requests() {
-            logical.connect(req).unwrap();
+            logical.connect(&req).unwrap();
         }
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MawDominant, MulticastModel::Maw);
@@ -347,7 +347,7 @@ mod tests {
         // Source λ1, destinations uniformly λ2 — the output stage must
         // convert.
         logical
-            .connect(conn((0, 0), &[(1, 1), (2, 1), (3, 1)]))
+            .connect(&conn((0, 0), &[(1, 1), (2, 1), (3, 1)]))
             .unwrap();
         let mut photonic =
             PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msdw);
@@ -385,7 +385,7 @@ mod tests {
                     continue;
                 }
                 let c = MulticastConnection::new(src, dests).unwrap();
-                if logical.connect(c).is_ok() {
+                if logical.connect(&c).is_ok() {
                     live.push(src);
                 }
             }

@@ -350,9 +350,9 @@ mod tests {
     fn light_crosses_five_stages() {
         let mut five =
             FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
-        five.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
+        five.connect(&conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
             .unwrap();
-        five.connect(conn((5, 1), &[(0, 1), (9, 1)])).unwrap();
+        five.connect(&conn((5, 1), &[(0, 1), (9, 1)])).unwrap();
         let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Msw);
         let outcome = photonic
             .realize(&five)
@@ -390,7 +390,7 @@ mod tests {
                     continue;
                 }
                 if five
-                    .connect(MulticastConnection::new(src, dests).unwrap())
+                    .connect(&MulticastConnection::new(src, dests).unwrap())
                     .is_ok()
                 {
                     live.push(src);
@@ -407,7 +407,7 @@ mod tests {
     fn maw_dominant_five_stage_converts_in_hardware() {
         let mut five =
             FiveStageNetwork::square(16, 2, Construction::MawDominant, MulticastModel::Maw);
-        five.connect(conn((0, 0), &[(3, 1), (7, 0), (12, 1)]))
+        five.connect(&conn((0, 0), &[(3, 1), (7, 0), (12, 1)]))
             .unwrap();
         let mut photonic = PhotonicFiveStage::build(&five, MulticastModel::Maw);
         let outcome = photonic.realize(&five).unwrap();

@@ -150,7 +150,7 @@ impl FiveStageNetwork {
     }
 
     /// Route a connection through all five stages.
-    pub fn connect(&mut self, conn: MulticastConnection) -> Result<(), RouteError> {
+    pub fn connect(&mut self, conn: &MulticastConnection) -> Result<(), RouteError> {
         let src = conn.source();
         self.outer.connect(conn)?;
         let routed: RoutedConnection = self.outer.route_of(src).expect("just connected").clone();
@@ -160,7 +160,7 @@ impl FiveStageNetwork {
         // uniqueness); failure here is a bug, not an outcome.
         for (idx, branch) in routed.branches.iter().enumerate() {
             let inner_conn = self.inner_connection(&routed, branch);
-            if let Err(e) = self.inners[branch.middle as usize].connect(inner_conn) {
+            if let Err(e) = self.inners[branch.middle as usize].connect(&inner_conn) {
                 // Roll back so the caller sees a consistent network, then
                 // surface the inner block as this request's result. A
                 // rollback failure would leave the levels out of sync —
@@ -312,9 +312,9 @@ mod tests {
     fn five_stage_routes_multicast_end_to_end() {
         let mut net =
             FiveStageNetwork::square(16, 2, Construction::MswDominant, MulticastModel::Msw);
-        net.connect(conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
+        net.connect(&conn((0, 0), &[(3, 0), (7, 0), (11, 0), (15, 0)]))
             .unwrap();
-        net.connect(conn((1, 1), &[(0, 1), (8, 1)])).unwrap();
+        net.connect(&conn((1, 1), &[(0, 1), (8, 1)])).unwrap();
         assert_eq!(net.active_connections(), 2);
         assert!(
             net.check_consistency().is_empty(),
@@ -356,7 +356,7 @@ mod tests {
                     continue;
                 }
                 let c = MulticastConnection::new(src, dests).unwrap();
-                match net.connect(c) {
+                match net.connect(&c) {
                     Ok(()) => live.push(src),
                     Err(RouteError::Blocked { .. }) => {
                         panic!("five-stage blocked at bounds (step {step})")
@@ -375,7 +375,7 @@ mod tests {
         let mut net =
             FiveStageNetwork::square(16, 2, Construction::MawDominant, MulticastModel::Maw);
         // Mixed-wavelength multicast only MAW permits.
-        net.connect(conn((0, 0), &[(3, 1), (7, 0), (11, 1)]))
+        net.connect(&conn((0, 0), &[(3, 1), (7, 0), (11, 1)]))
             .unwrap();
         assert!(net.check_consistency().is_empty());
     }
@@ -388,10 +388,10 @@ mod tests {
         // on λ0 would need (inner source = (module 0, λ0)), so the outer
         // route commits and the inner hop then refuses.
         net.inner_mut(0)
-            .connect(conn((0, 0), &[(0, 0)]))
+            .connect(&conn((0, 0), &[(0, 0)]))
             .expect("sabotage connect");
         let err = net
-            .connect(conn((0, 0), &[(5, 0)]))
+            .connect(&conn((0, 0), &[(5, 0)]))
             .expect_err("inner source is busy");
         assert!(
             matches!(
@@ -407,7 +407,7 @@ mod tests {
         assert_eq!(net.active_connections(), 0);
         net.inner_mut(0).disconnect(Endpoint::new(0, 0)).unwrap();
         assert!(net.check_consistency().is_empty());
-        net.connect(conn((0, 0), &[(5, 0)])).unwrap();
+        net.connect(&conn((0, 0), &[(5, 0)])).unwrap();
         assert!(net.check_consistency().is_empty());
     }
 

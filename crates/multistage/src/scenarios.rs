@@ -57,12 +57,12 @@ pub fn run_fig10(construction: Construction) -> ScenarioOutcome {
     let mut requests = fig10_requests();
     let last = requests.pop().expect("scenario has requests");
     for req in requests {
-        net.connect(req).expect("setup requests must route");
+        net.connect(&req).expect("setup requests must route");
     }
     let src = last.source();
     let (module, _) = net.params().input_module_of(src.port.0);
     let available = net.available_middles(module, src.wavelength.0).len();
-    let blocked = matches!(net.connect(last), Err(RouteError::Blocked { .. }));
+    let blocked = matches!(net.connect(&last), Err(RouteError::Blocked { .. }));
     ScenarioOutcome {
         construction,
         blocked,

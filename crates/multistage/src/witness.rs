@@ -46,12 +46,12 @@ impl BlockingWitness {
             net.inject_fault(fault);
         }
         for conn in &self.established {
-            if net.connect(conn.clone()).is_err() {
+            if net.connect(conn).is_err() {
                 return false;
             }
         }
         matches!(
-            net.connect(self.blocked_request.clone()),
+            net.connect(&self.blocked_request),
             Err(RouteError::Blocked { .. })
         )
     }
@@ -134,7 +134,7 @@ fn episode(
     let budget = (params.n * params.k * 2) as usize;
     for _ in 0..budget {
         let req = hostile_request(&net, module, wl, rng)?;
-        match net.connect(req.clone()) {
+        match net.connect(&req) {
             Ok(_) => established.push(req),
             Err(RouteError::Blocked { .. }) => {
                 return Some(BlockingWitness {

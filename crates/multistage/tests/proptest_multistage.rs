@@ -47,7 +47,7 @@ proptest! {
             let dests: Vec<Endpoint> =
                 dests.iter().map(|&d| Endpoint::new(d % ports, src.wavelength.0)).collect();
             let Ok(conn) = MulticastConnection::new(src, dests) else { continue };
-            if net.connect(conn).is_ok() {
+            if net.connect(&conn).is_ok() {
                 live.push(src);
             }
         }
@@ -86,7 +86,7 @@ proptest! {
                 net.disconnect(live.swap_remove(i)).unwrap();
             } else if let Some(req) = gen.next_request(net.assignment(), 0) {
                 let src = req.source();
-                let result = net.connect(req);
+                let result = net.connect(&req);
                 prop_assert!(result.is_ok(), "{:?} blocked at bound: {:?}", strategy, result.err());
                 live.push(src);
             }
@@ -124,7 +124,7 @@ proptest! {
         for _ in 0..30 {
             let Some(req) = gen.next_request(net.assignment(), 0) else { break };
             let src = req.source();
-            if net.connect(req).is_ok() {
+            if net.connect(&req).is_ok() {
                 prop_assert!(net.route_of(src).unwrap().middle_count() <= x as usize);
             }
         }

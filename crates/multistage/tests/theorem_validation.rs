@@ -82,7 +82,7 @@ fn churn_never_blocks(mut net: ThreeStageNetwork, model: MulticastModel, steps: 
             net.disconnect(src).unwrap();
         } else if let Some(req) = random_request(net.assignment(), &mut rng, model) {
             let src = req.source();
-            match net.connect(req) {
+            match net.connect(&req) {
                 Ok(_) => live.push(src),
                 Err(RouteError::Blocked {
                     available_middles,
@@ -146,18 +146,18 @@ fn starved_network_does_block() {
     // two connections, so a third same-module source is stranded.
     let p = ThreeStageParams::new(4, 2, 4, 1); // Theorem 1 bound would be 13
     let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-    net.connect(MulticastConnection::unicast(
+    net.connect(&MulticastConnection::unicast(
         Endpoint::new(0, 0),
         Endpoint::new(0, 0),
     ))
     .unwrap();
-    net.connect(MulticastConnection::unicast(
+    net.connect(&MulticastConnection::unicast(
         Endpoint::new(1, 0),
         Endpoint::new(1, 0),
     ))
     .unwrap();
     let err = net
-        .connect(MulticastConnection::unicast(
+        .connect(&MulticastConnection::unicast(
             Endpoint::new(2, 0),
             Endpoint::new(2, 0),
         ))
@@ -188,7 +188,7 @@ fn unicast_only_traffic_needs_single_middle() {
         let src = req.source();
         let single =
             MulticastConnection::new(src, [req.destinations()[0]]).expect("one destination");
-        if net.connect(single).is_ok() {
+        if net.connect(&single).is_ok() {
             assert_eq!(net.route_of(src).unwrap().middle_count(), 1);
         }
     }

@@ -15,13 +15,14 @@
 //! blindly resending a `Connect` that may have been admitted would
 //! double-admit it.
 
-use crate::codec::{encode_request, read_response, WireError};
-use crate::protocol::{Request, Response};
+use crate::codec::{encode_request_v, read_response, WireError};
+use crate::protocol::{Request, Response, WIRE_VERSION};
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::thread;
 use std::time::Duration;
+use wdm_core::MulticastConnection;
 
 /// Client tunables.
 #[derive(Debug, Clone)]
@@ -33,6 +34,10 @@ pub struct ClientConfig {
     pub connect_retries: u32,
     /// Pause between reconnection attempts.
     pub retry_backoff: Duration,
+    /// Wire version stamped on every outgoing frame. Defaults to the
+    /// newest supported ([`WIRE_VERSION`]); set to `1` to speak to (or
+    /// emulate) a v1-only peer. Batch requests require version ≥ 2.
+    pub wire_version: u8,
 }
 
 impl Default for ClientConfig {
@@ -41,6 +46,7 @@ impl Default for ClientConfig {
             timeout: Duration::from_secs(5),
             connect_retries: 3,
             retry_backoff: Duration::from_millis(50),
+            wire_version: WIRE_VERSION,
         }
     }
 }
@@ -169,7 +175,7 @@ impl NetClient {
     pub fn send(&mut self, req: &Request) -> Result<u64, NetClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let bytes = encode_request(id, req);
+        let bytes = encode_request_v(self.config.wire_version, id, req);
         for attempt in 0..=self.config.connect_retries {
             match self
                 .stream
@@ -221,6 +227,28 @@ impl NetClient {
             .map(|r| self.send(r))
             .collect::<Result<_, _>>()?;
         ids.into_iter().map(|id| self.recv(id)).collect()
+    }
+
+    /// Submit a whole connect batch as one v2 `BatchConnect` frame and
+    /// unpack the per-connection verdicts (in request order). One frame
+    /// each way, one backend lock on the server — the cheapest way to
+    /// offer many connections at once. Requires
+    /// [`ClientConfig::wire_version`] ≥ 2.
+    pub fn connect_batch(
+        &mut self,
+        conns: Vec<MulticastConnection>,
+    ) -> Result<Vec<Response>, NetClientError> {
+        let n = conns.len();
+        match self.call(&Request::BatchConnect(conns))? {
+            Response::Batch(items) if items.len() == n => Ok(items),
+            Response::Batch(items) => Err(NetClientError::Wire(WireError::Malformed(format!(
+                "batch reply has {} items, expected {n}",
+                items.len()
+            )))),
+            other => Err(NetClientError::Wire(WireError::Malformed(format!(
+                "expected Batch, got {other:?}"
+            )))),
+        }
     }
 
     /// Health probe.

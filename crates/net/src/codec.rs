@@ -6,19 +6,24 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  0x57 0x4E ("WN")
-//! 2       1     version (WIRE_VERSION = 1)
-//! 3       1     kind    (request 0x01–0x05, response 0x81–0x86)
+//! 2       1     version (MIN_WIRE_VERSION ..= WIRE_VERSION)
+//! 3       1     kind    (request 0x01–0x06, response 0x81–0x87)
 //! 4       8     request id
 //! 12      4     payload length (≤ MAX_PAYLOAD)
 //! 16      …     payload
 //! ```
+//!
+//! Version 2 adds `BATCH_CONNECT` (0x06) and its `BATCH_REPLY` (0x87);
+//! both are rejected as malformed when carried in a v1 frame. Readers
+//! accept every version in the supported range and surface the frame's
+//! version so servers can mirror it in their replies.
 //!
 //! Decoding never panics: every malformed input — wrong magic, unknown
 //! version or kind, oversized or truncated payload, trailing bytes,
 //! structurally invalid connections — comes back as a typed
 //! [`WireError`] the server answers with a `ProtocolError` frame.
 
-use crate::protocol::{RejectReason, Request, Response, WIRE_VERSION};
+use crate::protocol::{RejectReason, Request, Response, MIN_WIRE_VERSION, WIRE_VERSION};
 use std::io::{self, Read, Write};
 use wdm_core::{Endpoint, MulticastConnection};
 use wdm_runtime::MetricsSnapshot;
@@ -40,12 +45,14 @@ mod kind {
     pub const SNAPSHOT: u8 = 0x03;
     pub const DRAIN: u8 = 0x04;
     pub const PING: u8 = 0x05;
+    pub const BATCH_CONNECT: u8 = 0x06;
     pub const OK: u8 = 0x81;
     pub const REJECTED: u8 = 0x82;
     pub const SNAPSHOT_DATA: u8 = 0x83;
     pub const DRAIN_REPORT: u8 = 0x84;
     pub const PONG: u8 = 0x85;
     pub const PROTOCOL_ERROR: u8 = 0x86;
+    pub const BATCH_REPLY: u8 = 0x87;
 }
 
 /// Everything that can go wrong on the wire.
@@ -106,6 +113,9 @@ impl From<io::Error> for WireError {
 /// parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFrame {
+    /// Wire version the frame was sent in. Servers answer in the same
+    /// version so strict v1 peers never see a version byte they reject.
+    pub version: u8,
     /// Frame kind byte (see the `kind` constants).
     pub kind: u8,
     /// Request id this frame belongs to.
@@ -114,14 +124,27 @@ pub struct RawFrame {
     pub payload: Vec<u8>,
 }
 
-/// Write one frame. The whole frame is assembled first so a single
-/// `write_all` keeps frames contiguous even when several threads share
-/// the stream behind a lock.
+/// Write one frame at the current [`WIRE_VERSION`]. The whole frame is
+/// assembled first so a single `write_all` keeps frames contiguous even
+/// when several threads share the stream behind a lock.
 pub fn write_frame(w: &mut impl Write, kind: u8, id: u64, payload: &[u8]) -> io::Result<()> {
+    write_frame_v(w, WIRE_VERSION, kind, id, payload)
+}
+
+/// [`write_frame`] with an explicit version byte — how a server mirrors
+/// the version a request arrived in, and how tests emulate old clients.
+pub fn write_frame_v(
+    w: &mut impl Write,
+    version: u8,
+    kind: u8,
+    id: u64,
+    payload: &[u8],
+) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
+    debug_assert!((MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version));
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
     buf.extend_from_slice(&MAGIC);
-    buf.push(WIRE_VERSION);
+    buf.push(version);
     buf.push(kind);
     buf.extend_from_slice(&id.to_le_bytes());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -154,8 +177,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<RawFrame, WireError> {
     if header[0..2] != MAGIC {
         return Err(WireError::BadMagic([header[0], header[1]]));
     }
-    if header[2] != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion(header[2]));
+    let version = header[2];
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(WireError::UnsupportedVersion(version));
     }
     let kind = header[3];
     if !is_known_kind(kind) {
@@ -168,7 +192,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<RawFrame, WireError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    Ok(RawFrame { kind, id, payload })
+    Ok(RawFrame {
+        version,
+        kind,
+        id,
+        payload,
+    })
 }
 
 fn is_known_kind(k: u8) -> bool {
@@ -179,12 +208,14 @@ fn is_known_kind(k: u8) -> bool {
             | kind::SNAPSHOT
             | kind::DRAIN
             | kind::PING
+            | kind::BATCH_CONNECT
             | kind::OK
             | kind::REJECTED
             | kind::SNAPSHOT_DATA
             | kind::DRAIN_REPORT
             | kind::PONG
             | kind::PROTOCOL_ERROR
+            | kind::BATCH_REPLY
     )
 }
 
@@ -258,16 +289,31 @@ fn put_endpoint(buf: &mut Vec<u8>, ep: Endpoint) {
     put_u32(buf, ep.wavelength.0);
 }
 
-/// Encode a request into a complete frame.
+fn put_connection(p: &mut Vec<u8>, conn: &MulticastConnection) {
+    put_endpoint(p, conn.source());
+    put_u32(p, conn.fanout() as u32);
+    for d in conn.destinations() {
+        put_endpoint(p, *d);
+    }
+}
+
+/// Encode a request into a complete frame at [`WIRE_VERSION`].
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    encode_request_v(WIRE_VERSION, id, req)
+}
+
+/// [`encode_request`] with an explicit version byte.
+///
+/// # Panics
+///
+/// When `req` is a [`Request::BatchConnect`] and `version < 2`: batch
+/// frames do not exist in wire v1, so encoding one would produce a
+/// frame no v1 peer can parse.
+pub fn encode_request_v(version: u8, id: u64, req: &Request) -> Vec<u8> {
     let (kind, payload) = match req {
         Request::Connect(conn) => {
             let mut p = Vec::with_capacity(8 + 4 + 8 * conn.fanout());
-            put_endpoint(&mut p, conn.source());
-            put_u32(&mut p, conn.fanout() as u32);
-            for d in conn.destinations() {
-                put_endpoint(&mut p, *d);
-            }
+            put_connection(&mut p, conn);
             (kind::CONNECT, p)
         }
         Request::Disconnect(src) => {
@@ -278,12 +324,32 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Snapshot => (kind::SNAPSHOT, Vec::new()),
         Request::Drain => (kind::DRAIN, Vec::new()),
         Request::Ping => (kind::PING, Vec::new()),
+        Request::BatchConnect(conns) => {
+            assert!(version >= 2, "BatchConnect requires wire v2");
+            let mut p = Vec::new();
+            put_u32(&mut p, conns.len() as u32);
+            for conn in conns {
+                put_connection(&mut p, conn);
+            }
+            (kind::BATCH_CONNECT, p)
+        }
     };
-    frame_bytes(kind, id, &payload)
+    frame_bytes(version, kind, id, &payload)
 }
 
-/// Encode a response into a complete frame.
+/// Encode a response into a complete frame at [`WIRE_VERSION`].
 pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    encode_response_v(WIRE_VERSION, id, resp)
+}
+
+/// [`encode_response`] with an explicit version byte (servers mirror
+/// the version of the request frame they are answering).
+///
+/// # Panics
+///
+/// When `resp` is a [`Response::Batch`] and `version < 2`, or a batch
+/// item is anything but `Ok`/`Rejected`.
+pub fn encode_response_v(version: u8, id: u64, resp: &Response) -> Vec<u8> {
     let (kind, payload) = match resp {
         Response::Ok => (kind::OK, Vec::new()),
         Response::Rejected { reason, detail } => {
@@ -308,13 +374,29 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             put_string(&mut p, message);
             (kind::PROTOCOL_ERROR, p)
         }
+        Response::Batch(items) => {
+            assert!(version >= 2, "Batch response requires wire v2");
+            let mut p = Vec::new();
+            put_u32(&mut p, items.len() as u32);
+            for item in items {
+                match item {
+                    Response::Ok => p.push(0),
+                    Response::Rejected { reason, detail } => {
+                        p.push(reject_code(*reason));
+                        put_string(&mut p, detail);
+                    }
+                    other => panic!("batch items are Ok/Rejected, got {other:?}"),
+                }
+            }
+            (kind::BATCH_REPLY, p)
+        }
     };
-    frame_bytes(kind, id, &payload)
+    frame_bytes(version, kind, id, &payload)
 }
 
-fn frame_bytes(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+fn frame_bytes(version: u8, kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-    write_frame(&mut buf, kind, id, payload).expect("Vec write is infallible");
+    write_frame_v(&mut buf, version, kind, id, payload).expect("Vec write is infallible");
     buf
 }
 
@@ -347,32 +429,56 @@ fn reject_reason(code: u8) -> Result<RejectReason, WireError> {
     })
 }
 
-/// Parse a raw frame as a request. Response kinds are rejected.
+fn read_connection(
+    p: &mut PayloadReader<'_>,
+    payload_len: usize,
+) -> Result<MulticastConnection, WireError> {
+    let source = p.endpoint()?;
+    let n = p.u32()?;
+    // Destination ports are unique, so fanout can never exceed the 2^32
+    // port space; bound the allocation by the payload.
+    if (n as usize).saturating_mul(8) > payload_len {
+        return Err(WireError::Malformed(format!(
+            "fanout {n} larger than the payload could hold"
+        )));
+    }
+    let mut dests = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        dests.push(p.endpoint()?);
+    }
+    MulticastConnection::new(source, dests).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Parse a raw frame as a request. Response kinds are rejected, and so
+/// are v2-only kinds arriving in a v1 frame.
 pub fn decode_request(frame: &RawFrame) -> Result<Request, WireError> {
     let mut p = PayloadReader::new(&frame.payload);
     let req = match frame.kind {
-        kind::CONNECT => {
-            let source = p.endpoint()?;
-            let n = p.u32()?;
-            // Destination ports are unique, so fanout can never exceed
-            // the 2^32 port space; bound the allocation by the payload.
-            if (n as usize).saturating_mul(8) > frame.payload.len() {
-                return Err(WireError::Malformed(format!(
-                    "fanout {n} larger than the payload could hold"
-                )));
-            }
-            let mut dests = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                dests.push(p.endpoint()?);
-            }
-            let conn = MulticastConnection::new(source, dests)
-                .map_err(|e| WireError::Malformed(e.to_string()))?;
-            Request::Connect(conn)
-        }
+        kind::CONNECT => Request::Connect(read_connection(&mut p, frame.payload.len())?),
         kind::DISCONNECT => Request::Disconnect(p.endpoint()?),
         kind::SNAPSHOT => Request::Snapshot,
         kind::DRAIN => Request::Drain,
         kind::PING => Request::Ping,
+        kind::BATCH_CONNECT => {
+            if frame.version < 2 {
+                return Err(WireError::Malformed(
+                    "batch connect does not exist in wire v1".into(),
+                ));
+            }
+            let n = p.u32()?;
+            // Each connection needs ≥ 16 payload bytes (src + fanout +
+            // one destination); bound the allocation by the payload.
+            if (n as usize).saturating_mul(16) > frame.payload.len() {
+                return Err(WireError::Malformed(format!(
+                    "batch of {n} larger than the payload could hold"
+                )));
+            }
+            let mut conns = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                conns.push(read_connection(&mut p, frame.payload.len())?);
+            }
+            Request::BatchConnect(conns)
+        }
         other => {
             return Err(WireError::Malformed(format!(
                 "frame kind {other:#04x} is not a request"
@@ -418,6 +524,32 @@ pub fn decode_response(frame: &RawFrame) -> Result<Response, WireError> {
         kind::PROTOCOL_ERROR => Response::ProtocolError {
             message: p.string()?,
         },
+        kind::BATCH_REPLY => {
+            if frame.version < 2 {
+                return Err(WireError::Malformed(
+                    "batch reply does not exist in wire v1".into(),
+                ));
+            }
+            let n = p.u32()?;
+            if (n as usize) > frame.payload.len() {
+                return Err(WireError::Malformed(format!(
+                    "batch of {n} larger than the payload could hold"
+                )));
+            }
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let code = p.u8()?;
+                items.push(if code == 0 {
+                    Response::Ok
+                } else {
+                    Response::Rejected {
+                        reason: reject_reason(code)?,
+                        detail: p.string()?,
+                    }
+                });
+            }
+            Response::Batch(items)
+        }
         other => {
             return Err(WireError::Malformed(format!(
                 "frame kind {other:#04x} is not a response"
@@ -567,6 +699,7 @@ mod tests {
         put_endpoint(&mut p, Endpoint::new(0, 0));
         put_u32(&mut p, 0);
         let frame = RawFrame {
+            version: WIRE_VERSION,
             kind: kind::CONNECT,
             id: 1,
             payload: p,
@@ -583,6 +716,7 @@ mod tests {
         put_endpoint(&mut p, Endpoint::new(0, 0));
         put_u32(&mut p, u32::MAX);
         let frame = RawFrame {
+            version: WIRE_VERSION,
             kind: kind::CONNECT,
             id: 1,
             payload: p,
@@ -601,6 +735,96 @@ mod tests {
             WireError::Malformed(_)
         ));
         let frame = read_frame(&mut Cursor::new(encode_response(1, &Response::Pong))).unwrap();
+        assert!(matches!(
+            decode_request(&frame).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn both_supported_versions_decode_and_report_their_version() {
+        for v in [1u8, 2] {
+            let bytes = encode_request_v(v, 5, &Request::Ping);
+            let frame = read_frame(&mut Cursor::new(bytes)).unwrap();
+            assert_eq!(frame.version, v);
+            assert_eq!(decode_request(&frame).unwrap(), Request::Ping);
+        }
+        for v in [0u8, 3, 99] {
+            let mut bytes = encode_request(5, &Request::Ping);
+            bytes[2] = v;
+            assert_eq!(
+                read_frame(&mut Cursor::new(bytes)).unwrap_err(),
+                WireError::UnsupportedVersion(v)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_connect_roundtrips_in_v2() {
+        let conns = vec![
+            MulticastConnection::new(
+                Endpoint::new(0, 0),
+                [Endpoint::new(1, 0), Endpoint::new(2, 0)],
+            )
+            .unwrap(),
+            MulticastConnection::unicast(Endpoint::new(3, 1), Endpoint::new(4, 1)),
+        ];
+        let req = Request::BatchConnect(conns);
+        assert_eq!(roundtrip_request(&req), req);
+    }
+
+    #[test]
+    fn batch_kinds_are_malformed_in_v1_frames() {
+        // A v2 batch frame whose version byte is forced to 1 must be
+        // rejected at decode (the kind does not exist in v1), not parsed.
+        let req = Request::BatchConnect(vec![MulticastConnection::unicast(
+            Endpoint::new(0, 0),
+            Endpoint::new(1, 0),
+        )]);
+        let mut bytes = encode_request(1, &req);
+        bytes[2] = 1;
+        let frame = read_frame(&mut Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            decode_request(&frame).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        let resp = Response::Batch(vec![Response::Ok]);
+        let mut bytes = encode_response(1, &resp);
+        bytes[2] = 1;
+        let frame = read_frame(&mut Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            decode_response(&frame).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn batch_reply_roundtrips_mixed_verdicts() {
+        let resp = Response::Batch(vec![
+            Response::Ok,
+            Response::Rejected {
+                reason: RejectReason::Blocked,
+                detail: "middle stage exhausted".into(),
+            },
+            Response::Ok,
+            Response::Rejected {
+                reason: RejectReason::Busy,
+                detail: String::new(),
+            },
+        ]);
+        assert_eq!(roundtrip_response(&resp), resp);
+    }
+
+    #[test]
+    fn huge_declared_batch_rejected_without_allocation() {
+        let mut p = Vec::new();
+        put_u32(&mut p, u32::MAX);
+        let frame = RawFrame {
+            version: WIRE_VERSION,
+            kind: kind::BATCH_CONNECT,
+            id: 1,
+            payload: p,
+        };
         assert!(matches!(
             decode_request(&frame).unwrap_err(),
             WireError::Malformed(_)

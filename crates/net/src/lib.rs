@@ -25,11 +25,11 @@
 //! use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 //! use wdm_fabric::CrossbarSession;
 //! use wdm_net::{NetClient, NetServer, NetServerConfig, Request, Response};
-//! use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+//! use wdm_runtime::EngineBuilder;
 //!
 //! let net = NetworkConfig::new(4, 2);
 //! let backend = CrossbarSession::new(net, MulticastModel::Msw);
-//! let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+//! let engine = EngineBuilder::new().start(backend);
 //! let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).unwrap();
 //!
 //! let mut client = NetClient::connect(server.local_addr()).unwrap();
@@ -51,6 +51,6 @@ pub mod transport;
 
 pub use client::{ClientConfig, NetClient, NetClientError};
 pub use codec::{RawFrame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD};
-pub use protocol::{RejectReason, Request, Response, WIRE_VERSION};
+pub use protocol::{RejectReason, Request, Response, MIN_WIRE_VERSION, WIRE_VERSION};
 pub use server::{NetServer, NetServerConfig};
 pub use transport::{MemDuplex, Transport};

@@ -8,13 +8,22 @@
 //! and `Backpressure` refusals a remote client needs to tell apart from
 //! fabric behaviour.
 
-use wdm_core::{Endpoint, MulticastConnection};
+use wdm_core::{Endpoint, MulticastConnection, RejectClass};
 use wdm_runtime::{MetricsSnapshot, RequestOutcome};
 use wdm_workload::TraceEvent;
 
-/// Current wire-format version, carried in every frame header. Peers
-/// reject frames with any other version — there is no negotiation.
-pub const WIRE_VERSION: u8 = 1;
+/// Current wire-format version, carried in every frame header.
+///
+/// Version 2 adds the [`Request::BatchConnect`] / [`Response::Batch`]
+/// frames. Negotiation is per-frame and server-driven: a server accepts
+/// any version in [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] and answers
+/// each frame *in the version it arrived with*, so a v1 client (which
+/// hard-rejects any other version byte) keeps working against a v2
+/// server unchanged.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest wire-format version this peer still accepts.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// One request frame, client → server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +39,11 @@ pub enum Request {
     Drain,
     /// Health probe; the server answers [`Response::Pong`].
     Ping,
+    /// Admit several multicast connections in one frame (wire v2). The
+    /// server feeds the whole batch through the engine's amortized
+    /// batch path and answers with one [`Response::Batch`] carrying a
+    /// verdict per connection, in order.
+    BatchConnect(Vec<MulticastConnection>),
 }
 
 impl From<&TraceEvent> for Request {
@@ -64,6 +78,37 @@ pub enum RejectReason {
     UnknownSource,
     /// Structural error (malformed request reached the fabric).
     Fatal,
+}
+
+/// The wire taxonomy *is* the canonical [`RejectClass`] — the
+/// conversion is a bijection in both directions, so no backend refusal
+/// is ever flattened or mislabelled crossing the network boundary.
+impl From<RejectClass> for RejectReason {
+    fn from(c: RejectClass) -> Self {
+        match c {
+            RejectClass::Busy => RejectReason::Busy,
+            RejectClass::Blocked => RejectReason::Blocked,
+            RejectClass::ComponentDown => RejectReason::ComponentDown,
+            RejectClass::Draining => RejectReason::Draining,
+            RejectClass::Backpressure => RejectReason::Backpressure,
+            RejectClass::UnknownSource => RejectReason::UnknownSource,
+            RejectClass::Fatal => RejectReason::Fatal,
+        }
+    }
+}
+
+impl From<RejectReason> for RejectClass {
+    fn from(r: RejectReason) -> Self {
+        match r {
+            RejectReason::Busy => RejectClass::Busy,
+            RejectReason::Blocked => RejectClass::Blocked,
+            RejectReason::ComponentDown => RejectClass::ComponentDown,
+            RejectReason::Draining => RejectClass::Draining,
+            RejectReason::Backpressure => RejectClass::Backpressure,
+            RejectReason::UnknownSource => RejectClass::UnknownSource,
+            RejectReason::Fatal => RejectClass::Fatal,
+        }
+    }
 }
 
 impl RejectReason {
@@ -125,6 +170,10 @@ pub enum Response {
         /// What was wrong with the offending frame.
         message: String,
     },
+    /// Per-connection verdicts for one [`Request::BatchConnect`] (wire
+    /// v2), in request order. Items are only ever [`Response::Ok`] or
+    /// [`Response::Rejected`].
+    Batch(Vec<Response>),
 }
 
 impl Response {
@@ -153,6 +202,9 @@ impl Response {
             }
             RequestOutcome::Fatal => reject(RejectReason::Fatal, "structural error"),
             RequestOutcome::Draining => reject(RejectReason::Draining, "engine is draining"),
+            RequestOutcome::Backpressure => {
+                reject(RejectReason::Backpressure, "shard queue is full")
+            }
         }
     }
 
@@ -165,6 +217,39 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use wdm_core::{AssignmentError, Fault, Reject};
+
+    /// A representative sample of every payload-carrying backend reject.
+    fn arb_reject() -> impl Strategy<Value = Reject> {
+        (0u8..7, 0u32..64, any::<u32>()).prop_map(|(kind, port, n)| {
+            let ep = wdm_core::Endpoint::new(port, 0);
+            match kind {
+                0 => Reject::Busy(AssignmentError::SourceBusy(ep)),
+                1 => Reject::Blocked {
+                    available_middles: n as usize % 32,
+                    x_limit: 1 + n % 4,
+                },
+                2 => Reject::ComponentDown(Fault::Port(port)),
+                3 => Reject::UnknownSource(ep),
+                4 => Reject::Draining,
+                5 => Reject::Backpressure,
+                _ => Reject::Fatal(format!("structural violation {n}")),
+            }
+        })
+    }
+
+    proptest! {
+        /// Every backend reject maps to exactly one wire reason, and
+        /// mapping that reason back recovers the original class — the
+        /// boundary is lossless at the taxonomy level.
+        #[test]
+        fn prop_every_reject_crosses_the_wire_losslessly(r in arb_reject()) {
+            let reason = RejectReason::from(r.class());
+            prop_assert_eq!(RejectClass::from(reason), r.class());
+            prop_assert_eq!(reason.is_retryable(), r.is_retryable());
+        }
+    }
 
     #[test]
     fn outcome_mapping_covers_the_taxonomy() {
@@ -190,6 +275,7 @@ mod tests {
             ),
             (RequestOutcome::Fatal, RejectReason::Fatal),
             (RequestOutcome::Draining, RejectReason::Draining),
+            (RequestOutcome::Backpressure, RejectReason::Backpressure),
         ] {
             match Response::from_outcome(outcome) {
                 Response::Rejected { reason: r, .. } => assert_eq!(r, reason),
@@ -206,6 +292,28 @@ mod tests {
         assert!(!RejectReason::Blocked.is_retryable());
         assert!(!RejectReason::ComponentDown.is_retryable());
         assert!(!RejectReason::Fatal.is_retryable());
+    }
+
+    #[test]
+    fn reject_reason_and_class_are_a_bijection() {
+        for class in RejectClass::ALL {
+            let reason = RejectReason::from(class);
+            assert_eq!(RejectClass::from(reason), class, "{class} must roundtrip");
+        }
+        let all: Vec<RejectReason> = RejectClass::ALL.iter().map(|&c| c.into()).collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "distinct classes map to distinct reasons");
+            }
+        }
+        // Retryability must agree across the boundary.
+        for class in RejectClass::ALL {
+            assert_eq!(
+                RejectReason::from(class).is_retryable(),
+                class.is_retryable(),
+                "{class}"
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   [`Response::ProtocolError`] reply and the connection is closed;
 //!   one broken peer cannot wedge the server.
 
-use crate::codec::{decode_request, encode_response, read_frame, WireError};
+use crate::codec::{decode_request, encode_response_v, read_frame, WireError};
 use crate::protocol::{RejectReason, Request, Response};
 use parking_lot::{Mutex, RwLock};
 use std::io::{BufReader, Write};
@@ -31,7 +31,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-use wdm_runtime::{AdmissionEngine, Backend, MetricsSnapshot, RuntimeReport};
+use wdm_core::MulticastConnection;
+use wdm_runtime::{AdmissionEngine, Backend, MetricsSnapshot, OutcomeCallback, RuntimeReport};
 use wdm_workload::TimedEvent;
 use wdm_workload::TraceEvent;
 
@@ -188,10 +189,12 @@ fn accept_loop<B: Backend>(listener: TcpListener, shared: Arc<Shared<B>>) {
     }
 }
 
-/// Write one response frame under the connection's writer lock. Errors
-/// are swallowed: a peer that vanished mid-reply is not a server fault.
-fn respond(writer: &Mutex<TcpStream>, id: u64, resp: &Response) {
-    let bytes = encode_response(id, resp);
+/// Write one response frame under the connection's writer lock, in the
+/// wire version the request arrived with (strict v1 peers reject any
+/// other version byte). Errors are swallowed: a peer that vanished
+/// mid-reply is not a server fault.
+fn respond(writer: &Mutex<TcpStream>, version: u8, id: u64, resp: &Response) {
+    let bytes = encode_response_v(version, id, resp);
     let mut w = writer.lock();
     let _ = w.write_all(&bytes);
     let _ = w.flush();
@@ -213,6 +216,7 @@ fn handle_conn<B: Backend>(stream: TcpStream, shared: Arc<Shared<B>>) {
                 // The stream is desynchronized; explain, then hang up.
                 respond(
                     &writer,
+                    crate::protocol::WIRE_VERSION,
                     0,
                     &Response::ProtocolError {
                         message: e.to_string(),
@@ -222,11 +226,13 @@ fn handle_conn<B: Backend>(stream: TcpStream, shared: Arc<Shared<B>>) {
             }
         };
         let id = frame.id;
+        let version = frame.version;
         let req = match decode_request(&frame) {
             Ok(r) => r,
             Err(e) => {
                 respond(
                     &writer,
+                    version,
                     id,
                     &Response::ProtocolError {
                         message: e.to_string(),
@@ -236,20 +242,42 @@ fn handle_conn<B: Backend>(stream: TcpStream, shared: Arc<Shared<B>>) {
             }
         };
         match req {
-            Request::Ping => respond(&writer, id, &Response::Pong),
+            Request::Ping => respond(&writer, version, id, &Response::Pong),
             Request::Snapshot => {
                 let resp = snapshot_response(&shared);
-                respond(&writer, id, &resp);
+                respond(&writer, version, id, &resp);
             }
             Request::Drain => {
                 let (clean, summary) = drain_now(&shared);
-                respond(&writer, id, &Response::DrainReport { clean, summary });
+                respond(
+                    &writer,
+                    version,
+                    id,
+                    &Response::DrainReport { clean, summary },
+                );
             }
             Request::Connect(conn) => {
-                submit(&shared, &writer, &inflight, id, TraceEvent::Connect(conn));
+                submit(
+                    &shared,
+                    &writer,
+                    &inflight,
+                    version,
+                    id,
+                    TraceEvent::Connect(conn),
+                );
             }
             Request::Disconnect(src) => {
-                submit(&shared, &writer, &inflight, id, TraceEvent::Disconnect(src));
+                submit(
+                    &shared,
+                    &writer,
+                    &inflight,
+                    version,
+                    id,
+                    TraceEvent::Disconnect(src),
+                );
+            }
+            Request::BatchConnect(conns) => {
+                submit_batch(&shared, &writer, &inflight, version, id, conns);
             }
         }
     }
@@ -281,12 +309,14 @@ fn submit<B: Backend>(
     shared: &Shared<B>,
     writer: &Arc<Mutex<TcpStream>>,
     inflight: &Arc<AtomicUsize>,
+    version: u8,
     id: u64,
     event: TraceEvent,
 ) {
     if inflight.load(Ordering::Acquire) >= shared.config.max_inflight_per_conn {
         respond(
             writer,
+            version,
             id,
             &Response::Rejected {
                 reason: RejectReason::Backpressure,
@@ -299,6 +329,7 @@ fn submit<B: Backend>(
     let Some(engine) = guard.as_ref() else {
         respond(
             writer,
+            version,
             id,
             &Response::Rejected {
                 reason: RejectReason::Draining,
@@ -312,7 +343,7 @@ fn submit<B: Backend>(
         let writer = Arc::clone(writer);
         let inflight = Arc::clone(inflight);
         Box::new(move |outcome| {
-            respond(&writer, id, &Response::from_outcome(outcome));
+            respond(&writer, version, id, &Response::from_outcome(outcome));
             inflight.fetch_sub(1, Ordering::AcqRel);
         })
     };
@@ -324,6 +355,91 @@ fn submit<B: Backend>(
     // `RequestOutcome::Draining`, so every tracked submit answers
     // exactly once.
     let _ = engine.submit_tracked(timed, done);
+}
+
+/// Feed one wire-v2 connect batch through the engine's amortized batch
+/// path. Per-connection verdicts accumulate in slot order; whichever
+/// shard callback resolves last assembles the [`Response::Batch`] frame
+/// and writes it, so the client sees exactly one reply for the batch.
+fn submit_batch<B: Backend>(
+    shared: &Shared<B>,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<AtomicUsize>,
+    version: u8,
+    id: u64,
+    conns: Vec<MulticastConnection>,
+) {
+    let n = conns.len();
+    let all = |reason: RejectReason, detail: &str| {
+        Response::Batch(
+            (0..n)
+                .map(|_| Response::Rejected {
+                    reason,
+                    detail: detail.into(),
+                })
+                .collect(),
+        )
+    };
+    if n == 0 {
+        respond(writer, version, id, &Response::Batch(Vec::new()));
+        return;
+    }
+    if inflight.load(Ordering::Acquire) + n > shared.config.max_inflight_per_conn {
+        respond(
+            writer,
+            version,
+            id,
+            &all(
+                RejectReason::Backpressure,
+                "per-connection in-flight cap reached",
+            ),
+        );
+        return;
+    }
+    let guard = shared.engine.read();
+    let Some(engine) = guard.as_ref() else {
+        respond(
+            writer,
+            version,
+            id,
+            &all(RejectReason::Draining, "engine is draining"),
+        );
+        return;
+    };
+    inflight.fetch_add(n, Ordering::AcqRel);
+    let slots = Arc::new(Mutex::new(vec![None; n]));
+    let remaining = Arc::new(AtomicUsize::new(n));
+    let callbacks: Vec<OutcomeCallback> = (0..n)
+        .map(|i| {
+            let writer = Arc::clone(writer);
+            let inflight = Arc::clone(inflight);
+            let slots = Arc::clone(&slots);
+            let remaining = Arc::clone(&remaining);
+            Box::new(move |outcome| {
+                slots.lock()[i] = Some(Response::from_outcome(outcome));
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let items: Vec<Response> = slots
+                        .lock()
+                        .iter_mut()
+                        .map(|s| s.take().expect("every slot resolved"))
+                        .collect();
+                    respond(&writer, version, id, &Response::Batch(items));
+                }
+            }) as OutcomeCallback
+        })
+        .collect();
+    let time = shared.started.elapsed().as_secs_f64();
+    let events: Vec<TimedEvent> = conns
+        .into_iter()
+        .map(|conn| TimedEvent {
+            time,
+            event: TraceEvent::Connect(conn),
+        })
+        .collect();
+    // Refusals (draining/backpressure) fire every callback inline, so
+    // the batch reply is still written exactly once.
+    let _ = engine.submit_batch_tracked(events, callbacks);
 }
 
 /// Consume the engine and drain it; concurrent callers wait for the

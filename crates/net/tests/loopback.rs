@@ -9,8 +9,9 @@
 use std::thread;
 use wdm_core::{MulticastModel, NetworkConfig};
 use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_net::{ClientConfig, RejectReason};
 use wdm_net::{NetClient, NetServer, NetServerConfig, Request, Response};
-use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_runtime::EngineBuilder;
 use wdm_workload::{close_trace, partition_by_source, DynamicTraffic, TimedEvent, TraceEvent};
 
 const CLIENTS: usize = 4;
@@ -55,7 +56,7 @@ fn multi_client_replay_at_the_bound_is_nonblocking() {
     let m = bounds::theorem1_min_m(n, r).m;
     let p = ThreeStageParams::new(n, m, r, k);
     let backend = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
-    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let engine = EngineBuilder::new().start(backend);
     let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
     let addr = server.local_addr();
 
@@ -111,7 +112,7 @@ fn multi_client_replay_at_the_bound_is_nonblocking() {
 fn drain_refuses_new_connects_with_draining() {
     let net = NetworkConfig::new(4, 2);
     let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
-    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let engine = EngineBuilder::new().start(backend);
     let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
     let addr = server.local_addr();
 
@@ -130,7 +131,7 @@ fn drain_refuses_new_connects_with_draining() {
         .expect("post-drain connect")
     {
         Response::Rejected { reason, .. } => {
-            assert_eq!(reason, wdm_net::RejectReason::Draining);
+            assert_eq!(reason, RejectReason::Draining);
         }
         other => panic!("expected Draining rejection, got {other:?}"),
     }
@@ -146,7 +147,7 @@ fn drain_refuses_new_connects_with_draining() {
 fn drain_frame_twice_on_one_connection_is_idempotent() {
     let net = NetworkConfig::new(4, 2);
     let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
-    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let engine = EngineBuilder::new().start(backend);
     let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
     let addr = server.local_addr();
 
@@ -199,7 +200,7 @@ fn malformed_frame_gets_protocol_error_then_close() {
     use std::io::{Read, Write};
     let net = NetworkConfig::new(4, 2);
     let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
-    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let engine = EngineBuilder::new().start(backend);
     let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
 
     let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
@@ -216,4 +217,93 @@ fn malformed_frame_gets_protocol_error_then_close() {
 
     let report = server.shutdown();
     assert!(report.is_clean());
+}
+
+/// Version negotiation: a strict v1 client (stamping version 1 on every
+/// frame, and rejecting any other version byte in replies thanks to the
+/// codec's range check) must round-trip ping/connect/disconnect against
+/// the v2 server unchanged — the server mirrors the request's version.
+#[test]
+fn v1_client_round_trips_against_v2_server() {
+    assert_eq!(wdm_net::WIRE_VERSION, 2);
+    let net = NetworkConfig::new(4, 2);
+    let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
+    let engine = EngineBuilder::new().start(backend);
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+
+    let config = ClientConfig {
+        wire_version: 1,
+        ..ClientConfig::default()
+    };
+    let mut v1 = NetClient::connect_with(server.local_addr(), config).expect("connect");
+    v1.ping().expect("v1 ping");
+    let conn = wdm_core::MulticastConnection::unicast(
+        wdm_core::Endpoint::new(0, 0),
+        wdm_core::Endpoint::new(1, 0),
+    );
+    assert!(matches!(
+        v1.call(&Request::Connect(conn)).expect("v1 connect"),
+        Response::Ok
+    ));
+    assert!(matches!(
+        v1.call(&Request::Disconnect(wdm_core::Endpoint::new(0, 0)))
+            .expect("v1 disconnect"),
+        Response::Ok
+    ));
+    assert!(matches!(
+        v1.snapshot().expect("v1 snapshot"),
+        Response::Snapshot(_)
+    ));
+
+    let report = server.shutdown();
+    assert!(report.is_clean());
+    assert_eq!(report.summary.admitted, 1);
+}
+
+/// A v2 `BatchConnect` frame answers with one `Batch` reply whose items
+/// line up index-for-index with the submitted connections, and batch
+/// admissions count in the engine's final report like singles do.
+#[test]
+fn batch_connect_round_trips_with_per_item_verdicts() {
+    let net = NetworkConfig::new(4, 2);
+    let backend = wdm_fabric::CrossbarSession::new(net, MulticastModel::Msw);
+    let engine = EngineBuilder::new().start(backend);
+    let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
+
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let conns = vec![
+        wdm_core::MulticastConnection::unicast(
+            wdm_core::Endpoint::new(0, 0),
+            wdm_core::Endpoint::new(1, 0),
+        ),
+        wdm_core::MulticastConnection::unicast(
+            wdm_core::Endpoint::new(2, 0),
+            wdm_core::Endpoint::new(3, 0),
+        ),
+        // Same source again: busy, and with zero engine wiggle room it
+        // must come back rejected (never silently dropped).
+        wdm_core::MulticastConnection::unicast(
+            wdm_core::Endpoint::new(0, 0),
+            wdm_core::Endpoint::new(3, 0),
+        ),
+    ];
+    let verdicts = client.connect_batch(conns).expect("batch round trip");
+    assert_eq!(verdicts.len(), 3);
+    assert!(matches!(verdicts[0], Response::Ok));
+    assert!(matches!(verdicts[1], Response::Ok));
+    assert!(
+        matches!(verdicts[2], Response::Rejected { .. }),
+        "source 0 is already lit: {:?}",
+        verdicts[2]
+    );
+    // Empty batch is legal and answers immediately.
+    assert_eq!(
+        client.connect_batch(Vec::new()).expect("empty batch"),
+        Vec::new()
+    );
+
+    let report = server.shutdown();
+    assert!(report.is_clean());
+    assert_eq!(report.summary.offered, 3);
+    assert_eq!(report.summary.admitted, 2);
 }

@@ -3,70 +3,22 @@
 //! ([`CrossbarSession`]) and the three-stage Clos-style network
 //! ([`ThreeStageNetwork`]).
 //!
-//! The crucial classification happens here: an [`AdmitError::Busy`] is a
-//! *request-level* conflict (an endpoint is in use), which under
-//! concurrent shard processing can be a transient artifact of event
-//! reordering and is therefore retryable; an [`AdmitError::Blocked`] is
-//! *middle-stage exhaustion* — the event the paper's Theorems 1–2 prove
-//! impossible when `m` meets the bound — and is counted as a hard block.
+//! Refusals use the canonical [`wdm_core::Reject`] taxonomy: a
+//! [`Reject::Busy`] is a *request-level* conflict (an endpoint is in
+//! use), which under concurrent shard processing can be a transient
+//! artifact of event reordering and is therefore retryable; a
+//! [`Reject::Blocked`] is *middle-stage exhaustion* — the event the
+//! paper's Theorems 1–2 prove impossible when `m` meets the bound — and
+//! is counted as a hard block.
 
-use core::fmt;
-use wdm_core::{AssignmentError, Endpoint, Fault, MulticastConnection};
+use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_fabric::CrossbarSession;
-use wdm_multistage::{RouteError, ThreeStageNetwork};
+use wdm_multistage::ThreeStageNetwork;
 
-/// Why a backend refused an operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AdmitError {
-    /// An endpoint conflict with the current state. Under sharded
-    /// processing this can be transient (another shard's pending
-    /// disconnect will free the endpoint), so the engine retries it.
-    Busy(AssignmentError),
-    /// Middle-stage exhaustion: no set of ≤ `x_limit` available middle
-    /// switches covers the request. This is the nonblocking theorems'
-    /// subject; it is never retried and counts toward the block total.
-    Blocked {
-        /// Middle switches that were reachable from the source module.
-        available_middles: usize,
-        /// Fan-out limit in force when routing failed.
-        x_limit: u32,
-    },
-    /// The request needs a component that is currently failed. Waiting
-    /// does not help (the endpoint is not merely busy) and spare capacity
-    /// does not help (the fabric is not merely blocked) — only a repair
-    /// does, so the engine never retries it and counts it separately.
-    ComponentDown(Fault),
-    /// A structurally invalid request or bookkeeping violation; never
-    /// expected from a well-formed workload.
-    Fatal(String),
-}
-
-impl fmt::Display for AdmitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AdmitError::Busy(e) => write!(f, "busy: {e}"),
-            AdmitError::Blocked {
-                available_middles,
-                x_limit,
-            } => write!(
-                f,
-                "blocked: {available_middles} middle switches available, fan-out limit {x_limit}"
-            ),
-            AdmitError::ComponentDown(fault) => write!(f, "component down: {fault}"),
-            AdmitError::Fatal(msg) => write!(f, "fatal: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for AdmitError {}
-
-fn classify(e: AssignmentError) -> AdmitError {
-    match e {
-        AssignmentError::SourceBusy(_) | AssignmentError::DestinationBusy(_) => AdmitError::Busy(e),
-        AssignmentError::ComponentDown(fault) => AdmitError::ComponentDown(fault),
-        other => AdmitError::Fatal(other.to_string()),
-    }
-}
+/// Former runtime-local error enum, now unified into the canonical
+/// taxonomy. Use [`wdm_core::Reject`] directly.
+#[deprecated(since = "0.5.0", note = "use wdm_core::Reject")]
+pub type AdmitError = Reject;
 
 /// A switch implementation the admission engine can drive.
 ///
@@ -86,10 +38,25 @@ pub trait Backend: Send + 'static {
     fn wavelengths(&self) -> u32;
 
     /// Admit one multicast connection.
-    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), AdmitError>;
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject>;
 
     /// Tear down the connection sourced at `src`.
-    fn disconnect(&mut self, src: Endpoint) -> Result<(), AdmitError>;
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject>;
+
+    /// Admit a batch of connections, returning one verdict per request
+    /// in order. The default is the sequential singles loop; backends
+    /// with cheaper amortized admission may override it. Callers that
+    /// already hold the backend lock get one lock acquisition for the
+    /// whole batch either way.
+    fn connect_batch(&mut self, conns: &[MulticastConnection]) -> Vec<Result<(), Reject>> {
+        conns.iter().map(|c| self.connect(c)).collect()
+    }
+
+    /// Tear down a batch of connections by source, one verdict per
+    /// entry in order.
+    fn disconnect_batch(&mut self, srcs: &[Endpoint]) -> Vec<Result<(), Reject>> {
+        srcs.iter().map(|&s| self.disconnect(s)).collect()
+    }
 
     /// Live connection count.
     fn active_connections(&self) -> usize;
@@ -136,14 +103,14 @@ impl Backend for CrossbarSession {
         self.network().wavelengths
     }
 
-    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), AdmitError> {
-        CrossbarSession::connect(self, conn.clone()).map_err(classify)
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        CrossbarSession::connect(self, conn).map_err(Reject::from)
     }
 
-    fn disconnect(&mut self, src: Endpoint) -> Result<(), AdmitError> {
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
         CrossbarSession::disconnect(self, src)
             .map(|_| ())
-            .map_err(classify)
+            .map_err(Reject::from)
     }
 
     fn active_connections(&self) -> usize {
@@ -192,28 +159,16 @@ impl Backend for ThreeStageNetwork {
         self.params().k
     }
 
-    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), AdmitError> {
-        match ThreeStageNetwork::connect(self, conn.clone()) {
-            Ok(_) => Ok(()),
-            Err(RouteError::Assignment(e)) => Err(classify(e)),
-            Err(RouteError::Blocked {
-                available_middles,
-                x_limit,
-            }) => Err(AdmitError::Blocked {
-                available_middles,
-                x_limit,
-            }),
-            Err(RouteError::ComponentDown(fault)) => Err(AdmitError::ComponentDown(fault)),
-            Err(e @ RouteError::Inconsistent { .. }) => Err(AdmitError::Fatal(e.to_string())),
-        }
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        ThreeStageNetwork::connect(self, conn)
+            .map(|_| ())
+            .map_err(Reject::from)
     }
 
-    fn disconnect(&mut self, src: Endpoint) -> Result<(), AdmitError> {
-        match ThreeStageNetwork::disconnect(self, src) {
-            Ok(_) => Ok(()),
-            Err(RouteError::Assignment(e)) => Err(classify(e)),
-            Err(other) => Err(AdmitError::Fatal(other.to_string())),
-        }
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        ThreeStageNetwork::disconnect(self, src)
+            .map(|_| ())
+            .map_err(Reject::from)
     }
 
     fn active_connections(&self) -> usize {
@@ -245,6 +200,59 @@ impl Backend for ThreeStageNetwork {
 
     fn check(&self) -> Vec<String> {
         self.check_consistency()
+    }
+}
+
+/// Forwarding impl so a `Box<dyn Backend>` is itself a [`Backend`] —
+/// the CLI's backend selector can pick an implementation at runtime and
+/// hand the boxed trait object straight to the engine.
+impl Backend for Box<dyn Backend> {
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+
+    fn ports_per_module(&self) -> u32 {
+        (**self).ports_per_module()
+    }
+
+    fn wavelengths(&self) -> u32 {
+        (**self).wavelengths()
+    }
+
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        (**self).connect(conn)
+    }
+
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        (**self).disconnect(src)
+    }
+
+    fn connect_batch(&mut self, conns: &[MulticastConnection]) -> Vec<Result<(), Reject>> {
+        (**self).connect_batch(conns)
+    }
+
+    fn disconnect_batch(&mut self, srcs: &[Endpoint]) -> Vec<Result<(), Reject>> {
+        (**self).disconnect_batch(srcs)
+    }
+
+    fn active_connections(&self) -> usize {
+        (**self).active_connections()
+    }
+
+    fn middle_loads(&self) -> Vec<u64> {
+        (**self).middle_loads()
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        (**self).inject_fault(fault)
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        (**self).repair_fault(fault)
+    }
+
+    fn check(&self) -> Vec<String> {
+        (**self).check()
     }
 }
 
@@ -284,20 +292,45 @@ mod tests {
         let again = conn((0, 0), &[(2, 0)]);
         assert!(matches!(
             Backend::connect(&mut b, &again),
-            Err(AdmitError::Busy(_))
+            Err(Reject::Busy(_))
         ));
         // Out of range: fatal.
         let oob = conn((99, 0), &[(1, 1)]);
         assert!(matches!(
             Backend::connect(&mut b, &oob),
-            Err(AdmitError::Fatal(_))
+            Err(Reject::Fatal(_))
         ));
-        // Disconnect of an unknown source: fatal (the engine's skip set
-        // means this only happens on real bookkeeping bugs).
+        // Disconnect of an unknown source: the engine's skip set means
+        // this only happens on bookkeeping bugs, and the taxonomy names
+        // the condition precisely.
         assert!(matches!(
             Backend::disconnect(&mut b, Endpoint::new(3, 0)),
-            Err(AdmitError::Fatal(_))
+            Err(Reject::UnknownSource(_))
         ));
+    }
+
+    #[test]
+    fn batch_defaults_match_singles_and_box_forwards() {
+        let make = || -> Box<dyn Backend> {
+            Box::new(CrossbarSession::new(
+                NetworkConfig::new(4, 2),
+                MulticastModel::Msw,
+            ))
+        };
+        let mut boxed = make();
+        let reqs = [
+            conn((0, 0), &[(1, 0)]),
+            conn((0, 0), &[(2, 0)]), // same source: busy
+            conn((2, 1), &[(3, 1)]),
+        ];
+        let verdicts = boxed.connect_batch(&reqs);
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(verdicts[1], Err(Reject::Busy(_))));
+        assert!(verdicts[2].is_ok());
+        assert_eq!(boxed.active_connections(), 2);
+        let downs = boxed.disconnect_batch(&[Endpoint::new(0, 0), Endpoint::new(2, 1)]);
+        assert!(downs.iter().all(|r| r.is_ok()));
+        assert_eq!(boxed.active_connections(), 0);
     }
 
     #[test]
@@ -312,7 +345,7 @@ mod tests {
         // Different source module, same wavelength, destination module 1
         // already carries λ0 through the only middle switch.
         let r = Backend::connect(&mut b, &conn((2, 0), &[(3, 0)]));
-        assert!(matches!(r, Err(AdmitError::Blocked { .. })), "{r:?}");
+        assert!(matches!(r, Err(Reject::Blocked { .. })), "{r:?}");
         assert!(b.check().is_empty());
     }
 }

@@ -9,17 +9,17 @@
 //! Cross-shard reordering has exactly one observable effect: a connect
 //! may reach the backend before the (earlier-timestamped, other-shard)
 //! disconnect that frees one of its output endpoints, surfacing as
-//! [`AdmitError::Busy`]. The engine absorbs those with bounded
+//! [`Reject::Busy`]. The engine absorbs those with bounded
 //! retry-and-backoff under a per-request deadline — crucially *without*
 //! stalling the shard's queue: a busy connect is parked in a per-source
 //! pending table and retried on a schedule while later events keep
 //! flowing, so the departure another shard is waiting on is never stuck
 //! behind a retrying head-of-line request. Middle-stage
-//! exhaustion ([`AdmitError::Blocked`]) is never retried: with `m` at or
+//! exhaustion ([`Reject::Blocked`]) is never retried: with `m` at or
 //! above the Theorem 1/2 bound it must not occur at all — the paper's
 //! nonblocking guarantee becomes the runtime invariant `blocked == 0`.
 
-use crate::backend::{AdmitError, Backend};
+use crate::backend::Backend;
 use crate::clock::{Clock, SystemClock};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wdm_core::{Endpoint, Fault, MulticastConnection};
+use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_workload::{TimedEvent, TraceEvent};
 
 /// Tuning knobs for an engine run.
@@ -47,6 +47,11 @@ pub struct RuntimeConfig {
     pub deadline: Duration,
     /// Emit a [`MetricsSnapshot`] this often while running.
     pub snapshot_every: Option<Duration>,
+    /// Refuse a submit when its target shard already has this many
+    /// queued channel entries (`None` = unbounded). A refused event
+    /// resolves [`RequestOutcome::Backpressure`] — the caller sheds load
+    /// instead of growing an unbounded queue.
+    pub backpressure_cap: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -63,6 +68,7 @@ impl Default for RuntimeConfig {
             max_backoff: Duration::from_millis(2),
             deadline: Duration::from_secs(5),
             snapshot_every: None,
+            backpressure_cap: None,
         }
     }
 }
@@ -95,6 +101,10 @@ pub enum SubmitOutcome {
     Accepted,
     /// The engine is draining; the event was dropped.
     Draining,
+    /// The target shard's queue is at the configured
+    /// [`RuntimeConfig::backpressure_cap`]; the event was dropped. The
+    /// condition is transient — callers may retry after backing off.
+    Backpressure,
 }
 
 impl SubmitOutcome {
@@ -130,6 +140,8 @@ pub enum RequestOutcome {
     OrphanedDeparture,
     /// The engine is draining; the event was never enqueued.
     Draining,
+    /// The target shard's queue was full; the event was never enqueued.
+    Backpressure,
 }
 
 /// Completion hook for one tracked event. Runs on a shard thread; keep
@@ -151,6 +163,13 @@ impl Job {
             cb(outcome);
         }
     }
+}
+
+/// What travels on a shard channel: a single event, or a batch whose
+/// jobs are applied under **one** backend lock acquisition.
+enum Work {
+    One(Job),
+    Batch(Vec<Job>),
 }
 
 /// Everything known after a graceful drain.
@@ -298,7 +317,8 @@ impl<B: Backend> EngineCore<B> {
 /// A running sharded admission engine over backend `B`.
 pub struct AdmissionEngine<B: Backend> {
     core: EngineCore<B>,
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Sender<Work>>,
+    backpressure_cap: Option<usize>,
     /// Set by [`Self::begin_drain`]; makes every later submit refuse.
     draining: AtomicBool,
     workers: Vec<JoinHandle<()>>,
@@ -310,7 +330,15 @@ pub struct AdmissionEngine<B: Backend> {
 impl<B: Backend> AdmissionEngine<B> {
     /// Take ownership of `backend` and spin up the shard workers (plus
     /// the snapshot observer when configured).
+    #[deprecated(
+        since = "0.5.0",
+        note = "use EngineBuilder::from_config(config).start(backend)"
+    )]
     pub fn start(backend: B, config: RuntimeConfig) -> Self {
+        Self::start_with(backend, config)
+    }
+
+    fn start_with(backend: B, config: RuntimeConfig) -> Self {
         let workers_n = config.effective_workers();
         let core = EngineCore::new(backend);
         let started = Instant::now();
@@ -318,7 +346,7 @@ impl<B: Backend> AdmissionEngine<B> {
         let mut senders = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         for shard in 0..workers_n {
-            let (tx, rx) = unbounded::<Job>();
+            let (tx, rx) = unbounded::<Work>();
             senders.push(tx);
             let shard_core = core.shard(config.clone(), SystemClock);
             workers.push(
@@ -356,6 +384,7 @@ impl<B: Backend> AdmissionEngine<B> {
         AdmissionEngine {
             core,
             senders,
+            backpressure_cap: config.backpressure_cap,
             draining: AtomicBool::new(false),
             workers,
             observer,
@@ -408,13 +437,113 @@ impl<B: Backend> AdmissionEngine<B> {
             TraceEvent::Connect(conn) => conn.source().port.0,
             TraceEvent::Disconnect(src) => src.port.0,
         };
-        match self.senders[self.shard_of(port)].send(job) {
+        let shard = self.shard_of(port);
+        if let Some(cap) = self.backpressure_cap {
+            if self.senders[shard].len() >= cap {
+                Job::resolve(job.done, RequestOutcome::Backpressure);
+                return SubmitOutcome::Backpressure;
+            }
+        }
+        match self.senders[shard].send(Work::One(job)) {
             Ok(()) => SubmitOutcome::Accepted,
             Err(e) => {
-                Job::resolve(e.0.done, RequestOutcome::Draining);
+                if let Work::One(job) = e.0 {
+                    Job::resolve(job.done, RequestOutcome::Draining);
+                }
                 SubmitOutcome::Draining
             }
         }
+    }
+
+    /// Enqueue a batch of events. The batch is split by shard
+    /// (preserving per-source order) and each shard applies its slice
+    /// under **one** backend lock acquisition — the fast path for
+    /// pipelined network clients and trace replay.
+    ///
+    /// Admission semantics per event are identical to [`Self::submit`]
+    /// called in order; only the locking is amortized. The whole batch
+    /// is refused together when the engine is draining or any target
+    /// shard is at the backpressure cap.
+    pub fn submit_batch(&self, events: Vec<TimedEvent>) -> SubmitOutcome {
+        self.enqueue_batch(
+            events
+                .into_iter()
+                .map(|ev| Job { ev, done: None })
+                .collect(),
+        )
+    }
+
+    /// [`Self::submit_batch`] with one completion callback per event
+    /// (same order). Every callback fires exactly once.
+    ///
+    /// # Panics
+    ///
+    /// When `events` and `done` differ in length.
+    pub fn submit_batch_tracked(
+        &self,
+        events: Vec<TimedEvent>,
+        done: Vec<OutcomeCallback>,
+    ) -> SubmitOutcome {
+        assert_eq!(events.len(), done.len(), "one callback per batched event");
+        self.enqueue_batch(
+            events
+                .into_iter()
+                .zip(done)
+                .map(|(ev, cb)| Job { ev, done: Some(cb) })
+                .collect(),
+        )
+    }
+
+    fn enqueue_batch(&self, jobs: Vec<Job>) -> SubmitOutcome {
+        if jobs.is_empty() {
+            return SubmitOutcome::Accepted;
+        }
+        if self.draining.load(Ordering::Acquire) {
+            for j in jobs {
+                Job::resolve(j.done, RequestOutcome::Draining);
+            }
+            return SubmitOutcome::Draining;
+        }
+        let mut per_shard: Vec<Vec<Job>> = (0..self.senders.len()).map(|_| Vec::new()).collect();
+        for job in jobs {
+            let port = match &job.ev.event {
+                TraceEvent::Connect(conn) => conn.source().port.0,
+                TraceEvent::Disconnect(src) => src.port.0,
+            };
+            let shard = self.shard_of(port);
+            per_shard[shard].push(job);
+        }
+        // All-or-nothing: refuse the whole batch if any target shard is
+        // over the cap, so callers never see a partially queued batch.
+        if let Some(cap) = self.backpressure_cap {
+            let over = per_shard
+                .iter()
+                .enumerate()
+                .any(|(s, batch)| !batch.is_empty() && self.senders[s].len() >= cap);
+            if over {
+                for batch in per_shard {
+                    for j in batch {
+                        Job::resolve(j.done, RequestOutcome::Backpressure);
+                    }
+                }
+                return SubmitOutcome::Backpressure;
+            }
+        }
+        let mut outcome = SubmitOutcome::Accepted;
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if let Err(e) = self.senders[shard].send(Work::Batch(batch)) {
+                if let Work::Batch(batch) = e.0 {
+                    for j in batch {
+                        Job::resolve(j.done, RequestOutcome::Draining);
+                    }
+                }
+                outcome = SubmitOutcome::Draining;
+            }
+        }
+        outcome
     }
 
     /// Non-consuming drain signal: stop accepting new events without
@@ -476,6 +605,91 @@ impl<B: Backend> AdmissionEngine<B> {
         report.snapshots = std::mem::take(&mut *self.snapshots.lock());
         report.worker_panics = worker_panics;
         report
+    }
+}
+
+/// Fluent construction of an [`AdmissionEngine`].
+///
+/// Replaces the positional `AdmissionEngine::start(backend, config)`
+/// entry point: every knob is named, unset knobs keep the
+/// [`RuntimeConfig`] defaults, and the backend arrives last.
+///
+/// ```
+/// use std::time::Duration;
+/// use wdm_core::{MulticastModel, NetworkConfig};
+/// use wdm_fabric::CrossbarSession;
+/// use wdm_runtime::EngineBuilder;
+///
+/// let backend = CrossbarSession::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
+/// let engine = EngineBuilder::new()
+///     .shards(2)
+///     .deadline(Duration::from_secs(1))
+///     .start(backend);
+/// let report = engine.drain();
+/// assert!(report.is_clean());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: RuntimeConfig,
+}
+
+impl EngineBuilder {
+    /// A builder with every knob at its [`RuntimeConfig`] default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt an existing config wholesale (the migration path from the
+    /// deprecated positional `start`).
+    pub fn from_config(config: RuntimeConfig) -> Self {
+        EngineBuilder { config }
+    }
+
+    /// Number of worker shards; `0` = one per available CPU.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.workers = shards;
+        self
+    }
+
+    /// Wall-clock budget per request, retries included.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
+    /// Busy-retry policy: attempt cap, first delay, and delay ceiling.
+    pub fn retry_policy(
+        mut self,
+        max_retries: u32,
+        initial_backoff: Duration,
+        max_backoff: Duration,
+    ) -> Self {
+        self.config.max_retries = max_retries;
+        self.config.initial_backoff = initial_backoff;
+        self.config.max_backoff = max_backoff;
+        self
+    }
+
+    /// Shed load once a shard queue holds this many entries.
+    pub fn backpressure_cap(mut self, cap: usize) -> Self {
+        self.config.backpressure_cap = Some(cap);
+        self
+    }
+
+    /// Emit a periodic [`MetricsSnapshot`] while running.
+    pub fn observe_every(mut self, every: Duration) -> Self {
+        self.config.snapshot_every = Some(every);
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Take ownership of `backend` and spin up the shard workers.
+    pub fn start<B: Backend>(self, backend: B) -> AdmissionEngine<B> {
+        AdmissionEngine::start_with(backend, self.config)
     }
 }
 
@@ -617,6 +831,28 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         self.handle(Job { ev, done });
     }
 
+    /// Apply a batch of events under **one** backend lock acquisition.
+    ///
+    /// Outcomes are identical to calling [`Self::handle_event`] on each
+    /// entry in order (parking, deferral, and retry bookkeeping
+    /// included) — only the locking is amortized.
+    pub fn handle_batch(&mut self, batch: Vec<(TimedEvent, Option<OutcomeCallback>)>) {
+        self.handle_jobs(
+            batch
+                .into_iter()
+                .map(|(ev, done)| Job { ev, done })
+                .collect(),
+        );
+    }
+
+    fn handle_jobs(&mut self, jobs: Vec<Job>) {
+        let backend = Arc::clone(&self.backend);
+        let mut b = backend.lock();
+        for job in jobs {
+            self.handle_with(&mut b, job);
+        }
+    }
+
     /// Number of busy connects currently parked awaiting retry.
     pub fn parked_len(&self) -> usize {
         self.parked.len()
@@ -624,6 +860,13 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
 
     /// Apply one queued job.
     fn handle(&mut self, job: Job) {
+        let backend = Arc::clone(&self.backend);
+        let mut b = backend.lock();
+        self.handle_with(&mut b, job);
+    }
+
+    /// Apply one job against an already-locked backend.
+    fn handle_with(&mut self, b: &mut B, job: Job) {
         let src = match &job.ev.event {
             TraceEvent::Connect(conn) => conn.source(),
             TraceEvent::Disconnect(src) => *src,
@@ -639,7 +882,8 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         match ev.event {
             TraceEvent::Connect(conn) => {
                 self.metrics.offered.fetch_add(1, Ordering::Relaxed);
-                self.try_connect(
+                self.try_connect_with(
+                    b,
                     conn,
                     ev.time,
                     self.clock.now(),
@@ -648,7 +892,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                     done,
                 );
             }
-            TraceEvent::Disconnect(src) => self.do_disconnect(src, ev.time, done),
+            TraceEvent::Disconnect(src) => self.do_disconnect_with(b, src, ev.time, done),
         }
     }
 
@@ -662,8 +906,25 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         backoff: Duration,
         done: Option<OutcomeCallback>,
     ) {
+        let backend = Arc::clone(&self.backend);
+        let mut b = backend.lock();
+        self.try_connect_with(&mut b, conn, sim_time, t0, attempts, backoff, done);
+    }
+
+    /// [`Self::try_connect`] against an already-locked backend.
+    #[allow(clippy::too_many_arguments)]
+    fn try_connect_with(
+        &mut self,
+        b: &mut B,
+        conn: MulticastConnection,
+        sim_time: f64,
+        t0: Instant,
+        attempts: u32,
+        backoff: Duration,
+        done: Option<OutcomeCallback>,
+    ) {
         let src = conn.source();
-        match self.backend.lock().connect(&conn) {
+        match b.connect(&conn) {
             Ok(()) => {
                 let waited = self.clock.now().saturating_duration_since(t0);
                 self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -674,7 +935,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                 self.live_since.insert(src, sim_time);
                 Job::resolve(done, RequestOutcome::Admitted);
             }
-            Err(AdmitError::Busy(e)) => {
+            Err(Reject::Busy(e)) => {
                 let waited = self.clock.now().saturating_duration_since(t0);
                 if attempts >= self.cfg.max_retries || waited >= self.cfg.deadline {
                     self.metrics.expired.fetch_add(1, Ordering::Relaxed);
@@ -702,12 +963,12 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                     );
                 }
             }
-            Err(AdmitError::Blocked { .. }) => {
+            Err(Reject::Blocked { .. }) => {
                 self.metrics.blocked.fetch_add(1, Ordering::Relaxed);
                 self.never_admitted.insert(src);
                 Job::resolve(done, RequestOutcome::Blocked);
             }
-            Err(AdmitError::ComponentDown(_)) => {
+            Err(Reject::ComponentDown(_)) => {
                 // Only a repair can change the answer; retrying would just
                 // burn the deadline. Not a block either — the fabric had
                 // capacity, a component was dead.
@@ -715,16 +976,26 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                 self.never_admitted.insert(src);
                 Job::resolve(done, RequestOutcome::ComponentDown);
             }
-            Err(AdmitError::Fatal(msg)) => {
+            Err(other) => {
                 self.metrics.fatal.fetch_add(1, Ordering::Relaxed);
-                self.metrics.note_error(format!("connect {src}: {msg}"));
+                self.metrics.note_error(format!("connect {src}: {other}"));
                 self.never_admitted.insert(src);
                 Job::resolve(done, RequestOutcome::Fatal);
             }
         }
     }
 
-    fn do_disconnect(&mut self, src: Endpoint, sim_time: f64, done: Option<OutcomeCallback>) {
+    /// [`Self::do_disconnect`] against an already-locked backend.
+    /// Taking `dead_sources` while the backend is held matches the
+    /// backend → dead_sources order [`FaultHandle::inject`] uses, so the
+    /// nesting cannot deadlock.
+    fn do_disconnect_with(
+        &mut self,
+        b: &mut B,
+        src: Endpoint,
+        sim_time: f64,
+        done: Option<OutcomeCallback>,
+    ) {
         if self.never_admitted.remove(&src) {
             self.metrics
                 .skipped_departures
@@ -732,10 +1003,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
             Job::resolve(done, RequestOutcome::SkippedDeparture);
             return;
         }
-        // A failed heal already removed this connection. (The guard is a
-        // statement temporary: it drops before the backend lock below, so
-        // the lock order backend → dead_sources used by FaultHandle can
-        // never deadlock against this path.)
+        // A failed heal already removed this connection.
         if self.dead_sources.lock().remove(&src) {
             self.live_since.remove(&src);
             self.metrics
@@ -744,7 +1012,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
             Job::resolve(done, RequestOutcome::OrphanedDeparture);
             return;
         }
-        match self.backend.lock().disconnect(src) {
+        match b.disconnect(src) {
             Ok(()) => {
                 self.metrics.departed.fetch_add(1, Ordering::Relaxed);
                 self.metrics.wavelength_down(src.wavelength.0 as usize);
@@ -802,17 +1070,21 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
 
 /// One shard: applies its slice of the event stream to the backend,
 /// interleaving queue intake with retries of parked requests.
-fn shard_loop<B: Backend>(rx: Receiver<Job>, mut shard: ShardCore<B, SystemClock>) {
+fn shard_loop<B: Backend>(rx: Receiver<Work>, mut shard: ShardCore<B, SystemClock>) {
     let mut open = true;
+    let apply = |shard: &mut ShardCore<B, SystemClock>, work: Work| match work {
+        Work::One(job) => shard.handle(job),
+        Work::Batch(jobs) => shard.handle_jobs(jobs),
+    };
     while open || !shard.parked.is_empty() {
         shard.retry_due();
         match shard.next_due() {
             None if open => match rx.recv() {
-                Ok(ev) => shard.handle(ev),
+                Ok(work) => apply(&mut shard, work),
                 Err(_) => open = false,
             },
             Some(wait) if open => match rx.recv_timeout(wait.min(Duration::from_millis(10))) {
-                Ok(ev) => shard.handle(ev),
+                Ok(work) => apply(&mut shard, work),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => open = false,
             },
@@ -831,13 +1103,7 @@ mod tests {
 
     fn engine_on_crossbar(workers: usize) -> AdmissionEngine<CrossbarSession> {
         let backend = CrossbarSession::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
-        AdmissionEngine::start(
-            backend,
-            RuntimeConfig {
-                workers,
-                ..RuntimeConfig::default()
-            },
-        )
+        EngineBuilder::new().shards(workers).start(backend)
     }
 
     #[test]
@@ -919,14 +1185,10 @@ mod tests {
     #[test]
     fn snapshot_observer_emits() {
         let backend = CrossbarSession::new(NetworkConfig::new(8, 2), MulticastModel::Msw);
-        let engine = AdmissionEngine::start(
-            backend,
-            RuntimeConfig {
-                workers: 2,
-                snapshot_every: Some(Duration::from_millis(5)),
-                ..RuntimeConfig::default()
-            },
-        );
+        let engine = EngineBuilder::new()
+            .shards(2)
+            .observe_every(Duration::from_millis(5))
+            .start(backend);
         let events = DynamicTraffic::new(
             NetworkConfig::new(8, 2),
             MulticastModel::Msw,

@@ -132,7 +132,7 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AdmissionEngine, RuntimeConfig};
+    use crate::{AdmissionEngine, EngineBuilder};
     use std::sync::atomic::Ordering;
     use std::time::Instant;
     use wdm_core::{Endpoint, Fault, MulticastConnection, MulticastModel, NetworkConfig};
@@ -140,13 +140,10 @@ mod tests {
     use wdm_workload::{TimedEvent, TraceEvent};
 
     fn crossbar_engine() -> AdmissionEngine<CrossbarSession> {
-        AdmissionEngine::start(
-            CrossbarSession::new(NetworkConfig::new(8, 1), MulticastModel::Msw),
-            RuntimeConfig {
-                workers: 2,
-                ..RuntimeConfig::default()
-            },
-        )
+        EngineBuilder::new().shards(2).start(CrossbarSession::new(
+            NetworkConfig::new(8, 1),
+            MulticastModel::Msw,
+        ))
     }
 
     #[test]

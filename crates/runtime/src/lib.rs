@@ -26,8 +26,8 @@
 //!
 //! * [`Backend`] abstracts the two switch implementations behind one
 //!   admit/tear-down interface and classifies refusals into retryable
-//!   [`AdmitError::Busy`] versus hard [`AdmitError::Blocked`] versus
-//!   repair-gated [`AdmitError::ComponentDown`].
+//!   [`wdm_core::Reject::Busy`] versus hard [`wdm_core::Reject::Blocked`] versus
+//!   repair-gated [`wdm_core::Reject::ComponentDown`].
 //! * [`AdmissionEngine`] owns the worker shards. Sharding by input
 //!   module keeps each source's connect strictly before its disconnect;
 //!   cross-shard reordering can only manifest as transient destination
@@ -47,22 +47,18 @@
 //! use std::time::Duration;
 //! use wdm_core::{MulticastModel, NetworkConfig};
 //! use wdm_fabric::CrossbarSession;
-//! use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+//! use wdm_runtime::EngineBuilder;
 //! use wdm_workload::DynamicTraffic;
 //!
 //! let net = NetworkConfig::new(8, 2);
 //! let mut traffic = DynamicTraffic::new(net, MulticastModel::Msw, 4.0, 1.0, 2, 7);
 //! let backend = CrossbarSession::new(net, MulticastModel::Msw);
-//! let engine = AdmissionEngine::start(
-//!     backend,
-//!     RuntimeConfig {
-//!         workers: 2,
-//!         // The trace ends with a few connections still holding their
-//!         // endpoints, so don't let rivals wait long for them.
-//!         deadline: Duration::from_millis(200),
-//!         ..RuntimeConfig::default()
-//!     },
-//! );
+//! let engine = EngineBuilder::new()
+//!     .shards(2)
+//!     // The trace ends with a few connections still holding their
+//!     // endpoints, so don't let rivals wait long for them.
+//!     .deadline(Duration::from_millis(200))
+//!     .start(backend);
 //! engine.run_events(traffic.generate(5.0));
 //! let report = engine.drain();
 //! assert!(report.is_clean());
@@ -75,12 +71,15 @@ mod engine;
 mod injector;
 mod metrics;
 
-pub use backend::{AdmitError, Backend};
+#[allow(deprecated)]
+pub use backend::AdmitError;
+pub use backend::Backend;
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::{
-    AdmissionEngine, EngineCore, FaultHandle, HealOutcome, OutcomeCallback, RequestOutcome,
-    RuntimeConfig, RuntimeReport, ShardCore, SubmitOutcome,
+    AdmissionEngine, EngineBuilder, EngineCore, FaultHandle, HealOutcome, OutcomeCallback,
+    RequestOutcome, RuntimeConfig, RuntimeReport, ShardCore, SubmitOutcome,
 };
 pub use injector::{FaultInjector, InjectionRecord};
 pub use metrics::{LogHistogram, MetricsSnapshot, RuntimeMetrics};
 pub use wdm_core::{Fault, FaultSet};
+pub use wdm_core::{Reject, RejectClass};

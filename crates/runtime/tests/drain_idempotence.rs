@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
-use wdm_runtime::{AdmissionEngine, Fault, HealOutcome, RuntimeConfig, SubmitOutcome};
+use wdm_runtime::{EngineBuilder, Fault, HealOutcome, RuntimeConfig, SubmitOutcome};
 use wdm_workload::{TimedEvent, TraceEvent};
 
 fn crossbar(ports: u32) -> CrossbarSession {
@@ -50,7 +50,7 @@ fn wait_for(counter: &AtomicU64, want: u64, what: &str) {
 /// accepted work.
 #[test]
 fn begin_drain_twice_yields_one_clean_report() {
-    let engine = AdmissionEngine::start(crossbar(8), RuntimeConfig::default());
+    let engine = EngineBuilder::from_config(RuntimeConfig::default()).start(crossbar(8));
     for p in 0..4 {
         assert_eq!(
             engine.submit(connect_at(0.0, p, p + 4)),
@@ -96,7 +96,7 @@ fn begin_drain_twice_yields_one_clean_report() {
 #[test]
 fn drain_racing_inject_conserves_victims() {
     for round in 0..8u32 {
-        let engine = AdmissionEngine::start(crossbar(8), RuntimeConfig::default());
+        let engine = EngineBuilder::from_config(RuntimeConfig::default()).start(crossbar(8));
         let handle = engine.fault_handle();
         for p in 0..4 {
             assert_eq!(
@@ -147,7 +147,7 @@ fn drain_racing_inject_conserves_victims() {
 /// weak handle refuses rather than mutating freed state.
 #[test]
 fn inject_after_drain_is_a_noop() {
-    let engine = AdmissionEngine::start(crossbar(4), RuntimeConfig::default());
+    let engine = EngineBuilder::from_config(RuntimeConfig::default()).start(crossbar(4));
     let handle = engine.fault_handle();
     let _ = engine.submit(connect_at(0.0, 0, 2));
     wait_for(&engine.metrics().admitted, 1, "admitted");

@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use wdm_fabric::{CrossbarSession, WdmCrossbar};
-use wdm_runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_runtime::{EngineBuilder, RuntimeConfig};
 use wdm_workload::{DynamicTraffic, TraceEvent};
 
 /// Canonical view of an assignment for comparison.
@@ -40,10 +40,7 @@ proptest! {
             DynamicTraffic::new(net, model, 4.0, 1.0, 2, seed).generate(20.0);
 
         // Engine, one shard: strict in-order processing.
-        let engine = AdmissionEngine::start(
-            CrossbarSession::new(net, model),
-            RuntimeConfig { workers: 1, ..RuntimeConfig::default() },
-        );
+        let engine = EngineBuilder::from_config(RuntimeConfig { workers: 1, ..RuntimeConfig::default() }).start(CrossbarSession::new(net, model));
         engine.run_events(events.clone());
         let report = engine.drain();
         prop_assert!(report.is_clean(), "{:?}", report.errors);
@@ -54,7 +51,7 @@ proptest! {
         for ev in &events {
             match &ev.event {
                 TraceEvent::Connect(c) => {
-                    serial.connect(c.clone()).expect("trace is serially feasible");
+                    serial.connect(c).expect("trace is serially feasible");
                     connects += 1;
                 }
                 TraceEvent::Disconnect(s) => {

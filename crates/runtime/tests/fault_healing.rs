@@ -14,9 +14,7 @@ use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
     bounds, find_blocking_witness_faulted, Construction, ThreeStageNetwork, ThreeStageParams,
 };
-use wdm_runtime::{
-    AdmissionEngine, AdmitError, Backend, Fault, FaultSet, RuntimeConfig, RuntimeReport,
-};
+use wdm_runtime::{Backend, EngineBuilder, Fault, FaultSet, Reject, RuntimeConfig, RuntimeReport};
 use wdm_workload::{DynamicTraffic, TimedEvent, TraceEvent};
 
 fn unicast(src: (u32, u32), dst: (u32, u32)) -> MulticastConnection {
@@ -95,13 +93,15 @@ fn fault_spare_margin_absorbs_f_kills_with_zero_blocking() {
         close_trace(&mut events, 31.0);
         let half = events.len() / 2;
 
-        let engine = AdmissionEngine::start(
-            ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw),
-            RuntimeConfig {
-                workers: 4,
-                ..RuntimeConfig::default()
-            },
-        );
+        let engine = EngineBuilder::from_config(RuntimeConfig {
+            workers: 4,
+            ..RuntimeConfig::default()
+        })
+        .start(ThreeStageNetwork::new(
+            p,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        ));
         let handle = engine.fault_handle();
         engine.run_events(events[..half].iter().cloned());
         // Let the fabric warm up so the kills land on live traffic.
@@ -165,13 +165,11 @@ fn fault_bound_tightness_blocks_at_m_without_spares() {
             let p = ThreeStageParams::new(4, m, 4, 1);
             let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
             net.set_fanout_limit(bound.x);
-            let engine = AdmissionEngine::start(
-                net,
-                RuntimeConfig {
-                    workers: 1, // strict order: replay the witness exactly
-                    ..RuntimeConfig::default()
-                },
-            );
+            let engine = EngineBuilder::from_config(RuntimeConfig {
+                workers: 1, // strict order: replay the witness exactly
+                ..RuntimeConfig::default()
+            })
+            .start(net);
             let handle = engine.fault_handle();
             for &fault in faults.iter() {
                 handle.inject(fault);
@@ -208,13 +206,15 @@ fn fault_bound_tightness_blocks_at_m_without_spares() {
 fn fault_heal_then_repair_restores_capacity() {
     let bound = bounds::theorem1_min_m(2, 2);
     let p = ThreeStageParams::new(2, bound.m + 1, 2, 2);
-    let engine = AdmissionEngine::start(
-        ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw),
-        RuntimeConfig {
-            workers: 2,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::from_config(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    })
+    .start(ThreeStageNetwork::new(
+        p,
+        Construction::MswDominant,
+        MulticastModel::Msw,
+    ));
     let handle = engine.fault_handle();
     let _ = engine.submit(connect_at(0.0, unicast((0, 0), (2, 0))));
     let _ = engine.submit(connect_at(0.0, unicast((1, 1), (3, 1))));
@@ -246,13 +246,10 @@ fn fault_heal_then_repair_restores_capacity() {
 /// new requests for the port are `ComponentDown` until repair.
 #[test]
 fn fault_dead_port_tombstones_victims_until_repair() {
-    let engine = AdmissionEngine::start(
-        CrossbarSession::new(wdm_core::NetworkConfig::new(8, 1), MulticastModel::Msw),
-        RuntimeConfig {
-            workers: 2,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::new().shards(2).start(CrossbarSession::new(
+        wdm_core::NetworkConfig::new(8, 1),
+        MulticastModel::Msw,
+    ));
     let handle = engine.fault_handle();
     let victim = MulticastConnection::new(
         Endpoint::new(0, 0),
@@ -292,14 +289,13 @@ fn fault_dead_port_tombstones_victims_until_repair() {
 /// theorem-relevant blocking.
 #[test]
 fn fault_component_down_is_not_retried_but_busy_is() {
-    let engine = AdmissionEngine::start(
-        CrossbarSession::new(wdm_core::NetworkConfig::new(8, 1), MulticastModel::Msw),
-        RuntimeConfig {
-            workers: 2,
-            deadline: Duration::from_secs(2),
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::new()
+        .shards(2)
+        .deadline(Duration::from_secs(2))
+        .start(CrossbarSession::new(
+            wdm_core::NetworkConfig::new(8, 1),
+            MulticastModel::Msw,
+        ));
     let handle = engine.fault_handle();
     handle.inject(Fault::Port(5));
 
@@ -339,12 +335,12 @@ impl Backend for PanickyBackend {
     fn wavelengths(&self) -> u32 {
         1
     }
-    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), AdmitError> {
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
         assert!(conn.source().port.0 != 7, "injected worker crash");
         self.active += 1;
         Ok(())
     }
-    fn disconnect(&mut self, _src: Endpoint) -> Result<(), AdmitError> {
+    fn disconnect(&mut self, _src: Endpoint) -> Result<(), Reject> {
         self.active -= 1;
         Ok(())
     }
@@ -360,13 +356,11 @@ impl Backend for PanickyBackend {
 /// run — its queued events were dropped, so the counters lie.
 #[test]
 fn fault_worker_panic_is_never_clean() {
-    let engine = AdmissionEngine::start(
-        PanickyBackend { active: 0 },
-        RuntimeConfig {
-            workers: 2,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::from_config(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    })
+    .start(PanickyBackend { active: 0 });
     let _ = engine.submit(connect_at(0.0, unicast((0, 0), (1, 0))));
     let _ = engine.submit(connect_at(0.0, unicast((7, 0), (2, 0)))); // kills its shard
     let report = engine.drain();

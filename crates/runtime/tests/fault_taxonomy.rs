@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wdm_core::{Endpoint, MulticastConnection, MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
-use wdm_runtime::{AdmissionEngine, Fault, RuntimeConfig};
+use wdm_runtime::{EngineBuilder, Fault};
 use wdm_workload::{TimedEvent, TraceEvent};
 
 const PORTS: u32 = 12;
@@ -29,13 +29,12 @@ fn permute<T>(items: &mut [T], seed: u64) {
 /// arrive in their own permuted order. Returns the counters that define
 /// the taxonomy outcome.
 fn run(kill_mask: u16, perm_seed: u64, workers: usize) -> (u64, u64, u64, u64, u64, u64, u64) {
-    let engine = AdmissionEngine::start(
-        CrossbarSession::new(NetworkConfig::new(PORTS, 1), MulticastModel::Msw),
-        RuntimeConfig {
-            workers,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::new()
+        .shards(workers)
+        .start(CrossbarSession::new(
+            NetworkConfig::new(PORTS, 1),
+            MulticastModel::Msw,
+        ));
     let handle = engine.fault_handle();
     for p in 0..PORTS {
         if kill_mask & (1 << p) != 0 {

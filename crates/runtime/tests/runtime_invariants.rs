@@ -11,7 +11,7 @@
 use std::time::Duration;
 use wdm_core::{Endpoint, MulticastModel, NetworkConfig};
 use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
-use wdm_runtime::{AdmissionEngine, RuntimeConfig, RuntimeReport};
+use wdm_runtime::{EngineBuilder, RuntimeConfig, RuntimeReport};
 use wdm_workload::{DynamicTraffic, TimedEvent, TraceEvent};
 
 /// Append the departures `generate` truncated at the horizon, so no
@@ -45,13 +45,11 @@ fn churn(
     let horizon = 40.0;
     let mut events = DynamicTraffic::new(flat, model, arrival_rate, 1.0, 3, seed).generate(horizon);
     close_trace(&mut events, horizon + 1.0);
-    let engine = AdmissionEngine::start(
-        net3,
-        RuntimeConfig {
-            workers: 4,
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::from_config(RuntimeConfig {
+        workers: 4,
+        ..RuntimeConfig::default()
+    })
+    .start(net3);
     engine.run_events(events);
     engine.drain()
 }
@@ -111,16 +109,14 @@ fn starved_network_blocks_under_the_same_harness() {
     let mut events =
         DynamicTraffic::new(flat, MulticastModel::Msw, 10.0, 2.0, 2, 7).generate(horizon);
     close_trace(&mut events, horizon + 1.0);
-    let engine = AdmissionEngine::start(
-        net3,
-        RuntimeConfig {
-            workers: 4,
-            // Blocked rivals of a blocked request can wait forever; keep
-            // the expiry waves short.
-            deadline: Duration::from_millis(100),
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::from_config(RuntimeConfig {
+        workers: 4,
+        // Blocked rivals of a blocked request can wait forever; keep
+        // the expiry waves short.
+        deadline: Duration::from_millis(100),
+        ..RuntimeConfig::default()
+    })
+    .start(net3);
     engine.run_events(events);
     let report = engine.drain();
     let s = &report.summary;

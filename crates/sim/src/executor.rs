@@ -50,6 +50,16 @@ pub enum Scheduler<'a> {
 pub struct SimParams {
     /// Number of cooperatively scheduled shards.
     pub shards: usize,
+    /// Submission window: each Submit step enqueues up to this many
+    /// consecutive trace events, and a shard delivery drains its whole
+    /// queue through [`ShardCore::handle_batch`] (one backend lock per
+    /// delivery) instead of popping one event. `1` (the default) is the
+    /// classic single-event executor. A window never crosses a fault's
+    /// eligibility point, so fault ordering relative to the trace is
+    /// identical in both modes.
+    ///
+    /// [`ShardCore::handle_batch`]: wdm_runtime::ShardCore::handle_batch
+    pub batch: usize,
     /// Engine tunables (deadline, backoff, retry budget). `workers` and
     /// `snapshot_every` are ignored — the executor owns scheduling.
     pub runtime: RuntimeConfig,
@@ -59,6 +69,7 @@ impl Default for SimParams {
     fn default() -> Self {
         SimParams {
             shards: 4,
+            batch: 1,
             runtime: RuntimeConfig::default(),
         }
     }
@@ -96,6 +107,7 @@ pub fn simulate<B: Backend>(
     mut sched: Scheduler<'_>,
 ) -> SimRun<B> {
     let shards_n = params.shards.max(1);
+    let batch_n = params.batch.max(1);
     let core = EngineCore::new(backend);
     let clock = VirtualClock::new();
     let mut shards: Vec<_> = (0..shards_n)
@@ -159,14 +171,29 @@ pub fn simulate<B: Backend>(
         };
         match actions[pick] {
             Action::Deliver(s) => {
-                let (idx, ev) = queues[s].pop_front().expect("enabled ⇒ non-empty");
-                let slot = Arc::clone(&outcomes);
-                shards[s].handle_event(
-                    ev,
-                    Some(Box::new(move |o| {
-                        slot.lock()[idx] = Some(o);
-                    })),
-                );
+                if batch_n > 1 {
+                    let jobs: Vec<_> = std::mem::take(&mut queues[s])
+                        .into_iter()
+                        .map(|(idx, ev)| {
+                            let slot = Arc::clone(&outcomes);
+                            let done = Box::new(move |o| {
+                                slot.lock()[idx] = Some(o);
+                            })
+                                as wdm_runtime::OutcomeCallback;
+                            (ev, Some(done))
+                        })
+                        .collect();
+                    shards[s].handle_batch(jobs);
+                } else {
+                    let (idx, ev) = queues[s].pop_front().expect("enabled ⇒ non-empty");
+                    let slot = Arc::clone(&outcomes);
+                    shards[s].handle_event(
+                        ev,
+                        Some(Box::new(move |o| {
+                            slot.lock()[idx] = Some(o);
+                        })),
+                    );
+                }
             }
             Action::Retry(s) => shards[s].retry_due(),
             Action::Inject => {
@@ -181,10 +208,23 @@ pub fn simulate<B: Backend>(
                 next_fault += 1;
             }
             Action::Submit => {
-                let ev = trace[next_ev].clone();
-                let s = core.shard_of(source_port(&ev.event), shards_n);
-                queues[s].push_back((next_ev, ev));
-                next_ev += 1;
+                // First event unconditionally, then extend the window —
+                // but never past a fault's eligibility point, so the
+                // injection fires at the same trace position whether or
+                // not submission is batched.
+                let mut taken = 0;
+                while next_ev < trace.len()
+                    && (taken == 0
+                        || (taken < batch_n
+                            && !(next_fault < faults.len()
+                                && trace[next_ev].time >= faults[next_fault].time)))
+                {
+                    let ev = trace[next_ev].clone();
+                    let s = core.shard_of(source_port(&ev.event), shards_n);
+                    queues[s].push_back((next_ev, ev));
+                    next_ev += 1;
+                    taken += 1;
+                }
             }
         }
     }
@@ -305,6 +345,7 @@ mod tests {
                 max_retries: u32::MAX,
                 ..RuntimeConfig::default()
             },
+            ..SimParams::default()
         };
         let run = simulate(crossbar(), &trace, &[], &params, Scheduler::Serial);
         assert_eq!(run.outcomes[1], Some(RequestOutcome::Expired));

@@ -166,6 +166,7 @@ impl SimSetup {
     fn params(&self) -> SimParams {
         SimParams {
             shards: self.shards,
+            batch: 1,
             runtime: RuntimeConfig::default(),
         }
     }
@@ -214,6 +215,7 @@ impl SimSetup {
         if faults.is_empty() {
             let serial_params = SimParams {
                 shards: 1,
+                batch: 1,
                 runtime: RuntimeConfig::default(),
             };
             match self.backend {

@@ -1,0 +1,149 @@
+//! Batch-vs-singles conformance: the batched submission fast path must
+//! be an *amortization*, not a semantic change. For every seed we run
+//! the same adversarial trace (and fault script) through the
+//! deterministic executor twice — once event-at-a-time, once with an
+//! 8-event submission window draining whole shard queues through
+//! `ShardCore::handle_batch` — and demand bit-identical per-index
+//! outcomes and terminal counters. Swept across both backends and both
+//! fault regimes, ≥256 seeds per combination.
+
+use wdm_core::NetworkConfig;
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_runtime::{Backend, RuntimeConfig};
+use wdm_sim::executor::{simulate, Scheduler, SimParams, SimRun};
+use wdm_sim::harness::{BackendKind, SimSetup};
+
+const SEEDS: u64 = 256;
+const STEPS: usize = 24;
+const WINDOW: usize = 8;
+
+fn params(batch: usize) -> SimParams {
+    SimParams {
+        shards: 1,
+        batch,
+        runtime: RuntimeConfig::default(),
+    }
+}
+
+fn crossbar(setup: &SimSetup) -> CrossbarSession {
+    CrossbarSession::new(
+        NetworkConfig::new(setup.geo.ports(), setup.geo.k),
+        setup.model,
+    )
+}
+
+fn three_stage(setup: &SimSetup) -> ThreeStageNetwork {
+    let mut net = ThreeStageNetwork::new(
+        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
+        Construction::MswDominant,
+        setup.model,
+    );
+    net.set_strategy(setup.strategy);
+    net
+}
+
+/// Compare a singles run and a batched run of the same input; panics
+/// with a replayable message on the first divergence.
+fn assert_conformant<B: Backend>(label: &str, seed: u64, singles: SimRun<B>, batched: SimRun<B>) {
+    for (i, (s, b)) in singles.outcomes.iter().zip(&batched.outcomes).enumerate() {
+        assert_eq!(
+            s, b,
+            "{label} seed {seed}: outcome diverged at trace index {i}"
+        );
+    }
+    let (s, b) = (&singles.report.summary, &batched.report.summary);
+    assert_eq!(s.offered, b.offered, "{label} seed {seed}: offered");
+    assert_eq!(s.admitted, b.admitted, "{label} seed {seed}: admitted");
+    assert_eq!(s.departed, b.departed, "{label} seed {seed}: departed");
+    assert_eq!(s.blocked, b.blocked, "{label} seed {seed}: blocked");
+    assert_eq!(s.expired, b.expired, "{label} seed {seed}: expired");
+    assert_eq!(s.retried, b.retried, "{label} seed {seed}: retried");
+    assert!(
+        batched.report.is_clean(),
+        "{label} seed {seed}: batched run not clean: {:?}",
+        batched.report.errors
+    );
+}
+
+fn sweep(setup: &SimSetup, label: &str) {
+    for seed in 0..SEEDS {
+        let trace = setup.trace(seed);
+        let faults = setup.faults(seed, &trace);
+        match setup.backend {
+            BackendKind::Crossbar => {
+                let singles = simulate(
+                    crossbar(setup),
+                    &trace,
+                    &faults,
+                    &params(1),
+                    Scheduler::Serial,
+                );
+                let batched = simulate(
+                    crossbar(setup),
+                    &trace,
+                    &faults,
+                    &params(WINDOW),
+                    Scheduler::Serial,
+                );
+                assert_conformant(label, seed, singles, batched);
+            }
+            BackendKind::ThreeStage => {
+                let singles = simulate(
+                    three_stage(setup),
+                    &trace,
+                    &faults,
+                    &params(1),
+                    Scheduler::Serial,
+                );
+                let batched = simulate(
+                    three_stage(setup),
+                    &trace,
+                    &faults,
+                    &params(WINDOW),
+                    Scheduler::Serial,
+                );
+                assert_conformant(label, seed, singles, batched);
+            }
+        }
+    }
+}
+
+#[test]
+fn crossbar_fault_free_batches_conform() {
+    let setup = SimSetup::crossbar(4, 4, 2, STEPS, 1);
+    sweep(&setup, "crossbar/fault-free");
+}
+
+#[test]
+fn crossbar_faulted_batches_conform() {
+    let mut setup = SimSetup::crossbar(4, 4, 2, STEPS, 1);
+    setup.faulted = true;
+    sweep(&setup, "crossbar/faulted");
+}
+
+#[test]
+fn three_stage_fault_free_batches_conform() {
+    let setup = SimSetup::three_stage_at_bound(4, 4, 2, STEPS, 1);
+    sweep(&setup, "three-stage/fault-free");
+}
+
+#[test]
+fn three_stage_faulted_batches_conform() {
+    let mut setup = SimSetup::three_stage_at_bound(4, 4, 2, STEPS, 1);
+    setup.faulted = true;
+    // A faulted run may legitimately reject requests through the dead
+    // middle switch; conformance still demands the two modes agree on
+    // every index.
+    setup.expect_nonblocking = false;
+    sweep(&setup, "three-stage/faulted");
+}
+
+/// A starved geometry (m below the bound, spread selection) makes hard
+/// Blocked outcomes reachable — the batch path must report the same
+/// blocks at the same indices, not mask or duplicate them.
+#[test]
+fn underprovisioned_three_stage_batches_conform() {
+    let setup = SimSetup::three_stage_underprovisioned(4, 4, 2, STEPS, 1);
+    sweep(&setup, "three-stage/underprovisioned");
+}

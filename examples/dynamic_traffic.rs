@@ -41,7 +41,7 @@ fn main() {
         trace
             .replay(|event| -> Result<(), String> {
                 match event {
-                    TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                    TraceEvent::Connect(conn) => match net.connect(conn) {
                         Ok(_) => routed += 1,
                         Err(RouteError::Blocked { .. }) => blocked += 1,
                         Err(e) => return Err(e.to_string()),

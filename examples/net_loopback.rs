@@ -15,7 +15,7 @@ use std::thread;
 use wdm_multicast::core::MulticastModel;
 use wdm_multicast::multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
 use wdm_multicast::net::{NetClient, NetServer, NetServerConfig, Request, Response};
-use wdm_multicast::runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_multicast::runtime::EngineBuilder;
 use wdm_multicast::workload::{close_trace, partition_by_source, DynamicTraffic};
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     let bound = bounds::theorem1_min_m(n, r);
     let params = ThreeStageParams::new(n, bound.m, r, k);
     let backend = ThreeStageNetwork::new(params, Construction::MswDominant, MulticastModel::Msw);
-    let engine = AdmissionEngine::start(backend, RuntimeConfig::default());
+    let engine = EngineBuilder::new().start(backend);
     let server = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default()).expect("bind");
     let addr = server.local_addr();
     println!(

@@ -53,9 +53,7 @@ fn main() {
             dests.iter().map(|&(p, w)| Endpoint::new(p, w)),
         )
         .unwrap();
-        let routed = logical
-            .connect(conn.clone())
-            .expect("nonblocking at the bound");
+        let routed = logical.connect(&conn).expect("nonblocking at the bound");
         let middles: Vec<u32> = routed.branches.iter().map(|b| b.middle).collect();
         println!("{conn}\n    → via middle switches {middles:?}");
     }

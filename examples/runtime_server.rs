@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use wdm_multicast::core::MulticastModel;
 use wdm_multicast::multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
-use wdm_multicast::runtime::{AdmissionEngine, RuntimeConfig};
+use wdm_multicast::runtime::EngineBuilder;
 use wdm_multicast::workload::{DynamicTraffic, TimedEvent, TraceEvent};
 
 fn main() {
@@ -46,14 +46,14 @@ fn main() {
     println!("offered trace: {} timed events\n", events.len());
 
     // Four shard workers plus a 5 ms snapshot observer.
-    let engine = AdmissionEngine::start(
-        ThreeStageNetwork::new(params, Construction::MswDominant, MulticastModel::Msw),
-        RuntimeConfig {
-            workers: 4,
-            snapshot_every: Some(Duration::from_millis(5)),
-            ..RuntimeConfig::default()
-        },
-    );
+    let engine = EngineBuilder::new()
+        .shards(4)
+        .observe_every(Duration::from_millis(5))
+        .start(ThreeStageNetwork::new(
+            params,
+            Construction::MswDominant,
+            MulticastModel::Msw,
+        ));
 
     // Feed the trace while the engine is live; metrics are readable
     // concurrently from this thread.

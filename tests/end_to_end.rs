@@ -76,7 +76,7 @@ fn churn_trace_runs_identically_on_crossbar_and_multistage() {
         .replay(|event| -> Result<(), String> {
             match event {
                 TraceEvent::Connect(conn) => {
-                    three.connect(conn.clone()).map_err(|e| e.to_string())?;
+                    three.connect(conn).map_err(|e| e.to_string())?;
                 }
                 TraceEvent::Disconnect(src) => {
                     three.disconnect(*src).map_err(|e| e.to_string())?;
@@ -111,7 +111,7 @@ fn multistage_capacity_equals_crossbar_capacity() {
         let mut three = ThreeStageNetwork::new(p, Construction::MswDominant, model);
         for conn in asg.connections() {
             three
-                .connect(conn.clone())
+                .connect(conn)
                 .unwrap_or_else(|e| panic!("assignment not routable in multistage: {e}\n{asg}"));
         }
         routed += 1;
@@ -137,7 +137,10 @@ fn fig10_outcome_stable_under_request_order() {
     net.set_fanout_limit(1);
     let last = requests.pop().unwrap();
     for r in requests {
-        net.connect(r).unwrap();
+        net.connect(&r).unwrap();
     }
-    assert!(matches!(net.connect(last), Err(RouteError::Blocked { .. })));
+    assert!(matches!(
+        net.connect(&last),
+        Err(RouteError::Blocked { .. })
+    ));
 }

@@ -18,7 +18,7 @@ fn five_stage_and_photonic_agree_under_dynamic_traffic() {
     for timed in traffic.generate(60.0) {
         match timed.event {
             TraceEvent::Connect(conn) => {
-                five.connect(conn)
+                five.connect(&conn)
                     .expect("five-stage at bounds never blocks");
             }
             TraceEvent::Disconnect(src) => {
@@ -49,7 +49,7 @@ fn photonic_three_stage_strategies_all_realizable() {
         let mut gen = AssignmentGen::new(p.network(), MulticastModel::Msw, 31);
         for _ in 0..10 {
             if let Some(req) = gen.next_request(logical.assignment(), 4) {
-                let _ = logical.connect(req);
+                let _ = logical.connect(&req);
             }
         }
         let mut photonic =
@@ -78,7 +78,7 @@ fn limited_range_interpolates_between_constructions() {
         trace
             .replay(|event| -> Result<(), String> {
                 match event {
-                    TraceEvent::Connect(conn) => match net.connect(conn.clone()) {
+                    TraceEvent::Connect(conn) => match net.connect(conn) {
                         Ok(_) => {}
                         Err(RouteError::Blocked { .. }) => blocked += 1,
                         Err(e) => return Err(e.to_string()),
@@ -111,7 +111,7 @@ fn incremental_session_matches_batch_on_scenarios() {
         let offered = Scenario::VideoConference { group_size: 4 }.generate(net, model, 3);
         let mut session = CrossbarSession::new(net, model);
         for conn in offered.connections() {
-            session.connect(conn.clone()).unwrap();
+            session.connect(conn).unwrap();
         }
         let outcome = session.verify().unwrap();
         assert!(outcome.delivered_exactly(session.assignment()), "{model}");
@@ -127,7 +127,7 @@ fn path_loss_orders_msw_below_maw() {
     let conn = MulticastConnection::unicast(Endpoint::new(0, 0), Endpoint::new(4, 0));
     let loss = |model| {
         let mut session = CrossbarSession::new(net, model);
-        session.connect(conn.clone()).unwrap();
+        session.connect(&conn).unwrap();
         let outcome = session.verify().unwrap();
         trace_signal(
             session.crossbar().netlist(),
@@ -151,7 +151,7 @@ fn photonic_fault_on_routed_path_is_detected() {
     let mut logical = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
     let dest = Endpoint::new(3, 0);
     logical
-        .connect(MulticastConnection::unicast(Endpoint::new(0, 0), dest))
+        .connect(&MulticastConnection::unicast(Endpoint::new(0, 0), dest))
         .unwrap();
     let mut photonic = PhotonicThreeStage::build(p, Construction::MswDominant, MulticastModel::Msw);
     let healthy = photonic.realize(&logical).unwrap();
@@ -193,7 +193,7 @@ fn dynamic_traffic_blocking_monotone_in_m() {
         for timed in traffic.generate(150.0) {
             match timed.event {
                 TraceEvent::Connect(conn) => {
-                    if matches!(net.connect(conn), Err(RouteError::Blocked { .. })) {
+                    if matches!(net.connect(&conn), Err(RouteError::Blocked { .. })) {
                         blocked += 1;
                     }
                 }

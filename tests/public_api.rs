@@ -1,0 +1,153 @@
+//! Hand-rolled `cargo public-api`-style snapshot test (the build
+//! environment is offline, so no external tooling): every `pub` item
+//! declaration under `crates/*/src` is extracted textually and compared
+//! against the committed snapshot in `API_SNAPSHOT.txt`.
+//!
+//! This is deliberately a *textual* scan, not a semantic one — it will
+//! not catch every API change (multi-line signature edits past the
+//! first line, macro-generated items), but it turns the common ones
+//! (new/removed/renamed public items, changed signatures) into an
+//! explicit diff the PR author has to acknowledge.
+//!
+//! To accept an intentional API change:
+//!
+//! ```text
+//! UPDATE_API=1 cargo test -p wdm-multicast --test public_api
+//! ```
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT: &str = "API_SNAPSHOT.txt";
+
+/// Declaration keywords whose `pub` form counts as API surface.
+const KINDS: &[&str] = &[
+    "fn ",
+    "async fn ",
+    "const fn ",
+    "unsafe fn ",
+    "struct ",
+    "enum ",
+    "trait ",
+    "type ",
+    "const ",
+    "static ",
+    "mod ",
+    "use ",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One snapshot line per `pub` declaration: `<relative path>: <head>`,
+/// where `<head>` is the declaration's first line truncated at the open
+/// brace. `pub(crate)`/`pub(super)` are *not* public API and are skipped.
+fn extract(root: &Path) -> BTreeSet<String> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    let mut dirs: Vec<_> = fs::read_dir(&crates)
+        .expect("crates/ directory")
+        .map(|e| e.unwrap().path())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files);
+        }
+    }
+
+    let mut items = BTreeSet::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&file).unwrap();
+        for line in text.lines() {
+            let t = line.trim_start();
+            let Some(rest) = t.strip_prefix("pub ") else {
+                continue;
+            };
+            if !KINDS.iter().any(|k| rest.starts_with(k)) {
+                continue;
+            }
+            let head = t
+                .split('{')
+                .next()
+                .unwrap()
+                .trim_end()
+                .trim_end_matches(';')
+                .trim_end();
+            items.insert(format!("{rel}: {head}"));
+        }
+    }
+    items
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let root = workspace_root();
+    let current = extract(&root);
+    let snapshot_path = root.join(SNAPSHOT);
+
+    if std::env::var_os("UPDATE_API").is_some() {
+        let mut body = String::from(
+            "# Public API snapshot — regenerate with:\n\
+             #   UPDATE_API=1 cargo test -p wdm-multicast --test public_api\n",
+        );
+        for item in &current {
+            body.push_str(item);
+            body.push('\n');
+        }
+        fs::write(&snapshot_path, body).expect("write snapshot");
+        return;
+    }
+
+    let recorded: BTreeSet<String> = fs::read_to_string(&snapshot_path)
+        .unwrap_or_else(|e| {
+            panic!(
+                "missing {SNAPSHOT} ({e}); regenerate with \
+                 UPDATE_API=1 cargo test -p wdm-multicast --test public_api"
+            )
+        })
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+
+    let added: Vec<_> = current.difference(&recorded).collect();
+    let removed: Vec<_> = recorded.difference(&current).collect();
+    if !added.is_empty() || !removed.is_empty() {
+        let mut msg = String::from("public API surface changed:\n");
+        for a in &added {
+            msg.push_str(&format!("  + {a}\n"));
+        }
+        for r in &removed {
+            msg.push_str(&format!("  - {r}\n"));
+        }
+        msg.push_str(
+            "if intentional, regenerate the snapshot:\n  \
+             UPDATE_API=1 cargo test -p wdm-multicast --test public_api\n",
+        );
+        panic!("{msg}");
+    }
+}
