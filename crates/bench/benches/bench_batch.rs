@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdm_bench::batch_drive::{closed_trace, drive, BATCH_WINDOW};
 use wdm_core::{MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
-use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_multistage::{
+    awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork,
+    ThreeStageParams,
+};
 
 fn bench_crossbar_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("batch/crossbar_admissions");
@@ -63,5 +66,42 @@ fn bench_three_stage_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crossbar_batch, bench_three_stage_batch);
+fn bench_awg_clos_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/awg_clos_admissions");
+    g.sample_size(10);
+    for (n, r, k) in [(2u32, 4u32, 4u32), (4, 8, 8)] {
+        let fsr_orders = k.div_ceil(r).max(1);
+        let m = awg::min_middles(n, r, k, fsr_orders).expect("k ≥ r");
+        let p = ThreeStageParams::new(n, m, r, k);
+        let events = closed_trace(p.network(), MulticastModel::Msw, 11);
+        let label = format!("n{n}r{r}k{k}m{m}");
+        for (mode, window) in [("singles", 1usize), ("batch", BATCH_WINDOW)] {
+            g.bench_with_input(BenchmarkId::new(mode, &label), &window, |b, &w| {
+                b.iter(|| {
+                    let report = drive(
+                        AwgClosNetwork::new(
+                            p,
+                            fsr_orders,
+                            ConverterPlacement::IngressEgress,
+                            MulticastModel::Msw,
+                        ),
+                        &events,
+                        4,
+                        w,
+                    );
+                    assert_eq!(report.summary.blocked, 0, "blocked at m = bound");
+                    report
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar_batch,
+    bench_three_stage_batch,
+    bench_awg_clos_batch
+);
 criterion_main!(benches);

@@ -83,11 +83,43 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
     });
 }
 
+fn bench_awg_clos_connect_cycle(c: &mut Criterion) {
+    // One multicast connect+disconnect cycle through the wavelength-routed
+    // Clos: four legs planned per cycle, each a packed-bitset probe over
+    // the class replicas — comparable to the incremental crossbar cycle.
+    use wdm_core::MulticastConnection;
+    use wdm_multistage::AwgClosNetwork;
+    let mut net = AwgClosNetwork::at_bound(2, 4, 4, MulticastModel::Msw);
+    // Background load: all endpoints of module 0 but one, each multicast
+    // to all four output modules, so the probe walks busy channels.
+    for i in 1..8u32 {
+        let (port, wl) = (i / 4, i % 4);
+        let conn = MulticastConnection::new(
+            wdm_core::Endpoint::new(port, wl),
+            (0..4).map(|b| wdm_core::Endpoint::new(2 * b + port, wl)),
+        )
+        .unwrap();
+        net.connect(&conn).unwrap();
+    }
+    let extra = MulticastConnection::new(
+        wdm_core::Endpoint::new(0, 0),
+        (0..4).map(|b| wdm_core::Endpoint::new(2 * b, 0)),
+    )
+    .unwrap();
+    c.bench_function("fabric/awg_clos_connect_cycle_n2r4k4", |b| {
+        b.iter(|| {
+            net.connect(black_box(&extra)).unwrap();
+            net.disconnect(extra.source()).unwrap();
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_build,
     bench_route,
     bench_census,
-    bench_incremental_vs_batch
+    bench_incremental_vs_batch,
+    bench_awg_clos_connect_cycle
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 use wdm_analysis::{parallel_map, Report, TextTable};
 use wdm_bench::experiments_dir;
 use wdm_core::MulticastModel;
-use wdm_multistage::{bounds, cost, Construction, ThreeStageParams};
+use wdm_multistage::{awg, bounds, cost, Construction, ConverterPlacement, ThreeStageParams};
 
 fn main() {
     let mut report = Report::new();
@@ -143,6 +143,71 @@ fn main() {
         "table2_constructions",
         "MSW-dominant vs MAW-dominant cost",
         dom,
+    );
+
+    // ---- Three architectures: switched middles vs passive gratings ----
+    // The AWG-Clos trades middle-stage crosspoints (zero — the gratings
+    // are passive) for middle-stage *count*: its private-pool bound is
+    // m = ⌈n·k/⌊usable/r⌋⌉ ≥ n·r, versus Theorem 1's O(n·x) switched
+    // middles. Square decompositions need k ≥ √N to be feasible at all,
+    // which confines the comparison to small N — exactly the paper-scale
+    // geometries the conformance suites exercise.
+    let mut three_arch = TextTable::new([
+        "N",
+        "k",
+        "design",
+        "m",
+        "crosspoints",
+        "converters",
+        "AWG ports",
+    ]);
+    for &n in &[16u32, 64] {
+        for &k in &[4u32, 8] {
+            let side = (n as f64).sqrt() as u32;
+            let p_msw = ThreeStageParams::square(n, k);
+            let ms = cost::three_stage_cost(p_msw, Construction::MswDominant, MulticastModel::Msw);
+            three_arch.row([
+                n.to_string(),
+                k.to_string(),
+                "MS (switched)".to_string(),
+                p_msw.m.to_string(),
+                ms.crosspoints.to_string(),
+                ms.converters.to_string(),
+                "0".to_string(),
+            ]);
+            let fsr_orders = k.div_ceil(side).max(1);
+            match awg::min_middles(side, side, k, fsr_orders) {
+                Some(m) => {
+                    let p = ThreeStageParams::new(side, m, side, k);
+                    let c = cost::awg_clos_cost(p, ConverterPlacement::IngressEgress);
+                    three_arch.row([
+                        n.to_string(),
+                        k.to_string(),
+                        "AWG-Clos".to_string(),
+                        m.to_string(),
+                        c.crosspoints.to_string(),
+                        c.converters.to_string(),
+                        c.awg_ports.to_string(),
+                    ]);
+                }
+                None => {
+                    three_arch.row([
+                        n.to_string(),
+                        k.to_string(),
+                        "AWG-Clos".to_string(),
+                        "-".to_string(),
+                        format!("infeasible (k < r={side})"),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    report.add(
+        "table2_three_architectures",
+        "Switched vs wavelength-routed middle stage (MSW model)",
+        three_arch,
     );
 
     report.print();

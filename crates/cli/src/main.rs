@@ -17,8 +17,10 @@ use wdm_analysis::TextTable;
 use wdm_core::{capacity, MulticastModel, NetworkConfig};
 use wdm_fabric::{PowerParams, WdmCrossbar};
 use wdm_multistage::{
-    bounds, cost, scenarios, Construction, RouteError, ThreeStageNetwork, ThreeStageParams,
+    awg, bounds, cost, scenarios, AwgClosNetwork, Construction, ConverterPlacement, RouteError,
+    ThreeStageNetwork, ThreeStageParams,
 };
+use wdm_sim::BackendKind;
 use wdm_workload::AssignmentGen;
 
 fn main() -> ExitCode {
@@ -73,7 +75,8 @@ USAGE: wdmcast <command> [options]
 
 COMMANDS:
   capacity    -N <ports> -k <wavelengths>          exact multicast capacities (Lemmas 1-3)
-  cost        -N <ports> -k <wavelengths>          crossbar vs multistage cost (Table 2)
+  cost        -N <ports> -k <wavelengths>          three-architecture cost report (Table 2 +
+                                                   AWG-Clos): crosspoints, converters, AWG ports
   build       -N <ports> -k <λ> --model <m>        construct a crossbar; census + power budget
   bounds      --n <n> --r <r> -k <λ>               Theorems 1-2 middle-stage bounds
   route       -N <ports> -k <λ> --model <m> [--steps S] [--seed X]
@@ -92,15 +95,18 @@ COMMANDS:
               [--rate R] [--horizon T] [--workers W] [--deadline-ms D] [--seed X]
               [--snapshot-ms S] [--json file]      run the concurrent admission engine over a
               [--kill-middle j,k,...] [--fault-rate R] [--mttr T]
-                                                   dynamic trace on BOTH backends (crossbar and
-                                                   three-stage) and report throughput, blocking
-                                                   probability, and admission latency;
+              [--backend three-stage|awg-clos]
+                                                   dynamic trace on the crossbar baseline AND the
+                                                   chosen multistage backend (default three-stage)
+                                                   and report throughput, blocking probability,
+                                                   and admission latency;
                                                    --kill-middle fails the named middle switches
                                                    mid-run, --fault-rate adds randomized component
                                                    chaos (repairs after mean --mttr, default 2)
               with --listen ADDR (e.g. 127.0.0.1:0) the command instead serves the admission
-              engine over TCP using the wdm-net wire protocol ([--backend crossbar|three-stage]
-              picks the fabric behind the same dyn-Backend engine, default three-stage);
+              engine over TCP using the wdm-net wire protocol
+              ([--backend crossbar|three-stage|awg-clos] picks the fabric behind the same
+              dyn-Backend engine, default three-stage; awg-clos needs k ≥ r);
               [--addr-file PATH] writes the bound address (for port 0) and a client's Drain
               frame stops the server
   bench-net   --connect ADDR --n <n> --r <r> -k <λ> [--clients C] [--pipeline W]
@@ -111,7 +117,7 @@ COMMANDS:
                                                    and report admissions/sec plus latency
                                                    percentiles; --drain true (default) drains the
                                                    server at the end and asserts a clean report
-  sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage] [--m M]
+  sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage|awg-clos] [--m M]
               [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted]
                                                    deterministic simulation: replay seeded
                                                    interleavings of the sharded admission engine
@@ -202,6 +208,33 @@ impl Opts {
             Some(other) => Err(format!("unknown construction {other:?} (msw|maw)")),
         }
     }
+
+    /// Parse `--backend` against the full backend registry; an unknown
+    /// name lists every valid choice so the caller can self-correct.
+    fn backend(&self, default: BackendKind) -> Result<BackendKind, String> {
+        match self.0.get("backend") {
+            None => Ok(default),
+            Some(s) => BackendKind::parse(s).ok_or_else(|| {
+                let menu: Vec<&str> = BackendKind::ALL.iter().map(|b| b.label()).collect();
+                format!("unknown backend {s:?}; valid backends: {}", menu.join(", "))
+            }),
+        }
+    }
+}
+
+/// The AWG-Clos strictly nonblocking bound for a geometry, as a CLI
+/// error when the geometry is structurally infeasible (`k < r` leaves
+/// some module pairs without a usable channel class).
+fn awg_bound(n: u32, r: u32, k: u32) -> Result<(u32, u32), String> {
+    let fsr_orders = k.div_ceil(r).max(1);
+    awg::min_middles(n, r, k, fsr_orders)
+        .map(|m| (m, fsr_orders))
+        .ok_or_else(|| {
+            format!(
+                "awg-clos needs k ≥ r (got k={k}, r={r}): with fewer usable channels \
+                 than AWG ports some module pairs have no channel class at all"
+            )
+        })
 }
 
 /// Validated flat network frame: the constructors panic on degenerate
@@ -262,26 +295,50 @@ fn cmd_capacity(opts: &Opts) -> Result<(), String> {
 fn cmd_cost(opts: &Opts) -> Result<(), String> {
     let net = frame(opts)?;
     let (n, k) = (net.ports as u64, net.wavelengths as u64);
-    let mut t = TextTable::new(["design", "crosspoints", "converters"]);
+    let side = (n as f64).sqrt().round() as u32;
+    let square = side as u64 * side as u64 == n && side >= 2;
+    let mut t = TextTable::new(["design", "crosspoints", "converters", "AWG ports"]);
+    let row = |t: &mut TextTable, label: String, c: cost::ArchitectureCost| {
+        t.row([
+            label,
+            c.crosspoints.to_string(),
+            c.converters.to_string(),
+            c.awg_ports.to_string(),
+        ]);
+    };
     for model in MulticastModel::ALL {
         let cb = cost::crossbar_cost(n, k, model);
-        t.row([
-            format!("{model}/CB"),
-            cb.crosspoints.to_string(),
-            cb.converters.to_string(),
-        ]);
-        let side = (n as f64).sqrt().round() as u32;
-        if side as u64 * side as u64 == n && side >= 2 {
+        row(&mut t, format!("{model}/CB"), cb.into());
+        if square {
             let p = ThreeStageParams::square(net.ports, net.wavelengths);
             let ms = cost::three_stage_cost(p, Construction::MswDominant, model);
-            t.row([
+            row(
+                &mut t,
                 format!("{model}/MS (n=r={side}, m={})", p.m),
-                ms.crosspoints.to_string(),
-                ms.converters.to_string(),
-            ]);
+                ms.into(),
+            );
         }
     }
+    // The wavelength-routed Clos has a model-independent middle stage
+    // (passive gratings route every model the same way), so it is one
+    // row, not one per model.
+    let awg_note = if square {
+        match awg_bound(side, side, net.wavelengths) {
+            Ok((m, _)) => {
+                let p = ThreeStageParams::new(side, m, side, net.wavelengths);
+                let c = cost::awg_clos_cost(p, ConverterPlacement::IngressEgress);
+                row(&mut t, format!("AWG/Clos (n=r={side}, m={m})"), c);
+                None
+            }
+            Err(e) => Some(e),
+        }
+    } else {
+        None
+    };
     println!("Network cost for {net}:\n{t}");
+    if let Some(e) = awg_note {
+        println!("(no AWG/Clos row: {e})");
+    }
     Ok(())
 }
 
@@ -666,11 +723,26 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let k = opts.u32("k", Some(1))?;
     let construction = opts.construction()?;
     let model = opts.model()?;
-    let bound = match construction {
-        Construction::MswDominant => bounds::theorem1_min_m(n, r),
-        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    let kind = opts.backend(BackendKind::ThreeStage)?;
+    if kind == BackendKind::Crossbar {
+        return Err(
+            "serve (without --listen) always runs the crossbar as the baseline; \
+             pass --backend three-stage or awg-clos to pick its multistage rival"
+                .into(),
+        );
+    }
+    let (bound_m, bound_name) = match kind {
+        BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
+        _ => (
+            match construction {
+                Construction::MswDominant => bounds::theorem1_min_m(n, r),
+                Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+            }
+            .m,
+            "theorem bound",
+        ),
     };
-    let p = three_stage(opts, n, r, k, bound.m)?;
+    let p = three_stage(opts, n, r, k, bound_m)?;
     let flat = p.network();
 
     let rate = opts.f64("rate", 4.0)?;
@@ -773,11 +845,16 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // than an empty one.
     let mut injector = FaultInjector::scripted(fault_schedule);
     let chaos = injector.pending() > 0;
-    let engine = EngineBuilder::from_config(config.clone()).start(ThreeStageNetwork::new(
-        p,
-        construction,
-        model,
-    ));
+    let rival: Box<dyn Backend> = match kind {
+        BackendKind::AwgClos => Box::new(AwgClosNetwork::new(
+            p,
+            awg_bound(n, r, k)?.1,
+            ConverterPlacement::IngressEgress,
+            model,
+        )),
+        _ => Box::new(ThreeStageNetwork::new(p, construction, model)),
+    };
+    let engine = EngineBuilder::from_config(config.clone()).start(rival);
     let handle = engine.fault_handle();
     let mut fired: Vec<InjectionRecord> = Vec::new();
     for ev in &events {
@@ -818,7 +895,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         ]);
     };
     row("crossbar", &xbar.summary);
-    row(&format!("3-stage m={}", p.m), &three.summary);
+    row(&format!("{} m={}", kind.label(), p.m), &three.summary);
     println!("{t}");
 
     let loads: Vec<f64> = three
@@ -828,9 +905,9 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         .map(|&l| l as f64)
         .collect();
     println!(
-        "three-stage middle-switch occupancy at drain: {} (theorem bound m ≥ {})",
+        "{} middle-stage occupancy at drain: {} ({bound_name} m ≥ {bound_m})",
+        kind.label(),
         wdm_analysis::sparkline(&loads),
-        bound.m
     );
     if chaos {
         println!();
@@ -874,7 +951,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         let mut lines: Vec<String> = Vec::new();
         for (label, rep) in [
             ("crossbar", &xbar.snapshots),
-            ("three-stage", &three.snapshots),
+            (kind.label(), &three.snapshots),
         ] {
             for s in rep {
                 lines.push(format!(
@@ -888,7 +965,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             xbar.summary.to_json()
         ));
         lines.push(format!(
-            "{{\"backend\":\"three-stage\",\"summary\":{}}}",
+            "{{\"backend\":\"{}\",\"summary\":{}}}",
+            kind.label(),
             three.summary.to_json()
         ));
         std::fs::write(path, lines.join("\n") + "\n").map_err(|e| e.to_string())?;
@@ -909,17 +987,17 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // or above the bound, and randomized chaos (transient, repairing
     // faults) voids the guarantee during each outage window.
     let live_m = p.m - kill_middles.len() as u32;
-    let enforce = fault_rate.is_none() && live_m >= bound.m;
+    let enforce = fault_rate.is_none() && live_m >= bound_m;
     if enforce && three.summary.blocked > 0 {
         return Err(format!(
-            "{} hard blocks with {live_m} live middles ≥ bound {} — nonblocking theorem violated",
-            three.summary.blocked, bound.m
+            "{} hard blocks with {live_m} live middles ≥ bound {bound_m} — nonblocking \
+             guarantee violated",
+            three.summary.blocked
         ));
     }
     if !enforce {
         println!(
-            "(degraded regime: {live_m} live middles vs bound {}{}; {} blocks observed is honest behaviour)",
-            bound.m,
+            "(degraded regime: {live_m} live middles vs bound {bound_m}{}; {} blocks observed is honest behaviour)",
             if fault_rate.is_some() {
                 ", randomized chaos on"
             } else {
@@ -946,11 +1024,17 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     let k = opts.u32("k", Some(1))?;
     let construction = opts.construction()?;
     let model = opts.model()?;
-    let bound = match construction {
-        Construction::MswDominant => bounds::theorem1_min_m(n, r),
-        Construction::MawDominant => bounds::theorem2_min_m(n, r, k),
+    let kind = opts.backend(BackendKind::ThreeStage)?;
+    // Each architecture has its own nonblocking bound — the theorem
+    // bound for switched middles, the private-pool bound for gratings.
+    let bound_m = match kind {
+        BackendKind::AwgClos => awg_bound(n, r, k)?.0,
+        _ => match construction {
+            Construction::MswDominant => bounds::theorem1_min_m(n, r).m,
+            Construction::MawDominant => bounds::theorem2_min_m(n, r, k).m,
+        },
     };
-    let p = three_stage(opts, n, r, k, bound.m)?;
+    let p = three_stage(opts, n, r, k, bound_m)?;
     let workers = opts.u32("workers", Some(4))? as usize;
     if workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -963,26 +1047,24 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     let listen = opts.0.get("listen").expect("checked by caller").clone();
     // The backend is picked at runtime behind `dyn Backend`: the engine,
     // server, and wire path are identical for every fabric.
-    let (label, backend): (&str, Box<dyn Backend>) = match opts.0.get("backend").map(String::as_str)
-    {
-        None | Some("three-stage") | Some("threestage") | Some("3stage") => (
-            "three-stage",
-            Box::new(ThreeStageNetwork::new(p, construction, model)),
-        ),
-        Some("crossbar") => (
-            "crossbar",
-            Box::new(CrossbarSession::new(p.network(), model)),
-        ),
-        Some(other) => return Err(format!("unknown backend {other:?} (crossbar|three-stage)")),
+    let backend: Box<dyn Backend> = match kind {
+        BackendKind::ThreeStage => Box::new(ThreeStageNetwork::new(p, construction, model)),
+        BackendKind::Crossbar => Box::new(CrossbarSession::new(p.network(), model)),
+        BackendKind::AwgClos => Box::new(AwgClosNetwork::new(
+            p,
+            awg_bound(n, r, k)?.1,
+            ConverterPlacement::IngressEgress,
+            model,
+        )),
     };
     let engine = EngineBuilder::from_config(config).start(backend);
     let server = NetServer::serve(engine, listen.as_str(), NetServerConfig::default())
         .map_err(|e| format!("bind {listen}: {e}"))?;
     let addr = server.local_addr();
     println!(
-        "serving {label} {p} [{construction}, {model}] on {addr} ({workers} worker shards, \
-         Theorem bound m ≥ {}); a client's Drain frame stops the server",
-        bound.m
+        "serving {} {p} [{construction}, {model}] on {addr} ({workers} worker shards, \
+         nonblocking bound m ≥ {bound_m}); a client's Drain frame stops the server",
+        kind.label(),
     );
     if let Some(path) = opts.0.get("addr-file") {
         std::fs::write(path, addr.to_string()).map_err(|e| format!("write {path}: {e}"))?;
@@ -999,10 +1081,10 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
             report.worker_panics, report.consistency, report.errors
         ));
     }
-    if p.m >= bound.m && s.blocked > 0 {
+    if p.m >= bound_m && s.blocked > 0 {
         return Err(format!(
-            "{} hard blocks with m={} at or above the bound {} — nonblocking theorem violated",
-            s.blocked, p.m, bound.m
+            "{} hard blocks with m={} at or above the bound {bound_m} — nonblocking theorem violated",
+            s.blocked, p.m
         ));
     }
     Ok(())
@@ -1225,13 +1307,9 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
 /// failure is delta-debugged to a minimal trace and reported with its
 /// seed — and the process exits nonzero so CI sweeps fail loudly.
 fn cmd_sim(opts: &Opts) -> Result<(), String> {
-    use wdm_sim::{BackendKind, SimSetup};
+    use wdm_sim::SimSetup;
 
-    let backend = match opts.0.get("backend").map(String::as_str) {
-        None => BackendKind::ThreeStage,
-        Some(s) => BackendKind::parse(s)
-            .ok_or_else(|| format!("unknown backend {s:?} (crossbar|three-stage)"))?,
-    };
+    let backend = opts.backend(BackendKind::ThreeStage)?;
     let n = opts.u32("n", None)?;
     let r = opts.u32("r", None)?;
     let k = opts.u32("k", Some(1))?;
@@ -1246,13 +1324,17 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
         Some(other) => return Err(format!("--faulted must be true or false, got {other:?}")),
     };
 
-    let bound = bounds::theorem1_min_m(n, r).m;
+    let (bound, bound_name) = match backend {
+        BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
+        _ => (bounds::theorem1_min_m(n, r).m, "Theorem 1 bound"),
+    };
     let mut setup = match backend {
         BackendKind::Crossbar => SimSetup::crossbar(n, r, k, steps, shards),
         BackendKind::ThreeStage => SimSetup::three_stage_at_bound(n, r, k, steps, shards),
+        BackendKind::AwgClos => SimSetup::awg_clos(n, r, k, steps, shards),
     };
     setup.faulted = faulted;
-    if backend == BackendKind::ThreeStage {
+    if matches!(backend, BackendKind::ThreeStage | BackendKind::AwgClos) {
         if let Some(m) = opts.0.get("m") {
             setup.m = m
                 .parse::<u32>()
@@ -1260,9 +1342,11 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
                 .filter(|&m| m >= 1)
                 .ok_or_else(|| format!("--m must be a positive integer, got {m:?}"))?;
         }
-        if setup.m < bound {
+        if setup.m < bound && backend == BackendKind::ThreeStage {
             // Under-provisioned: spread load across middles so reachable
-            // hard blocks actually surface (and become artifacts).
+            // hard blocks actually surface (and become artifacts). The
+            // AWG backend has no strategy knob — per-pair pools make
+            // first-fit canonical.
             setup.strategy = wdm_multistage::SelectionStrategy::Spread;
         }
         if faulted {
@@ -1272,12 +1356,12 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
         }
     }
     println!(
-        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{} (Theorem 1 bound m ≥ {bound})",
+        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{} ({bound_name} m ≥ {bound})",
         backend.label(),
-        if backend == BackendKind::ThreeStage {
-            format!(" m={}", setup.m)
-        } else {
+        if backend == BackendKind::Crossbar {
             String::new()
+        } else {
+            format!(" m={}", setup.m)
         },
         if faulted { " faulted" } else { "" },
     );

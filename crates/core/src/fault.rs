@@ -26,7 +26,12 @@ use std::fmt;
 /// output modules, `m` middle switches. For a single-stage crossbar only
 /// [`Fault::Port`] and the converter-bank variants are meaningful (ports
 /// double as "modules" there); the link and middle-switch variants are
-/// accepted but touch nothing.
+/// accepted but touch nothing. The AWG-based Clos backend reuses the
+/// same vocabulary: [`Fault::MiddleSwitch`] is a dead grating,
+/// the link variants sever its fibers, the edge converter-bank faults
+/// pin channel choice — and [`Fault::MiddleConverters`] names hardware
+/// a passive AWG does not have, so it is recorded but routes nothing
+/// differently there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Fault {
     /// Middle switch `j` is dead: no connection may enter or leave it.

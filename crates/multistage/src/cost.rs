@@ -6,6 +6,7 @@
 //! placements: an MSDW module converts on its *input* wavelengths, an MAW
 //! module on its *output* wavelengths.
 
+use crate::awg::ConverterPlacement;
 use crate::{bounds, Construction, ThreeStageParams};
 use serde::{Deserialize, Serialize};
 use wdm_core::MulticastModel;
@@ -17,6 +18,61 @@ pub struct NetworkCost {
     pub crosspoints: u64,
     /// Total wavelength converters.
     pub converters: u64,
+}
+
+/// Cost summary across all three architectures: the switching designs
+/// count crosspoints and converters; the AWG-based Clos additionally
+/// counts passive AWG ports (its middle stage has zero crosspoints but
+/// is not free hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchitectureCost {
+    /// Total SOA-gate crosspoints.
+    pub crosspoints: u64,
+    /// Total (tunable) wavelength converters.
+    pub converters: u64,
+    /// Total AWG ports (`2·m·r` for `m` `r×r` gratings; 0 for the
+    /// switching architectures).
+    pub awg_ports: u64,
+}
+
+impl From<NetworkCost> for ArchitectureCost {
+    fn from(c: NetworkCost) -> Self {
+        ArchitectureCost {
+            crosspoints: c.crosspoints,
+            converters: c.converters,
+            awg_ports: 0,
+        }
+    }
+}
+
+/// Total cost of an AWG-based wavelength-routed Clos with geometry `p`
+/// and converter banks at `placement`.
+///
+/// * **Crosspoints** — only the edge stages switch: `r` input modules
+///   of `k·n·m` each plus `r` output modules of `k·m·n` each
+///   (`2·k·n·m·r` total); the passive middle stage contributes zero.
+/// * **Converters** — ingress TWCs set each leg's channel: one per
+///   concurrently usable channel per input module,
+///   `r·min(n·r, m·k)` (a module's legs are capped both by demand,
+///   `n` sources × `r` legs, and by fiber capacity, `m` fibers × `k`
+///   channels). `IngressEgress` adds `r·n·k` egress TWCs (one per
+///   output endpoint) so any channel reaches any destination
+///   wavelength.
+/// * **AWG ports** — `2·m·r`: `m` gratings, `r` ports per side.
+pub fn awg_clos_cost(p: ThreeStageParams, placement: ConverterPlacement) -> ArchitectureCost {
+    let (n, m, r, k) = (p.n as u64, p.m as u64, p.r as u64, p.k as u64);
+    let crosspoints = r * module_crosspoints(n, m, k, MulticastModel::Msw)
+        + r * module_crosspoints(m, n, k, MulticastModel::Msw);
+    let ingress = r * (n * r).min(m * k);
+    let egress = match placement {
+        ConverterPlacement::Ingress => 0,
+        ConverterPlacement::IngressEgress => r * n * k,
+    };
+    ArchitectureCost {
+        crosspoints,
+        converters: ingress + egress,
+        awg_ports: 2 * m * r,
+    }
 }
 
 /// Crosspoints of one `a×b` `k`-wavelength module under `model`.
@@ -202,6 +258,37 @@ mod tests {
         let xbar = recursive_crosspoints(n, 2, MulticastModel::Msw, 0);
         assert!(flat3 < xbar);
         assert!(five < flat3);
+    }
+
+    #[test]
+    fn awg_clos_cost_formulas() {
+        // n=2, r=4, k=4, m=2 — small m picked to keep the arithmetic
+        // legible; the formulas are per-device and independent of the
+        // nonblocking bound (which is m=8 at this geometry).
+        let p = ThreeStageParams::new(2, 2, 4, 4);
+        let c = awg_clos_cost(p, ConverterPlacement::IngressEgress);
+        // Edge stages only: 2·k·n·m·r = 2·4·2·2·4.
+        assert_eq!(c.crosspoints, 2 * 4 * 2 * 2 * 4);
+        // Ingress r·min(n·r, m·k) = 4·min(8,8) = 32; egress r·n·k = 32.
+        assert_eq!(c.converters, 32 + 32);
+        assert_eq!(c.awg_ports, 2 * 2 * 4);
+        // Ingress-only placement drops the egress banks.
+        let cheap = awg_clos_cost(p, ConverterPlacement::Ingress);
+        assert_eq!(cheap.converters, 32);
+        assert_eq!(cheap.crosspoints, c.crosspoints);
+    }
+
+    #[test]
+    fn awg_middle_stage_beats_switched_middles_on_crosspoints() {
+        // Same geometry: the AWG design strips the middle stage's
+        // m·k·r² crosspoints (paying in converters and AWG ports).
+        let p = ThreeStageParams::new(4, 13, 4, 2);
+        let awg = awg_clos_cost(p, ConverterPlacement::IngressEgress);
+        let sw = three_stage_cost(p, Construction::MswDominant, MulticastModel::Msw);
+        assert!(awg.crosspoints < sw.crosspoints);
+        assert_eq!(sw.crosspoints - awg.crosspoints, 13 * 2 * 4 * 4);
+        assert!(awg.converters > sw.converters);
+        assert_eq!(ArchitectureCost::from(sw).awg_ports, 0);
     }
 
     #[test]

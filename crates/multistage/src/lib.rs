@@ -20,6 +20,10 @@
 //!   either route or report [`RouteError::Blocked`], which is how the
 //!   theorems are validated empirically.
 //! * [`cost`] — crosspoint/converter totals of §3.4 and Table 2.
+//! * [`AwgClosNetwork`] — an AWG-based wavelength-routed Clos: passive
+//!   cyclic-permutation middle stage ([`AwgDevice`]), FSR periodicity,
+//!   tunable-converter banks at configurable [`ConverterPlacement`]s,
+//!   strictly nonblocking at the [`awg::min_middles`] bound.
 //! * [`scenarios`] — the Fig. 10 blocking scenario.
 //!
 //! ```
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod awg;
 pub mod bounds;
 pub mod cost;
 mod multiset;
@@ -47,6 +52,7 @@ mod recursive;
 pub mod scenarios;
 mod witness;
 
+pub use awg::{AwgClosNetwork, AwgDevice, AwgLeg, AwgRoute, ConverterPlacement};
 pub use multiset::DestinationMultiset;
 pub use network::{
     Branch, Leg, RouteError, RoutedConnection, SelectionStrategy, ThreeStageNetwork,

@@ -13,7 +13,7 @@
 
 use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_fabric::CrossbarSession;
-use wdm_multistage::ThreeStageNetwork;
+use wdm_multistage::{AwgClosNetwork, ThreeStageNetwork};
 
 /// Former runtime-local error enum, now unified into the canonical
 /// taxonomy. Use [`wdm_core::Reject`] directly.
@@ -203,6 +203,63 @@ impl Backend for ThreeStageNetwork {
     }
 }
 
+impl Backend for AwgClosNetwork {
+    fn label(&self) -> &'static str {
+        "awg-clos"
+    }
+
+    fn ports_per_module(&self) -> u32 {
+        self.params().n
+    }
+
+    fn wavelengths(&self) -> u32 {
+        self.params().k
+    }
+
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        AwgClosNetwork::connect(self, conn)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        AwgClosNetwork::disconnect(self, src)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn active_connections(&self) -> usize {
+        AwgClosNetwork::active_connections(self)
+    }
+
+    fn middle_loads(&self) -> Vec<u64> {
+        AwgClosNetwork::middle_loads(self)
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        if !AwgClosNetwork::inject_fault(self, fault) {
+            return Vec::new();
+        }
+        let victims: Vec<MulticastConnection> = self
+            .connections_through(&fault)
+            .into_iter()
+            .filter_map(|src| self.assignment().connection_at(src).cloned())
+            .collect();
+        for c in &victims {
+            AwgClosNetwork::disconnect(self, c.source()).expect("victim is live");
+        }
+        victims
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        AwgClosNetwork::repair_fault(self, fault)
+    }
+
+    fn check(&self) -> Vec<String> {
+        self.check_consistency()
+    }
+}
+
 /// Forwarding impl so a `Box<dyn Backend>` is itself a [`Backend`] —
 /// the CLI's backend selector can pick an implementation at runtime and
 /// hand the boxed trait object straight to the engine.
@@ -331,6 +388,28 @@ mod tests {
         let downs = boxed.disconnect_batch(&[Endpoint::new(0, 0), Endpoint::new(2, 1)]);
         assert!(downs.iter().all(|r| r.is_ok()));
         assert_eq!(boxed.active_connections(), 0);
+    }
+
+    #[test]
+    fn awg_backend_admits_and_blocks() {
+        use wdm_multistage::ConverterPlacement;
+        // m=1 is below the bound (2), so a same-module-pair clash must
+        // surface as Blocked, not Busy; at the bound it admits.
+        let p = ThreeStageParams::new(2, 1, 4, 4);
+        let mut b =
+            AwgClosNetwork::new(p, 1, ConverterPlacement::IngressEgress, MulticastModel::Maw);
+        assert_eq!(b.label(), "awg-clos");
+        assert_eq!(Backend::ports_per_module(&b), 2);
+        assert_eq!(Backend::wavelengths(&b), 4);
+        Backend::connect(&mut b, &conn((0, 0), &[(0, 0)])).unwrap();
+        let r = Backend::connect(&mut b, &conn((1, 1), &[(1, 1)]));
+        assert!(matches!(r, Err(Reject::Blocked { .. })), "{r:?}");
+        assert!(b.check().is_empty());
+        // Fault eviction returns the victims like the other backends.
+        let victims = Backend::inject_fault(&mut b, Fault::MiddleSwitch(0));
+        assert_eq!(victims.len(), 1);
+        assert_eq!(Backend::active_connections(&b), 0);
+        assert!(Backend::repair_fault(&mut b, Fault::MiddleSwitch(0)));
     }
 
     #[test]

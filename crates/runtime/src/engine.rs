@@ -329,15 +329,8 @@ pub struct AdmissionEngine<B: Backend> {
 
 impl<B: Backend> AdmissionEngine<B> {
     /// Take ownership of `backend` and spin up the shard workers (plus
-    /// the snapshot observer when configured).
-    #[deprecated(
-        since = "0.5.0",
-        note = "use EngineBuilder::from_config(config).start(backend)"
-    )]
-    pub fn start(backend: B, config: RuntimeConfig) -> Self {
-        Self::start_with(backend, config)
-    }
-
+    /// the snapshot observer when configured). Reached through
+    /// [`EngineBuilder::start`].
     fn start_with(backend: B, config: RuntimeConfig) -> Self {
         let workers_n = config.effective_workers();
         let core = EngineCore::new(backend);
@@ -610,9 +603,10 @@ impl<B: Backend> AdmissionEngine<B> {
 
 /// Fluent construction of an [`AdmissionEngine`].
 ///
-/// Replaces the positional `AdmissionEngine::start(backend, config)`
-/// entry point: every knob is named, unset knobs keep the
-/// [`RuntimeConfig`] defaults, and the backend arrives last.
+/// The only way to start an engine (the old positional
+/// `AdmissionEngine::start(backend, config)` is gone): every knob is
+/// named, unset knobs keep the [`RuntimeConfig`] defaults, and the
+/// backend arrives last.
 ///
 /// ```
 /// use std::time::Duration;

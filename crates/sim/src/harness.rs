@@ -18,7 +18,8 @@ use std::fmt;
 use wdm_core::{Fault, MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
-    bounds, Construction, SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
+    awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, SelectionStrategy,
+    ThreeStageNetwork, ThreeStageParams,
 };
 use wdm_runtime::RuntimeConfig;
 use wdm_workload::adversarial::{AdversarialGen, Geometry};
@@ -32,6 +33,8 @@ pub enum BackendKind {
     Crossbar,
     /// A three-stage network with `m` middle switches.
     ThreeStage,
+    /// An AWG-based wavelength-routed Clos with `m` passive gratings.
+    AwgClos,
 }
 
 impl BackendKind {
@@ -40,6 +43,7 @@ impl BackendKind {
         match self {
             BackendKind::Crossbar => "crossbar",
             BackendKind::ThreeStage => "three-stage",
+            BackendKind::AwgClos => "awg-clos",
         }
     }
 
@@ -48,9 +52,17 @@ impl BackendKind {
         match s {
             "crossbar" => Some(BackendKind::Crossbar),
             "three-stage" | "threestage" | "3stage" => Some(BackendKind::ThreeStage),
+            "awg-clos" | "awgclos" | "awg" => Some(BackendKind::AwgClos),
             _ => None,
         }
     }
+
+    /// Every selectable backend, in CLI-help order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Crossbar,
+        BackendKind::ThreeStage,
+        BackendKind::AwgClos,
+    ];
 }
 
 /// Everything about a simulated experiment except the seed.
@@ -115,6 +127,29 @@ impl SimSetup {
         setup
     }
 
+    /// An AWG-based Clos provisioned exactly at its strictly
+    /// nonblocking bound, fault-free, expecting zero hard blocks.
+    ///
+    /// Panics when `k < r` — fewer than `r` usable channels leave some
+    /// module pairs unreachable by wavelength routing, so there is no
+    /// nonblocking provisioning at all.
+    pub fn awg_clos(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
+        let fsr_orders = k.div_ceil(r).max(1);
+        let m = awg::min_middles(n, r, k, fsr_orders)
+            .expect("AWG-Clos needs k ≥ r so every module pair is reachable");
+        SimSetup {
+            geo: Geometry { n, r, k },
+            model: MulticastModel::Msw,
+            m,
+            backend: BackendKind::AwgClos,
+            steps,
+            shards,
+            faulted: false,
+            expect_nonblocking: true,
+            strategy: SelectionStrategy::FirstFit,
+        }
+    }
+
     /// A crossbar setup over the same geometry (always nonblocking).
     pub fn crossbar(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
         SimSetup {
@@ -146,7 +181,9 @@ impl SimSetup {
             return Vec::new();
         }
         let fault = match self.backend {
-            BackendKind::ThreeStage => Fault::MiddleSwitch((seed % self.m.max(1) as u64) as u32),
+            BackendKind::ThreeStage | BackendKind::AwgClos => {
+                Fault::MiddleSwitch((seed % self.m.max(1) as u64) as u32)
+            }
             BackendKind::Crossbar => Fault::Port((seed % self.geo.ports() as u64) as u32),
         };
         let fail_at = trace[trace.len() / 3].time;
@@ -203,6 +240,16 @@ impl SimSetup {
                 );
                 self.judge(trace, faults, run)
             }
+            BackendKind::AwgClos => {
+                let run = simulate(
+                    self.make_awg_clos(),
+                    trace,
+                    faults,
+                    &params,
+                    Scheduler::Random(choices),
+                );
+                self.judge(trace, faults, run)
+            }
         }
     }
 
@@ -239,6 +286,16 @@ impl SimSetup {
                     );
                     conformance_violations(&run, &serial, self.expect_nonblocking)
                 }
+                BackendKind::AwgClos => {
+                    let serial = simulate(
+                        self.make_awg_clos(),
+                        trace,
+                        &[],
+                        &serial_params,
+                        Scheduler::Serial,
+                    );
+                    conformance_violations(&run, &serial, self.expect_nonblocking)
+                }
             }
         } else {
             invariant_violations(&run, self.expect_nonblocking)
@@ -257,6 +314,16 @@ impl SimSetup {
         );
         net.set_strategy(self.strategy);
         net
+    }
+
+    fn make_awg_clos(&self) -> AwgClosNetwork {
+        let fsr_orders = self.geo.k.div_ceil(self.geo.r).max(1);
+        AwgClosNetwork::new(
+            ThreeStageParams::new(self.geo.n, self.m, self.geo.r, self.geo.k),
+            fsr_orders,
+            ConverterPlacement::IngressEgress,
+            self.model,
+        )
     }
 
     /// Check one seed end to end: derive trace + faults, run under the
@@ -336,7 +403,7 @@ impl SimSetup {
             self.steps,
             self.shards,
         );
-        if self.backend == BackendKind::ThreeStage {
+        if matches!(self.backend, BackendKind::ThreeStage | BackendKind::AwgClos) {
             cmd.push_str(&format!(" --m {}", self.m));
         }
         if self.faulted {

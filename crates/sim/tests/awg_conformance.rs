@@ -1,0 +1,180 @@
+//! Conformance sweeps for the AWG-based wavelength-routed Clos backend
+//! — the ISSUE 6 acceptance legs.
+//!
+//! All three architectures promise strict nonblocking at their
+//! respective bounds, so on identical legal traces they must agree on
+//! every per-event verdict: the differential runner below drives the
+//! same seed through `awg-clos` vs `three-stage` and `awg-clos` vs
+//! `crossbar` (≥128 seeds each) and demands zero divergences. Faulted
+//! runs have schedule-dependent victim sets, so — exactly as for the
+//! switching backends — they are judged by the conservation-law oracle
+//! across ≥128 seeds instead of per-index diffs.
+
+use wdm_core::NetworkConfig;
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{
+    awg, AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_sim::{diff_runs, simulate, ChoiceStream, Scheduler, SimParams, SimSetup};
+
+const N: u32 = 2;
+const R: u32 = 4;
+const K: u32 = 4;
+const STEPS: usize = 40;
+const SHARDS: usize = 4;
+const SEEDS: u64 = 128;
+
+fn make_crossbar(setup: &SimSetup) -> CrossbarSession {
+    CrossbarSession::new(
+        NetworkConfig::new(setup.geo.ports(), setup.geo.k),
+        setup.model,
+    )
+}
+
+fn make_three_stage(setup: &SimSetup) -> ThreeStageNetwork {
+    ThreeStageNetwork::new(
+        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
+        Construction::MswDominant,
+        setup.model,
+    )
+}
+
+fn make_awg(setup: &SimSetup) -> AwgClosNetwork {
+    let fsr_orders = setup.geo.k.div_ceil(setup.geo.r).max(1);
+    AwgClosNetwork::new(
+        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
+        fsr_orders,
+        ConverterPlacement::IngressEgress,
+        setup.model,
+    )
+}
+
+/// Serial-oracle conformance at the AWG bound: every seeded
+/// interleaving matches the serial reference, with zero hard blocks.
+#[test]
+fn awg_clos_at_bound_conformance_sweep() {
+    let setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    assert_eq!(setup.m, awg::min_middles(N, R, K, 1).unwrap());
+    let report = setup.sweep(0..SEEDS);
+    assert_eq!(report.checked, SEEDS as usize);
+    assert!(
+        report.failures.is_empty(),
+        "oracle divergence:\n{}",
+        report.failures[0]
+    );
+    assert!(
+        report.distinct_schedules >= 100,
+        "only {} distinct schedules in {SEEDS} seeds",
+        report.distinct_schedules
+    );
+}
+
+/// Differential leg: awg-clos vs three-stage, fault-free, same trace
+/// and same scheduling seed — per-event verdicts must be identical.
+#[test]
+fn awg_clos_and_three_stage_agree_at_the_bound() {
+    let awg_setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    let ts = SimSetup::three_stage_at_bound(N, R, K, STEPS, SHARDS);
+    let params = SimParams::default();
+    for seed in 0..SEEDS {
+        let trace = awg_setup.trace(seed);
+        let mut cs_a = ChoiceStream::new(seed);
+        let run_a = simulate(
+            make_awg(&awg_setup),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_a),
+        );
+        let mut cs_b = ChoiceStream::new(seed);
+        let run_b = simulate(
+            make_three_stage(&ts),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_b),
+        );
+        let diffs = diff_runs(&run_a, &run_b);
+        assert!(
+            diffs.is_empty(),
+            "seed {seed}: awg-clos vs three-stage diverged: {}",
+            diffs[0]
+        );
+    }
+}
+
+/// Differential leg: awg-clos vs crossbar, fault-free.
+#[test]
+fn awg_clos_and_crossbar_agree_at_the_bound() {
+    let awg_setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    let cb = SimSetup::crossbar(N, R, K, STEPS, SHARDS);
+    let params = SimParams::default();
+    for seed in 0..SEEDS {
+        let trace = awg_setup.trace(seed);
+        let mut cs_a = ChoiceStream::new(seed);
+        let run_a = simulate(
+            make_awg(&awg_setup),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_a),
+        );
+        let mut cs_b = ChoiceStream::new(seed);
+        let run_b = simulate(
+            make_crossbar(&cb),
+            &trace,
+            &[],
+            &params,
+            Scheduler::Random(&mut cs_b),
+        );
+        let diffs = diff_runs(&run_a, &run_b);
+        assert!(
+            diffs.is_empty(),
+            "seed {seed}: awg-clos vs crossbar diverged: {}",
+            diffs[0]
+        );
+    }
+}
+
+/// Faulted sweep with a spare grating (m = bound + 1): the surviving
+/// middle stage still meets the bound, so every schedule must stay
+/// clean, conserve outcomes, and hard-block nothing — the Clos sparing
+/// argument carried over to wavelength routing.
+#[test]
+fn awg_clos_spare_margin_survives_faulted_sweep() {
+    let mut setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    setup.m += 1;
+    setup.faulted = true;
+    let report = setup.sweep(0..SEEDS);
+    assert!(
+        report.failures.is_empty(),
+        "margin fabric violated invariants:\n{}",
+        report.failures[0]
+    );
+    assert!(report.distinct_schedules >= 100);
+}
+
+/// Killing a grating at m = bound (no spare) may legitimately block,
+/// but the conservation laws still bind every schedule.
+#[test]
+fn awg_clos_at_bound_kill_still_conserves() {
+    let mut setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    setup.faulted = true;
+    setup.expect_nonblocking = false;
+    let report = setup.sweep(0..SEEDS);
+    assert!(
+        report.failures.is_empty(),
+        "conservation violated on degraded fabric:\n{}",
+        report.failures[0]
+    );
+}
+
+/// The harness's repro line names the new backend and carries --m, so
+/// a failing seed replays under `wdmcast sim --backend awg-clos`.
+#[test]
+fn awg_clos_repro_command_is_replayable() {
+    let setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    let cmd = setup.repro_command(7);
+    assert!(cmd.contains("--backend awg-clos"), "{cmd}");
+    assert!(cmd.contains(&format!("--m {}", setup.m)), "{cmd}");
+}

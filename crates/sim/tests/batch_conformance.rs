@@ -9,7 +9,9 @@
 
 use wdm_core::NetworkConfig;
 use wdm_fabric::CrossbarSession;
-use wdm_multistage::{Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_multistage::{
+    AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork, ThreeStageParams,
+};
 use wdm_runtime::{Backend, RuntimeConfig};
 use wdm_sim::executor::{simulate, Scheduler, SimParams, SimRun};
 use wdm_sim::harness::{BackendKind, SimSetup};
@@ -41,6 +43,16 @@ fn three_stage(setup: &SimSetup) -> ThreeStageNetwork {
     );
     net.set_strategy(setup.strategy);
     net
+}
+
+fn awg_clos(setup: &SimSetup) -> AwgClosNetwork {
+    let fsr_orders = setup.geo.k.div_ceil(setup.geo.r).max(1);
+    AwgClosNetwork::new(
+        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
+        fsr_orders,
+        ConverterPlacement::IngressEgress,
+        setup.model,
+    )
 }
 
 /// Compare a singles run and a batched run of the same input; panics
@@ -105,6 +117,23 @@ fn sweep(setup: &SimSetup, label: &str) {
                 );
                 assert_conformant(label, seed, singles, batched);
             }
+            BackendKind::AwgClos => {
+                let singles = simulate(
+                    awg_clos(setup),
+                    &trace,
+                    &faults,
+                    &params(1),
+                    Scheduler::Serial,
+                );
+                let batched = simulate(
+                    awg_clos(setup),
+                    &trace,
+                    &faults,
+                    &params(WINDOW),
+                    Scheduler::Serial,
+                );
+                assert_conformant(label, seed, singles, batched);
+            }
         }
     }
 }
@@ -137,6 +166,22 @@ fn three_stage_faulted_batches_conform() {
     // every index.
     setup.expect_nonblocking = false;
     sweep(&setup, "three-stage/faulted");
+}
+
+#[test]
+fn awg_clos_fault_free_batches_conform() {
+    // k = r so every module pair is wavelength-reachable.
+    let setup = SimSetup::awg_clos(2, 4, 4, STEPS, 1);
+    sweep(&setup, "awg-clos/fault-free");
+}
+
+#[test]
+fn awg_clos_faulted_batches_conform() {
+    let mut setup = SimSetup::awg_clos(2, 4, 4, STEPS, 1);
+    setup.faulted = true;
+    // Killing a grating at the exact bound may legitimately block.
+    setup.expect_nonblocking = false;
+    sweep(&setup, "awg-clos/faulted");
 }
 
 /// A starved geometry (m below the bound, spread selection) makes hard
