@@ -14,6 +14,7 @@
 //! CSV copies of every table land in `experiments/` at the workspace root.
 
 pub mod batch_drive;
+pub mod repack_drive;
 
 use std::path::PathBuf;
 

@@ -1,0 +1,71 @@
+//! Serial repack-vs-first-fit replay shared by the payoff experiments.
+//!
+//! Both `repack_curves` (the CSV sweep) and `batch_report` (the
+//! `BENCH_runtime.json` gate) offer the *same* Poisson mixed-fanout
+//! trace to a starved three-stage network twice — plain first-fit, then
+//! on-block repacking — so their dominance claims are about identical
+//! offered load, not about two different random draws.
+
+use wdm_core::MulticastModel;
+use wdm_multistage::{
+    Construction, RouteError, SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
+};
+use wdm_workload::{DynamicTraffic, TraceEvent};
+
+/// Moves the on-block search may spend per blocked connect. Matches the
+/// sim harness's budget so bench numbers replay under `wdmcast sim
+/// --repack`.
+pub const REPACK_BUDGET: u32 = 4;
+
+/// Aggregate outcome of one serial replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepackOutcome {
+    /// Connect attempts offered.
+    pub attempts: u64,
+    /// Connects admitted (first try or after rearrangement).
+    pub admitted: u64,
+    /// Hard blocks.
+    pub blocked: u64,
+    /// Branch moves committed by the repack search.
+    pub moves: u32,
+}
+
+/// Replay a seeded Poisson mixed-fanout trace (fanout ≤ 2, holding time
+/// 1, the given offered load in Erlangs over `horizon` time units) on a
+/// three-stage network with load-spreading selection.
+pub fn replay(
+    p: ThreeStageParams,
+    load: f64,
+    horizon: f64,
+    repack: bool,
+    seed: u64,
+) -> RepackOutcome {
+    let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+    net.set_strategy(SelectionStrategy::Spread);
+    let mut traffic = DynamicTraffic::new(p.network(), MulticastModel::Msw, load, 1.0, 2, seed);
+    let mut out = RepackOutcome::default();
+    for timed in traffic.generate(horizon) {
+        match timed.event {
+            TraceEvent::Connect(conn) => {
+                out.attempts += 1;
+                let res = if repack {
+                    let (res, report) = net.connect_with_repack(&conn, REPACK_BUDGET);
+                    out.moves += report.moves_committed;
+                    res
+                } else {
+                    net.connect(&conn).map(|_| ())
+                };
+                match res {
+                    Ok(()) => out.admitted += 1,
+                    Err(RouteError::Blocked { .. }) => out.blocked += 1,
+                    Err(e) => panic!("illegal trace event: {e}"),
+                }
+            }
+            TraceEvent::Disconnect(src) => {
+                // A blocked connection has nothing to release.
+                let _ = net.disconnect(src);
+            }
+        }
+    }
+    out
+}

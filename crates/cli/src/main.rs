@@ -118,12 +118,14 @@ COMMANDS:
                                                    percentiles; --drain true (default) drains the
                                                    server at the end and asserts a clean report
   sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage|awg-clos] [--m M]
-              [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted]
+              [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted] [--repack]
                                                    deterministic simulation: replay seeded
                                                    interleavings of the sharded admission engine
                                                    and check each against the serial oracle
                                                    (fault-free) or the conservation invariants
-                                                   (--faulted); --seeds sweeps COUNT seeds from
+                                                   (--faulted, or --repack which rearranges
+                                                   routes on block — three-stage only);
+                                                   --seeds sweeps COUNT seeds from
                                                    --seed (default 0); a failing seed is shrunk
                                                    by delta debugging and printed as a replayable
                                                    artifact, and the exit code is nonzero
@@ -139,7 +141,7 @@ struct Opts(HashMap<String, String>);
 impl Opts {
     /// Flags that may appear without a value (presence means "true"),
     /// so shrink artifacts' `reproduce:` lines paste back verbatim.
-    const BOOLEAN_FLAGS: [&'static str; 1] = ["faulted"];
+    const BOOLEAN_FLAGS: [&'static str; 2] = ["faulted", "repack"];
 
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut map = HashMap::new();
@@ -162,6 +164,14 @@ impl Opts {
             map.insert(key, value);
         }
         Ok(Opts(map))
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.0.get(key).map(String::as_str) {
+            None | Some("false") | Some("0") => Ok(false),
+            Some("true") | Some("1") => Ok(true),
+            Some(other) => Err(format!("--{key} must be true or false, got {other:?}")),
+        }
     }
 
     fn u32(&self, key: &str, default: Option<u32>) -> Result<u32, String> {
@@ -629,7 +639,7 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
         let model = opts.model()?;
         let steps = opts.u64("steps", 500)? as usize;
         let trace = RequestTrace::churn(net, model, steps, 35, opts.u64("seed", 42)?);
-        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!(
             "recorded {} events ({} connects, peak {} concurrent) to {path}",
             trace.len(),
@@ -639,8 +649,8 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
         return Ok(());
     }
     if let Some(path) = opts.0.get("replay") {
-        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        let trace = RequestTrace::from_json(&json).map_err(|e| e.to_string())?;
+        let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let trace = RequestTrace::from_json(&json).map_err(|e| format!("parse {path}: {e}"))?;
         let n = opts.u32("n", None)?;
         let r = opts.u32("r", None)?;
         if n.checked_mul(r) != Some(trace.net.ports) {
@@ -690,7 +700,7 @@ fn cmd_dot(opts: &Opts) -> Result<(), String> {
     let dot = xbar.netlist().to_dot(&format!("{model} crossbar {net}"));
     match opts.0.get("out") {
         Some(path) => {
-            std::fs::write(path, &dot).map_err(|e| e.to_string())?;
+            std::fs::write(path, &dot).map_err(|e| format!("write {path}: {e}"))?;
             println!(
                 "wrote {} nodes / {} edges to {path} (render: dot -Tsvg {path})",
                 xbar.netlist().node_count(),
@@ -969,7 +979,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             kind.label(),
             three.summary.to_json()
         ));
-        std::fs::write(path, lines.join("\n") + "\n").map_err(|e| e.to_string())?;
+        std::fs::write(path, lines.join("\n") + "\n").map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {} JSON records to {path}", lines.len());
     }
 
@@ -1044,7 +1054,11 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
         deadline: Duration::from_millis(opts.u64("deadline-ms", 500)?.max(1)),
         ..RuntimeConfig::default()
     };
-    let listen = opts.0.get("listen").expect("checked by caller").clone();
+    let listen = opts
+        .0
+        .get("listen")
+        .ok_or("serve over TCP needs --listen <addr>")?
+        .clone();
     // The backend is picked at runtime behind `dyn Backend`: the engine,
     // server, and wire path are identical for every fabric.
     let backend: Box<dyn Backend> = match kind {
@@ -1230,8 +1244,10 @@ fn cmd_bench_net(opts: &Opts) -> Result<(), String> {
                     let is_connect = matches!(ev.event, TraceEvent::Connect(_));
                     let id = client.send(&req).map_err(|e| format!("send: {e}"))?;
                     outstanding.push_back((id, Instant::now(), is_connect));
-                    if outstanding.len() >= window {
-                        let oldest = outstanding.pop_front().expect("nonempty");
+                    while outstanding.len() >= window {
+                        let Some(oldest) = outstanding.pop_front() else {
+                            break;
+                        };
                         settle(&mut out, &mut client, oldest)?;
                     }
                 }
@@ -1318,11 +1334,14 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
     }
     let steps = opts.u64("steps", 40)? as usize;
     let shards = opts.u32("shards", Some(4))?.max(1) as usize;
-    let faulted = match opts.0.get("faulted").map(String::as_str) {
-        None | Some("false") | Some("0") => false,
-        Some("true") | Some("1") => true,
-        Some(other) => return Err(format!("--faulted must be true or false, got {other:?}")),
-    };
+    let faulted = opts.boolean("faulted")?;
+    let repack = opts.boolean("repack")?;
+    if repack && backend != BackendKind::ThreeStage {
+        return Err(
+            "--repack needs rearrangeable routes; only the three-stage backend moves branches"
+                .into(),
+        );
+    }
 
     let (bound, bound_name) = match backend {
         BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
@@ -1355,8 +1374,13 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
             setup.expect_nonblocking = setup.m > bound;
         }
     }
+    if repack {
+        // Rearrangement makes outcomes interleaving-dependent, so the
+        // sweep is judged by the conservation laws, not serial equality.
+        setup = setup.with_repack();
+    }
     println!(
-        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{} ({bound_name} m ≥ {bound})",
+        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{}{} ({bound_name} m ≥ {bound})",
         backend.label(),
         if backend == BackendKind::Crossbar {
             String::new()
@@ -1364,6 +1388,7 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
             format!(" m={}", setup.m)
         },
         if faulted { " faulted" } else { "" },
+        if repack { " repack" } else { "" },
     );
 
     let base = opts.u64("seed", if opts.0.contains_key("seeds") { 0 } else { 42 })?;

@@ -184,3 +184,25 @@ fn cost_report_covers_all_three_architectures() {
         assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
     }
 }
+
+#[test]
+fn serve_listen_on_an_occupied_port_fails_with_context() {
+    // Squat on a port, then ask the server to bind it: the CLI must
+    // exit nonzero with an error naming both the address and the OS
+    // failure, not panic or serve on a different port.
+    let squatter = std::net::TcpListener::bind("127.0.0.1:0").expect("bind squatter");
+    let addr = squatter.local_addr().expect("squatter addr").to_string();
+    let out = wdmcast()
+        .args([
+            "serve", "--listen", &addr, "--n", "2", "--r", "4", "-k", "2",
+        ])
+        .output()
+        .expect("spawn wdmcast");
+    assert!(!out.status.success(), "bound an occupied port: {addr}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("bind {addr}")),
+        "error lacks the address being bound: {stderr}"
+    );
+    drop(squatter);
+}

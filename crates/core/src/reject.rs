@@ -43,11 +43,15 @@ pub enum RejectClass {
     /// A structural error: malformed request, out-of-range endpoint,
     /// model violation, or internal inconsistency.
     Fatal,
+    /// The engine is shedding load under sustained blocking pressure;
+    /// the request was refused early rather than parked to starve.
+    /// Retryable — pressure subsides as connections depart.
+    Overloaded,
 }
 
 impl RejectClass {
     /// Every class, in wire-code order.
-    pub const ALL: [RejectClass; 7] = [
+    pub const ALL: [RejectClass; 8] = [
         RejectClass::Busy,
         RejectClass::Blocked,
         RejectClass::ComponentDown,
@@ -55,6 +59,7 @@ impl RejectClass {
         RejectClass::Backpressure,
         RejectClass::UnknownSource,
         RejectClass::Fatal,
+        RejectClass::Overloaded,
     ];
 
     /// `true` iff retrying the same request later can succeed without
@@ -62,7 +67,10 @@ impl RejectClass {
     pub fn is_retryable(self) -> bool {
         matches!(
             self,
-            RejectClass::Busy | RejectClass::Draining | RejectClass::Backpressure
+            RejectClass::Busy
+                | RejectClass::Draining
+                | RejectClass::Backpressure
+                | RejectClass::Overloaded
         )
     }
 }
@@ -77,6 +85,7 @@ impl fmt::Display for RejectClass {
             RejectClass::Backpressure => "backpressure",
             RejectClass::UnknownSource => "unknown-source",
             RejectClass::Fatal => "fatal",
+            RejectClass::Overloaded => "overloaded",
         };
         f.write_str(s)
     }
@@ -109,6 +118,8 @@ pub enum Reject {
     Backpressure,
     /// Structural error, with a description.
     Fatal(String),
+    /// The engine is shedding load under sustained blocking pressure.
+    Overloaded,
 }
 
 impl Reject {
@@ -122,6 +133,7 @@ impl Reject {
             Reject::Draining => RejectClass::Draining,
             Reject::Backpressure => RejectClass::Backpressure,
             Reject::Fatal(_) => RejectClass::Fatal,
+            Reject::Overloaded => RejectClass::Overloaded,
         }
     }
 
@@ -148,6 +160,7 @@ impl fmt::Display for Reject {
             Reject::Draining => write!(f, "engine is draining"),
             Reject::Backpressure => write!(f, "in-flight window is full"),
             Reject::Fatal(msg) => write!(f, "fatal: {msg}"),
+            Reject::Overloaded => write!(f, "shedding load under sustained blocking"),
         }
     }
 }
@@ -210,6 +223,7 @@ mod tests {
     fn retryability_follows_class() {
         assert!(Reject::Draining.is_retryable());
         assert!(Reject::Backpressure.is_retryable());
+        assert!(Reject::Overloaded.is_retryable());
         assert!(Reject::Busy(AssignmentError::SourceBusy(Endpoint::new(0, 0))).is_retryable());
         assert!(!Reject::Blocked {
             available_middles: 0,

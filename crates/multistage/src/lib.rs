@@ -49,6 +49,7 @@ mod params;
 mod photonic;
 mod photonic5;
 mod recursive;
+pub mod repack;
 pub mod scenarios;
 mod witness;
 
@@ -61,4 +62,5 @@ pub use params::{Construction, ThreeStageParams};
 pub use photonic::PhotonicThreeStage;
 pub use photonic5::PhotonicFiveStage;
 pub use recursive::FiveStageNetwork;
+pub use repack::{MoveError, PendingMove, RepackReport};
 pub use witness::{find_blocking_witness, find_blocking_witness_faulted, BlockingWitness};

@@ -174,9 +174,9 @@ pub struct ThreeStageNetwork {
     /// *limited-range conversion* extension studied by later literature.
     conversion_range: Option<u32>,
     /// Busy-wavelength bitmask per input-module→middle link: `[r][m]`.
-    input_links: Vec<Vec<u64>>,
+    pub(crate) input_links: Vec<Vec<u64>>,
     /// Busy-wavelength bitmask per middle→output-module link: `[m][r]`.
-    middle_links: Vec<Vec<u64>>,
+    pub(crate) middle_links: Vec<Vec<u64>>,
     /// Free-middle mask per `(input module, wavelength)` — row
     /// `module·k + w`, bit `j` set iff wavelength `w` is free on the
     /// link `module→j`. The MSW-dominant availability probe.
@@ -191,12 +191,12 @@ pub struct ThreeStageNetwork {
     links_up: BitRows,
     /// The paper's `M_j` per middle switch (kept in sync with
     /// `middle_links`).
-    multisets: Vec<DestinationMultiset>,
+    pub(crate) multisets: Vec<DestinationMultiset>,
     /// Endpoint-level bookkeeping and model enforcement.
     assignment: MulticastAssignment,
-    routed: BTreeMap<Endpoint, RoutedConnection>,
+    pub(crate) routed: BTreeMap<Endpoint, RoutedConnection>,
     /// Failed components the router must skip.
-    faults: FaultSet,
+    pub(crate) faults: FaultSet,
 }
 
 impl ThreeStageNetwork {
@@ -631,7 +631,7 @@ impl ThreeStageNetwork {
 
     /// Mark wavelength `wl` busy on the input link `module→j`, keeping
     /// the packed availability masks in sync.
-    fn occupy_input_link(&mut self, module: u32, j: u32, wl: u32) {
+    pub(crate) fn occupy_input_link(&mut self, module: u32, j: u32, wl: u32) {
         self.input_links[module as usize][j as usize] |= 1 << wl;
         self.free_in.clear(module * self.params.k + wl, j);
         if self.input_links[module as usize][j as usize].count_ones() >= self.params.k {
@@ -641,7 +641,7 @@ impl ThreeStageNetwork {
 
     /// Free wavelength `wl` on the input link `module→j`, keeping the
     /// packed availability masks in sync.
-    fn release_input_link(&mut self, module: u32, j: u32, wl: u32) {
+    pub(crate) fn release_input_link(&mut self, module: u32, j: u32, wl: u32) {
         self.input_links[module as usize][j as usize] &= !(1 << wl);
         self.free_in.set(module * self.params.k + wl, j);
         self.not_full.set(module, j);
@@ -671,8 +671,20 @@ impl ThreeStageNetwork {
     /// The wavelength a branch from input module `module` to middle `j`
     /// would occupy, or `None` if no free wavelength is reachable from
     /// the source wavelength.
-    fn branch_wavelength(&self, module: u32, j: u32, src_wl: u32) -> Option<u32> {
+    pub(crate) fn branch_wavelength(&self, module: u32, j: u32, src_wl: u32) -> Option<u32> {
         let mask = self.input_links[module as usize][j as usize];
+        self.branch_wavelength_masked(module, mask, src_wl)
+    }
+
+    /// [`Self::branch_wavelength`] against a hypothetical busy mask —
+    /// lets the repack search ask "would this link carry the branch if
+    /// wavelength `w` were freed?" without mutating state.
+    pub(crate) fn branch_wavelength_masked(
+        &self,
+        module: u32,
+        mask: u64,
+        src_wl: u32,
+    ) -> Option<u32> {
         match self.construction {
             Construction::MswDominant => (mask & (1 << src_wl) == 0).then_some(src_wl),
             // The stage-1 MAW module converts src_wl → wi within reach —
@@ -691,11 +703,30 @@ impl ThreeStageNetwork {
     /// occupy for a branch arriving at `j` on `wi`, or `None` if the link
     /// cannot carry it — considering the middle converter's reach
     /// (`wi → wl`) and the output module's converters (`wl → dest λ`).
-    fn leg_wavelength(&self, j: u32, om: u32, wi: u32, dests: &[Endpoint]) -> Option<u32> {
+    pub(crate) fn leg_wavelength(
+        &self,
+        j: u32,
+        om: u32,
+        wi: u32,
+        dests: &[Endpoint],
+    ) -> Option<u32> {
+        let mask = self.middle_links[j as usize][om as usize];
+        self.leg_wavelength_masked(j, om, mask, wi, dests)
+    }
+
+    /// [`Self::leg_wavelength`] against a hypothetical busy mask — the
+    /// repack search's what-if probe for middle→output links.
+    pub(crate) fn leg_wavelength_masked(
+        &self,
+        j: u32,
+        om: u32,
+        mask: u64,
+        wi: u32,
+        dests: &[Endpoint],
+    ) -> Option<u32> {
         if self.faults.middle_link_down(j, om) {
             return None;
         }
-        let mask = self.middle_links[j as usize][om as usize];
         let out_conv_down = self.faults.output_converters_down(om);
         let reaches_dests = |wl: u32| match self.output_model {
             // An MSW output module cannot convert — but then the dests

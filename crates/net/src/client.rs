@@ -32,8 +32,17 @@ pub struct ClientConfig {
     pub timeout: Duration,
     /// Reconnection attempts after a send-side I/O error.
     pub connect_retries: u32,
-    /// Pause between reconnection attempts.
+    /// Base pause before the first reconnection retry. Each further
+    /// attempt doubles it (capped at [`ClientConfig::retry_backoff_cap`])
+    /// and applies deterministic jitter in `[½·d, d]`, so a thundering
+    /// herd of clients spreads out without losing reproducibility.
     pub retry_backoff: Duration,
+    /// Ceiling on the exponential backoff between reconnection attempts.
+    pub retry_backoff_cap: Duration,
+    /// Seed of the jitter stream. Two clients with different seeds
+    /// de-correlate their retries; the same seed replays the exact same
+    /// delays, keeping transport tests and trace replays deterministic.
+    pub jitter_seed: u64,
     /// Wire version stamped on every outgoing frame. Defaults to the
     /// newest supported ([`WIRE_VERSION`]); set to `1` to speak to (or
     /// emulate) a v1-only peer. Batch requests require version ≥ 2.
@@ -46,6 +55,8 @@ impl Default for ClientConfig {
             timeout: Duration::from_secs(5),
             connect_retries: 3,
             retry_backoff: Duration::from_millis(50),
+            retry_backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0x5EED,
             wire_version: WIRE_VERSION,
         }
     }
@@ -87,6 +98,28 @@ impl From<WireError> for NetClientError {
             other => NetClientError::Wire(other),
         }
     }
+}
+
+/// SplitMix64 — the jitter stream's one-shot mixer. Seeded, so a given
+/// `(jitter_seed, attempt)` pair always yields the same delay.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Delay before reconnection `attempt` (1-based): the base backoff
+/// doubled per attempt, capped, then jittered into `[½·d, d]` by the
+/// seeded stream. The lower bound keeps every pause real (a jitter that
+/// can reach zero turns backoff into a busy loop under refusal storms).
+fn backoff_delay(config: &ClientConfig, attempt: u32) -> Duration {
+    let base = config.retry_backoff.max(Duration::from_micros(1));
+    let doubled = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+    let capped = doubled.min(config.retry_backoff_cap.max(base));
+    let r = splitmix64(config.jitter_seed ^ u64::from(attempt));
+    let unit = (r >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    capped.mul_f64(0.5 + unit / 2.0)
 }
 
 /// `read_timeout` expiry surfaces as `WouldBlock` on Unix and
@@ -145,7 +178,7 @@ impl NetClient {
         let mut last: Option<std::io::Error> = None;
         for attempt in 0..=config.connect_retries {
             if attempt > 0 {
-                thread::sleep(config.retry_backoff);
+                thread::sleep(backoff_delay(config, attempt));
             }
             match TcpStream::connect(addr) {
                 Ok(stream) => {
@@ -270,5 +303,65 @@ impl NetClient {
     /// (or whatever the server answered).
     pub fn drain(&mut self) -> Result<Response, NetClientError> {
         self.call(&Request::Drain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(base_ms: u64, cap_ms: u64, seed: u64) -> ClientConfig {
+        ClientConfig {
+            retry_backoff: Duration::from_millis(base_ms),
+            retry_backoff_cap: Duration::from_millis(cap_ms),
+            jitter_seed: seed,
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let config = cfg(10, 500, 42);
+        for attempt in 1..=8 {
+            assert_eq!(
+                backoff_delay(&config, attempt),
+                backoff_delay(&config, attempt),
+                "attempt {attempt} must replay identically"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_the_cap() {
+        let config = cfg(10, 100, 7);
+        for attempt in 1..=12u32 {
+            let d = backoff_delay(&config, attempt);
+            let nominal = Duration::from_millis(10)
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(Duration::from_millis(100));
+            assert!(
+                d >= nominal.mul_f64(0.5) && d <= nominal,
+                "attempt {attempt}: {d:?} outside [{:?}, {nominal:?}]",
+                nominal.mul_f64(0.5)
+            );
+        }
+        // Far past the cap the delay stays pinned to the cap's band.
+        assert!(backoff_delay(&config, 30) <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_the_jitter() {
+        let a = cfg(10, 500, 1);
+        let b = cfg(10, 500, 2);
+        assert!(
+            (1..=6).any(|i| backoff_delay(&a, i) != backoff_delay(&b, i)),
+            "two seeds produced identical delay schedules"
+        );
+    }
+
+    #[test]
+    fn zero_base_backoff_still_pauses() {
+        let config = cfg(0, 100, 3);
+        assert!(backoff_delay(&config, 1) > Duration::ZERO);
     }
 }

@@ -409,6 +409,7 @@ fn reject_code(reason: RejectReason) -> u8 {
         RejectReason::Backpressure => 5,
         RejectReason::UnknownSource => 6,
         RejectReason::Fatal => 7,
+        RejectReason::Overloaded => 8,
     }
 }
 
@@ -421,6 +422,7 @@ fn reject_reason(code: u8) -> Result<RejectReason, WireError> {
         5 => RejectReason::Backpressure,
         6 => RejectReason::UnknownSource,
         7 => RejectReason::Fatal,
+        8 => RejectReason::Overloaded,
         other => {
             return Err(WireError::Malformed(format!(
                 "unknown reject reason code {other}"

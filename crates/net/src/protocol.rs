@@ -78,6 +78,9 @@ pub enum RejectReason {
     UnknownSource,
     /// Structural error (malformed request reached the fabric).
     Fatal,
+    /// The server is shedding load under sustained blocking pressure;
+    /// retry later — pressure subsides as connections depart.
+    Overloaded,
 }
 
 /// The wire taxonomy *is* the canonical [`RejectClass`] — the
@@ -93,6 +96,7 @@ impl From<RejectClass> for RejectReason {
             RejectClass::Backpressure => RejectReason::Backpressure,
             RejectClass::UnknownSource => RejectReason::UnknownSource,
             RejectClass::Fatal => RejectReason::Fatal,
+            RejectClass::Overloaded => RejectReason::Overloaded,
         }
     }
 }
@@ -107,6 +111,7 @@ impl From<RejectReason> for RejectClass {
             RejectReason::Backpressure => RejectClass::Backpressure,
             RejectReason::UnknownSource => RejectClass::UnknownSource,
             RejectReason::Fatal => RejectClass::Fatal,
+            RejectReason::Overloaded => RejectClass::Overloaded,
         }
     }
 }
@@ -117,7 +122,10 @@ impl RejectReason {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            RejectReason::Busy | RejectReason::Draining | RejectReason::Backpressure
+            RejectReason::Busy
+                | RejectReason::Draining
+                | RejectReason::Backpressure
+                | RejectReason::Overloaded
         )
     }
 }
@@ -132,6 +140,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::Backpressure => "backpressure",
             RejectReason::UnknownSource => "unknown source",
             RejectReason::Fatal => "fatal",
+            RejectReason::Overloaded => "overloaded",
         };
         f.write_str(s)
     }
@@ -205,6 +214,10 @@ impl Response {
             RequestOutcome::Backpressure => {
                 reject(RejectReason::Backpressure, "shard queue is full")
             }
+            RequestOutcome::Overloaded => reject(
+                RejectReason::Overloaded,
+                "shedding load under sustained blocking",
+            ),
         }
     }
 
@@ -222,7 +235,7 @@ mod tests {
 
     /// A representative sample of every payload-carrying backend reject.
     fn arb_reject() -> impl Strategy<Value = Reject> {
-        (0u8..7, 0u32..64, any::<u32>()).prop_map(|(kind, port, n)| {
+        (0u8..8, 0u32..64, any::<u32>()).prop_map(|(kind, port, n)| {
             let ep = wdm_core::Endpoint::new(port, 0);
             match kind {
                 0 => Reject::Busy(AssignmentError::SourceBusy(ep)),
@@ -234,6 +247,7 @@ mod tests {
                 3 => Reject::UnknownSource(ep),
                 4 => Reject::Draining,
                 5 => Reject::Backpressure,
+                6 => Reject::Overloaded,
                 _ => Reject::Fatal(format!("structural violation {n}")),
             }
         })
@@ -276,6 +290,7 @@ mod tests {
             (RequestOutcome::Fatal, RejectReason::Fatal),
             (RequestOutcome::Draining, RejectReason::Draining),
             (RequestOutcome::Backpressure, RejectReason::Backpressure),
+            (RequestOutcome::Overloaded, RejectReason::Overloaded),
         ] {
             match Response::from_outcome(outcome) {
                 Response::Rejected { reason: r, .. } => assert_eq!(r, reason),
@@ -289,6 +304,7 @@ mod tests {
         assert!(RejectReason::Busy.is_retryable());
         assert!(RejectReason::Draining.is_retryable());
         assert!(RejectReason::Backpressure.is_retryable());
+        assert!(RejectReason::Overloaded.is_retryable());
         assert!(!RejectReason::Blocked.is_retryable());
         assert!(!RejectReason::ComponentDown.is_retryable());
         assert!(!RejectReason::Fatal.is_retryable());

@@ -154,6 +154,9 @@ impl<B: Backend> NetServer<B> {
         for h in handlers {
             let _ = h.join();
         }
+        // Infallible by construction: both callers (`wait`, `shutdown`)
+        // reach here only after a drain parked the report, and `self` is
+        // consumed so it can be taken at most once.
         self.shared
             .report
             .lock()
@@ -419,6 +422,8 @@ fn submit_batch<B: Backend>(
                 slots.lock()[i] = Some(Response::from_outcome(outcome));
                 inflight.fetch_sub(1, Ordering::AcqRel);
                 if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Infallible: this branch runs in the last callback,
+                    // after all `n` slots were filled exactly once.
                     let items: Vec<Response> = slots
                         .lock()
                         .iter_mut()

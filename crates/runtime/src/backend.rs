@@ -20,6 +20,31 @@ use wdm_multistage::{AwgClosNetwork, ThreeStageNetwork};
 #[deprecated(since = "0.5.0", note = "use wdm_core::Reject")]
 pub type AdmitError = Reject;
 
+/// Whether a backend can rearrange existing routes to admit a blocked
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepackSupport {
+    /// The backend ran (or could have run) a repack search.
+    Supported,
+    /// The backend has no rearrangeable mode; a repack-assisted connect
+    /// degrades to a plain connect and the verdict carries no moves.
+    #[default]
+    RepackUnsupported,
+}
+
+/// Move counters and support flag for one repack-assisted admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepackStats {
+    /// Whether the backend supports rearrangement at all.
+    pub support: RepackSupport,
+    /// Make phases attempted (including reverts of failed plans).
+    pub moves_attempted: u32,
+    /// Moves whose break phase completed.
+    pub moves_committed: u32,
+    /// Moves refused at make or aborted at commit.
+    pub moves_aborted: u32,
+}
+
 /// A switch implementation the admission engine can drive.
 ///
 /// Implementations mutate one shared structure, so the engine serializes
@@ -56,6 +81,27 @@ pub trait Backend: Send + 'static {
     /// entry in order.
     fn disconnect_batch(&mut self, srcs: &[Endpoint]) -> Vec<Result<(), Reject>> {
         srcs.iter().map(|&s| self.disconnect(s)).collect()
+    }
+
+    /// Admit `conn`, rearranging existing routes (make-before-break,
+    /// at most `budget` committed moves) when a plain connect blocks.
+    /// Backends without a rearrangeable mode keep this default: a plain
+    /// connect whose stats report [`RepackSupport::RepackUnsupported`].
+    fn connect_with_repack(
+        &mut self,
+        conn: &MulticastConnection,
+        budget: u32,
+    ) -> (Result<(), Reject>, RepackStats) {
+        let _ = budget;
+        (self.connect(conn), RepackStats::default())
+    }
+
+    /// Consolidate routes after departures (move-on-disconnect
+    /// defragmentation), spending at most `budget` moves. Returns the
+    /// stats; the default (no rearrangeable mode) does nothing.
+    fn defragment(&mut self, budget: u32) -> RepackStats {
+        let _ = budget;
+        RepackStats::default()
     }
 
     /// Live connection count.
@@ -179,6 +225,33 @@ impl Backend for ThreeStageNetwork {
         ThreeStageNetwork::middle_loads(self)
     }
 
+    fn connect_with_repack(
+        &mut self,
+        conn: &MulticastConnection,
+        budget: u32,
+    ) -> (Result<(), Reject>, RepackStats) {
+        let (res, report) = ThreeStageNetwork::connect_with_repack(self, conn, budget);
+        (
+            res.map_err(Reject::from),
+            RepackStats {
+                support: RepackSupport::Supported,
+                moves_attempted: report.moves_attempted,
+                moves_committed: report.moves_committed,
+                moves_aborted: report.moves_aborted,
+            },
+        )
+    }
+
+    fn defragment(&mut self, budget: u32) -> RepackStats {
+        let report = ThreeStageNetwork::defragment(self, budget);
+        RepackStats {
+            support: RepackSupport::Supported,
+            moves_attempted: report.moves_attempted,
+            moves_committed: report.moves_committed,
+            moves_aborted: report.moves_aborted,
+        }
+    }
+
     fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
         if !ThreeStageNetwork::inject_fault(self, fault) {
             return Vec::new();
@@ -290,6 +363,18 @@ impl Backend for Box<dyn Backend> {
 
     fn disconnect_batch(&mut self, srcs: &[Endpoint]) -> Vec<Result<(), Reject>> {
         (**self).disconnect_batch(srcs)
+    }
+
+    fn connect_with_repack(
+        &mut self,
+        conn: &MulticastConnection,
+        budget: u32,
+    ) -> (Result<(), Reject>, RepackStats) {
+        (**self).connect_with_repack(conn, budget)
+    }
+
+    fn defragment(&mut self, budget: u32) -> RepackStats {
+        (**self).defragment(budget)
     }
 
     fn active_connections(&self) -> usize {
@@ -410,6 +495,50 @@ mod tests {
         assert_eq!(victims.len(), 1);
         assert_eq!(Backend::active_connections(&b), 0);
         assert!(Backend::repair_fault(&mut b, Fault::MiddleSwitch(0)));
+    }
+
+    #[test]
+    fn crossbar_and_awg_report_repack_unsupported() {
+        use wdm_multistage::ConverterPlacement;
+        let mut cb = CrossbarSession::new(NetworkConfig::new(4, 2), MulticastModel::Msw);
+        let (res, stats) = Backend::connect_with_repack(&mut cb, &conn((0, 0), &[(1, 0)]), 4);
+        assert!(res.is_ok());
+        assert_eq!(stats.support, RepackSupport::RepackUnsupported);
+        assert_eq!(stats.moves_attempted, 0);
+        assert_eq!(
+            Backend::defragment(&mut cb, 4).support,
+            RepackSupport::RepackUnsupported
+        );
+
+        let p = ThreeStageParams::new(2, 2, 4, 4);
+        let mut awg =
+            AwgClosNetwork::new(p, 1, ConverterPlacement::IngressEgress, MulticastModel::Maw);
+        let (res, stats) = Backend::connect_with_repack(&mut awg, &conn((0, 0), &[(0, 0)]), 4);
+        assert!(res.is_ok());
+        assert_eq!(stats.support, RepackSupport::RepackUnsupported);
+    }
+
+    #[test]
+    fn three_stage_backend_repacks_through_the_trait() {
+        // The manufactured squeeze from the multistage unit tests, driven
+        // through the Backend trait: plain connect blocks, repack admits.
+        let p = ThreeStageParams::new(2, 2, 2, 2);
+        let mut b = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        b.set_fanout_limit(1);
+        Backend::connect(&mut b, &conn((0, 0), &[(2, 0)])).unwrap();
+        ThreeStageNetwork::inject_fault(&mut b, Fault::MiddleSwitch(0));
+        Backend::connect(&mut b, &conn((3, 0), &[(1, 0)])).unwrap();
+        ThreeStageNetwork::repair_fault(&mut b, Fault::MiddleSwitch(0));
+        let v = conn((1, 0), &[(0, 0)]);
+        assert!(matches!(
+            Backend::connect(&mut b, &v),
+            Err(Reject::Blocked { .. })
+        ));
+        let (res, stats) = Backend::connect_with_repack(&mut b, &v, 2);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(stats.support, RepackSupport::Supported);
+        assert!(stats.moves_committed >= 1);
+        assert!(b.check().is_empty());
     }
 
     #[test]

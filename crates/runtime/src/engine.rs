@@ -19,7 +19,7 @@
 //! above the Theorem 1/2 bound it must not occur at all — the paper's
 //! nonblocking guarantee becomes the runtime invariant `blocked == 0`.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, RepackStats};
 use crate::clock::{Clock, SystemClock};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -31,6 +31,52 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_workload::{TimedEvent, TraceEvent};
+
+/// When the engine may rearrange existing routes to admit a connect
+/// that hard-blocked (make-before-break moves, on backends that support
+/// them — see `Backend::connect_with_repack`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepackPolicy {
+    /// Never rearrange: a hard block is final. This is the theorems'
+    /// regime — provisioned at or above the bound, blocks must not
+    /// occur at all, so there is nothing to repack.
+    #[default]
+    Off,
+    /// On every hard block, spend up to `budget` physical moves trying
+    /// to free a middle switch for the blocked request.
+    OnBlock {
+        /// Maximum physical moves per blocked connect.
+        budget: u32,
+    },
+    /// At most `budget` physical moves per window of `window` offered
+    /// connects (tracked per shard). Budget left over after blocks is
+    /// also spent compacting the fabric after departures, so capacity
+    /// defragments passively between blocking episodes.
+    BudgetPerWindow {
+        /// Maximum physical moves per window.
+        budget: u32,
+        /// Window length in offered connects per shard (`0` acts as 1).
+        window: u32,
+    },
+}
+
+/// Adaptive load shedding under sustained hard blocking.
+///
+/// Each shard keeps a saturating pressure counter: +1 per hard block,
+/// −1 per admission. While pressure sits at or above the threshold,
+/// incoming connects whose fanout is at most `shed_max_fanout` are
+/// refused immediately with the retryable
+/// [`RequestOutcome::Overloaded`] instead of being attempted (and
+/// likely parked to starve) against a congested fabric. Narrow requests
+/// are shed first because they are the cheapest for the client to
+/// retry and free the least capacity by succeeding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadControl {
+    /// Shed once shard-local pressure reaches this many net blocks.
+    pub pressure_threshold: u32,
+    /// Only connects with fanout at or below this are shed.
+    pub shed_max_fanout: usize,
+}
 
 /// Tuning knobs for an engine run.
 #[derive(Debug, Clone)]
@@ -52,6 +98,12 @@ pub struct RuntimeConfig {
     /// resolves [`RequestOutcome::Backpressure`] — the caller sheds load
     /// instead of growing an unbounded queue.
     pub backpressure_cap: Option<usize>,
+    /// Whether (and how hard) to rearrange existing routes when a
+    /// connect hard-blocks below the nonblocking bound.
+    pub repack: RepackPolicy,
+    /// Early shedding of low-fanout connects under sustained blocking
+    /// (`None` = never shed; every request is attempted).
+    pub overload: Option<OverloadControl>,
 }
 
 impl Default for RuntimeConfig {
@@ -69,6 +121,8 @@ impl Default for RuntimeConfig {
             deadline: Duration::from_secs(5),
             snapshot_every: None,
             backpressure_cap: None,
+            repack: RepackPolicy::Off,
+            overload: None,
         }
     }
 }
@@ -142,6 +196,10 @@ pub enum RequestOutcome {
     Draining,
     /// The target shard's queue was full; the event was never enqueued.
     Backpressure,
+    /// Connect refused early: the shard is shedding low-fanout load
+    /// under sustained blocking pressure (see [`OverloadControl`]).
+    /// Retryable — pressure subsides as connections depart.
+    Overloaded,
 }
 
 /// Completion hook for one tracked event. Runs on a shard thread; keep
@@ -273,6 +331,9 @@ impl<B: Backend> EngineCore<B> {
             live_since: HashMap::new(),
             never_admitted: HashSet::new(),
             parked: HashMap::new(),
+            pressure: 0,
+            window_seen: 0,
+            window_spent: 0,
         }
     }
 
@@ -676,6 +737,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Rearrange existing routes to admit hard-blocked connects,
+    /// according to `policy` (default: [`RepackPolicy::Off`]).
+    pub fn repack_policy(mut self, policy: RepackPolicy) -> Self {
+        self.config.repack = policy;
+        self
+    }
+
+    /// Shed low-fanout connects early under sustained blocking
+    /// pressure (default: never shed).
+    pub fn overload_control(mut self, control: OverloadControl) -> Self {
+        self.config.overload = Some(control);
+        self
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
@@ -816,6 +891,13 @@ pub struct ShardCore<B: Backend, C: Clock> {
     never_admitted: HashSet<Endpoint>,
     /// Busy connects awaiting retry, keyed by source endpoint.
     parked: HashMap<Endpoint, Parked>,
+    /// Saturating overload pressure: +1 per hard block, −1 per admit.
+    pressure: u32,
+    /// Offered connects seen in the current repack window
+    /// ([`RepackPolicy::BudgetPerWindow`] only).
+    window_seen: u32,
+    /// Physical repack moves spent in the current repack window.
+    window_spent: u32,
 }
 
 impl<B: Backend, C: Clock> ShardCore<B, C> {
@@ -876,6 +958,13 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         match ev.event {
             TraceEvent::Connect(conn) => {
                 self.metrics.offered.fetch_add(1, Ordering::Relaxed);
+                self.roll_repack_window();
+                if self.should_shed(&conn) {
+                    self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                    self.never_admitted.insert(src);
+                    Job::resolve(done, RequestOutcome::Overloaded);
+                    return;
+                }
                 self.try_connect_with(
                     b,
                     conn,
@@ -918,7 +1007,21 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         done: Option<OutcomeCallback>,
     ) {
         let src = conn.source();
-        match b.connect(&conn) {
+        let budget = self.repack_budget();
+        let res = if budget == 0 {
+            b.connect(&conn)
+        } else {
+            let t_repack = Instant::now();
+            let (res, stats) = b.connect_with_repack(&conn, budget);
+            if stats.moves_attempted > 0 {
+                self.metrics
+                    .repack_latency_ns
+                    .record(t_repack.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            self.spend_repack(&stats);
+            res
+        };
+        match res {
             Ok(()) => {
                 let waited = self.clock.now().saturating_duration_since(t0);
                 self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -927,6 +1030,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                     .record(waited.as_nanos().min(u64::MAX as u128) as u64);
                 self.metrics.wavelength_up(src.wavelength.0 as usize);
                 self.live_since.insert(src, sim_time);
+                self.pressure = self.pressure.saturating_sub(1);
                 Job::resolve(done, RequestOutcome::Admitted);
             }
             Err(Reject::Busy(e)) => {
@@ -960,6 +1064,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
             Err(Reject::Blocked { .. }) => {
                 self.metrics.blocked.fetch_add(1, Ordering::Relaxed);
                 self.never_admitted.insert(src);
+                self.pressure = self.pressure.saturating_add(1);
                 Job::resolve(done, RequestOutcome::Blocked);
             }
             Err(Reject::ComponentDown(_)) => {
@@ -1014,6 +1119,16 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                     let micros = ((sim_time - since) * 1e6).max(0.0);
                     self.metrics.holding_micros.record(micros as u64);
                 }
+                // Passive defragmentation: a departure just freed
+                // capacity, so leftover window budget compacts the
+                // packing now, before the next connect can block.
+                if matches!(self.cfg.repack, RepackPolicy::BudgetPerWindow { .. }) {
+                    let remaining = self.repack_budget();
+                    if remaining > 0 {
+                        let stats = b.defragment(remaining);
+                        self.spend_repack(&stats);
+                    }
+                }
                 Job::resolve(done, RequestOutcome::Departed);
             }
             Err(e) => {
@@ -1021,6 +1136,55 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
                 self.metrics.note_error(format!("disconnect {src}: {e}"));
                 Job::resolve(done, RequestOutcome::Fatal);
             }
+        }
+    }
+
+    /// `true` iff overload control is on, shard pressure is at the
+    /// threshold, and this connect is narrow enough to shed.
+    fn should_shed(&self, conn: &MulticastConnection) -> bool {
+        self.cfg.overload.is_some_and(|oc| {
+            self.pressure >= oc.pressure_threshold
+                && conn.destinations().len() <= oc.shed_max_fanout
+        })
+    }
+
+    /// Advance the per-window move budget
+    /// ([`RepackPolicy::BudgetPerWindow`] only): count this offered
+    /// connect and reset the spend at each window boundary.
+    fn roll_repack_window(&mut self) {
+        if let RepackPolicy::BudgetPerWindow { window, .. } = self.cfg.repack {
+            self.window_seen += 1;
+            if self.window_seen >= window.max(1) {
+                self.window_seen = 0;
+                self.window_spent = 0;
+            }
+        }
+    }
+
+    /// Physical moves the active policy still allows right now.
+    fn repack_budget(&self) -> u32 {
+        match self.cfg.repack {
+            RepackPolicy::Off => 0,
+            RepackPolicy::OnBlock { budget } => budget,
+            RepackPolicy::BudgetPerWindow { budget, .. } => {
+                budget.saturating_sub(self.window_spent)
+            }
+        }
+    }
+
+    /// Meter the moves one repack or defragment attempt consumed.
+    fn spend_repack(&mut self, stats: &RepackStats) {
+        self.metrics
+            .repack_moves_attempted
+            .fetch_add(stats.moves_attempted as u64, Ordering::Relaxed);
+        self.metrics
+            .repack_moves_committed
+            .fetch_add(stats.moves_committed as u64, Ordering::Relaxed);
+        self.metrics
+            .repack_moves_aborted
+            .fetch_add(stats.moves_aborted as u64, Ordering::Relaxed);
+        if matches!(self.cfg.repack, RepackPolicy::BudgetPerWindow { .. }) {
+            self.window_spent = self.window_spent.saturating_add(stats.moves_attempted);
         }
     }
 
@@ -1301,6 +1465,223 @@ mod tests {
             (4, RequestOutcome::Draining)
         );
         engine.drain();
+    }
+
+    /// Run one event through a hand-driven shard and return its outcome
+    /// (all the events these tests submit resolve synchronously).
+    fn outcome_of<B: Backend>(
+        shard: &mut ShardCore<B, SystemClock>,
+        time: f64,
+        event: TraceEvent,
+    ) -> RequestOutcome {
+        let (tx, rx) = std::sync::mpsc::channel();
+        shard.handle_event(
+            TimedEvent { time, event },
+            Some(Box::new(move |o| {
+                let _ = tx.send(o);
+            })),
+        );
+        rx.try_recv().expect("event resolves synchronously")
+    }
+
+    /// The manufactured squeeze from the multistage repack tests: two λ0
+    /// squatters leave FirstFit no middle for a λ0 request from input
+    /// module 0 to output module 0 until one squatter moves.
+    fn squeezed_three_stage() -> wdm_multistage::ThreeStageNetwork {
+        use wdm_multistage::{Construction, ThreeStageNetwork, ThreeStageParams};
+        let p = ThreeStageParams::new(2, 2, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        net.set_fanout_limit(1);
+        net.connect(&MulticastConnection::unicast(
+            Endpoint::new(0, 0),
+            Endpoint::new(2, 0),
+        ))
+        .unwrap();
+        net.inject_fault(Fault::MiddleSwitch(0));
+        net.connect(&MulticastConnection::unicast(
+            Endpoint::new(3, 0),
+            Endpoint::new(1, 0),
+        ))
+        .unwrap();
+        net.repair_fault(Fault::MiddleSwitch(0));
+        net
+    }
+
+    #[test]
+    fn repack_policy_admits_a_connect_that_firstfit_blocks() {
+        let victim = MulticastConnection::unicast(Endpoint::new(1, 0), Endpoint::new(0, 0));
+
+        // Policy off (the default): the hard block is final.
+        let core = EngineCore::new(squeezed_three_stage());
+        let mut shard = core.shard(RuntimeConfig::default(), SystemClock);
+        assert_eq!(
+            outcome_of(&mut shard, 0.0, TraceEvent::Connect(victim.clone())),
+            RequestOutcome::Blocked
+        );
+        assert_eq!(
+            core.metrics()
+                .repack_moves_attempted
+                .load(Ordering::Relaxed),
+            0
+        );
+
+        // On-block repack: the same request admits via make-before-break
+        // and the move counters and latency histogram record the work.
+        let core = EngineCore::new(squeezed_three_stage());
+        let cfg = RuntimeConfig {
+            repack: RepackPolicy::OnBlock { budget: 2 },
+            ..RuntimeConfig::default()
+        };
+        let mut shard = core.shard(cfg, SystemClock);
+        assert_eq!(
+            outcome_of(&mut shard, 0.0, TraceEvent::Connect(victim)),
+            RequestOutcome::Admitted
+        );
+        let m = core.metrics();
+        assert!(m.repack_moves_committed.load(Ordering::Relaxed) >= 1);
+        assert_eq!(
+            m.repack_moves_attempted.load(Ordering::Relaxed),
+            m.repack_moves_committed.load(Ordering::Relaxed)
+                + m.repack_moves_aborted.load(Ordering::Relaxed)
+        );
+        assert!(m.repack_latency_ns.count() >= 1);
+        drop(shard);
+        let report = core.finish(0.0);
+        assert!(report.consistency.is_empty(), "{:?}", report.consistency);
+        assert_eq!(report.summary.admitted, 1);
+        assert_eq!(report.summary.blocked, 0);
+    }
+
+    #[test]
+    fn overload_shedding_refuses_low_fanout_under_pressure() {
+        use wdm_multistage::{Construction, ThreeStageNetwork, ThreeStageParams};
+        // m=1: a λ0 occupant on the only middle makes every further λ0
+        // connect from input module 0 a hard block.
+        let p = ThreeStageParams::new(2, 1, 2, 2);
+        let net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let core = EngineCore::new(net);
+        let cfg = RuntimeConfig {
+            overload: Some(OverloadControl {
+                pressure_threshold: 1,
+                shed_max_fanout: 1,
+            }),
+            ..RuntimeConfig::default()
+        };
+        let mut shard = core.shard(cfg, SystemClock);
+        let unicast = |s: (u32, u32), d: (u32, u32)| {
+            TraceEvent::Connect(MulticastConnection::unicast(
+                Endpoint::new(s.0, s.1),
+                Endpoint::new(d.0, d.1),
+            ))
+        };
+        // Occupant admits; pressure stays 0.
+        assert_eq!(
+            outcome_of(&mut shard, 0.0, unicast((0, 0), (2, 0))),
+            RequestOutcome::Admitted
+        );
+        // First λ0 rival hard-blocks; pressure rises to the threshold.
+        assert_eq!(
+            outcome_of(&mut shard, 1.0, unicast((1, 0), (0, 0))),
+            RequestOutcome::Blocked
+        );
+        // Under pressure, a unicast is shed without touching the backend…
+        assert_eq!(
+            outcome_of(&mut shard, 2.0, unicast((3, 1), (1, 1))),
+            RequestOutcome::Overloaded
+        );
+        // …and its paired departure is swallowed like any failed admit.
+        assert_eq!(
+            outcome_of(&mut shard, 3.0, TraceEvent::Disconnect(Endpoint::new(3, 1))),
+            RequestOutcome::SkippedDeparture
+        );
+        // A wider request is exempt from shedding and admits (λ1 is
+        // free everywhere), relieving the pressure.
+        let wide = MulticastConnection::new(
+            Endpoint::new(2, 1),
+            [Endpoint::new(0, 1), Endpoint::new(3, 1)],
+        )
+        .unwrap();
+        assert_eq!(
+            outcome_of(&mut shard, 4.0, TraceEvent::Connect(wide)),
+            RequestOutcome::Admitted
+        );
+        // Pressure is back below the threshold: unicasts reach the
+        // backend again (this one still hard-blocks on the fabric).
+        assert_eq!(
+            outcome_of(&mut shard, 5.0, unicast((1, 1), (2, 1))),
+            RequestOutcome::Blocked
+        );
+        let m = core.metrics();
+        assert_eq!(m.offered.load(Ordering::Relaxed), 5);
+        assert_eq!(m.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(m.blocked.load(Ordering::Relaxed), 2);
+        assert_eq!(m.overloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(m.skipped_departures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn budget_per_window_defragments_after_departures() {
+        use wdm_multistage::{Construction, ThreeStageNetwork, ThreeStageParams};
+        // Pack two branches on each middle, then depart one from middle
+        // 0: the leftover window budget migrates the straggler onto the
+        // (strictly busier) middle 1, draining middle 0 completely.
+        let p = ThreeStageParams::new(2, 2, 2, 2);
+        let mut net = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        let uc = |s: (u32, u32), d: (u32, u32)| {
+            MulticastConnection::unicast(Endpoint::new(s.0, s.1), Endpoint::new(d.0, d.1))
+        };
+        net.connect(&uc((0, 0), (2, 0))).unwrap(); // middle 0
+        net.connect(&uc((1, 1), (0, 1))).unwrap(); // middle 0
+        net.inject_fault(Fault::MiddleSwitch(0));
+        net.connect(&uc((2, 0), (3, 0))).unwrap(); // middle 1
+        net.connect(&uc((3, 1), (2, 1))).unwrap(); // middle 1
+        net.repair_fault(Fault::MiddleSwitch(0));
+
+        let core = EngineCore::new(net);
+        let cfg = RuntimeConfig {
+            repack: RepackPolicy::BudgetPerWindow {
+                budget: 4,
+                window: 100,
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut shard = core.shard(cfg, SystemClock);
+        assert_eq!(
+            outcome_of(&mut shard, 0.0, TraceEvent::Disconnect(Endpoint::new(0, 0))),
+            RequestOutcome::Departed
+        );
+        assert!(
+            core.metrics()
+                .repack_moves_committed
+                .load(Ordering::Relaxed)
+                >= 1
+        );
+        drop(shard);
+        let report = core.finish(0.0);
+        assert!(report.consistency.is_empty(), "{:?}", report.consistency);
+        assert_eq!(report.backend.middle_loads(), vec![0, 3]);
+    }
+
+    #[test]
+    fn builder_threads_repack_and_overload_knobs() {
+        let b = EngineBuilder::new()
+            .repack_policy(RepackPolicy::OnBlock { budget: 3 })
+            .overload_control(OverloadControl {
+                pressure_threshold: 8,
+                shed_max_fanout: 2,
+            });
+        assert_eq!(b.config().repack, RepackPolicy::OnBlock { budget: 3 });
+        assert_eq!(
+            b.config().overload,
+            Some(OverloadControl {
+                pressure_threshold: 8,
+                shed_max_fanout: 2,
+            })
+        );
+        // The default stays conservative: no rearrangement, no shedding.
+        let d = RuntimeConfig::default();
+        assert_eq!(d.repack, RepackPolicy::Off);
+        assert_eq!(d.overload, None);
     }
 
     #[test]

@@ -73,11 +73,12 @@ mod metrics;
 
 #[allow(deprecated)]
 pub use backend::AdmitError;
-pub use backend::Backend;
+pub use backend::{Backend, RepackStats, RepackSupport};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::{
     AdmissionEngine, EngineBuilder, EngineCore, FaultHandle, HealOutcome, OutcomeCallback,
-    RequestOutcome, RuntimeConfig, RuntimeReport, ShardCore, SubmitOutcome,
+    OverloadControl, RepackPolicy, RequestOutcome, RuntimeConfig, RuntimeReport, ShardCore,
+    SubmitOutcome,
 };
 pub use injector::{FaultInjector, InjectionRecord};
 pub use metrics::{LogHistogram, MetricsSnapshot, RuntimeMetrics};

@@ -126,8 +126,20 @@ pub struct RuntimeMetrics {
     pub orphaned_departures: AtomicU64,
     /// Structural errors (must stay 0 in a healthy run).
     pub fatal: AtomicU64,
+    /// Requests shed early under sustained blocking pressure.
+    pub overloaded: AtomicU64,
+    /// Physical rearrangement moves started (make phase entered),
+    /// including moves later reverted.
+    pub repack_moves_attempted: AtomicU64,
+    /// Rearrangement moves whose old branch was released (break phase).
+    pub repack_moves_committed: AtomicU64,
+    /// Rearrangement moves undone, leaving the original route intact.
+    pub repack_moves_aborted: AtomicU64,
     /// Wall-clock admission latency, nanoseconds.
     pub admit_latency_ns: LogHistogram,
+    /// Wall-clock latency of repack attempts (the extra work past the
+    /// plain connect that blocked), nanoseconds.
+    pub repack_latency_ns: LogHistogram,
     /// Wall-clock per-connection heal latency (teardown to re-admit),
     /// nanoseconds.
     pub heal_latency_ns: LogHistogram,
@@ -158,7 +170,12 @@ impl RuntimeMetrics {
             heal_failed: AtomicU64::new(0),
             orphaned_departures: AtomicU64::new(0),
             fatal: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            repack_moves_attempted: AtomicU64::new(0),
+            repack_moves_committed: AtomicU64::new(0),
+            repack_moves_aborted: AtomicU64::new(0),
             admit_latency_ns: LogHistogram::new(),
+            repack_latency_ns: LogHistogram::new(),
             heal_latency_ns: LogHistogram::new(),
             holding_micros: LogHistogram::new(),
             wavelength_live: (0..wavelengths.max(1)).map(|_| AtomicU64::new(0)).collect(),
@@ -229,6 +246,10 @@ impl RuntimeMetrics {
             heal_failed: self.heal_failed.load(Ordering::Relaxed),
             orphaned_departures: self.orphaned_departures.load(Ordering::Relaxed),
             fatal: self.fatal.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            repack_moves_attempted: self.repack_moves_attempted.load(Ordering::Relaxed),
+            repack_moves_committed: self.repack_moves_committed.load(Ordering::Relaxed),
+            repack_moves_aborted: self.repack_moves_aborted.load(Ordering::Relaxed),
             active,
             blocking_probability: if offered == 0 {
                 0.0
@@ -239,6 +260,7 @@ impl RuntimeMetrics {
             p99_admit_ns: self.admit_latency_ns.quantile(0.99),
             mean_admit_ns: self.admit_latency_ns.mean(),
             p99_heal_ns: self.heal_latency_ns.quantile(0.99),
+            p99_repack_ns: self.repack_latency_ns.quantile(0.99),
             mean_holding: self.holding_micros.mean() / 1e6,
             wavelength_live: self.wavelength_gauges(),
             middle_loads,
@@ -281,6 +303,14 @@ pub struct MetricsSnapshot {
     pub orphaned_departures: u64,
     /// Structural errors.
     pub fatal: u64,
+    /// Requests shed early under sustained blocking pressure.
+    pub overloaded: u64,
+    /// Rearrangement moves started (including later-reverted ones).
+    pub repack_moves_attempted: u64,
+    /// Rearrangement moves committed (old branch released).
+    pub repack_moves_committed: u64,
+    /// Rearrangement moves aborted (original route kept).
+    pub repack_moves_aborted: u64,
     /// Live connections at snapshot time.
     pub active: u64,
     /// `blocked / offered` (0 when nothing offered).
@@ -294,6 +324,9 @@ pub struct MetricsSnapshot {
     /// 99th-percentile per-connection heal latency, nanoseconds (0 when
     /// no heals ran).
     pub p99_heal_ns: u64,
+    /// 99th-percentile repack-attempt latency, nanoseconds (0 when no
+    /// repacks ran).
+    pub p99_repack_ns: u64,
     /// Mean holding time in simulation time units.
     pub mean_holding: f64,
     /// Live connections per source wavelength.
@@ -371,7 +404,17 @@ mod tests {
         m.admitted.fetch_add(9, Ordering::Relaxed);
         m.blocked.fetch_add(1, Ordering::Relaxed);
         m.admit_latency_ns.record(1500);
+        m.overloaded.fetch_add(2, Ordering::Relaxed);
+        m.repack_moves_attempted.fetch_add(3, Ordering::Relaxed);
+        m.repack_moves_committed.fetch_add(2, Ordering::Relaxed);
+        m.repack_moves_aborted.fetch_add(1, Ordering::Relaxed);
+        m.repack_latency_ns.record(900);
         let snap = m.snapshot(2.0, 4, vec![3, 1]);
+        assert_eq!(snap.overloaded, 2);
+        assert_eq!(snap.repack_moves_attempted, 3);
+        assert_eq!(snap.repack_moves_committed, 2);
+        assert_eq!(snap.repack_moves_aborted, 1);
+        assert!(snap.p99_repack_ns > 0);
         assert!((snap.blocking_probability - 0.1).abs() < 1e-12);
         assert!((snap.throughput() - 4.5).abs() < 1e-12);
         let json = snap.to_json();

@@ -21,7 +21,7 @@ use wdm_multistage::{
     awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, SelectionStrategy,
     ThreeStageNetwork, ThreeStageParams,
 };
-use wdm_runtime::RuntimeConfig;
+use wdm_runtime::{RepackPolicy, RuntimeConfig};
 use wdm_workload::adversarial::{AdversarialGen, Geometry};
 use wdm_workload::{close_trace, FaultAction, TimedEvent, TimedFault};
 
@@ -90,9 +90,31 @@ pub struct SimSetup {
     /// maximizes middle-stage dispersal, which is what makes hard blocks
     /// reachable on an under-provisioned fabric.
     pub strategy: SelectionStrategy,
+    /// Rearrange existing routes on a hard block (make-before-break
+    /// repacking, [`SimSetup::REPACK_BUDGET`] moves per blocked
+    /// connect). Repack outcomes depend on which routes exist when the
+    /// block happens — i.e. on the interleaving — so repack runs are
+    /// judged by the conservation-law oracle, never by per-index
+    /// equality with a serial reference.
+    pub repack: bool,
 }
 
 impl SimSetup {
+    /// Physical moves an on-block repack may spend per blocked connect
+    /// when [`SimSetup::repack`] is on (mirrored by the CLI's
+    /// `--repack` flag).
+    pub const REPACK_BUDGET: u32 = 4;
+
+    /// Enable on-block repacking. Hard blocks are no longer forbidden
+    /// by the oracle (`expect_nonblocking` drops to `false`): below the
+    /// bound repacking reduces blocks, it cannot erase them, and the
+    /// run is judged by the conservation laws instead.
+    pub fn with_repack(mut self) -> SimSetup {
+        self.repack = true;
+        self.expect_nonblocking = false;
+        self
+    }
+
     /// A three-stage setup provisioned exactly at the Theorem 1 bound,
     /// fault-free, expecting zero hard blocks under every schedule.
     pub fn three_stage_at_bound(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
@@ -107,6 +129,7 @@ impl SimSetup {
             faulted: false,
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
+            repack: false,
         }
     }
 
@@ -147,6 +170,7 @@ impl SimSetup {
             faulted: false,
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
+            repack: false,
         }
     }
 
@@ -162,6 +186,7 @@ impl SimSetup {
             faulted: false,
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
+            repack: false,
         }
     }
 
@@ -201,17 +226,24 @@ impl SimSetup {
     }
 
     fn params(&self) -> SimParams {
+        let mut runtime = RuntimeConfig::default();
+        if self.repack {
+            runtime.repack = RepackPolicy::OnBlock {
+                budget: SimSetup::REPACK_BUDGET,
+            };
+        }
         SimParams {
             shards: self.shards,
             batch: 1,
-            runtime: RuntimeConfig::default(),
+            runtime,
         }
     }
 
     /// Run one (trace, faults) input under the scheduler and return the
-    /// violations the oracle finds. Fault-free runs are checked for full
-    /// serial conformance; faulted runs (whose victim sets are
-    /// schedule-dependent) against the conservation invariants.
+    /// violations the oracle finds. Fault-free non-repack runs are
+    /// checked for full serial conformance; faulted or repacking runs
+    /// (whose victim sets / rearrangements are schedule-dependent)
+    /// against the conservation invariants.
     pub fn violations_for(
         &self,
         trace: &[TimedEvent],
@@ -259,7 +291,7 @@ impl SimSetup {
         faults: &[TimedFault],
         run: SimRun<B>,
     ) -> Vec<Violation> {
-        if faults.is_empty() {
+        if faults.is_empty() && !self.repack {
             let serial_params = SimParams {
                 shards: 1,
                 batch: 1,
@@ -408,6 +440,9 @@ impl SimSetup {
         }
         if self.faulted {
             cmd.push_str(" --faulted");
+        }
+        if self.repack {
+            cmd.push_str(" --repack");
         }
         cmd
     }

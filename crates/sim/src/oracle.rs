@@ -140,9 +140,9 @@ pub fn invariant_violations<B>(run: &SimRun<B>, expect_nonblocking: bool) -> Vec
         }
     };
     law(
-        "offered = admitted + blocked + expired + component_down + fatal_connects",
+        "offered = admitted + blocked + expired + component_down + overloaded",
         s.offered,
-        s.admitted + s.blocked + s.expired + s.component_down,
+        s.admitted + s.blocked + s.expired + s.component_down + s.overloaded,
     );
     law(
         "admitted = departed + orphaned_departures (closed trace)",
@@ -150,9 +150,9 @@ pub fn invariant_violations<B>(run: &SimRun<B>, expect_nonblocking: bool) -> Vec
         s.departed + s.orphaned_departures,
     );
     law(
-        "skipped_departures = blocked + expired + component_down (closed trace)",
+        "skipped_departures = blocked + expired + component_down + overloaded (closed trace)",
         s.skipped_departures,
-        s.blocked + s.expired + s.component_down,
+        s.blocked + s.expired + s.component_down + s.overloaded,
     );
     law(
         "connections_hit = healed + heal_failed",

@@ -10,12 +10,15 @@
 //! switching backends — they are judged by the conservation-law oracle
 //! across ≥128 seeds instead of per-index diffs.
 
-use wdm_core::NetworkConfig;
+use wdm_core::{Fault, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
     awg, AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork, ThreeStageParams,
 };
-use wdm_sim::{diff_runs, simulate, ChoiceStream, Scheduler, SimParams, SimSetup};
+use wdm_sim::{
+    diff_runs, invariant_violations, simulate, ChoiceStream, Scheduler, SimParams, SimSetup,
+};
+use wdm_workload::{FaultAction, TimedFault};
 
 const N: u32 = 2;
 const R: u32 = 4;
@@ -177,4 +180,135 @@ fn awg_clos_repro_command_is_replayable() {
     let cmd = setup.repro_command(7);
     assert!(cmd.contains("--backend awg-clos"), "{cmd}");
     assert!(cmd.contains(&format!("--m {}", setup.m)), "{cmd}");
+}
+
+/// Converter-bank faults (ingress and egress banks, alternating by
+/// seed) failed mid-trace and repaired two-thirds in: victims are
+/// evicted and re-admitted around the dark bank, refused connects
+/// surface as `ComponentDown`, and every schedule still satisfies the
+/// conservation laws.
+#[test]
+fn awg_clos_converter_bank_faults_conserve_outcomes() {
+    let setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    for seed in 0..64u64 {
+        let trace = setup.trace(seed);
+        let module = (seed % R as u64) as u32;
+        let fault = if seed % 2 == 0 {
+            Fault::InputConverters(module)
+        } else {
+            Fault::OutputConverters(module)
+        };
+        let script = [
+            TimedFault {
+                time: trace[trace.len() / 3].time,
+                action: FaultAction::Fail(fault),
+            },
+            TimedFault {
+                time: trace[trace.len() * 2 / 3].time,
+                action: FaultAction::Repair(fault),
+            },
+        ];
+        let mut choices = ChoiceStream::new(seed);
+        let run = simulate(
+            make_awg(&setup),
+            &trace,
+            &script,
+            &SimParams::default(),
+            Scheduler::Random(&mut choices),
+        );
+        let violations = invariant_violations(&run, false);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} ({fault}): {}",
+            violations[0]
+        );
+        let s = &run.report.summary;
+        assert_eq!(
+            s.connections_hit,
+            s.healed + s.heal_failed,
+            "seed {seed}: healing must account for every victim"
+        );
+    }
+}
+
+/// Passive AWG gratings carry no converter banks, so a
+/// `MiddleConverters` fault names hardware the architecture does not
+/// have: it must evict nothing and leave every per-event outcome
+/// identical to the fault-free run.
+#[test]
+fn awg_clos_middle_converter_fault_is_inert() {
+    let setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    for seed in 0..8u64 {
+        let trace = setup.trace(seed);
+        let script = [TimedFault {
+            time: trace[trace.len() / 3].time,
+            action: FaultAction::Fail(Fault::MiddleConverters((seed % setup.m as u64) as u32)),
+        }];
+        let mut cs_a = ChoiceStream::new(seed);
+        let faulted = simulate(
+            make_awg(&setup),
+            &trace,
+            &script,
+            &SimParams::default(),
+            Scheduler::Random(&mut cs_a),
+        );
+        let mut cs_b = ChoiceStream::new(seed);
+        let clean = simulate(
+            make_awg(&setup),
+            &trace,
+            &[],
+            &SimParams::default(),
+            Scheduler::Random(&mut cs_b),
+        );
+        assert_eq!(
+            faulted.report.summary.connections_hit, 0,
+            "seed {seed}: a converterless stage had victims"
+        );
+        let diffs = diff_runs(&faulted, &clean);
+        assert!(
+            diffs.is_empty(),
+            "seed {seed}: inert fault changed an outcome: {}",
+            diffs[0]
+        );
+    }
+}
+
+/// Spare-margin converter leg: with a spare grating (m = bound + 1) an
+/// ingress-bank kill still leaves conversion-free channels plus slack
+/// capacity, and self-healing must relocate every victim it can route —
+/// the sparing argument extended from dead gratings to dead converter
+/// hardware.
+#[test]
+fn awg_clos_spare_margin_rides_out_converter_bank_kill() {
+    let mut setup = SimSetup::awg_clos(N, R, K, STEPS, SHARDS);
+    setup.m += 1;
+    let mut total_hit = 0u64;
+    for seed in 0..16u64 {
+        let trace = setup.trace(seed);
+        let script = [TimedFault {
+            time: trace[trace.len() / 3].time,
+            action: FaultAction::Fail(Fault::InputConverters((seed % R as u64) as u32)),
+        }];
+        let mut choices = ChoiceStream::new(seed);
+        let run = simulate(
+            make_awg(&setup),
+            &trace,
+            &script,
+            &SimParams::default(),
+            Scheduler::Random(&mut choices),
+        );
+        let violations = invariant_violations(&run, false);
+        assert!(violations.is_empty(), "seed {seed}: {}", violations[0]);
+        let s = &run.report.summary;
+        assert_eq!(
+            s.connections_hit,
+            s.healed + s.heal_failed,
+            "seed {seed}: healing must account for every victim"
+        );
+        total_hit += s.connections_hit;
+    }
+    assert!(
+        total_hit > 0,
+        "no seed ever routed traffic through the killed bank; the leg is vacuous"
+    );
 }
