@@ -18,6 +18,14 @@
 //!   the engine's sharded submit path with per-request write-back,
 //!   backpressure, and graceful drain; and a pipelining [`NetClient`]
 //!   with connection reuse and timeout/retry.
+//! * [`reactor`] *(Linux)* — the event-driven alternative to
+//!   [`NetServer`]: a sharded epoll pool serving tens of thousands of
+//!   connections from a fixed set of threads, coalescing each poll
+//!   cycle's decodable frames into one batched engine submission.
+//!   [`mux`] multiplexes many logical request lanes over one socket so
+//!   load generators reach C100k without C100k descriptors, and
+//!   [`loadgen`] *(Linux)* is the matching epoll-driven closed-loop
+//!   driver.
 //!
 //! # Example
 //!
@@ -45,12 +53,22 @@
 
 pub mod client;
 pub mod codec;
+#[cfg(target_os = "linux")]
+pub mod loadgen;
+pub mod mux;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod transport;
 
 pub use client::{ClientConfig, NetClient, NetClientError};
 pub use codec::{RawFrame, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD};
+#[cfg(target_os = "linux")]
+pub use loadgen::{LoadConfig, LoadReport};
+pub use mux::MuxClient;
 pub use protocol::{RejectReason, Request, Response, MIN_WIRE_VERSION, WIRE_VERSION};
+#[cfg(target_os = "linux")]
+pub use reactor::{ReactorConfig, ReactorServer, ReactorSnapshot};
 pub use server::{NetServer, NetServerConfig};
 pub use transport::{MemDuplex, Transport};

@@ -1,0 +1,277 @@
+//! Differential conformance: the thread-per-connection [`NetServer`]
+//! and the epoll [`ReactorServer`] are two implementations of one wire
+//! contract, so an identical request script must yield **identical
+//! per-index verdicts** through both — for a strict v1 client and a v2
+//! client, through a drain over the wire, and across mid-script fault
+//! injection and repair. Responses are compared by a normalized
+//! fingerprint (verdict + integer counters; free-text details and
+//! wall-clock fields excluded).
+
+#![cfg(target_os = "linux")]
+
+use std::net::SocketAddr;
+use wdm_core::{Endpoint, Fault, MulticastConnection, MulticastModel, NetworkConfig};
+use wdm_fabric::CrossbarSession;
+use wdm_multistage::{bounds, Construction, ThreeStageNetwork, ThreeStageParams};
+use wdm_net::{
+    ClientConfig, NetClient, NetServer, NetServerConfig, ReactorConfig, ReactorServer, Request,
+    Response,
+};
+use wdm_runtime::{AdmissionEngine, Backend, EngineBuilder, FaultHandle, RuntimeReport};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    Threads,
+    Reactor,
+}
+
+/// Start `engine` behind the requested serving layer; returns the bound
+/// address and a deferred teardown that yields the final report.
+fn start<B: Backend>(
+    mode: Mode,
+    engine: AdmissionEngine<B>,
+) -> (SocketAddr, Box<dyn FnOnce() -> RuntimeReport<B>>) {
+    match mode {
+        Mode::Threads => {
+            let s = NetServer::serve(engine, "127.0.0.1:0", NetServerConfig::default())
+                .expect("bind threads");
+            (s.local_addr(), Box::new(move || s.wait()))
+        }
+        Mode::Reactor => {
+            let s = ReactorServer::serve(engine, "127.0.0.1:0", ReactorConfig::default())
+                .expect("bind reactor");
+            (s.local_addr(), Box::new(move || s.wait()))
+        }
+    }
+}
+
+/// Normalize a response to its comparable essence: the verdict and any
+/// integer counters, never free text or wall-clock values.
+fn fingerprint(resp: &Response) -> String {
+    match resp {
+        Response::Ok => "ok".into(),
+        Response::Pong => "pong".into(),
+        Response::Rejected { reason, .. } => format!("rejected:{reason:?}"),
+        Response::Snapshot(_) => "snapshot".into(),
+        Response::ProtocolError { .. } => "protocol-error".into(),
+        Response::Batch(items) => {
+            let inner: Vec<String> = items.iter().map(fingerprint).collect();
+            format!("batch:[{}]", inner.join(","))
+        }
+        Response::DrainReport { clean, summary } => format!(
+            "drain:clean={clean}:offered={}:admitted={}:blocked={}:departed={}:\
+             skipped={}:orphaned={}:component_down={}",
+            summary.offered,
+            summary.admitted,
+            summary.blocked,
+            summary.departed,
+            summary.skipped_departures,
+            summary.orphaned_departures,
+            summary.component_down,
+        ),
+    }
+}
+
+/// One step of a deterministic differential script.
+enum Step {
+    /// A wire round trip whose fingerprint lands in the transcript.
+    Call(Request),
+    /// Out-of-band fault injection at a quiescent point; the heal
+    /// outcome's counters land in the transcript.
+    Inject(Fault),
+    /// Out-of-band repair; the repaired flag lands in the transcript.
+    Repair(Fault),
+}
+
+/// Run `script` against a fresh engine from `make_engine` behind `mode`,
+/// sequentially on one connection, and return the transcript of
+/// fingerprints plus the final report's comparable counters.
+fn run_script<B: Backend>(
+    mode: Mode,
+    make_engine: impl Fn() -> AdmissionEngine<B>,
+    wire_version: u8,
+    script: &[Step],
+) -> Vec<String> {
+    let engine = make_engine();
+    let handle: FaultHandle<B> = engine.fault_handle();
+    let (addr, teardown) = start(mode, engine);
+    let config = ClientConfig {
+        wire_version,
+        ..ClientConfig::default()
+    };
+    let mut client = NetClient::connect_with(addr, config).expect("client connects");
+    let mut transcript = Vec::with_capacity(script.len() + 1);
+    for step in script {
+        match step {
+            Step::Call(req) => {
+                let resp = client.call(req).expect("round trip");
+                transcript.push(fingerprint(&resp));
+            }
+            Step::Inject(fault) => {
+                let heal = handle.inject(*fault);
+                transcript.push(format!(
+                    "inject:hit={}:healed={}:failed={}",
+                    heal.connections_hit, heal.healed, heal.heal_failed
+                ));
+            }
+            Step::Repair(fault) => {
+                transcript.push(format!("repair:{}", handle.repair(*fault)));
+            }
+        }
+    }
+    let report = teardown();
+    transcript.push(format!(
+        "report:clean={}:offered={}:admitted={}:blocked={}:departed={}:panics={}",
+        report.is_clean(),
+        report.summary.offered,
+        report.summary.admitted,
+        report.summary.blocked,
+        report.summary.departed,
+        report.worker_panics,
+    ));
+    transcript
+}
+
+fn unicast(sp: u32, sw: u32, dp: u32, dw: u32) -> MulticastConnection {
+    MulticastConnection::unicast(Endpoint::new(sp, sw), Endpoint::new(dp, dw))
+}
+
+/// The shared conformance script, written to the engine's trace
+/// semantics: a disconnect for a source the engine never saw is
+/// `Fatal`; a *rejected* connect on source S swallows the next
+/// disconnect on S as a skipped departure (`UnknownSource` on the
+/// wire), so releasing a live source after a duplicate rejection takes
+/// two disconnects. The script exercises admissions, the
+/// duplicate-source rejection, that skip pairing, readmission after
+/// release, a wire batch with a per-item rejection (v2 only), a drain
+/// over the wire, and post-drain refusals.
+fn conformance_script(wire_version: u8) -> Vec<Step> {
+    let a = unicast(0, 0, 1, 0);
+    let b = unicast(2, 0, 3, 0);
+    let mut script = vec![
+        Step::Call(Request::Ping),
+        Step::Call(Request::Connect(a.clone())),
+        Step::Call(Request::Connect(b.clone())),
+        // Source (1,1) never connected at all: Fatal.
+        Step::Call(Request::Disconnect(Endpoint::new(1, 1))),
+        // Source (0,0) is already lit: rejected, deterministically.
+        Step::Call(Request::Connect(unicast(0, 0, 3, 0))),
+        // Skipped: pairs the rejected duplicate, A stays lit.
+        Step::Call(Request::Disconnect(a.source())),
+        // ... and this one actually departs A.
+        Step::Call(Request::Disconnect(a.source())),
+        // Released source readmits.
+        Step::Call(Request::Connect(a.clone())),
+        Step::Call(Request::Disconnect(a.source())),
+        Step::Call(Request::Disconnect(b.source())),
+    ];
+    if wire_version >= 2 {
+        // Batch: second item repeats the first item's source, so the
+        // engine's per-source FIFO resolves [Ok, Rejected]; the first
+        // disconnect pairs the rejected item, the second departs.
+        script.push(Step::Call(Request::BatchConnect(vec![
+            unicast(1, 0, 2, 0),
+            unicast(1, 0, 3, 0),
+        ])));
+        script.push(Step::Call(Request::Disconnect(Endpoint::new(1, 0))));
+        script.push(Step::Call(Request::Disconnect(Endpoint::new(1, 0))));
+    }
+    script.push(Step::Call(Request::Drain));
+    // Post-drain: admissions refused as Draining, drain idempotent,
+    // snapshot still answers.
+    script.push(Step::Call(Request::Connect(a)));
+    script.push(Step::Call(Request::Drain));
+    script.push(Step::Call(Request::Snapshot));
+    script
+}
+
+#[test]
+fn threads_and_reactor_agree_on_the_conformance_script() {
+    let make_engine = || {
+        let backend = CrossbarSession::new(NetworkConfig::new(4, 2), MulticastModel::Msw);
+        EngineBuilder::new().shards(2).start(backend)
+    };
+    for wire_version in [1u8, 2] {
+        let script = conformance_script(wire_version);
+        let threads = run_script(Mode::Threads, make_engine, wire_version, &script);
+        let reactor = run_script(Mode::Reactor, make_engine, wire_version, &script);
+        assert_eq!(
+            threads, reactor,
+            "serve modes disagree at wire v{wire_version}"
+        );
+        // Spot-check the transcript is the one we scripted, not two
+        // servers agreeing on garbage.
+        assert_eq!(threads[0], "pong");
+        assert_eq!(threads[1], "ok");
+        assert_eq!(threads[2], "ok");
+        assert!(threads[3].starts_with("rejected:Fatal"), "{threads:?}");
+        assert!(threads[4].starts_with("rejected:Busy"), "{threads:?}");
+        assert!(
+            threads[5].starts_with("rejected:UnknownSource"),
+            "{threads:?}"
+        );
+        for i in 6..10 {
+            assert_eq!(threads[i], "ok", "step {i}: {threads:?}");
+        }
+        if wire_version >= 2 {
+            assert!(
+                threads[10].starts_with("batch:[ok,rejected:"),
+                "{threads:?}"
+            );
+            assert!(
+                threads[11].starts_with("rejected:UnknownSource"),
+                "{threads:?}"
+            );
+            assert_eq!(threads[12], "ok", "{threads:?}");
+        }
+        let drain_at = if wire_version >= 2 { 13 } else { 10 };
+        assert!(threads[drain_at].starts_with("drain:"), "{threads:?}");
+        assert_eq!(threads[drain_at + 1], "rejected:Draining");
+        assert_eq!(threads[drain_at + 2], threads[drain_at], "drain idempotent");
+        assert_eq!(threads[drain_at + 3], "snapshot");
+        assert!(
+            threads.last().unwrap().starts_with("report:"),
+            "{threads:?}"
+        );
+    }
+}
+
+/// Fault differential: a three-stage fabric with one middle switch of
+/// slack loses a middle switch mid-script, serves through the degraded
+/// window, and is repaired — the two serving layers must report the
+/// same heal outcome and the same verdicts before, during, and after.
+#[test]
+fn threads_and_reactor_agree_under_fault_injection() {
+    let (n, r, k) = (4u32, 4u32, 2u32);
+    let m = bounds::theorem1_min_m(n, r).m + 1;
+    let make_engine = move || {
+        let p = ThreeStageParams::new(n, m, r, k);
+        let backend = ThreeStageNetwork::new(p, Construction::MswDominant, MulticastModel::Msw);
+        EngineBuilder::new().shards(2).start(backend)
+    };
+    let script = vec![
+        Step::Call(Request::Connect(unicast(0, 0, 4, 0))),
+        Step::Call(Request::Connect(unicast(1, 0, 5, 0))),
+        // Quiescent point: both responses are in hand, so the backend
+        // holds exactly these two connections when the switch dies.
+        Step::Inject(Fault::MiddleSwitch(0)),
+        // One spare above the bound: the degraded fabric still admits.
+        Step::Call(Request::Connect(unicast(2, 0, 6, 0))),
+        Step::Call(Request::Disconnect(Endpoint::new(0, 0))),
+        Step::Call(Request::Disconnect(Endpoint::new(1, 0))),
+        Step::Repair(Fault::MiddleSwitch(0)),
+        Step::Call(Request::Connect(unicast(3, 0, 7, 0))),
+        Step::Call(Request::Disconnect(Endpoint::new(2, 0))),
+        Step::Call(Request::Disconnect(Endpoint::new(3, 0))),
+        Step::Call(Request::Drain),
+    ];
+    let threads = run_script(Mode::Threads, make_engine, 2, &script);
+    let reactor = run_script(Mode::Reactor, make_engine, 2, &script);
+    assert_eq!(threads, reactor, "serve modes disagree under faults");
+    assert_eq!(threads[0], "ok");
+    assert_eq!(threads[1], "ok");
+    assert!(threads[2].starts_with("inject:hit="), "{threads:?}");
+    assert_eq!(threads[3], "ok", "degraded fabric above the bound admits");
+    assert_eq!(threads[6], "repair:true", "{threads:?}");
+    assert_eq!(threads[7], "ok", "repaired fabric admits");
+}

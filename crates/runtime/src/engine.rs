@@ -460,6 +460,13 @@ impl<B: Backend> AdmissionEngine<B> {
         self.core.shard_of(port, self.senders.len())
     }
 
+    /// Number of shard workers this engine runs. Serving layers size
+    /// their own parallelism (e.g. reactor shards) against this so
+    /// coalesced submissions spread across every backend queue.
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
     /// Enqueue one event. [`SubmitOutcome::Draining`] means the engine
     /// refused it (a drain has begun) and the event was dropped.
     pub fn submit(&self, event: TimedEvent) -> SubmitOutcome {
