@@ -13,8 +13,8 @@ use wdm_bench::batch_drive::{closed_trace, drive, BATCH_WINDOW};
 use wdm_core::{MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
-    awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork,
-    ThreeStageParams,
+    awg, bounds, AwgClosNetwork, ConcurrentThreeStage, Construction, ConverterPlacement,
+    ThreeStageNetwork, ThreeStageParams,
 };
 
 fn bench_crossbar_batch(c: &mut Criterion) {
@@ -98,10 +98,49 @@ fn bench_awg_clos_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// The contention leg: the CAS backend under a growing worker count at
+/// the largest three-stage geometry. Shards submit under the read side
+/// of the backend lock, so admissions/sec should *rise* with workers on
+/// a multi-core host — the serial `ThreeStageNetwork` under the same
+/// sweep can only flat-line or degrade behind its exclusive lock.
+fn bench_concurrent_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch/concurrent_contention");
+    g.sample_size(10);
+    let (n, r, k) = (8u32, 16u32, 4u32);
+    let m = bounds::theorem1_min_m(n, r).m;
+    let p = ThreeStageParams::new(n, m, r, k);
+    let events = closed_trace(p.network(), MulticastModel::Msw, 7);
+    let label = format!("n{n}r{r}k{k}m{m}");
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("workers{workers}"), &label),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let report = drive(
+                        ConcurrentThreeStage::new(
+                            p,
+                            Construction::MswDominant,
+                            MulticastModel::Msw,
+                        ),
+                        &events,
+                        w,
+                        BATCH_WINDOW,
+                    );
+                    assert_eq!(report.summary.blocked, 0, "blocked at m = bound");
+                    report
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_crossbar_batch,
     bench_three_stage_batch,
-    bench_awg_clos_batch
+    bench_awg_clos_batch,
+    bench_concurrent_contention
 );
 criterion_main!(benches);

@@ -14,14 +14,19 @@ use wdm_bench::repack_drive::{replay, RepackOutcome, REPACK_BUDGET};
 use wdm_core::{MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
-    awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork,
-    ThreeStageParams,
+    awg, bounds, AwgClosNetwork, ConcurrentThreeStage, Construction, ConverterPlacement,
+    ThreeStageNetwork, ThreeStageParams,
 };
 use wdm_workload::TimedEvent;
 
 const RUNS: usize = 5;
 const SHARDS: usize = 4;
 const SPEEDUP_FLOOR: f64 = 1.5;
+/// Worker counts of the CAS contention curve.
+const WORKER_CURVE: [usize; 4] = [1, 2, 4, 8];
+/// The 8-worker point of the curve must clear this multiple of the
+/// 1-worker point — enforced only on hosts with real parallelism.
+const SCALING_FLOOR: f64 = 2.0;
 
 struct Leg {
     backend: &'static str,
@@ -125,6 +130,45 @@ fn main() {
         });
     }
 
+    // The CAS backend at the largest switched geometry: same trace and
+    // windows as the serial three-stage leg above, admissions running
+    // under the engine's read lock instead of the write lock. Placed
+    // after the serial legs so the batch gate's rfind("three-stage")
+    // anchor is untouched ("three-stage-cas" != "three-stage").
+    let (cn, cr, ck) = (8u32, 16u32, 4u32);
+    let cm = bounds::theorem1_min_m(cn, cr).m;
+    let cas_params = ThreeStageParams::new(cn, cm, cr, ck);
+    let cas_events = closed_trace(cas_params.network(), MulticastModel::Msw, 7);
+    let make_cas =
+        || ConcurrentThreeStage::new(cas_params, Construction::MswDominant, MulticastModel::Msw);
+    let cas_geometry = format!("n={cn} r={cr} k={ck} m={cm}");
+    legs.push(Leg {
+        backend: "three-stage-cas",
+        geometry: cas_geometry.clone(),
+        events: cas_events.len(),
+        singles_per_sec: measure(make_cas, &cas_events, 1),
+        batch_per_sec: measure(make_cas, &cas_events, BATCH_WINDOW),
+    });
+
+    // The worker-scaling curve: the same CAS leg under 1→8 submitting
+    // shards. The full curve is always recorded; the scaling gate below
+    // only binds on hosts that actually expose parallel cores.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let curve: Vec<(usize, f64)> = WORKER_CURVE
+        .iter()
+        .map(|&workers| {
+            let mut best = 0.0f64;
+            for _ in 0..RUNS {
+                let started = Instant::now();
+                let report = drive(make_cas(), &cas_events, workers, BATCH_WINDOW);
+                let rate =
+                    report.summary.admitted as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                best = best.max(rate);
+            }
+            (workers, best)
+        })
+        .collect();
+
     // AWG-Clos legs at the private-pool bound (k ≥ r keeps every module
     // pair reachable). They sit after the three-stage legs so the gate's
     // rfind("three-stage") still anchors on the largest switched
@@ -192,6 +236,16 @@ fn main() {
         );
     }
 
+    for &(workers, rate) in &curve {
+        println!(
+            "scaling     {:<20} workers={:<2} batch {:>9.0}/s  ×{:.2} vs 1 worker",
+            cas_geometry,
+            workers,
+            rate,
+            rate / curve[0].1.max(1e-9)
+        );
+    }
+
     for leg in &repack_legs {
         println!(
             "repack      {:<14} m={:<2} {:>7} attempts  first-fit {:>5} blocked  \
@@ -215,9 +269,19 @@ fn main() {
         .map(RepackLeg::to_json)
         .collect::<Vec<_>>()
         .join(",\n    ");
+    let curve_body = curve
+        .iter()
+        .map(|&(workers, rate)| {
+            format!("{{\"workers\":{workers},\"admissions_per_sec\":{rate:.0}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
     let json = format!(
         "{{\n  \"bench\": \"batch_admission\",\n  \"batch_window\": {BATCH_WINDOW},\n  \
-         \"shards\": {SHARDS},\n  \"runs_per_leg\": {RUNS},\n  \"results\": [\n    {body}\n  ],\n  \
+         \"shards\": {SHARDS},\n  \"runs_per_leg\": {RUNS},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \"results\": [\n    {body}\n  ],\n  \
+         \"worker_scaling\": {{\n    \"backend\": \"three-stage-cas\",\n    \
+         \"geometry\": \"{cas_geometry}\",\n    \"curve\": [\n      {curve_body}\n    ]\n  }},\n  \
          \"repack_budget\": {REPACK_BUDGET},\n  \"repack\": [\n    {repack_body}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).expect("write report");
@@ -273,4 +337,45 @@ fn main() {
         std::process::exit(1);
     }
     println!("repack gate passed: strict dominance on {dominated} starved leg(s)");
+
+    // The scaling gate: CAS admissions/sec must grow with workers at
+    // the largest geometry. A worker count above the host's core count
+    // can only measure oversubscription, so the curve is enforced up to
+    // `host_parallelism` and only on hosts with ≥ 4 real cores — the
+    // full curve is recorded in the JSON either way.
+    if host_parallelism >= 4 {
+        for pair in curve.windows(2) {
+            let ((lo_w, lo_rate), (hi_w, hi_rate)) = (pair[0], pair[1]);
+            if hi_w > host_parallelism {
+                break;
+            }
+            if hi_rate <= lo_rate {
+                eprintln!(
+                    "FAIL: CAS admissions/sec fell from {lo_rate:.0}/s at {lo_w} workers \
+                     to {hi_rate:.0}/s at {hi_w} workers ({cas_geometry})"
+                );
+                std::process::exit(1);
+            }
+        }
+        let (top_w, top_rate) = *curve
+            .iter()
+            .rev()
+            .find(|&&(w, _)| w <= host_parallelism)
+            .expect("curve starts at 1 worker");
+        let scaling = top_rate / curve[0].1.max(1e-9);
+        let floor = if top_w >= 8 { SCALING_FLOOR } else { 1.2 };
+        if scaling < floor {
+            eprintln!(
+                "FAIL: CAS admissions/sec at {top_w} workers is only {scaling:.2}× the \
+                 single-worker rate (floor {floor}×) at {cas_geometry}"
+            );
+            std::process::exit(1);
+        }
+        println!("scaling gate passed: {scaling:.2}× ≥ {floor}× at {top_w} workers");
+    } else {
+        println!(
+            "scaling gate skipped: host exposes only {host_parallelism} core(s); \
+             curve recorded for multi-core CI"
+        );
+    }
 }

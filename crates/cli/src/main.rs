@@ -130,12 +130,15 @@ COMMANDS:
               batch size growing with connection count
   sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage|awg-clos] [--m M]
               [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted] [--repack]
+              [--concurrent]
                                                    deterministic simulation: replay seeded
                                                    interleavings of the sharded admission engine
                                                    and check each against the serial oracle
                                                    (fault-free) or the conservation invariants
                                                    (--faulted, or --repack which rearranges
-                                                   routes on block — three-stage only);
+                                                   routes on block — three-stage only;
+                                                   --concurrent admits through the lock-free
+                                                   CAS backend, three-stage only);
                                                    --seeds sweeps COUNT seeds from
                                                    --seed (default 0); a failing seed is shrunk
                                                    by delta debugging and printed as a replayable
@@ -152,7 +155,7 @@ struct Opts(HashMap<String, String>);
 impl Opts {
     /// Flags that may appear without a value (presence means "true"),
     /// so shrink artifacts' `reproduce:` lines paste back verbatim.
-    const BOOLEAN_FLAGS: [&'static str; 2] = ["faulted", "repack"];
+    const BOOLEAN_FLAGS: [&'static str; 3] = ["faulted", "repack", "concurrent"];
 
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut map = HashMap::new();
@@ -1820,6 +1823,19 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
                 .into(),
         );
     }
+    let concurrent = opts.boolean("concurrent")?;
+    if concurrent && backend != BackendKind::ThreeStage {
+        return Err(
+            "--concurrent drives the CAS admission path; only the three-stage backend has one"
+                .into(),
+        );
+    }
+    if concurrent && repack {
+        return Err(
+            "--concurrent requires RepackPolicy::Off; repack moves keep the coarse striped path"
+                .into(),
+        );
+    }
 
     let (bound, bound_name) = match backend {
         BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
@@ -1857,8 +1873,13 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
         // sweep is judged by the conservation laws, not serial equality.
         setup = setup.with_repack();
     }
+    if concurrent {
+        // CAS mode forces first-fit selection: the run is judged
+        // event-for-event against the serial first-fit oracle.
+        setup = setup.with_concurrent();
+    }
     println!(
-        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{}{} ({bound_name} m ≥ {bound})",
+        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{}{}{} ({bound_name} m ≥ {bound})",
         backend.label(),
         if backend == BackendKind::Crossbar {
             String::new()
@@ -1867,6 +1888,7 @@ fn cmd_sim(opts: &Opts) -> Result<(), String> {
         },
         if faulted { " faulted" } else { "" },
         if repack { " repack" } else { "" },
+        if concurrent { " concurrent" } else { "" },
     );
 
     let base = opts.u64("seed", if opts.0.contains_key("seeds") { 0 } else { 42 })?;

@@ -15,6 +15,8 @@
 //!   for per-port wavelength occupancy where every port owns
 //!   `ceil(k/64)` words.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Number of `u64` words needed to hold `bits` bits.
 pub const fn words_for(bits: u32) -> usize {
     bits.div_ceil(64) as usize
@@ -181,6 +183,154 @@ impl BitRows {
     }
 }
 
+/// A [`BitRows`] whose words are [`AtomicU64`], for tables mutated by
+/// several admission threads at once.
+///
+/// Single-bit updates use `fetch_or` / `fetch_and` (they cannot lose
+/// concurrent updates to sibling bits of the same word); callers that
+/// must *claim* a bit exclusively — exactly one winner among racing
+/// threads — use [`AtomicBitRows::try_set`]. Reads are per-word atomic
+/// loads: a multi-word row snapshot is not a consistent cut on its own,
+/// which is why the concurrent backend validates every probe with a CAS
+/// before relying on it.
+#[derive(Debug)]
+pub struct AtomicBitRows {
+    words_per_row: usize,
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitRows {
+    /// All-zero table of `rows` rows × `bits_per_row` bits.
+    pub fn new(rows: u32, bits_per_row: u32) -> Self {
+        let words_per_row = words_for(bits_per_row);
+        AtomicBitRows {
+            words_per_row,
+            words: (0..words_per_row * rows as usize)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Table with every valid bit set (tail bits of each row clear).
+    pub fn filled(rows: u32, bits_per_row: u32) -> Self {
+        let row = filled_words(bits_per_row);
+        AtomicBitRows {
+            words_per_row: row.len(),
+            words: row
+                .iter()
+                .cycle()
+                .take(row.len() * rows as usize)
+                .map(|&w| AtomicU64::new(w))
+                .collect(),
+        }
+    }
+
+    /// Words per row (`ceil(bits_per_row / 64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The atomic words of one row.
+    #[inline]
+    pub fn row(&self, row: u32) -> &[AtomicU64] {
+        let start = row as usize * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Snapshot of one row as plain words (per-word `Acquire` loads;
+    /// not a consistent multi-word cut under concurrent writers).
+    pub fn load_row(&self, row: u32) -> Vec<u64> {
+        self.row(row)
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Bit `bit` of row `row` (`Acquire` load).
+    #[inline]
+    pub fn get(&self, row: u32, bit: u32) -> bool {
+        let w = &self.row(row)[(bit / 64) as usize];
+        w.load(Ordering::Acquire) & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Set bit `bit` of row `row` (`AcqRel` RMW). Returns the prior
+    /// value of the bit.
+    #[inline]
+    pub fn set(&self, row: u32, bit: u32) -> bool {
+        let w = &self.row(row)[(bit / 64) as usize];
+        w.fetch_or(1u64 << (bit % 64), Ordering::AcqRel) & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Clear bit `bit` of row `row` (`AcqRel` RMW). Returns the prior
+    /// value of the bit.
+    #[inline]
+    pub fn clear(&self, row: u32, bit: u32) -> bool {
+        let w = &self.row(row)[(bit / 64) as usize];
+        w.fetch_and(!(1u64 << (bit % 64)), Ordering::AcqRel) & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Atomically claim bit `bit` of row `row`: set it iff it was
+    /// clear. Returns `true` on success — among racing claimants of the
+    /// same bit exactly one sees `true`.
+    #[inline]
+    pub fn try_set(&self, row: u32, bit: u32) -> bool {
+        let w = &self.row(row)[(bit / 64) as usize];
+        let mask = 1u64 << (bit % 64);
+        w.fetch_or(mask, Ordering::AcqRel) & mask == 0
+    }
+
+    /// Popcount of one row (per-word loads).
+    #[inline]
+    pub fn count_row(&self, row: u32) -> u32 {
+        self.row(row)
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones())
+            .sum()
+    }
+
+    /// Popcount of the whole table.
+    pub fn count(&self) -> u32 {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones())
+            .sum()
+    }
+
+    /// Copy the whole table into a plain [`BitRows`] (per-word loads;
+    /// take a quiescent epoch first for a consistent cut).
+    pub fn to_bitrows(&self) -> BitRows {
+        BitRows {
+            words_per_row: self.words_per_row,
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Acquire))
+                .collect(),
+        }
+    }
+
+    /// Build an atomic table from a plain snapshot.
+    pub fn from_bitrows(rows: &BitRows) -> Self {
+        AtomicBitRows {
+            words_per_row: rows.words_per_row,
+            words: rows.words.iter().map(|&w| AtomicU64::new(w)).collect(),
+        }
+    }
+}
+
+/// `true` iff bit `i` is set in a packed slice of atomic words
+/// (`Acquire` load).
+#[inline]
+pub fn test_bit_atomic(words: &[AtomicU64], i: u32) -> bool {
+    words[(i / 64) as usize].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+}
+
+/// Snapshot a slice of atomic words into plain words (per-word
+/// `Acquire` loads).
+pub fn load_words(words: &[AtomicU64]) -> Vec<u64> {
+    words.iter().map(|w| w.load(Ordering::Acquire)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +372,61 @@ mod tests {
         assert_eq!(t.count(), 130);
         assert!(t.get(1, 64));
         assert!(!t.get(1, 65));
+    }
+
+    #[test]
+    fn atomic_bitrows_mirror_plain_semantics() {
+        let t = AtomicBitRows::new(4, 70);
+        assert!(!t.set(2, 65));
+        assert!(t.get(2, 65));
+        assert_eq!(t.count_row(2), 1);
+        assert_eq!(t.count(), 1);
+        assert!(t.set(2, 65)); // already set
+        assert!(t.clear(2, 65));
+        assert!(!t.clear(2, 65)); // already clear
+        assert_eq!(t.count(), 0);
+
+        let f = AtomicBitRows::filled(2, 65);
+        assert_eq!(f.count_row(0), 65);
+        assert!(f.get(1, 64));
+        assert!(!f.get(1, 65));
+        assert_eq!(f.to_bitrows(), BitRows::filled(2, 65));
+
+        let mut plain = BitRows::new(3, 10);
+        plain.set(1, 7);
+        let back = AtomicBitRows::from_bitrows(&plain);
+        assert!(back.get(1, 7));
+        assert_eq!(back.to_bitrows(), plain);
+        assert_eq!(back.words_per_row(), plain.words_per_row());
+    }
+
+    #[test]
+    fn atomic_try_set_claims_exclusively() {
+        let t = AtomicBitRows::new(1, 64);
+        assert!(t.try_set(0, 9));
+        assert!(!t.try_set(0, 9));
+        assert!(t.get(0, 9));
+        assert!(test_bit_atomic(t.row(0), 9));
+        assert_eq!(load_words(t.row(0)), vec![1u64 << 9]);
+        assert_eq!(t.load_row(0), vec![1u64 << 9]);
+        // A claim on a sibling bit of the same word still succeeds.
+        assert!(t.try_set(0, 10));
+    }
+
+    #[test]
+    fn atomic_try_set_race_has_one_winner() {
+        use std::sync::Arc;
+        let t = Arc::new(AtomicBitRows::new(1, 64));
+        let wins: usize = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.try_set(0, 3) as usize)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(wins, 1);
     }
 
     #[test]

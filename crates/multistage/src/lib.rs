@@ -42,6 +42,7 @@
 
 pub mod awg;
 pub mod bounds;
+pub mod concurrent;
 pub mod cost;
 mod multiset;
 mod network;
@@ -50,10 +51,12 @@ mod photonic;
 mod photonic5;
 mod recursive;
 pub mod repack;
+mod routing;
 pub mod scenarios;
 mod witness;
 
 pub use awg::{AwgClosNetwork, AwgDevice, AwgLeg, AwgRoute, ConverterPlacement};
+pub use concurrent::{CommitEpoch, ConcurrentThreeStage, PausePoint};
 pub use multiset::DestinationMultiset;
 pub use network::{
     Branch, Leg, RouteError, RoutedConnection, SelectionStrategy, ThreeStageNetwork,

@@ -13,7 +13,7 @@
 
 use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_fabric::CrossbarSession;
-use wdm_multistage::{AwgClosNetwork, ThreeStageNetwork};
+use wdm_multistage::{AwgClosNetwork, ConcurrentThreeStage, ThreeStageNetwork};
 
 /// Former runtime-local error enum, now unified into the canonical
 /// taxonomy. Use [`wdm_core::Reject`] directly.
@@ -47,10 +47,14 @@ pub struct RepackStats {
 
 /// A switch implementation the admission engine can drive.
 ///
-/// Implementations mutate one shared structure, so the engine serializes
-/// calls behind a lock; everything else (validation, retry policy,
-/// telemetry, departure bookkeeping) runs concurrently per shard.
-pub trait Backend: Send + 'static {
+/// Implementations mutate one shared structure. Plain backends are
+/// serialized behind the engine's write lock; a backend that also
+/// implements [`ConcurrentAdmission`] (surfaced via
+/// [`Backend::as_concurrent`]) admits and tears down from `&self`, so
+/// shards run it under the read lock, in parallel. Exclusive operations
+/// — fault injection, repack, drain — always take the write lock, which
+/// doubles as the stop-the-world epoch concurrent backends rely on.
+pub trait Backend: Send + Sync + 'static {
     /// Short name for reports ("crossbar", "three-stage").
     fn label(&self) -> &'static str;
 
@@ -133,6 +137,43 @@ pub trait Backend: Send + 'static {
     /// (empty = consistent). May be expensive — called at drain, not on
     /// the admission path.
     fn check(&self) -> Vec<String>;
+
+    /// The fine-grained concurrent admission interface, if this backend
+    /// supports lock-free submission. `None` (the default) keeps every
+    /// operation behind the engine's exclusive lock.
+    fn as_concurrent(&self) -> Option<&dyn ConcurrentAdmission> {
+        None
+    }
+}
+
+/// Admission through `&self`: the capability that lets engine shards
+/// submit without the global backend mutex.
+///
+/// Implementations must be linearizable per call and must keep the
+/// `commit_epoch` seqlock counters balanced around every mutation so
+/// lock-free gauge readers ([`ConcurrentAdmission::active_shared`],
+/// [`ConcurrentAdmission::middle_loads_shared`]) can detect torn reads
+/// and retry.
+pub trait ConcurrentAdmission: Send + Sync {
+    /// Admit one multicast connection without exclusive access.
+    fn connect_shared(&self, conn: &MulticastConnection) -> Result<(), Reject>;
+
+    /// Tear down the connection sourced at `src` without exclusive
+    /// access.
+    fn disconnect_shared(&self, src: Endpoint) -> Result<(), Reject>;
+
+    /// The seqlock counter pair `(started, finished)`. A gauge read is
+    /// stable iff the `finished` value loaded *before* the read equals
+    /// the `started` value loaded *after* it.
+    fn commit_epoch(&self) -> (u64, u64);
+
+    /// Live connection count (lock-free; may tear — guard with
+    /// [`ConcurrentAdmission::commit_epoch`]).
+    fn active_shared(&self) -> usize;
+
+    /// Per-middle loads (lock-free; may tear — guard with
+    /// [`ConcurrentAdmission::commit_epoch`]).
+    fn middle_loads_shared(&self) -> Vec<u64>;
 }
 
 impl Backend for CrossbarSession {
@@ -276,6 +317,92 @@ impl Backend for ThreeStageNetwork {
     }
 }
 
+impl Backend for ConcurrentThreeStage {
+    fn label(&self) -> &'static str {
+        "three-stage-cas"
+    }
+
+    fn ports_per_module(&self) -> u32 {
+        self.params().n
+    }
+
+    fn wavelengths(&self) -> u32 {
+        self.params().k
+    }
+
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        self.connect_shared(conn).map(|_| ()).map_err(Reject::from)
+    }
+
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        ConcurrentThreeStage::disconnect_shared(self, src)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn active_connections(&self) -> usize {
+        ConcurrentThreeStage::active_connections(self)
+    }
+
+    fn middle_loads(&self) -> Vec<u64> {
+        ConcurrentThreeStage::middle_loads(self)
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        if !ConcurrentThreeStage::inject_fault(self, fault) {
+            return Vec::new();
+        }
+        let victims: Vec<MulticastConnection> = self
+            .connections_through(&fault)
+            .into_iter()
+            .filter_map(|src| self.connection_at(src))
+            .collect();
+        for c in &victims {
+            ConcurrentThreeStage::disconnect_shared(self, c.source()).expect("victim is live");
+        }
+        victims
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        ConcurrentThreeStage::repair_fault(self, fault)
+    }
+
+    fn check(&self) -> Vec<String> {
+        self.check_consistency()
+    }
+
+    fn as_concurrent(&self) -> Option<&dyn ConcurrentAdmission> {
+        Some(self)
+    }
+}
+
+impl ConcurrentAdmission for ConcurrentThreeStage {
+    fn connect_shared(&self, conn: &MulticastConnection) -> Result<(), Reject> {
+        ConcurrentThreeStage::connect_shared(self, conn)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn disconnect_shared(&self, src: Endpoint) -> Result<(), Reject> {
+        ConcurrentThreeStage::disconnect_shared(self, src)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn commit_epoch(&self) -> (u64, u64) {
+        let epoch = ConcurrentThreeStage::commit_epoch(self);
+        (epoch.started, epoch.finished)
+    }
+
+    fn active_shared(&self) -> usize {
+        ConcurrentThreeStage::active_connections(self)
+    }
+
+    fn middle_loads_shared(&self) -> Vec<u64> {
+        ConcurrentThreeStage::middle_loads(self)
+    }
+}
+
 impl Backend for AwgClosNetwork {
     fn label(&self) -> &'static str {
         "awg-clos"
@@ -395,6 +522,10 @@ impl Backend for Box<dyn Backend> {
 
     fn check(&self) -> Vec<String> {
         (**self).check()
+    }
+
+    fn as_concurrent(&self) -> Option<&dyn ConcurrentAdmission> {
+        (**self).as_concurrent()
     }
 }
 

@@ -4,7 +4,14 @@
 //! their source endpoint, so all events touching one source are handled
 //! in order by one shard (a connect can never race its own disconnect).
 //! Each shard validates, retries, and meters locally; only the actual
-//! switch mutation takes the shared backend lock.
+//! switch mutation touches the shared backend — exclusively (under the
+//! write side of the backend `RwLock`) for plain backends, or truly
+//! concurrently (under the read side, through
+//! [`ConcurrentAdmission`](crate::backend::ConcurrentAdmission)) for
+//! backends that admit from `&self`, such as
+//! `wdm_multistage::ConcurrentThreeStage`. Fault injection, repack, and
+//! drain always take the write side, which doubles as the
+//! stop-the-world epoch fine-grained backends rely on.
 //!
 //! Cross-shard reordering has exactly one observable effect: a connect
 //! may reach the backend before the (earlier-timestamped, other-shard)
@@ -19,11 +26,11 @@
 //! above the Theorem 1/2 bound it must not occur at all — the paper's
 //! nonblocking guarantee becomes the runtime invariant `blocked == 0`.
 
-use crate::backend::{Backend, RepackStats};
+use crate::backend::{Backend, ConcurrentAdmission, RepackStats};
 use crate::clock::{Clock, SystemClock};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
@@ -265,15 +272,42 @@ impl<B> RuntimeReport<B> {
     }
 }
 
-/// The shared heart of an engine: the backend under its lock, the
-/// metrics sink, and the failed-heal tombstone set.
+/// Bounded seqlock retries for a lock-free gauge read against a
+/// concurrent backend; past this the (possibly torn) values are
+/// accepted rather than stalling the observer behind a paused commit.
+const MAX_SNAPSHOT_RETRIES: u32 = 64;
+
+/// Read the `(active, middle_loads)` gauges from a backend held under
+/// (at least) the read lock. For concurrent backends the commit-epoch
+/// seqlock guards against torn reads: retry while a fine-grained commit
+/// overlaps the read, counting each retry into
+/// `RuntimeMetrics::snapshot_retries`.
+fn read_gauges<B: Backend>(b: &B, metrics: &RuntimeMetrics) -> (u64, Vec<u64>) {
+    let Some(c) = b.as_concurrent() else {
+        return (b.active_connections() as u64, b.middle_loads());
+    };
+    for _ in 0..MAX_SNAPSHOT_RETRIES {
+        let (_, finished_before) = c.commit_epoch();
+        let active = c.active_shared() as u64;
+        let loads = c.middle_loads_shared();
+        let (started_after, _) = c.commit_epoch();
+        if finished_before == started_after {
+            return (active, loads);
+        }
+        metrics.snapshot_retries.fetch_add(1, Ordering::Relaxed);
+    }
+    (c.active_shared() as u64, c.middle_loads_shared())
+}
+
+/// The shared heart of an engine: the backend under its reader-writer
+/// lock, the metrics sink, and the failed-heal tombstone set.
 ///
 /// [`AdmissionEngine`] wraps one of these with real threads and
 /// channels; the deterministic simulation harness (`wdm-sim`) drives
 /// the same core single-threaded through hand-built [`ShardCore`]s, so
 /// both paths exercise *identical* admission logic.
 pub struct EngineCore<B: Backend> {
-    backend: Arc<Mutex<B>>,
+    backend: Arc<RwLock<B>>,
     metrics: Arc<RuntimeMetrics>,
     /// Sources whose connection a failed heal already removed: their
     /// scheduled departure must be swallowed, not sent to the backend.
@@ -287,7 +321,7 @@ impl<B: Backend> EngineCore<B> {
         let ports_per_module = backend.ports_per_module().max(1);
         let metrics = Arc::new(RuntimeMetrics::new(backend.wavelengths()));
         EngineCore {
-            backend: Arc::new(Mutex::new(backend)),
+            backend: Arc::new(RwLock::new(backend)),
             metrics,
             dead_sources: Arc::new(Mutex::new(HashSet::new())),
             ports_per_module,
@@ -321,9 +355,17 @@ impl<B: Backend> EngineCore<B> {
     }
 
     /// Mint one shard driving this core on `clock`.
+    ///
+    /// The shard submits through the read lock (fine-grained concurrent
+    /// admission) when the backend offers [`ConcurrentAdmission`] and
+    /// repack is off; repack needs exclusive make-before-break moves, so
+    /// any repack policy pins the shard to the write-locked path.
     pub fn shard<C: Clock>(&self, cfg: RuntimeConfig, clock: C) -> ShardCore<B, C> {
+        let shared_mode = matches!(cfg.repack, RepackPolicy::Off)
+            && self.backend.read().as_concurrent().is_some();
         ShardCore {
             backend: Arc::clone(&self.backend),
+            shared_mode,
             metrics: Arc::clone(&self.metrics),
             dead_sources: Arc::clone(&self.dead_sources),
             cfg,
@@ -338,16 +380,18 @@ impl<B: Backend> EngineCore<B> {
     }
 
     /// Point-in-time snapshot at `elapsed_secs` on the caller's clock.
+    /// Never blocks admissions on a concurrent backend: the gauges are
+    /// read under the read lock through the commit-epoch seqlock.
     pub fn snapshot(&self, elapsed_secs: f64) -> MetricsSnapshot {
         let (active, loads) = {
-            let b = self.backend.lock();
-            (b.active_connections() as u64, b.middle_loads())
+            let b = self.backend.read();
+            read_gauges(&*b, &self.metrics)
         };
         self.metrics.snapshot(elapsed_secs, active, loads)
     }
 
     /// Clone of the backend handle, for observers that poll gauges.
-    fn backend_arc(&self) -> Arc<Mutex<B>> {
+    fn backend_arc(&self) -> Arc<RwLock<B>> {
         Arc::clone(&self.backend)
     }
 
@@ -424,8 +468,8 @@ impl<B: Backend> AdmissionEngine<B> {
                     while !flag.load(Ordering::Relaxed) {
                         std::thread::sleep(every);
                         let (active, loads) = {
-                            let b = backend.lock();
-                            (b.active_connections() as u64, b.middle_loads())
+                            let b = backend.read();
+                            read_gauges(&*b, &metrics)
                         };
                         let snap = metrics.snapshot(started.elapsed().as_secs_f64(), active, loads);
                         log.lock().push(snap);
@@ -783,12 +827,15 @@ pub struct HealOutcome {
 /// Injects faults into a running engine and heals the traffic they hit.
 ///
 /// Injection, teardown of the victims, and their re-admission happen
-/// under one backend lock acquisition, so shards observe the failure
-/// atomically: either the old route or the healed one, never a half-torn
-/// state. Holds the backend weakly — after [`AdmissionEngine::drain`]
-/// reclaims the backend, injections return the empty outcome.
+/// under one *write* acquisition of the backend lock, so shards observe
+/// the failure atomically: either the old route or the healed one, never
+/// a half-torn state. On a concurrent backend the write lock is the
+/// stop-the-world epoch — every fine-grained `&self` admission runs
+/// under the read side, so none is in flight while the fault applies.
+/// Holds the backend weakly — after [`AdmissionEngine::drain`] reclaims
+/// the backend, injections return the empty outcome.
 pub struct FaultHandle<B: Backend> {
-    backend: Weak<Mutex<B>>,
+    backend: Weak<RwLock<B>>,
     metrics: Arc<RuntimeMetrics>,
     dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
 }
@@ -812,7 +859,7 @@ impl<B: Backend> FaultHandle<B> {
         let Some(backend) = self.backend.upgrade() else {
             return HealOutcome::default();
         };
-        let mut b = backend.lock();
+        let mut b = backend.write();
         let t_inject = Instant::now();
         self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
         let victims = b.inject_fault(fault);
@@ -854,7 +901,7 @@ impl<B: Backend> FaultHandle<B> {
         let Some(backend) = self.backend.upgrade() else {
             return false;
         };
-        let repaired = backend.lock().repair_fault(fault);
+        let repaired = backend.write().repair_fault(fault);
         if repaired {
             self.metrics.faults_repaired.fetch_add(1, Ordering::Relaxed);
         }
@@ -877,6 +924,53 @@ struct Parked {
     deferred: VecDeque<Job>,
 }
 
+/// How one lock scope reaches the backend: exclusively (the classic
+/// write-locked path, `&mut B`) or shared (a concurrent backend
+/// admitting through `&self` under the read lock, so many shards
+/// mutate simultaneously).
+///
+/// Shared mode exists only with [`RepackPolicy::Off`], so the
+/// repack-flavored calls can never be reached there; they degrade to
+/// no-ops rather than panic to keep the type total.
+enum BackendRef<'a, B: Backend> {
+    Excl(&'a mut B),
+    Shared(&'a dyn ConcurrentAdmission),
+}
+
+impl<B: Backend> BackendRef<'_, B> {
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        match self {
+            BackendRef::Excl(b) => b.connect(conn),
+            BackendRef::Shared(c) => c.connect_shared(conn),
+        }
+    }
+
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        match self {
+            BackendRef::Excl(b) => b.disconnect(src),
+            BackendRef::Shared(c) => c.disconnect_shared(src),
+        }
+    }
+
+    fn connect_with_repack(
+        &mut self,
+        conn: &MulticastConnection,
+        budget: u32,
+    ) -> (Result<(), Reject>, RepackStats) {
+        match self {
+            BackendRef::Excl(b) => b.connect_with_repack(conn, budget),
+            BackendRef::Shared(c) => (c.connect_shared(conn), RepackStats::default()),
+        }
+    }
+
+    fn defragment(&mut self, budget: u32) -> RepackStats {
+        match self {
+            BackendRef::Excl(b) => b.defragment(budget),
+            BackendRef::Shared(_) => RepackStats::default(),
+        }
+    }
+}
+
 /// Per-shard state and bookkeeping, generic over its time source.
 ///
 /// Minted by [`EngineCore::shard`]. The threaded engine runs one of
@@ -885,7 +979,11 @@ struct Parked {
 /// [`ShardCore::handle_event`] / [`ShardCore::retry_due`] /
 /// [`ShardCore::next_due`].
 pub struct ShardCore<B: Backend, C: Clock> {
-    backend: Arc<Mutex<B>>,
+    backend: Arc<RwLock<B>>,
+    /// `true` when this shard submits through [`ConcurrentAdmission`]
+    /// under the read lock instead of taking the write lock (decided at
+    /// mint time: concurrent backend + repack off).
+    shared_mode: bool,
     metrics: Arc<RuntimeMetrics>,
     /// Shared with [`FaultHandle`]: sources a failed heal removed.
     dead_sources: Arc<Mutex<HashSet<Endpoint>>>,
@@ -928,12 +1026,29 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         );
     }
 
-    fn handle_jobs(&mut self, jobs: Vec<Job>) {
+    /// Run `f` against the backend under the shard's lock discipline:
+    /// the read lock (fine-grained concurrent submission) in shared
+    /// mode, the write lock (exclusive mutation) otherwise.
+    fn with_backend<R>(&mut self, f: impl FnOnce(&mut Self, &mut BackendRef<'_, B>) -> R) -> R {
         let backend = Arc::clone(&self.backend);
-        let mut b = backend.lock();
-        for job in jobs {
-            self.handle_with(&mut b, job);
+        if self.shared_mode {
+            let guard = backend.read();
+            let c = guard
+                .as_concurrent()
+                .expect("shared mode implies a concurrent backend");
+            f(self, &mut BackendRef::Shared(c))
+        } else {
+            let mut guard = backend.write();
+            f(self, &mut BackendRef::Excl(&mut *guard))
         }
+    }
+
+    fn handle_jobs(&mut self, jobs: Vec<Job>) {
+        self.with_backend(|shard, b| {
+            for job in jobs {
+                shard.handle_with(b, job);
+            }
+        });
     }
 
     /// Number of busy connects currently parked awaiting retry.
@@ -943,13 +1058,11 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
 
     /// Apply one queued job.
     fn handle(&mut self, job: Job) {
-        let backend = Arc::clone(&self.backend);
-        let mut b = backend.lock();
-        self.handle_with(&mut b, job);
+        self.with_backend(|shard, b| shard.handle_with(b, job));
     }
 
     /// Apply one job against an already-locked backend.
-    fn handle_with(&mut self, b: &mut B, job: Job) {
+    fn handle_with(&mut self, b: &mut BackendRef<'_, B>, job: Job) {
         let src = match &job.ev.event {
             TraceEvent::Connect(conn) => conn.source(),
             TraceEvent::Disconnect(src) => *src,
@@ -996,16 +1109,16 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
         backoff: Duration,
         done: Option<OutcomeCallback>,
     ) {
-        let backend = Arc::clone(&self.backend);
-        let mut b = backend.lock();
-        self.try_connect_with(&mut b, conn, sim_time, t0, attempts, backoff, done);
+        self.with_backend(|shard, b| {
+            shard.try_connect_with(b, conn, sim_time, t0, attempts, backoff, done)
+        });
     }
 
     /// [`Self::try_connect`] against an already-locked backend.
     #[allow(clippy::too_many_arguments)]
     fn try_connect_with(
         &mut self,
-        b: &mut B,
+        b: &mut BackendRef<'_, B>,
         conn: MulticastConnection,
         sim_time: f64,
         t0: Instant,
@@ -1097,7 +1210,7 @@ impl<B: Backend, C: Clock> ShardCore<B, C> {
     /// nesting cannot deadlock.
     fn do_disconnect_with(
         &mut self,
-        b: &mut B,
+        b: &mut BackendRef<'_, B>,
         src: Endpoint,
         sim_time: f64,
         done: Option<OutcomeCallback>,

@@ -18,8 +18,11 @@
 //!            │             │             │
 //!            └──── retry/backoff/deadline ─────┐
 //!                          ▼                   │
-//!                 Mutex<B: Backend>     RuntimeMetrics (atomics)
+//!                RwLock<B: Backend>     RuntimeMetrics (atomics)
 //!               (crossbar ∨ 3-stage)           │
+//!         write side: exclusive mutation       │
+//!         read side:  ConcurrentAdmission      │
+//!                     (lock-free CAS commits)  │
 //!                          ▼                   ▼
 //!                  drain() ──▶ RuntimeReport { summary, snapshots, … }
 //! ```
@@ -28,6 +31,13 @@
 //!   admit/tear-down interface and classifies refusals into retryable
 //!   [`wdm_core::Reject::Busy`] versus hard [`wdm_core::Reject::Blocked`] versus
 //!   repair-gated [`wdm_core::Reject::ComponentDown`].
+//! * [`ConcurrentAdmission`] is the fine-grained concurrency capability:
+//!   a backend that admits and tears down through `&self` (e.g.
+//!   `wdm_multistage::ConcurrentThreeStage`, CAS-committed occupancy
+//!   words with per-input-module lock striping). Shards then submit
+//!   under the **read** side of the backend lock — in parallel — while
+//!   fault injection, repack, and drain take the write side as a
+//!   stop-the-world epoch.
 //! * [`AdmissionEngine`] owns the worker shards. Sharding by input
 //!   module keeps each source's connect strictly before its disconnect;
 //!   cross-shard reordering can only manifest as transient destination
@@ -73,7 +83,7 @@ mod metrics;
 
 #[allow(deprecated)]
 pub use backend::AdmitError;
-pub use backend::{Backend, RepackStats, RepackSupport};
+pub use backend::{Backend, ConcurrentAdmission, RepackStats, RepackSupport};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::{
     AdmissionEngine, EngineBuilder, EngineCore, FaultHandle, HealOutcome, OutcomeCallback,

@@ -135,6 +135,10 @@ pub struct RuntimeMetrics {
     pub repack_moves_committed: AtomicU64,
     /// Rearrangement moves undone, leaving the original route intact.
     pub repack_moves_aborted: AtomicU64,
+    /// Seqlock retries of lock-free gauge reads against a concurrent
+    /// backend (a retry means a snapshot genuinely overlapped an
+    /// in-flight fine-grained commit).
+    pub snapshot_retries: AtomicU64,
     /// Wall-clock admission latency, nanoseconds.
     pub admit_latency_ns: LogHistogram,
     /// Wall-clock latency of repack attempts (the extra work past the
@@ -174,6 +178,7 @@ impl RuntimeMetrics {
             repack_moves_attempted: AtomicU64::new(0),
             repack_moves_committed: AtomicU64::new(0),
             repack_moves_aborted: AtomicU64::new(0),
+            snapshot_retries: AtomicU64::new(0),
             admit_latency_ns: LogHistogram::new(),
             repack_latency_ns: LogHistogram::new(),
             heal_latency_ns: LogHistogram::new(),
@@ -250,6 +255,7 @@ impl RuntimeMetrics {
             repack_moves_attempted: self.repack_moves_attempted.load(Ordering::Relaxed),
             repack_moves_committed: self.repack_moves_committed.load(Ordering::Relaxed),
             repack_moves_aborted: self.repack_moves_aborted.load(Ordering::Relaxed),
+            snapshot_retries: self.snapshot_retries.load(Ordering::Relaxed),
             active,
             blocking_probability: if offered == 0 {
                 0.0
@@ -311,6 +317,10 @@ pub struct MetricsSnapshot {
     pub repack_moves_committed: u64,
     /// Rearrangement moves aborted (original route kept).
     pub repack_moves_aborted: u64,
+    /// Seqlock retries of lock-free gauge reads against a concurrent
+    /// backend (absent in pre-concurrency serialized snapshots).
+    #[serde(default)]
+    pub snapshot_retries: u64,
     /// Live connections at snapshot time.
     pub active: u64,
     /// `blocked / offered` (0 when nothing offered).
@@ -409,7 +419,9 @@ mod tests {
         m.repack_moves_committed.fetch_add(2, Ordering::Relaxed);
         m.repack_moves_aborted.fetch_add(1, Ordering::Relaxed);
         m.repack_latency_ns.record(900);
+        m.snapshot_retries.fetch_add(5, Ordering::Relaxed);
         let snap = m.snapshot(2.0, 4, vec![3, 1]);
+        assert_eq!(snap.snapshot_retries, 5);
         assert_eq!(snap.overloaded, 2);
         assert_eq!(snap.repack_moves_attempted, 3);
         assert_eq!(snap.repack_moves_committed, 2);
@@ -420,6 +432,11 @@ mod tests {
         let json = snap.to_json();
         let back = MetricsSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
+        // Pre-concurrency snapshots lack the seqlock retry counter; it
+        // must default rather than fail deserialization.
+        let legacy = json.replace("\"snapshot_retries\":5,", "");
+        let back = MetricsSnapshot::from_json(&legacy).unwrap();
+        assert_eq!(back.snapshot_retries, 0);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::fmt;
 use wdm_core::{Fault, MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
 use wdm_multistage::{
-    awg, bounds, AwgClosNetwork, Construction, ConverterPlacement, SelectionStrategy,
-    ThreeStageNetwork, ThreeStageParams,
+    awg, bounds, AwgClosNetwork, ConcurrentThreeStage, Construction, ConverterPlacement,
+    SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
 };
 use wdm_runtime::{RepackPolicy, RuntimeConfig};
 use wdm_workload::adversarial::{AdversarialGen, Geometry};
@@ -97,6 +97,14 @@ pub struct SimSetup {
     /// judged by the conservation-law oracle, never by per-index
     /// equality with a serial reference.
     pub repack: bool,
+    /// Drive the CAS-committed [`ConcurrentThreeStage`] backend instead
+    /// of the serial `ThreeStageNetwork` (three-stage only). The engine
+    /// detects the [`wdm_runtime::ConcurrentAdmission`] capability and
+    /// shards admit under the read side of the backend lock; the judge
+    /// is unchanged — fault-free runs must still conform per-index to
+    /// the serial first-fit oracle, faulted runs to the conservation
+    /// laws.
+    pub concurrent: bool,
 }
 
 impl SimSetup {
@@ -115,6 +123,30 @@ impl SimSetup {
         self
     }
 
+    /// Switch a three-stage setup onto the fine-grained CAS admission
+    /// path ([`ConcurrentThreeStage`]). Selection is forced back to
+    /// `FirstFit` — that is the order the optimistic probe commits in,
+    /// and the order the serial oracle must replay to conform. Repack
+    /// and concurrent mode are mutually exclusive (repack moves need
+    /// the exclusive lock, which would demote every admission back to
+    /// the coarse path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend is not [`BackendKind::ThreeStage`] or
+    /// repacking is already enabled.
+    pub fn with_concurrent(mut self) -> SimSetup {
+        assert_eq!(
+            self.backend,
+            BackendKind::ThreeStage,
+            "concurrent admission is a three-stage capability"
+        );
+        assert!(!self.repack, "concurrent mode requires RepackPolicy::Off");
+        self.concurrent = true;
+        self.strategy = SelectionStrategy::FirstFit;
+        self
+    }
+
     /// A three-stage setup provisioned exactly at the Theorem 1 bound,
     /// fault-free, expecting zero hard blocks under every schedule.
     pub fn three_stage_at_bound(n: u32, r: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
@@ -130,6 +162,7 @@ impl SimSetup {
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
             repack: false,
+            concurrent: false,
         }
     }
 
@@ -171,6 +204,7 @@ impl SimSetup {
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
             repack: false,
+            concurrent: false,
         }
     }
 
@@ -187,6 +221,7 @@ impl SimSetup {
             expect_nonblocking: true,
             strategy: SelectionStrategy::FirstFit,
             repack: false,
+            concurrent: false,
         }
     }
 
@@ -255,6 +290,16 @@ impl SimSetup {
             BackendKind::Crossbar => {
                 let run = simulate(
                     self.make_crossbar(),
+                    trace,
+                    faults,
+                    &params,
+                    Scheduler::Random(choices),
+                );
+                self.judge(trace, faults, run)
+            }
+            BackendKind::ThreeStage if self.concurrent => {
+                let run = simulate(
+                    self.make_concurrent(),
                     trace,
                     faults,
                     &params,
@@ -346,6 +391,14 @@ impl SimSetup {
         );
         net.set_strategy(self.strategy);
         net
+    }
+
+    fn make_concurrent(&self) -> ConcurrentThreeStage {
+        ConcurrentThreeStage::new(
+            ThreeStageParams::new(self.geo.n, self.m, self.geo.r, self.geo.k),
+            Construction::MswDominant,
+            self.model,
+        )
     }
 
     fn make_awg_clos(&self) -> AwgClosNetwork {
@@ -443,6 +496,9 @@ impl SimSetup {
         }
         if self.repack {
             cmd.push_str(" --repack");
+        }
+        if self.concurrent {
+            cmd.push_str(" --concurrent");
         }
         cmd
     }

@@ -15,6 +15,20 @@ pub fn field<T: DeserializeOwned>(
     T::deserialize(value).map_err(|e| ValueError(format!("field `{name}`: {e}")))
 }
 
+/// Like [`field`], but a missing key yields `T::default()` — the
+/// implementation of the shim's `#[serde(default)]` field attribute.
+pub fn field_or_default<T: DeserializeOwned + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, ValueError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        None => Ok(T::default()),
+        Some((_, v)) => {
+            T::deserialize(v.clone()).map_err(|e| ValueError(format!("field `{name}`: {e}")))
+        }
+    }
+}
+
 /// Deserialize a whole value (newtype structs / newtype variants).
 pub fn from_value_de<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
     T::deserialize(value)

@@ -8,8 +8,11 @@
 //! Supported shapes — everything this workspace derives on:
 //! plain structs with named fields, tuple structs (newtype and wider),
 //! unit structs, and enums whose variants are unit, tuple, or
-//! struct-like. Generic types are *not* supported and produce a
-//! compile error naming the type.
+//! struct-like. The only field attribute understood is
+//! `#[serde(default)]` on named fields: a missing key deserializes to
+//! `Default::default()` instead of erroring, which is how snapshots
+//! stay readable across schema growth. Generic types are *not*
+//! supported and produce a compile error naming the type.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -27,12 +30,13 @@ enum TypeDef {
 
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    /// Field names with their `#[serde(default)]` flag.
+    Named(Vec<(String, bool)>),
     Tuple(usize),
 }
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_type(input) {
         Ok(def) => gen_serialize(&def).parse().expect("generated impl parses"),
@@ -41,7 +45,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_type(input) {
         Ok(def) => gen_deserialize(&def)
@@ -114,13 +118,19 @@ fn parse_type(input: TokenStream) -> Result<TypeDef, String> {
 }
 
 /// Advance past leading `#[...]` attributes and a `pub(...)` visibility.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Returns `true` if one of the skipped attributes was
+/// `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut serde_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1; // '#'
                 if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
                     *i += 1;
+                }
+                if let Some(tok) = tokens.get(*i) {
+                    serde_default |= attr_is_serde_default(tok);
                 }
                 *i += 1; // the [...] group
             }
@@ -133,8 +143,28 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return serde_default,
         }
+    }
+}
+
+/// `true` iff the bracketed attribute group is exactly `serde(default)`.
+fn attr_is_serde_default(tok: &TokenTree) -> bool {
+    let TokenTree::Group(g) = tok else {
+        return false;
+    };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            inner == ["default"]
+        }
+        _ => false,
     }
 }
 
@@ -164,13 +194,13 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
     let mut names = Vec::new();
     for chunk in split_top_level(stream) {
         let mut i = 0;
-        skip_attrs_and_vis(&chunk, &mut i);
+        let has_default = skip_attrs_and_vis(&chunk, &mut i);
         match chunk.get(i) {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => names.push((id.to_string(), has_default)),
             None => continue, // trailing comma
             other => return Err(format!("expected field name, found {other:?}")),
         }
@@ -246,7 +276,7 @@ fn gen_serialize(def: &TypeDef) -> String {
                         "let mut __st = __s.serialize_struct({name:?}, {})?; ",
                         names.len()
                     ));
-                    for f in names {
+                    for (f, _) in names {
                         b.push_str(&format!("__st.serialize_field({f:?}, &self.{f})?; "));
                     }
                     b.push_str("__st.end() }");
@@ -281,15 +311,17 @@ fn gen_serialize(def: &TypeDef) -> String {
                         arms.push_str(&arm);
                     }
                     Fields::Named(fnames) => {
+                        let binders: Vec<&str> =
+                            fnames.iter().map(|(f, _)| f.as_str()).collect();
                         let mut arm =
-                            format!("{name}::{vname} {{ {} }} => {{ ", fnames.join(", "));
+                            format!("{name}::{vname} {{ {} }} => {{ ", binders.join(", "));
                         arm.push_str("use ::serde::ser::SerializeStructVariant as _; ");
                         arm.push_str(&format!(
                             "let mut __st = __s.serialize_struct_variant(\
                              {name:?}, {vi}u32, {vname:?}, {})?; ",
                             fnames.len()
                         ));
-                        for f in fnames {
+                        for (f, _) in fnames {
                             arm.push_str(&format!("__st.serialize_field({f:?}, {f})?; "));
                         }
                         arm.push_str("__st.end() },\n");
@@ -347,9 +379,14 @@ fn gen_deserialize(def: &TypeDef) -> String {
                      .map_err(::serde::de::Error::custom)?; \
                      ::core::result::Result::Ok({name} {{ "
                 );
-                for f in names {
+                for (f, has_default) in names {
+                    let getter = if *has_default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
                     b.push_str(&format!(
-                        "{f}: ::serde::__private::field(&__m, {f:?})\
+                        "{f}: ::serde::__private::{getter}(&__m, {f:?})\
                          .map_err(::serde::de::Error::custom)?, "
                     ));
                 }
@@ -396,9 +433,14 @@ fn gen_deserialize(def: &TypeDef) -> String {
                              .map_err(::serde::de::Error::custom)?; \
                              ::core::result::Result::Ok({name}::{vname} {{ "
                         );
-                        for f in fnames {
+                        for (f, has_default) in fnames {
+                            let getter = if *has_default {
+                                "field_or_default"
+                            } else {
+                                "field"
+                            };
                             arm.push_str(&format!(
-                                "{f}: ::serde::__private::field(&__m, {f:?})\
+                                "{f}: ::serde::__private::{getter}(&__m, {f:?})\
                                  .map_err(::serde::de::Error::custom)?, "
                             ));
                         }
