@@ -16,11 +16,12 @@ use std::process::ExitCode;
 use wdm_analysis::TextTable;
 use wdm_core::{capacity, MulticastModel, NetworkConfig};
 use wdm_fabric::{PowerParams, WdmCrossbar};
+use wdm_graph::{GraphTopology, Splitting};
 use wdm_multistage::{
-    awg, bounds, cost, scenarios, AwgClosNetwork, Construction, ConverterPlacement, RouteError,
-    ThreeStageNetwork, ThreeStageParams,
+    awg, bounds, cost, scenarios, AwgClosNetwork, ConcurrentThreeStage, Construction,
+    ConverterPlacement, RouteError, ThreeStageNetwork, ThreeStageParams,
 };
-use wdm_sim::BackendKind;
+use wdm_sim::{parse_backend_arg, BackendKind, Scenario, WorkloadSpec};
 use wdm_workload::AssignmentGen;
 
 fn main() -> ExitCode {
@@ -95,7 +96,7 @@ COMMANDS:
               [--rate R] [--horizon T] [--workers W] [--deadline-ms D] [--seed X]
               [--snapshot-ms S] [--json file]      run the concurrent admission engine over a
               [--kill-middle j,k,...] [--fault-rate R] [--mttr T]
-              [--backend three-stage|awg-clos]
+              [--backend three-stage|three-stage-cas|awg-clos|graph]
                                                    dynamic trace on the crossbar baseline AND the
                                                    chosen multistage backend (default three-stage)
                                                    and report throughput, blocking probability,
@@ -105,8 +106,10 @@ COMMANDS:
                                                    chaos (repairs after mean --mttr, default 2)
               with --listen ADDR (e.g. 127.0.0.1:0) the command instead serves the admission
               engine over TCP using the wdm-net wire protocol
-              ([--backend crossbar|three-stage|awg-clos] picks the fabric behind the same
-              dyn-Backend engine, default three-stage; awg-clos needs k ≥ r);
+              ([--backend crossbar|three-stage|three-stage-cas|awg-clos|graph] picks the
+              fabric behind the same dyn-Backend engine, default three-stage; awg-clos
+              needs k ≥ r; graph takes the same --topology/--mc-every/--splitting knobs
+              as sim and enforces no bound);
               [--serve-mode threads|reactor] picks the serving layer: thread-per-connection
               (default) or the sharded epoll reactor with adaptive batch coalescing (Linux);
               [--addr-file PATH] writes the bound address (for port 0) and a client's Drain
@@ -128,9 +131,12 @@ COMMANDS:
               --p99-gate-ms (default 750), largest-cell admissions/sec ≥ the always-included
               thread-server baseline at the smallest rung, and (reactor) mean coalesced
               batch size growing with connection count
-  sim         --n <n> --r <r> [-k <λ>] [--backend crossbar|three-stage|awg-clos] [--m M]
+  sim         --n <n> --r <r> [-k <λ>] [--m M]
+              [--backend crossbar|three-stage|three-stage-cas|awg-clos|graph]
               [--steps S] [--shards S] [--seed X | --seeds COUNT] [--faulted] [--repack]
               [--concurrent]
+              [--topology ring|grid|torus] [--nodes N | --rows R --cols C]
+              [--mc-every E] [--splitting tree|hierarchy] [--hotspot PCT] [--hot NODE]
                                                    deterministic simulation: replay seeded
                                                    interleavings of the sharded admission engine
                                                    and check each against the serial oracle
@@ -139,6 +145,13 @@ COMMANDS:
                                                    routes on block — three-stage only;
                                                    --concurrent admits through the lock-free
                                                    CAS backend, three-stage only);
+                                                   --backend graph routes light-trees over an
+                                                   arbitrary topology (--topology, --mc-every E
+                                                   makes every E-th node splitting-capable,
+                                                   --splitting tree forbids hierarchies) under
+                                                   adversarial churn or a hotspot workload
+                                                   (--hotspot skews PCT% of destination draws
+                                                   onto node --hot);
                                                    --seeds sweeps COUNT seeds from
                                                    --seed (default 0); a failing seed is shrunk
                                                    by delta debugging and printed as a replayable
@@ -184,7 +197,20 @@ impl Opts {
         match self.0.get(key).map(String::as_str) {
             None | Some("false") | Some("0") => Ok(false),
             Some("true") | Some("1") => Ok(true),
-            Some(other) => Err(format!("--{key} must be true or false, got {other:?}")),
+            // A bare `--concurrent three-stage` swallows the backend name
+            // as the flag's value; recognize that and point at --backend
+            // (with the full menu if the name is also misspelled) instead
+            // of a bare "must be true or false".
+            Some(other) => match parse_backend_arg(other) {
+                Ok(_) => Err(format!(
+                    "--{key} is a boolean flag and {other:?} is a backend; \
+                     pass it as --backend {other}"
+                )),
+                Err(menu) if other.chars().all(|c| c.is_alphanumeric() || c == '-') => {
+                    Err(format!("--{key} is a boolean flag ({menu})"))
+                }
+                Err(_) => Err(format!("--{key} must be true or false, got {other:?}")),
+            },
         }
     }
 
@@ -233,16 +259,89 @@ impl Opts {
         }
     }
 
-    /// Parse `--backend` against the full backend registry; an unknown
-    /// name lists every valid choice so the caller can self-correct.
-    fn backend(&self, default: BackendKind) -> Result<BackendKind, String> {
-        match self.0.get("backend") {
-            None => Ok(default),
-            Some(s) => BackendKind::parse(s).ok_or_else(|| {
-                let menu: Vec<&str> = BackendKind::ALL.iter().map(|b| b.label()).collect();
-                format!("unknown backend {s:?}; valid backends: {}", menu.join(", "))
-            }),
+    /// Parse `--backend` against the full backend registry (one parser
+    /// for every command — an unknown name lists every valid choice so
+    /// the caller can self-correct), then refine graph kinds with the
+    /// topology flags. The `bool` is the concurrent flag the
+    /// `three-stage-cas` spelling implies.
+    fn backend(&self, default: BackendKind) -> Result<(BackendKind, bool), String> {
+        let (kind, concurrent) = match self.0.get("backend") {
+            None => (default, false),
+            Some(s) => parse_backend_arg(s)?,
+        };
+        Ok((self.topology(kind)?, concurrent))
+    }
+
+    /// Refine a graph backend with `--topology ring|grid|torus` plus its
+    /// dimension flags (`--nodes`, `--rows`/`--cols`); reject the flags
+    /// when the backend is not a graph.
+    fn topology(&self, kind: BackendKind) -> Result<BackendKind, String> {
+        if !matches!(kind, BackendKind::Graph { .. }) {
+            for flag in ["topology", "nodes", "rows", "cols", "mc-every", "splitting"] {
+                if self.0.contains_key(flag) {
+                    return Err(format!(
+                        "--{flag} applies to the graph backend; add --backend graph"
+                    ));
+                }
+            }
+            return Ok(kind);
         }
+        let shape = self.0.get("topology").map(String::as_str);
+        let topology = match shape {
+            None | Some("ring") => {
+                if shape.is_none() && (self.0.contains_key("rows") || self.0.contains_key("cols")) {
+                    return Err("--rows/--cols need --topology grid or torus".into());
+                }
+                GraphTopology::Ring {
+                    nodes: self.u32("nodes", Some(8))?,
+                }
+            }
+            Some(mesh @ ("grid" | "torus")) => {
+                if self.0.contains_key("nodes") {
+                    return Err(format!(
+                        "--topology {mesh} takes --rows/--cols, not --nodes"
+                    ));
+                }
+                let rows = self.u32("rows", Some(3))?;
+                let cols = self.u32("cols", Some(3))?;
+                if mesh == "grid" {
+                    GraphTopology::Grid { rows, cols }
+                } else {
+                    GraphTopology::Torus { rows, cols }
+                }
+            }
+            Some(other) => {
+                return Err(format!("unknown topology {other:?} (ring|grid|torus)"));
+            }
+        };
+        if topology.nodes() < 2 {
+            return Err(format!("topology {topology} needs at least 2 nodes"));
+        }
+        Ok(BackendKind::Graph { topology })
+    }
+
+    /// Graph-backend knobs shared by `sim` and `serve`: sparse splitter
+    /// placement and the splitting discipline.
+    fn graph_knobs(&self) -> Result<(u32, Splitting), String> {
+        let mc_every = self.u32("mc-every", Some(1))?;
+        let splitting = match self.0.get("splitting") {
+            None => Splitting::Hierarchy,
+            Some(s) => Splitting::parse(s)
+                .ok_or_else(|| format!("unknown splitting {s:?} (tree|hierarchy)"))?,
+        };
+        Ok((mc_every, splitting))
+    }
+
+    /// The hotspot workload flags: `--hotspot <skew%>` with an optional
+    /// `--hot <module>` (default 0). Adversarial churn when absent.
+    fn workload(&self) -> Result<WorkloadSpec, String> {
+        if !self.0.contains_key("hotspot") && !self.0.contains_key("hot") {
+            return Ok(WorkloadSpec::Adversarial);
+        }
+        Ok(WorkloadSpec::Hotspot {
+            hot: self.u32("hot", Some(0))?,
+            skew_pct: self.u32("hotspot", Some(50))?,
+        })
     }
 }
 
@@ -772,21 +871,26 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     };
     use wdm_workload::{ChaosSchedule, DynamicTraffic, FaultAction, TimedFault};
 
-    let n = opts.u32("n", None)?;
-    let r = opts.u32("r", None)?;
-    let k = opts.u32("k", Some(1))?;
-    let construction = opts.construction()?;
-    let model = opts.model()?;
-    let kind = opts.backend(BackendKind::ThreeStage)?;
+    let (kind, cas) = opts.backend(BackendKind::ThreeStage)?;
     if kind == BackendKind::Crossbar {
         return Err(
             "serve (without --listen) always runs the crossbar as the baseline; \
-             pass --backend three-stage or awg-clos to pick its multistage rival"
+             pass --backend three-stage, three-stage-cas, awg-clos or graph to pick its rival"
                 .into(),
         );
     }
+    let n = opts.u32("n", None)?;
+    // Graph geometry comes from the topology; --r may restate it.
+    let r = match kind {
+        BackendKind::Graph { topology } => opts.u32("r", Some(topology.nodes()))?,
+        _ => opts.u32("r", None)?,
+    };
+    let k = opts.u32("k", Some(1))?;
+    let construction = opts.construction()?;
+    let model = opts.model()?;
     let (bound_m, bound_name) = match kind {
         BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
+        BackendKind::Graph { .. } => (0, "no nonblocking bound"),
         _ => (
             match construction {
                 Construction::MswDominant => bounds::theorem1_min_m(n, r),
@@ -796,8 +900,42 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             "theorem bound",
         ),
     };
-    let p = three_stage(opts, n, r, k, bound_m)?;
-    let flat = p.network();
+    // The graph rival has no middle stage, so there is no m to
+    // provision; `--kill-middle` indexes its nodes instead.
+    let p = match kind {
+        BackendKind::Graph { .. } => {
+            if opts.0.contains_key("m") {
+                return Err("--m has no meaning for the graph backend (no middle stage)".into());
+            }
+            None
+        }
+        _ => Some(three_stage(opts, n, r, k, bound_m)?),
+    };
+    let flat = match p {
+        Some(p) => p.network(),
+        // The same flat frame the graph's ports live in: r nodes × n
+        // external ports each, k wavelengths.
+        None => {
+            if n == 0 || r == 0 || k == 0 {
+                return Err("--n, --r and -k must all be at least 1".into());
+            }
+            if k > 64 {
+                return Err(format!("-k is limited to 64 wavelengths (got {k})"));
+            }
+            let ports = n
+                .checked_mul(r)
+                .ok_or_else(|| format!("n·r overflows: n={n}, r={r}"))?;
+            NetworkConfig::new(ports, k)
+        }
+    };
+    let kill_unit = if p.is_some() {
+        "middle switches"
+    } else {
+        "graph nodes"
+    };
+    // For the graph rival the fault domain `--kill-middle`/chaos draws
+    // from is the node set itself.
+    let m_like = p.map_or(r, |p| p.m);
 
     let rate = opts.f64("rate", 4.0)?;
     let horizon = opts.f64("horizon", 30.0)?;
@@ -830,14 +968,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => Default::default(),
     };
-    if let Some(&j) = kill_middles.iter().find(|&&j| j >= p.m) {
+    if let Some(&j) = kill_middles.iter().find(|&&j| j >= m_like) {
         return Err(format!(
-            "--kill-middle {j} is out of range for m={} middle switches",
-            p.m
+            "--kill-middle {j} is out of range for {m_like} {kill_unit}"
         ));
     }
-    if kill_middles.len() as u32 >= p.m {
-        return Err("--kill-middle would fail every middle switch".into());
+    if kill_middles.len() as u32 >= m_like {
+        return Err(format!("--kill-middle would fail every one of the {kill_unit}").to_string());
     }
     let fault_rate = match opts.0.get("fault-rate") {
         Some(_) => Some(opts.f64("fault-rate", 1.0)?),
@@ -852,8 +989,9 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         })
         .collect();
     if let Some(rate) = fault_rate {
-        fault_schedule
-            .extend(ChaosSchedule::new(p.m, r, rate, mttr).generate(horizon, seed.rotate_left(17)));
+        fault_schedule.extend(
+            ChaosSchedule::new(m_like, r, rate, mttr).generate(horizon, seed.rotate_left(17)),
+        );
     }
 
     // Close the trace: `generate` truncates departures past the horizon,
@@ -900,13 +1038,31 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let mut injector = FaultInjector::scripted(fault_schedule);
     let chaos = injector.pending() > 0;
     let rival: Box<dyn Backend> = match kind {
+        BackendKind::Graph { .. } => {
+            let (mc_every, splitting) = opts.graph_knobs()?;
+            Scenario::new(kind)
+                .geometry(n, r, k)
+                .model(model)
+                .mc_every(mc_every)
+                .splitting(splitting)
+                .build()?
+        }
         BackendKind::AwgClos => Box::new(AwgClosNetwork::new(
-            p,
+            p.expect("awg-clos parses three-stage params"),
             awg_bound(n, r, k)?.1,
             ConverterPlacement::IngressEgress,
             model,
         )),
-        _ => Box::new(ThreeStageNetwork::new(p, construction, model)),
+        _ if cas => Box::new(ConcurrentThreeStage::new(
+            p.expect("cas parses three-stage params"),
+            construction,
+            model,
+        )),
+        _ => Box::new(ThreeStageNetwork::new(
+            p.expect("three-stage parses its params"),
+            construction,
+            model,
+        )),
     };
     let engine = EngineBuilder::from_config(config.clone()).start(rival);
     let handle = engine.fault_handle();
@@ -948,8 +1104,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             format!("{:.0}", s.throughput()),
         ]);
     };
+    let rival_label = match (p, kind) {
+        (_, BackendKind::Graph { topology }) => format!("graph {topology}"),
+        (Some(p), _) if cas => format!("three-stage-cas m={}", p.m),
+        (Some(p), _) => format!("{} m={}", kind.label(), p.m),
+        (None, _) => unreachable!("only the graph rival has no three-stage params"),
+    };
     row("crossbar", &xbar.summary);
-    row(&format!("{} m={}", kind.label(), p.m), &three.summary);
+    row(&rival_label, &three.summary);
     println!("{t}");
 
     let loads: Vec<f64> = three
@@ -958,11 +1120,17 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         .iter()
         .map(|&l| l as f64)
         .collect();
-    println!(
-        "{} middle-stage occupancy at drain: {} ({bound_name} m ≥ {bound_m})",
-        kind.label(),
-        wdm_analysis::sparkline(&loads),
-    );
+    match kind {
+        BackendKind::Graph { .. } => println!(
+            "graph per-node route load at drain: {} ({bound_name})",
+            wdm_analysis::sparkline(&loads),
+        ),
+        _ => println!(
+            "{} middle-stage occupancy at drain: {} ({bound_name} m ≥ {bound_m})",
+            kind.label(),
+            wdm_analysis::sparkline(&loads),
+        ),
+    }
     if chaos {
         println!();
         for rec in &fired {
@@ -1002,10 +1170,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     }
 
     if let Some(path) = opts.0.get("json") {
+        let wire_label = if cas { "three-stage-cas" } else { kind.label() };
         let mut lines: Vec<String> = Vec::new();
         for (label, rep) in [
             ("crossbar", &xbar.snapshots),
-            (kind.label(), &three.snapshots),
+            (wire_label, &three.snapshots),
         ] {
             for s in rep {
                 lines.push(format!(
@@ -1019,8 +1188,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             xbar.summary.to_json()
         ));
         lines.push(format!(
-            "{{\"backend\":\"{}\",\"summary\":{}}}",
-            kind.label(),
+            "{{\"backend\":\"{wire_label}\",\"summary\":{}}}",
             three.summary.to_json()
         ));
         std::fs::write(path, lines.join("\n") + "\n").map_err(|e| format!("write {path}: {e}"))?;
@@ -1039,9 +1207,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // Permanent kills shrink the effective middle stage; the sparing
     // corollary only promises zero blocking while the live count stays at
     // or above the bound, and randomized chaos (transient, repairing
-    // faults) voids the guarantee during each outage window.
-    let live_m = p.m - kill_middles.len() as u32;
-    let enforce = fault_rate.is_none() && live_m >= bound_m;
+    // faults) voids the guarantee during each outage window. Graph
+    // topologies have no nonblocking theorem at all, so blocks there are
+    // never an error.
+    let live_m = m_like - kill_middles.len() as u32;
+    let enforce = p.is_some() && fault_rate.is_none() && live_m >= bound_m;
     if enforce && three.summary.blocked > 0 {
         return Err(format!(
             "{} hard blocks with {live_m} live middles ≥ bound {bound_m} — nonblocking \
@@ -1050,15 +1220,22 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         ));
     }
     if !enforce {
-        println!(
-            "(degraded regime: {live_m} live middles vs bound {bound_m}{}; {} blocks observed is honest behaviour)",
-            if fault_rate.is_some() {
-                ", randomized chaos on"
-            } else {
-                ""
-            },
-            three.summary.blocked
-        );
+        match kind {
+            BackendKind::Graph { .. } => println!(
+                "(graph backend: no nonblocking bound applies; {} blocks observed is honest \
+                 behaviour)",
+                three.summary.blocked
+            ),
+            _ => println!(
+                "(degraded regime: {live_m} live middles vs bound {bound_m}{}; {} blocks observed is honest behaviour)",
+                if fault_rate.is_some() {
+                    ", randomized chaos on"
+                } else {
+                    ""
+                },
+                three.summary.blocked
+            ),
+        }
     }
     Ok(())
 }
@@ -1073,22 +1250,36 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     use wdm_net::{NetServer, NetServerConfig};
     use wdm_runtime::{Backend, EngineBuilder, RuntimeConfig};
 
+    let (kind, cas) = opts.backend(BackendKind::ThreeStage)?;
     let n = opts.u32("n", None)?;
-    let r = opts.u32("r", None)?;
+    // Graph geometry comes from the topology; --r may restate it.
+    let r = match kind {
+        BackendKind::Graph { topology } => opts.u32("r", Some(topology.nodes()))?,
+        _ => opts.u32("r", None)?,
+    };
     let k = opts.u32("k", Some(1))?;
     let construction = opts.construction()?;
     let model = opts.model()?;
-    let kind = opts.backend(BackendKind::ThreeStage)?;
     // Each architecture has its own nonblocking bound — the theorem
-    // bound for switched middles, the private-pool bound for gratings.
+    // bound for switched middles, the private-pool bound for gratings,
+    // none for arbitrary graph topologies.
     let bound_m = match kind {
         BackendKind::AwgClos => awg_bound(n, r, k)?.0,
+        BackendKind::Graph { .. } => 0,
         _ => match construction {
             Construction::MswDominant => bounds::theorem1_min_m(n, r).m,
             Construction::MawDominant => bounds::theorem2_min_m(n, r, k).m,
         },
     };
-    let p = three_stage(opts, n, r, k, bound_m)?;
+    let p = match kind {
+        BackendKind::Graph { .. } => {
+            if opts.0.contains_key("m") {
+                return Err("--m has no meaning for the graph backend (no middle stage)".into());
+            }
+            None
+        }
+        _ => Some(three_stage(opts, n, r, k, bound_m)?),
+    };
     let workers = opts.u32("workers", Some(4))? as usize;
     if workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -1106,10 +1297,32 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     // The backend is picked at runtime behind `dyn Backend`: the engine,
     // server, and wire path are identical for every fabric.
     let backend: Box<dyn Backend> = match kind {
-        BackendKind::ThreeStage => Box::new(ThreeStageNetwork::new(p, construction, model)),
-        BackendKind::Crossbar => Box::new(CrossbarSession::new(p.network(), model)),
+        BackendKind::Graph { .. } => {
+            let (mc_every, splitting) = opts.graph_knobs()?;
+            Scenario::new(kind)
+                .geometry(n, r, k)
+                .model(model)
+                .mc_every(mc_every)
+                .splitting(splitting)
+                .build()?
+        }
+        BackendKind::ThreeStage if cas => Box::new(ConcurrentThreeStage::new(
+            p.expect("cas parses three-stage params"),
+            construction,
+            model,
+        )),
+        BackendKind::ThreeStage => Box::new(ThreeStageNetwork::new(
+            p.expect("three-stage parses its params"),
+            construction,
+            model,
+        )),
+        BackendKind::Crossbar => Box::new(CrossbarSession::new(
+            p.expect("crossbar parses the flat frame via three-stage params")
+                .network(),
+            model,
+        )),
         BackendKind::AwgClos => Box::new(AwgClosNetwork::new(
-            p,
+            p.expect("awg-clos parses three-stage params"),
             awg_bound(n, r, k)?.1,
             ConverterPlacement::IngressEgress,
             model,
@@ -1117,12 +1330,21 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
     };
     let engine = EngineBuilder::from_config(config).start(backend);
     let mode = serve_mode(opts)?;
+    let desc = match (p, kind) {
+        (_, BackendKind::Graph { topology }) => format!("{topology} n={n} k={k} [{model}]"),
+        (Some(p), _) => format!("{p} [{construction}, {model}]"),
+        (None, _) => unreachable!("only the graph backend has no three-stage params"),
+    };
+    let bound_str = match kind {
+        BackendKind::Graph { .. } => "no nonblocking bound".to_string(),
+        _ => format!("nonblocking bound m ≥ {bound_m}"),
+    };
+    let wire_label = if cas { "three-stage-cas" } else { kind.label() };
     let banner = |addr: std::net::SocketAddr| -> Result<(), String> {
         println!(
-            "serving {} {p} [{construction}, {model}] on {addr} ({mode} serve mode, {workers} \
-             worker shards, nonblocking bound m ≥ {bound_m}); a client's Drain frame stops \
+            "serving {wire_label} {desc} on {addr} ({mode} serve mode, {workers} \
+             worker shards, {bound_str}); a client's Drain frame stops \
              the server",
-            kind.label(),
         );
         if let Some(path) = opts.0.get("addr-file") {
             std::fs::write(path, addr.to_string()).map_err(|e| format!("write {path}: {e}"))?;
@@ -1198,11 +1420,15 @@ fn cmd_serve_net(opts: &Opts) -> Result<(), String> {
             report.worker_panics, report.consistency, report.errors
         ));
     }
-    if p.m >= bound_m && s.blocked > 0 {
-        return Err(format!(
-            "{} hard blocks with m={} at or above the bound {bound_m} — nonblocking theorem violated",
-            s.blocked, p.m
-        ));
+    // Graph topologies have no nonblocking theorem; blocks there are
+    // honest behaviour, never an error.
+    if let Some(p) = p {
+        if p.m >= bound_m && s.blocked > 0 {
+            return Err(format!(
+                "{} hard blocks with m={} at or above the bound {bound_m} — nonblocking theorem violated",
+                s.blocked, p.m
+            ));
+        }
     }
     Ok(())
 }
@@ -1804,92 +2030,66 @@ fn cmd_bench_net_sweep(_opts: &Opts) -> Result<(), String> {
 /// failure is delta-debugged to a minimal trace and reported with its
 /// seed — and the process exits nonzero so CI sweeps fail loudly.
 fn cmd_sim(opts: &Opts) -> Result<(), String> {
-    use wdm_sim::SimSetup;
-
-    let backend = opts.backend(BackendKind::ThreeStage)?;
+    let (kind, cas) = opts.backend(BackendKind::ThreeStage)?;
     let n = opts.u32("n", None)?;
-    let r = opts.u32("r", None)?;
+    // Graph geometry comes from the topology; --r may restate it but
+    // defaults to agreeing.
+    let r = match kind {
+        BackendKind::Graph { topology } => opts.u32("r", Some(topology.nodes()))?,
+        _ => opts.u32("r", None)?,
+    };
     let k = opts.u32("k", Some(1))?;
-    if n == 0 || r == 0 || k == 0 {
-        return Err("--n, --r and -k must all be at least 1".into());
-    }
     let steps = opts.u64("steps", 40)? as usize;
     let shards = opts.u32("shards", Some(4))?.max(1) as usize;
     let faulted = opts.boolean("faulted")?;
     let repack = opts.boolean("repack")?;
-    if repack && backend != BackendKind::ThreeStage {
-        return Err(
-            "--repack needs rearrangeable routes; only the three-stage backend moves branches"
-                .into(),
-        );
-    }
-    let concurrent = opts.boolean("concurrent")?;
-    if concurrent && backend != BackendKind::ThreeStage {
-        return Err(
-            "--concurrent drives the CAS admission path; only the three-stage backend has one"
-                .into(),
-        );
-    }
-    if concurrent && repack {
-        return Err(
-            "--concurrent requires RepackPolicy::Off; repack moves keep the coarse striped path"
-                .into(),
-        );
-    }
+    let concurrent = cas || opts.boolean("concurrent")?;
+    let (mc_every, splitting) = opts.graph_knobs()?;
+    let workload = opts.workload()?;
 
-    let (bound, bound_name) = match backend {
-        BackendKind::AwgClos => (awg_bound(n, r, k)?.0, "AWG pool bound"),
-        _ => (bounds::theorem1_min_m(n, r).m, "Theorem 1 bound"),
+    // All cross-cutting policy — which knobs are contradictory, when
+    // selection spreads, when the nonblocking oracle applies — lives in
+    // Scenario, shared with the benches and the conformance tests.
+    let mut sc = Scenario::new(kind)
+        .geometry(n, r, k)
+        .model(opts.model()?)
+        .schedule(steps, shards)
+        .faulted(faulted)
+        .repack(repack)
+        .concurrent(concurrent)
+        .workload(workload)
+        .mc_every(mc_every)
+        .splitting(splitting);
+    if opts.0.contains_key("m") {
+        sc = sc.middles(opts.u32("m", None)?);
+    }
+    let (bound, bound_name) = sc.bound()?;
+    let setup = sc.sim_setup()?;
+    let hotspot = match workload {
+        WorkloadSpec::Adversarial => String::new(),
+        WorkloadSpec::Hotspot { hot, skew_pct } => format!(" hotspot={skew_pct}%→{hot}"),
     };
-    let mut setup = match backend {
-        BackendKind::Crossbar => SimSetup::crossbar(n, r, k, steps, shards),
-        BackendKind::ThreeStage => SimSetup::three_stage_at_bound(n, r, k, steps, shards),
-        BackendKind::AwgClos => SimSetup::awg_clos(n, r, k, steps, shards),
-    };
-    setup.faulted = faulted;
-    if matches!(backend, BackendKind::ThreeStage | BackendKind::AwgClos) {
-        if let Some(m) = opts.0.get("m") {
-            setup.m = m
-                .parse::<u32>()
-                .ok()
-                .filter(|&m| m >= 1)
-                .ok_or_else(|| format!("--m must be a positive integer, got {m:?}"))?;
-        }
-        if setup.m < bound && backend == BackendKind::ThreeStage {
-            // Under-provisioned: spread load across middles so reachable
-            // hard blocks actually surface (and become artifacts). The
-            // AWG backend has no strategy knob — per-pair pools make
-            // first-fit canonical.
-            setup.strategy = wdm_multistage::SelectionStrategy::Spread;
-        }
-        if faulted {
-            // A mid-trace kill shrinks the live middle stage by one until
-            // its repair; only a spare margin keeps the guarantee.
-            setup.expect_nonblocking = setup.m > bound;
-        }
+    match kind {
+        BackendKind::Graph { topology } => println!(
+            "sim: graph {topology} n={n} k={k} mc-every={mc_every} splitting={} \
+             steps={steps} shards={shards}{}{hotspot} ({bound_name})",
+            splitting.label(),
+            if faulted { " faulted" } else { "" },
+        ),
+        _ => println!(
+            "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{}{}{}{hotspot} \
+             ({bound_name} m ≥ {bound})",
+            kind.label(),
+            if kind == BackendKind::Crossbar {
+                String::new()
+            } else {
+                format!(" m={}", setup.m)
+            },
+            if faulted { " faulted" } else { "" },
+            if repack { " repack" } else { "" },
+            if concurrent { " concurrent" } else { "" },
+        ),
     }
-    if repack {
-        // Rearrangement makes outcomes interleaving-dependent, so the
-        // sweep is judged by the conservation laws, not serial equality.
-        setup = setup.with_repack();
-    }
-    if concurrent {
-        // CAS mode forces first-fit selection: the run is judged
-        // event-for-event against the serial first-fit oracle.
-        setup = setup.with_concurrent();
-    }
-    println!(
-        "sim: {} n={n} r={r} k={k}{} steps={steps} shards={shards}{}{}{} ({bound_name} m ≥ {bound})",
-        backend.label(),
-        if backend == BackendKind::Crossbar {
-            String::new()
-        } else {
-            format!(" m={}", setup.m)
-        },
-        if faulted { " faulted" } else { "" },
-        if repack { " repack" } else { "" },
-        if concurrent { " concurrent" } else { "" },
-    );
 
     let base = opts.u64("seed", if opts.0.contains_key("seeds") { 0 } else { 42 })?;
     if let Some(count) = opts.0.get("seeds") {

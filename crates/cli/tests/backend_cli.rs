@@ -39,13 +39,133 @@ fn unknown_backend_lists_the_menu_and_exits_nonzero() {
             stderr.contains("unknown backend \"warp-drive\""),
             "{stderr}"
         );
-        for valid in ["crossbar", "three-stage", "awg-clos"] {
+        for valid in [
+            "crossbar",
+            "three-stage",
+            "awg-clos",
+            "graph",
+            "three-stage-cas",
+        ] {
             assert!(
                 stderr.contains(valid),
                 "{subcommand} error does not list {valid}: {stderr}"
             );
         }
     }
+}
+
+/// `sim --concurrent three-stage` used to die with a generic
+/// "--concurrent must be true or false": the valueless boolean flag
+/// swallowed the backend name as its value. The parser now recognizes
+/// backend names in that position and points at `--backend`.
+#[test]
+fn boolean_flag_swallowing_a_backend_name_suggests_backend_flag() {
+    let out = wdmcast()
+        .args([
+            "sim",
+            "--concurrent",
+            "three-stage-cas",
+            "--n",
+            "2",
+            "--r",
+            "4",
+        ])
+        .output()
+        .expect("spawn wdmcast");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--backend three-stage-cas"),
+        "error does not point at --backend: {stderr}"
+    );
+}
+
+/// The CAS backend's own label (`three-stage-cas`, what it reports over
+/// the wire and in reports) must round-trip through --backend instead
+/// of being rejected as unknown.
+#[test]
+fn three_stage_cas_label_selects_the_concurrent_path() {
+    let out = wdmcast()
+        .args([
+            "sim",
+            "--backend",
+            "three-stage-cas",
+            "--n",
+            "2",
+            "--r",
+            "4",
+            "-k",
+            "2",
+            "--steps",
+            "16",
+            "--seeds",
+            "4",
+        ])
+        .output()
+        .expect("spawn wdmcast");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sim failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("concurrent"), "{stdout}");
+    assert!(stdout.contains("0 failing"), "{stdout}");
+}
+
+#[test]
+fn graph_sim_sweep_exits_clean() {
+    let out = wdmcast()
+        .args([
+            "sim",
+            "--backend",
+            "graph",
+            "--topology",
+            "ring",
+            "--nodes",
+            "6",
+            "--n",
+            "1",
+            "-k",
+            "2",
+            "--steps",
+            "24",
+            "--seeds",
+            "8",
+        ])
+        .output()
+        .expect("spawn wdmcast");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sim failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("graph ring(6)"), "{stdout}");
+    assert!(stdout.contains("0 failing"), "{stdout}");
+}
+
+/// Graph-only flags on a switch-box backend are a contradiction, not a
+/// silent no-op.
+#[test]
+fn topology_flags_without_graph_backend_are_rejected() {
+    let out = wdmcast()
+        .args([
+            "sim",
+            "--backend",
+            "three-stage",
+            "--topology",
+            "ring",
+            "--n",
+            "2",
+            "--r",
+            "4",
+        ])
+        .output()
+        .expect("spawn wdmcast");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--backend graph"), "{stderr}");
 }
 
 #[test]

@@ -1,0 +1,367 @@
+//! Light-tree and light-hierarchy construction under sparse splitting.
+//!
+//! A multicast session on a graph of WDM nodes occupies one wavelength
+//! on every fiber it crosses and is shaped by who may split light:
+//!
+//! * an **MC** (multicast-capable) node replicates an incoming signal
+//!   onto any number of outgoing fibers;
+//! * an **MI** (multicast-incapable) node forwards each incoming signal
+//!   to at most **one** outgoing fiber. Its local drop is a passive tap,
+//!   so drop-and-continue is allowed.
+//!
+//! A **light-tree** crosses every node at most once, so the structure is
+//! a directed tree and MI nodes limit it to out-degree 1. A
+//! **light-hierarchy** relaxes that: a node may be crossed several
+//! times, each crossing pairing one unused incoming link with at most
+//! one (MI) or many (MC) unused outgoing links. The classic rescue: an
+//! MI hub `c` between source `s` and leaves `d1`, `d2` cannot host a
+//! branching tree, but the hierarchy `s→c→d1` then `d1→c→d2` re-crosses
+//! `c` through a second disjoint link pair and delivers both.
+//!
+//! [`build_structure`] grows the structure greedily — repeated
+//! multi-source BFS from the current attach points to the nearest
+//! unreached destination — and [`validate_structure`] independently
+//! re-checks any link set against the flow and splitting rules (used by
+//! the consistency oracle and the exhaustive infeasibility proofs in the
+//! tests).
+
+use crate::topology::Topology;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Which structures admission may build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Splitting {
+    /// Pure light-trees: every node crossed at most once.
+    TreeOnly,
+    /// Light-hierarchies: nodes may be re-crossed through distinct link
+    /// pairs when a pure tree is infeasible.
+    Hierarchy,
+}
+
+impl Splitting {
+    /// CLI-facing name ("tree", "hierarchy").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Splitting::TreeOnly => "tree",
+            Splitting::Hierarchy => "hierarchy",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<Splitting> {
+        match s {
+            "tree" | "tree-only" => Some(Splitting::TreeOnly),
+            "hierarchy" | "light-hierarchy" => Some(Splitting::Hierarchy),
+            _ => None,
+        }
+    }
+}
+
+/// Grow a light structure from `src_node` to every node in `dests` on
+/// one wavelength, returning the directed links used (empty when every
+/// destination is local to the source node). `link_free` reports
+/// whether a link is usable (wavelength free, not faulted); dead nodes
+/// are expressed by their links being un-free.
+///
+/// Deterministic: attach points are scanned in ascending node order,
+/// links in ascending id order, so identical state yields an identical
+/// structure — the property the serial-oracle conformance sweeps rely
+/// on.
+pub fn build_structure(
+    topo: &Topology,
+    src_node: u32,
+    dests: &BTreeSet<u32>,
+    splitting: Splitting,
+    link_free: impl Fn(u32) -> bool,
+) -> Option<Vec<u32>> {
+    let n = topo.nodes() as usize;
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    let mut links_in_order: Vec<u32> = Vec::new();
+    let mut in_structure = vec![false; n];
+    // Crossings that may still open one outgoing link: the source's own
+    // add port, plus every path terminal. Only consulted for MI nodes —
+    // an MC node in the structure can always branch further.
+    let mut open_taps = vec![0u32; n];
+    in_structure[src_node as usize] = true;
+    open_taps[src_node as usize] = 1;
+
+    let mut unreached: BTreeSet<u32> = dests.iter().copied().filter(|&d| d != src_node).collect();
+
+    while !unreached.is_empty() {
+        // Multi-source BFS from every attach-capable node to the nearest
+        // unreached destination.
+        let mut parent: Vec<Option<u32>> = vec![None; n];
+        let mut seeded = vec![false; n];
+        let mut queue = VecDeque::new();
+        for v in 0..topo.nodes() {
+            let attachable =
+                in_structure[v as usize] && (topo.is_mc(v) || open_taps[v as usize] > 0);
+            if attachable {
+                seeded[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+        let mut found: Option<u32> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &l in topo.out_links(u) {
+                if used.contains(&l) || !link_free(l) {
+                    continue;
+                }
+                let (_, v) = topo.link(l);
+                if seeded[v as usize] || parent[v as usize].is_some() {
+                    continue;
+                }
+                if splitting == Splitting::TreeOnly && in_structure[v as usize] {
+                    // A tree crosses each node once; re-entry is the
+                    // hierarchy's privilege.
+                    continue;
+                }
+                parent[v as usize] = Some(l);
+                if unreached.contains(&v) {
+                    found = Some(v);
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        let target = found?;
+
+        // Walk the path back to its attach point and commit it.
+        let mut path = Vec::new();
+        let mut v = target;
+        while let Some(l) = parent[v as usize] {
+            path.push(l);
+            v = topo.link(l).0;
+            if seeded[v as usize] {
+                break;
+            }
+        }
+        let attach = v;
+        if !topo.is_mc(attach) && open_taps[attach as usize] > 0 {
+            // The MI attach point spends its one outgoing slot.
+            open_taps[attach as usize] -= 1;
+        }
+        path.reverse();
+        for (i, &l) in path.iter().enumerate() {
+            used.insert(l);
+            links_in_order.push(l);
+            let (_, w) = topo.link(l);
+            in_structure[w as usize] = true;
+            // Intermediate crossings forward on (out-degree 1, legal at
+            // MI); the terminal crossing keeps its outgoing slot open.
+            if i + 1 == path.len() {
+                open_taps[w as usize] += 1;
+            }
+            // Drop-and-continue: every structure node taps locally.
+            unreached.remove(&w);
+        }
+    }
+    Some(links_in_order)
+}
+
+/// Independently re-check a link set against the flow and splitting
+/// rules: every link must be fed from the source, MI nodes may not
+/// branch beyond their crossings, trees may not re-cross a node, and
+/// every destination must be covered. Returns the first problem found.
+pub fn validate_structure(
+    topo: &Topology,
+    src_node: u32,
+    dests: &BTreeSet<u32>,
+    links: &BTreeSet<u32>,
+    splitting: Splitting,
+) -> Result<(), String> {
+    let n = topo.nodes() as usize;
+    let mut indeg = vec![0u32; n];
+    let mut outdeg = vec![0u32; n];
+    for &l in links {
+        if l >= topo.num_links() {
+            return Err(format!("link id {l} out of range"));
+        }
+        let (u, v) = topo.link(l);
+        outdeg[u as usize] += 1;
+        indeg[v as usize] += 1;
+    }
+
+    // Flow: light enters the network at the source only. Fixpoint the
+    // set of lit nodes; every used link must leave a lit node.
+    let mut lit = vec![false; n];
+    lit[src_node as usize] = true;
+    loop {
+        let mut grew = false;
+        for &l in links {
+            let (u, v) = topo.link(l);
+            if lit[u as usize] && !lit[v as usize] {
+                lit[v as usize] = true;
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for &l in links {
+        let (u, v) = topo.link(l);
+        if !lit[u as usize] {
+            return Err(format!("link {u}→{v} carries no light from the source"));
+        }
+    }
+
+    // Splitting: an MI node owns one outgoing slot per crossing (each
+    // incoming link, plus the source's add port).
+    for v in 0..topo.nodes() {
+        let crossings = indeg[v as usize] + u32::from(v == src_node);
+        if !topo.is_mc(v) && outdeg[v as usize] > crossings {
+            return Err(format!(
+                "MI node {v} branches: out-degree {} over {} crossing(s)",
+                outdeg[v as usize], crossings
+            ));
+        }
+        if splitting == Splitting::TreeOnly {
+            if indeg[v as usize] > 1 {
+                return Err(format!("tree re-crosses node {v}"));
+            }
+            if v == src_node && indeg[v as usize] > 0 {
+                return Err(format!("tree re-enters its source node {v}"));
+            }
+        }
+    }
+
+    for &d in dests {
+        if !lit[d as usize] {
+            return Err(format!("destination node {d} is not covered"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GraphTopology;
+
+    fn dests(nodes: &[u32]) -> BTreeSet<u32> {
+        nodes.iter().copied().collect()
+    }
+
+    fn all_free(_: u32) -> bool {
+        true
+    }
+
+    #[test]
+    fn ring_broadcast_builds_and_validates() {
+        let t = GraphTopology::Ring { nodes: 6 }.build();
+        let d = dests(&[1, 2, 3, 4, 5]);
+        for splitting in [Splitting::TreeOnly, Splitting::Hierarchy] {
+            let links = build_structure(&t, 0, &d, splitting, all_free).unwrap();
+            let set: BTreeSet<u32> = links.iter().copied().collect();
+            assert_eq!(set.len(), links.len(), "no link reused");
+            validate_structure(&t, 0, &d, &set, splitting).unwrap();
+        }
+    }
+
+    #[test]
+    fn local_destinations_need_no_links() {
+        let t = GraphTopology::Ring { nodes: 4 }.build();
+        let links = build_structure(&t, 2, &dests(&[2]), Splitting::TreeOnly, all_free).unwrap();
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn mi_ring_routes_as_a_path() {
+        // An all-MI ring still multicasts: a single path covers any
+        // destination set without ever splitting.
+        let t = GraphTopology::Ring { nodes: 6 }.build().with_mc_every(0);
+        let d = dests(&[1, 2, 3, 4, 5]);
+        for splitting in [Splitting::TreeOnly, Splitting::Hierarchy] {
+            let links = build_structure(&t, 0, &d, splitting, all_free).unwrap();
+            let set: BTreeSet<u32> = links.iter().copied().collect();
+            validate_structure(&t, 0, &d, &set, splitting).unwrap();
+        }
+    }
+
+    #[test]
+    fn busy_links_are_avoided() {
+        let t = GraphTopology::Ring { nodes: 4 }.build();
+        // Kill the clockwise direction entirely; the structure must go
+        // counterclockwise.
+        let clockwise: BTreeSet<u32> = (0..4).map(|v| t.link_id(v, (v + 1) % 4).unwrap()).collect();
+        let links = build_structure(&t, 0, &dests(&[1]), Splitting::TreeOnly, |l| {
+            !clockwise.contains(&l)
+        })
+        .unwrap();
+        assert_eq!(
+            links,
+            vec![
+                t.link_id(0, 3).unwrap(),
+                t.link_id(3, 2).unwrap(),
+                t.link_id(2, 1).unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn saturated_graph_reports_infeasible() {
+        let t = GraphTopology::Ring { nodes: 4 }.build();
+        assert!(build_structure(&t, 0, &dests(&[2]), Splitting::Hierarchy, |_| false).is_none());
+    }
+
+    #[test]
+    fn mi_spider_tree_blocks_hierarchy_succeeds() {
+        // The canonical sparse-splitting witness: an MI hub c (node 0)
+        // with leaves s=1, d1=2, d2=3. A tree needs out-degree 2 at the
+        // hub; the hierarchy re-crosses it: s→c→d1 then d1→c→d2.
+        let mut t =
+            Topology::from_links(4, [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]).unwrap();
+        for v in 0..4 {
+            t.set_mc(v, false);
+        }
+        let d = dests(&[2, 3]);
+        assert!(
+            build_structure(&t, 1, &d, Splitting::TreeOnly, all_free).is_none(),
+            "a pure light-tree cannot branch at the MI hub"
+        );
+        let links = build_structure(&t, 1, &d, Splitting::Hierarchy, all_free).unwrap();
+        let set: BTreeSet<u32> = links.iter().copied().collect();
+        validate_structure(&t, 1, &d, &set, Splitting::Hierarchy).unwrap();
+        assert_eq!(links.len(), 4, "two two-hop passes through the hub");
+        // An MC hub fixes the tree case.
+        t.set_mc(0, true);
+        let tree = build_structure(&t, 1, &d, Splitting::TreeOnly, all_free).unwrap();
+        validate_structure(
+            &t,
+            1,
+            &d,
+            &tree.iter().copied().collect(),
+            Splitting::TreeOnly,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn determinism_same_state_same_structure() {
+        let t = GraphTopology::Torus { rows: 3, cols: 3 }
+            .build()
+            .with_mc_every(2);
+        let d = dests(&[2, 4, 7, 8]);
+        let a = build_structure(&t, 0, &d, Splitting::Hierarchy, all_free).unwrap();
+        let b = build_structure(&t, 0, &d, Splitting::Hierarchy, all_free).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validator_rejects_unfed_links_and_mi_branches() {
+        let t = GraphTopology::Ring { nodes: 4 }.build().with_mc_every(0);
+        // A link nowhere near the source carries no light.
+        let stray = [t.link_id(2, 3).unwrap()].into_iter().collect();
+        assert!(validate_structure(&t, 0, &dests(&[]), &stray, Splitting::Hierarchy).is_err());
+        // MI branching: node 1 fans out both ways off one crossing.
+        let branch: BTreeSet<u32> = [
+            t.link_id(0, 1).unwrap(),
+            t.link_id(1, 2).unwrap(),
+            t.link_id(1, 0).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert!(validate_structure(&t, 0, &dests(&[2]), &branch, Splitting::Hierarchy).is_err());
+    }
+}

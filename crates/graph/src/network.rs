@@ -1,0 +1,588 @@
+//! The graph backend: per-link wavelength occupancy, first-fit
+//! wavelength selection over light structures, node/link kill faults.
+
+use crate::light::{build_structure, validate_structure, Splitting};
+use crate::topology::Topology;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use wdm_core::bitset::BitRows;
+use wdm_core::{
+    AssignmentError, Endpoint, Fault, FaultSet, MulticastAssignment, MulticastConnection,
+    MulticastModel, NetworkConfig, Reject,
+};
+
+/// Why a graph admission failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Endpoint bookkeeping refused the request (busy, out of range,
+    /// model violation, unknown source).
+    Assignment(AssignmentError),
+    /// No wavelength carries a feasible light structure — the graph
+    /// analog of middle-stage exhaustion.
+    Blocked {
+        /// Wavelengths the first-fit search tried.
+        wavelengths_tried: u32,
+    },
+    /// An endpoint sits on a failed component.
+    ComponentDown(Fault),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Assignment(e) => write!(f, "{e}"),
+            GraphError::Blocked { wavelengths_tried } => write!(
+                f,
+                "no light structure on any of {wavelengths_tried} wavelength(s)"
+            ),
+            GraphError::ComponentDown(fault) => write!(f, "component down: {fault}"),
+        }
+    }
+}
+
+impl From<AssignmentError> for GraphError {
+    fn from(e: AssignmentError) -> Self {
+        GraphError::Assignment(e)
+    }
+}
+
+impl From<GraphError> for Reject {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::Assignment(a) => Reject::from(a),
+            GraphError::Blocked { wavelengths_tried } => Reject::Blocked {
+                available_middles: 0,
+                x_limit: wavelengths_tried,
+            },
+            GraphError::ComponentDown(fault) => Reject::ComponentDown(fault),
+        }
+    }
+}
+
+/// One admitted session's footprint: its wavelength and the directed
+/// links its light structure occupies, in admission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphRoute {
+    /// The single transit wavelength the structure rides.
+    pub wavelength: u32,
+    /// Directed link ids, in the order the structure grew.
+    pub links: Vec<u32>,
+}
+
+impl GraphRoute {
+    /// Fiber hops the structure occupies.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// A graph-topology WDM multicast network.
+///
+/// Nodes host `ports_per_node` external ports each (port `p` lives on
+/// node `p / ports_per_node`), links carry `k` wavelengths whose
+/// occupancy lives in one packed-u64 [`BitRows`] row per directed link.
+/// Admission picks the first wavelength (source's own first, then
+/// ascending) on which [`build_structure`] finds a light tree/hierarchy
+/// to every destination node.
+///
+/// The fault vocabulary is reused from the switch backends:
+/// [`Fault::MiddleSwitch`]`(v)` kills node `v` outright,
+/// [`Fault::MiddleLink`]/[`Fault::InputLink`] sever the directed fiber
+/// `middle→module` / `module→middle`, and [`Fault::Port`] kills one
+/// external port. Converter-bank faults are recorded but route nothing
+/// differently (conversion exists only at the edge and is not modeled
+/// as failable).
+#[derive(Debug, Clone)]
+pub struct GraphNetwork {
+    topo: Topology,
+    ports_per_node: u32,
+    splitting: Splitting,
+    assignment: MulticastAssignment,
+    link_busy: BitRows,
+    faults: FaultSet,
+    routes: BTreeMap<Endpoint, GraphRoute>,
+    node_load: Vec<u64>,
+}
+
+impl GraphNetwork {
+    /// Build a network over `topo` with `ports_per_node` external ports
+    /// per node and `k` wavelengths per fiber.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ports_per_node` or `k` is zero.
+    pub fn new(
+        topo: Topology,
+        ports_per_node: u32,
+        k: u32,
+        splitting: Splitting,
+        model: MulticastModel,
+    ) -> Self {
+        assert!(ports_per_node >= 1, "each node needs at least one port");
+        let ports = topo.nodes() * ports_per_node;
+        let node_load = vec![0; topo.nodes() as usize];
+        GraphNetwork {
+            link_busy: BitRows::new(topo.num_links().max(1), k),
+            assignment: MulticastAssignment::new(NetworkConfig::new(ports, k), model),
+            topo,
+            ports_per_node,
+            splitting,
+            faults: FaultSet::new(),
+            routes: BTreeMap::new(),
+            node_load,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// External ports per node.
+    pub fn ports_per_node(&self) -> u32 {
+        self.ports_per_node
+    }
+
+    /// Wavelengths per fiber.
+    pub fn wavelengths(&self) -> u32 {
+        self.assignment.network().wavelengths
+    }
+
+    /// The admission mode (tree-only vs hierarchy).
+    pub fn splitting(&self) -> Splitting {
+        self.splitting
+    }
+
+    /// Endpoint bookkeeping (who sources/receives what).
+    pub fn assignment(&self) -> &MulticastAssignment {
+        &self.assignment
+    }
+
+    /// The node hosting external port `p`.
+    pub fn node_of(&self, port: u32) -> u32 {
+        port / self.ports_per_node
+    }
+
+    /// Live session count.
+    pub fn active_connections(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Per-node count of link crossings by live structures (the gauge
+    /// behind the engine's load sparkline).
+    pub fn node_loads(&self) -> Vec<u64> {
+        self.node_load.clone()
+    }
+
+    /// The footprint of the session sourced at `src`, if live.
+    pub fn route_of(&self, src: Endpoint) -> Option<&GraphRoute> {
+        self.routes.get(&src)
+    }
+
+    /// `(busy λ-slots, total λ-slots)` over all directed links.
+    pub fn link_utilization(&self) -> (u32, u32) {
+        (
+            self.link_busy.count(),
+            self.topo.num_links() * self.wavelengths(),
+        )
+    }
+
+    fn node_down(&self, v: u32) -> bool {
+        self.faults.middle_down(v)
+    }
+
+    fn link_down(&self, id: u32) -> bool {
+        let (u, v) = self.topo.link(id);
+        self.faults.middle_link_down(u, v)
+            || self.faults.input_link_down(u, v)
+            || self.node_down(u)
+            || self.node_down(v)
+    }
+
+    fn endpoint_fault(&self, ep: Endpoint) -> Option<Fault> {
+        if self.faults.port_down(ep.port.0) {
+            return Some(Fault::Port(ep.port.0));
+        }
+        let node = self.node_of(ep.port.0);
+        if self.node_down(node) {
+            return Some(Fault::MiddleSwitch(node));
+        }
+        None
+    }
+
+    /// Admit `conn`: pick the first wavelength carrying a feasible
+    /// light structure to every destination node and occupy its links.
+    pub fn connect(&mut self, conn: &MulticastConnection) -> Result<&GraphRoute, GraphError> {
+        self.assignment.check(conn)?;
+        if let Some(fault) = self.endpoint_fault(conn.source()) {
+            return Err(GraphError::ComponentDown(fault));
+        }
+        for &d in conn.destinations() {
+            if let Some(fault) = self.endpoint_fault(d) {
+                return Err(GraphError::ComponentDown(fault));
+            }
+        }
+
+        let src_node = self.node_of(conn.source().port.0);
+        let dest_nodes: BTreeSet<u32> = conn
+            .destinations()
+            .iter()
+            .map(|d| self.node_of(d.port.0))
+            .collect();
+
+        // First fit over wavelengths, the source's own first — edge
+        // converters retune add/drop, transit is continuity-bound.
+        let k = self.wavelengths();
+        let src_wl = conn.source().wavelength.0;
+        let candidates = std::iter::once(src_wl).chain((0..k).filter(|&w| w != src_wl));
+        for wl in candidates {
+            let feasible =
+                build_structure(&self.topo, src_node, &dest_nodes, self.splitting, |l| {
+                    !self.link_busy.get(l, wl) && !self.link_down(l)
+                });
+            if let Some(links) = feasible {
+                self.assignment
+                    .add(conn.clone())
+                    .expect("assignment was pre-checked");
+                for &l in &links {
+                    self.link_busy.set(l, wl);
+                    let (_, to) = self.topo.link(l);
+                    self.node_load[to as usize] += 1;
+                }
+                self.node_load[src_node as usize] += 1;
+                let route = GraphRoute {
+                    wavelength: wl,
+                    links,
+                };
+                return Ok(self
+                    .routes
+                    .entry(conn.source())
+                    .and_modify(|r| *r = route.clone())
+                    .or_insert(route));
+            }
+        }
+        Err(GraphError::Blocked {
+            wavelengths_tried: k,
+        })
+    }
+
+    /// Tear down the session sourced at `src`, freeing its links.
+    pub fn disconnect(&mut self, src: Endpoint) -> Result<GraphRoute, GraphError> {
+        let route = self.routes.remove(&src).ok_or(GraphError::Assignment(
+            AssignmentError::NoSuchConnection(src),
+        ))?;
+        self.assignment
+            .remove(src)
+            .expect("route table and assignment agree");
+        for &l in &route.links {
+            self.link_busy.clear(l, route.wavelength);
+            let (_, to) = self.topo.link(l);
+            self.node_load[to as usize] -= 1;
+        }
+        let src_node = self.node_of(src.port.0);
+        self.node_load[src_node as usize] -= 1;
+        Ok(route)
+    }
+
+    /// Record `fault` failed. Returns `true` when newly failed; the
+    /// caller (the runtime's `Backend` impl) evicts the victims
+    /// reported by [`GraphNetwork::connections_through`].
+    pub fn inject_fault(&mut self, fault: Fault) -> bool {
+        self.faults.fail(fault)
+    }
+
+    /// Record `fault` repaired; `true` if it was failed before.
+    pub fn repair_fault(&mut self, fault: Fault) -> bool {
+        self.faults.repair(fault)
+    }
+
+    /// The currently failed components.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Sources of the live sessions whose structure or endpoints touch
+    /// the failed component.
+    pub fn connections_through(&self, fault: &Fault) -> Vec<Endpoint> {
+        let hit = |src: &Endpoint, route: &GraphRoute| -> bool {
+            match *fault {
+                Fault::MiddleSwitch(v) => {
+                    self.node_of(src.port.0) == v
+                        || route.links.iter().any(|&l| {
+                            let (a, b) = self.topo.link(l);
+                            a == v || b == v
+                        })
+                        || self.dest_on_node(*src, v)
+                }
+                Fault::MiddleLink { middle, module } => self
+                    .topo
+                    .link_id(middle, module)
+                    .is_some_and(|id| route.links.contains(&id)),
+                Fault::InputLink { module, middle } => self
+                    .topo
+                    .link_id(module, middle)
+                    .is_some_and(|id| route.links.contains(&id)),
+                Fault::Port(p) => {
+                    src.port.0 == p
+                        || self
+                            .assignment
+                            .connection_at(*src)
+                            .is_some_and(|c| c.destinations().iter().any(|d| d.port.0 == p))
+                }
+                Fault::InputConverters(_)
+                | Fault::MiddleConverters(_)
+                | Fault::OutputConverters(_) => false,
+            }
+        };
+        self.routes
+            .iter()
+            .filter(|(src, route)| hit(src, route))
+            .map(|(src, _)| *src)
+            .collect()
+    }
+
+    fn dest_on_node(&self, src: Endpoint, v: u32) -> bool {
+        self.assignment
+            .connection_at(src)
+            .is_some_and(|c| c.destinations().iter().any(|d| self.node_of(d.port.0) == v))
+    }
+
+    /// Deep-verify internal consistency: the occupancy matrix must
+    /// re-derive exactly from the live routes, every route must be a
+    /// valid light structure for its session, and the route table must
+    /// mirror the assignment. Returns human-readable findings (empty =
+    /// consistent).
+    pub fn check_consistency(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        let mut rebuilt = BitRows::new(self.topo.num_links().max(1), self.wavelengths());
+        let mut load = vec![0u64; self.topo.nodes() as usize];
+        for (src, route) in &self.routes {
+            let conn = match self.assignment.connection_at(*src) {
+                Some(c) => c,
+                None => {
+                    findings.push(format!("route at {src} has no assignment entry"));
+                    continue;
+                }
+            };
+            let mut seen = BTreeSet::new();
+            for &l in &route.links {
+                if !seen.insert(l) {
+                    findings.push(format!("route at {src} reuses link {l}"));
+                }
+                if rebuilt.get(l, route.wavelength) {
+                    findings.push(format!(
+                        "link {l} λ{} double-booked (second owner {src})",
+                        route.wavelength
+                    ));
+                }
+                rebuilt.set(l, route.wavelength);
+                let (_, to) = self.topo.link(l);
+                load[to as usize] += 1;
+            }
+            let src_node = self.node_of(src.port.0);
+            load[src_node as usize] += 1;
+            let dest_nodes: BTreeSet<u32> = conn
+                .destinations()
+                .iter()
+                .map(|d| self.node_of(d.port.0))
+                .collect();
+            if let Err(e) =
+                validate_structure(&self.topo, src_node, &dest_nodes, &seen, self.splitting)
+            {
+                findings.push(format!("route at {src} is not a valid structure: {e}"));
+            }
+        }
+        for l in 0..self.topo.num_links() {
+            for wl in 0..self.wavelengths() {
+                if self.link_busy.get(l, wl) != rebuilt.get(l, wl) {
+                    findings.push(format!(
+                        "link {l} λ{wl}: occupancy {} but routes say {}",
+                        self.link_busy.get(l, wl),
+                        rebuilt.get(l, wl)
+                    ));
+                }
+            }
+        }
+        if load != self.node_load {
+            findings.push(format!(
+                "node loads {:?} disagree with routes {load:?}",
+                self.node_load
+            ));
+        }
+        if self.routes.len() != self.assignment.len() {
+            findings.push(format!(
+                "{} routes vs {} assignment entries",
+                self.routes.len(),
+                self.assignment.len()
+            ));
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GraphTopology;
+
+    fn conn(src: (u32, u32), dsts: &[(u32, u32)]) -> MulticastConnection {
+        MulticastConnection::new(
+            Endpoint::new(src.0, src.1),
+            dsts.iter().map(|&(p, w)| Endpoint::new(p, w)),
+        )
+        .unwrap()
+    }
+
+    fn ring(nodes: u32, ports: u32, k: u32) -> GraphNetwork {
+        GraphNetwork::new(
+            GraphTopology::Ring { nodes }.build(),
+            ports,
+            k,
+            Splitting::Hierarchy,
+            MulticastModel::Msw,
+        )
+    }
+
+    #[test]
+    fn connect_disconnect_roundtrip() {
+        let mut net = ring(4, 2, 2);
+        let c = conn((0, 0), &[(2, 0), (5, 0)]);
+        let route = net.connect(&c).unwrap().clone();
+        assert_eq!(route.wavelength, 0);
+        assert!(route.hops() >= 2, "two distinct non-source nodes");
+        assert_eq!(net.active_connections(), 1);
+        assert!(net.check_consistency().is_empty());
+        let back = net.disconnect(c.source()).unwrap();
+        assert_eq!(back, route);
+        assert_eq!(net.active_connections(), 0);
+        assert_eq!(net.link_utilization().0, 0);
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn local_delivery_uses_no_links() {
+        let mut net = ring(4, 2, 1);
+        let c = conn((0, 0), &[(1, 0)]);
+        let route = net.connect(&c).unwrap();
+        assert_eq!(route.hops(), 0, "same node, no fiber crossed");
+        assert_eq!(net.link_utilization().0, 0);
+    }
+
+    #[test]
+    fn wavelength_first_fit_spills() {
+        // n=1 port per node, k=2: two same-direction broadcasts from the
+        // same... distinct nodes on λ0 collide on ring links; the second
+        // spills to λ1.
+        let mut net = ring(3, 1, 2);
+        net.connect(&conn((0, 0), &[(1, 0), (2, 0)])).unwrap();
+        let r2 = net.connect(&conn((1, 1), &[(0, 1), (2, 1)])).unwrap();
+        assert_eq!(r2.wavelength, 1, "λ0 exhausted on some needed link");
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn exhausted_wavelengths_block() {
+        let mut net = ring(2, 2, 1);
+        // One λ, two nodes, links 0→1 and 1→0. Consume 0→1.
+        net.connect(&conn((0, 0), &[(2, 0)])).unwrap();
+        // Second session from the other port of node 0 needs 0→1 too.
+        let r = net.connect(&conn((1, 0), &[(3, 0)]));
+        assert!(matches!(r, Err(GraphError::Blocked { .. })), "{r:?}");
+        let rej = Reject::from(r.unwrap_err());
+        assert!(matches!(rej, Reject::Blocked { .. }));
+    }
+
+    #[test]
+    fn busy_endpoints_are_busy_not_blocked() {
+        let mut net = ring(3, 1, 1);
+        let c = conn((0, 0), &[(1, 0)]);
+        net.connect(&c).unwrap();
+        let again = conn((0, 0), &[(2, 0)]);
+        assert!(matches!(
+            net.connect(&again),
+            Err(GraphError::Assignment(AssignmentError::SourceBusy(_)))
+        ));
+        assert!(matches!(
+            net.disconnect(Endpoint::new(2, 0)),
+            Err(GraphError::Assignment(AssignmentError::NoSuchConnection(_)))
+        ));
+    }
+
+    #[test]
+    fn node_kill_evicts_and_blocks_then_heals() {
+        let mut net = ring(4, 1, 2);
+        let through = conn((0, 0), &[(2, 0)]); // crosses node 1 or 3
+        net.connect(&through).unwrap();
+        let dead = net.route_of(through.source()).unwrap().links[0];
+        let (_, transit) = net.topo.link(dead);
+        assert!(net.inject_fault(Fault::MiddleSwitch(transit)));
+        let victims = net.connections_through(&Fault::MiddleSwitch(transit));
+        assert_eq!(victims, vec![through.source()]);
+        net.disconnect(through.source()).unwrap();
+        // A session sourced on the dead node is refused as ComponentDown.
+        let from_dead = conn((transit, 0), &[(0, 0)]);
+        assert!(matches!(
+            net.connect(&from_dead),
+            Err(GraphError::ComponentDown(_))
+        ));
+        // The ring routes around the dead node the other way.
+        let rerouted = net.connect(&through).unwrap().clone();
+        assert!(rerouted.links.iter().all(|&l| {
+            let (a, b) = net.topo.link(l);
+            a != transit && b != transit
+        }));
+        net.disconnect(through.source()).unwrap();
+        assert!(net.repair_fault(Fault::MiddleSwitch(transit)));
+        assert!(net.connect(&from_dead).is_ok());
+        assert!(net.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn link_kill_severs_one_direction() {
+        let mut net = ring(2, 1, 1);
+        assert!(net.inject_fault(Fault::MiddleLink {
+            middle: 0,
+            module: 1
+        }));
+        // 0→1 is dead, 1→0 is alive.
+        let r = net.connect(&conn((0, 0), &[(1, 0)]));
+        assert!(matches!(r, Err(GraphError::Blocked { .. })), "{r:?}");
+        assert!(net.connect(&conn((1, 0), &[(0, 0)])).is_ok());
+    }
+
+    #[test]
+    fn port_kill_is_component_down() {
+        let mut net = ring(3, 2, 1);
+        net.inject_fault(Fault::Port(3));
+        assert!(matches!(
+            net.connect(&conn((3, 0), &[(0, 0)])),
+            Err(GraphError::ComponentDown(Fault::Port(3)))
+        ));
+        assert!(matches!(
+            net.connect(&conn((0, 0), &[(3, 0)])),
+            Err(GraphError::ComponentDown(Fault::Port(3)))
+        ));
+        // Transit through the node hosting the dead port still works.
+        assert!(net.connect(&conn((0, 0), &[(4, 0)])).is_ok());
+    }
+
+    #[test]
+    fn tree_only_mode_is_enforced_end_to_end() {
+        // Spider with an MI hub, one port per node: tree-only blocks the
+        // two-leaf multicast, hierarchy admits it.
+        let mut topo =
+            Topology::from_links(4, [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]).unwrap();
+        topo.set_mc_every(0);
+        let req = conn((1, 0), &[(2, 0), (3, 0)]);
+        let mut tree =
+            GraphNetwork::new(topo.clone(), 1, 1, Splitting::TreeOnly, MulticastModel::Msw);
+        assert!(matches!(
+            tree.connect(&req),
+            Err(GraphError::Blocked { .. })
+        ));
+        let mut hier = GraphNetwork::new(topo, 1, 1, Splitting::Hierarchy, MulticastModel::Msw);
+        let route = hier.connect(&req).unwrap();
+        assert_eq!(route.hops(), 4);
+        assert!(hier.check_consistency().is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Topology specs and the built node/link tables.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A compact, copyable topology spec — the shape a CLI flag or a
+/// [`crate::GraphNetwork`] constructor names. [`GraphTopology::build`]
+/// expands it into a [`Topology`] with concrete link tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphTopology {
+    /// A bidirectional ring of `nodes` nodes: node `v` has fibers to and
+    /// from `v±1 (mod nodes)`.
+    Ring {
+        /// Node count (≥ 2).
+        nodes: u32,
+    },
+    /// A `rows × cols` mesh with 4-neighbor bidirectional fibers and no
+    /// wraparound.
+    Grid {
+        /// Grid height (≥ 1).
+        rows: u32,
+        /// Grid width (≥ 1).
+        cols: u32,
+    },
+    /// A `rows × cols` mesh with wraparound in both dimensions.
+    Torus {
+        /// Torus height (≥ 1).
+        rows: u32,
+        /// Torus width (≥ 1).
+        cols: u32,
+    },
+}
+
+impl GraphTopology {
+    /// Node count of the built graph.
+    pub fn nodes(&self) -> u32 {
+        match *self {
+            GraphTopology::Ring { nodes } => nodes,
+            GraphTopology::Grid { rows, cols } | GraphTopology::Torus { rows, cols } => rows * cols,
+        }
+    }
+
+    /// CLI-facing name ("ring", "grid", "torus").
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphTopology::Ring { .. } => "ring",
+            GraphTopology::Grid { .. } => "grid",
+            GraphTopology::Torus { .. } => "torus",
+        }
+    }
+
+    /// Expand the spec into concrete node/link tables (every node MC;
+    /// adjust with [`Topology::with_mc_every`] / [`Topology::set_mc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate specs: a ring needs ≥ 2 nodes, a grid/torus
+    /// needs ≥ 1 row and column and ≥ 2 nodes total.
+    pub fn build(&self) -> Topology {
+        let mut links = BTreeSet::new();
+        match *self {
+            GraphTopology::Ring { nodes } => {
+                assert!(nodes >= 2, "a ring needs at least 2 nodes");
+                for v in 0..nodes {
+                    let next = (v + 1) % nodes;
+                    links.insert((v, next));
+                    links.insert((next, v));
+                }
+            }
+            GraphTopology::Grid { rows, cols } | GraphTopology::Torus { rows, cols } => {
+                assert!(rows >= 1 && cols >= 1, "a mesh needs ≥ 1 row and column");
+                assert!(rows * cols >= 2, "a mesh needs at least 2 nodes");
+                let wrap = matches!(self, GraphTopology::Torus { .. });
+                let id = |r: u32, c: u32| r * cols + c;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let mut neighbors = Vec::new();
+                        if c + 1 < cols {
+                            neighbors.push(id(r, c + 1));
+                        } else if wrap && cols > 1 {
+                            neighbors.push(id(r, 0));
+                        }
+                        if r + 1 < rows {
+                            neighbors.push(id(r + 1, c));
+                        } else if wrap && rows > 1 {
+                            neighbors.push(id(0, c));
+                        }
+                        for w in neighbors {
+                            links.insert((id(r, c), w));
+                            links.insert((w, id(r, c)));
+                        }
+                    }
+                }
+            }
+        }
+        Topology::from_links(self.nodes(), links).expect("generator emits valid links")
+    }
+}
+
+impl fmt::Display for GraphTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphTopology::Ring { nodes } => write!(f, "ring({nodes})"),
+            GraphTopology::Grid { rows, cols } => write!(f, "grid({rows}x{cols})"),
+            GraphTopology::Torus { rows, cols } => write!(f, "torus({rows}x{cols})"),
+        }
+    }
+}
+
+/// A built directed graph: nodes `0..nodes`, directed links (WDM
+/// fibers) with dense ids `0..num_links`, and the per-node MC/MI mask.
+///
+/// Links are stored sorted by `(from, to)`, so link ids are stable for a
+/// given link set and [`Topology::link_id`] is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: u32,
+    links: Vec<(u32, u32)>,
+    out: Vec<Vec<u32>>,
+    inc: Vec<Vec<u32>>,
+    mc: Vec<bool>,
+}
+
+impl Topology {
+    /// Build a custom topology from directed links (duplicates are
+    /// merged). Every node starts multicast-capable.
+    pub fn from_links(
+        nodes: u32,
+        links: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Topology, String> {
+        if nodes == 0 {
+            return Err("a topology needs at least 1 node".into());
+        }
+        let set: BTreeSet<(u32, u32)> = links.into_iter().collect();
+        for &(u, v) in &set {
+            if u >= nodes || v >= nodes {
+                return Err(format!("link {u}→{v} references a node ≥ {nodes}"));
+            }
+            if u == v {
+                return Err(format!("self-loop {u}→{u} is not a fiber"));
+            }
+        }
+        let links: Vec<(u32, u32)> = set.into_iter().collect();
+        let mut out = vec![Vec::new(); nodes as usize];
+        let mut inc = vec![Vec::new(); nodes as usize];
+        for (id, &(u, v)) in links.iter().enumerate() {
+            out[u as usize].push(id as u32);
+            inc[v as usize].push(id as u32);
+        }
+        Ok(Topology {
+            nodes,
+            links,
+            out,
+            inc,
+            mc: vec![true; nodes as usize],
+        })
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Directed link count.
+    pub fn num_links(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// All directed links, sorted by `(from, to)`; the index is the
+    /// link id.
+    pub fn links(&self) -> &[(u32, u32)] {
+        &self.links
+    }
+
+    /// Endpoints `(from, to)` of link `id`.
+    pub fn link(&self, id: u32) -> (u32, u32) {
+        self.links[id as usize]
+    }
+
+    /// Id of the directed link `from → to`, if present.
+    pub fn link_id(&self, from: u32, to: u32) -> Option<u32> {
+        self.links.binary_search(&(from, to)).ok().map(|i| i as u32)
+    }
+
+    /// Ids of the links leaving `node`, ascending.
+    pub fn out_links(&self, node: u32) -> &[u32] {
+        &self.out[node as usize]
+    }
+
+    /// Ids of the links entering `node`, ascending.
+    pub fn in_links(&self, node: u32) -> &[u32] {
+        &self.inc[node as usize]
+    }
+
+    /// Does `node` own an optical splitter (multicast-capable)?
+    pub fn is_mc(&self, node: u32) -> bool {
+        self.mc[node as usize]
+    }
+
+    /// Number of MC nodes.
+    pub fn mc_count(&self) -> u32 {
+        self.mc.iter().filter(|&&b| b).count() as u32
+    }
+
+    /// Set one node's splitter capability.
+    pub fn set_mc(&mut self, node: u32, mc: bool) {
+        self.mc[node as usize] = mc;
+    }
+
+    /// Sparse splitter placement: node `v` is MC iff `every > 0` and
+    /// `v % every == 0`. `every = 1` makes every node MC, `every = 0`
+    /// none — the splitter-density axis of the blocking curves.
+    pub fn set_mc_every(&mut self, every: u32) {
+        for v in 0..self.nodes {
+            self.mc[v as usize] = every > 0 && v % every == 0;
+        }
+    }
+
+    /// Builder-style [`Topology::set_mc_every`].
+    pub fn with_mc_every(mut self, every: u32) -> Topology {
+        self.set_mc_every(every);
+        self
+    }
+
+    /// `true` when every node can reach every other node along directed
+    /// links — the sanity the generators must deliver.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.nodes == 1 {
+            return true;
+        }
+        // Forward and reverse BFS from node 0 must each cover the graph.
+        for reverse in [false, true] {
+            let mut seen = vec![false; self.nodes as usize];
+            let mut queue = std::collections::VecDeque::from([0u32]);
+            seen[0] = true;
+            while let Some(u) = queue.pop_front() {
+                let edges = if reverse {
+                    self.in_links(u)
+                } else {
+                    self.out_links(u)
+                };
+                for &l in edges {
+                    let (a, b) = self.link(l);
+                    let v = if reverse { a } else { b };
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if seen.iter().any(|&s| !s) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_links_and_degrees() {
+        let t = GraphTopology::Ring { nodes: 5 }.build();
+        assert_eq!(t.nodes(), 5);
+        assert_eq!(t.num_links(), 10, "5 nodes × 2 directions");
+        for v in 0..5 {
+            assert_eq!(t.out_links(v).len(), 2);
+            assert_eq!(t.in_links(v).len(), 2);
+        }
+        assert!(t.link_id(0, 1).is_some());
+        assert!(t.link_id(0, 4).is_some());
+        assert!(t.link_id(0, 2).is_none());
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn two_node_ring_merges_duplicates() {
+        let t = GraphTopology::Ring { nodes: 2 }.build();
+        assert_eq!(t.num_links(), 2);
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn grid_has_no_wraparound() {
+        let t = GraphTopology::Grid { rows: 3, cols: 4 }.build();
+        assert_eq!(t.nodes(), 12);
+        // 2·(rows·(cols−1) + cols·(rows−1)) directed links.
+        assert_eq!(t.num_links(), 2 * (3 * 3 + 4 * 2));
+        assert!(t.link_id(0, 3).is_none(), "no row wrap");
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn torus_wraps_both_dimensions() {
+        let t = GraphTopology::Torus { rows: 3, cols: 4 }.build();
+        assert_eq!(t.nodes(), 12);
+        assert_eq!(t.num_links(), 4 * 12, "degree 4 everywhere");
+        assert!(t.link_id(0, 3).is_some(), "row wrap 0→3");
+        assert!(t.link_id(0, 8).is_some(), "column wrap 0→8");
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn mc_every_density() {
+        let mut t = GraphTopology::Ring { nodes: 6 }.build();
+        assert_eq!(t.mc_count(), 6, "all MC by default");
+        t.set_mc_every(3);
+        assert_eq!(t.mc_count(), 2);
+        assert!(t.is_mc(0) && t.is_mc(3));
+        assert!(!t.is_mc(1));
+        t.set_mc_every(0);
+        assert_eq!(t.mc_count(), 0);
+    }
+
+    #[test]
+    fn from_links_rejects_bad_input() {
+        assert!(Topology::from_links(3, [(0, 3)]).is_err(), "out of range");
+        assert!(Topology::from_links(3, [(1, 1)]).is_err(), "self loop");
+        let t = Topology::from_links(3, [(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(t.num_links(), 2, "duplicates merged");
+    }
+}

@@ -1,0 +1,79 @@
+//! The sparse-splitting separation, proved exhaustively.
+//!
+//! The paper's graph-model motivation: with multicast-incapable (MI)
+//! nodes, pure light-trees are strictly weaker than light-hierarchies.
+//! The canonical witness is the MI spider — hub `c` with leaves `s`,
+//! `d1`, `d2` and no splitter anywhere. This test does not just show the
+//! builder fails to find a tree; it enumerates **every** subset of the
+//! spider's six directed links and checks none of them is a valid
+//! light-tree covering both destinations, so tree-only admission
+//! provably blocks. The same request then succeeds end-to-end through
+//! `GraphNetwork` in hierarchy mode.
+
+use std::collections::BTreeSet;
+use wdm_core::{Endpoint, MulticastConnection, MulticastModel};
+use wdm_graph::{validate_structure, GraphNetwork, Splitting, Topology};
+
+/// Hub = node 0, leaves 1 (source), 2 and 3 (destinations); all MI.
+fn spider() -> Topology {
+    let mut t = Topology::from_links(4, [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]).unwrap();
+    for v in 0..4 {
+        t.set_mc(v, false);
+    }
+    t
+}
+
+#[test]
+fn no_link_subset_is_a_tree_but_a_hierarchy_exists() {
+    let t = spider();
+    let dests: BTreeSet<u32> = [2, 3].into_iter().collect();
+    assert_eq!(t.num_links(), 6);
+
+    // Exhaustive infeasibility: 2^6 link subsets, none a legal tree.
+    let mut trees = 0u32;
+    let mut hierarchies = 0u32;
+    for mask in 0u32..(1 << t.num_links()) {
+        let links: BTreeSet<u32> = (0..t.num_links())
+            .filter(|l| mask & (1 << l) != 0)
+            .collect();
+        if validate_structure(&t, 1, &dests, &links, Splitting::TreeOnly).is_ok() {
+            trees += 1;
+        }
+        if validate_structure(&t, 1, &dests, &links, Splitting::Hierarchy).is_ok() {
+            hierarchies += 1;
+        }
+    }
+    assert_eq!(
+        trees, 0,
+        "some link subset forms a light-tree through the MI hub — the separation is broken"
+    );
+    assert!(
+        hierarchies > 0,
+        "no link subset forms a light-hierarchy — the witness graph is wrong"
+    );
+}
+
+#[test]
+fn hierarchy_admits_the_request_tree_only_provably_blocks() {
+    // One port per node, 2 λ: port == node. Source on node 1, one
+    // destination port on each of nodes 2 and 3.
+    let request = MulticastConnection::new(
+        Endpoint::new(1, 0),
+        [Endpoint::new(2, 0), Endpoint::new(3, 0)],
+    )
+    .unwrap();
+
+    let mut tree_net = GraphNetwork::new(spider(), 1, 2, Splitting::TreeOnly, MulticastModel::Msw);
+    let err = tree_net.connect(&request).unwrap_err();
+    assert!(
+        matches!(err, wdm_graph::GraphError::Blocked { .. }),
+        "tree-only admission must hard-block, got {err}"
+    );
+
+    let mut hier_net = GraphNetwork::new(spider(), 1, 2, Splitting::Hierarchy, MulticastModel::Msw);
+    let route = hier_net.connect(&request).unwrap().clone();
+    assert_eq!(route.hops(), 4, "two two-hop passes through the MI hub");
+    assert!(hier_net.check_consistency().is_empty());
+    hier_net.disconnect(Endpoint::new(1, 0)).unwrap();
+    assert_eq!(hier_net.active_connections(), 0);
+}

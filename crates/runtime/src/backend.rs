@@ -1,7 +1,9 @@
 //! The [`Backend`] trait: a uniform admit/tear-down interface over the
-//! two switch implementations — the single-stage photonic crossbar
-//! ([`CrossbarSession`]) and the three-stage Clos-style network
-//! ([`ThreeStageNetwork`]).
+//! switch implementations — the single-stage photonic crossbar
+//! ([`CrossbarSession`]), the three-stage Clos-style network
+//! ([`ThreeStageNetwork`]) and its CAS variant, the AWG-routed Clos
+//! ([`AwgClosNetwork`]), and the graph-topology network
+//! ([`GraphNetwork`]).
 //!
 //! Refusals use the canonical [`wdm_core::Reject`] taxonomy: a
 //! [`Reject::Busy`] is a *request-level* conflict (an endpoint is in
@@ -13,6 +15,7 @@
 
 use wdm_core::{Endpoint, Fault, MulticastConnection, Reject};
 use wdm_fabric::CrossbarSession;
+use wdm_graph::GraphNetwork;
 use wdm_multistage::{AwgClosNetwork, ConcurrentThreeStage, ThreeStageNetwork};
 
 /// Former runtime-local error enum, now unified into the canonical
@@ -460,6 +463,65 @@ impl Backend for AwgClosNetwork {
     }
 }
 
+impl Backend for GraphNetwork {
+    fn label(&self) -> &'static str {
+        "graph"
+    }
+
+    fn ports_per_module(&self) -> u32 {
+        // One module per graph node; its external ports shard together.
+        self.ports_per_node()
+    }
+
+    fn wavelengths(&self) -> u32 {
+        GraphNetwork::wavelengths(self)
+    }
+
+    fn connect(&mut self, conn: &MulticastConnection) -> Result<(), Reject> {
+        GraphNetwork::connect(self, conn)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn disconnect(&mut self, src: Endpoint) -> Result<(), Reject> {
+        GraphNetwork::disconnect(self, src)
+            .map(|_| ())
+            .map_err(Reject::from)
+    }
+
+    fn active_connections(&self) -> usize {
+        GraphNetwork::active_connections(self)
+    }
+
+    fn middle_loads(&self) -> Vec<u64> {
+        // The graph analog of middle loads: per-node structure crossings.
+        self.node_loads()
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Vec<MulticastConnection> {
+        if !GraphNetwork::inject_fault(self, fault) {
+            return Vec::new();
+        }
+        let victims: Vec<MulticastConnection> = self
+            .connections_through(&fault)
+            .into_iter()
+            .filter_map(|src| self.assignment().connection_at(src).cloned())
+            .collect();
+        for c in &victims {
+            GraphNetwork::disconnect(self, c.source()).expect("victim is live");
+        }
+        victims
+    }
+
+    fn repair_fault(&mut self, fault: Fault) -> bool {
+        GraphNetwork::repair_fault(self, fault)
+    }
+
+    fn check(&self) -> Vec<String> {
+        self.check_consistency()
+    }
+}
+
 /// Forwarding impl so a `Box<dyn Backend>` is itself a [`Backend`] —
 /// the CLI's backend selector can pick an implementation at runtime and
 /// hand the boxed trait object straight to the engine.
@@ -669,6 +731,32 @@ mod tests {
         assert!(res.is_ok(), "{res:?}");
         assert_eq!(stats.support, RepackSupport::Supported);
         assert!(stats.moves_committed >= 1);
+        assert!(b.check().is_empty());
+    }
+
+    #[test]
+    fn graph_backend_drives_like_the_others() {
+        use wdm_graph::{GraphTopology, Splitting};
+        let mut b = GraphNetwork::new(
+            GraphTopology::Ring { nodes: 4 }.build(),
+            2,
+            2,
+            Splitting::Hierarchy,
+            MulticastModel::Msw,
+        );
+        assert_eq!(b.label(), "graph");
+        assert_eq!(Backend::ports_per_module(&b), 2);
+        assert_eq!(Backend::wavelengths(&b), 2);
+        let c = conn((0, 0), &[(3, 0), (5, 0)]);
+        Backend::connect(&mut b, &c).unwrap();
+        assert_eq!(Backend::active_connections(&b), 1);
+        assert_eq!(Backend::middle_loads(&b).len(), 4);
+        assert!(b.check().is_empty());
+        // Killing a transit node evicts the session through the trait.
+        let victims = Backend::inject_fault(&mut b, Fault::MiddleSwitch(1));
+        let rekill = Backend::inject_fault(&mut b, Fault::MiddleSwitch(2));
+        assert_eq!(victims.len() + rekill.len(), 1, "exactly one eviction");
+        assert_eq!(Backend::active_connections(&b), 0);
         assert!(b.check().is_empty());
     }
 

@@ -17,12 +17,14 @@ use crate::shrink::shrink_trace;
 use std::fmt;
 use wdm_core::{Fault, MulticastModel, NetworkConfig};
 use wdm_fabric::CrossbarSession;
+use wdm_graph::{GraphNetwork, GraphTopology, Splitting};
 use wdm_multistage::{
     awg, bounds, AwgClosNetwork, ConcurrentThreeStage, Construction, ConverterPlacement,
     SelectionStrategy, ThreeStageNetwork, ThreeStageParams,
 };
-use wdm_runtime::{RepackPolicy, RuntimeConfig};
+use wdm_runtime::{Backend, RepackPolicy, RuntimeConfig};
 use wdm_workload::adversarial::{AdversarialGen, Geometry};
+use wdm_workload::hotspot::HotspotGen;
 use wdm_workload::{close_trace, FaultAction, TimedEvent, TimedFault};
 
 /// Which construction the simulated engine drives.
@@ -35,15 +37,27 @@ pub enum BackendKind {
     ThreeStage,
     /// An AWG-based wavelength-routed Clos with `m` passive gratings.
     AwgClos,
+    /// A graph-topology network of switching nodes joined by WDM fibers.
+    Graph {
+        /// The node/link shape (`--topology` plus its dimension flags).
+        topology: GraphTopology,
+    },
 }
 
 impl BackendKind {
+    /// The default graph shape `--backend graph` selects before any
+    /// `--topology`/dimension flags refine it.
+    pub const DEFAULT_GRAPH: BackendKind = BackendKind::Graph {
+        topology: GraphTopology::Ring { nodes: 8 },
+    };
+
     /// CLI-facing label (`--backend` value).
     pub fn label(&self) -> &'static str {
         match self {
             BackendKind::Crossbar => "crossbar",
             BackendKind::ThreeStage => "three-stage",
             BackendKind::AwgClos => "awg-clos",
+            BackendKind::Graph { .. } => "graph",
         }
     }
 
@@ -53,16 +67,56 @@ impl BackendKind {
             "crossbar" => Some(BackendKind::Crossbar),
             "three-stage" | "threestage" | "3stage" => Some(BackendKind::ThreeStage),
             "awg-clos" | "awgclos" | "awg" => Some(BackendKind::AwgClos),
+            "graph" | "mesh" | "ring" => Some(BackendKind::DEFAULT_GRAPH),
             _ => None,
         }
     }
 
     /// Every selectable backend, in CLI-help order.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Crossbar,
         BackendKind::ThreeStage,
         BackendKind::AwgClos,
+        BackendKind::DEFAULT_GRAPH,
     ];
+}
+
+/// Graph-backend knobs beyond the topology shape: splitter placement and
+/// the splitting discipline. Ignored by the switch-box backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Sparse splitter placement: node `v` is multicast-capable iff
+    /// `mc_every > 0` and `v % mc_every == 0` (1 = every node, 0 = none).
+    pub mc_every: u32,
+    /// Light-tree vs light-hierarchy admission.
+    pub splitting: Splitting,
+}
+
+impl Default for GraphSpec {
+    fn default() -> Self {
+        GraphSpec {
+            mc_every: 1,
+            splitting: Splitting::Hierarchy,
+        }
+    }
+}
+
+/// Which traffic generator drives the churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadSpec {
+    /// Middle-stage-hostile churn
+    /// ([`wdm_workload::adversarial::AdversarialGen`]): busiest-module
+    /// sources, maximum module spread.
+    #[default]
+    Adversarial,
+    /// Hotspot churn ([`HotspotGen`]): uniform sources, destination
+    /// picks skewed toward one module.
+    Hotspot {
+        /// The module (graph node) drawing the skewed destination mass.
+        hot: u32,
+        /// Percent of destination picks aimed at `hot` (0–100).
+        skew_pct: u32,
+    },
 }
 
 /// Everything about a simulated experiment except the seed.
@@ -105,6 +159,11 @@ pub struct SimSetup {
     /// the serial first-fit oracle, faulted runs to the conservation
     /// laws.
     pub concurrent: bool,
+    /// Which traffic generator produces the churn trace.
+    pub workload: WorkloadSpec,
+    /// Graph-backend knobs (splitter density, splitting discipline);
+    /// ignored by the switch-box backends.
+    pub graph: GraphSpec,
 }
 
 impl SimSetup {
@@ -163,6 +222,8 @@ impl SimSetup {
             strategy: SelectionStrategy::FirstFit,
             repack: false,
             concurrent: false,
+            workload: WorkloadSpec::Adversarial,
+            graph: GraphSpec::default(),
         }
     }
 
@@ -205,6 +266,8 @@ impl SimSetup {
             strategy: SelectionStrategy::FirstFit,
             repack: false,
             concurrent: false,
+            workload: WorkloadSpec::Adversarial,
+            graph: GraphSpec::default(),
         }
     }
 
@@ -222,13 +285,50 @@ impl SimSetup {
             strategy: SelectionStrategy::FirstFit,
             repack: false,
             concurrent: false,
+            workload: WorkloadSpec::Adversarial,
+            graph: GraphSpec::default(),
         }
     }
 
-    /// The seed's closed adversarial churn trace.
+    /// A graph-topology setup: `n` external ports per node, `k`
+    /// wavelengths per fiber. The workload geometry maps one module per
+    /// node (`r = topology.nodes()`). Graphs have no nonblocking
+    /// theorem, so blocking is legal and runs are judged by serial
+    /// conformance (fault-free) or the conservation laws (faulted) —
+    /// never by `expect_nonblocking`.
+    pub fn graph(topology: GraphTopology, n: u32, k: u32, steps: usize, shards: usize) -> SimSetup {
+        SimSetup {
+            geo: Geometry {
+                n,
+                r: topology.nodes(),
+                k,
+            },
+            model: MulticastModel::Msw,
+            m: 0,
+            backend: BackendKind::Graph { topology },
+            steps,
+            shards,
+            faulted: false,
+            expect_nonblocking: false,
+            strategy: SelectionStrategy::FirstFit,
+            repack: false,
+            concurrent: false,
+            workload: WorkloadSpec::Adversarial,
+            graph: GraphSpec::default(),
+        }
+    }
+
+    /// The seed's closed churn trace, from the generator
+    /// [`SimSetup::workload`] names.
     pub fn trace(&self, seed: u64) -> Vec<TimedEvent> {
-        let mut gen = AdversarialGen::new(self.geo, self.model, seed);
-        let mut trace = gen.churn_trace(self.steps);
+        let mut trace = match self.workload {
+            WorkloadSpec::Adversarial => {
+                AdversarialGen::new(self.geo, self.model, seed).churn_trace(self.steps)
+            }
+            WorkloadSpec::Hotspot { hot, skew_pct } => {
+                HotspotGen::new(self.geo, self.model, hot, skew_pct, seed).churn_trace(self.steps)
+            }
+        };
         let horizon = trace.last().map_or(0.0, |e| e.time) + 1.0;
         close_trace(&mut trace, horizon);
         trace
@@ -245,6 +345,20 @@ impl SimSetup {
                 Fault::MiddleSwitch((seed % self.m.max(1) as u64) as u32)
             }
             BackendKind::Crossbar => Fault::Port((seed % self.geo.ports() as u64) as u32),
+            BackendKind::Graph { topology } => {
+                // Alternate between node kills and single-fiber cuts so
+                // both eviction paths stay under sweep pressure.
+                if seed.is_multiple_of(2) {
+                    Fault::MiddleSwitch(((seed / 2) % u64::from(topology.nodes())) as u32)
+                } else {
+                    let links = topology.build();
+                    let (u, v) = links.link(((seed / 2) % u64::from(links.num_links())) as u32);
+                    Fault::MiddleLink {
+                        middle: u,
+                        module: v,
+                    }
+                }
+            }
         };
         let fail_at = trace[trace.len() / 3].time;
         let repair_at = trace[trace.len() * 2 / 3].time;
@@ -286,96 +400,57 @@ impl SimSetup {
         choices: &mut ChoiceStream,
     ) -> Vec<Violation> {
         let params = self.params();
-        match self.backend {
-            BackendKind::Crossbar => {
-                let run = simulate(
-                    self.make_crossbar(),
-                    trace,
-                    faults,
-                    &params,
-                    Scheduler::Random(choices),
-                );
-                self.judge(trace, faults, run)
-            }
-            BackendKind::ThreeStage if self.concurrent => {
-                let run = simulate(
-                    self.make_concurrent(),
-                    trace,
-                    faults,
-                    &params,
-                    Scheduler::Random(choices),
-                );
-                self.judge(trace, faults, run)
-            }
-            BackendKind::ThreeStage => {
-                let run = simulate(
-                    self.make_three_stage(),
-                    trace,
-                    faults,
-                    &params,
-                    Scheduler::Random(choices),
-                );
-                self.judge(trace, faults, run)
-            }
-            BackendKind::AwgClos => {
-                let run = simulate(
-                    self.make_awg_clos(),
-                    trace,
-                    faults,
-                    &params,
-                    Scheduler::Random(choices),
-                );
-                self.judge(trace, faults, run)
-            }
-        }
+        let run = simulate(
+            self.build_backend(),
+            trace,
+            faults,
+            &params,
+            Scheduler::Random(choices),
+        );
+        self.judge(trace, run)
     }
 
-    fn judge<B: wdm_runtime::Backend>(
-        &self,
-        trace: &[TimedEvent],
-        faults: &[TimedFault],
-        run: SimRun<B>,
-    ) -> Vec<Violation> {
-        if faults.is_empty() && !self.repack {
+    fn judge(&self, trace: &[TimedEvent], run: SimRun<Box<dyn Backend>>) -> Vec<Violation> {
+        if !self.faulted && !self.repack {
             let serial_params = SimParams {
                 shards: 1,
                 batch: 1,
                 runtime: RuntimeConfig::default(),
             };
-            match self.backend {
-                BackendKind::Crossbar => {
-                    let serial = simulate(
-                        self.make_crossbar(),
-                        trace,
-                        &[],
-                        &serial_params,
-                        Scheduler::Serial,
-                    );
-                    conformance_violations(&run, &serial, self.expect_nonblocking)
-                }
-                BackendKind::ThreeStage => {
-                    let serial = simulate(
-                        self.make_three_stage(),
-                        trace,
-                        &[],
-                        &serial_params,
-                        Scheduler::Serial,
-                    );
-                    conformance_violations(&run, &serial, self.expect_nonblocking)
-                }
-                BackendKind::AwgClos => {
-                    let serial = simulate(
-                        self.make_awg_clos(),
-                        trace,
-                        &[],
-                        &serial_params,
-                        Scheduler::Serial,
-                    );
-                    conformance_violations(&run, &serial, self.expect_nonblocking)
-                }
-            }
+            let serial = simulate(
+                self.build_oracle_backend(),
+                trace,
+                &[],
+                &serial_params,
+                Scheduler::Serial,
+            );
+            conformance_violations(&run, &serial, self.expect_nonblocking)
         } else {
             invariant_violations(&run, self.expect_nonblocking)
+        }
+    }
+
+    /// Construct the backend this setup drives, boxed for the engine.
+    /// This is the single spot that maps a [`BackendKind`] (plus the
+    /// concurrent flag and graph knobs) to a live implementation —
+    /// sweeps, the CLI, and [`crate::Scenario`] all route through it.
+    pub fn build_backend(&self) -> Box<dyn Backend> {
+        match self.backend {
+            BackendKind::Crossbar => Box::new(self.make_crossbar()),
+            BackendKind::ThreeStage if self.concurrent => Box::new(self.make_concurrent()),
+            BackendKind::ThreeStage => Box::new(self.make_three_stage()),
+            BackendKind::AwgClos => Box::new(self.make_awg_clos()),
+            BackendKind::Graph { topology } => Box::new(self.make_graph(topology)),
+        }
+    }
+
+    /// The serial-oracle twin of [`SimSetup::build_backend`]: identical
+    /// except that concurrent three-stage runs are judged against the
+    /// serial first-fit network (the order the CAS probe commits in).
+    fn build_oracle_backend(&self) -> Box<dyn Backend> {
+        match self.backend {
+            BackendKind::ThreeStage => Box::new(self.make_three_stage()),
+            _ => self.build_backend(),
         }
     }
 
@@ -407,6 +482,17 @@ impl SimSetup {
             ThreeStageParams::new(self.geo.n, self.m, self.geo.r, self.geo.k),
             fsr_orders,
             ConverterPlacement::IngressEgress,
+            self.model,
+        )
+    }
+
+    fn make_graph(&self, topology: GraphTopology) -> GraphNetwork {
+        let topo = topology.build().with_mc_every(self.graph.mc_every);
+        GraphNetwork::new(
+            topo,
+            self.geo.n,
+            self.geo.k,
+            self.graph.splitting,
             self.model,
         )
     }
@@ -490,6 +576,27 @@ impl SimSetup {
         );
         if matches!(self.backend, BackendKind::ThreeStage | BackendKind::AwgClos) {
             cmd.push_str(&format!(" --m {}", self.m));
+        }
+        if let BackendKind::Graph { topology } = self.backend {
+            match topology {
+                GraphTopology::Ring { nodes } => {
+                    cmd.push_str(&format!(" --topology ring --nodes {nodes}"));
+                }
+                GraphTopology::Grid { rows, cols } => {
+                    cmd.push_str(&format!(" --topology grid --rows {rows} --cols {cols}"));
+                }
+                GraphTopology::Torus { rows, cols } => {
+                    cmd.push_str(&format!(" --topology torus --rows {rows} --cols {cols}"));
+                }
+            }
+            cmd.push_str(&format!(
+                " --mc-every {} --splitting {}",
+                self.graph.mc_every,
+                self.graph.splitting.label()
+            ));
+        }
+        if let WorkloadSpec::Hotspot { hot, skew_pct } = self.workload {
+            cmd.push_str(&format!(" --hotspot {skew_pct} --hot {hot}"));
         }
         if self.faulted {
             cmd.push_str(" --faulted");

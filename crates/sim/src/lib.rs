@@ -30,6 +30,10 @@
 //!   unit granularity.
 //! * [`harness`] — seed sweeps ([`SimSetup`]) and replayable
 //!   [`FailingSeed`] artifacts (`wdmcast sim --seed N`).
+//! * [`scenario`] — the [`Scenario`] builder: the single validated
+//!   entry point mapping an experiment description (geometry, backend
+//!   kind, fault plan, workload, repack/concurrency) to a runnable
+//!   [`SimSetup`] or live backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,13 +43,17 @@ pub mod executor;
 pub mod harness;
 pub mod netsim;
 pub mod oracle;
+pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
 pub use diff::{diff_runs, DiffEntry};
 pub use executor::{simulate, Scheduler, SimParams, SimRun};
-pub use harness::{BackendKind, FailingSeed, SeedVerdict, SimSetup, SweepReport};
+pub use harness::{
+    BackendKind, FailingSeed, GraphSpec, SeedVerdict, SimSetup, SweepReport, WorkloadSpec,
+};
 pub use netsim::NetSim;
 pub use oracle::{conformance_violations, invariant_violations, Violation};
+pub use scenario::{parse_backend_arg, Scenario};
 pub use schedule::ChoiceStream;
 pub use shrink::{ddmin, shrink_trace, trace_units};

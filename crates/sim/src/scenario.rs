@@ -1,0 +1,425 @@
+//! The [`Scenario`] builder: one validated entry point from "what
+//! experiment do I want" to a runnable [`SimSetup`] / live backend.
+//!
+//! Before this existed, every driver (the CLI's `sim`, the benches, the
+//! conformance tests) re-derived the same policy by hand: which bound
+//! applies, when selection should spread, when `expect_nonblocking`
+//! must drop, which flag combinations are contradictory. [`Scenario`]
+//! owns that policy in one place. Construct one with
+//! [`Scenario::new`], refine it with the builder setters, then either
+//! [`Scenario::sim_setup`] (for seed sweeps) or [`Scenario::build`]
+//! (for a live boxed backend).
+
+use crate::harness::{BackendKind, GraphSpec, SimSetup, WorkloadSpec};
+use wdm_graph::{GraphTopology, Splitting};
+use wdm_multistage::{awg, bounds, SelectionStrategy};
+use wdm_runtime::Backend;
+
+/// Parse a `--backend` argument into a kind plus the implied concurrent
+/// flag. Accepts everything [`BackendKind::parse`] does, plus the
+/// `three-stage-cas` / `cas` spellings the CAS backend reports as its
+/// own label; unknown names list every valid choice.
+pub fn parse_backend_arg(s: &str) -> Result<(BackendKind, bool), String> {
+    match s {
+        "three-stage-cas" | "threestage-cas" | "cas" => Ok((BackendKind::ThreeStage, true)),
+        _ => BackendKind::parse(s).map(|b| (b, false)).ok_or_else(|| {
+            let menu: Vec<&str> = BackendKind::ALL.iter().map(|b| b.label()).collect();
+            format!(
+                "unknown backend {s:?}; valid backends: {}, three-stage-cas",
+                menu.join(", ")
+            )
+        }),
+    }
+}
+
+/// A declarative experiment description: geometry, backend kind, fault
+/// plan, workload, repack/concurrency — everything the CLI, the sim
+/// harness, the benches, and the tests need to agree on, validated
+/// once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Which backend family (and, for graphs, which topology).
+    pub backend: BackendKind,
+    /// External ports per module / per graph node.
+    pub n: u32,
+    /// Modules per side. For [`BackendKind::Graph`] this is derived
+    /// from the topology and any explicit value must match.
+    pub r: u32,
+    /// Wavelengths per fiber.
+    pub k: u32,
+    /// Middle-stage provisioning override; `None` means "exactly at the
+    /// backend's nonblocking bound".
+    pub m: Option<u32>,
+    /// Multicast model requests are legal under.
+    pub model: wdm_core::MulticastModel,
+    /// Churn-trace length.
+    pub steps: usize,
+    /// Cooperatively scheduled shards.
+    pub shards: usize,
+    /// Inject a seed-derived fail/repair pair mid-trace.
+    pub faulted: bool,
+    /// Rearrange on hard block (three-stage only).
+    pub repack: bool,
+    /// Drive the CAS admission path (three-stage only).
+    pub concurrent: bool,
+    /// Which traffic generator produces the churn trace.
+    pub workload: WorkloadSpec,
+    /// Graph-backend knobs (ignored by switch-box backends).
+    pub graph: GraphSpec,
+}
+
+impl Scenario {
+    /// A scenario with the repo-wide defaults: `n=2, r=4, k=2`, 40
+    /// steps, 4 shards, adversarial workload, fault-free, serial.
+    pub fn new(backend: BackendKind) -> Scenario {
+        let r = match backend {
+            BackendKind::Graph { topology } => topology.nodes(),
+            _ => 4,
+        };
+        Scenario {
+            backend,
+            n: 2,
+            r,
+            k: 2,
+            m: None,
+            model: wdm_core::MulticastModel::Msw,
+            steps: 40,
+            shards: 4,
+            faulted: false,
+            repack: false,
+            concurrent: false,
+            workload: WorkloadSpec::Adversarial,
+            graph: GraphSpec::default(),
+        }
+    }
+
+    /// Set the geometry (`n` ports per module, `r` modules, `k`
+    /// wavelengths). For graph backends `r` is checked against the
+    /// topology at [`Scenario::sim_setup`] time.
+    pub fn geometry(mut self, n: u32, r: u32, k: u32) -> Scenario {
+        self.n = n;
+        self.r = r;
+        self.k = k;
+        self
+    }
+
+    /// Override the middle-stage provisioning.
+    pub fn middles(mut self, m: u32) -> Scenario {
+        self.m = Some(m);
+        self
+    }
+
+    /// Set the multicast model.
+    pub fn model(mut self, model: wdm_core::MulticastModel) -> Scenario {
+        self.model = model;
+        self
+    }
+
+    /// Set trace length and shard count.
+    pub fn schedule(mut self, steps: usize, shards: usize) -> Scenario {
+        self.steps = steps;
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Enable the seed-derived fault script.
+    pub fn faulted(mut self, yes: bool) -> Scenario {
+        self.faulted = yes;
+        self
+    }
+
+    /// Enable on-block repacking.
+    pub fn repack(mut self, yes: bool) -> Scenario {
+        self.repack = yes;
+        self
+    }
+
+    /// Enable the CAS admission path.
+    pub fn concurrent(mut self, yes: bool) -> Scenario {
+        self.concurrent = yes;
+        self
+    }
+
+    /// Select the traffic generator.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Scenario {
+        self.workload = workload;
+        self
+    }
+
+    /// Swap the graph topology (forces the backend to
+    /// [`BackendKind::Graph`] and re-derives `r`).
+    pub fn topology(mut self, topology: GraphTopology) -> Scenario {
+        self.backend = BackendKind::Graph { topology };
+        self.r = topology.nodes();
+        self
+    }
+
+    /// Set the sparse splitter placement (graph backends).
+    pub fn mc_every(mut self, every: u32) -> Scenario {
+        self.graph.mc_every = every;
+        self
+    }
+
+    /// Set the splitting discipline (graph backends).
+    pub fn splitting(mut self, splitting: Splitting) -> Scenario {
+        self.graph.splitting = splitting;
+        self
+    }
+
+    /// The provisioning bound this scenario is judged against, with its
+    /// name for reports: Theorem 1 for the switch fabrics, the AWG pool
+    /// bound for the wavelength-routed Clos (an error when `k < r`),
+    /// and none for graphs — arbitrary topologies have no nonblocking
+    /// theorem.
+    pub fn bound(&self) -> Result<(u32, &'static str), String> {
+        match self.backend {
+            BackendKind::AwgClos => {
+                let fsr_orders = self.k.div_ceil(self.r).max(1);
+                awg::min_middles(self.n, self.r, self.k, fsr_orders)
+                    .map(|m| (m, "AWG pool bound"))
+                    .ok_or_else(|| {
+                        format!(
+                            "awg-clos needs k ≥ r (got k={}, r={}): with fewer usable channels \
+                             than AWG ports some module pairs have no channel class at all",
+                            self.k, self.r
+                        )
+                    })
+            }
+            BackendKind::Graph { .. } => Ok((0, "no nonblocking bound")),
+            _ => Ok((bounds::theorem1_min_m(self.n, self.r).m, "Theorem 1 bound")),
+        }
+    }
+
+    /// Validate every knob combination and produce the runnable
+    /// [`SimSetup`]. This is the one place the cross-cutting policy
+    /// lives:
+    ///
+    /// * `repack` and `concurrent` are three-stage capabilities and are
+    ///   mutually exclusive;
+    /// * an under-provisioned three-stage spreads its selection so
+    ///   reachable hard blocks actually surface (unless concurrent mode
+    ///   pins first-fit);
+    /// * `expect_nonblocking` holds at/above the bound, needs a spare
+    ///   margin (`m > bound`) under faults, and never applies to
+    ///   graphs or repacking runs;
+    /// * hotspot workloads must name a module that exists;
+    /// * a graph scenario's `r` must agree with its topology.
+    pub fn sim_setup(&self) -> Result<SimSetup, String> {
+        if self.n == 0 || self.r == 0 || self.k == 0 {
+            return Err("--n, --r and -k must all be at least 1".into());
+        }
+        if self.repack && self.backend != BackendKind::ThreeStage {
+            return Err(
+                "--repack needs rearrangeable routes; only the three-stage backend moves branches"
+                    .into(),
+            );
+        }
+        if self.concurrent && self.backend != BackendKind::ThreeStage {
+            return Err(
+                "--concurrent drives the CAS admission path; only the three-stage backend has one"
+                    .into(),
+            );
+        }
+        if self.concurrent && self.repack {
+            return Err(
+                "--concurrent requires RepackPolicy::Off; repack moves keep the coarse striped path"
+                    .into(),
+            );
+        }
+        if let BackendKind::Graph { topology } = self.backend {
+            if self.r != topology.nodes() {
+                return Err(format!(
+                    "graph geometry mismatch: --r {} but {} has {} nodes (omit --r or make them agree)",
+                    self.r,
+                    topology,
+                    topology.nodes()
+                ));
+            }
+        }
+        if let WorkloadSpec::Hotspot { hot, skew_pct } = self.workload {
+            if hot >= self.r {
+                return Err(format!(
+                    "--hot {hot} names a module outside 0..{} (r modules / graph nodes)",
+                    self.r
+                ));
+            }
+            if skew_pct > 100 {
+                return Err(format!("--hotspot {skew_pct} is a percentage (0–100)"));
+            }
+        }
+        let (bound, _) = self.bound()?;
+        let m = self.m.unwrap_or(bound);
+        if matches!(self.backend, BackendKind::ThreeStage | BackendKind::AwgClos) && m == 0 {
+            return Err("--m must be a positive integer".into());
+        }
+        let strategy = if self.backend == BackendKind::ThreeStage && m < bound && !self.concurrent {
+            // Under-provisioned: spread load across middles so reachable
+            // hard blocks actually surface (and become artifacts).
+            SelectionStrategy::Spread
+        } else {
+            SelectionStrategy::FirstFit
+        };
+        let expect_nonblocking = if self.repack {
+            false
+        } else {
+            match self.backend {
+                BackendKind::Crossbar => true,
+                BackendKind::Graph { .. } => false,
+                BackendKind::ThreeStage | BackendKind::AwgClos => {
+                    if self.faulted {
+                        // A mid-trace kill shrinks the live middle stage
+                        // by one until its repair; only a spare margin
+                        // keeps the guarantee.
+                        m > bound
+                    } else {
+                        true
+                    }
+                }
+            }
+        };
+        Ok(SimSetup {
+            geo: wdm_workload::adversarial::Geometry {
+                n: self.n,
+                r: self.r,
+                k: self.k,
+            },
+            model: self.model,
+            m,
+            backend: self.backend,
+            steps: self.steps,
+            shards: self.shards.max(1),
+            faulted: self.faulted,
+            expect_nonblocking,
+            strategy,
+            repack: self.repack,
+            concurrent: self.concurrent,
+            workload: self.workload,
+            graph: self.graph,
+        })
+    }
+
+    /// Validate and construct the live backend this scenario drives.
+    pub fn build(&self) -> Result<Box<dyn Backend>, String> {
+        Ok(self.sim_setup()?.build_backend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_arg_parsing_covers_the_registry() {
+        for kind in BackendKind::ALL {
+            let (parsed, concurrent) = parse_backend_arg(kind.label()).unwrap();
+            assert_eq!(parsed.label(), kind.label());
+            assert!(!concurrent);
+        }
+        let (kind, concurrent) = parse_backend_arg("three-stage-cas").unwrap();
+        assert_eq!(kind, BackendKind::ThreeStage);
+        assert!(concurrent);
+        let err = parse_backend_arg("warp-drive").unwrap_err();
+        for label in [
+            "crossbar",
+            "three-stage",
+            "awg-clos",
+            "graph",
+            "three-stage-cas",
+        ] {
+            assert!(err.contains(label), "menu missing {label}: {err}");
+        }
+    }
+
+    #[test]
+    fn three_stage_policy_matches_the_old_cli_rules() {
+        let at_bound = Scenario::new(BackendKind::ThreeStage).sim_setup().unwrap();
+        assert!(at_bound.expect_nonblocking);
+        assert_eq!(at_bound.strategy, SelectionStrategy::FirstFit);
+
+        let starved = Scenario::new(BackendKind::ThreeStage)
+            .middles(1)
+            .sim_setup()
+            .unwrap();
+        assert_eq!(starved.strategy, SelectionStrategy::Spread);
+        assert!(
+            starved.expect_nonblocking,
+            "below the bound the oracle still demands zero blocks — reachable blocks become artifacts"
+        );
+
+        let faulted = Scenario::new(BackendKind::ThreeStage)
+            .faulted(true)
+            .sim_setup()
+            .unwrap();
+        assert!(
+            !faulted.expect_nonblocking,
+            "at the exact bound a mid-trace kill may legitimately block"
+        );
+        let spare = Scenario::new(BackendKind::ThreeStage)
+            .faulted(true)
+            .middles(faulted.m + 1)
+            .sim_setup()
+            .unwrap();
+        assert!(spare.expect_nonblocking);
+    }
+
+    #[test]
+    fn contradictory_knobs_are_rejected() {
+        assert!(Scenario::new(BackendKind::Crossbar)
+            .repack(true)
+            .sim_setup()
+            .is_err());
+        assert!(Scenario::new(BackendKind::AwgClos)
+            .concurrent(true)
+            .sim_setup()
+            .is_err());
+        assert!(Scenario::new(BackendKind::ThreeStage)
+            .repack(true)
+            .concurrent(true)
+            .sim_setup()
+            .is_err());
+        // AWG needs k ≥ r.
+        assert!(Scenario::new(BackendKind::AwgClos)
+            .geometry(2, 4, 2)
+            .sim_setup()
+            .is_err());
+        assert!(Scenario::new(BackendKind::DEFAULT_GRAPH)
+            .workload(WorkloadSpec::Hotspot {
+                hot: 99,
+                skew_pct: 50
+            })
+            .sim_setup()
+            .is_err());
+    }
+
+    #[test]
+    fn graph_scenarios_derive_geometry_from_the_topology() {
+        let s = Scenario::new(BackendKind::Crossbar)
+            .topology(GraphTopology::Torus { rows: 3, cols: 3 })
+            .geometry(1, 9, 4)
+            .mc_every(3)
+            .splitting(Splitting::TreeOnly);
+        let setup = s.sim_setup().unwrap();
+        assert_eq!(setup.geo.r, 9);
+        assert!(!setup.expect_nonblocking, "graphs have no theorem");
+        assert_eq!(setup.graph.mc_every, 3);
+        let backend = s.build().unwrap();
+        assert_eq!(backend.label(), "graph");
+        assert_eq!(backend.ports_per_module(), 1);
+
+        let mismatch = Scenario::new(BackendKind::DEFAULT_GRAPH).geometry(1, 5, 2);
+        assert!(mismatch.sim_setup().is_err());
+    }
+
+    #[test]
+    fn build_constructs_every_backend_kind() {
+        for kind in BackendKind::ALL {
+            let s = match kind {
+                BackendKind::AwgClos => Scenario::new(kind).geometry(2, 4, 4),
+                _ => Scenario::new(kind),
+            };
+            assert_eq!(s.build().unwrap().label(), kind.label());
+        }
+        let cas = Scenario::new(BackendKind::ThreeStage).concurrent(true);
+        assert_eq!(cas.build().unwrap().label(), "three-stage-cas");
+    }
+}

@@ -7,14 +7,10 @@
 //! outcomes and terminal counters. Swept across both backends and both
 //! fault regimes, ≥256 seeds per combination.
 
-use wdm_core::NetworkConfig;
-use wdm_fabric::CrossbarSession;
-use wdm_multistage::{
-    AwgClosNetwork, Construction, ConverterPlacement, ThreeStageNetwork, ThreeStageParams,
-};
 use wdm_runtime::{Backend, RuntimeConfig};
 use wdm_sim::executor::{simulate, Scheduler, SimParams, SimRun};
-use wdm_sim::harness::{BackendKind, SimSetup};
+use wdm_sim::harness::SimSetup;
+use wdm_sim::Scenario;
 
 const SEEDS: u64 = 256;
 const STEPS: usize = 24;
@@ -26,33 +22,6 @@ fn params(batch: usize) -> SimParams {
         batch,
         runtime: RuntimeConfig::default(),
     }
-}
-
-fn crossbar(setup: &SimSetup) -> CrossbarSession {
-    CrossbarSession::new(
-        NetworkConfig::new(setup.geo.ports(), setup.geo.k),
-        setup.model,
-    )
-}
-
-fn three_stage(setup: &SimSetup) -> ThreeStageNetwork {
-    let mut net = ThreeStageNetwork::new(
-        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
-        Construction::MswDominant,
-        setup.model,
-    );
-    net.set_strategy(setup.strategy);
-    net
-}
-
-fn awg_clos(setup: &SimSetup) -> AwgClosNetwork {
-    let fsr_orders = setup.geo.k.div_ceil(setup.geo.r).max(1);
-    AwgClosNetwork::new(
-        ThreeStageParams::new(setup.geo.n, setup.m, setup.geo.r, setup.geo.k),
-        fsr_orders,
-        ConverterPlacement::IngressEgress,
-        setup.model,
-    )
 }
 
 /// Compare a singles run and a batched run of the same input; panics
@@ -82,59 +51,21 @@ fn sweep(setup: &SimSetup, label: &str) {
     for seed in 0..SEEDS {
         let trace = setup.trace(seed);
         let faults = setup.faults(seed, &trace);
-        match setup.backend {
-            BackendKind::Crossbar => {
-                let singles = simulate(
-                    crossbar(setup),
-                    &trace,
-                    &faults,
-                    &params(1),
-                    Scheduler::Serial,
-                );
-                let batched = simulate(
-                    crossbar(setup),
-                    &trace,
-                    &faults,
-                    &params(WINDOW),
-                    Scheduler::Serial,
-                );
-                assert_conformant(label, seed, singles, batched);
-            }
-            BackendKind::ThreeStage => {
-                let singles = simulate(
-                    three_stage(setup),
-                    &trace,
-                    &faults,
-                    &params(1),
-                    Scheduler::Serial,
-                );
-                let batched = simulate(
-                    three_stage(setup),
-                    &trace,
-                    &faults,
-                    &params(WINDOW),
-                    Scheduler::Serial,
-                );
-                assert_conformant(label, seed, singles, batched);
-            }
-            BackendKind::AwgClos => {
-                let singles = simulate(
-                    awg_clos(setup),
-                    &trace,
-                    &faults,
-                    &params(1),
-                    Scheduler::Serial,
-                );
-                let batched = simulate(
-                    awg_clos(setup),
-                    &trace,
-                    &faults,
-                    &params(WINDOW),
-                    Scheduler::Serial,
-                );
-                assert_conformant(label, seed, singles, batched);
-            }
-        }
+        let singles = simulate(
+            setup.build_backend(),
+            &trace,
+            &faults,
+            &params(1),
+            Scheduler::Serial,
+        );
+        let batched = simulate(
+            setup.build_backend(),
+            &trace,
+            &faults,
+            &params(WINDOW),
+            Scheduler::Serial,
+        );
+        assert_conformant(label, seed, singles, batched);
     }
 }
 
@@ -191,4 +122,15 @@ fn awg_clos_faulted_batches_conform() {
 fn underprovisioned_three_stage_batches_conform() {
     let setup = SimSetup::three_stage_underprovisioned(4, 4, 2, STEPS, 1);
     sweep(&setup, "three-stage/underprovisioned");
+}
+
+/// The graph backend through the same amortization contract, both
+/// fault regimes, via the Scenario entry point.
+#[test]
+fn graph_batches_conform() {
+    let base = Scenario::new(wdm_sim::BackendKind::DEFAULT_GRAPH)
+        .geometry(1, 8, 2)
+        .schedule(STEPS, 1);
+    sweep(&base.sim_setup().unwrap(), "graph/fault-free");
+    sweep(&base.faulted(true).sim_setup().unwrap(), "graph/faulted");
 }

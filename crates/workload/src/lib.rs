@@ -10,6 +10,9 @@
 //! * [`adversarial`] — generators that deliberately pressure a three-stage
 //!   middle stage (same-input-module sources, maximum module spread,
 //!   wavelength-homogeneous traffic);
+//! * [`hotspot`] — skewed traffic where one module draws a configurable
+//!   fraction of destination picks (the popular-server regime the
+//!   graph-topology blocking curves sweep);
 //! * [`scenario`] — the application mixes the paper's introduction
 //!   motivates: video conferencing, video-on-demand, and unicast-heavy
 //!   e-commerce traffic;
@@ -28,6 +31,7 @@ pub mod adversarial;
 pub mod chaos;
 pub mod dynamic;
 mod generators;
+pub mod hotspot;
 pub mod partition;
 pub mod scenario;
 pub mod trace;
@@ -35,5 +39,6 @@ pub mod trace;
 pub use chaos::{ChaosSchedule, FaultAction, TimedFault};
 pub use dynamic::{DynamicTraffic, TimedEvent};
 pub use generators::AssignmentGen;
+pub use hotspot::HotspotGen;
 pub use partition::{close_trace, partition_by_source};
 pub use trace::{RequestTrace, TraceEvent};

@@ -12,6 +12,7 @@ pub use wdm_bignum as bignum;
 pub use wdm_combinatorics as combinatorics;
 pub use wdm_core as core;
 pub use wdm_fabric as fabric;
+pub use wdm_graph as graph;
 pub use wdm_multistage as multistage;
 pub use wdm_net as net;
 pub use wdm_runtime as runtime;
